@@ -1,0 +1,591 @@
+//! The scheduler simulation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gcx_core::clock::{SharedClock, TimeMs};
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::ids::JobId;
+use parking_lot::Mutex;
+
+/// Static description of one partition.
+#[derive(Debug, Clone)]
+pub struct PartitionSpec {
+    /// Partition name (`cpu`, `gpu`, …).
+    pub name: String,
+    /// Node hostnames in this partition.
+    pub nodes: Vec<String>,
+    /// Maximum job walltime.
+    pub max_walltime_ms: u64,
+    /// Accounts allowed to submit (empty = all).
+    pub allowed_accounts: Vec<String>,
+}
+
+impl PartitionSpec {
+    /// A partition with `count` nodes named `prefix-NNN`.
+    pub fn sized(name: &str, prefix: &str, count: usize, max_walltime_ms: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            nodes: (0..count).map(|i| format!("{prefix}-{i:03}")).collect(),
+            max_walltime_ms,
+            allowed_accounts: Vec::new(),
+        }
+    }
+}
+
+/// Static description of a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Cluster name (for diagnostics).
+    pub name: String,
+    /// Partitions.
+    pub partitions: Vec<PartitionSpec>,
+}
+
+impl ClusterSpec {
+    /// A single-partition cluster: `nodes` nodes in partition `cpu` with a
+    /// 24 h walltime cap.
+    pub fn simple(nodes: usize) -> Self {
+        Self {
+            name: "sim-cluster".into(),
+            partitions: vec![PartitionSpec::sized("cpu", "node", nodes, 24 * 3600 * 1000)],
+        }
+    }
+}
+
+/// A job submission request.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Number of whole nodes.
+    pub num_nodes: u32,
+    /// Requested walltime.
+    pub walltime_ms: u64,
+    /// Target partition.
+    pub partition: String,
+    /// Charging account.
+    pub account: String,
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Queued, not yet started.
+    Pending,
+    /// Running on assigned nodes.
+    Running,
+    /// Finished normally (the pilot released it).
+    Completed,
+    /// Killed by the scheduler for exceeding its walltime.
+    TimedOut,
+    /// Cancelled by the user/provider.
+    Cancelled,
+}
+
+impl JobState {
+    /// Terminal states never change again.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Pending | JobState::Running)
+    }
+}
+
+/// A snapshot of one job.
+#[derive(Debug, Clone)]
+pub struct JobInfo {
+    /// Job id.
+    pub id: JobId,
+    /// Current state.
+    pub state: JobState,
+    /// Assigned node hostnames (non-empty once running).
+    pub nodes: Vec<String>,
+    /// Submission time.
+    pub submitted_at: TimeMs,
+    /// Start time (once running).
+    pub started_at: Option<TimeMs>,
+    /// End time (once terminal).
+    pub ended_at: Option<TimeMs>,
+    /// The request.
+    pub request: JobRequest,
+}
+
+struct Job {
+    info: JobInfo,
+}
+
+struct Partition {
+    spec: PartitionSpec,
+    free_nodes: Vec<String>,
+}
+
+struct SchedState {
+    partitions: HashMap<String, Partition>,
+    jobs: HashMap<JobId, Job>,
+    queue: Vec<JobId>, // pending jobs in FIFO order
+    running: Vec<JobId>,
+}
+
+/// The scheduler handle. Cloning shares the cluster.
+#[derive(Clone)]
+pub struct BatchScheduler {
+    state: Arc<Mutex<SchedState>>,
+    clock: SharedClock,
+}
+
+impl BatchScheduler {
+    /// Bring up a cluster.
+    pub fn new(spec: ClusterSpec, clock: SharedClock) -> Self {
+        let partitions = spec
+            .partitions
+            .into_iter()
+            .map(|p| {
+                let free = p.nodes.clone();
+                (p.name.clone(), Partition { spec: p, free_nodes: free })
+            })
+            .collect();
+        Self {
+            state: Arc::new(Mutex::new(SchedState {
+                partitions,
+                jobs: HashMap::new(),
+                queue: Vec::new(),
+                running: Vec::new(),
+            })),
+            clock,
+        }
+    }
+
+    /// Submit a job. Validates partition, account, size, and walltime caps.
+    pub fn submit(&self, req: JobRequest) -> GcxResult<JobId> {
+        let mut st = self.state.lock();
+        let part = st
+            .partitions
+            .get(&req.partition)
+            .ok_or_else(|| GcxError::Scheduler(format!("no such partition '{}'", req.partition)))?;
+        if !part.spec.allowed_accounts.is_empty()
+            && !part.spec.allowed_accounts.contains(&req.account)
+        {
+            return Err(GcxError::Scheduler(format!(
+                "account '{}' may not submit to partition '{}'",
+                req.account, req.partition
+            )));
+        }
+        if req.num_nodes == 0 {
+            return Err(GcxError::Scheduler("job must request at least one node".into()));
+        }
+        if req.num_nodes as usize > part.spec.nodes.len() {
+            return Err(GcxError::Scheduler(format!(
+                "job requests {} nodes but partition '{}' has only {}",
+                req.num_nodes,
+                req.partition,
+                part.spec.nodes.len()
+            )));
+        }
+        if req.walltime_ms == 0 || req.walltime_ms > part.spec.max_walltime_ms {
+            return Err(GcxError::Scheduler(format!(
+                "walltime {} ms outside partition limit {} ms",
+                req.walltime_ms, part.spec.max_walltime_ms
+            )));
+        }
+        let id = JobId::random();
+        let now = self.clock.now_ms();
+        st.jobs.insert(
+            id,
+            Job {
+                info: JobInfo {
+                    id,
+                    state: JobState::Pending,
+                    nodes: Vec::new(),
+                    submitted_at: now,
+                    started_at: None,
+                    ended_at: None,
+                    request: req,
+                },
+            },
+        );
+        st.queue.push(id);
+        Self::schedule_pass(&mut st, now);
+        Ok(id)
+    }
+
+    /// Current info for a job.
+    pub fn status(&self, id: JobId) -> GcxResult<JobInfo> {
+        let mut st = self.state.lock();
+        let now = self.clock.now_ms();
+        Self::schedule_pass(&mut st, now);
+        st.jobs
+            .get(&id)
+            .map(|j| j.info.clone())
+            .ok_or_else(|| GcxError::Scheduler(format!("no such job {id}")))
+    }
+
+    /// Cancel a pending or running job.
+    pub fn cancel(&self, id: JobId) -> GcxResult<()> {
+        let mut st = self.state.lock();
+        let now = self.clock.now_ms();
+        self.finish_job(&mut st, id, JobState::Cancelled, now)
+    }
+
+    /// Mark a running job completed (the pilot's job script exited).
+    pub fn complete(&self, id: JobId) -> GcxResult<()> {
+        let mut st = self.state.lock();
+        let now = self.clock.now_ms();
+        self.finish_job(&mut st, id, JobState::Completed, now)
+    }
+
+    /// Run a scheduling pass explicitly (walltime enforcement + dispatch).
+    pub fn tick(&self) {
+        let mut st = self.state.lock();
+        let now = self.clock.now_ms();
+        Self::schedule_pass(&mut st, now);
+    }
+
+    /// Free node count in a partition.
+    pub fn free_nodes(&self, partition: &str) -> GcxResult<usize> {
+        self.tick();
+        let st = self.state.lock();
+        st.partitions
+            .get(partition)
+            .map(|p| p.free_nodes.len())
+            .ok_or_else(|| GcxError::Scheduler(format!("no such partition '{partition}'")))
+    }
+
+    /// Number of pending jobs.
+    pub fn queue_depth(&self) -> usize {
+        self.tick();
+        self.state.lock().queue.len()
+    }
+
+    fn finish_job(
+        &self,
+        st: &mut SchedState,
+        id: JobId,
+        state: JobState,
+        now: TimeMs,
+    ) -> GcxResult<()> {
+        let job = st
+            .jobs
+            .get_mut(&id)
+            .ok_or_else(|| GcxError::Scheduler(format!("no such job {id}")))?;
+        if job.info.state.is_terminal() {
+            return Err(GcxError::Scheduler(format!(
+                "job {id} is already {:?}",
+                job.info.state
+            )));
+        }
+        let was_running = job.info.state == JobState::Running;
+        job.info.state = state;
+        job.info.ended_at = Some(now);
+        let partition = job.info.request.partition.clone();
+        let nodes = std::mem::take(&mut job.info.nodes);
+        let released = nodes.clone();
+        job.info.nodes = nodes; // keep the record of which nodes it had
+        if was_running {
+            st.running.retain(|j| *j != id);
+            if let Some(p) = st.partitions.get_mut(&partition) {
+                p.free_nodes.extend(released);
+            }
+        } else {
+            st.queue.retain(|j| *j != id);
+        }
+        Self::schedule_pass(st, now);
+        Ok(())
+    }
+
+    /// Walltime enforcement + FIFO/EASY-backfill dispatch.
+    fn schedule_pass(st: &mut SchedState, now: TimeMs) {
+        // 1. Kill jobs past their walltime.
+        let expired: Vec<JobId> = st
+            .running
+            .iter()
+            .filter(|id| {
+                let j = &st.jobs[*id].info;
+                let start = j.started_at.unwrap_or(now);
+                now >= start.saturating_add(j.request.walltime_ms)
+            })
+            .copied()
+            .collect();
+        for id in expired {
+            let job = st.jobs.get_mut(&id).unwrap();
+            job.info.state = JobState::TimedOut;
+            job.info.ended_at = Some(now);
+            let partition = job.info.request.partition.clone();
+            let released = job.info.nodes.clone();
+            st.running.retain(|j| *j != id);
+            if let Some(p) = st.partitions.get_mut(&partition) {
+                p.free_nodes.extend(released);
+            }
+        }
+
+        // 2. Dispatch per partition: FIFO head first, then EASY backfill.
+        let partition_names: Vec<String> = st.partitions.keys().cloned().collect();
+        for pname in partition_names {
+            loop {
+                // Start the queue head if it fits.
+                let head = st
+                    .queue
+                    .iter()
+                    .copied()
+                    .find(|id| st.jobs[id].info.request.partition == pname);
+                let Some(head_id) = head else { break };
+                let need = st.jobs[&head_id].info.request.num_nodes as usize;
+                let free = st.partitions[&pname].free_nodes.len();
+                if need <= free {
+                    Self::start_job(st, head_id, now);
+                    continue;
+                }
+                // Head blocked: compute its shadow start and backfill.
+                let shadow = Self::shadow_time(st, &pname, need, now);
+                Self::backfill(st, &pname, shadow, now);
+                break;
+            }
+        }
+    }
+
+    /// Earliest time at which `need` nodes will be free, assuming running
+    /// jobs end exactly at their walltime bound.
+    fn shadow_time(st: &SchedState, partition: &str, need: usize, now: TimeMs) -> TimeMs {
+        let mut releases: Vec<(TimeMs, usize)> = st
+            .running
+            .iter()
+            .filter_map(|id| {
+                let j = &st.jobs[id].info;
+                if j.request.partition != partition {
+                    return None;
+                }
+                let end = j.started_at.unwrap_or(now).saturating_add(j.request.walltime_ms);
+                Some((end, j.nodes.len()))
+            })
+            .collect();
+        releases.sort_unstable();
+        let mut free = st.partitions[partition].free_nodes.len();
+        for (end, n) in releases {
+            free += n;
+            if free >= need {
+                return end;
+            }
+        }
+        TimeMs::MAX
+    }
+
+    /// EASY backfill: start later pending jobs that fit now and will finish
+    /// before the head's shadow start (so they cannot delay it).
+    fn backfill(st: &mut SchedState, partition: &str, shadow: TimeMs, now: TimeMs) {
+        let candidates: Vec<JobId> = st
+            .queue
+            .iter()
+            .copied()
+            .filter(|id| st.jobs[id].info.request.partition == partition)
+            .skip(1) // the head itself cannot backfill
+            .collect();
+        for id in candidates {
+            let req = &st.jobs[&id].info.request;
+            let fits_now = (req.num_nodes as usize) <= st.partitions[partition].free_nodes.len();
+            let ends_before_shadow = now.saturating_add(req.walltime_ms) <= shadow;
+            if fits_now && ends_before_shadow {
+                Self::start_job(st, id, now);
+            }
+        }
+    }
+
+    fn start_job(st: &mut SchedState, id: JobId, now: TimeMs) {
+        let need = st.jobs[&id].info.request.num_nodes as usize;
+        let pname = st.jobs[&id].info.request.partition.clone();
+        let p = st.partitions.get_mut(&pname).unwrap();
+        let nodes: Vec<String> = p.free_nodes.drain(..need).collect();
+        let job = st.jobs.get_mut(&id).unwrap();
+        job.info.state = JobState::Running;
+        job.info.started_at = Some(now);
+        job.info.nodes = nodes;
+        st.queue.retain(|j| *j != id);
+        st.running.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcx_core::clock::VirtualClock;
+
+    fn cluster(nodes: usize) -> (BatchScheduler, Arc<VirtualClock>) {
+        let clock = VirtualClock::new();
+        (BatchScheduler::new(ClusterSpec::simple(nodes), clock.clone()), clock)
+    }
+
+    fn req(nodes: u32, walltime_ms: u64) -> JobRequest {
+        JobRequest {
+            num_nodes: nodes,
+            walltime_ms,
+            partition: "cpu".into(),
+            account: "proj1".into(),
+        }
+    }
+
+    #[test]
+    fn immediate_start_when_nodes_free() {
+        let (s, _) = cluster(4);
+        let id = s.submit(req(2, 60_000)).unwrap();
+        let info = s.status(id).unwrap();
+        assert_eq!(info.state, JobState::Running);
+        assert_eq!(info.nodes.len(), 2);
+        assert_eq!(s.free_nodes("cpu").unwrap(), 2);
+    }
+
+    #[test]
+    fn node_names_are_unique_and_stable() {
+        let (s, _) = cluster(4);
+        let a = s.submit(req(2, 60_000)).unwrap();
+        let b = s.submit(req(2, 60_000)).unwrap();
+        let na = s.status(a).unwrap().nodes;
+        let nb = s.status(b).unwrap().nodes;
+        assert_eq!(na.len(), 2);
+        assert_eq!(nb.len(), 2);
+        for n in &na {
+            assert!(!nb.contains(n), "no node assigned twice: {n}");
+        }
+    }
+
+    #[test]
+    fn fifo_queue_when_full() {
+        let (s, clock) = cluster(2);
+        let a = s.submit(req(2, 10_000)).unwrap();
+        let b = s.submit(req(2, 10_000)).unwrap();
+        assert_eq!(s.status(a).unwrap().state, JobState::Running);
+        assert_eq!(s.status(b).unwrap().state, JobState::Pending);
+        assert_eq!(s.queue_depth(), 1);
+        // Complete a → b starts.
+        s.complete(a).unwrap();
+        clock.advance(1);
+        assert_eq!(s.status(b).unwrap().state, JobState::Running);
+    }
+
+    #[test]
+    fn walltime_enforcement() {
+        let (s, clock) = cluster(1);
+        let id = s.submit(req(1, 5_000)).unwrap();
+        clock.advance(4_999);
+        assert_eq!(s.status(id).unwrap().state, JobState::Running);
+        clock.advance(1);
+        let info = s.status(id).unwrap();
+        assert_eq!(info.state, JobState::TimedOut);
+        assert_eq!(info.ended_at, Some(5_000));
+        assert_eq!(s.free_nodes("cpu").unwrap(), 1);
+    }
+
+    #[test]
+    fn easy_backfill_small_job_jumps_queue_safely() {
+        let (s, clock) = cluster(4);
+        // Fill 3 of 4 nodes for 100 s.
+        let long = s.submit(req(3, 100_000)).unwrap();
+        // Head of queue needs all 4 → blocked until `long` ends (shadow = 100 s).
+        let head = s.submit(req(4, 50_000)).unwrap();
+        // Small short job fits the free node and ends before the shadow.
+        let filler = s.submit(req(1, 60_000)).unwrap();
+        assert_eq!(s.status(long).unwrap().state, JobState::Running);
+        assert_eq!(s.status(head).unwrap().state, JobState::Pending);
+        assert_eq!(s.status(filler).unwrap().state, JobState::Running, "backfilled");
+        // A job that would outlive the shadow must NOT backfill.
+        let too_long = s.submit(req(1, 200_000)).unwrap();
+        assert_eq!(s.status(too_long).unwrap().state, JobState::Pending);
+        // After long ends, head starts.
+        s.complete(long).unwrap();
+        s.complete(filler).unwrap();
+        clock.advance(1);
+        assert_eq!(s.status(head).unwrap().state, JobState::Running);
+    }
+
+    #[test]
+    fn backfill_cannot_delay_head() {
+        let (s, _) = cluster(4);
+        let _running = s.submit(req(2, 100_000)).unwrap(); // 2 free left
+        let head = s.submit(req(4, 10_000)).unwrap(); // needs all 4, shadow=100s
+        // Filler fits now (2 free) and ends before shadow → ok.
+        let ok = s.submit(req(2, 50_000)).unwrap();
+        assert_eq!(s.status(head).unwrap().state, JobState::Pending);
+        assert_eq!(s.status(ok).unwrap().state, JobState::Running);
+    }
+
+    #[test]
+    fn cancel_pending_and_running() {
+        let (s, _) = cluster(1);
+        let a = s.submit(req(1, 10_000)).unwrap();
+        let b = s.submit(req(1, 10_000)).unwrap();
+        s.cancel(b).unwrap();
+        assert_eq!(s.status(b).unwrap().state, JobState::Cancelled);
+        s.cancel(a).unwrap();
+        assert_eq!(s.status(a).unwrap().state, JobState::Cancelled);
+        assert_eq!(s.free_nodes("cpu").unwrap(), 1);
+        assert!(s.cancel(a).is_err(), "double cancel");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (s, _) = cluster(2);
+        assert!(s.submit(JobRequest { partition: "gpu".into(), ..req(1, 1000) }).is_err());
+        assert!(s.submit(req(0, 1000)).is_err());
+        assert!(s.submit(req(3, 1000)).is_err(), "more nodes than partition");
+        assert!(s.submit(req(1, 0)).is_err());
+        assert!(s.submit(req(1, u64::MAX)).is_err(), "walltime beyond cap");
+    }
+
+    #[test]
+    fn account_allow_list() {
+        let clock = VirtualClock::new();
+        let mut part = PartitionSpec::sized("cpu", "n", 2, 3_600_000);
+        part.allowed_accounts = vec!["alloc123".into()];
+        let s = BatchScheduler::new(
+            ClusterSpec { name: "c".into(), partitions: vec![part] },
+            clock,
+        );
+        assert!(s.submit(req(1, 1000)).is_err());
+        s.submit(JobRequest { account: "alloc123".into(), ..req(1, 1000) }).unwrap();
+    }
+
+    #[test]
+    fn completion_reuses_nodes() {
+        let (s, clock) = cluster(2);
+        for _ in 0..5 {
+            let id = s.submit(req(2, 10_000)).unwrap();
+            assert_eq!(s.status(id).unwrap().state, JobState::Running);
+            s.complete(id).unwrap();
+            clock.advance(10);
+        }
+        assert_eq!(s.free_nodes("cpu").unwrap(), 2);
+    }
+
+    #[test]
+    fn multi_partition_isolation() {
+        let clock = VirtualClock::new();
+        let s = BatchScheduler::new(
+            ClusterSpec {
+                name: "c".into(),
+                partitions: vec![
+                    PartitionSpec::sized("cpu", "c", 2, 3_600_000),
+                    PartitionSpec::sized("gpu", "g", 1, 3_600_000),
+                ],
+            },
+            clock,
+        );
+        let a = s
+            .submit(JobRequest { partition: "cpu".into(), ..req(2, 1000) })
+            .unwrap();
+        let b = s
+            .submit(JobRequest { partition: "gpu".into(), ..req(1, 1000) })
+            .unwrap();
+        assert_eq!(s.status(a).unwrap().state, JobState::Running);
+        assert_eq!(s.status(b).unwrap().state, JobState::Running);
+        assert!(s.status(a).unwrap().nodes[0].starts_with("c-"));
+        assert!(s.status(b).unwrap().nodes[0].starts_with("g-"));
+    }
+
+    #[test]
+    fn queue_wait_is_observable() {
+        let (s, clock) = cluster(1);
+        let a = s.submit(req(1, 5_000)).unwrap();
+        clock.advance(1_000);
+        let b = s.submit(req(1, 5_000)).unwrap();
+        clock.advance(4_000); // a times out at t=5000
+        let info_b = s.status(b).unwrap();
+        assert_eq!(info_b.state, JobState::Running);
+        assert_eq!(info_b.submitted_at, 1_000);
+        assert_eq!(info_b.started_at, Some(5_000));
+        let _ = a;
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for scheduler invariants: no node is ever assigned
+//! to two live jobs, capacity is conserved, and walltime kills are exact.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use gcx_batch::{BatchScheduler, ClusterSpec, JobRequest, JobState};
+use gcx_core::clock::VirtualClock;
+use gcx_core::ids::JobId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Submit { nodes: u32, walltime_ms: u64 },
+    CompleteOldest,
+    CancelNewest,
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..6, 1_000u64..50_000).prop_map(|(nodes, walltime_ms)| Op::Submit { nodes, walltime_ms }),
+        Just(Op::CompleteOldest),
+        Just(Op::CancelNewest),
+        (1u64..20_000).prop_map(Op::Advance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Run a random operation sequence against an 8-node cluster and check,
+    /// after every step:
+    /// - running jobs never share a node;
+    /// - running node count + free count == cluster size;
+    /// - no running job has outlived its walltime (after a status sync);
+    /// - terminal jobs stay terminal.
+    #[test]
+    fn scheduler_invariants(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        const CLUSTER_NODES: usize = 8;
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(CLUSTER_NODES), clock.clone());
+        let mut jobs: Vec<JobId> = Vec::new();
+        let mut terminal: Vec<(JobId, JobState)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Submit { nodes, walltime_ms } => {
+                    if let Ok(id) = sched.submit(JobRequest {
+                        num_nodes: nodes,
+                        walltime_ms,
+                        partition: "cpu".into(),
+                        account: "a".into(),
+                    }) {
+                        jobs.push(id);
+                    }
+                }
+                Op::CompleteOldest => {
+                    if let Some(id) = jobs.iter().find(|j| {
+                        sched.status(**j).map(|i| !i.state.is_terminal()).unwrap_or(false)
+                    }) {
+                        let _ = sched.complete(*id);
+                    }
+                }
+                Op::CancelNewest => {
+                    if let Some(id) = jobs.iter().rev().find(|j| {
+                        sched.status(**j).map(|i| !i.state.is_terminal()).unwrap_or(false)
+                    }) {
+                        let _ = sched.cancel(*id);
+                    }
+                }
+                Op::Advance(ms) => clock.advance(ms),
+            }
+
+            // ---- invariants ----
+            let mut used_nodes: HashSet<String> = HashSet::new();
+            let mut running_nodes = 0usize;
+            let now = Arc::clone(&clock);
+            for id in &jobs {
+                let info = sched.status(*id).unwrap();
+                match info.state {
+                    JobState::Running => {
+                        for n in &info.nodes {
+                            prop_assert!(
+                                used_nodes.insert(n.clone()),
+                                "node {n} assigned to two running jobs"
+                            );
+                        }
+                        running_nodes += info.nodes.len();
+                        let start = info.started_at.unwrap();
+                        prop_assert!(
+                            gcx_core::clock::Clock::now_ms(&*now)
+                                < start + info.request.walltime_ms,
+                            "running job past its walltime"
+                        );
+                    }
+                    state if state.is_terminal() => {
+                        if let Some((_, prev)) =
+                            terminal.iter().find(|(tid, _)| tid == id)
+                        {
+                            prop_assert_eq!(*prev, state, "terminal state changed");
+                        } else {
+                            terminal.push((*id, state));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let free = sched.free_nodes("cpu").unwrap();
+            prop_assert_eq!(
+                running_nodes + free,
+                CLUSTER_NODES,
+                "node conservation: {} running + {} free",
+                running_nodes,
+                free
+            );
+        }
+    }
+
+    /// FIFO fairness: with identical single-node jobs, start order follows
+    /// submission order.
+    #[test]
+    fn fifo_order_for_identical_jobs(n in 2usize..12) {
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(1), clock.clone());
+        let ids: Vec<JobId> = (0..n)
+            .map(|_| {
+                sched
+                    .submit(JobRequest {
+                        num_nodes: 1,
+                        walltime_ms: 10_000,
+                        partition: "cpu".into(),
+                        account: "a".into(),
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let mut starts = Vec::new();
+        for id in &ids {
+            // Run each to completion in turn.
+            let info = sched.status(*id).unwrap();
+            prop_assert_eq!(info.state, JobState::Running, "head of queue must be running");
+            starts.push(info.started_at.unwrap());
+            sched.complete(*id).unwrap();
+            clock.advance(1);
+        }
+        for w in starts.windows(2) {
+            prop_assert!(w[0] <= w[1], "start order must follow submission order");
+        }
+    }
+}

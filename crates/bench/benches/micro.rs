@@ -1,0 +1,200 @@
+//! Criterion micro-benchmarks for the substrate layers: the costs that the
+//! experiment binaries aggregate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use gcx_core::codec;
+use gcx_core::function::FunctionBody;
+use gcx_core::relite::Regex;
+use gcx_core::respec::ResourceSpec;
+use gcx_core::value::Value;
+
+fn payload(n_keys: usize) -> Value {
+    Value::map((0..n_keys).map(|i| {
+        (
+            format!("key_{i}"),
+            Value::List(vec![
+                Value::Int(i as i64),
+                Value::str("some task argument"),
+                Value::Float(i as f64 * 0.5),
+            ]),
+        )
+    }))
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let small = payload(4);
+    let large = payload(256);
+    let small_bytes = codec::encode(&small);
+    let large_bytes = codec::encode(&large);
+
+    c.bench_function("codec/encode_small", |b| b.iter(|| codec::encode(black_box(&small))));
+    c.bench_function("codec/encode_large", |b| b.iter(|| codec::encode(black_box(&large))));
+    c.bench_function("codec/decode_small", |b| {
+        b.iter(|| codec::decode(black_box(&small_bytes)).unwrap())
+    });
+    c.bench_function("codec/decode_large", |b| {
+        b.iter(|| codec::decode(black_box(&large_bytes)).unwrap())
+    });
+}
+
+fn bench_pyfn(c: &mut Criterion) {
+    use gcx_pyfn::{CapturingHost, Limits, Program};
+    let fib = Program::compile(
+        "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n",
+    )
+    .unwrap();
+    c.bench_function("pyfn/fib_12", |b| {
+        b.iter(|| {
+            let mut host = CapturingHost::default();
+            fib.call_entry(vec![Value::Int(12)], &Value::None, &mut host, Limits::default())
+                .unwrap()
+        })
+    });
+    c.bench_function("pyfn/compile", |b| {
+        b.iter(|| {
+            Program::compile(black_box(
+                "def work(items):\n    total = 0\n    for x in items:\n        if x % 2 == 0:\n            total += x * x\n    return total\n",
+            ))
+            .unwrap()
+        })
+    });
+    let loop_prog = Program::compile(
+        "def work(n):\n    total = 0\n    for i in range(n):\n        total += i * i\n    return total\n",
+    )
+    .unwrap();
+    c.bench_function("pyfn/loop_1000", |b| {
+        b.iter(|| {
+            let mut host = CapturingHost::default();
+            loop_prog
+                .call_entry(vec![Value::Int(1000)], &Value::None, &mut host, Limits::default())
+                .unwrap()
+        })
+    });
+}
+
+fn bench_shell(c: &mut Criterion) {
+    use gcx_core::clock::SystemClock;
+    use gcx_shell::{format_command, ShellExecutor, Vfs};
+    let kwargs = Value::map([("message", Value::str("hello world"))]);
+    c.bench_function("shell/format_command", |b| {
+        b.iter(|| format_command(black_box("echo '{message}' > out.txt"), black_box(&kwargs)))
+    });
+    let sh = ShellExecutor::new(Vfs::new(), SystemClock::shared());
+    let env = Default::default();
+    c.bench_function("shell/pipeline", |b| {
+        b.iter(|| sh.run(black_box("seq 50 | grep 3 | wc -l"), &env, "/", None).unwrap())
+    });
+}
+
+fn bench_broker(c: &mut Criterion) {
+    use bytes::Bytes;
+    use gcx_mq::{Broker, Message};
+    use std::time::Duration;
+    let broker = Broker::new();
+    broker.declare_queue("bench", None).unwrap();
+    let consumer = broker.consume("bench", None, 0).unwrap();
+    let body = Bytes::from(vec![0u8; 512]);
+    c.bench_function("mq/publish_consume_ack", |b| {
+        b.iter(|| {
+            broker.publish("bench", Message::new(body.clone()), None).unwrap();
+            let d = consumer.next(Duration::from_secs(1)).unwrap().unwrap();
+            consumer.ack(d.tag).unwrap();
+        })
+    });
+}
+
+fn bench_config(c: &mut Criterion) {
+    use gcx_config::{parse_yaml, Schema, Template};
+    let yaml = "display_name: SlurmHPC\nengine:\n  type: GlobusMPIEngine\n  mpi_launcher: srun\n  provider:\n    type: SlurmProvider\n  nodes_per_block: 4\n";
+    c.bench_function("config/parse_yaml", |b| b.iter(|| parse_yaml(black_box(yaml)).unwrap()));
+
+    let template = Template::parse(
+        "engine:\n  nodes_per_block: {{ NODES_PER_BLOCK }}\naccount: {{ ACCOUNT_ID }}\nwalltime: {{ WALLTIME|default(\"00:30:00\") }}\n",
+    )
+    .unwrap();
+    let vars = Value::map([
+        ("NODES_PER_BLOCK", Value::Int(64)),
+        ("ACCOUNT_ID", Value::str("314159265")),
+    ]);
+    c.bench_function("config/template_render", |b| {
+        b.iter(|| template.render(black_box(&vars)).unwrap())
+    });
+
+    let schema = Schema::compile(&Value::map([
+        ("type", Value::str("object")),
+        (
+            "properties",
+            Value::map([(
+                "NODES_PER_BLOCK",
+                Value::map([("type", Value::str("integer")), ("maximum", Value::Int(128))]),
+            )]),
+        ),
+    ]))
+    .unwrap();
+    c.bench_function("config/schema_validate", |b| {
+        b.iter(|| schema.validate(black_box(&vars)).unwrap())
+    });
+}
+
+fn bench_auth(c: &mut Criterion) {
+    use gcx_auth::{ExpressionMapping, IdentityMapper};
+    use gcx_core::ids::IdentityId;
+    let mut mapper = IdentityMapper::new();
+    mapper.add_expression(ExpressionMapping::username_capture("uchicago.edu")).unwrap();
+    let identity = gcx_auth::Identity {
+        id: IdentityId::random(),
+        username: "kyle@uchicago.edu".into(),
+        display_name: "Kyle".into(),
+    };
+    c.bench_function("auth/identity_map", |b| b.iter(|| mapper.map(black_box(&identity)).unwrap()));
+
+    let re = Regex::new(r"([a-z]+)\.([a-z]+)@([a-z.]+)").unwrap();
+    c.bench_function("auth/regex_full_match", |b| {
+        b.iter(|| re.full_match(black_box("jane.doe@dept.uchicago.edu")))
+    });
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    use gcx_batch::{BatchScheduler, ClusterSpec, JobRequest};
+    use gcx_core::clock::SystemClock;
+    c.bench_function("batch/submit_complete", |b| {
+        b.iter_batched(
+            || BatchScheduler::new(ClusterSpec::simple(64), SystemClock::shared()),
+            |s| {
+                let id = s
+                    .submit(JobRequest {
+                        num_nodes: 4,
+                        walltime_ms: 60_000,
+                        partition: "cpu".into(),
+                        account: "a".into(),
+                    })
+                    .unwrap();
+                s.complete(id).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("respec/normalize", |b| {
+        b.iter(|| ResourceSpec::nodes_ranks(4, 8).normalize().unwrap())
+    });
+
+    c.bench_function("function/content_hash", |b| {
+        let body = FunctionBody::pyfn("def f(x):\n    return x * 2\n");
+        b.iter(|| black_box(&body).content_hash())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_pyfn,
+    bench_shell,
+    bench_broker,
+    bench_config,
+    bench_auth,
+    bench_scheduling
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! A2 — §II ablation: "communication with nodes is multiplexed via managers
+//! to reduce the number of ports and connections."
+//!
+//! Fixed worker count (16), varying how many workers sit behind each
+//! manager. One-worker-per-manager models unmultiplexed per-worker
+//! connections; the paper's design hangs many workers off one manager
+//! connection per node. We report connection counts and verify throughput
+//! is not sacrificed.
+//!
+//! Run: `cargo run --release -p gcx-bench --bin ablation_multiplex`
+
+use std::time::{Duration, Instant};
+
+use gcx_bench::{BenchStack, Table};
+use gcx_core::clock::SystemClock;
+use gcx_core::value::Value;
+use gcx_sdk::{Executor, PyFunction};
+
+const TOTAL_WORKERS: u32 = 16;
+const N_TASKS: usize = 320;
+
+fn main() {
+    println!("A2 — manager multiplexing: {TOTAL_WORKERS} workers, {N_TASKS} tasks of ~2 ms");
+    let mut table = Table::new(&[
+        "workers/manager",
+        "managers (connections)",
+        "worker threads",
+        "total (ms)",
+        "tasks/s",
+    ]);
+
+    for workers_per_node in [1u32, 2, 4, 8, 16] {
+        let nodes = TOTAL_WORKERS / workers_per_node;
+        let yaml = format!(
+            "engine:\n  type: GlobusComputeEngine\n  nodes_per_block: {nodes}\n  workers_per_node: {workers_per_node}\n"
+        );
+        let stack = BenchStack::new(&yaml, SystemClock::shared());
+        let ex = Executor::new(stack.cloud.clone(), stack.token.clone(), stack.endpoint).unwrap();
+        let f = PyFunction::new("def f(x):\n    sleep(0.002)\n    return x\n");
+
+        let started = Instant::now();
+        let futures: Vec<_> = (0..N_TASKS)
+            .map(|i| ex.submit(&f, vec![Value::Int(i as i64)], Value::None).unwrap())
+            .collect();
+        for fut in &futures {
+            fut.result_timeout(Duration::from_secs(60)).unwrap();
+        }
+        let elapsed = started.elapsed();
+
+        // The endpoint agent's metrics registry is internal; reconstruct the
+        // connection count from the topology (one manager channel per node).
+        table.row(&[
+            workers_per_node.to_string(),
+            nodes.to_string(),
+            TOTAL_WORKERS.to_string(),
+            format!("{:.0}", elapsed.as_secs_f64() * 1000.0),
+            format!("{:.0}", N_TASKS as f64 / elapsed.as_secs_f64()),
+        ]);
+        ex.close();
+        stack.stop();
+    }
+
+    table.print();
+    println!();
+    println!("  expected shape: multiplexing cuts connections {TOTAL_WORKERS}→1 while");
+    println!("  throughput stays flat — the manager channel is not the bottleneck,");
+    println!("  which is why HTEX multiplexes node communication through managers.");
+}

@@ -1,0 +1,76 @@
+//! E5 — §III-A: "batching of requests within a time period to avoid many
+//! individual REST requests to run tasks."
+//!
+//! Sweep the executor's batch window and cap; report REST request counts,
+//! submission throughput, and end-to-end completion time for a fixed
+//! workload.
+//!
+//! Run: `cargo run --release -p gcx-bench --bin batching_sweep`
+
+use std::time::{Duration, Instant};
+
+use gcx_bench::{ms, BenchStack, Table};
+use gcx_core::clock::SystemClock;
+use gcx_core::value::Value;
+use gcx_sdk::{Executor, ExecutorConfig, PyFunction};
+
+const N_TASKS: usize = 400;
+const ENGINE: &str = "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 8\n";
+
+fn main() {
+    println!("E5 — submission batching sweep, {N_TASKS} trivial tasks");
+    let mut table = Table::new(&[
+        "batch window",
+        "max batch",
+        "REST reqs",
+        "tasks/req",
+        "submit (ms)",
+        "complete (ms)",
+    ]);
+
+    for (window_ms, max_batch) in
+        [(0u64, 1usize), (1, 16), (5, 64), (20, 128), (50, 512)]
+    {
+        let stack = BenchStack::new(ENGINE, SystemClock::shared());
+        let ex = Executor::with_config(
+            stack.cloud.clone(),
+            stack.token.clone(),
+            stack.endpoint,
+            ExecutorConfig {
+                batch_window: Duration::from_millis(window_ms),
+                max_batch,
+            },
+        )
+        .unwrap();
+        let f = PyFunction::new("def f(x):\n    return x\n");
+        ex.ensure_registered(gcx_sdk::Function::body(&f)).unwrap();
+        stack.cloud.metrics().reset_counters();
+
+        let started = Instant::now();
+        let futures: Vec<_> = (0..N_TASKS)
+            .map(|i| ex.submit(&f, vec![Value::Int(i as i64)], Value::None).unwrap())
+            .collect();
+        let submitted = started.elapsed();
+        for fut in &futures {
+            fut.result_timeout(Duration::from_secs(60)).unwrap();
+        }
+        let completed = started.elapsed();
+
+        let reqs = stack.cloud.metrics().counter("api.requests").get();
+        table.row(&[
+            format!("{window_ms} ms"),
+            max_batch.to_string(),
+            reqs.to_string(),
+            format!("{:.1}", N_TASKS as f64 / reqs.max(1) as f64),
+            ms(submitted),
+            ms(completed),
+        ]);
+        ex.close();
+        stack.stop();
+    }
+
+    table.print();
+    println!();
+    println!("  expected shape: wider windows collapse {N_TASKS} submissions into a handful");
+    println!("  of REST requests; per-task requests (window 0) maximize request count.");
+}

@@ -1,0 +1,133 @@
+//! E4 — §III-A: the executor's streaming interface vs the traditional
+//! polling client.
+//!
+//! "This is a far more efficient paradigm in terms of bytes over the wire,
+//! time spent waiting for results, and boilerplate code to check for
+//! results." We run the same workload (N short tasks) through:
+//!   - the polling `Client` at several poll intervals, and
+//!   - the future-based `Executor` (batching + AMQPS result stream),
+//!
+//! and report total wall time, REST request count, and REST bytes.
+//!
+//! Run: `cargo run --release -p gcx-bench --bin executor_vs_polling`
+
+use std::time::{Duration, Instant};
+
+use gcx_bench::{human_bytes, ms, BenchStack, Table};
+use gcx_core::clock::SystemClock;
+use gcx_core::value::Value;
+use gcx_sdk::{Client, Executor, PyFunction};
+
+const N_TASKS: usize = 120;
+const ENGINE: &str = "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 8\n";
+
+fn main() {
+    println!("E4 — executor (streaming) vs client (polling), {N_TASKS} tasks of ~5 ms");
+    let mut table = Table::new(&[
+        "method",
+        "total (ms)",
+        "REST reqs",
+        "REST bytes",
+        "status polls",
+        "mean wait/task (ms)",
+    ]);
+
+    // Task: ~5 ms of simulated compute.
+    let src = "def f(x):\n    sleep(0.005)\n    return x\n";
+
+    for poll_ms in [200u64, 50, 10] {
+        let stack = BenchStack::new(ENGINE, SystemClock::shared());
+        let client = Client::new(stack.cloud.clone(), stack.token.clone());
+        let fid = client.register_function(&PyFunction::new(src)).unwrap();
+        stack.cloud.metrics().reset_counters();
+
+        let started = Instant::now();
+        let ids: Vec<_> = (0..N_TASKS)
+            .map(|i| {
+                client
+                    .run(fid, stack.endpoint, vec![Value::Int(i as i64)], Value::None)
+                    .unwrap()
+            })
+            .collect();
+        for id in &ids {
+            client
+                .get_result(*id, Duration::from_millis(poll_ms), Duration::from_secs(60))
+                .unwrap();
+        }
+        let elapsed = started.elapsed();
+
+        let m = stack.cloud.metrics();
+        table.row(&[
+            format!("poll every {poll_ms} ms"),
+            ms(elapsed),
+            m.counter("api.requests").get().to_string(),
+            human_bytes(m.counter("api.bytes_in").get() + m.counter("api.bytes_out").get()),
+            m.counter("cloud.status_polls").get().to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1000.0 / N_TASKS as f64),
+        ]);
+        stack.stop();
+    }
+
+    // Batched polling: one REST request per sweep covering all open tasks.
+    {
+        let stack = BenchStack::new(ENGINE, SystemClock::shared());
+        let client = Client::new(stack.cloud.clone(), stack.token.clone());
+        let fid = client.register_function(&PyFunction::new(src)).unwrap();
+        stack.cloud.metrics().reset_counters();
+        let started = Instant::now();
+        let ids: Vec<_> = (0..N_TASKS)
+            .map(|i| {
+                client
+                    .run(fid, stack.endpoint, vec![Value::Int(i as i64)], Value::None)
+                    .unwrap()
+            })
+            .collect();
+        client
+            .get_batch_results(&ids, Duration::from_millis(10), Duration::from_secs(60))
+            .unwrap();
+        let elapsed = started.elapsed();
+        let m = stack.cloud.metrics();
+        table.row(&[
+            "batched poll 10 ms".to_string(),
+            ms(elapsed),
+            m.counter("api.requests").get().to_string(),
+            human_bytes(m.counter("api.bytes_in").get() + m.counter("api.bytes_out").get()),
+            m.counter("cloud.status_polls").get().to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1000.0 / N_TASKS as f64),
+        ]);
+        stack.stop();
+    }
+
+    // The executor path.
+    let stack = BenchStack::new(ENGINE, SystemClock::shared());
+    let ex = Executor::new(stack.cloud.clone(), stack.token.clone(), stack.endpoint).unwrap();
+    let f = PyFunction::new(src);
+    // Pre-register so metrics only count the submit/result flow.
+    ex.ensure_registered(gcx_sdk::Function::body(&f)).unwrap();
+    stack.cloud.metrics().reset_counters();
+
+    let started = Instant::now();
+    let futures: Vec<_> = (0..N_TASKS)
+        .map(|i| ex.submit(&f, vec![Value::Int(i as i64)], Value::None).unwrap())
+        .collect();
+    for fut in &futures {
+        fut.result_timeout(Duration::from_secs(60)).unwrap();
+    }
+    let elapsed = started.elapsed();
+    let m = stack.cloud.metrics();
+    table.row(&[
+        "executor (stream)".to_string(),
+        ms(elapsed),
+        m.counter("api.requests").get().to_string(),
+        human_bytes(m.counter("api.bytes_in").get() + m.counter("api.bytes_out").get()),
+        m.counter("cloud.status_polls").get().to_string(),
+        format!("{:.2}", elapsed.as_secs_f64() * 1000.0 / N_TASKS as f64),
+    ]);
+    ex.close();
+    stack.stop();
+
+    table.print();
+    println!();
+    println!("  expected shape: the executor needs ~1-2 REST requests total and zero");
+    println!("  status polls; slow polls waste wall time, fast polls multiply requests.");
+}

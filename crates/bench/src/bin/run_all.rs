@@ -1,0 +1,45 @@
+//! Convenience driver: run every experiment binary in sequence.
+//!
+//! `cargo run --release -p gcx-bench --bin run_all` regenerates every
+//! table/figure in EXPERIMENTS.md in one go (several minutes — the
+//! data-movement sweep moves hundreds of simulated megabytes).
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig2_usage",
+    "shellfn_walltime",
+    "mpifn_hostname",
+    "executor_vs_polling",
+    "batching_sweep",
+    "mpi_partitioning",
+    "mep_scaling",
+    "data_movement",
+    "service_scale",
+    "ablation_sandbox",
+    "ablation_multiplex",
+    "ablation_proxy_cache",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n=== {name} {}", "=".repeat(60_usize.saturating_sub(name.len())));
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    println!("\n=== summary {}", "=".repeat(52));
+    println!("  {} experiments, {} failed", EXPERIMENTS.len(), failures.len());
+    for f in &failures {
+        println!("  FAILED: {f}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,54 @@
+//! E2 — Listing 3: `ShellFunction("sleep 2", walltime=1)` → return code 124.
+//!
+//! Also sweeps walltime around the command duration to show the kill is a
+//! threshold, not a coincidence.
+//!
+//! Run: `cargo run --release -p gcx-bench --bin shellfn_walltime`
+
+use gcx_bench::{BenchStack, Table};
+use gcx_core::clock::SystemClock;
+use gcx_core::value::Value;
+use gcx_sdk::{Executor, ShellFunction};
+
+fn main() {
+    println!("E2 — Listing 3: walltime enforcement on ShellFunctions");
+    let stack = BenchStack::new(
+        "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 4\n",
+        SystemClock::shared(),
+    );
+    let ex = Executor::new(stack.cloud.clone(), stack.token.clone(), stack.endpoint).unwrap();
+
+    // The listing itself (scaled 10x faster to keep the bench quick).
+    let bf = ShellFunction::new("sleep 0.2").with_walltime(0.1);
+    let future = ex.submit(&bf, vec![], Value::None).unwrap();
+    let r = future.shell_result().unwrap();
+    println!("  ShellFunction(\"sleep 0.2\", walltime=0.1).returncode = {}", r.returncode);
+    assert_eq!(r.returncode, 124);
+
+    let mut table = Table::new(&["command", "walltime (s)", "returncode", "timed out"]);
+    for (sleep_s, walltime_s) in
+        [(0.05, 0.2), (0.1, 0.2), (0.3, 0.2), (0.5, 0.2), (0.2, 0.0)]
+    {
+        let f = if walltime_s > 0.0 {
+            ShellFunction::new(format!("sleep {sleep_s}")).with_walltime(walltime_s)
+        } else {
+            ShellFunction::new(format!("sleep {sleep_s}"))
+        };
+        let fut = ex.submit(&f, vec![], Value::None).unwrap();
+        let r = fut.shell_result().unwrap();
+        table.row(&[
+            format!("sleep {sleep_s}"),
+            if walltime_s > 0.0 { format!("{walltime_s}") } else { "none".into() },
+            r.returncode.to_string(),
+            r.timed_out().to_string(),
+        ]);
+        let should_kill = walltime_s > 0.0 && sleep_s > walltime_s;
+        assert_eq!(r.returncode == 124, should_kill);
+    }
+    table.print();
+    println!();
+    println!("  expected shape: rc=124 exactly when the command outlives its walltime.");
+
+    ex.close();
+    stack.stop();
+}

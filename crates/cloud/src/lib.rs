@@ -1,0 +1,32 @@
+//! # gcx-cloud
+//!
+//! The Globus Compute *web service* (§II "Web service"): a single, highly
+//! available interface that brokers all user–endpoint communication. This
+//! in-process reproduction keeps the same moving parts:
+//!
+//! - a REST-like API object ([`service::WebService`]) with function
+//!   registration, endpoint registration, task submission (single and
+//!   batched), and status polling — every call authenticated against
+//!   `gcx-auth` and metered;
+//! - per-endpoint **task queues** and a shared **result queue** on the
+//!   `gcx-mq` broker, with AMQPS-style credentials per endpoint;
+//! - an S3-like [`blob::BlobStore`] holding large task inputs and results,
+//!   enforcing the **10 MB payload limit** (§V);
+//! - a [`service::ResultProcessor`] pool that consumes results, updates the
+//!   task database, and feeds per-user **result streams** (the push channel
+//!   behind the executor interface, §III-A);
+//! - [`usage::UsageMeter`] counting task invocations per day — the data
+//!   behind Fig. 2;
+//! - multi-user endpoint routing: submissions to a MEP resolve (identity,
+//!   config-hash) → user endpoint, spawning one via the MEP's command queue
+//!   when needed (§IV-B).
+
+pub mod blob;
+pub mod records;
+pub mod service;
+pub mod usage;
+
+pub use blob::{BlobId, BlobStore};
+pub use records::{EndpointRecord, EndpointRegistration, MepStartRequest};
+pub use service::{CloudConfig, EndpointSession, WebService};
+pub use usage::UsageMeter;

@@ -1,0 +1,1353 @@
+//! The web service proper: API, endpoint sessions, result processing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use gcx_auth::{AuthPolicy, AuthService, Token};
+use gcx_core::clock::SharedClock;
+use gcx_core::codec;
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::function::{FunctionBody, FunctionRecord};
+use gcx_core::ids::{EndpointId, FunctionId, IdentityId, TaskId};
+use gcx_core::metrics::MetricsRegistry;
+use gcx_core::task::{TaskRecord, TaskResult, TaskSpec, TaskState};
+use gcx_core::value::Value;
+use gcx_mq::{Broker, Consumer, Message};
+use parking_lot::{Mutex, RwLock};
+
+use crate::blob::{BlobId, BlobStore, DEFAULT_PAYLOAD_LIMIT};
+use crate::records::{config_hash, EndpointRecord, EndpointRegistration, MepStartRequest};
+use crate::usage::UsageMeter;
+
+/// The scope required for Globus Compute API calls.
+pub const COMPUTE_SCOPE: &str = gcx_auth::service::COMPUTE_SCOPE;
+
+/// Marker key identifying a blob-offloaded payload container.
+const BLOB_MARKER: &str = "__gcx_blob__";
+
+/// Tunables for the web service.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Hard payload limit per task submission / result (10 MB, §V).
+    pub payload_limit: usize,
+    /// Payloads above this are offloaded to the blob store instead of
+    /// riding the queues inline ("large task inputs are stored in S3", §II).
+    pub inline_threshold: usize,
+    /// Result-processor threads.
+    pub result_processors: usize,
+    /// Cost model of the client↔service REST link; charged (on the service
+    /// clock) per request for the bytes it carries, so experiments see
+    /// realistic upload/download time for payloads that ride REST.
+    pub rest_link: gcx_mq::LinkProfile,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        Self {
+            payload_limit: DEFAULT_PAYLOAD_LIMIT,
+            inline_threshold: 64 * 1024,
+            result_processors: 2,
+            rest_link: gcx_mq::LinkProfile::instant(),
+        }
+    }
+}
+
+struct CloudInner {
+    cfg: CloudConfig,
+    auth: AuthService,
+    broker: Broker,
+    blobs: BlobStore,
+    usage: UsageMeter,
+    clock: SharedClock,
+    metrics: MetricsRegistry,
+    functions: RwLock<HashMap<FunctionId, FunctionRecord>>,
+    endpoints: RwLock<HashMap<EndpointId, EndpointRecord>>,
+    credentials: RwLock<HashMap<EndpointId, String>>,
+    tasks: RwLock<HashMap<TaskId, TaskRecord>>,
+    /// (MEP id, user identity, config hash) → spawned user endpoint.
+    ueps: RwLock<HashMap<(EndpointId, IdentityId, u64), EndpointId>>,
+    /// Open result streams per identity: (queue name, credential). Each
+    /// executor instance gets its own stream; results fan out to all of an
+    /// identity's streams.
+    streams: RwLock<HashMap<IdentityId, Vec<(String, String)>>>,
+    stream_counter: std::sync::atomic::AtomicU64,
+    /// UEPs with an outstanding Start Endpoint request (cleared on connect)
+    /// — prevents a start-request storm while the agent boots.
+    spawn_pending: RwLock<std::collections::HashSet<EndpointId>>,
+    shutdown: AtomicBool,
+    processors: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The Globus Compute web service handle. Cloning shares the service.
+#[derive(Clone)]
+pub struct WebService {
+    inner: Arc<CloudInner>,
+}
+
+fn task_queue_name(ep: EndpointId) -> String {
+    format!("tasks.{ep}")
+}
+
+fn mep_queue_name(ep: EndpointId) -> String {
+    format!("mep.{ep}")
+}
+
+fn stream_queue_name(identity: IdentityId, n: u64) -> String {
+    format!("stream.{identity}.{n}")
+}
+
+/// The shared result queue every endpoint publishes into.
+pub const RESULT_QUEUE: &str = "results.all";
+
+impl WebService {
+    /// Bring up the service (auth, broker, blob store, result processors).
+    pub fn new(cfg: CloudConfig, auth: AuthService, broker: Broker, clock: SharedClock) -> Self {
+        let metrics = broker.metrics().clone();
+        let blobs = BlobStore::new(cfg.payload_limit, metrics.clone());
+        broker
+            .declare_queue(RESULT_QUEUE, Some("cloud-results"))
+            .expect("fresh broker");
+        let inner = Arc::new(CloudInner {
+            cfg,
+            auth,
+            broker,
+            blobs,
+            usage: UsageMeter::new(),
+            clock,
+            metrics,
+            functions: RwLock::new(HashMap::new()),
+            endpoints: RwLock::new(HashMap::new()),
+            credentials: RwLock::new(HashMap::new()),
+            tasks: RwLock::new(HashMap::new()),
+            ueps: RwLock::new(HashMap::new()),
+            streams: RwLock::new(HashMap::new()),
+            stream_counter: std::sync::atomic::AtomicU64::new(0),
+            spawn_pending: RwLock::new(std::collections::HashSet::new()),
+            shutdown: AtomicBool::new(false),
+            processors: Mutex::new(Vec::new()),
+        });
+        let svc = Self { inner };
+        for i in 0..svc.inner.cfg.result_processors {
+            let svc2 = svc.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("gcx-result-proc-{i}"))
+                .spawn(move || svc2.result_processor_loop())
+                .expect("spawn result processor");
+            svc.inner.processors.lock().push(handle);
+        }
+        svc
+    }
+
+    /// Convenience constructor with defaults on the given clock.
+    pub fn with_defaults(clock: SharedClock) -> Self {
+        let auth = AuthService::new(clock.clone());
+        let broker = Broker::with_profile(
+            MetricsRegistry::new(),
+            clock.clone(),
+            gcx_mq::LinkProfile::instant(),
+        );
+        Self::new(CloudConfig::default(), auth, broker, clock)
+    }
+
+    /// The auth service (to register identities / issue tokens).
+    pub fn auth(&self) -> &AuthService {
+        &self.inner.auth
+    }
+
+    /// The broker (tests/benches inspect queue stats).
+    pub fn broker(&self) -> &Broker {
+        &self.inner.broker
+    }
+
+    /// Metrics registry shared with the broker.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The usage meter (Fig. 2 data).
+    pub fn usage(&self) -> &UsageMeter {
+        &self.inner.usage
+    }
+
+    /// The blob store.
+    pub fn blobs(&self) -> &BlobStore {
+        &self.inner.blobs
+    }
+
+    /// Stop result processors and release threads.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let handles: Vec<_> = std::mem::take(&mut *self.inner.processors.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn meter_api(&self, bytes_in: usize, bytes_out: usize) {
+        self.inner.metrics.counter("api.requests").inc();
+        self.inner.metrics.counter("api.bytes_in").add(bytes_in as u64);
+        self.inner.metrics.counter("api.bytes_out").add(bytes_out as u64);
+        self.inner.cfg.rest_link.charge(&self.inner.clock, bytes_in + bytes_out);
+    }
+
+    fn authenticate(&self, token: &Token) -> GcxResult<gcx_auth::service::Introspection> {
+        self.inner.auth.introspect(token, COMPUTE_SCOPE)
+    }
+
+    // ---- functions -------------------------------------------------------
+
+    /// Register a function; returns its immutable id.
+    pub fn register_function(&self, token: &Token, body: FunctionBody) -> GcxResult<FunctionId> {
+        let who = self.authenticate(token)?;
+        let encoded = codec::encode(&body.to_value());
+        if encoded.len() > self.inner.cfg.payload_limit {
+            return Err(GcxError::PayloadTooLarge {
+                size: encoded.len(),
+                limit: self.inner.cfg.payload_limit,
+            });
+        }
+        self.meter_api(encoded.len(), 36);
+        let record = FunctionRecord {
+            id: FunctionId::random(),
+            owner: who.identity.id,
+            body,
+            registered_at: self.inner.clock.now_ms(),
+        };
+        let id = record.id;
+        self.inner.functions.write().insert(id, record);
+        Ok(id)
+    }
+
+    /// Fetch a registered function (functions are public-by-id, as in the
+    /// production service where the UUID is the capability).
+    pub fn get_function(&self, token: &Token, id: FunctionId) -> GcxResult<FunctionRecord> {
+        self.authenticate(token)?;
+        self.meter_api(36, 128);
+        self.inner
+            .functions
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(GcxError::FunctionNotFound(id))
+    }
+
+    // ---- endpoints -------------------------------------------------------
+
+    /// Register an endpoint. For multi-user endpoints a command queue is
+    /// also created (the channel of Fig. 1 step 2).
+    pub fn register_endpoint(
+        &self,
+        token: &Token,
+        name: &str,
+        multi_user: bool,
+        policy: AuthPolicy,
+        allowed_functions: Option<Vec<FunctionId>>,
+    ) -> GcxResult<EndpointRegistration> {
+        let who = self.authenticate(token)?;
+        self.meter_api(name.len() + 64, 128);
+        let id = EndpointId::random();
+        let credential = format!("epcred-{}", gcx_core::ids::Uuid::new_v4());
+        self.inner.broker.declare_queue(&task_queue_name(id), Some(&credential))?;
+        if multi_user {
+            self.inner.broker.declare_queue(&mep_queue_name(id), Some(&credential))?;
+        }
+        self.inner.endpoints.write().insert(
+            id,
+            EndpointRecord {
+                id,
+                owner: who.identity.id,
+                name: name.to_string(),
+                multi_user,
+                parent_mep: None,
+                allowed_functions,
+                policy,
+                registered_at: self.inner.clock.now_ms(),
+                connected: false,
+            },
+        );
+        self.inner.credentials.write().insert(id, credential.clone());
+        Ok(EndpointRegistration {
+            endpoint_id: id,
+            queue_credential: credential,
+            task_queue: task_queue_name(id),
+            result_queue: RESULT_QUEUE.to_string(),
+        })
+    }
+
+    /// List the caller's endpoints: those they registered plus user
+    /// endpoints spawned under their multi-user endpoints — the visibility
+    /// §IV gives administrators ("administrators have no visibility into
+    /// the use of their resources" without it).
+    pub fn list_endpoints(&self, token: &Token) -> GcxResult<Vec<EndpointRecord>> {
+        let who = self.authenticate(token)?;
+        self.meter_api(36, 256);
+        let endpoints = self.inner.endpoints.read();
+        let mine: std::collections::HashSet<EndpointId> = endpoints
+            .values()
+            .filter(|r| r.owner == who.identity.id)
+            .map(|r| r.id)
+            .collect();
+        let mut out: Vec<EndpointRecord> = endpoints
+            .values()
+            .filter(|r| {
+                r.owner == who.identity.id
+                    || r.parent_mep.map(|m| mine.contains(&m)).unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        out.sort_by_key(|r| (r.registered_at, r.id.to_string()));
+        Ok(out)
+    }
+
+    /// Live status of an endpoint: connectivity plus task-queue depth.
+    /// Visible to the endpoint's owner and, for spawned user endpoints, the
+    /// owning MEP's administrator.
+    pub fn endpoint_status(&self, token: &Token, id: EndpointId) -> GcxResult<(EndpointRecord, usize)> {
+        let who = self.authenticate(token)?;
+        self.meter_api(36, 64);
+        let record = self.endpoint_record(id)?;
+        let authorized = record.owner == who.identity.id
+            || record
+                .parent_mep
+                .and_then(|m| self.inner.endpoints.read().get(&m).map(|r| r.owner))
+                .map(|admin| admin == who.identity.id)
+                .unwrap_or(false);
+        if !authorized {
+            return Err(GcxError::Forbidden("not your endpoint".into()));
+        }
+        let depth = self
+            .inner
+            .broker
+            .queue_stats(&task_queue_name(id))
+            .map(|s| s.ready)
+            .unwrap_or(0);
+        Ok((record, depth))
+    }
+
+    /// Endpoint record lookup (public metadata).
+    pub fn endpoint_record(&self, id: EndpointId) -> GcxResult<EndpointRecord> {
+        self.inner
+            .endpoints
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(GcxError::EndpointNotFound(id))
+    }
+
+    /// Agent-side connect: open a session on the endpoint's queues.
+    pub fn connect_endpoint(
+        &self,
+        endpoint_id: EndpointId,
+        credential: &str,
+    ) -> GcxResult<EndpointSession> {
+        {
+            let creds = self.inner.credentials.read();
+            match creds.get(&endpoint_id) {
+                Some(c) if c == credential => {}
+                Some(_) => {
+                    return Err(GcxError::Forbidden(format!(
+                        "bad credential for endpoint {endpoint_id}"
+                    )))
+                }
+                None => return Err(GcxError::EndpointNotFound(endpoint_id)),
+            }
+        }
+        let consumer = self.inner.broker.consume(&task_queue_name(endpoint_id), Some(credential), 0)?;
+        if let Some(rec) = self.inner.endpoints.write().get_mut(&endpoint_id) {
+            rec.connected = true;
+        }
+        self.inner.spawn_pending.write().remove(&endpoint_id);
+        Ok(EndpointSession {
+            cloud: self.clone(),
+            endpoint_id,
+            credential: credential.to_string(),
+            tasks: consumer,
+        })
+    }
+
+    /// Agent-side: consume the MEP command queue (start-endpoint requests).
+    pub fn connect_mep_commands(
+        &self,
+        endpoint_id: EndpointId,
+        credential: &str,
+    ) -> GcxResult<Consumer> {
+        self.inner
+            .broker
+            .consume(&mep_queue_name(endpoint_id), Some(credential), 0)
+    }
+
+    /// Mark an endpoint disconnected (agent stopped).
+    pub fn disconnect_endpoint(&self, endpoint_id: EndpointId) {
+        if let Some(rec) = self.inner.endpoints.write().get_mut(&endpoint_id) {
+            rec.connected = false;
+        }
+    }
+
+    // ---- task submission -------------------------------------------------
+
+    /// Submit one task (one REST request).
+    pub fn submit_task(&self, token: &Token, spec: TaskSpec) -> GcxResult<TaskId> {
+        let ids = self.submit_batch(token, vec![spec])?;
+        Ok(ids[0])
+    }
+
+    /// Submit a batch of tasks in a single REST request (§III-A: the
+    /// executor batches submissions "to avoid many individual REST
+    /// requests").
+    pub fn submit_batch(&self, token: &Token, specs: Vec<TaskSpec>) -> GcxResult<Vec<TaskId>> {
+        let who = self.authenticate(token)?;
+        let mut bytes_in = 0usize;
+        let now = self.inner.clock.now_ms();
+
+        // Validate everything before enqueueing anything (atomic batch).
+        let mut prepared: Vec<(TaskSpec, EndpointId)> = Vec::with_capacity(specs.len());
+        for mut spec in specs {
+            let encoded = codec::encode(&spec.to_value());
+            if encoded.len() > self.inner.cfg.payload_limit {
+                return Err(GcxError::PayloadTooLarge {
+                    size: encoded.len(),
+                    limit: self.inner.cfg.payload_limit,
+                });
+            }
+            bytes_in += encoded.len();
+
+            let target = self.endpoint_record(spec.endpoint_id)?;
+            target.policy.evaluate(&who.identity, who.auth_time, now)?;
+            if !self
+                .inner
+                .functions
+                .read()
+                .contains_key(&spec.function_id)
+            {
+                return Err(GcxError::FunctionNotFound(spec.function_id));
+            }
+            if !target.function_allowed(spec.function_id) {
+                return Err(GcxError::Forbidden(format!(
+                    "function {} is not in endpoint {}'s allowed list",
+                    spec.function_id, spec.endpoint_id
+                )));
+            }
+            // Resolve MEP targets to a user endpoint (spawning if needed).
+            let deliver_to = if target.multi_user {
+                self.resolve_user_endpoint(&target, &who.identity, &spec.user_endpoint_config)?
+            } else {
+                spec.endpoint_id
+            };
+            // Offload large argument payloads to the blob store.
+            if encoded.len() > self.inner.cfg.inline_threshold {
+                spec = self.offload_args(spec)?;
+            }
+            prepared.push((spec, deliver_to));
+        }
+
+        self.meter_api(bytes_in, prepared.len() * 36);
+
+        let mut ids = Vec::with_capacity(prepared.len());
+        for (spec, deliver_to) in prepared {
+            let task_id = spec.task_id;
+            let record = TaskRecord::new(spec.clone(), who.identity.id, now);
+            self.inner.tasks.write().insert(task_id, record);
+            self.inner.usage.record_task(now);
+            self.inner.metrics.counter("cloud.tasks_submitted").inc();
+
+            // Ship to the (possibly rewritten) endpoint's task queue.
+            let mut wire_spec = spec;
+            wire_spec.endpoint_id = deliver_to;
+            let body = codec::encode(&wire_spec.to_value());
+            let credential = self
+                .inner
+                .credentials
+                .read()
+                .get(&deliver_to)
+                .cloned()
+                .ok_or(GcxError::EndpointNotFound(deliver_to))?;
+            self.inner.broker.publish(
+                &task_queue_name(deliver_to),
+                Message::new(body),
+                Some(&credential),
+            )?;
+            ids.push(task_id);
+        }
+        Ok(ids)
+    }
+
+    /// Large payloads ride S3: replace args/kwargs with a blob reference.
+    fn offload_args(&self, mut spec: TaskSpec) -> GcxResult<TaskSpec> {
+        let container = Value::map([
+            ("args", Value::List(std::mem::take(&mut spec.args))),
+            ("kwargs", std::mem::replace(&mut spec.kwargs, Value::None)),
+        ]);
+        let blob = self.inner.blobs.put(codec::encode(&container))?;
+        spec.kwargs = Value::map([(BLOB_MARKER, Value::str(blob.to_string()))]);
+        Ok(spec)
+    }
+
+    /// Inverse of [`Self::offload_args`]; used by endpoint sessions.
+    fn restore_args(&self, spec: &mut TaskSpec) -> GcxResult<()> {
+        let Some(marker) = spec.kwargs.get(BLOB_MARKER).and_then(Value::as_str) else {
+            return Ok(());
+        };
+        let blob_id: BlobId = marker
+            .parse()
+            .map_err(|e| GcxError::Codec(format!("bad blob reference: {e}")))?;
+        let container = codec::decode(&self.inner.blobs.get(blob_id)?)?;
+        spec.args = container
+            .get("args")
+            .and_then(Value::as_list)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default();
+        spec.kwargs = container.get("kwargs").cloned().unwrap_or(Value::None);
+        Ok(())
+    }
+
+    /// Resolve the user endpoint for (MEP, identity, config-hash), creating
+    /// and starting one when none exists (§IV-B).
+    fn resolve_user_endpoint(
+        &self,
+        mep: &EndpointRecord,
+        identity: &gcx_auth::Identity,
+        user_config: &Value,
+    ) -> GcxResult<EndpointId> {
+        let hash = config_hash(user_config);
+        let key = (mep.id, identity.id, hash);
+        if let Some(existing) = self.inner.ueps.read().get(&key).copied() {
+            self.inner.metrics.counter("mep.uep_reused").inc();
+            // If the UEP was reaped (idle shutdown) and no restart is in
+            // flight, ask the MEP to start it again — tasks are already
+            // buffering on its queue.
+            let connected = self
+                .inner
+                .endpoints
+                .read()
+                .get(&existing)
+                .map(|r| r.connected)
+                .unwrap_or(false);
+            if !connected && self.inner.spawn_pending.write().insert(existing) {
+                let credential = self
+                    .inner
+                    .credentials
+                    .read()
+                    .get(&existing)
+                    .cloned()
+                    .ok_or(GcxError::EndpointNotFound(existing))?;
+                let req = MepStartRequest {
+                    identity: identity.id,
+                    username: identity.username.clone(),
+                    user_config: user_config.clone(),
+                    config_hash: hash,
+                    uep_endpoint_id: existing,
+                    queue_credential: credential,
+                };
+                let mep_credential = self
+                    .inner
+                    .credentials
+                    .read()
+                    .get(&mep.id)
+                    .cloned()
+                    .ok_or(GcxError::EndpointNotFound(mep.id))?;
+                self.inner.broker.publish(
+                    &mep_queue_name(mep.id),
+                    Message::new(codec::encode(&req.to_value())),
+                    Some(&mep_credential),
+                )?;
+                self.inner.metrics.counter("mep.uep_respawn_requested").inc();
+            }
+            return Ok(existing);
+        }
+        let mut ueps = self.inner.ueps.write();
+        if let Some(existing) = ueps.get(&key) {
+            return Ok(*existing);
+        }
+        // Pre-register the user endpoint so tasks can buffer immediately.
+        let uep_id = EndpointId::random();
+        let credential = format!("uepcred-{}", gcx_core::ids::Uuid::new_v4());
+        self.inner.broker.declare_queue(&task_queue_name(uep_id), Some(&credential))?;
+        self.inner.endpoints.write().insert(
+            uep_id,
+            EndpointRecord {
+                id: uep_id,
+                owner: identity.id,
+                name: format!("{}/uep-{:x}", mep.name, hash),
+                multi_user: false,
+                parent_mep: Some(mep.id),
+                allowed_functions: mep.allowed_functions.clone(),
+                policy: AuthPolicy::open(),
+                registered_at: self.inner.clock.now_ms(),
+                connected: false,
+            },
+        );
+        self.inner.credentials.write().insert(uep_id, credential.clone());
+        ueps.insert(key, uep_id);
+        drop(ueps);
+        self.inner.spawn_pending.write().insert(uep_id);
+
+        // Fig. 1 step 2: issue the Start Endpoint request to the MEP.
+        let req = MepStartRequest {
+            identity: identity.id,
+            username: identity.username.clone(),
+            user_config: user_config.clone(),
+            config_hash: hash,
+            uep_endpoint_id: uep_id,
+            queue_credential: credential,
+        };
+        let mep_credential = self
+            .inner
+            .credentials
+            .read()
+            .get(&mep.id)
+            .cloned()
+            .ok_or(GcxError::EndpointNotFound(mep.id))?;
+        self.inner.broker.publish(
+            &mep_queue_name(mep.id),
+            Message::new(codec::encode(&req.to_value())),
+            Some(&mep_credential),
+        )?;
+        self.inner.metrics.counter("mep.uep_spawn_requested").inc();
+        Ok(uep_id)
+    }
+
+    /// The user endpoints spawned under a MEP (for tests/benches).
+    pub fn user_endpoints_of(&self, mep: EndpointId) -> Vec<EndpointId> {
+        self.inner
+            .ueps
+            .read()
+            .iter()
+            .filter(|((m, _, _), _)| *m == mep)
+            .map(|(_, uep)| *uep)
+            .collect()
+    }
+
+    // ---- task status (the polling path) -----------------------------------
+
+    /// Poll a task's status. This is the traditional REST path the executor
+    /// interface replaces; every call is metered so benchmarks can compare
+    /// request counts and bytes against streaming.
+    pub fn task_status(&self, token: &Token, id: TaskId) -> GcxResult<(TaskState, Option<TaskResult>)> {
+        let who = self.authenticate(token)?;
+        let tasks = self.inner.tasks.read();
+        let rec = tasks.get(&id).ok_or(GcxError::TaskNotFound(id))?;
+        if rec.owner != who.identity.id {
+            return Err(GcxError::Forbidden("not your task".into()));
+        }
+        let result = rec.result.clone();
+        let state = rec.state;
+        drop(tasks);
+        let out_bytes = 24 + result
+            .as_ref()
+            .map(|r| codec::encoded_size(&r.to_value()))
+            .unwrap_or(0);
+        self.meter_api(36, out_bytes);
+        self.inner.metrics.counter("cloud.status_polls").inc();
+        Ok((state, result))
+    }
+
+    /// Batched status poll: one REST request covering many tasks (the
+    /// production `get_batch_result` API). Tasks owned by other identities
+    /// are skipped rather than failing the whole batch.
+    pub fn task_status_batch(
+        &self,
+        token: &Token,
+        ids: &[TaskId],
+    ) -> GcxResult<Vec<(TaskId, TaskState, Option<TaskResult>)>> {
+        let who = self.authenticate(token)?;
+        let tasks = self.inner.tasks.read();
+        let mut out = Vec::with_capacity(ids.len());
+        let mut bytes_out = 0usize;
+        for id in ids {
+            if let Some(rec) = tasks.get(id) {
+                if rec.owner != who.identity.id {
+                    continue;
+                }
+                bytes_out += 24
+                    + rec
+                        .result
+                        .as_ref()
+                        .map(|r| codec::encoded_size(&r.to_value()))
+                        .unwrap_or(0);
+                out.push((*id, rec.state, rec.result.clone()));
+            }
+        }
+        drop(tasks);
+        self.meter_api(ids.len() * 36, bytes_out);
+        self.inner.metrics.counter("cloud.status_polls").add(ids.len() as u64);
+        Ok(out)
+    }
+
+    /// Cancel a task (best-effort, like the production API): tasks that
+    /// have not reached a worker never run; tasks already running finish
+    /// but their results are discarded by the result processor.
+    pub fn cancel_task(&self, token: &Token, id: TaskId) -> GcxResult<()> {
+        let who = self.authenticate(token)?;
+        self.meter_api(36, 8);
+        let now = self.inner.clock.now_ms();
+        let mut tasks = self.inner.tasks.write();
+        let rec = tasks.get_mut(&id).ok_or(GcxError::TaskNotFound(id))?;
+        if rec.owner != who.identity.id {
+            return Err(GcxError::Forbidden("not your task".into()));
+        }
+        if rec.state.is_terminal() {
+            return Err(GcxError::Internal(format!(
+                "task is already {}",
+                rec.state.label()
+            )));
+        }
+        rec.transition(TaskState::Cancelled, now)?;
+        rec.result = Some(TaskResult::Err(format!("task {id} was cancelled")));
+        self.inner.metrics.counter("cloud.tasks_cancelled").inc();
+        Ok(())
+    }
+
+    /// Whether a task has been cancelled (endpoint-side check before
+    /// spending cycles on it).
+    fn task_cancelled(&self, id: TaskId) -> bool {
+        self.inner
+            .tasks
+            .read()
+            .get(&id)
+            .map(|r| r.state == TaskState::Cancelled)
+            .unwrap_or(false)
+    }
+
+    /// Full task record (internal/test use).
+    pub fn task_record(&self, id: TaskId) -> GcxResult<TaskRecord> {
+        self.inner
+            .tasks
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(GcxError::TaskNotFound(id))
+    }
+
+    // ---- result streaming (the executor path) ------------------------------
+
+    /// Open a result stream for the caller: an AMQPS consumer that receives
+    /// `(task_id, result)` pairs as they arrive at the service (§III-A).
+    /// Every call creates a fresh stream (one per executor instance);
+    /// results for the identity fan out to all of its open streams. Drop
+    /// the returned [`ResultStream`] to tear the stream down.
+    pub fn open_result_stream(&self, token: &Token) -> GcxResult<ResultStream> {
+        let who = self.authenticate(token)?;
+        let n = self
+            .inner
+            .stream_counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let qname = stream_queue_name(who.identity.id, n);
+        let cred = format!("stream-{}", who.identity.id);
+        self.inner.broker.declare_queue(&qname, Some(&cred))?;
+        self.inner
+            .streams
+            .write()
+            .entry(who.identity.id)
+            .or_default()
+            .push((qname.clone(), cred.clone()));
+        let consumer = self.inner.broker.consume(&qname, Some(&cred), 0)?;
+        Ok(ResultStream {
+            consumer,
+            cloud: self.clone(),
+            identity: who.identity.id,
+            queue_name: qname,
+        })
+    }
+
+    fn close_result_stream(&self, identity: IdentityId, queue_name: &str) {
+        let mut streams = self.inner.streams.write();
+        if let Some(list) = streams.get_mut(&identity) {
+            list.retain(|(q, _)| q != queue_name);
+            if list.is_empty() {
+                streams.remove(&identity);
+            }
+        }
+        drop(streams);
+        let _ = self.inner.broker.delete_queue(queue_name);
+    }
+
+    // ---- result processing -------------------------------------------------
+
+    fn result_processor_loop(&self) {
+        let consumer = match self
+            .inner
+            .broker
+            .consume(RESULT_QUEUE, Some("cloud-results"), 64)
+        {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            match consumer.next(Duration::from_millis(25)) {
+                Ok(Some(delivery)) => {
+                    let _ = self.process_result(&delivery.message);
+                    let _ = consumer.ack(delivery.tag);
+                }
+                Ok(None) => {}
+                Err(_) => return, // queue closed
+            }
+        }
+    }
+
+    fn process_result(&self, message: &Message) -> GcxResult<()> {
+        let envelope = codec::decode(&message.body)?;
+        let task_id: TaskId = envelope
+            .get("task_id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| GcxError::Codec("result missing task_id".into()))?
+            .parse()
+            .map_err(|e| GcxError::Codec(format!("bad task_id: {e}")))?;
+        let result = TaskResult::from_value(
+            envelope
+                .get("result")
+                .ok_or_else(|| GcxError::Codec("result missing body".into()))?,
+        )?;
+        let now = self.inner.clock.now_ms();
+
+        let owner = {
+            let mut tasks = self.inner.tasks.write();
+            let rec = tasks.get_mut(&task_id).ok_or(GcxError::TaskNotFound(task_id))?;
+            if rec.state.is_terminal() {
+                // Duplicate delivery after an endpoint retry — drop it.
+                return Ok(());
+            }
+            if rec.state == TaskState::Received {
+                // The endpoint may complete so fast the Running report races
+                // behind the result.
+                rec.transition(TaskState::Running, now)?;
+            } else if rec.state == TaskState::WaitingForNodes {
+                rec.transition(TaskState::Running, now)?;
+            }
+            rec.complete(result.clone(), now)?;
+            rec.owner
+        };
+        self.inner.metrics.counter("cloud.results_processed").inc();
+
+        // Push to all of the owner's open streams.
+        let targets: Vec<(String, String)> = self
+            .inner
+            .streams
+            .read()
+            .get(&owner)
+            .cloned()
+            .unwrap_or_default();
+        if !targets.is_empty() {
+            let push = Value::map([
+                ("task_id", Value::str(task_id.to_string())),
+                ("result", result.to_value()),
+            ]);
+            let body = codec::encode(&push);
+            for (qname, cred) in targets {
+                let _ = self
+                    .inner
+                    .broker
+                    .publish(&qname, Message::new(body.clone()), Some(&cred));
+            }
+        }
+        Ok(())
+    }
+
+    /// Endpoint-side state report (Received → WaitingForNodes → Running).
+    fn report_state(&self, endpoint: EndpointId, task_id: TaskId, state: TaskState) -> GcxResult<()> {
+        let now = self.inner.clock.now_ms();
+        let mut tasks = self.inner.tasks.write();
+        let rec = tasks.get_mut(&task_id).ok_or(GcxError::TaskNotFound(task_id))?;
+        // The task may have been rerouted to a spawned user endpoint.
+        let delivered_ep = rec.spec.endpoint_id;
+        let target_ok = delivered_ep == endpoint
+            || self
+                .inner
+                .endpoints
+                .read()
+                .get(&endpoint)
+                .is_some_and(|e| e.parent_mep.is_some() || delivered_ep == endpoint);
+        if !target_ok {
+            return Err(GcxError::Forbidden("task does not belong to this endpoint".into()));
+        }
+        if rec.state == state || rec.state.is_terminal() {
+            return Ok(()); // idempotent
+        }
+        rec.transition(state, now)
+    }
+}
+
+/// An endpoint agent's live session with the web service.
+pub struct EndpointSession {
+    cloud: WebService,
+    endpoint_id: EndpointId,
+    credential: String,
+    tasks: Consumer,
+}
+
+impl EndpointSession {
+    /// This session's endpoint id.
+    pub fn endpoint_id(&self) -> EndpointId {
+        self.endpoint_id
+    }
+
+    /// Pull the next task (blocking up to `timeout`). Returns the decoded
+    /// spec (blob-offloaded arguments restored) plus the delivery tag.
+    pub fn next_task(&self, timeout: Duration) -> GcxResult<Option<(TaskSpec, u64)>> {
+        match self.tasks.next(timeout)? {
+            None => Ok(None),
+            Some(delivery) => {
+                let mut spec = TaskSpec::from_value(&codec::decode(&delivery.message.body)?)?;
+                self.cloud.restore_args(&mut spec)?;
+                Ok(Some((spec, delivery.tag)))
+            }
+        }
+    }
+
+    /// Acknowledge a task delivery (after the result is safely published).
+    pub fn ack_task(&self, tag: u64) -> GcxResult<()> {
+        self.tasks.ack(tag)
+    }
+
+    /// Return a task to the queue (worker lost).
+    pub fn nack_task(&self, tag: u64) -> GcxResult<()> {
+        self.tasks.nack(tag)
+    }
+
+    /// Report a task state transition.
+    pub fn report_state(&self, task_id: TaskId, state: TaskState) -> GcxResult<()> {
+        self.cloud.report_state(self.endpoint_id, task_id, state)
+    }
+
+    /// Whether the task was cancelled while buffered (the agent skips it).
+    pub fn task_cancelled(&self, task_id: TaskId) -> bool {
+        self.cloud.task_cancelled(task_id)
+    }
+
+    /// Publish a task result to the shared result queue.
+    pub fn publish_result(&self, task_id: TaskId, result: &TaskResult) -> GcxResult<()> {
+        let encoded_result = result.to_value();
+        let size = codec::encoded_size(&encoded_result);
+        if size > self.cloud.inner.cfg.payload_limit {
+            // Oversized results become failures, like the production 10 MB rule.
+            let err = TaskResult::Err(format!(
+                "result of {size} bytes exceeds the {} byte payload limit",
+                self.cloud.inner.cfg.payload_limit
+            ));
+            return self.publish_result(task_id, &err);
+        }
+        let envelope = Value::map([
+            ("task_id", Value::str(task_id.to_string())),
+            ("result", encoded_result),
+        ]);
+        self.cloud.inner.broker.publish(
+            RESULT_QUEUE,
+            Message::new(codec::encode(&envelope)),
+            Some("cloud-results"),
+        )
+    }
+
+    /// Fetch a function body for execution.
+    pub fn fetch_function(&self, id: FunctionId) -> GcxResult<FunctionRecord> {
+        self.cloud
+            .inner
+            .functions
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(GcxError::FunctionNotFound(id))
+    }
+
+    /// Fetch a blob (staged large input).
+    pub fn fetch_blob(&self, id: BlobId) -> GcxResult<Bytes> {
+        self.cloud.inner.blobs.get(id)
+    }
+
+    /// The queue credential (handed to respawned agents).
+    pub fn credential(&self) -> &str {
+        &self.credential
+    }
+}
+
+impl Drop for EndpointSession {
+    fn drop(&mut self) {
+        self.cloud.disconnect_endpoint(self.endpoint_id);
+    }
+}
+
+/// A live result stream. Dereference to the consumer; dropping it closes
+/// and deletes the stream queue.
+pub struct ResultStream {
+    /// The stream consumer.
+    pub consumer: Consumer,
+    cloud: WebService,
+    identity: IdentityId,
+    queue_name: String,
+}
+
+impl Drop for ResultStream {
+    fn drop(&mut self) {
+        self.cloud.close_result_stream(self.identity, &self.queue_name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcx_core::clock::SystemClock;
+
+    fn service() -> WebService {
+        WebService::with_defaults(SystemClock::shared())
+    }
+
+    fn login(svc: &WebService, user: &str) -> Token {
+        svc.auth().login(user).unwrap().1
+    }
+
+    const T: Duration = Duration::from_millis(1000);
+
+    #[test]
+    fn register_and_fetch_function() {
+        let svc = service();
+        let token = login(&svc, "a@b.c");
+        let id = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let rec = svc.get_function(&token, id).unwrap();
+        assert!(matches!(rec.body, FunctionBody::PyFn { .. }));
+        assert!(svc.get_function(&token, FunctionId::random()).is_err());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn api_requires_valid_token() {
+        let svc = service();
+        let e = svc
+            .register_function(&Token("bogus".into()), FunctionBody::pyfn("x"))
+            .unwrap_err();
+        assert!(matches!(e, GcxError::Unauthenticated(_)));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_flows_to_endpoint_and_result_flows_back() {
+        let svc = service();
+        let token = login(&svc, "user@site.org");
+        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep1", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc.connect_endpoint(reg.endpoint_id, &reg.queue_credential).unwrap();
+
+        let spec = TaskSpec::new(fid, reg.endpoint_id);
+        let task_id = svc.submit_task(&token, spec).unwrap();
+
+        // Endpoint receives the task.
+        let (got, tag) = session.next_task(T).unwrap().unwrap();
+        assert_eq!(got.task_id, task_id);
+        session.report_state(task_id, TaskState::Running).unwrap();
+        session.publish_result(task_id, &TaskResult::Ok(Value::Int(42))).unwrap();
+        session.ack_task(tag).unwrap();
+
+        // Poll until the result processor lands it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let (state, result) = svc.task_status(&token, task_id).unwrap();
+            if state == TaskState::Success {
+                assert_eq!(result, Some(TaskResult::Ok(Value::Int(42))));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "result never processed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn tasks_buffer_while_endpoint_offline() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        // Submit before the agent ever connects.
+        let id = svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        let (state, _) = svc.task_status(&token, id).unwrap();
+        assert_eq!(state, TaskState::Received);
+        // Now the agent comes online and finds the buffered task.
+        let session = svc.connect_endpoint(reg.endpoint_id, &reg.queue_credential).unwrap();
+        let (got, tag) = session.next_task(T).unwrap().unwrap();
+        assert_eq!(got.task_id, id);
+        session.ack_task(tag).unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn payload_limit_enforced_on_submit() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc.register_function(&token, FunctionBody::pyfn("def f(b):\n    return len(b)\n")).unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let mut spec = TaskSpec::new(fid, reg.endpoint_id);
+        spec.args = vec![Value::Bytes(vec![0u8; 11 * 1024 * 1024])];
+        let e = svc.submit_task(&token, spec).unwrap_err();
+        assert!(matches!(e, GcxError::PayloadTooLarge { .. }));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn large_args_offload_to_s3_and_restore() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc.register_function(&token, FunctionBody::pyfn("def f(b):\n    return len(b)\n")).unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc.connect_endpoint(reg.endpoint_id, &reg.queue_credential).unwrap();
+        let payload = vec![7u8; 1024 * 1024]; // 1 MB: above inline, below limit
+        let mut spec = TaskSpec::new(fid, reg.endpoint_id);
+        spec.args = vec![Value::Bytes(payload.clone())];
+        svc.submit_task(&token, spec).unwrap();
+        assert_eq!(svc.blobs().len(), 1, "args staged in S3");
+        let (got, tag) = session.next_task(T).unwrap().unwrap();
+        assert_eq!(got.args, vec![Value::Bytes(payload)], "restored transparently");
+        session.ack_task(tag).unwrap();
+        // The queue message itself stayed small.
+        let mq_bytes = svc.metrics().counter("mq.bytes_published").get();
+        assert!(mq_bytes < 128 * 1024, "queue payload should be a reference: {mq_bytes}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_validates_function_endpoint_policy_and_allowlist() {
+        let svc = service();
+        let token = login(&svc, "user@uchicago.edu");
+        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let other_fid = svc.register_function(&token, FunctionBody::pyfn("def g():\n    return 2\n")).unwrap();
+
+        // Unknown endpoint.
+        let e = svc.submit_task(&token, TaskSpec::new(fid, EndpointId::random())).unwrap_err();
+        assert!(matches!(e, GcxError::EndpointNotFound(_)));
+
+        // Unknown function.
+        let reg = svc.register_endpoint(&token, "ep", false, AuthPolicy::open(), None).unwrap();
+        let e = svc
+            .submit_task(&token, TaskSpec::new(FunctionId::random(), reg.endpoint_id))
+            .unwrap_err();
+        assert!(matches!(e, GcxError::FunctionNotFound(_)));
+
+        // Policy rejection.
+        let reg2 = svc
+            .register_endpoint(&token, "anl-only", false, AuthPolicy::domains(&["anl.gov"]), None)
+            .unwrap();
+        let e = svc.submit_task(&token, TaskSpec::new(fid, reg2.endpoint_id)).unwrap_err();
+        assert!(matches!(e, GcxError::Forbidden(_)));
+
+        // Allowed-function list (§IV-A.4).
+        let reg3 = svc
+            .register_endpoint(&token, "gateway", false, AuthPolicy::open(), Some(vec![fid]))
+            .unwrap();
+        svc.submit_task(&token, TaskSpec::new(fid, reg3.endpoint_id)).unwrap();
+        let e = svc.submit_task(&token, TaskSpec::new(other_fid, reg3.endpoint_id)).unwrap_err();
+        assert!(matches!(e, GcxError::Forbidden(_)));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batch_submission_is_one_api_request() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let reg = svc.register_endpoint(&token, "ep", false, AuthPolicy::open(), None).unwrap();
+        svc.metrics().reset_counters();
+        let specs: Vec<TaskSpec> = (0..50).map(|_| TaskSpec::new(fid, reg.endpoint_id)).collect();
+        let ids = svc.submit_batch(&token, specs).unwrap();
+        assert_eq!(ids.len(), 50);
+        assert_eq!(svc.metrics().counter("api.requests").get(), 1);
+        assert_eq!(svc.metrics().counter("cloud.tasks_submitted").get(), 50);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn result_stream_receives_pushed_results() {
+        let svc = service();
+        let token = login(&svc, "streamer@x.y");
+        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let reg = svc.register_endpoint(&token, "ep", false, AuthPolicy::open(), None).unwrap();
+        let session = svc.connect_endpoint(reg.endpoint_id, &reg.queue_credential).unwrap();
+        let stream = svc.open_result_stream(&token).unwrap();
+
+        let id = svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        let (_, tag) = session.next_task(T).unwrap().unwrap();
+        session.publish_result(id, &TaskResult::Ok(Value::str("pushed"))).unwrap();
+        session.ack_task(tag).unwrap();
+
+        let delivery = stream
+            .consumer
+            .next(Duration::from_secs(2))
+            .unwrap()
+            .expect("streamed result");
+        let v = codec::decode(&delivery.message.body).unwrap();
+        assert_eq!(v.get("task_id").unwrap().as_str().unwrap(), id.to_string());
+        stream.consumer.ack(delivery.tag).unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn usage_meter_counts_submissions() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let reg = svc.register_endpoint(&token, "ep", false, AuthPolicy::open(), None).unwrap();
+        for _ in 0..7 {
+            svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        }
+        assert_eq!(svc.usage().total(), 7);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn mep_submission_spawns_and_reuses_uep() {
+        let svc = service();
+        let admin = login(&svc, "admin@site.org");
+        let user = login(&svc, "user@site.org");
+        let fid = svc.register_function(&user, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let mep = svc.register_endpoint(&admin, "mep", true, AuthPolicy::open(), None).unwrap();
+        let commands = svc.connect_mep_commands(mep.endpoint_id, &mep.queue_credential).unwrap();
+
+        let config = Value::map([("ACCOUNT_ID", Value::str("123"))]);
+        let mut spec = TaskSpec::new(fid, mep.endpoint_id);
+        spec.user_endpoint_config = config.clone();
+        svc.submit_task(&user, spec).unwrap();
+
+        // The MEP sees exactly one start request.
+        let d = commands.next(T).unwrap().expect("start request");
+        let req = MepStartRequest::from_value(&codec::decode(&d.message.body).unwrap()).unwrap();
+        assert_eq!(req.username, "user@site.org");
+        commands.ack(d.tag).unwrap();
+
+        // Same config → same UEP, no second start request.
+        let mut spec2 = TaskSpec::new(fid, mep.endpoint_id);
+        spec2.user_endpoint_config = config;
+        svc.submit_task(&user, spec2).unwrap();
+        assert!(commands.next(Duration::from_millis(50)).unwrap().is_none());
+        assert_eq!(svc.user_endpoints_of(mep.endpoint_id).len(), 1);
+
+        // Different config → new UEP.
+        let mut spec3 = TaskSpec::new(fid, mep.endpoint_id);
+        spec3.user_endpoint_config = Value::map([("ACCOUNT_ID", Value::str("999"))]);
+        svc.submit_task(&user, spec3).unwrap();
+        assert!(commands.next(T).unwrap().is_some());
+        assert_eq!(svc.user_endpoints_of(mep.endpoint_id).len(), 2);
+
+        // Both tasks for the first config are buffered on the same UEP queue.
+        let uep_id = req.uep_endpoint_id;
+        let uep_session = svc.connect_endpoint(uep_id, &req.queue_credential).unwrap();
+        let (t1, tag1) = uep_session.next_task(T).unwrap().unwrap();
+        let (t2, tag2) = uep_session.next_task(T).unwrap().unwrap();
+        assert_eq!(t1.endpoint_id, uep_id);
+        assert_eq!(t2.endpoint_id, uep_id);
+        uep_session.ack_task(tag1).unwrap();
+        uep_session.ack_task(tag2).unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn task_status_hides_other_users_tasks() {
+        let svc = service();
+        let alice = login(&svc, "alice@x.y");
+        let bob = login(&svc, "bob@x.y");
+        let fid = svc.register_function(&alice, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let reg = svc.register_endpoint(&alice, "ep", false, AuthPolicy::open(), None).unwrap();
+        let id = svc.submit_task(&alice, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        assert!(svc.task_status(&alice, id).is_ok());
+        assert!(matches!(svc.task_status(&bob, id), Err(GcxError::Forbidden(_))));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn oversized_result_becomes_failure() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let reg = svc.register_endpoint(&token, "ep", false, AuthPolicy::open(), None).unwrap();
+        let session = svc.connect_endpoint(reg.endpoint_id, &reg.queue_credential).unwrap();
+        let id = svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        let (_, tag) = session.next_task(T).unwrap().unwrap();
+        let huge = TaskResult::Ok(Value::Bytes(vec![0u8; 11 * 1024 * 1024]));
+        session.publish_result(id, &huge).unwrap();
+        session.ack_task(tag).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let (state, result) = svc.task_status(&token, id).unwrap();
+            if state == TaskState::Failed {
+                let TaskResult::Err(msg) = result.unwrap() else { panic!() };
+                assert!(msg.contains("payload limit"));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        svc.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod admin_tests {
+    use super::*;
+    use gcx_core::clock::SystemClock;
+
+    #[test]
+    fn list_endpoints_shows_own_and_spawned() {
+        let svc = WebService::with_defaults(SystemClock::shared());
+        let (_, admin) = svc.auth().login("admin@site.edu").unwrap();
+        let (user_identity, user) = svc.auth().login("user@site.edu").unwrap();
+        let mep = svc
+            .register_endpoint(&admin, "mep", true, AuthPolicy::open(), None)
+            .unwrap();
+        let own = svc
+            .register_endpoint(&admin, "personal", false, AuthPolicy::open(), None)
+            .unwrap();
+
+        // Spawn a UEP under the MEP by submitting a user task.
+        let fid = svc
+            .register_function(&user, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let mut spec = TaskSpec::new(fid, mep.endpoint_id);
+        spec.user_endpoint_config = Value::map([("W", Value::Int(1))]);
+        svc.submit_task(&user, spec).unwrap();
+
+        let admin_view = svc.list_endpoints(&admin).unwrap();
+        let ids: Vec<EndpointId> = admin_view.iter().map(|r| r.id).collect();
+        assert!(ids.contains(&mep.endpoint_id));
+        assert!(ids.contains(&own.endpoint_id));
+        assert_eq!(admin_view.len(), 3, "MEP + personal + spawned UEP");
+        let uep = admin_view.iter().find(|r| r.parent_mep.is_some()).unwrap();
+        assert_eq!(uep.owner, user_identity.id, "UEP is owned by the user");
+
+        // The user sees only their UEP.
+        let user_view = svc.list_endpoints(&user).unwrap();
+        assert_eq!(user_view.len(), 1);
+        assert_eq!(user_view[0].parent_mep, Some(mep.endpoint_id));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn endpoint_status_shows_queue_depth_and_enforces_ownership() {
+        let svc = WebService::with_defaults(SystemClock::shared());
+        let (_, owner) = svc.auth().login("owner@x.y").unwrap();
+        let (_, other) = svc.auth().login("other@x.y").unwrap();
+        let reg = svc
+            .register_endpoint(&owner, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let fid = svc
+            .register_function(&owner, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        for _ in 0..3 {
+            svc.submit_task(&owner, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        }
+        let (record, depth) = svc.endpoint_status(&owner, reg.endpoint_id).unwrap();
+        assert!(!record.connected);
+        assert_eq!(depth, 3, "three buffered tasks");
+        assert!(matches!(
+            svc.endpoint_status(&other, reg.endpoint_id),
+            Err(GcxError::Forbidden(_))
+        ));
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,498 @@
+//! A JSON-Schema-subset validator.
+//!
+//! "Administrators can optionally also define a schema for the template
+//! configuration properties to protect against injections and also (in the
+//! future) to help guide users when specifying their configuration"
+//! (§IV-A.3). The MEP validates the user-supplied configuration against the
+//! administrator's schema *before* rendering it into the endpoint template.
+//!
+//! Supported keywords (the practical subset for endpoint configs):
+//!
+//! - `type`: `"string" | "integer" | "number" | "boolean" | "object" |
+//!   "array" | "null"`
+//! - `properties` / `required` / `additionalProperties` (bool) for objects
+//! - `items` for arrays
+//! - `minimum` / `maximum` for numbers
+//! - `minLength` / `maxLength` / `pattern` (full-match, via
+//!   [`gcx_core::relite`]) for strings
+//! - `enum` for any type
+//!
+//! Schemas are themselves [`Value`]s, so an administrator can keep the
+//! schema in the same mini-YAML file as the template.
+
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::relite::Regex;
+use gcx_core::value::Value;
+
+/// A compiled schema.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    root: Node,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    ty: Option<Ty>,
+    properties: Vec<(String, Node)>,
+    required: Vec<String>,
+    additional_properties: bool,
+    items: Option<Box<Node>>,
+    minimum: Option<f64>,
+    maximum: Option<f64>,
+    min_length: Option<usize>,
+    max_length: Option<usize>,
+    pattern: Option<Regex>,
+    enum_values: Option<Vec<Value>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ty {
+    String,
+    Integer,
+    Number,
+    Boolean,
+    Object,
+    Array,
+    Null,
+}
+
+impl Ty {
+    fn parse(s: &str) -> GcxResult<Self> {
+        Ok(match s {
+            "string" => Ty::String,
+            "integer" => Ty::Integer,
+            "number" => Ty::Number,
+            "boolean" => Ty::Boolean,
+            "object" => Ty::Object,
+            "array" => Ty::Array,
+            "null" => Ty::Null,
+            other => {
+                return Err(GcxError::InvalidConfig(format!(
+                    "schema: unknown type '{other}'"
+                )))
+            }
+        })
+    }
+
+    fn accepts(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (Ty::String, Value::Str(_))
+                | (Ty::Integer, Value::Int(_))
+                | (Ty::Number, Value::Int(_) | Value::Float(_))
+                | (Ty::Boolean, Value::Bool(_))
+                | (Ty::Object, Value::Map(_))
+                | (Ty::Array, Value::List(_))
+                | (Ty::Null, Value::None)
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Ty::String => "string",
+            Ty::Integer => "integer",
+            Ty::Number => "number",
+            Ty::Boolean => "boolean",
+            Ty::Object => "object",
+            Ty::Array => "array",
+            Ty::Null => "null",
+        }
+    }
+}
+
+impl Schema {
+    /// Compile a schema from its `Value` representation.
+    pub fn compile(v: &Value) -> GcxResult<Self> {
+        Ok(Self { root: compile_node(v)? })
+    }
+
+    /// Validate `v`, returning the first violation as an error. The `path`
+    /// in the message uses dotted notation (`provider.account`).
+    pub fn validate(&self, v: &Value) -> GcxResult<()> {
+        validate_node(&self.root, v, "$")
+    }
+}
+
+fn compile_node(v: &Value) -> GcxResult<Node> {
+    let m = v.as_map().ok_or_else(|| {
+        GcxError::InvalidConfig(format!("schema node must be a dict, got {}", v.type_name()))
+    })?;
+
+    for key in m.keys() {
+        match key.as_str() {
+            "type" | "properties" | "required" | "additionalProperties" | "items" | "minimum"
+            | "maximum" | "minLength" | "maxLength" | "pattern" | "enum" | "description"
+            | "title" | "default" => {}
+            other => {
+                return Err(GcxError::InvalidConfig(format!(
+                    "schema: unsupported keyword '{other}'"
+                )))
+            }
+        }
+    }
+
+    let ty = match m.get("type") {
+        Some(Value::Str(s)) => Some(Ty::parse(s)?),
+        Some(other) => {
+            return Err(GcxError::InvalidConfig(format!(
+                "schema: 'type' must be a string, got {}",
+                other.type_name()
+            )))
+        }
+        None => None,
+    };
+
+    let mut properties = Vec::new();
+    if let Some(props) = m.get("properties") {
+        let pm = props.as_map().ok_or_else(|| {
+            GcxError::InvalidConfig("schema: 'properties' must be a dict".into())
+        })?;
+        for (k, sub) in pm {
+            properties.push((k.clone(), compile_node(sub)?));
+        }
+    }
+
+    let mut required = Vec::new();
+    if let Some(req) = m.get("required") {
+        let rl = req.as_list().ok_or_else(|| {
+            GcxError::InvalidConfig("schema: 'required' must be a list".into())
+        })?;
+        for r in rl {
+            required.push(
+                r.as_str()
+                    .ok_or_else(|| {
+                        GcxError::InvalidConfig("schema: 'required' entries must be strings".into())
+                    })?
+                    .to_string(),
+            );
+        }
+    }
+
+    let additional_properties = match m.get("additionalProperties") {
+        Some(Value::Bool(b)) => *b,
+        None => true,
+        Some(other) => {
+            return Err(GcxError::InvalidConfig(format!(
+                "schema: 'additionalProperties' must be a bool, got {}",
+                other.type_name()
+            )))
+        }
+    };
+
+    let items = match m.get("items") {
+        Some(sub) => Some(Box::new(compile_node(sub)?)),
+        None => None,
+    };
+
+    let num = |key: &str| -> GcxResult<Option<f64>> {
+        match m.get(key) {
+            Some(v) => v.as_float().map(Some).ok_or_else(|| {
+                GcxError::InvalidConfig(format!("schema: '{key}' must be a number"))
+            }),
+            None => Ok(None),
+        }
+    };
+    let len = |key: &str| -> GcxResult<Option<usize>> {
+        match m.get(key) {
+            Some(Value::Int(i)) if *i >= 0 => Ok(Some(*i as usize)),
+            Some(_) => Err(GcxError::InvalidConfig(format!(
+                "schema: '{key}' must be a non-negative integer"
+            ))),
+            None => Ok(None),
+        }
+    };
+
+    let pattern = match m.get("pattern") {
+        Some(Value::Str(p)) => Some(Regex::new(p)?),
+        Some(_) => {
+            return Err(GcxError::InvalidConfig("schema: 'pattern' must be a string".into()))
+        }
+        None => None,
+    };
+
+    let enum_values = match m.get("enum") {
+        Some(Value::List(vals)) if !vals.is_empty() => Some(vals.clone()),
+        Some(_) => {
+            return Err(GcxError::InvalidConfig(
+                "schema: 'enum' must be a non-empty list".into(),
+            ))
+        }
+        None => None,
+    };
+
+    Ok(Node {
+        ty,
+        properties,
+        required,
+        additional_properties,
+        items,
+        minimum: num("minimum")?,
+        maximum: num("maximum")?,
+        min_length: len("minLength")?,
+        max_length: len("maxLength")?,
+        pattern,
+        enum_values,
+    })
+}
+
+fn validate_node(node: &Node, v: &Value, path: &str) -> GcxResult<()> {
+    if let Some(ty) = node.ty {
+        if !ty.accepts(v) {
+            return Err(GcxError::InvalidConfig(format!(
+                "{path}: expected {}, got {}",
+                ty.name(),
+                v.type_name()
+            )));
+        }
+    }
+
+    if let Some(allowed) = &node.enum_values {
+        if !allowed.contains(v) {
+            return Err(GcxError::InvalidConfig(format!(
+                "{path}: value {v} is not one of the allowed values"
+            )));
+        }
+    }
+
+    if let Some(n) = v.as_float() {
+        if let Some(min) = node.minimum {
+            if n < min {
+                return Err(GcxError::InvalidConfig(format!(
+                    "{path}: {n} is below the minimum {min}"
+                )));
+            }
+        }
+        if let Some(max) = node.maximum {
+            if n > max {
+                return Err(GcxError::InvalidConfig(format!(
+                    "{path}: {n} is above the maximum {max}"
+                )));
+            }
+        }
+    }
+
+    if let Value::Str(s) = v {
+        let n = s.chars().count();
+        if let Some(min) = node.min_length {
+            if n < min {
+                return Err(GcxError::InvalidConfig(format!(
+                    "{path}: string is shorter than minLength {min}"
+                )));
+            }
+        }
+        if let Some(max) = node.max_length {
+            if n > max {
+                return Err(GcxError::InvalidConfig(format!(
+                    "{path}: string is longer than maxLength {max}"
+                )));
+            }
+        }
+        if let Some(re) = &node.pattern {
+            if !re.is_full_match(s) {
+                return Err(GcxError::InvalidConfig(format!(
+                    "{path}: '{s}' does not match the required pattern"
+                )));
+            }
+        }
+    }
+
+    if let Value::Map(m) = v {
+        for req in &node.required {
+            if !m.contains_key(req) {
+                return Err(GcxError::InvalidConfig(format!(
+                    "{path}: missing required property '{req}'"
+                )));
+            }
+        }
+        for (k, val) in m {
+            if let Some((_, sub)) = node.properties.iter().find(|(name, _)| name == k) {
+                validate_node(sub, val, &format!("{path}.{k}"))?;
+            } else if !node.additional_properties {
+                return Err(GcxError::InvalidConfig(format!(
+                    "{path}: unexpected property '{k}'"
+                )));
+            }
+        }
+    }
+
+    if let (Value::List(items), Some(item_schema)) = (v, &node.items) {
+        for (i, item) in items.iter().enumerate() {
+            validate_node(item_schema, item, &format!("{path}[{i}]"))?;
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The kind of schema a MEP administrator would pair with Listing 9.
+    fn mep_schema() -> Schema {
+        let v = Value::map([
+            ("type", Value::str("object")),
+            (
+                "properties",
+                Value::map([
+                    (
+                        "NODES_PER_BLOCK",
+                        Value::map([
+                            ("type", Value::str("integer")),
+                            ("minimum", Value::Int(1)),
+                            ("maximum", Value::Int(128)),
+                        ]),
+                    ),
+                    (
+                        "ACCOUNT_ID",
+                        Value::map([
+                            ("type", Value::str("string")),
+                            ("pattern", Value::str("[0-9]+")),
+                        ]),
+                    ),
+                    (
+                        "WALLTIME",
+                        Value::map([
+                            ("type", Value::str("string")),
+                            ("pattern", Value::str("[0-9][0-9]:[0-9][0-9]:[0-9][0-9]")),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
+                "required",
+                Value::List(vec![Value::str("NODES_PER_BLOCK"), Value::str("ACCOUNT_ID")]),
+            ),
+            ("additionalProperties", Value::Bool(false)),
+        ]);
+        Schema::compile(&v).unwrap()
+    }
+
+    #[test]
+    fn listing10_user_config_validates() {
+        let user = Value::map([
+            ("NODES_PER_BLOCK", Value::Int(64)),
+            ("ACCOUNT_ID", Value::str("314159265")),
+            ("WALLTIME", Value::str("00:20:00")),
+        ]);
+        mep_schema().validate(&user).unwrap();
+    }
+
+    #[test]
+    fn missing_required_property_fails() {
+        let user = Value::map([("NODES_PER_BLOCK", Value::Int(64))]);
+        let err = mep_schema().validate(&user).unwrap_err();
+        assert!(err.to_string().contains("ACCOUNT_ID"));
+    }
+
+    #[test]
+    fn injection_attempt_rejected_by_pattern() {
+        // The injection-protection use case: a shell metacharacter smuggled
+        // into a numeric account id fails the pattern.
+        let user = Value::map([
+            ("NODES_PER_BLOCK", Value::Int(4)),
+            ("ACCOUNT_ID", Value::str("123; rm -rf /")),
+        ]);
+        assert!(mep_schema().validate(&user).is_err());
+    }
+
+    #[test]
+    fn out_of_range_and_wrong_type_fail() {
+        let user = Value::map([
+            ("NODES_PER_BLOCK", Value::Int(1000)),
+            ("ACCOUNT_ID", Value::str("1")),
+        ]);
+        assert!(mep_schema().validate(&user).is_err());
+        let user = Value::map([
+            ("NODES_PER_BLOCK", Value::str("sixty-four")),
+            ("ACCOUNT_ID", Value::str("1")),
+        ]);
+        assert!(mep_schema().validate(&user).is_err());
+    }
+
+    #[test]
+    fn additional_properties_false_rejects_unknown() {
+        let user = Value::map([
+            ("NODES_PER_BLOCK", Value::Int(1)),
+            ("ACCOUNT_ID", Value::str("1")),
+            ("PARTITION", Value::str("gpu")),
+        ]);
+        let err = mep_schema().validate(&user).unwrap_err();
+        assert!(err.to_string().contains("PARTITION"));
+    }
+
+    #[test]
+    fn enum_constrains_values() {
+        let schema = Schema::compile(&Value::map([(
+            "enum",
+            Value::List(vec![Value::str("cpu"), Value::str("gpu")]),
+        )]))
+        .unwrap();
+        schema.validate(&Value::str("cpu")).unwrap();
+        assert!(schema.validate(&Value::str("bigmem")).is_err());
+    }
+
+    #[test]
+    fn arrays_validate_items() {
+        let schema = Schema::compile(&Value::map([
+            ("type", Value::str("array")),
+            ("items", Value::map([("type", Value::str("integer"))])),
+        ]))
+        .unwrap();
+        schema.validate(&Value::List(vec![Value::Int(1), Value::Int(2)])).unwrap();
+        let err = schema
+            .validate(&Value::List(vec![Value::Int(1), Value::str("x")]))
+            .unwrap_err();
+        assert!(err.to_string().contains("[1]"), "{err}");
+    }
+
+    #[test]
+    fn number_accepts_int_and_float() {
+        let schema = Schema::compile(&Value::map([("type", Value::str("number"))])).unwrap();
+        schema.validate(&Value::Int(3)).unwrap();
+        schema.validate(&Value::Float(3.5)).unwrap();
+        assert!(schema.validate(&Value::str("3")).is_err());
+    }
+
+    #[test]
+    fn string_length_limits() {
+        let schema = Schema::compile(&Value::map([
+            ("type", Value::str("string")),
+            ("minLength", Value::Int(2)),
+            ("maxLength", Value::Int(4)),
+        ]))
+        .unwrap();
+        schema.validate(&Value::str("abc")).unwrap();
+        assert!(schema.validate(&Value::str("a")).is_err());
+        assert!(schema.validate(&Value::str("abcde")).is_err());
+    }
+
+    #[test]
+    fn compile_rejects_malformed_schemas() {
+        assert!(Schema::compile(&Value::Int(1)).is_err());
+        assert!(Schema::compile(&Value::map([("type", Value::str("quantum"))])).is_err());
+        assert!(Schema::compile(&Value::map([("required", Value::str("x"))])).is_err());
+        assert!(Schema::compile(&Value::map([("frobnicate", Value::Int(1))])).is_err());
+        assert!(Schema::compile(&Value::map([("enum", Value::List(vec![]))])).is_err());
+        assert!(Schema::compile(&Value::map([("pattern", Value::str("(unclosed"))])).is_err());
+    }
+
+    #[test]
+    fn schema_from_yaml_text() {
+        // Schemas can live in the same mini-YAML file as the template.
+        let text = "type: object\nproperties:\n  PARTITION:\n    type: string\n    enum: [cpu, gpu]\nrequired: [PARTITION]\n";
+        let schema = Schema::compile(&crate::yaml::parse_yaml(text).unwrap()).unwrap();
+        schema
+            .validate(&Value::map([("PARTITION", Value::str("gpu"))]))
+            .unwrap();
+        assert!(schema.validate(&Value::map([] as [(&str, Value); 0])).is_err());
+    }
+
+    #[test]
+    fn untyped_schema_accepts_anything() {
+        let schema = Schema::compile(&Value::map([] as [(&str, Value); 0])).unwrap();
+        schema.validate(&Value::Int(1)).unwrap();
+        schema.validate(&Value::str("x")).unwrap();
+        schema.validate(&Value::None).unwrap();
+    }
+}

@@ -1,0 +1,332 @@
+//! A Jinja-subset template engine.
+//!
+//! Multi-user endpoint administrators write configuration templates with
+//! "Jinja template option[s], denoted with double braces. Other Jinja syntax
+//! is supported with the use of a default property" (§IV-A.3, Listing 9).
+//! This engine implements exactly that subset:
+//!
+//! - `{{ NAME }}` — substitute the variable `NAME` from the user config;
+//! - `{{ NAME|default("text") }}` / `{{ NAME|default(42) }}` /
+//!   `{{ NAME|default('x') }}` — substitute, falling back to the default
+//!   when the variable is absent;
+//! - `{{ NAME|lower }}`, `{{ NAME|upper }}` — common transformations;
+//!   filters chain left-to-right (`{{ N|default("A")|lower }}`).
+//!
+//! Rendering a template with an *undefined* variable and no default is an
+//! error (Jinja's StrictUndefined), because a silently-empty scheduler
+//! option is how a user ends up on the wrong partition.
+//!
+//! [`Template::variables`] reports the variables a template consumes, which
+//! the MEP uses to cross-check the administrator's schema.
+
+use std::collections::BTreeSet;
+
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::value::Value;
+
+/// A parsed template.
+#[derive(Debug, Clone)]
+pub struct Template {
+    segments: Vec<Segment>,
+    source: String,
+}
+
+#[derive(Debug, Clone)]
+enum Segment {
+    Literal(String),
+    Subst { var: String, filters: Vec<Filter> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Filter {
+    Default(Value),
+    Lower,
+    Upper,
+}
+
+impl Template {
+    /// Parse template text. Unbalanced `{{`/`}}` is an error.
+    pub fn parse(text: &str) -> GcxResult<Self> {
+        let mut segments = Vec::new();
+        let mut rest = text;
+        while let Some(start) = rest.find("{{") {
+            if !rest[..start].is_empty() {
+                segments.push(Segment::Literal(rest[..start].to_string()));
+            }
+            let after = &rest[start + 2..];
+            let end = after.find("}}").ok_or_else(|| {
+                GcxError::Parse("template: unterminated '{{'".into())
+            })?;
+            let expr = &after[..end];
+            segments.push(parse_expr(expr)?);
+            rest = &after[end + 2..];
+        }
+        if rest.contains("}}") {
+            return Err(GcxError::Parse("template: '}}' without matching '{{'".into()));
+        }
+        if !rest.is_empty() {
+            segments.push(Segment::Literal(rest.to_string()));
+        }
+        Ok(Self { segments, source: text.to_string() })
+    }
+
+    /// The original template text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Names of all variables referenced by the template.
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Subst { var, .. } => Some(var.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Names of variables that have no `default` filter (and so must be
+    /// supplied by the user config).
+    pub fn required_variables(&self) -> BTreeSet<String> {
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Subst { var, filters }
+                    if !filters.iter().any(|f| matches!(f, Filter::Default(_))) =>
+                {
+                    Some(var.clone())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render against `vars` (must be a `Value::Map` or `Value::None` for
+    /// "no variables").
+    pub fn render(&self, vars: &Value) -> GcxResult<String> {
+        let map = match vars {
+            Value::Map(m) => Some(m),
+            Value::None => None,
+            other => {
+                return Err(GcxError::InvalidConfig(format!(
+                    "template variables must be a dict, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let mut out = String::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Literal(s) => out.push_str(s),
+                Segment::Subst { var, filters } => {
+                    let mut val = map.and_then(|m| m.get(var)).cloned();
+                    for f in filters {
+                        val = apply_filter(f, val)?;
+                    }
+                    match val {
+                        Some(v) => out.push_str(&render_value(&v)),
+                        None => {
+                            return Err(GcxError::InvalidConfig(format!(
+                                "template variable '{var}' is undefined and has no default"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn apply_filter(f: &Filter, val: Option<Value>) -> GcxResult<Option<Value>> {
+    Ok(match f {
+        Filter::Default(d) => Some(val.unwrap_or_else(|| d.clone())),
+        Filter::Lower => val.map(|v| Value::Str(render_value(&v).to_lowercase())),
+        Filter::Upper => val.map(|v| Value::Str(render_value(&v).to_uppercase())),
+    })
+}
+
+/// Values render Jinja-style: strings bare, numbers plainly.
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn parse_expr(expr: &str) -> GcxResult<Segment> {
+    let mut parts = split_pipes(expr);
+    let var_part = parts.remove(0).trim().to_string();
+    if var_part.is_empty() || !is_identifier(&var_part) {
+        return Err(GcxError::Parse(format!(
+            "template: invalid variable name '{var_part}'"
+        )));
+    }
+    let mut filters = Vec::new();
+    for p in parts {
+        let p = p.trim();
+        if p == "lower" {
+            filters.push(Filter::Lower);
+        } else if p == "upper" {
+            filters.push(Filter::Upper);
+        } else if let Some(arg) = p.strip_prefix("default(").and_then(|r| r.strip_suffix(')')) {
+            filters.push(Filter::Default(parse_default_arg(arg.trim())?));
+        } else {
+            return Err(GcxError::Parse(format!("template: unsupported filter '{p}'")));
+        }
+    }
+    Ok(Segment::Subst { var: var_part, filters })
+}
+
+/// Split on `|` that are not inside quotes.
+fn split_pipes(expr: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in expr.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '|' if !in_single && !in_double => {
+                out.push(&expr[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&expr[start..]);
+    out
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_default_arg(arg: &str) -> GcxResult<Value> {
+    if (arg.starts_with('"') && arg.ends_with('"') && arg.len() >= 2)
+        || (arg.starts_with('\'') && arg.ends_with('\'') && arg.len() >= 2)
+    {
+        return Ok(Value::Str(arg[1..arg.len() - 1].to_string()));
+    }
+    if let Ok(i) = arg.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = arg.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    match arg {
+        "true" | "True" => Ok(Value::Bool(true)),
+        "false" | "False" => Ok(Value::Bool(false)),
+        _ => Err(GcxError::Parse(format!(
+            "template: invalid default argument '{arg}'"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(pairs: &[(&str, Value)]) -> Value {
+        Value::map(pairs.iter().map(|(k, v)| (k.to_string(), v.clone())))
+    }
+
+    #[test]
+    fn listing9_template_renders() {
+        let text = "engine:\n  nodes_per_block: {{ NODES_PER_BLOCK }}\nprovider:\n  account: {{ ACCOUNT_ID }}\n  walltime: {{ WALLTIME|default(\"00:30:00\") }}\n";
+        let t = Template::parse(text).unwrap();
+        // Listing 10's user config.
+        let user = vars(&[
+            ("NODES_PER_BLOCK", Value::Int(64)),
+            ("ACCOUNT_ID", Value::str("314159265")),
+            ("WALLTIME", Value::str("00:20:00")),
+        ]);
+        let rendered = t.render(&user).unwrap();
+        assert!(rendered.contains("nodes_per_block: 64"));
+        assert!(rendered.contains("account: 314159265"));
+        assert!(rendered.contains("walltime: 00:20:00"));
+    }
+
+    #[test]
+    fn default_applies_when_missing() {
+        let t = Template::parse("w: {{ WALLTIME|default('00:30:00') }}").unwrap();
+        let rendered = t.render(&vars(&[])).unwrap();
+        assert_eq!(rendered, "w: 00:30:00");
+    }
+
+    #[test]
+    fn missing_without_default_is_error() {
+        let t = Template::parse("a: {{ ACCOUNT }}").unwrap();
+        let err = t.render(&vars(&[])).unwrap_err();
+        assert!(err.to_string().contains("ACCOUNT"));
+        // Also with Value::None as the variable set.
+        assert!(t.render(&Value::None).is_err());
+    }
+
+    #[test]
+    fn filters_chain() {
+        let t = Template::parse("{{ X|default('MiXeD')|lower }}").unwrap();
+        assert_eq!(t.render(&vars(&[])).unwrap(), "mixed");
+        let t = Template::parse("{{ X|upper }}").unwrap();
+        assert_eq!(t.render(&vars(&[("X", Value::str("ab"))])).unwrap(), "AB");
+    }
+
+    #[test]
+    fn numeric_and_bool_defaults() {
+        let t = Template::parse("{{ N|default(4) }}-{{ B|default(true) }}").unwrap();
+        assert_eq!(t.render(&vars(&[])).unwrap(), "4-True");
+    }
+
+    #[test]
+    fn variables_and_required_variables() {
+        let t = Template::parse("{{ A }} {{ B|default(1) }} {{ A }}").unwrap();
+        let all: Vec<_> = t.variables().into_iter().collect();
+        assert_eq!(all, ["A", "B"]);
+        let req: Vec<_> = t.required_variables().into_iter().collect();
+        assert_eq!(req, ["A"]);
+    }
+
+    #[test]
+    fn literal_text_passes_through() {
+        let t = Template::parse("no substitutions here").unwrap();
+        assert_eq!(t.render(&Value::None).unwrap(), "no substitutions here");
+        assert_eq!(t.variables().len(), 0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Template::parse("{{ A ").is_err());
+        assert!(Template::parse("A }}").is_err());
+        assert!(Template::parse("{{ 9badname }}").is_err());
+        assert!(Template::parse("{{ A|rot13 }}").is_err());
+        assert!(Template::parse("{{ A|default(oops) }}").is_err());
+        assert!(Template::parse("{{ }}").is_err());
+    }
+
+    #[test]
+    fn non_map_vars_rejected() {
+        let t = Template::parse("{{ A }}").unwrap();
+        assert!(t.render(&Value::Int(3)).is_err());
+    }
+
+    #[test]
+    fn pipe_inside_default_string_is_literal() {
+        let t = Template::parse("{{ A|default('x|y') }}").unwrap();
+        assert_eq!(t.render(&vars(&[])).unwrap(), "x|y");
+    }
+
+    #[test]
+    fn value_types_render_jinja_style() {
+        let t = Template::parse("{{ N }}").unwrap();
+        assert_eq!(t.render(&vars(&[("N", Value::Int(64))])).unwrap(), "64");
+        assert_eq!(t.render(&vars(&[("N", Value::Bool(false))])).unwrap(), "False");
+        assert_eq!(t.render(&vars(&[("N", Value::Float(1.5))])).unwrap(), "1.5");
+    }
+}

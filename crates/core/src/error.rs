@@ -1,0 +1,140 @@
+//! The shared error type for the `gcx` workspace.
+
+use std::fmt;
+
+use crate::ids::{EndpointId, FunctionId, TaskId};
+
+/// Convenient result alias used across the workspace.
+pub type GcxResult<T> = Result<T, GcxError>;
+
+/// Errors surfaced by any layer of the gcx stack.
+///
+/// The variants mirror the failure classes a Globus Compute user sees:
+/// authentication/authorization failures from the web service, payload-size
+/// rejections, missing records, endpoint-side execution failures, and
+/// internal plumbing errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GcxError {
+    /// The caller's token was missing, expired, or invalid.
+    Unauthenticated(String),
+    /// The caller is authenticated but not allowed to perform the action
+    /// (identity-mapping denial, auth-policy violation, function not in the
+    /// endpoint's allowed list, …).
+    Forbidden(String),
+    /// A referenced task does not exist.
+    TaskNotFound(TaskId),
+    /// A referenced function does not exist.
+    FunctionNotFound(FunctionId),
+    /// A referenced endpoint does not exist.
+    EndpointNotFound(EndpointId),
+    /// The serialized payload exceeded the service limit (10 MB in the
+    /// production service, §V of the paper).
+    PayloadTooLarge { size: usize, limit: usize },
+    /// A user-supplied configuration failed schema validation or template
+    /// rendering.
+    InvalidConfig(String),
+    /// The task's function raised an error while executing on the worker.
+    Execution(String),
+    /// The task was killed because it exceeded its walltime.
+    WalltimeExceeded { limit_ms: u64 },
+    /// The batch scheduler rejected or killed a job.
+    Scheduler(String),
+    /// A message-queue level failure (queue missing, connection closed…).
+    Queue(String),
+    /// Serialization / deserialization failure in the wire codec.
+    Codec(String),
+    /// A parse error from one of the mini-languages (pyfn, shell, YAML,
+    /// templates, identity-mapping expressions).
+    Parse(String),
+    /// The task was cancelled before completion.
+    Cancelled(TaskId),
+    /// The operation timed out waiting for a result or resource.
+    Timeout(String),
+    /// The component has been shut down and can no longer serve requests.
+    ShuttingDown,
+    /// Catch-all for internal invariant violations.
+    Internal(String),
+}
+
+impl fmt::Display for GcxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcxError::Unauthenticated(m) => write!(f, "unauthenticated: {m}"),
+            GcxError::Forbidden(m) => write!(f, "forbidden: {m}"),
+            GcxError::TaskNotFound(id) => write!(f, "task not found: {id}"),
+            GcxError::FunctionNotFound(id) => write!(f, "function not found: {id}"),
+            GcxError::EndpointNotFound(id) => write!(f, "endpoint not found: {id}"),
+            GcxError::PayloadTooLarge { size, limit } => {
+                write!(f, "payload of {size} bytes exceeds the {limit} byte limit")
+            }
+            GcxError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            GcxError::Execution(m) => write!(f, "task execution failed: {m}"),
+            GcxError::WalltimeExceeded { limit_ms } => {
+                write!(f, "walltime of {limit_ms} ms exceeded")
+            }
+            GcxError::Scheduler(m) => write!(f, "scheduler error: {m}"),
+            GcxError::Queue(m) => write!(f, "queue error: {m}"),
+            GcxError::Codec(m) => write!(f, "codec error: {m}"),
+            GcxError::Parse(m) => write!(f, "parse error: {m}"),
+            GcxError::Cancelled(id) => write!(f, "task {id} was cancelled"),
+            GcxError::Timeout(m) => write!(f, "timed out: {m}"),
+            GcxError::ShuttingDown => write!(f, "component is shutting down"),
+            GcxError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GcxError {}
+
+impl GcxError {
+    /// True if retrying the same request later could succeed (transient
+    /// failures: timeouts, queue hiccups, shutdown races).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            GcxError::Timeout(_) | GcxError::Queue(_) | GcxError::ShuttingDown
+        )
+    }
+
+    /// True if the failure was caused by the user's own input (won't succeed
+    /// on retry without changes).
+    pub fn is_user_error(&self) -> bool {
+        matches!(
+            self,
+            GcxError::Unauthenticated(_)
+                | GcxError::Forbidden(_)
+                | GcxError::PayloadTooLarge { .. }
+                | GcxError::InvalidConfig(_)
+                | GcxError::Parse(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = GcxError::PayloadTooLarge { size: 11, limit: 10 };
+        assert_eq!(e.to_string(), "payload of 11 bytes exceeds the 10 byte limit");
+        let e = GcxError::WalltimeExceeded { limit_ms: 1000 };
+        assert!(e.to_string().contains("1000 ms"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(GcxError::Timeout("x".into()).is_retryable());
+        assert!(GcxError::Queue("x".into()).is_retryable());
+        assert!(!GcxError::Forbidden("x".into()).is_retryable());
+        assert!(!GcxError::Execution("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn user_error_classification() {
+        assert!(GcxError::InvalidConfig("bad".into()).is_user_error());
+        assert!(GcxError::Parse("bad".into()).is_user_error());
+        assert!(!GcxError::Internal("bug".into()).is_user_error());
+        assert!(!GcxError::Timeout("slow".into()).is_user_error());
+    }
+}

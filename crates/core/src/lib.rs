@@ -1,0 +1,50 @@
+//! # gcx-core
+//!
+//! Core vocabulary types shared by every crate in the `gcx` workspace — the
+//! Rust reproduction of the Globus Compute ecosystem described in the SC24
+//! paper *"Establishing a High-Performance and Productive Ecosystem for
+//! Distributed Execution of Python Functions Using Globus Compute"*.
+//!
+//! This crate provides:
+//!
+//! - [`ids`] — UUIDv4 generation and strongly-typed identifiers (tasks,
+//!   functions, endpoints, identities, batch jobs…).
+//! - [`clock`] — the [`clock::Clock`] abstraction with a wall-clock
+//!   implementation and a deterministic virtual clock used by simulations.
+//! - [`value`] — the dynamically-typed [`value::Value`] exchanged between
+//!   clients, the cloud service, and workers (the stand-in for pickled Python
+//!   objects).
+//! - [`codec`] — the compact self-describing binary envelope used to "ship"
+//!   values over the simulated wire, with byte accounting.
+//! - [`task`] — the task model: specs, states, results, and the legal state
+//!   machine transitions.
+//! - [`function`] — registered function records and bodies (mini-Python,
+//!   shell, MPI).
+//! - [`respec`] — the machine-agnostic `resource_specification` used by
+//!   `MPIFunction` (mirrors Parsl's representation).
+//! - [`shellres`] — `ShellResult`, the return type of shell and MPI
+//!   functions.
+//! - [`metrics`] — lightweight atomic counters and histograms used by the
+//!   benchmark harness to meter bytes over the wire, request counts, etc.
+//! - [`error`] — the shared error type.
+
+pub mod clock;
+pub mod codec;
+pub mod error;
+pub mod function;
+pub mod ids;
+pub mod metrics;
+pub mod relite;
+pub mod respec;
+pub mod shellres;
+pub mod task;
+pub mod value;
+
+pub use clock::{Clock, SharedClock, SystemClock, VirtualClock};
+pub use error::{GcxError, GcxResult};
+pub use function::{FunctionBody, FunctionRecord};
+pub use ids::{BlockId, EndpointId, FunctionId, IdentityId, JobId, TaskId, Uuid};
+pub use respec::ResourceSpec;
+pub use shellres::ShellResult;
+pub use task::{TaskRecord, TaskResult, TaskSpec, TaskState};
+pub use value::Value;

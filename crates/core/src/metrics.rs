@@ -1,0 +1,279 @@
+//! Lightweight metrics: atomic counters and fixed-bucket histograms.
+//!
+//! The paper's claims about the executor interface are quantitative —
+//! "far more efficient in terms of bytes over the wire, time spent waiting
+//! for results" (§III-A) — so the broker, cloud service, and SDK meter their
+//! traffic through these primitives and the benchmark harness reads them out.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can move both ways (e.g. queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// New gauge at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Increase by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrease by `n` (saturating at zero).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram with power-of-two latency buckets (microsecond granularity up
+/// to ~17 minutes). Lock-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 32],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_for(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(31)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_for(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / c as f64
+        }
+    }
+
+    /// Approximate quantile (upper bound of the bucket containing it).
+    /// `q` in [0, 1].
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i >= 63 { u64::MAX } else { (1u64 << i).saturating_sub(1).max(1) };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A named registry of counters and histograms shared by one component.
+///
+/// Cloning the registry shares the underlying metrics (it is an `Arc`
+/// internally), so producers and the benchmark harness observe the same
+/// counters.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = self.inner.counters.write();
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.inner.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut w = self.inner.histograms.write();
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Snapshot of all counter values, sorted by name.
+    pub fn counter_snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Reset every counter to zero (between benchmark phases).
+    pub fn reset_counters(&self) {
+        for c in self.inner.counters.read().values() {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_saturates_at_zero() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(5);
+        assert_eq!(g.get(), 0);
+        g.add(2);
+        g.sub(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 203.0).abs() < 1.0);
+        assert!(h.quantile(0.5) <= 7);
+        assert!(h.quantile(1.0) >= 1000 / 2);
+        assert_eq!(Histogram::new().quantile(0.9), 0);
+    }
+
+    #[test]
+    fn registry_shares_named_metrics() {
+        let r = MetricsRegistry::new();
+        r.counter("bytes").add(10);
+        let r2 = r.clone();
+        r2.counter("bytes").add(5);
+        assert_eq!(r.counter("bytes").get(), 15);
+        let snap = r.counter_snapshot();
+        assert_eq!(snap.get("bytes"), Some(&15));
+        r.reset_counters();
+        assert_eq!(r.counter("bytes").get(), 0);
+    }
+}

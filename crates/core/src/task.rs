@@ -1,0 +1,349 @@
+//! The task model: specifications, lifecycle states, and results.
+//!
+//! A *task* is one invocation of a registered function on an endpoint. The
+//! web service buffers tasks until the endpoint is online, the endpoint
+//! executes them, and results are buffered in the cloud until retrieved
+//! (§II "Functions"). The state machine below captures the legal lifecycle;
+//! every transition is checked so illegal updates (e.g. a result arriving
+//! for a cancelled task) surface as errors rather than silent corruption.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::TimeMs;
+use crate::error::{GcxError, GcxResult};
+use crate::ids::{EndpointId, FunctionId, IdentityId, TaskId};
+use crate::respec::ResourceSpec;
+use crate::value::Value;
+
+/// A task submission: which function to run, where, with what arguments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Unique id (minted by the SDK at submit time so the client can hold a
+    /// future before the round trip completes).
+    pub task_id: TaskId,
+    /// The registered function to invoke.
+    pub function_id: FunctionId,
+    /// The target endpoint (a single-user endpoint or a multi-user endpoint).
+    pub endpoint_id: EndpointId,
+    /// Positional arguments.
+    pub args: Vec<Value>,
+    /// Keyword arguments.
+    pub kwargs: Value,
+    /// MPI resource requirements (empty for non-MPI tasks).
+    pub resource_spec: ResourceSpec,
+    /// User endpoint configuration for multi-user endpoints (hash of this
+    /// selects/spawns the user endpoint, §IV-B); `Value::None` otherwise.
+    pub user_endpoint_config: Value,
+}
+
+impl TaskSpec {
+    /// A minimal spec invoking `function_id` on `endpoint_id` with no
+    /// arguments.
+    pub fn new(function_id: FunctionId, endpoint_id: EndpointId) -> Self {
+        Self {
+            task_id: TaskId::random(),
+            function_id,
+            endpoint_id,
+            args: Vec::new(),
+            kwargs: Value::map([] as [(&str, Value); 0]),
+            resource_spec: ResourceSpec::default(),
+            user_endpoint_config: Value::None,
+        }
+    }
+
+    /// Pack to the wire form used on task queues.
+    pub fn to_value(&self) -> Value {
+        Value::map([
+            ("task_id", Value::str(self.task_id.to_string())),
+            ("function_id", Value::str(self.function_id.to_string())),
+            ("endpoint_id", Value::str(self.endpoint_id.to_string())),
+            ("args", Value::List(self.args.clone())),
+            ("kwargs", self.kwargs.clone()),
+            ("resource_spec", self.resource_spec.to_value()),
+            ("user_endpoint_config", self.user_endpoint_config.clone()),
+        ])
+    }
+
+    /// Decode the wire form.
+    pub fn from_value(v: &Value) -> GcxResult<Self> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| GcxError::Codec("task spec must be a map".into()))?;
+        let id_field = |k: &str| -> GcxResult<crate::ids::Uuid> {
+            m.get(k)
+                .and_then(Value::as_str)
+                .ok_or_else(|| GcxError::Codec(format!("task spec missing '{k}'")))?
+                .parse()
+                .map_err(|e| GcxError::Codec(format!("task spec bad '{k}': {e}")))
+        };
+        Ok(Self {
+            task_id: TaskId(id_field("task_id")?),
+            function_id: FunctionId(id_field("function_id")?),
+            endpoint_id: EndpointId(id_field("endpoint_id")?),
+            args: m
+                .get("args")
+                .and_then(Value::as_list)
+                .map(<[Value]>::to_vec)
+                .unwrap_or_default(),
+            kwargs: m.get("kwargs").cloned().unwrap_or(Value::None),
+            resource_spec: match m.get("resource_spec") {
+                Some(v) if v.as_map().is_some_and(|m| !m.is_empty()) => {
+                    ResourceSpec::from_value(v).map_err(|e| GcxError::Codec(e.to_string()))?
+                }
+                _ => ResourceSpec::default(),
+            },
+            user_endpoint_config: m.get("user_endpoint_config").cloned().unwrap_or(Value::None),
+        })
+    }
+}
+
+/// Task lifecycle states as reported by the web service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Accepted by the web service; waiting for the endpoint to be online
+    /// and to fetch it.
+    Received,
+    /// Delivered to the endpoint; waiting for resources/worker capacity.
+    WaitingForNodes,
+    /// Executing on a worker.
+    Running,
+    /// Finished successfully; result buffered in the cloud.
+    Success,
+    /// Finished with an error; exception buffered in the cloud.
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl TaskState {
+    /// Terminal states never transition again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, TaskState::Success | TaskState::Failed | TaskState::Cancelled)
+    }
+
+    /// Whether `self → next` is a legal lifecycle transition.
+    pub fn can_transition_to(&self, next: TaskState) -> bool {
+        use TaskState::*;
+        if self.is_terminal() {
+            return false;
+        }
+        matches!(
+            (self, next),
+            (Received, WaitingForNodes | Running | Failed | Cancelled)
+                | (WaitingForNodes, Running | Failed | Cancelled)
+                | (Running, Success | Failed | Cancelled)
+        )
+    }
+
+    /// Lowercase label matching the REST API's status strings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TaskState::Received => "received",
+            TaskState::WaitingForNodes => "waiting-for-nodes",
+            TaskState::Running => "running",
+            TaskState::Success => "success",
+            TaskState::Failed => "failed",
+            TaskState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// The outcome of a task: a value or an error description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskResult {
+    /// Successful completion with the function's return value.
+    Ok(Value),
+    /// Failure with the (stringified) exception.
+    Err(String),
+}
+
+impl TaskResult {
+    /// Pack to the wire form used on result queues.
+    pub fn to_value(&self) -> Value {
+        match self {
+            TaskResult::Ok(v) => Value::map([("ok", v.clone())]),
+            TaskResult::Err(e) => Value::map([("err", Value::str(e))]),
+        }
+    }
+
+    /// Decode the wire form.
+    pub fn from_value(v: &Value) -> GcxResult<Self> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| GcxError::Codec("task result must be a map".into()))?;
+        if let Some(ok) = m.get("ok") {
+            Ok(TaskResult::Ok(ok.clone()))
+        } else if let Some(err) = m.get("err") {
+            Ok(TaskResult::Err(
+                err.as_str()
+                    .ok_or_else(|| GcxError::Codec("err must be a string".into()))?
+                    .to_string(),
+            ))
+        } else {
+            Err(GcxError::Codec("task result missing ok/err".into()))
+        }
+    }
+
+    /// Convert to a `GcxResult<Value>` as the SDK's future resolves it.
+    pub fn into_result(self) -> GcxResult<Value> {
+        match self {
+            TaskResult::Ok(v) => Ok(v),
+            TaskResult::Err(e) => Err(GcxError::Execution(e)),
+        }
+    }
+}
+
+/// The web service's durable record of a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The submitted spec.
+    pub spec: TaskSpec,
+    /// The submitting identity.
+    pub owner: IdentityId,
+    /// Current lifecycle state.
+    pub state: TaskState,
+    /// Result, present once terminal.
+    pub result: Option<TaskResult>,
+    /// Submission timestamp (cloud clock).
+    pub submitted_at: TimeMs,
+    /// Completion timestamp, once terminal.
+    pub completed_at: Option<TimeMs>,
+}
+
+impl TaskRecord {
+    /// Create a fresh record in [`TaskState::Received`].
+    pub fn new(spec: TaskSpec, owner: IdentityId, now: TimeMs) -> Self {
+        Self {
+            spec,
+            owner,
+            state: TaskState::Received,
+            result: None,
+            submitted_at: now,
+            completed_at: None,
+        }
+    }
+
+    /// Apply a state transition, enforcing the lifecycle state machine.
+    pub fn transition(&mut self, next: TaskState, now: TimeMs) -> GcxResult<()> {
+        if !self.state.can_transition_to(next) {
+            return Err(GcxError::Internal(format!(
+                "illegal task transition {} -> {} for {}",
+                self.state.label(),
+                next.label(),
+                self.spec.task_id
+            )));
+        }
+        self.state = next;
+        if next.is_terminal() {
+            self.completed_at = Some(now);
+        }
+        Ok(())
+    }
+
+    /// Record a result, moving to `Success`/`Failed` as appropriate.
+    pub fn complete(&mut self, result: TaskResult, now: TimeMs) -> GcxResult<()> {
+        let next = match &result {
+            TaskResult::Ok(_) => TaskState::Success,
+            TaskResult::Err(_) => TaskState::Failed,
+        };
+        self.transition(next, now)?;
+        self.result = Some(result);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TaskSpec {
+        let mut s = TaskSpec::new(FunctionId::random(), EndpointId::random());
+        s.args = vec![Value::Int(1), Value::str("x")];
+        s.kwargs = Value::map([("k", Value::Bool(true))]);
+        s.resource_spec = ResourceSpec::nodes_ranks(2, 2);
+        s
+    }
+
+    #[test]
+    fn spec_value_roundtrip() {
+        let s = spec();
+        let v = s.to_value();
+        let back = TaskSpec::from_value(&v).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn spec_roundtrip_through_codec() {
+        let s = spec();
+        let bytes = crate::codec::encode(&s.to_value());
+        let back = TaskSpec::from_value(&crate::codec::decode(&bytes).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn spec_from_value_rejects_garbage() {
+        assert!(TaskSpec::from_value(&Value::Int(1)).is_err());
+        let v = Value::map([("task_id", Value::str("nope"))]);
+        assert!(TaskSpec::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn state_machine_legal_paths() {
+        use TaskState::*;
+        assert!(Received.can_transition_to(WaitingForNodes));
+        assert!(Received.can_transition_to(Running));
+        assert!(WaitingForNodes.can_transition_to(Running));
+        assert!(Running.can_transition_to(Success));
+        assert!(Running.can_transition_to(Failed));
+        assert!(Received.can_transition_to(Cancelled));
+    }
+
+    #[test]
+    fn state_machine_illegal_paths() {
+        use TaskState::*;
+        assert!(!Success.can_transition_to(Running));
+        assert!(!Failed.can_transition_to(Success));
+        assert!(!Cancelled.can_transition_to(Running));
+        assert!(!Running.can_transition_to(Received));
+        assert!(!Success.can_transition_to(Success));
+        assert!(!WaitingForNodes.can_transition_to(Success), "must pass through Running");
+    }
+
+    #[test]
+    fn record_lifecycle() {
+        let mut r = TaskRecord::new(spec(), IdentityId::random(), 100);
+        assert_eq!(r.state, TaskState::Received);
+        r.transition(TaskState::Running, 110).unwrap();
+        r.complete(TaskResult::Ok(Value::Int(42)), 120).unwrap();
+        assert_eq!(r.state, TaskState::Success);
+        assert_eq!(r.completed_at, Some(120));
+        // Completing twice is illegal.
+        assert!(r.complete(TaskResult::Ok(Value::Int(1)), 130).is_err());
+    }
+
+    #[test]
+    fn failure_result_becomes_failed_state() {
+        let mut r = TaskRecord::new(spec(), IdentityId::random(), 0);
+        r.transition(TaskState::Running, 1).unwrap();
+        r.complete(TaskResult::Err("boom".into()), 2).unwrap();
+        assert_eq!(r.state, TaskState::Failed);
+        assert!(matches!(
+            r.result.clone().unwrap().into_result(),
+            Err(GcxError::Execution(m)) if m == "boom"
+        ));
+    }
+
+    #[test]
+    fn result_value_roundtrip() {
+        for r in [TaskResult::Ok(Value::Int(5)), TaskResult::Err("e".into())] {
+            assert_eq!(TaskResult::from_value(&r.to_value()).unwrap(), r);
+        }
+        assert!(TaskResult::from_value(&Value::map([("neither", Value::None)])).is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TaskState::WaitingForNodes.label(), "waiting-for-nodes");
+        assert_eq!(TaskState::Success.label(), "success");
+    }
+}

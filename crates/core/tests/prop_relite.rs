@@ -1,0 +1,162 @@
+//! Differential property test: `relite` (backtracking) vs an independent
+//! Brzozowski-derivative regex matcher, over a generated pattern grammar
+//! and exhaustive short inputs.
+
+use gcx_core::relite::Regex;
+use proptest::prelude::*;
+
+/// A reference regex AST, kept deliberately independent of relite's.
+#[derive(Debug, Clone, PartialEq)]
+enum R {
+    Empty,          // matches ""
+    Never,          // matches nothing
+    Char(char),
+    Any,
+    Concat(Box<R>, Box<R>),
+    Alt(Box<R>, Box<R>),
+    Star(Box<R>),
+    Opt(Box<R>),
+    Plus(Box<R>),
+}
+
+impl R {
+    /// Does this regex accept the empty string?
+    fn nullable(&self) -> bool {
+        match self {
+            R::Empty => true,
+            R::Never | R::Char(_) | R::Any => false,
+            R::Concat(a, b) => a.nullable() && b.nullable(),
+            R::Alt(a, b) => a.nullable() || b.nullable(),
+            R::Star(_) | R::Opt(_) => true,
+            R::Plus(a) => a.nullable(),
+        }
+    }
+
+    /// Brzozowski derivative with respect to `c`.
+    fn deriv(&self, c: char) -> R {
+        match self {
+            R::Empty | R::Never => R::Never,
+            R::Char(x) => {
+                if *x == c {
+                    R::Empty
+                } else {
+                    R::Never
+                }
+            }
+            R::Any => R::Empty,
+            R::Concat(a, b) => {
+                let left = R::Concat(Box::new(a.deriv(c)), b.clone());
+                if a.nullable() {
+                    R::Alt(Box::new(left), Box::new(b.deriv(c)))
+                } else {
+                    left
+                }
+            }
+            R::Alt(a, b) => R::Alt(Box::new(a.deriv(c)), Box::new(b.deriv(c))),
+            R::Star(a) => R::Concat(Box::new(a.deriv(c)), Box::new(R::Star(a.clone()))),
+            R::Opt(a) => a.deriv(c),
+            R::Plus(a) => R::Concat(Box::new(a.deriv(c)), Box::new(R::Star(a.clone()))),
+        }
+    }
+
+    fn matches(&self, s: &str) -> bool {
+        let mut r = self.clone();
+        for c in s.chars() {
+            r = r.deriv(c);
+            if r == R::Never {
+                // A cheap (incomplete) dead-state check; correctness does not
+                // depend on it, only speed.
+                return false;
+            }
+        }
+        r.nullable()
+    }
+
+    /// Render as relite pattern text. Parenthesize everything so precedence
+    /// is never ambiguous.
+    fn to_pattern(&self) -> String {
+        match self {
+            R::Empty => String::new(),
+            R::Never => "[]".to_string(), // empty class matches nothing
+            R::Char(c) => c.to_string(),
+            R::Any => ".".to_string(),
+            R::Concat(a, b) => format!("{}{}", group(a), group(b)),
+            R::Alt(a, b) => format!("({}|{})", a.to_pattern(), b.to_pattern()),
+            R::Star(a) => format!("{}*", group(a)),
+            R::Opt(a) => format!("{}?", group(a)),
+            R::Plus(a) => format!("{}+", group(a)),
+        }
+    }
+}
+
+fn group(r: &R) -> String {
+    match r {
+        R::Char(c) => c.to_string(),
+        R::Any => ".".to_string(),
+        _ => format!("({})", r.to_pattern()),
+    }
+}
+
+fn r_strategy() -> impl Strategy<Value = R> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!['a', 'b', 'c']).prop_map(R::Char),
+        Just(R::Any),
+        Just(R::Empty),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| R::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| R::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| R::Star(Box::new(a))),
+            inner.clone().prop_map(|a| R::Opt(Box::new(a))),
+            inner.prop_map(|a| R::Plus(Box::new(a))),
+        ]
+    })
+}
+
+/// All strings over {a, b, c} up to length `max_len`.
+fn all_strings(max_len: usize) -> Vec<String> {
+    let alphabet = ['a', 'b', 'c'];
+    let mut out = vec![String::new()];
+    let mut frontier = vec![String::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for c in alphabet {
+                let mut t = s.clone();
+                t.push(c);
+                out.push(t.clone());
+                next.push(t);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// relite agrees with the derivative matcher on every input up to
+    /// length 4 for every generated pattern.
+    #[test]
+    fn relite_matches_reference(r in r_strategy()) {
+        let pattern = r.to_pattern();
+        let compiled = Regex::new(&pattern)
+            .unwrap_or_else(|e| panic!("generated pattern '{pattern}' failed to compile: {e}"));
+        for input in all_strings(4) {
+            let expect = r.matches(&input);
+            let got = compiled.is_full_match(&input);
+            prop_assert_eq!(
+                got,
+                expect,
+                "pattern '{}' input '{}': relite={}, reference={}",
+                pattern,
+                input,
+                got,
+                expect
+            );
+        }
+    }
+}

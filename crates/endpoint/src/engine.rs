@@ -1,0 +1,76 @@
+//! The engine abstraction: how an endpoint agent executes tasks on
+//! provisioned resources.
+
+use std::sync::Arc;
+
+use crossbeam_channel::Sender;
+use gcx_core::error::GcxResult;
+use gcx_core::function::FunctionRecord;
+use gcx_core::ids::TaskId;
+use gcx_core::task::{TaskResult, TaskSpec, TaskState};
+use gcx_core::value::Value;
+
+/// A payload transform applied worker-side to task arguments before
+/// execution. This is the hook `gcx-proxystore` uses to resolve transparent
+/// proxies inside the worker process (§V-B) without the endpoint crate
+/// depending on the proxy implementation.
+pub type ValueTransform = Arc<dyn Fn(Value) -> GcxResult<Value> + Send + Sync>;
+
+/// A task ready for execution: the spec plus its resolved function and the
+/// broker delivery tag (acked only after the result is published).
+#[derive(Debug, Clone)]
+pub struct ExecutableTask {
+    /// The submitted spec (arguments restored).
+    pub spec: TaskSpec,
+    /// The resolved function record.
+    pub function: FunctionRecord,
+    /// Broker delivery tag.
+    pub tag: u64,
+}
+
+/// Events an engine emits while executing tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// A task changed state (WaitingForNodes, Running).
+    State(TaskId, TaskState),
+    /// A task finished; `tag` is echoed so the agent can ack the delivery.
+    Done {
+        /// The finished task.
+        task_id: TaskId,
+        /// Delivery tag to ack.
+        tag: u64,
+        /// The outcome.
+        result: TaskResult,
+    },
+}
+
+/// Point-in-time engine load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStatus {
+    /// Tasks queued inside the engine.
+    pub queued: usize,
+    /// Tasks currently executing.
+    pub running: usize,
+    /// Total worker slots currently connected.
+    pub capacity: usize,
+    /// Provisioned blocks currently alive.
+    pub blocks: usize,
+}
+
+/// An execution engine. Submission is non-blocking; completion and state
+/// changes arrive on the event channel supplied at construction.
+pub trait Engine: Send {
+    /// Queue a task for execution.
+    fn submit(&self, task: ExecutableTask) -> GcxResult<()>;
+
+    /// Current load.
+    fn status(&self) -> EngineStatus;
+
+    /// Stop accepting work, release resources, join internal threads.
+    fn shutdown(&mut self);
+}
+
+/// Helper: emit `Done`, tolerating a disconnected receiver during shutdown.
+pub(crate) fn emit(events: &Sender<EngineEvent>, event: EngineEvent) {
+    let _ = events.send(event);
+}

@@ -1,0 +1,36 @@
+//! # gcx-endpoint
+//!
+//! The Globus Compute Agent (§II "Endpoints"): the software a user or
+//! administrator deploys on a resource to expose it to the ecosystem.
+//!
+//! - [`config`] — endpoint configuration parsed from mini-YAML (Listing 5);
+//! - [`provider`] — the Parsl *Provider* abstraction: obtain resources,
+//!   check status, release ([`provider::LocalProvider`] for on-host
+//!   processes, [`provider::BatchProvider`] over the `gcx-batch` scheduler
+//!   simulator, standing in for SlurmProvider/PBSProvider);
+//! - [`worker`] — task execution: mini-Python functions, `ShellFunction`s
+//!   (with sandboxing and walltime), stream capture;
+//! - [`engine`] — the engine abstraction and events;
+//! - [`htex`] — `GlobusComputeEngine`, the pilot-job model wrapping Parsl's
+//!   HighThroughputExecutor: an *interchange* dispatching to per-node
+//!   *managers*, each multiplexing a set of *workers*;
+//! - [`mpi_engine`] — `GlobusMPIEngine` (§III-C.1): dynamic partitioning of
+//!   a batch block so multiple MPI applications run concurrently inside one
+//!   job, with `$PARSL_MPI_PREFIX` resolution;
+//! - [`agent`] — the agent loop connecting an engine to the web service:
+//!   pull tasks, execute, return results/exceptions.
+
+pub mod agent;
+pub mod config;
+pub mod engine;
+pub mod htex;
+pub mod mpi_engine;
+pub mod provider;
+pub mod worker;
+
+pub use agent::{AgentEnv, EndpointAgent};
+pub use config::EndpointConfig;
+pub use engine::{Engine, EngineEvent, ExecutableTask};
+pub use htex::GlobusComputeEngine;
+pub use mpi_engine::GlobusMpiEngine;
+pub use provider::{BatchProvider, BlockHandle, BlockState, LocalProvider, Provider};

@@ -1,0 +1,651 @@
+//! `GlobusMPIEngine` — dynamic partitioning of a batch block for
+//! concurrent MPI applications (§III-C.1).
+//!
+//! "Unlike Python functions that are expected to run on a single node …
+//! MPI applications require multiple MPI ranks launched across multiple
+//! nodes … In a many-task paradigm, as is the case with Globus Compute, the
+//! runtime backend must be capable of executing multiple MPI applications
+//! with varied requirements concurrently within a single batch job.
+//! `GlobusMPIEngine` implements advanced functionality to partition a batch
+//! job dynamically based on user-defined function requirements."
+//!
+//! The engine holds one pilot block of `nodes_per_block` nodes and carves
+//! node subsets out of it per task according to the task's normalized
+//! `resource_specification`. Tasks whose requirement does not fit the
+//! currently free nodes wait; smaller tasks may start ahead of a blocked
+//! larger one (greedy packing — that *is* the dynamic-partitioning win the
+//! `mpi_partitioning` benchmark measures against whole-block serialization).
+//!
+//! When executing, the supplied command is prefixed with
+//! `$PARSL_MPI_PREFIX`, which resolves to the configured launcher prefix
+//! (e.g. `mpiexec -n 4 -host node-001,node-002`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use gcx_core::clock::SharedClock;
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::function::FunctionBody;
+use gcx_core::metrics::MetricsRegistry;
+use gcx_core::respec::NormalizedSpec;
+use gcx_core::shellres::ShellResult;
+use gcx_core::ids::TaskId;
+use gcx_core::task::{TaskResult, TaskState};
+use gcx_shell::mpi::{LauncherKind, MpiLaunchPlan, MpiLauncher};
+use gcx_shell::{format_command, ShellExecutor, Vfs};
+
+use crate::engine::{emit, Engine, EngineEvent, EngineStatus, ExecutableTask, ValueTransform};
+use crate::provider::{BlockHandle, BlockState, Provider};
+use crate::worker::WorkerContext;
+
+/// Configuration for [`GlobusMpiEngine`].
+#[derive(Debug, Clone)]
+pub struct MpiEngineConfig {
+    /// Nodes in the shared batch block (Listing 5's `nodes_per_block`).
+    pub nodes_per_block: u32,
+    /// The MPI launcher (`mpi_launcher: srun` in Listing 5).
+    pub launcher: LauncherKind,
+    /// Retries for tasks lost to a dying block.
+    pub max_retries: u8,
+}
+
+impl Default for MpiEngineConfig {
+    fn default() -> Self {
+        Self { nodes_per_block: 4, launcher: LauncherKind::Mpiexec, max_retries: 1 }
+    }
+}
+
+struct Shared {
+    queued: AtomicUsize,
+    running: AtomicUsize,
+    capacity: AtomicUsize,
+    blocks: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+struct QueuedMpiTask {
+    task: ExecutableTask,
+    spec: NormalizedSpec,
+    retries: u8,
+}
+
+enum SchedulerMsg {
+    Submit(Box<QueuedMpiTask>),
+    Finished {
+        nodes: Vec<String>,
+        generation: u64,
+        task: Box<QueuedMpiTask>,
+        result: TaskResult,
+    },
+}
+
+/// The MPI engine.
+pub struct GlobusMpiEngine {
+    tx: Sender<SchedulerMsg>,
+    shared: Arc<Shared>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl GlobusMpiEngine {
+    /// Start the engine over a provider (which will be asked for one block
+    /// of `nodes_per_block` nodes, re-acquired if it dies).
+    pub fn start(
+        cfg: MpiEngineConfig,
+        provider: Arc<dyn Provider>,
+        vfs: Vfs,
+        clock: SharedClock,
+        metrics: MetricsRegistry,
+        events: Sender<EngineEvent>,
+        transform: Option<ValueTransform>,
+    ) -> Self {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(Shared {
+            queued: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            capacity: AtomicUsize::new(0),
+            blocks: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let sched = Scheduler {
+            cfg,
+            provider,
+            vfs,
+            clock,
+            metrics,
+            events,
+            shared: Arc::clone(&shared),
+            rx,
+            self_tx: tx.clone(),
+            queue: VecDeque::new(),
+            free_nodes: Vec::new(),
+            block: None,
+            generation: 0,
+            in_flight: 0,
+            transform,
+        };
+        let scheduler = std::thread::Builder::new()
+            .name("gcx-mpi-scheduler".into())
+            .spawn(move || sched.run())
+            .expect("spawn mpi scheduler");
+        Self { tx, shared, scheduler: Some(scheduler) }
+    }
+}
+
+impl Engine for GlobusMpiEngine {
+    fn submit(&self, task: ExecutableTask) -> GcxResult<()> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(GcxError::ShuttingDown);
+        }
+        let spec = task.spec.resource_spec.normalize()?;
+        self.shared.queued.fetch_add(1, Ordering::SeqCst);
+        self.tx
+            .send(SchedulerMsg::Submit(Box::new(QueuedMpiTask { task, spec, retries: 0 })))
+            .map_err(|_| GcxError::ShuttingDown)
+    }
+
+    fn status(&self) -> EngineStatus {
+        EngineStatus {
+            queued: self.shared.queued.load(Ordering::SeqCst),
+            running: self.shared.running.load(Ordering::SeqCst),
+            capacity: self.shared.capacity.load(Ordering::SeqCst),
+            blocks: self.shared.blocks.load(Ordering::SeqCst),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GlobusMpiEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Scheduler {
+    cfg: MpiEngineConfig,
+    provider: Arc<dyn Provider>,
+    vfs: Vfs,
+    clock: SharedClock,
+    metrics: MetricsRegistry,
+    events: Sender<EngineEvent>,
+    shared: Arc<Shared>,
+    rx: Receiver<SchedulerMsg>,
+    self_tx: Sender<SchedulerMsg>,
+    queue: VecDeque<QueuedMpiTask>,
+    free_nodes: Vec<String>,
+    block: Option<(BlockHandle, bool)>, // (handle, running)
+    generation: u64,
+    in_flight: usize,
+    transform: Option<ValueTransform>,
+}
+
+impl Scheduler {
+    fn run(mut self) {
+        loop {
+            // Shut down promptly even with launches in flight: their results
+            // are lost (the launch threads drain into a dead channel), which
+            // matches an agent being killed mid-task.
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut progressed = false;
+
+            while let Ok(msg) = self.rx.try_recv() {
+                progressed = true;
+                match msg {
+                    SchedulerMsg::Submit(q) => {
+                        emit(
+                            &self.events,
+                            EngineEvent::State(q.task.spec.task_id, TaskState::WaitingForNodes),
+                        );
+                        self.queue.push_back(*q);
+                    }
+                    SchedulerMsg::Finished { nodes, generation, task, result } => {
+                        self.in_flight -= 1;
+                        self.shared.running.fetch_sub(1, Ordering::SeqCst);
+                        if generation == self.generation {
+                            self.free_nodes.extend(nodes);
+                            emit(
+                                &self.events,
+                                EngineEvent::Done {
+                                    task_id: task.task.spec.task_id,
+                                    tag: task.task.tag,
+                                    result,
+                                },
+                            );
+                        } else {
+                            // The block died under this launch: result lost.
+                            self.requeue_or_fail(*task);
+                        }
+                    }
+                }
+            }
+
+            progressed |= self.manage_block();
+            progressed |= self.dispatch();
+
+            if !progressed {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+        if let Some((handle, _)) = self.block.take() {
+            let _ = self.provider.cancel_block(handle);
+        }
+    }
+
+    fn requeue_or_fail(&mut self, mut q: QueuedMpiTask) {
+        if q.retries < self.cfg.max_retries {
+            q.retries += 1;
+            self.shared.queued.fetch_add(1, Ordering::SeqCst);
+            self.queue.push_back(q);
+        } else {
+            emit(
+                &self.events,
+                EngineEvent::Done {
+                    task_id: q.task.spec.task_id,
+                    tag: q.task.tag,
+                    result: TaskResult::Err(
+                        "RuntimeError: MPI task lost when its batch job ended (retries exhausted)"
+                            .to_string(),
+                    ),
+                },
+            );
+        }
+    }
+
+    /// Keep one block alive while there is (or could be) work.
+    fn manage_block(&mut self) -> bool {
+        match self.block {
+            None => {
+                // Acquire a block only when queued work exists; in-flight
+                // launches from a dead block resolve on their own.
+                if self.queue.is_empty() {
+                    return false;
+                }
+                if let Ok(handle) = self.provider.submit_block(self.cfg.nodes_per_block) {
+                    self.block = Some((handle, false));
+                    self.metrics.counter("mpi.blocks_requested").inc();
+                    return true;
+                }
+                false
+            }
+            Some((handle, running)) => match self.provider.block_state(handle) {
+                Ok(BlockState::Running(nodes)) if !running => {
+                    self.free_nodes = nodes;
+                    self.shared.capacity.store(self.free_nodes.len(), Ordering::SeqCst);
+                    self.shared.blocks.store(1, Ordering::SeqCst);
+                    self.block = Some((handle, true));
+                    true
+                }
+                Ok(BlockState::Pending) | Ok(BlockState::Running(_)) => false,
+                Ok(BlockState::Done) | Err(_) => {
+                    // The block died: everything in flight is lost; queued
+                    // tasks simply wait for a fresh block.
+                    self.generation += 1;
+                    self.free_nodes.clear();
+                    self.shared.capacity.store(0, Ordering::SeqCst);
+                    self.shared.blocks.store(0, Ordering::SeqCst);
+                    self.metrics.counter("mpi.blocks_lost").inc();
+                    self.block = None;
+                    true
+                }
+            },
+        }
+    }
+
+    /// Greedy dynamic partitioning: start every queued task whose node
+    /// requirement fits the currently free subset, in arrival order.
+    fn dispatch(&mut self) -> bool {
+        if self.free_nodes.is_empty() || self.queue.is_empty() {
+            return false;
+        }
+        let mut progressed = false;
+        let mut remaining = VecDeque::new();
+        while let Some(q) = self.queue.pop_front() {
+            let need = q.spec.num_nodes as usize;
+            if need > self.cfg.nodes_per_block as usize {
+                self.shared.queued.fetch_sub(1, Ordering::SeqCst);
+                emit(
+                    &self.events,
+                    EngineEvent::Done {
+                        task_id: q.task.spec.task_id,
+                        tag: q.task.tag,
+                        result: TaskResult::Err(format!(
+                            "ValueError: resource_specification requests {need} nodes but the endpoint's block has only {}",
+                            self.cfg.nodes_per_block
+                        )),
+                    },
+                );
+                progressed = true;
+                continue;
+            }
+            if need <= self.free_nodes.len() {
+                let nodes: Vec<String> = self.free_nodes.drain(..need).collect();
+                self.launch(q, nodes);
+                progressed = true;
+            } else {
+                remaining.push_back(q);
+            }
+        }
+        self.queue = remaining;
+        progressed
+    }
+
+    fn launch(&mut self, q: QueuedMpiTask, nodes: Vec<String>) {
+        self.shared.queued.fetch_sub(1, Ordering::SeqCst);
+        self.shared.running.fetch_add(1, Ordering::SeqCst);
+        self.in_flight += 1;
+        self.metrics.counter("mpi.tasks_launched").inc();
+        emit(&self.events, EngineEvent::State(q.task.spec.task_id, TaskState::Running));
+
+        let generation = self.generation;
+        let tx = self.self_tx.clone();
+        let vfs = self.vfs.clone();
+        let clock = self.clock.clone();
+        let launcher_kind = self.cfg.launcher;
+        let transform = self.transform.clone();
+        let task_id = q.task.spec.task_id;
+        std::thread::Builder::new()
+            .name(format!("gcx-mpi-launch-{task_id}"))
+            .spawn(move || {
+                let result = run_mpi_task(&q, &nodes, launcher_kind, vfs, clock, transform);
+                let _ = tx.send(SchedulerMsg::Finished {
+                    nodes,
+                    generation,
+                    task: Box::new(q),
+                    result,
+                });
+            })
+            .expect("spawn mpi launch");
+    }
+}
+
+/// Execute one task on its assigned node partition.
+fn run_mpi_task(
+    q: &QueuedMpiTask,
+    nodes: &[String],
+    launcher_kind: LauncherKind,
+    vfs: Vfs,
+    clock: SharedClock,
+    transform: Option<ValueTransform>,
+) -> TaskResult {
+    match &q.task.function.body {
+        FunctionBody::Mpi { cmd, walltime_ms, snippet_lines } => {
+            let kwargs = match &transform {
+                Some(t) => match t(q.task.spec.kwargs.clone()) {
+                    Ok(v) => v,
+                    Err(e) => return TaskResult::Err(format!("ProxyError: {e}")),
+                },
+                None => q.task.spec.kwargs.clone(),
+            };
+            let app_cmd = match format_command(cmd, &kwargs) {
+                Ok(c) => c,
+                Err(e) => return TaskResult::Err(format!("ValueError: {e}")),
+            };
+            let plan = MpiLaunchPlan {
+                nodes: nodes.to_vec(),
+                num_ranks: q.spec.num_ranks,
+                launcher: launcher_kind,
+            };
+            let shell = ShellExecutor::new(vfs, clock);
+            let launcher = MpiLauncher::new(shell);
+            let env = std::collections::BTreeMap::new();
+            match launcher.run(&plan, &app_cmd, &env, "/", *walltime_ms) {
+                Ok(out) => {
+                    let result = ShellResult {
+                        returncode: out.returncode,
+                        stdout: ShellResult::snippet(&out.stdout, *snippet_lines),
+                        stderr: ShellResult::snippet(&out.stderr, *snippet_lines),
+                        // §III-C.1: the executed command is the supplied
+                        // command prefixed with the resolved launcher prefix.
+                        cmd: format!("{} {app_cmd}", plan.prefix()),
+                    };
+                    TaskResult::Ok(result.to_value())
+                }
+                Err(e) => TaskResult::Err(format!("OSError: {e}")),
+            }
+        }
+        // Non-MPI bodies run on the first node of the (single-node) slice.
+        other => {
+            let mut ctx = WorkerContext::new(vfs, clock, nodes[0].clone());
+            ctx.resolver = transform;
+            ctx.execute(&q.task.spec, other)
+        }
+    }
+}
+
+/// Record a completed MPI task's placement for tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Task id.
+    pub task_id: TaskId,
+    /// Nodes used.
+    pub nodes: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{BatchProvider, LocalProvider};
+    use gcx_batch::{BatchScheduler, ClusterSpec};
+    use gcx_core::clock::{SystemClock, VirtualClock};
+    use gcx_core::function::FunctionRecord;
+    use gcx_core::ids::{EndpointId, FunctionId, IdentityId};
+    use gcx_core::respec::ResourceSpec;
+    use gcx_core::task::TaskSpec;
+    use gcx_core::value::Value;
+
+    fn mpi_task(cmd: &str, spec: ResourceSpec, tag: u64) -> ExecutableTask {
+        let mut tspec = TaskSpec::new(FunctionId::random(), EndpointId::random());
+        tspec.resource_spec = spec;
+        ExecutableTask {
+            spec: tspec,
+            function: FunctionRecord {
+                id: FunctionId::random(),
+                owner: IdentityId::random(),
+                body: FunctionBody::mpi(cmd),
+                registered_at: 0,
+            },
+            tag,
+        }
+    }
+
+    fn engine(nodes: u32) -> (GlobusMpiEngine, Receiver<EngineEvent>) {
+        let (tx, rx) = unbounded();
+        let e = GlobusMpiEngine::start(
+            MpiEngineConfig { nodes_per_block: nodes, ..Default::default() },
+            Arc::new(LocalProvider::new("exp")),
+            Vfs::new(),
+            SystemClock::shared(),
+            MetricsRegistry::new(),
+            tx,
+            None,
+        );
+        (e, rx)
+    }
+
+    fn wait_results(rx: &Receiver<EngineEvent>, n: usize) -> Vec<(u64, TaskResult)> {
+        let mut done = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while done.len() < n {
+            match rx.recv_timeout(deadline.saturating_duration_since(std::time::Instant::now())) {
+                Ok(EngineEvent::Done { tag, result, .. }) => done.push((tag, result)),
+                Ok(_) => {}
+                Err(_) => panic!("timed out with {}/{n} results", done.len()),
+            }
+        }
+        done
+    }
+
+    fn shell_result(r: &TaskResult) -> ShellResult {
+        let TaskResult::Ok(v) = r else { panic!("expected ok, got {r:?}") };
+        ShellResult::from_value(v).unwrap()
+    }
+
+    #[test]
+    fn listing6_hostname_over_two_nodes() {
+        let (mut e, rx) = engine(4);
+        // n=1: 2 nodes × 1 rank; n=2: 2 nodes × 2 ranks — Listing 6's loop.
+        e.submit(mpi_task("hostname", ResourceSpec::nodes_ranks(2, 1), 1)).unwrap();
+        let r1 = wait_results(&rx, 1);
+        let sr = shell_result(&r1[0].1);
+        assert_eq!(sr.stdout.lines().count(), 2);
+        e.submit(mpi_task("hostname", ResourceSpec::nodes_ranks(2, 2), 2)).unwrap();
+        let r2 = wait_results(&rx, 1);
+        let sr2 = shell_result(&r2[0].1);
+        assert_eq!(sr2.stdout.lines().count(), 4);
+        // Alternating node pattern like Listing 7.
+        let lines: Vec<&str> = sr2.stdout.lines().collect();
+        assert_eq!(lines[0], lines[2]);
+        assert_eq!(lines[1], lines[3]);
+        assert_ne!(lines[0], lines[1]);
+        e.shutdown();
+    }
+
+    #[test]
+    fn cmd_records_launcher_prefix() {
+        let (mut e, rx) = engine(2);
+        e.submit(mpi_task("hostname", ResourceSpec::nodes(2), 0)).unwrap();
+        let done = wait_results(&rx, 1);
+        let sr = shell_result(&done[0].1);
+        assert!(
+            sr.cmd.starts_with("mpiexec -n 2 -host "),
+            "resolved $PARSL_MPI_PREFIX must lead the cmd: {}",
+            sr.cmd
+        );
+        assert!(sr.cmd.ends_with(" hostname"));
+        e.shutdown();
+    }
+
+    #[test]
+    fn concurrent_mpi_apps_share_the_block() {
+        // Two 2-node sleep tasks on a 4-node block must overlap: total wall
+        // time well under the serial 2×sleep.
+        let (mut e, rx) = engine(4);
+        let start = std::time::Instant::now();
+        e.submit(mpi_task("sleep 0.4", ResourceSpec::nodes(2), 1)).unwrap();
+        e.submit(mpi_task("sleep 0.4", ResourceSpec::nodes(2), 2)).unwrap();
+        wait_results(&rx, 2);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(700),
+            "2×400 ms tasks on disjoint nodes must overlap; took {elapsed:?}"
+        );
+        e.shutdown();
+    }
+
+    #[test]
+    fn small_task_starts_while_large_waits() {
+        let (mut e, rx) = engine(4);
+        // Occupy 3 nodes.
+        e.submit(mpi_task("sleep 0.5", ResourceSpec::nodes(3), 1)).unwrap();
+        // 4-node task cannot start yet; 1-node task can (dynamic partitioning).
+        e.submit(mpi_task("sleep 0.1", ResourceSpec::nodes(4), 2)).unwrap();
+        e.submit(mpi_task("hostname", ResourceSpec::nodes(1), 3)).unwrap();
+        let first = wait_results(&rx, 1);
+        assert_eq!(first[0].0, 3, "the 1-node task must finish first");
+        wait_results(&rx, 2);
+        e.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_fails_fast() {
+        let (mut e, rx) = engine(2);
+        e.submit(mpi_task("hostname", ResourceSpec::nodes(8), 5)).unwrap();
+        let done = wait_results(&rx, 1);
+        assert!(matches!(&done[0].1, TaskResult::Err(m) if m.contains("8 nodes")));
+        e.shutdown();
+    }
+
+    #[test]
+    fn invalid_resource_spec_rejected_at_submit() {
+        let (mut e, _rx) = engine(2);
+        let bad = ResourceSpec { num_nodes: Some(2), ranks_per_node: Some(2), num_ranks: Some(5) };
+        let err = e.submit(mpi_task("hostname", bad, 0)).unwrap_err();
+        assert!(matches!(err, GcxError::InvalidConfig(_)));
+        e.shutdown();
+    }
+
+    #[test]
+    fn non_mpi_function_runs_on_one_node() {
+        let (mut e, rx) = engine(2);
+        let mut task = mpi_task("unused", ResourceSpec::default(), 7);
+        task.function.body = FunctionBody::pyfn("def f():\n    return hostname()\n");
+        e.submit(task).unwrap();
+        let done = wait_results(&rx, 1);
+        let TaskResult::Ok(Value::Str(host)) = &done[0].1 else { panic!() };
+        assert!(host.starts_with("exp-"));
+        e.shutdown();
+    }
+
+    #[test]
+    fn mpi_walltime_returns_124() {
+        let (mut e, rx) = engine(2);
+        let mut task = mpi_task("sleep 10", ResourceSpec::nodes(2), 9);
+        if let FunctionBody::Mpi { walltime_ms, .. } = &mut task.function.body {
+            *walltime_ms = Some(200);
+        }
+        e.submit(task).unwrap();
+        let done = wait_results(&rx, 1);
+        let sr = shell_result(&done[0].1);
+        assert_eq!(sr.returncode, 124);
+        e.shutdown();
+    }
+
+    #[test]
+    fn nodes_are_returned_after_completion() {
+        let (mut e, rx) = engine(2);
+        for i in 0..6 {
+            e.submit(mpi_task("hostname", ResourceSpec::nodes(2), i)).unwrap();
+        }
+        wait_results(&rx, 6);
+        let st = e.status();
+        assert_eq!(st.running, 0);
+        assert_eq!(st.queued, 0);
+        assert_eq!(st.capacity, 2);
+        e.shutdown();
+    }
+
+    #[test]
+    fn block_death_requeues_then_fails() {
+        // Batch block with a short walltime dies under a long task.
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(2), clock.clone());
+        let provider = Arc::new(BatchProvider::slurm(sched, "cpu", "a", 1_000));
+        let (tx, rx) = unbounded();
+        let mut e = GlobusMpiEngine::start(
+            MpiEngineConfig { nodes_per_block: 2, max_retries: 0, ..Default::default() },
+            provider,
+            Vfs::new(),
+            clock.clone(),
+            MetricsRegistry::new(),
+            tx,
+            None,
+        );
+        e.submit(mpi_task("sleep 100", ResourceSpec::nodes(2), 1)).unwrap();
+        // Wait for both ranks to be asleep, then advance past the block
+        // walltime: the scheduler kills the job; the ranks' sleeps continue
+        // to the task deadline... advance far enough for the sleep itself.
+        clock.wait_for_sleepers(2);
+        clock.advance(1_000); // block dies at t=1000
+        // Wait (in wall time) until the scheduler has observed the death —
+        // otherwise the completion below could race in under generation 0.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while e.status().blocks != 0 {
+            assert!(std::time::Instant::now() < deadline, "engine never saw the dead block");
+            std::thread::yield_now();
+        }
+        clock.advance(99_000); // let the rank sleeps finish
+        let done = wait_results(&rx, 1);
+        assert!(matches!(&done[0].1, TaskResult::Err(m) if m.contains("batch job ended")));
+        e.shutdown();
+    }
+}

@@ -1,0 +1,232 @@
+//! The Provider abstraction (§II): "The Provider abstracts different
+//! computing resources … The abstraction exposes an interface to obtain
+//! resources, check the status of requests, and to release resources."
+
+use gcx_batch::{BatchScheduler, JobRequest, JobState};
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::ids::JobId;
+
+/// State of one provisioned block (pilot job).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockState {
+    /// Waiting in the scheduler queue.
+    Pending,
+    /// Running on these nodes.
+    Running(Vec<String>),
+    /// Gone (completed, cancelled, or killed by walltime).
+    Done,
+}
+
+/// Handle to one provisioned block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockHandle(pub JobId);
+
+/// Obtain/inspect/release blocks of nodes.
+pub trait Provider: Send + Sync {
+    /// Request a block of `num_nodes` nodes.
+    fn submit_block(&self, num_nodes: u32) -> GcxResult<BlockHandle>;
+
+    /// Check a block's state.
+    fn block_state(&self, block: BlockHandle) -> GcxResult<BlockState>;
+
+    /// Release a block.
+    fn cancel_block(&self, block: BlockHandle) -> GcxResult<()>;
+
+    /// Human-readable kind (`local`, `slurm`, `pbs`).
+    fn kind(&self) -> &'static str;
+}
+
+/// Provider for on-host execution: nodes are immediate and synthetic.
+pub struct LocalProvider {
+    hostname: String,
+    counter: std::sync::atomic::AtomicU32,
+    active: parking_lot::Mutex<std::collections::HashMap<JobId, Vec<String>>>,
+}
+
+impl LocalProvider {
+    /// A local provider naming nodes `<hostname>-N`.
+    pub fn new(hostname: impl Into<String>) -> Self {
+        Self {
+            hostname: hostname.into(),
+            counter: std::sync::atomic::AtomicU32::new(0),
+            active: parking_lot::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+}
+
+impl Provider for LocalProvider {
+    fn submit_block(&self, num_nodes: u32) -> GcxResult<BlockHandle> {
+        let id = JobId::random();
+        let base = self
+            .counter
+            .fetch_add(num_nodes, std::sync::atomic::Ordering::Relaxed);
+        let nodes = (0..num_nodes)
+            .map(|i| format!("{}-{}", self.hostname, base + i))
+            .collect();
+        self.active.lock().insert(id, nodes);
+        Ok(BlockHandle(id))
+    }
+
+    fn block_state(&self, block: BlockHandle) -> GcxResult<BlockState> {
+        Ok(match self.active.lock().get(&block.0) {
+            Some(nodes) => BlockState::Running(nodes.clone()),
+            None => BlockState::Done,
+        })
+    }
+
+    fn cancel_block(&self, block: BlockHandle) -> GcxResult<()> {
+        self.active
+            .lock()
+            .remove(&block.0)
+            .map(|_| ())
+            .ok_or_else(|| GcxError::Scheduler(format!("unknown block {}", block.0)))
+    }
+
+    fn kind(&self) -> &'static str {
+        "local"
+    }
+}
+
+/// Provider over the batch scheduler simulator (SlurmProvider /
+/// PBSProProvider stand-in).
+pub struct BatchProvider {
+    scheduler: BatchScheduler,
+    partition: String,
+    account: String,
+    walltime_ms: u64,
+    flavor: &'static str,
+}
+
+impl BatchProvider {
+    /// A Slurm-flavoured provider.
+    pub fn slurm(
+        scheduler: BatchScheduler,
+        partition: impl Into<String>,
+        account: impl Into<String>,
+        walltime_ms: u64,
+    ) -> Self {
+        Self {
+            scheduler,
+            partition: partition.into(),
+            account: account.into(),
+            walltime_ms,
+            flavor: "slurm",
+        }
+    }
+
+    /// A PBSPro-flavoured provider (identical mechanics, different label —
+    /// exactly the situation the Provider abstraction exists for).
+    pub fn pbs(
+        scheduler: BatchScheduler,
+        partition: impl Into<String>,
+        account: impl Into<String>,
+        walltime_ms: u64,
+    ) -> Self {
+        Self {
+            scheduler,
+            partition: partition.into(),
+            account: account.into(),
+            walltime_ms,
+            flavor: "pbs",
+        }
+    }
+
+    /// The underlying scheduler (tests use this to drive time).
+    pub fn scheduler(&self) -> &BatchScheduler {
+        &self.scheduler
+    }
+}
+
+impl Provider for BatchProvider {
+    fn submit_block(&self, num_nodes: u32) -> GcxResult<BlockHandle> {
+        let id = self.scheduler.submit(JobRequest {
+            num_nodes,
+            walltime_ms: self.walltime_ms,
+            partition: self.partition.clone(),
+            account: self.account.clone(),
+        })?;
+        Ok(BlockHandle(id))
+    }
+
+    fn block_state(&self, block: BlockHandle) -> GcxResult<BlockState> {
+        let info = self.scheduler.status(block.0)?;
+        Ok(match info.state {
+            JobState::Pending => BlockState::Pending,
+            JobState::Running => BlockState::Running(info.nodes),
+            _ => BlockState::Done,
+        })
+    }
+
+    fn cancel_block(&self, block: BlockHandle) -> GcxResult<()> {
+        // Completed/timed-out jobs are fine to "cancel" — idempotent release.
+        match self.scheduler.status(block.0)?.state {
+            JobState::Pending | JobState::Running => self.scheduler.cancel(block.0),
+            _ => Ok(()),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        self.flavor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcx_batch::ClusterSpec;
+    use gcx_core::clock::VirtualClock;
+
+    #[test]
+    fn local_provider_immediate_nodes() {
+        let p = LocalProvider::new("laptop");
+        let b = p.submit_block(3).unwrap();
+        let BlockState::Running(nodes) = p.block_state(b).unwrap() else {
+            panic!("local blocks run immediately")
+        };
+        assert_eq!(nodes, vec!["laptop-0", "laptop-1", "laptop-2"]);
+        let b2 = p.submit_block(1).unwrap();
+        let BlockState::Running(nodes2) = p.block_state(b2).unwrap() else { panic!() };
+        assert_eq!(nodes2, vec!["laptop-3"], "node names never repeat");
+        p.cancel_block(b).unwrap();
+        assert_eq!(p.block_state(b).unwrap(), BlockState::Done);
+        assert!(p.cancel_block(b).is_err());
+        assert_eq!(p.kind(), "local");
+    }
+
+    #[test]
+    fn batch_provider_lifecycle() {
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(2), clock.clone());
+        let p = BatchProvider::slurm(sched, "cpu", "acct", 60_000);
+        let b1 = p.submit_block(2).unwrap();
+        assert!(matches!(p.block_state(b1).unwrap(), BlockState::Running(_)));
+        // Cluster is full → next block queues.
+        let b2 = p.submit_block(1).unwrap();
+        assert_eq!(p.block_state(b2).unwrap(), BlockState::Pending);
+        p.cancel_block(b1).unwrap();
+        clock.advance(1);
+        assert!(matches!(p.block_state(b2).unwrap(), BlockState::Running(_)));
+        assert_eq!(p.kind(), "slurm");
+    }
+
+    #[test]
+    fn batch_provider_walltime_surfaces_as_done() {
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(1), clock.clone());
+        let p = BatchProvider::pbs(sched, "cpu", "acct", 5_000);
+        let b = p.submit_block(1).unwrap();
+        clock.advance(5_000);
+        assert_eq!(p.block_state(b).unwrap(), BlockState::Done);
+        // Releasing an already-dead block is idempotent.
+        p.cancel_block(b).unwrap();
+        assert_eq!(p.kind(), "pbs");
+    }
+
+    #[test]
+    fn batch_provider_propagates_validation() {
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(2), clock);
+        let p = BatchProvider::slurm(sched, "nope", "acct", 60_000);
+        assert!(p.submit_block(1).is_err());
+    }
+}

@@ -1,0 +1,564 @@
+//! The broker: queues, publish/consume, acks, prefetch, credentials,
+//! metering.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use gcx_core::clock::{SharedClock, SystemClock};
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::metrics::MetricsRegistry;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::link::LinkProfile;
+
+/// A queued message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Opaque payload (typically a `gcx_core::codec` envelope).
+    pub body: Bytes,
+    /// Small string headers (routing metadata).
+    pub headers: BTreeMap<String, String>,
+    /// True if this delivery follows an unacked predecessor (consumer died).
+    pub redelivered: bool,
+}
+
+impl Message {
+    /// A message with no headers.
+    pub fn new(body: Bytes) -> Self {
+        Self { body, headers: BTreeMap::new(), redelivered: false }
+    }
+
+    /// A message with headers.
+    pub fn with_headers(body: Bytes, headers: BTreeMap<String, String>) -> Self {
+        Self { body, headers, redelivered: false }
+    }
+
+    fn wire_size(&self) -> usize {
+        self.body.len()
+            + self
+                .headers
+                .iter()
+                .map(|(k, v)| k.len() + v.len() + 4)
+                .sum::<usize>()
+            + 8 // frame overhead
+    }
+}
+
+/// A delivery handed to a consumer; must be acked or nacked.
+#[derive(Debug)]
+pub struct Delivery {
+    /// Broker-assigned delivery tag.
+    pub tag: u64,
+    /// The message.
+    pub message: Message,
+}
+
+/// Point-in-time queue statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Messages waiting for delivery.
+    pub ready: usize,
+    /// Messages delivered but not yet acked.
+    pub unacked: usize,
+    /// Total messages ever published.
+    pub published: u64,
+}
+
+struct QueueState {
+    ready: VecDeque<Message>,
+    unacked: HashMap<u64, Message>,
+    closed: bool,
+}
+
+struct Queue {
+    name: String,
+    credential: Option<String>,
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    next_tag: AtomicU64,
+    published: AtomicU64,
+}
+
+impl Queue {
+    fn stats(&self) -> QueueStats {
+        let st = self.state.lock();
+        QueueStats {
+            ready: st.ready.len(),
+            unacked: st.unacked.len(),
+            published: self.published.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct BrokerInner {
+    queues: RwLock<HashMap<String, Arc<Queue>>>,
+    metrics: MetricsRegistry,
+    clock: SharedClock,
+    link: LinkProfile,
+}
+
+/// The broker handle. Cloning shares the broker.
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<BrokerInner>,
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Broker {
+    /// A broker with a zero-cost link and its own metrics registry.
+    pub fn new() -> Self {
+        Self::with_profile(MetricsRegistry::new(), Arc::new(SystemClock), LinkProfile::instant())
+    }
+
+    /// A broker with explicit metrics, clock, and link profile.
+    pub fn with_profile(metrics: MetricsRegistry, clock: SharedClock, link: LinkProfile) -> Self {
+        Self {
+            inner: Arc::new(BrokerInner { queues: RwLock::new(HashMap::new()), metrics, clock, link }),
+        }
+    }
+
+    /// The metrics registry (message/byte counters).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// Declare a queue. Idempotent if the credential matches; an existing
+    /// queue with a different credential is an error.
+    pub fn declare_queue(&self, name: &str, credential: Option<&str>) -> GcxResult<()> {
+        let mut queues = self.inner.queues.write();
+        if let Some(q) = queues.get(name) {
+            if q.credential.as_deref() != credential {
+                return Err(GcxError::Forbidden(format!(
+                    "queue '{name}' exists with a different credential"
+                )));
+            }
+            return Ok(());
+        }
+        queues.insert(
+            name.to_string(),
+            Arc::new(Queue {
+                name: name.to_string(),
+                credential: credential.map(str::to_string),
+                state: Mutex::new(QueueState {
+                    ready: VecDeque::new(),
+                    unacked: HashMap::new(),
+                    closed: false,
+                }),
+                cond: Condvar::new(),
+                next_tag: AtomicU64::new(1),
+                published: AtomicU64::new(0),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Delete a queue, waking all consumers (they see `closed`).
+    pub fn delete_queue(&self, name: &str) -> GcxResult<()> {
+        let q = self
+            .inner
+            .queues
+            .write()
+            .remove(name)
+            .ok_or_else(|| GcxError::Queue(format!("no such queue '{name}'")))?;
+        q.state.lock().closed = true;
+        q.cond.notify_all();
+        Ok(())
+    }
+
+    fn get(&self, name: &str, credential: Option<&str>) -> GcxResult<Arc<Queue>> {
+        let queues = self.inner.queues.read();
+        let q = queues
+            .get(name)
+            .ok_or_else(|| GcxError::Queue(format!("no such queue '{name}'")))?;
+        if q.credential.is_some() && q.credential.as_deref() != credential {
+            return Err(GcxError::Forbidden(format!("bad credential for queue '{name}'")));
+        }
+        Ok(Arc::clone(q))
+    }
+
+    /// Publish a message. Blocks for the link cost (latency + size/bandwidth)
+    /// and then enqueues; returns once the broker has the message (publisher
+    /// confirm semantics).
+    pub fn publish(&self, queue: &str, message: Message, credential: Option<&str>) -> GcxResult<()> {
+        let q = self.get(queue, credential)?;
+        let size = message.wire_size();
+        self.inner.link.charge(&self.inner.clock, size);
+        {
+            let mut st = q.state.lock();
+            if st.closed {
+                return Err(GcxError::Queue(format!("queue '{}' is closed", q.name)));
+            }
+            st.ready.push_back(message);
+        }
+        q.published.fetch_add(1, Ordering::Relaxed);
+        q.cond.notify_one();
+        self.inner.metrics.counter("mq.messages_published").inc();
+        self.inner.metrics.counter("mq.bytes_published").add(size as u64);
+        Ok(())
+    }
+
+    /// Open a consumer with the given prefetch limit (maximum unacked
+    /// deliveries outstanding at once; `0` means unlimited).
+    pub fn consume(&self, queue: &str, credential: Option<&str>, prefetch: usize) -> GcxResult<Consumer> {
+        let q = self.get(queue, credential)?;
+        Ok(Consumer {
+            queue: q,
+            broker: self.inner.clone(),
+            prefetch,
+            outstanding: Arc::new(AtomicUsize::new(0)),
+            held_tags: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Stats for a queue.
+    pub fn queue_stats(&self, name: &str) -> GcxResult<QueueStats> {
+        let queues = self.inner.queues.read();
+        queues
+            .get(name)
+            .map(|q| q.stats())
+            .ok_or_else(|| GcxError::Queue(format!("no such queue '{name}'")))
+    }
+
+    /// Names of all queues (sorted), for inspection.
+    pub fn queue_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.queues.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// A registered consumer. Dropping it requeues all unacked deliveries.
+pub struct Consumer {
+    queue: Arc<Queue>,
+    broker: Arc<BrokerInner>,
+    prefetch: usize,
+    outstanding: Arc<AtomicUsize>,
+    held_tags: Mutex<Vec<u64>>,
+}
+
+impl Consumer {
+    /// Receive the next message, waiting up to `timeout`. Returns
+    /// `Ok(None)` on timeout, `Err` if the queue was deleted.
+    ///
+    /// Blocks while the prefetch window is full — backpressure exactly like
+    /// an AMQP channel with `basic.qos`.
+    pub fn next(&self, timeout: Duration) -> GcxResult<Option<Delivery>> {
+        // On a virtual clock, waiting on real time would hang forever, so we
+        // poll with yields instead of condvar timeouts in that mode.
+        let virtual_mode = self.broker.clock.is_virtual();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            {
+                let mut st = self.queue.state.lock();
+                if st.closed {
+                    return Err(GcxError::Queue(format!("queue '{}' is closed", self.queue.name)));
+                }
+                let window_open =
+                    self.prefetch == 0 || self.outstanding.load(Ordering::Acquire) < self.prefetch;
+                if window_open {
+                    if let Some(msg) = st.ready.pop_front() {
+                        let tag = self.queue.next_tag.fetch_add(1, Ordering::Relaxed);
+                        st.unacked.insert(tag, msg.clone());
+                        drop(st);
+                        self.outstanding.fetch_add(1, Ordering::AcqRel);
+                        self.held_tags.lock().push(tag);
+                        self.broker.metrics.counter("mq.messages_delivered").inc();
+                        self.broker
+                            .metrics
+                            .counter("mq.bytes_delivered")
+                            .add(msg.wire_size() as u64);
+                        if msg.redelivered {
+                            self.broker.metrics.counter("mq.redeliveries").inc();
+                        }
+                        return Ok(Some(Delivery { tag, message: msg }));
+                    }
+                }
+                if !virtual_mode {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Ok(None);
+                    }
+                    let remaining = deadline - now;
+                    self.queue.cond.wait_for(&mut st, remaining);
+                    continue;
+                }
+            }
+            // Virtual mode: bounded spin against wall time.
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Acknowledge a delivery: the broker forgets the message.
+    pub fn ack(&self, tag: u64) -> GcxResult<()> {
+        let mut st = self.queue.state.lock();
+        st.unacked
+            .remove(&tag)
+            .ok_or_else(|| GcxError::Queue(format!("unknown delivery tag {tag}")))?;
+        drop(st);
+        self.forget_tag(tag);
+        self.broker.metrics.counter("mq.acks").inc();
+        Ok(())
+    }
+
+    /// Negative-acknowledge: requeue the message (redelivered = true).
+    pub fn nack(&self, tag: u64) -> GcxResult<()> {
+        let mut st = self.queue.state.lock();
+        let mut msg = st
+            .unacked
+            .remove(&tag)
+            .ok_or_else(|| GcxError::Queue(format!("unknown delivery tag {tag}")))?;
+        msg.redelivered = true;
+        st.ready.push_front(msg);
+        drop(st);
+        self.forget_tag(tag);
+        self.queue.cond.notify_one();
+        Ok(())
+    }
+
+    fn forget_tag(&self, tag: u64) {
+        let mut held = self.held_tags.lock();
+        if let Some(pos) = held.iter().position(|t| *t == tag) {
+            held.swap_remove(pos);
+            self.outstanding.fetch_sub(1, Ordering::AcqRel);
+            self.queue.cond.notify_one();
+        }
+    }
+
+    /// Current queue stats (for tests and backpressure decisions).
+    pub fn stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        // Requeue everything we held but never acked — crash semantics.
+        let tags: Vec<u64> = std::mem::take(&mut *self.held_tags.lock());
+        if tags.is_empty() {
+            return;
+        }
+        let mut st = self.queue.state.lock();
+        for tag in tags {
+            if let Some(mut msg) = st.unacked.remove(&tag) {
+                msg.redelivered = true;
+                st.ready.push_front(msg);
+            }
+        }
+        drop(st);
+        self.queue.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(text: &str) -> Message {
+        Message::new(Bytes::copy_from_slice(text.as_bytes()))
+    }
+
+    const T: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn publish_consume_ack() {
+        let b = Broker::new();
+        b.declare_queue("tasks", None).unwrap();
+        b.publish("tasks", msg("t1"), None).unwrap();
+        let c = b.consume("tasks", None, 0).unwrap();
+        let d = c.next(T).unwrap().unwrap();
+        assert_eq!(&d.message.body[..], b"t1");
+        assert!(!d.message.redelivered);
+        c.ack(d.tag).unwrap();
+        let stats = b.queue_stats("tasks").unwrap();
+        assert_eq!(stats.ready, 0);
+        assert_eq!(stats.unacked, 0);
+        assert_eq!(stats.published, 1);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        for i in 0..5 {
+            b.publish("q", msg(&format!("m{i}")), None).unwrap();
+        }
+        let c = b.consume("q", None, 0).unwrap();
+        for i in 0..5 {
+            let d = c.next(T).unwrap().unwrap();
+            assert_eq!(d.message.body, Bytes::from(format!("m{i}")));
+            c.ack(d.tag).unwrap();
+        }
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        let c = b.consume("q", None, 0).unwrap();
+        assert!(c.next(Duration::from_millis(30)).unwrap().is_none());
+    }
+
+    #[test]
+    fn nack_requeues_redelivered() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.publish("q", msg("x"), None).unwrap();
+        let c = b.consume("q", None, 0).unwrap();
+        let d = c.next(T).unwrap().unwrap();
+        c.nack(d.tag).unwrap();
+        let d2 = c.next(T).unwrap().unwrap();
+        assert!(d2.message.redelivered);
+        assert_eq!(&d2.message.body[..], b"x");
+        c.ack(d2.tag).unwrap();
+    }
+
+    #[test]
+    fn dropping_consumer_requeues_unacked() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.publish("q", msg("a"), None).unwrap();
+        b.publish("q", msg("b"), None).unwrap();
+        {
+            let c = b.consume("q", None, 0).unwrap();
+            let _d1 = c.next(T).unwrap().unwrap();
+            let d2 = c.next(T).unwrap().unwrap();
+            c.ack(d2.tag).unwrap();
+            // d1 never acked; consumer dropped here.
+        }
+        let stats = b.queue_stats("q").unwrap();
+        assert_eq!(stats.ready, 1, "unacked message must be requeued");
+        let c2 = b.consume("q", None, 0).unwrap();
+        let d = c2.next(T).unwrap().unwrap();
+        assert!(d.message.redelivered);
+        assert_eq!(&d.message.body[..], b"a");
+    }
+
+    #[test]
+    fn prefetch_limits_outstanding() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        for i in 0..3 {
+            b.publish("q", msg(&format!("{i}")), None).unwrap();
+        }
+        let c = b.consume("q", None, 2).unwrap();
+        let d1 = c.next(T).unwrap().unwrap();
+        let _d2 = c.next(T).unwrap().unwrap();
+        // Window full → next times out even though a message is ready.
+        assert!(c.next(Duration::from_millis(30)).unwrap().is_none());
+        assert_eq!(c.stats().ready, 1);
+        c.ack(d1.tag).unwrap();
+        let d3 = c.next(T).unwrap().unwrap();
+        assert_eq!(&d3.message.body[..], b"2");
+    }
+
+    #[test]
+    fn credentials_enforced() {
+        let b = Broker::new();
+        b.declare_queue("secure", Some("secret")).unwrap();
+        assert!(b.publish("secure", msg("x"), None).is_err());
+        assert!(b.publish("secure", msg("x"), Some("wrong")).is_err());
+        b.publish("secure", msg("x"), Some("secret")).unwrap();
+        assert!(b.consume("secure", Some("nope"), 0).is_err());
+        let c = b.consume("secure", Some("secret"), 0).unwrap();
+        assert!(c.next(T).unwrap().is_some());
+        // Redeclare with same credential is idempotent; different errors.
+        b.declare_queue("secure", Some("secret")).unwrap();
+        assert!(b.declare_queue("secure", Some("other")).is_err());
+    }
+
+    #[test]
+    fn delete_queue_wakes_consumers() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        let c = b.consume("q", None, 0).unwrap();
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || c.next(Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(50));
+        b2.delete_queue("q").unwrap();
+        let r = h.join().unwrap();
+        assert!(r.is_err(), "consumer must observe closure");
+        assert!(b.queue_stats("q").is_err());
+        assert!(b.publish("q", msg("x"), None).is_err());
+    }
+
+    #[test]
+    fn metering_counts_messages_and_bytes() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.publish("q", msg("0123456789"), None).unwrap();
+        let published = b.metrics().counter("mq.messages_published").get();
+        let bytes = b.metrics().counter("mq.bytes_published").get();
+        assert_eq!(published, 1);
+        assert!(bytes >= 10, "at least the body size: {bytes}");
+        let c = b.consume("q", None, 0).unwrap();
+        let d = c.next(T).unwrap().unwrap();
+        c.ack(d.tag).unwrap();
+        assert_eq!(b.metrics().counter("mq.messages_delivered").get(), 1);
+        assert_eq!(b.metrics().counter("mq.acks").get(), 1);
+    }
+
+    #[test]
+    fn multiple_consumers_share_work_without_duplication() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        const N: usize = 200;
+        for i in 0..N {
+            b.publish("q", msg(&format!("{i}")), None).unwrap();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = b.consume("q", None, 0).unwrap();
+                let mut seen = Vec::new();
+                while let Some(d) = c.next(Duration::from_millis(100)).unwrap() {
+                    seen.push(String::from_utf8(d.message.body.to_vec()).unwrap());
+                    c.ack(d.tag).unwrap();
+                }
+                seen
+            }));
+        }
+        let mut all: Vec<String> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_by_key(|s| s.parse::<usize>().unwrap());
+        assert_eq!(all.len(), N, "every message delivered exactly once");
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(s, &i.to_string());
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        let c = b.consume("q", None, 0).unwrap();
+        assert!(c.ack(99).is_err());
+        assert!(c.nack(99).is_err());
+    }
+
+    #[test]
+    fn headers_travel_with_message() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        let mut headers = BTreeMap::new();
+        headers.insert("task_id".to_string(), "abc".to_string());
+        b.publish("q", Message::with_headers(Bytes::from_static(b"x"), headers.clone()), None)
+            .unwrap();
+        let c = b.consume("q", None, 0).unwrap();
+        let d = c.next(T).unwrap().unwrap();
+        assert_eq!(d.message.headers, headers);
+    }
+}

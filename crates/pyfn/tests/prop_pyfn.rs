@@ -1,0 +1,89 @@
+//! Property-based tests for the pyfn language pipeline.
+
+use gcx_core::value::Value;
+use gcx_pyfn::{CapturingHost, Limits, Program};
+use proptest::prelude::*;
+
+proptest! {
+    /// The full compile pipeline never panics on arbitrary text.
+    #[test]
+    fn compile_never_panics(src in ".{0,300}") {
+        let _ = Program::compile(&src);
+    }
+
+    /// Integer arithmetic in pyfn matches a Rust reference model
+    /// (wrapping add/sub/mul on i64).
+    #[test]
+    fn arithmetic_matches_reference(a in -1000i64..1000, b in -1000i64..1000, op in 0usize..3) {
+        let (sym, expect) = match op {
+            0 => ("+", a.wrapping_add(b)),
+            1 => ("-", a.wrapping_sub(b)),
+            _ => ("*", a.wrapping_mul(b)),
+        };
+        let src = format!("def f(a, b):\n    return a {sym} b\n");
+        let got = Program::eval(&src, vec![Value::Int(a), Value::Int(b)]).unwrap();
+        prop_assert_eq!(got, Value::Int(expect));
+    }
+
+    /// Python floor-div/mod identity: (a // b) * b + (a % b) == a.
+    #[test]
+    fn floordiv_mod_identity(a in -100i64..100, b in prop::sample::select(vec![-7i64, -3, -1, 1, 2, 5, 9])) {
+        let src = "def f(a, b):\n    return [a // b, a % b]\n";
+        let got = Program::eval(src, vec![Value::Int(a), Value::Int(b)]).unwrap();
+        let parts = got.as_list().unwrap();
+        let q = parts[0].as_int().unwrap();
+        let r = parts[1].as_int().unwrap();
+        prop_assert_eq!(q * b + r, a);
+        // Python: remainder has the sign of the divisor (or zero).
+        prop_assert!(r == 0 || (r > 0) == (b > 0));
+    }
+
+    /// sum(range(n)) computed in pyfn equals n*(n-1)/2.
+    #[test]
+    fn sum_range(n in 0i64..500) {
+        let src = "def f(n):\n    return sum(range(n))\n";
+        let got = Program::eval(src, vec![Value::Int(n)]).unwrap();
+        prop_assert_eq!(got, Value::Int(n * (n - 1) / 2));
+    }
+
+    /// Values of any supported shape pass through a pyfn identity function
+    /// unchanged — the property the whole task pipeline relies on.
+    #[test]
+    fn identity_function_roundtrip(v in value_strategy()) {
+        let src = "def f(x):\n    return x\n";
+        let got = Program::eval(src, vec![v.clone()]).unwrap();
+        prop_assert_eq!(got, v);
+    }
+
+    /// Any while-loop program terminates (ok or error) under a small step
+    /// budget — the budget is a hard bound.
+    #[test]
+    fn step_budget_always_terminates(body_sleeps in 0u8..3) {
+        let mut body = String::new();
+        for _ in 0..body_sleeps {
+            body.push_str("        x = x + 1\n");
+        }
+        let src = format!("def f():\n    x = 0\n    while True:\n        pass\n{body}    return x\n");
+        if let Ok(prog) = Program::compile(&src) {
+            let mut host = CapturingHost::default();
+            let limits = Limits { max_steps: 5_000, ..Default::default() };
+            let r = prog.call_entry(vec![], &Value::None, &mut host, limits);
+            prop_assert!(r.is_err());
+        }
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::None),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z ]{0,12}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Value::Map),
+        ]
+    })
+}

@@ -1,0 +1,191 @@
+//! `TaskFuture` — the future returned by the executor's `submit`.
+//!
+//! Modeled on `concurrent.futures.Future`: blocking `result()`, optional
+//! timeout, `done()` checks, and completion callbacks. Resolution happens on
+//! the executor's result-stream thread.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::ids::TaskId;
+use gcx_core::shellres::ShellResult;
+use gcx_core::value::Value;
+use parking_lot::{Condvar, Mutex};
+
+type Callback = Box<dyn FnOnce(&GcxResult<Value>) + Send>;
+
+struct State {
+    outcome: Option<GcxResult<Value>>,
+    callbacks: Vec<Callback>,
+}
+
+struct Inner {
+    task_id: TaskId,
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+/// A handle to a task's eventual result. Cloning shares the handle.
+#[derive(Clone)]
+pub struct TaskFuture {
+    inner: Arc<Inner>,
+}
+
+impl TaskFuture {
+    /// A pending future for `task_id`.
+    pub fn pending(task_id: TaskId) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                task_id,
+                state: Mutex::new(State { outcome: None, callbacks: Vec::new() }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The task this future tracks.
+    pub fn task_id(&self) -> TaskId {
+        self.inner.task_id
+    }
+
+    /// True once a result or error has landed.
+    pub fn done(&self) -> bool {
+        self.inner.state.lock().outcome.is_some()
+    }
+
+    /// Resolve the future (called by the executor). Later resolutions are
+    /// ignored (first result wins), mirroring Future.set_result semantics
+    /// under duplicate deliveries.
+    pub fn resolve(&self, outcome: GcxResult<Value>) {
+        let callbacks = {
+            let mut st = self.inner.state.lock();
+            if st.outcome.is_some() {
+                return;
+            }
+            st.outcome = Some(outcome);
+            std::mem::take(&mut st.callbacks)
+        };
+        self.inner.cond.notify_all();
+        let st = self.inner.state.lock();
+        let outcome_ref = st.outcome.as_ref().expect("just set");
+        for cb in callbacks {
+            cb(outcome_ref);
+        }
+    }
+
+    /// Block until the result is available.
+    pub fn result(&self) -> GcxResult<Value> {
+        let mut st = self.inner.state.lock();
+        while st.outcome.is_none() {
+            self.inner.cond.wait(&mut st);
+        }
+        st.outcome.clone().expect("resolved")
+    }
+
+    /// Block up to `timeout`; `Err(Timeout)` if the result has not landed.
+    pub fn result_timeout(&self, timeout: Duration) -> GcxResult<Value> {
+        let mut st = self.inner.state.lock();
+        if st.outcome.is_none() {
+            self.inner.cond.wait_for(&mut st, timeout);
+        }
+        st.outcome
+            .clone()
+            .unwrap_or_else(|| Err(GcxError::Timeout(format!("task {}", self.inner.task_id))))
+    }
+
+    /// Run `cb` when the future resolves (immediately if already resolved).
+    pub fn on_done(&self, cb: impl FnOnce(&GcxResult<Value>) + Send + 'static) {
+        let mut st = self.inner.state.lock();
+        match &st.outcome {
+            Some(outcome) => {
+                let outcome = outcome.clone();
+                drop(st);
+                cb(&outcome);
+            }
+            None => st.callbacks.push(Box::new(cb)),
+        }
+    }
+
+    /// Convenience for shell/MPI tasks: block, then decode the
+    /// [`ShellResult`].
+    pub fn shell_result(&self) -> GcxResult<ShellResult> {
+        let v = self.result()?;
+        ShellResult::from_value(&v)
+            .ok_or_else(|| GcxError::Codec("task did not return a ShellResult".into()))
+    }
+}
+
+impl std::fmt::Debug for TaskFuture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaskFuture({}, done={})", self.inner.task_id, self.done())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn resolve_then_result() {
+        let f = TaskFuture::pending(TaskId::random());
+        assert!(!f.done());
+        f.resolve(Ok(Value::Int(1)));
+        assert!(f.done());
+        assert_eq!(f.result().unwrap(), Value::Int(1));
+        // Idempotent: second resolution ignored.
+        f.resolve(Ok(Value::Int(2)));
+        assert_eq!(f.result().unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn result_blocks_until_resolved() {
+        let f = TaskFuture::pending(TaskId::random());
+        let f2 = f.clone();
+        let h = std::thread::spawn(move || f2.result());
+        std::thread::sleep(Duration::from_millis(30));
+        f.resolve(Ok(Value::str("late")));
+        assert_eq!(h.join().unwrap().unwrap(), Value::str("late"));
+    }
+
+    #[test]
+    fn result_timeout() {
+        let f = TaskFuture::pending(TaskId::random());
+        let err = f.result_timeout(Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, GcxError::Timeout(_)));
+        f.resolve(Err(GcxError::Execution("boom".into())));
+        let err = f.result_timeout(Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, GcxError::Execution(_)));
+    }
+
+    #[test]
+    fn callbacks_fire_once() {
+        let f = TaskFuture::pending(TaskId::random());
+        let count = Arc::new(AtomicUsize::new(0));
+        let c1 = Arc::clone(&count);
+        f.on_done(move |_| {
+            c1.fetch_add(1, Ordering::SeqCst);
+        });
+        f.resolve(Ok(Value::None));
+        // Callback registered after resolution fires immediately.
+        let c2 = Arc::clone(&count);
+        f.on_done(move |r| {
+            assert!(r.is_ok());
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn shell_result_decoding() {
+        let f = TaskFuture::pending(TaskId::random());
+        let sr = ShellResult { returncode: 0, stdout: "x\n".into(), stderr: String::new(), cmd: "echo x".into() };
+        f.resolve(Ok(sr.to_value()));
+        assert_eq!(f.shell_result().unwrap(), sr);
+
+        let g = TaskFuture::pending(TaskId::random());
+        g.resolve(Ok(Value::Int(3)));
+        assert!(g.shell_result().is_err());
+    }
+}

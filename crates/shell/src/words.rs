@@ -1,0 +1,396 @@
+//! Command-line word handling: `{placeholder}` formatting (the
+//! `ShellFunction` invocation-time substitution of Listing 2), tokenization
+//! with quoting, and environment-variable expansion.
+
+use std::collections::BTreeMap;
+
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::value::Value;
+
+/// Format a `ShellFunction` command template with invocation kwargs:
+/// `"echo '{message}'"` + `{message: "hello"}` → `"echo 'hello'"`.
+///
+/// Rules (following Python's `str.format` as the SDK uses it):
+/// - `{name}` substitutes the kwarg `name` (error if missing);
+/// - `{{` and `}}` are literal braces;
+/// - an unmatched `{` or `}` is an error.
+pub fn format_command(template: &str, kwargs: &Value) -> GcxResult<String> {
+    let map: BTreeMap<String, Value> = match kwargs {
+        Value::Map(m) => m.clone(),
+        Value::None => BTreeMap::new(),
+        other => {
+            return Err(GcxError::InvalidConfig(format!(
+                "ShellFunction kwargs must be a dict, got {}",
+                other.type_name()
+            )))
+        }
+    };
+    let mut out = String::new();
+    let mut chars = template.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' => {
+                if chars.peek() == Some(&'{') {
+                    chars.next();
+                    out.push('{');
+                    continue;
+                }
+                let mut name = String::new();
+                let mut closed = false;
+                for c2 in chars.by_ref() {
+                    if c2 == '}' {
+                        closed = true;
+                        break;
+                    }
+                    name.push(c2);
+                }
+                if !closed {
+                    return Err(GcxError::Parse(format!(
+                        "unmatched '{{' in command template '{template}'"
+                    )));
+                }
+                let v = map.get(&name).ok_or_else(|| {
+                    GcxError::InvalidConfig(format!(
+                        "command template references '{{{name}}}' but no such kwarg was supplied"
+                    ))
+                })?;
+                out.push_str(&v.to_string());
+            }
+            '}' => {
+                if chars.peek() == Some(&'}') {
+                    chars.next();
+                    out.push('}');
+                } else {
+                    return Err(GcxError::Parse(format!(
+                        "unmatched '}}' in command template '{template}'"
+                    )));
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Ok(out)
+}
+
+/// A token from the shell lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShTok {
+    /// A word (after quote removal). The bool records whether any part was
+    /// quoted — quoted words are exempt from variable expansion checks the
+    /// caller may apply.
+    Word(String),
+    /// `|`
+    Pipe,
+    /// `;`
+    Semi,
+    /// `&&`
+    AndIf,
+    /// `||`
+    OrIf,
+    /// `>`
+    RedirOut,
+    /// `>>`
+    RedirAppend,
+    /// `<`
+    RedirIn,
+}
+
+/// Tokenize a command line. Handles single quotes (literal), double quotes
+/// (allow `$VAR` expansion later — we expand before tokenizing, see
+/// [`expand_vars`]), backslash escapes outside quotes, and the operators
+/// `| ; && || > >> <`. Comments (`#` at word start) run to end of line.
+pub fn tokenize(line: &str) -> GcxResult<Vec<ShTok>> {
+    let mut toks = Vec::new();
+    let mut chars = line.chars().peekable();
+    let mut cur = String::new();
+    let mut has_word = false;
+
+    macro_rules! flush {
+        () => {
+            if has_word {
+                toks.push(ShTok::Word(std::mem::take(&mut cur)));
+                #[allow(unused_assignments)]
+                {
+                    has_word = false;
+                }
+            }
+        };
+    }
+
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' => flush!(),
+            '#' if !has_word => break,
+            '\'' => {
+                has_word = true;
+                let mut closed = false;
+                for c2 in chars.by_ref() {
+                    if c2 == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    cur.push(c2);
+                }
+                if !closed {
+                    return Err(GcxError::Parse("unterminated single quote".into()));
+                }
+            }
+            '"' => {
+                has_word = true;
+                let mut closed = false;
+                while let Some(c2) = chars.next() {
+                    match c2 {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some('"') => cur.push('"'),
+                            Some('\\') => cur.push('\\'),
+                            Some('n') => cur.push('\n'),
+                            Some(other) => {
+                                cur.push('\\');
+                                cur.push(other);
+                            }
+                            None => return Err(GcxError::Parse("dangling escape".into())),
+                        },
+                        other => cur.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(GcxError::Parse("unterminated double quote".into()));
+                }
+            }
+            '\\' => {
+                has_word = true;
+                match chars.next() {
+                    Some(c2) => cur.push(c2),
+                    None => return Err(GcxError::Parse("dangling escape".into())),
+                }
+            }
+            '|' => {
+                flush!();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    toks.push(ShTok::OrIf);
+                } else {
+                    toks.push(ShTok::Pipe);
+                }
+            }
+            ';' => {
+                flush!();
+                toks.push(ShTok::Semi);
+            }
+            '&' => {
+                flush!();
+                if chars.next() == Some('&') {
+                    toks.push(ShTok::AndIf);
+                } else {
+                    return Err(GcxError::Parse("background '&' is not supported".into()));
+                }
+            }
+            '>' => {
+                flush!();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    toks.push(ShTok::RedirAppend);
+                } else {
+                    toks.push(ShTok::RedirOut);
+                }
+            }
+            '<' => {
+                flush!();
+                toks.push(ShTok::RedirIn);
+            }
+            other => {
+                has_word = true;
+                cur.push(other);
+            }
+        }
+    }
+    flush!();
+    Ok(toks)
+}
+
+/// Expand `$VAR` and `${VAR}` from `env`. Text inside single quotes is kept
+/// literal (so expansion runs *before* tokenization, scanning quotes the
+/// same way the tokenizer does). Unknown variables expand to empty, like a
+/// POSIX shell.
+pub fn expand_vars(line: &str, env: &BTreeMap<String, String>) -> String {
+    let mut out = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_single = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                in_single = !in_single;
+                out.push(c);
+            }
+            '$' if !in_single => {
+                let braced = chars.peek() == Some(&'{');
+                if braced {
+                    chars.next();
+                }
+                let mut name = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        name.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if braced {
+                    if chars.peek() == Some(&'}') {
+                        chars.next();
+                    } else {
+                        // Malformed ${...: emit literally.
+                        out.push_str("${");
+                        out.push_str(&name);
+                        continue;
+                    }
+                }
+                if name.is_empty() {
+                    out.push('$');
+                    if braced {
+                        out.push('{');
+                    }
+                } else if let Some(v) = env.get(&name) {
+                    out.push_str(v);
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing2_formatting() {
+        // ShellFunction("echo '{message}'") formatted with message kwargs.
+        let kw = Value::map([("message", Value::str("hello"))]);
+        assert_eq!(format_command("echo '{message}'", &kw).unwrap(), "echo 'hello'");
+    }
+
+    #[test]
+    fn format_multiple_and_numeric() {
+        let kw = Value::map([("n", Value::Int(4)), ("f", Value::str("in.dat"))]);
+        assert_eq!(
+            format_command("solver -n {n} < {f}", &kw).unwrap(),
+            "solver -n 4 < in.dat"
+        );
+    }
+
+    #[test]
+    fn format_escaped_braces() {
+        let kw = Value::map([("x", Value::Int(1))]);
+        assert_eq!(format_command("awk '{{print}}' {x}", &kw).unwrap(), "awk '{print}' 1");
+    }
+
+    #[test]
+    fn format_errors() {
+        let kw = Value::map([] as [(&str, Value); 0]);
+        assert!(format_command("echo {missing}", &kw).is_err());
+        assert!(format_command("echo {unclosed", &kw).is_err());
+        assert!(format_command("echo closed}", &kw).is_err());
+        assert!(format_command("x", &Value::Int(3)).is_err());
+    }
+
+    #[test]
+    fn format_no_placeholders_passthrough() {
+        assert_eq!(format_command("hostname", &Value::None).unwrap(), "hostname");
+    }
+
+    #[test]
+    fn tokenize_words_and_quotes() {
+        let toks = tokenize("echo 'a b' \"c d\" e\\ f").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                ShTok::Word("echo".into()),
+                ShTok::Word("a b".into()),
+                ShTok::Word("c d".into()),
+                ShTok::Word("e f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenize_operators() {
+        let toks = tokenize("a && b || c ; d | e > f >> g < h").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                ShTok::Word("a".into()),
+                ShTok::AndIf,
+                ShTok::Word("b".into()),
+                ShTok::OrIf,
+                ShTok::Word("c".into()),
+                ShTok::Semi,
+                ShTok::Word("d".into()),
+                ShTok::Pipe,
+                ShTok::Word("e".into()),
+                ShTok::RedirOut,
+                ShTok::Word("f".into()),
+                ShTok::RedirAppend,
+                ShTok::Word("g".into()),
+                ShTok::RedirIn,
+                ShTok::Word("h".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenize_adjacent_quotes_join() {
+        let toks = tokenize("ab'c d'ef").unwrap();
+        assert_eq!(toks, vec![ShTok::Word("abc def".into())]);
+    }
+
+    #[test]
+    fn tokenize_comment() {
+        let toks = tokenize("echo hi # a comment").unwrap();
+        assert_eq!(toks.len(), 2);
+        // '#' glued to a word is literal.
+        let toks = tokenize("echo hi#not-comment").unwrap();
+        assert_eq!(toks[1], ShTok::Word("hi#not-comment".into()));
+    }
+
+    #[test]
+    fn tokenize_errors() {
+        assert!(tokenize("echo 'oops").is_err());
+        assert!(tokenize("echo \"oops").is_err());
+        assert!(tokenize("sleep 5 &").is_err());
+        assert!(tokenize("x \\").is_err());
+    }
+
+    #[test]
+    fn expand_variables() {
+        let mut env = BTreeMap::new();
+        env.insert("USER".to_string(), "alice".to_string());
+        env.insert("N".to_string(), "4".to_string());
+        assert_eq!(expand_vars("hello $USER", &env), "hello alice");
+        assert_eq!(expand_vars("n=${N}x", &env), "n=4x");
+        assert_eq!(expand_vars("$MISSING!", &env), "!");
+        assert_eq!(expand_vars("'$USER'", &env), "'$USER'", "single quotes are literal");
+        assert_eq!(expand_vars("cost $", &env), "cost $");
+        assert_eq!(expand_vars("${unterminated", &env), "${unterminated");
+    }
+
+    #[test]
+    fn mpi_prefix_expansion_shape() {
+        // The $PARSL_MPI_PREFIX pattern used by MPIFunction (§III-C.1).
+        let mut env = BTreeMap::new();
+        env.insert(
+            "PARSL_MPI_PREFIX".to_string(),
+            "mpiexec -n 4 -host node1,node2".to_string(),
+        );
+        assert_eq!(
+            expand_vars("$PARSL_MPI_PREFIX hostname", &env),
+            "mpiexec -n 4 -host node1,node2 hostname"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the shell substrate.
+
+use std::collections::BTreeMap;
+
+use gcx_core::clock::SystemClock;
+use gcx_core::value::Value;
+use gcx_shell::words::{expand_vars, tokenize, ShTok};
+use gcx_shell::{format_command, ShellExecutor, Vfs};
+use proptest::prelude::*;
+
+proptest! {
+    /// The tokenizer never panics on arbitrary input.
+    #[test]
+    fn tokenizer_never_panics(line in ".{0,200}") {
+        let _ = tokenize(&line);
+    }
+
+    /// Quoting round-trip: any word list, single-quoted, tokenizes back to
+    /// the same words (single quotes make everything literal).
+    #[test]
+    fn quoted_words_roundtrip(words in prop::collection::vec("[^']{0,16}", 1..8)) {
+        let line: String = words
+            .iter()
+            .map(|w| format!("'{w}'"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let toks = tokenize(&line).unwrap();
+        let got: Vec<String> = toks
+            .into_iter()
+            .map(|t| match t {
+                ShTok::Word(w) => w,
+                other => panic!("unexpected token {other:?}"),
+            })
+            .collect();
+        prop_assert_eq!(got, words);
+    }
+
+    /// Variable expansion is total and only ever substitutes known names.
+    #[test]
+    fn expand_vars_total(
+        line in "[ -~]{0,80}",
+        value in "[a-z0-9]{0,10}",
+    ) {
+        let mut env = BTreeMap::new();
+        env.insert("VAR".to_string(), value.clone());
+        let out = expand_vars(&line, &env);
+        // Output growth is bounded by the number of possible substitutions.
+        let bare = line.matches("$VAR").count();
+        let braced = line.matches("${VAR}").count();
+        let bound = line.len() + (bare + braced) * value.len();
+        let within = out.len() <= bound;
+        prop_assert!(within, "out {} > bound {}", out.len(), bound);
+    }
+
+    /// format_command with fully-supplied kwargs never errors and replaces
+    /// every placeholder.
+    #[test]
+    fn format_command_total(
+        names in prop::collection::btree_set("[a-z]{1,8}", 1..5),
+        filler in "[a-zA-Z0-9 ]{0,20}",
+    ) {
+        let mut template = String::new();
+        let mut kwargs = std::collections::BTreeMap::new();
+        for (i, name) in names.iter().enumerate() {
+            template.push_str(&filler);
+            template.push_str(&format!("{{{name}}}"));
+            kwargs.insert(name.clone(), Value::Int(i as i64));
+        }
+        let out = format_command(&template, &Value::Map(kwargs)).unwrap();
+        let no_open = !out.contains('\u{7b}');
+        let no_close = !out.contains('\u{7d}');
+        prop_assert!(no_open, "unreplaced open brace in: {}", out);
+        prop_assert!(no_close, "unreplaced close brace in: {}", out);
+    }
+
+    /// echo is the identity for safe words: the shell never corrupts
+    /// argument data on the way through.
+    #[test]
+    fn echo_is_identity(words in prop::collection::vec("[a-zA-Z0-9_.-]{1,12}", 1..6)) {
+        let sh = ShellExecutor::new(Vfs::new(), SystemClock::shared());
+        let line = format!("echo {}", words.join(" "));
+        let out = sh.run(&line, &BTreeMap::new(), "/", None).unwrap();
+        prop_assert_eq!(out.returncode, 0);
+        prop_assert_eq!(out.stdout.trim_end(), words.join(" "));
+    }
+
+    /// Redirect + cat round-trips arbitrary printable content through the
+    /// virtual filesystem.
+    #[test]
+    fn redirect_cat_roundtrip(content in "[a-zA-Z0-9 ]{1,40}") {
+        let sh = ShellExecutor::new(Vfs::new(), SystemClock::shared());
+        let env = BTreeMap::new();
+        sh.run(&format!("echo {content} > /f.txt"), &env, "/", None).unwrap();
+        let out = sh.run("cat /f.txt", &env, "/", None).unwrap();
+        // Unquoted words collapse runs of whitespace, like a real shell.
+        let normalized = content.split_whitespace().collect::<Vec<_>>().join(" ");
+        prop_assert_eq!(out.stdout.trim_end(), normalized);
+    }
+
+    /// seq N | wc -l == N for any small N.
+    #[test]
+    fn seq_wc_identity(n in 1i64..200) {
+        let sh = ShellExecutor::new(Vfs::new(), SystemClock::shared());
+        let out = sh.run(&format!("seq {n} | wc -l"), &BTreeMap::new(), "/", None).unwrap();
+        prop_assert_eq!(out.stdout.trim(), n.to_string());
+    }
+
+    /// The shell executor never panics on arbitrary command lines (errors
+    /// are values).
+    #[test]
+    fn executor_never_panics(line in "[ -~]{0,120}") {
+        let sh = ShellExecutor::new(Vfs::new(), SystemClock::shared());
+        let _ = sh.run(&line, &BTreeMap::new(), "/", Some(1_000));
+    }
+}

@@ -1,0 +1,171 @@
+//! A Delta-style predictive scheduler over multiple endpoints (§VI
+//! "Resource scheduling").
+//!
+//! "Delta builds on Globus Compute to provide a single interface for task
+//! submission to many endpoints. Delta profiles the execution of functions
+//! on different endpoints, constructing a predictive model that can
+//! estimate runtime based on the specific capabilities of each resource."
+//!
+//! This example registers three endpoints with very different "hardware"
+//! (per-task compute speed is simulated by how much `sleep` a task costs on
+//! that endpoint's workers), profiles a function on each, and then routes a
+//! batch of tasks to minimize predicted completion time. It exercises only
+//! public APIs: a scheduler like Delta needs nothing beyond what the SDK
+//! exposes.
+//!
+//! Run: `cargo run --example delta_scheduler`
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use gcx::auth::AuthPolicy;
+use gcx::cloud::WebService;
+use gcx::core::clock::SystemClock;
+use gcx::core::ids::EndpointId;
+use gcx::core::value::Value;
+use gcx::endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
+use gcx::sdk::{Executor, PyFunction, TaskFuture};
+
+/// (name, simulated per-unit compute seconds, workers).
+const SITES: &[(&str, f64, u32)] = &[
+    ("edge-pi", 0.030, 2),        // slow, tiny
+    ("campus-cluster", 0.015, 2), // mid
+    ("hpc-polaris", 0.005, 2),    // fast per-core, but a small allocation
+];
+
+fn main() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login("delta@scheduler.dev").unwrap();
+
+    // ---- deploy the fleet (ordered to match SITES) --------------------------
+    let mut agents = Vec::new();
+    let mut fleet: Vec<(EndpointId, &str, f64, Executor)> = Vec::new();
+    for (name, speed, workers) in SITES {
+        let reg = cloud
+            .register_endpoint(&token, name, false, AuthPolicy::open(), None)
+            .unwrap();
+        let config = EndpointConfig::from_yaml(&format!(
+            "engine:\n  type: GlobusComputeEngine\n  workers_per_node: {workers}\n"
+        ))
+        .unwrap();
+        let mut env = AgentEnv::local(SystemClock::shared());
+        env.hostname = name.to_string();
+        agents.push(
+            EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env)
+                .unwrap(),
+        );
+        let ex = Executor::new(cloud.clone(), token.clone(), reg.endpoint_id).unwrap();
+        fleet.push((reg.endpoint_id, name, *speed, ex));
+    }
+
+    // The workload: `units` units of compute; each site pays its own
+    // per-unit cost (the {speed} kwarg is bound per site at profile time,
+    // standing in for real hardware differences).
+    let work = PyFunction::new(
+        "def work(units, speed):\n    sleep(units * speed)\n    return units\n",
+    );
+
+    // ---- profiling phase (what Delta does continuously) --------------------
+    println!("profiling one 5-unit task per endpoint:");
+    let mut profile: HashMap<EndpointId, f64> = HashMap::new();
+    for (ep, name, speed, ex) in &fleet {
+        let started = Instant::now();
+        let fut = ex
+            .submit(
+                &work,
+                vec![Value::Int(5)],
+                Value::map([("speed", Value::Float(*speed))]),
+            )
+            .unwrap();
+        fut.result_timeout(Duration::from_secs(30)).unwrap();
+        let per_unit = started.elapsed().as_secs_f64() / 5.0;
+        println!("  {name:>15}: {:.1} ms/unit", per_unit * 1000.0);
+        profile.insert(*ep, per_unit);
+    }
+
+    // ---- scheduling phase ---------------------------------------------------
+    // Greedy earliest-completion-time: assign each task to the endpoint with
+    // the smallest predicted finish time — per-unit cost from the profile,
+    // queued work amortized over the site's worker count.
+    let tasks: Vec<i64> = (0..24).map(|i| 1 + (i % 6)).collect(); // 1..6 units
+    let mut backlog: HashMap<EndpointId, f64> = profile.keys().map(|k| (*k, 0.0)).collect();
+    let mut placements: Vec<(usize, i64)> = Vec::new(); // (fleet index, units)
+    for units in &tasks {
+        let predict = |i: usize, units: i64| -> f64 {
+            let ep = fleet[i].0;
+            let workers = SITES[i].2 as f64;
+            backlog[&ep] / workers + units as f64 * profile[&ep]
+        };
+        let best = (0..fleet.len())
+            .min_by(|a, b| predict(*a, *units).partial_cmp(&predict(*b, *units)).unwrap())
+            .unwrap();
+        let ep = fleet[best].0;
+        *backlog.get_mut(&ep).unwrap() += *units as f64 * profile[&ep];
+        placements.push((best, *units));
+    }
+
+    let started = Instant::now();
+    let futures: Vec<TaskFuture> = placements
+        .iter()
+        .map(|(idx, units)| {
+            let (_, _, speed, ex) = &fleet[*idx];
+            ex.submit(
+                &work,
+                vec![Value::Int(*units)],
+                Value::map([("speed", Value::Float(*speed))]),
+            )
+            .unwrap()
+        })
+        .collect();
+    for fut in &futures {
+        fut.result_timeout(Duration::from_secs(60)).unwrap();
+    }
+    let smart = started.elapsed();
+
+    // Baseline: everything on the single fastest-profiled endpoint.
+    let fastest = (0..fleet.len())
+        .min_by(|a, b| profile[&fleet[*a].0].partial_cmp(&profile[&fleet[*b].0]).unwrap())
+        .unwrap();
+    let (_, fast_name, fast_speed, fast_ex) = &fleet[fastest];
+    let started = Instant::now();
+    let futs: Vec<TaskFuture> = tasks
+        .iter()
+        .map(|units| {
+            fast_ex
+                .submit(
+                    &work,
+                    vec![Value::Int(*units)],
+                    Value::map([("speed", Value::Float(*fast_speed))]),
+                )
+                .unwrap()
+        })
+        .collect();
+    for fut in &futs {
+        fut.result_timeout(Duration::from_secs(60)).unwrap();
+    }
+    let single = started.elapsed();
+
+    // ---- report --------------------------------------------------------------
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for (idx, _) in &placements {
+        *counts.entry(fleet[*idx].1).or_insert(0) += 1;
+    }
+    println!("\nplacements across the fleet:");
+    for (name, _, _) in SITES {
+        println!("  {name:>15}: {} tasks", counts.get(name).copied().unwrap_or(0));
+    }
+    println!(
+        "\nmakespan: fleet-scheduled {:.2}s vs fastest-site-only {:.2}s ({fast_name})",
+        smart.as_secs_f64(),
+        single.as_secs_f64()
+    );
+    println!("(Delta's point: profiling + prediction beats static placement.)");
+
+    for (_, _, _, ex) in fleet {
+        ex.close();
+    }
+    for a in agents {
+        a.stop();
+    }
+    cloud.shutdown();
+}

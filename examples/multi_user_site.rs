@@ -1,0 +1,151 @@
+//! A multi-user endpoint deployment — §IV and Listings 8–10.
+//!
+//! An administrator deploys one multi-user endpoint on a shared cluster:
+//! identity mapping restricts access to `@uchicago.edu` users (Listing 8),
+//! a Jinja template fixes the provider/partition while exposing
+//! `NODES_PER_BLOCK`, `ACCOUNT_ID`, and `WALLTIME` to users (Listing 9),
+//! and a schema guards against injection. Users then submit tasks with
+//! their own `user_endpoint_config`s (Listing 10) and user endpoints are
+//! spawned on demand, keyed by config hash.
+//!
+//! Run with: `cargo run --example multi_user_site`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gcx::auth::{AuthPolicy, ExpressionMapping, IdentityMapper};
+use gcx::batch::{BatchScheduler, ClusterSpec};
+use gcx::cloud::WebService;
+use gcx::config::{Schema, Template};
+use gcx::core::clock::SystemClock;
+use gcx::core::value::Value;
+use gcx::endpoint::AgentEnv;
+use gcx::mep::{MepSetup, MultiUserEndpoint};
+use gcx::sdk::{Executor, PyFunction};
+
+fn main() {
+    let clock = SystemClock::shared();
+    let cloud = WebService::with_defaults(clock.clone());
+
+    // ---- administrator side ----------------------------------------------
+    let (_, admin_token) = cloud.auth().login("admin@uchicago.edu").unwrap();
+    let reg = cloud
+        .register_endpoint(&admin_token, "midway-mep", true, AuthPolicy::open(), None)
+        .unwrap();
+
+    // Listing 8: map any @uchicago.edu identity to its local username.
+    let mut mapper = IdentityMapper::new();
+    mapper
+        .add_expression(ExpressionMapping {
+            source: "{username}".into(),
+            pattern: r"(.*)@uchicago\.edu".into(),
+            output: "{0}".into(),
+            ignore_case: true,
+        })
+        .unwrap();
+
+    // Listing 9: the admin template — fixed provider, user-tunable knobs.
+    let template = Template::parse(
+        "engine:\n  type: GlobusComputeEngine\n  nodes_per_block: {{ NODES_PER_BLOCK }}\n\nprovider:\n  type: SlurmProvider\n  partition: cpu\n  account: \"{{ ACCOUNT_ID }}\"\n  walltime: \"{{ WALLTIME|default(\"00:30:00\") }}\"\n",
+    )
+    .unwrap();
+
+    // Schema: protect against injections.
+    let schema = Schema::compile(&Value::map([
+        ("type", Value::str("object")),
+        (
+            "properties",
+            Value::map([
+                (
+                    "NODES_PER_BLOCK",
+                    Value::map([
+                        ("type", Value::str("integer")),
+                        ("minimum", Value::Int(1)),
+                        ("maximum", Value::Int(64)),
+                    ]),
+                ),
+                (
+                    "ACCOUNT_ID",
+                    Value::map([("type", Value::str("string")), ("pattern", Value::str("[0-9]+"))]),
+                ),
+                (
+                    "WALLTIME",
+                    Value::map([
+                        ("type", Value::str("string")),
+                        ("pattern", Value::str("[0-9][0-9]:[0-9][0-9]:[0-9][0-9]")),
+                    ]),
+                ),
+            ]),
+        ),
+        ("required", Value::List(vec![Value::str("NODES_PER_BLOCK"), Value::str("ACCOUNT_ID")])),
+        ("additionalProperties", Value::Bool(false)),
+    ]))
+    .unwrap();
+
+    // The cluster all user endpoints share.
+    let scheduler = BatchScheduler::new(ClusterSpec::simple(32), clock.clone());
+    let env_factory = {
+        let scheduler = scheduler.clone();
+        let clock = clock.clone();
+        Arc::new(move |local_user: &str| {
+            let mut env = AgentEnv::local(clock.clone());
+            env.scheduler = Some(scheduler.clone());
+            env.hostname = format!("midway-{local_user}");
+            env
+        })
+    };
+
+    let mep = MultiUserEndpoint::start(
+        cloud.clone(),
+        reg.endpoint_id,
+        &reg.queue_credential,
+        MepSetup {
+            mapper,
+            template,
+            schema: Some(schema),
+            env_factory,
+            idle_shutdown: None,
+        },
+    )
+    .unwrap();
+    println!("multi-user endpoint deployed: {}", reg.endpoint_id);
+
+    // ---- user side (Listing 10) -------------------------------------------
+    let whoami = PyFunction::new("def whoami():\n    return hostname()\n");
+    let users = [
+        ("kyle@uchicago.edu", 4, "271828182"),
+        ("rachana@uchicago.edu", 8, "314159265"),
+        ("kyle@uchicago.edu", 8, "271828182"), // same user, different config
+    ];
+    for (user, nodes, account) in users {
+        let (_, token) = cloud.auth().login(user).unwrap();
+        let ex = Executor::new(cloud.clone(), token, reg.endpoint_id).unwrap();
+        let uep_conf = Value::map([
+            ("NODES_PER_BLOCK", Value::Int(nodes)),
+            ("ACCOUNT_ID", Value::str(account)),
+            ("WALLTIME", Value::str("00:20:00")),
+        ]);
+        ex.set_user_endpoint_config(uep_conf);
+        let fut = ex.submit(&whoami, vec![], Value::None).unwrap();
+        let res = fut.result_timeout(Duration::from_secs(20)).unwrap();
+        println!("  {user} (nodes={nodes}) ran on {res}");
+        ex.close();
+    }
+    println!(
+        "user endpoints spawned: {} (for 3 submissions — config-hash reuse)",
+        mep.total_spawned()
+    );
+
+    // An outsider is denied by identity mapping.
+    let (_, outsider) = cloud.auth().login("mallory@untrusted.example").unwrap();
+    let ex = Executor::new(cloud.clone(), outsider, reg.endpoint_id).unwrap();
+    let fut = ex.submit(&whoami, vec![], Value::None).unwrap();
+    match fut.result_timeout(Duration::from_secs(20)) {
+        Err(e) => println!("  mallory@untrusted.example denied: {e}"),
+        Ok(v) => panic!("outsider must not run tasks, got {v}"),
+    }
+    ex.close();
+
+    mep.stop();
+    cloud.shutdown();
+}

@@ -1,0 +1,33 @@
+//! # gcx — Globus Compute in Rust
+//!
+//! A from-scratch Rust reproduction of the ecosystem described in the SC24
+//! paper *"Establishing a High-Performance and Productive Ecosystem for
+//! Distributed Execution of Python Functions Using Globus Compute"*.
+//!
+//! This umbrella crate re-exports the workspace's public API. See
+//! `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record.
+//!
+//! The typical entry points are:
+//! - [`sdk::Executor`] — the future-based executor interface (§III-A);
+//! - [`sdk::ShellFunction`] / [`sdk::MpiFunction`] — shell and MPI function
+//!   types (§III-B/C);
+//! - [`cloud::WebService`] — the in-process Globus Compute web service;
+//! - [`endpoint`] — endpoint agents and engines;
+//! - [`mep::MultiUserEndpoint`] — administrator-deployed multi-user
+//!   endpoints (§IV);
+//! - [`proxystore`] / [`transfer`] — out-of-band data movement (§V).
+
+pub use gcx_auth as auth;
+pub use gcx_batch as batch;
+pub use gcx_cloud as cloud;
+pub use gcx_config as config;
+pub use gcx_core as core;
+pub use gcx_endpoint as endpoint;
+pub use gcx_mep as mep;
+pub use gcx_mq as mq;
+pub use gcx_proxystore as proxystore;
+pub use gcx_pyfn as pyfn;
+pub use gcx_sdk as sdk;
+pub use gcx_shell as shell;
+pub use gcx_transfer as transfer;

@@ -1,0 +1,132 @@
+//! Integration tests for best-effort task cancellation.
+
+use std::time::Duration;
+
+use gcx::auth::AuthPolicy;
+use gcx::cloud::WebService;
+use gcx::core::clock::SystemClock;
+use gcx::core::error::GcxError;
+use gcx::core::task::TaskState;
+use gcx::core::value::Value;
+use gcx::endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
+use gcx::sdk::{Client, Executor, PyFunction};
+
+#[test]
+fn cancel_buffered_task_never_executes() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login("cancel@test.org").unwrap();
+    let client = Client::new(cloud.clone(), token.clone());
+    let reg = cloud
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    // A side-effecting function: if it ever ran, the counter would move.
+    let fid = client
+        .register_function(&PyFunction::new("def f():\n    return 'executed'\n"))
+        .unwrap();
+
+    // Submit while the endpoint is offline, then cancel.
+    let task = client.run(fid, reg.endpoint_id, vec![], Value::None).unwrap();
+    client.cancel(task).unwrap();
+    let (state, result) = client.task_status(task).unwrap();
+    assert_eq!(state, TaskState::Cancelled);
+    assert!(matches!(result, Some(gcx::core::task::TaskResult::Err(m)) if m.contains("cancelled")));
+
+    // Now the agent comes online: it must skip the cancelled task.
+    let config = EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n").unwrap();
+    let agent = EndpointAgent::start(
+        &cloud,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(SystemClock::shared()),
+    )
+    .unwrap();
+
+    // Submit a sentinel task and wait for it: once it completes we know the
+    // agent has drained past the cancelled task.
+    let sentinel = client.run(fid, reg.endpoint_id, vec![], Value::None).unwrap();
+    client
+        .get_result(sentinel, Duration::from_millis(5), Duration::from_secs(10))
+        .unwrap();
+    let (state, _) = client.task_status(task).unwrap();
+    assert_eq!(state, TaskState::Cancelled, "cancelled task stays cancelled");
+    // The engine executed exactly one task (the sentinel): the cancelled one
+    // was acked without dispatch, visible via the dispatch metric being the
+    // cloud-side count of completed results.
+    assert_eq!(cloud.metrics().counter("cloud.results_processed").get(), 1);
+
+    agent.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn cancel_completed_task_errors() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login("late@test.org").unwrap();
+    let client = Client::new(cloud.clone(), token.clone());
+    let reg = cloud
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    let config = EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n").unwrap();
+    let agent = EndpointAgent::start(
+        &cloud,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(SystemClock::shared()),
+    )
+    .unwrap();
+    let fid = client
+        .register_function(&PyFunction::new("def f():\n    return 1\n"))
+        .unwrap();
+    let task = client.run(fid, reg.endpoint_id, vec![], Value::None).unwrap();
+    client
+        .get_result(task, Duration::from_millis(5), Duration::from_secs(10))
+        .unwrap();
+    let err = client.cancel(task).unwrap_err();
+    assert!(err.to_string().contains("already"), "{err}");
+    agent.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn executor_cancel_resolves_future() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login("exec-cancel@test.org").unwrap();
+    let reg = cloud
+        .register_endpoint(&token, "offline-ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    // No agent: tasks buffer forever unless cancelled.
+    let ex = Executor::new(cloud.clone(), token, reg.endpoint_id).unwrap();
+    let f = PyFunction::new("def f():\n    return 1\n");
+    let fut = ex.submit(&f, vec![], Value::None).unwrap();
+    // Give the batcher a moment to flush, then cancel.
+    std::thread::sleep(Duration::from_millis(60));
+    assert!(ex.cancel(&fut).unwrap());
+    let err = fut.result_timeout(Duration::from_secs(2)).unwrap_err();
+    assert!(matches!(err, GcxError::Cancelled(id) if id == fut.task_id()));
+    assert_eq!(ex.inflight(), 0);
+    // Cancelling an already-resolved future reports false.
+    assert!(!ex.cancel(&fut).unwrap());
+    ex.close();
+    cloud.shutdown();
+}
+
+#[test]
+fn others_cannot_cancel_your_tasks() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, alice) = cloud.auth().login("alice@t.org").unwrap();
+    let (_, mallory) = cloud.auth().login("mallory@t.org").unwrap();
+    let alice_client = Client::new(cloud.clone(), alice.clone());
+    let mallory_client = Client::new(cloud.clone(), mallory);
+    let reg = cloud
+        .register_endpoint(&alice, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    let fid = alice_client
+        .register_function(&PyFunction::new("def f():\n    return 1\n"))
+        .unwrap();
+    let task = alice_client.run(fid, reg.endpoint_id, vec![], Value::None).unwrap();
+    let err = mallory_client.cancel(task).unwrap_err();
+    assert!(matches!(err, GcxError::Forbidden(_)));
+    cloud.shutdown();
+}

@@ -1,0 +1,213 @@
+//! Integration tests for the multi-user endpoint flow (Fig. 1, §IV),
+//! including cloud-side policies and allowed-function lists.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gcx::auth::{AuthPolicy, ExpressionMapping, IdentityMapper};
+use gcx::cloud::WebService;
+use gcx::config::Template;
+use gcx::core::clock::SystemClock;
+use gcx::core::error::GcxError;
+use gcx::core::value::Value;
+use gcx::endpoint::AgentEnv;
+use gcx::mep::{MepSetup, MultiUserEndpoint};
+use gcx::sdk::{Executor, PyFunction};
+
+const TEMPLATE: &str =
+    "engine:\n  type: GlobusComputeEngine\n  workers_per_node: {{ WORKERS|default(2) }}\n";
+
+fn mapper_for(domain: &str) -> IdentityMapper {
+    let mut mapper = IdentityMapper::new();
+    mapper.add_expression(ExpressionMapping::username_capture(domain)).unwrap();
+    mapper
+}
+
+fn env_factory() -> gcx::mep::EnvFactory {
+    Arc::new(|local_user: &str| {
+        let mut env = AgentEnv::local(SystemClock::shared());
+        env.hostname = format!("host-{local_user}");
+        env
+    })
+}
+
+#[test]
+fn fig1_full_flow_submit_spawn_execute() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, admin) = cloud.auth().login("root@site.edu").unwrap();
+    let reg = cloud
+        .register_endpoint(&admin, "mep", true, AuthPolicy::open(), None)
+        .unwrap();
+    let mep = MultiUserEndpoint::start(
+        cloud.clone(),
+        reg.endpoint_id,
+        &reg.queue_credential,
+        MepSetup::new(mapper_for("site.edu"), Template::parse(TEMPLATE).unwrap(), env_factory()),
+    )
+    .unwrap();
+
+    // Step 1: the user submits to the MEP id with a config.
+    let (_, user) = cloud.auth().login("jane@site.edu").unwrap();
+    let ex = Executor::new(cloud.clone(), user, reg.endpoint_id).unwrap();
+    ex.set_user_endpoint_config(Value::map([("WORKERS", Value::Int(2))]));
+    let f = PyFunction::new("def f():\n    return hostname()\n");
+    // Steps 2–3 happen behind the scenes; the future just resolves.
+    let fut = ex.submit(&f, vec![], Value::None).unwrap();
+    let host = fut.result_timeout(Duration::from_secs(20)).unwrap();
+    assert!(host.as_str().unwrap().starts_with("host-jane"));
+    assert_eq!(mep.total_spawned(), 1);
+
+    // The spawned UEP is tracked by the cloud under the MEP.
+    assert_eq!(cloud.user_endpoints_of(reg.endpoint_id).len(), 1);
+    ex.close();
+    mep.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn fan_out_many_users_many_configs() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, admin) = cloud.auth().login("root@hpc.org").unwrap();
+    let reg = cloud
+        .register_endpoint(&admin, "mep", true, AuthPolicy::open(), None)
+        .unwrap();
+    let mep = MultiUserEndpoint::start(
+        cloud.clone(),
+        reg.endpoint_id,
+        &reg.queue_credential,
+        MepSetup::new(mapper_for("hpc.org"), Template::parse(TEMPLATE).unwrap(), env_factory()),
+    )
+    .unwrap();
+
+    let f = PyFunction::new("def f(x):\n    return x\n");
+    let mut futures = Vec::new();
+    // 4 users × 2 configs = 8 distinct user endpoints.
+    for u in 0..4 {
+        let (_, token) = cloud.auth().login(&format!("user{u}@hpc.org")).unwrap();
+        for w in [1i64, 2] {
+            let ex = Executor::new(cloud.clone(), token.clone(), reg.endpoint_id).unwrap();
+            ex.set_user_endpoint_config(Value::map([("WORKERS", Value::Int(w))]));
+            futures.push((ex, w));
+        }
+    }
+    let pending: Vec<_> = futures
+        .iter()
+        .map(|(ex, w)| ex.submit(&f, vec![Value::Int(*w)], Value::None).unwrap())
+        .collect();
+    for fut in &pending {
+        fut.result_timeout(Duration::from_secs(30)).unwrap();
+    }
+    assert_eq!(mep.total_spawned(), 8);
+    assert_eq!(mep.local_users().len(), 4);
+    for (ex, _) in futures {
+        ex.close();
+    }
+    mep.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn cloud_policy_blocks_before_mep_sees_anything() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, admin) = cloud.auth().login("root@anl.gov").unwrap();
+    // Policy: only anl.gov identities may even submit (§IV-A.5 is enforced
+    // at the web service, before the endpoint).
+    let reg = cloud
+        .register_endpoint(&admin, "mep", true, AuthPolicy::domains(&["anl.gov"]), None)
+        .unwrap();
+    let mep = MultiUserEndpoint::start(
+        cloud.clone(),
+        reg.endpoint_id,
+        &reg.queue_credential,
+        MepSetup::new(mapper_for("anl.gov"), Template::parse(TEMPLATE).unwrap(), env_factory()),
+    )
+    .unwrap();
+
+    let (_, outsider) = cloud.auth().login("eve@other.org").unwrap();
+    let ex = Executor::new(cloud.clone(), outsider, reg.endpoint_id).unwrap();
+    let f = PyFunction::new("def f():\n    return 1\n");
+    let fut = ex.submit(&f, vec![], Value::None).unwrap();
+    let err = fut.result_timeout(Duration::from_secs(10)).unwrap_err();
+    assert!(matches!(err, GcxError::Forbidden(_)), "{err}");
+    // The MEP never spawned anything — the cloud rejected the submission.
+    assert_eq!(mep.total_spawned(), 0);
+    assert_eq!(mep.denied(), 0);
+    ex.close();
+    mep.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn allowed_functions_restrict_gateway_endpoints() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, admin) = cloud.auth().login("gateway@esgf.org").unwrap();
+    // A science-gateway style deployment (§VI): only the reviewed function
+    // may run.
+    let approved = cloud
+        .register_function(
+            &admin,
+            gcx::core::function::FunctionBody::pyfn("def approved():\n    return 'ok'\n"),
+        )
+        .unwrap();
+    let reg = cloud
+        .register_endpoint(&admin, "gateway-mep", true, AuthPolicy::open(), Some(vec![approved]))
+        .unwrap();
+    let mep = MultiUserEndpoint::start(
+        cloud.clone(),
+        reg.endpoint_id,
+        &reg.queue_credential,
+        MepSetup::new(mapper_for("esgf.org"), Template::parse(TEMPLATE).unwrap(), env_factory()),
+    )
+    .unwrap();
+
+    let (_, user) = cloud.auth().login("scientist@esgf.org").unwrap();
+
+    // The approved function runs…
+    let client = gcx::sdk::Client::new(cloud.clone(), user.clone());
+    let mut spec = gcx::core::task::TaskSpec::new(approved, reg.endpoint_id);
+    spec.user_endpoint_config = Value::map([("WORKERS", Value::Int(1))]);
+    let task = client.run_spec(spec).unwrap();
+    let out = client
+        .get_result(task, Duration::from_millis(10), Duration::from_secs(20))
+        .unwrap();
+    assert_eq!(out, Value::str("ok"));
+
+    // …an unapproved one is rejected at submission.
+    let ex = Executor::new(cloud.clone(), user, reg.endpoint_id).unwrap();
+    let rogue = PyFunction::new("def rogue():\n    return 'pwned'\n");
+    let fut = ex.submit(&rogue, vec![], Value::None).unwrap();
+    let err = fut.result_timeout(Duration::from_secs(10)).unwrap_err();
+    assert!(matches!(err, GcxError::Forbidden(m) if m.contains("allowed list")));
+    ex.close();
+    mep.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn uep_reuse_hit_rate_is_visible_in_cloud_metrics() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, admin) = cloud.auth().login("root@site.edu").unwrap();
+    let reg = cloud
+        .register_endpoint(&admin, "mep", true, AuthPolicy::open(), None)
+        .unwrap();
+    let mep = MultiUserEndpoint::start(
+        cloud.clone(),
+        reg.endpoint_id,
+        &reg.queue_credential,
+        MepSetup::new(mapper_for("site.edu"), Template::parse(TEMPLATE).unwrap(), env_factory()),
+    )
+    .unwrap();
+    let (_, user) = cloud.auth().login("bob@site.edu").unwrap();
+    let ex = Executor::new(cloud.clone(), user, reg.endpoint_id).unwrap();
+    ex.set_user_endpoint_config(Value::map([("WORKERS", Value::Int(1))]));
+    let f = PyFunction::new("def f():\n    return 0\n");
+    let futs: Vec<_> = (0..10).map(|_| ex.submit(&f, vec![], Value::None).unwrap()).collect();
+    for fut in &futs {
+        fut.result_timeout(Duration::from_secs(20)).unwrap();
+    }
+    assert_eq!(cloud.metrics().counter("mep.uep_spawn_requested").get(), 1);
+    assert_eq!(cloud.metrics().counter("mep.uep_reused").get(), 9);
+    ex.close();
+    mep.stop();
+    cloud.shutdown();
+}

@@ -1,0 +1,300 @@
+//! End-to-end integration tests spanning SDK → cloud → broker → endpoint →
+//! engine → workers and back.
+
+use std::time::Duration;
+
+use gcx::auth::AuthPolicy;
+use gcx::batch::{BatchScheduler, ClusterSpec};
+use gcx::cloud::WebService;
+use gcx::core::clock::SystemClock;
+use gcx::core::error::GcxError;
+use gcx::core::respec::ResourceSpec;
+use gcx::core::value::Value;
+use gcx::endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
+use gcx::sdk::{Client, Executor, MpiFunction, PyFunction, ShellFunction};
+
+fn wait_all(futures: &[gcx::sdk::TaskFuture]) -> Vec<Value> {
+    futures
+        .iter()
+        .map(|f| f.result_timeout(Duration::from_secs(30)).unwrap())
+        .collect()
+}
+
+#[test]
+fn full_stack_fan_out_and_collect() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login("integration@test.org").unwrap();
+    let reg = cloud
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    let config = EndpointConfig::from_yaml(
+        "engine:\n  type: GlobusComputeEngine\n  nodes_per_block: 2\n  max_blocks: 2\n  workers_per_node: 4\n",
+    )
+    .unwrap();
+    let agent = EndpointAgent::start(
+        &cloud,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(SystemClock::shared()),
+    )
+    .unwrap();
+
+    let ex = Executor::new(cloud.clone(), token, reg.endpoint_id).unwrap();
+    let work = PyFunction::new(
+        "def work(i):\n    xs = []\n    for k in range(i % 7 + 1):\n        xs.append(k * i)\n    return sum(xs)\n",
+    );
+    let futures: Vec<_> = (0..200)
+        .map(|i| ex.submit(&work, vec![Value::Int(i)], Value::None).unwrap())
+        .collect();
+    let results = wait_all(&futures);
+    for (i, r) in results.iter().enumerate() {
+        let i = i as i64;
+        let n = i % 7 + 1;
+        let expect: i64 = (0..n).map(|k| k * i).sum();
+        assert_eq!(r, &Value::Int(expect), "task {i}");
+    }
+    assert_eq!(ex.inflight(), 0);
+    ex.close();
+    agent.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn mixed_function_kinds_share_an_endpoint() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login("mixed@test.org").unwrap();
+    let reg = cloud
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    let config = EndpointConfig::from_yaml(
+        "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n  sandbox: true\n",
+    )
+    .unwrap();
+    let agent = EndpointAgent::start(
+        &cloud,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(SystemClock::shared()),
+    )
+    .unwrap();
+    let ex = Executor::new(cloud.clone(), token, reg.endpoint_id).unwrap();
+
+    let py = PyFunction::new("def f(x):\n    return x * 10\n");
+    let sh = ShellFunction::new("seq {n} | wc -l");
+    let py_fut = ex.submit(&py, vec![Value::Int(5)], Value::None).unwrap();
+    let sh_fut = ex.submit(&sh, vec![], Value::map([("n", Value::Int(12))])).unwrap();
+
+    assert_eq!(py_fut.result_timeout(Duration::from_secs(10)).unwrap(), Value::Int(50));
+    let sr = sh_fut.shell_result().unwrap();
+    assert_eq!(sr.stdout.trim(), "12");
+    ex.close();
+    agent.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn endpoint_restart_preserves_buffered_tasks() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login("restart@test.org").unwrap();
+    let reg = cloud
+        .register_endpoint(&token, "flaky", false, AuthPolicy::open(), None)
+        .unwrap();
+    let client = Client::new(cloud.clone(), token.clone());
+    let fid = client
+        .register_function(&PyFunction::new("def f(x):\n    return x + 100\n"))
+        .unwrap();
+
+    // Submit with the agent offline: fire-and-forget buffering.
+    let t1 = client.run(fid, reg.endpoint_id, vec![Value::Int(1)], Value::None).unwrap();
+    let t2 = client.run(fid, reg.endpoint_id, vec![Value::Int(2)], Value::None).unwrap();
+
+    // First agent comes up, serves the backlog, goes away.
+    let config = EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n").unwrap();
+    {
+        let agent = EndpointAgent::start(
+            &cloud,
+            reg.endpoint_id,
+            &reg.queue_credential,
+            &config,
+            AgentEnv::local(SystemClock::shared()),
+        )
+        .unwrap();
+        assert_eq!(
+            client.get_result(t1, Duration::from_millis(5), Duration::from_secs(10)).unwrap(),
+            Value::Int(101)
+        );
+        assert_eq!(
+            client.get_result(t2, Duration::from_millis(5), Duration::from_secs(10)).unwrap(),
+            Value::Int(102)
+        );
+        agent.stop();
+    }
+
+    // Submit while down again; a *restarted* agent picks it up.
+    let t3 = client.run(fid, reg.endpoint_id, vec![Value::Int(3)], Value::None).unwrap();
+    let agent = EndpointAgent::start(
+        &cloud,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(SystemClock::shared()),
+    )
+    .unwrap();
+    assert_eq!(
+        client.get_result(t3, Duration::from_millis(5), Duration::from_secs(10)).unwrap(),
+        Value::Int(103)
+    );
+    agent.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn two_endpoints_one_executor_each() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login("multi@test.org").unwrap();
+
+    let mut agents = Vec::new();
+    let mut eps = Vec::new();
+    for name in ["site-a", "site-b"] {
+        let reg = cloud
+            .register_endpoint(&token, name, false, AuthPolicy::open(), None)
+            .unwrap();
+        let config = EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n").unwrap();
+        let mut env = AgentEnv::local(SystemClock::shared());
+        env.hostname = name.to_string();
+        agents.push(
+            EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env)
+                .unwrap(),
+        );
+        eps.push(reg.endpoint_id);
+    }
+
+    let f = PyFunction::new("def f():\n    return hostname()\n");
+    let mut hosts = Vec::new();
+    for ep in &eps {
+        let ex = Executor::new(cloud.clone(), token.clone(), *ep).unwrap();
+        let fut = ex.submit(&f, vec![], Value::None).unwrap();
+        hosts.push(fut.result_timeout(Duration::from_secs(10)).unwrap().to_string());
+        ex.close();
+    }
+    assert!(hosts[0].starts_with("site-a"));
+    assert!(hosts[1].starts_with("site-b"));
+    for a in agents {
+        a.stop();
+    }
+    cloud.shutdown();
+}
+
+#[test]
+fn mpi_and_batch_stack_end_to_end() {
+    let clock = SystemClock::shared();
+    let cloud = WebService::with_defaults(clock.clone());
+    let (_, token) = cloud.auth().login("mpi@test.org").unwrap();
+    let scheduler = BatchScheduler::new(ClusterSpec::simple(4), clock.clone());
+    let reg = cloud
+        .register_endpoint(&token, "hpc", false, AuthPolicy::open(), None)
+        .unwrap();
+    let config = EndpointConfig::from_yaml(
+        "engine:\n  type: GlobusMPIEngine\n  nodes_per_block: 4\n  mpi_launcher: srun\n  provider:\n    type: SlurmProvider\n    partition: cpu\n    account: alloc\n    walltime: \"01:00:00\"\n",
+    )
+    .unwrap();
+    let mut env = AgentEnv::local(clock);
+    env.scheduler = Some(scheduler);
+    let agent =
+        EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env)
+            .unwrap();
+
+    let ex = Executor::new(cloud.clone(), token, reg.endpoint_id).unwrap();
+    let func = MpiFunction::new("echo rank $RANK of $SIZE on $HOSTNAME");
+    ex.set_resource_specification(ResourceSpec::nodes_ranks(2, 2));
+    let fut = ex.submit(&func, vec![], Value::None).unwrap();
+    let sr = fut.shell_result().unwrap();
+    assert_eq!(sr.returncode, 0);
+    assert_eq!(sr.stdout.lines().count(), 4);
+    assert!(sr.cmd.starts_with("srun --ntasks=4"));
+    for line in sr.stdout.lines() {
+        assert!(line.contains("on node-"), "ran on scheduler nodes: {line}");
+    }
+    ex.close();
+    agent.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn oversized_payload_rejected_then_small_succeeds() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login("limits@test.org").unwrap();
+    let reg = cloud
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    let config = EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n").unwrap();
+    let agent = EndpointAgent::start(
+        &cloud,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(SystemClock::shared()),
+    )
+    .unwrap();
+    let ex = Executor::new(cloud.clone(), token, reg.endpoint_id).unwrap();
+    let f = PyFunction::new("def f(b):\n    return len(b)\n");
+
+    // >10 MB: the batch is rejected, the future fails.
+    let fut = ex
+        .submit(&f, vec![Value::Bytes(vec![0u8; 11 * 1024 * 1024])], Value::None)
+        .unwrap();
+    let err = fut.result_timeout(Duration::from_secs(10)).unwrap_err();
+    assert!(matches!(err, GcxError::PayloadTooLarge { .. }));
+
+    // 1 MB: offloaded to S3 internally, succeeds.
+    let fut = ex
+        .submit(&f, vec![Value::Bytes(vec![0u8; 1024 * 1024])], Value::None)
+        .unwrap();
+    assert_eq!(
+        fut.result_timeout(Duration::from_secs(10)).unwrap(),
+        Value::Int(1024 * 1024)
+    );
+    ex.close();
+    agent.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn sandboxing_prevents_shellfunction_contention() {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login("sandbox@test.org").unwrap();
+    let reg = cloud
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    let config = EndpointConfig::from_yaml(
+        "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 4\n  sandbox: true\n",
+    )
+    .unwrap();
+    let agent = EndpointAgent::start(
+        &cloud,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(SystemClock::shared()),
+    )
+    .unwrap();
+    let ex = Executor::new(cloud.clone(), token, reg.endpoint_id).unwrap();
+
+    // Every task writes "its" file, then reads it back: with sandboxing
+    // each sees exactly its own content even under concurrency.
+    let sf = ShellFunction::new("echo {tag} > out.txt; cat out.txt");
+    let futures: Vec<_> = (0..20)
+        .map(|i| {
+            ex.submit(&sf, vec![], Value::map([("tag", Value::Int(i))])).unwrap()
+        })
+        .collect();
+    for (i, fut) in futures.iter().enumerate() {
+        let sr = fut.shell_result().unwrap();
+        assert_eq!(sr.stdout.trim(), i.to_string(), "task {i} saw its own file");
+    }
+    ex.close();
+    agent.stop();
+    cloud.shutdown();
+}
