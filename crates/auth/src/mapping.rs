@@ -82,12 +82,18 @@ impl Default for IdentityMapper {
 impl IdentityMapper {
     /// An empty mapper (denies everyone).
     pub fn new() -> Self {
-        Self { mappers: Vec::new() }
+        Self {
+            mappers: Vec::new(),
+        }
     }
 
     /// Append an expression mapping (compiling its pattern).
     pub fn add_expression(&mut self, m: ExpressionMapping) -> GcxResult<&mut Self> {
-        let re = if m.ignore_case { Regex::new_ci(&m.pattern) } else { Regex::new(&m.pattern) }?;
+        let re = if m.ignore_case {
+            Regex::new_ci(&m.pattern)
+        } else {
+            Regex::new(&m.pattern)
+        }?;
         self.mappers.push(Mapper::Expression(m, re));
         Ok(self)
     }
@@ -170,15 +176,11 @@ fn render_output_template(
 ) -> GcxResult<String> {
     render_template(template, |name| {
         if let Ok(idx) = name.parse::<usize>() {
-            groups
-                .get(idx)
-                .cloned()
-                .flatten()
-                .ok_or_else(|| {
-                    GcxError::InvalidConfig(format!(
-                        "output template references capture group {idx} which did not match"
-                    ))
-                })
+            groups.get(idx).cloned().flatten().ok_or_else(|| {
+                GcxError::InvalidConfig(format!(
+                    "output template references capture group {idx} which did not match"
+                ))
+            })
         } else {
             identity_field(name, identity)
         }
@@ -244,7 +246,10 @@ mod tests {
             mapper.map(&ident("kyle@uchicago.edu")).unwrap(),
             MappingOutcome::Local("kyle".into())
         );
-        assert_eq!(mapper.map(&ident("kyle@anl.gov")).unwrap(), MappingOutcome::Denied);
+        assert_eq!(
+            mapper.map(&ident("kyle@anl.gov")).unwrap(),
+            MappingOutcome::Denied
+        );
     }
 
     #[test]
@@ -302,14 +307,19 @@ mod tests {
             mapper.map(&ident("ops@staff.example")).unwrap(),
             MappingOutcome::Local("svc_shared".into())
         );
-        assert_eq!(mapper.map(&ident("x@other.org")).unwrap(), MappingOutcome::Denied);
+        assert_eq!(
+            mapper.map(&ident("x@other.org")).unwrap(),
+            MappingOutcome::Denied
+        );
     }
 
     #[test]
     fn callout_falls_through_to_expressions() {
         let mut mapper = IdentityMapper::new();
         mapper.add_callout(|_| None);
-        mapper.add_expression(ExpressionMapping::username_capture("anl.gov")).unwrap();
+        mapper
+            .add_expression(ExpressionMapping::username_capture("anl.gov"))
+            .unwrap();
         assert_eq!(
             mapper.map(&ident("ryan@anl.gov")).unwrap(),
             MappingOutcome::Local("ryan".into())

@@ -79,12 +79,18 @@ mod tests {
     use gcx_core::ids::IdentityId;
 
     fn ident(username: &str) -> Identity {
-        Identity { id: IdentityId::random(), username: username.into(), display_name: String::new() }
+        Identity {
+            id: IdentityId::random(),
+            username: username.into(),
+            display_name: String::new(),
+        }
     }
 
     #[test]
     fn open_policy_admits_all() {
-        AuthPolicy::open().evaluate(&ident("a@anywhere.org"), 0, 1_000_000).unwrap();
+        AuthPolicy::open()
+            .evaluate(&ident("a@anywhere.org"), 0, 1_000_000)
+            .unwrap();
     }
 
     #[test]
@@ -107,14 +113,20 @@ mod tests {
 
     #[test]
     fn required_idp() {
-        let p = AuthPolicy { required_idp: Some("anl.gov".into()), ..Default::default() };
+        let p = AuthPolicy {
+            required_idp: Some("anl.gov".into()),
+            ..Default::default()
+        };
         p.evaluate(&ident("ops@anl.gov"), 0, 0).unwrap();
         assert!(p.evaluate(&ident("ops@uchicago.edu"), 0, 0).is_err());
     }
 
     #[test]
     fn session_recency() {
-        let p = AuthPolicy { max_session_age_ms: Some(3_600_000), ..Default::default() };
+        let p = AuthPolicy {
+            max_session_age_ms: Some(3_600_000),
+            ..Default::default()
+        };
         p.evaluate(&ident("a@b.c"), 1_000, 3_000_000).unwrap();
         let e = p.evaluate(&ident("a@b.c"), 0, 4_000_000).unwrap_err();
         assert!(e.to_string().contains("re-authentication"));

@@ -103,8 +103,14 @@ impl AuthService {
             username: username.to_string(),
             display_name: display_name.to_string(),
         };
-        self.inner.by_username.write().insert(username.to_string(), identity.id);
-        self.inner.identities.write().insert(identity.id, identity.clone());
+        self.inner
+            .by_username
+            .write()
+            .insert(username.to_string(), identity.id);
+        self.inner
+            .identities
+            .write()
+            .insert(identity.id, identity.clone());
         identity
     }
 
@@ -165,7 +171,11 @@ impl AuthService {
             return Err(GcxError::Forbidden(format!("token lacks scope '{scope}'")));
         }
         let identity = self.identity(rec.identity)?;
-        Ok(Introspection { identity, auth_time: rec.issued_at, scopes: rec.scopes.clone() })
+        Ok(Introspection {
+            identity,
+            auth_time: rec.issued_at,
+            scopes: rec.scopes.clone(),
+        })
     }
 
     /// Revoke a token.
@@ -221,7 +231,9 @@ mod tests {
     #[test]
     fn invalid_token_rejected() {
         let auth = AuthService::new(SystemClock::shared());
-        let e = auth.introspect(&Token("forged".into()), COMPUTE_SCOPE).unwrap_err();
+        let e = auth
+            .introspect(&Token("forged".into()), COMPUTE_SCOPE)
+            .unwrap_err();
         assert!(matches!(e, GcxError::Unauthenticated(_)));
     }
 

@@ -138,7 +138,13 @@ impl BatchScheduler {
             .into_iter()
             .map(|p| {
                 let free = p.nodes.clone();
-                (p.name.clone(), Partition { spec: p, free_nodes: free })
+                (
+                    p.name.clone(),
+                    Partition {
+                        spec: p,
+                        free_nodes: free,
+                    },
+                )
             })
             .collect();
         Self {
@@ -168,7 +174,9 @@ impl BatchScheduler {
             )));
         }
         if req.num_nodes == 0 {
-            return Err(GcxError::Scheduler("job must request at least one node".into()));
+            return Err(GcxError::Scheduler(
+                "job must request at least one node".into(),
+            ));
         }
         if req.num_nodes as usize > part.spec.nodes.len() {
             return Err(GcxError::Scheduler(format!(
@@ -350,7 +358,10 @@ impl BatchScheduler {
                 if j.request.partition != partition {
                     return None;
                 }
-                let end = j.started_at.unwrap_or(now).saturating_add(j.request.walltime_ms);
+                let end = j
+                    .started_at
+                    .unwrap_or(now)
+                    .saturating_add(j.request.walltime_ms);
                 Some((end, j.nodes.len()))
             })
             .collect();
@@ -406,7 +417,10 @@ mod tests {
 
     fn cluster(nodes: usize) -> (BatchScheduler, Arc<VirtualClock>) {
         let clock = VirtualClock::new();
-        (BatchScheduler::new(ClusterSpec::simple(nodes), clock.clone()), clock)
+        (
+            BatchScheduler::new(ClusterSpec::simple(nodes), clock.clone()),
+            clock,
+        )
     }
 
     fn req(nodes: u32, walltime_ms: u64) -> JobRequest {
@@ -480,7 +494,11 @@ mod tests {
         let filler = s.submit(req(1, 60_000)).unwrap();
         assert_eq!(s.status(long).unwrap().state, JobState::Running);
         assert_eq!(s.status(head).unwrap().state, JobState::Pending);
-        assert_eq!(s.status(filler).unwrap().state, JobState::Running, "backfilled");
+        assert_eq!(
+            s.status(filler).unwrap().state,
+            JobState::Running,
+            "backfilled"
+        );
         // A job that would outlive the shadow must NOT backfill.
         let too_long = s.submit(req(1, 200_000)).unwrap();
         assert_eq!(s.status(too_long).unwrap().state, JobState::Pending);
@@ -496,7 +514,7 @@ mod tests {
         let (s, _) = cluster(4);
         let _running = s.submit(req(2, 100_000)).unwrap(); // 2 free left
         let head = s.submit(req(4, 10_000)).unwrap(); // needs all 4, shadow=100s
-        // Filler fits now (2 free) and ends before shadow → ok.
+                                                      // Filler fits now (2 free) and ends before shadow → ok.
         let ok = s.submit(req(2, 50_000)).unwrap();
         assert_eq!(s.status(head).unwrap().state, JobState::Pending);
         assert_eq!(s.status(ok).unwrap().state, JobState::Running);
@@ -518,7 +536,12 @@ mod tests {
     #[test]
     fn validation_errors() {
         let (s, _) = cluster(2);
-        assert!(s.submit(JobRequest { partition: "gpu".into(), ..req(1, 1000) }).is_err());
+        assert!(s
+            .submit(JobRequest {
+                partition: "gpu".into(),
+                ..req(1, 1000)
+            })
+            .is_err());
         assert!(s.submit(req(0, 1000)).is_err());
         assert!(s.submit(req(3, 1000)).is_err(), "more nodes than partition");
         assert!(s.submit(req(1, 0)).is_err());
@@ -531,11 +554,18 @@ mod tests {
         let mut part = PartitionSpec::sized("cpu", "n", 2, 3_600_000);
         part.allowed_accounts = vec!["alloc123".into()];
         let s = BatchScheduler::new(
-            ClusterSpec { name: "c".into(), partitions: vec![part] },
+            ClusterSpec {
+                name: "c".into(),
+                partitions: vec![part],
+            },
             clock,
         );
         assert!(s.submit(req(1, 1000)).is_err());
-        s.submit(JobRequest { account: "alloc123".into(), ..req(1, 1000) }).unwrap();
+        s.submit(JobRequest {
+            account: "alloc123".into(),
+            ..req(1, 1000)
+        })
+        .unwrap();
     }
 
     #[test]
@@ -564,10 +594,16 @@ mod tests {
             clock,
         );
         let a = s
-            .submit(JobRequest { partition: "cpu".into(), ..req(2, 1000) })
+            .submit(JobRequest {
+                partition: "cpu".into(),
+                ..req(2, 1000)
+            })
             .unwrap();
         let b = s
-            .submit(JobRequest { partition: "gpu".into(), ..req(1, 1000) })
+            .submit(JobRequest {
+                partition: "gpu".into(),
+                ..req(1, 1000)
+            })
             .unwrap();
         assert_eq!(s.status(a).unwrap().state, JobState::Running);
         assert_eq!(s.status(b).unwrap().state, JobState::Running);

@@ -19,7 +19,8 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (1u32..6, 1_000u64..50_000).prop_map(|(nodes, walltime_ms)| Op::Submit { nodes, walltime_ms }),
+        (1u32..6, 1_000u64..50_000)
+            .prop_map(|(nodes, walltime_ms)| Op::Submit { nodes, walltime_ms }),
         Just(Op::CompleteOldest),
         Just(Op::CancelNewest),
         (1u64..20_000).prop_map(Op::Advance),

@@ -29,8 +29,12 @@ fn bench_codec(c: &mut Criterion) {
     let small_bytes = codec::encode(&small);
     let large_bytes = codec::encode(&large);
 
-    c.bench_function("codec/encode_small", |b| b.iter(|| codec::encode(black_box(&small))));
-    c.bench_function("codec/encode_large", |b| b.iter(|| codec::encode(black_box(&large))));
+    c.bench_function("codec/encode_small", |b| {
+        b.iter(|| codec::encode(black_box(&small)))
+    });
+    c.bench_function("codec/encode_large", |b| {
+        b.iter(|| codec::encode(black_box(&large)))
+    });
     c.bench_function("codec/decode_small", |b| {
         b.iter(|| codec::decode(black_box(&small_bytes)).unwrap())
     });
@@ -48,8 +52,13 @@ fn bench_pyfn(c: &mut Criterion) {
     c.bench_function("pyfn/fib_12", |b| {
         b.iter(|| {
             let mut host = CapturingHost::default();
-            fib.call_entry(vec![Value::Int(12)], &Value::None, &mut host, Limits::default())
-                .unwrap()
+            fib.call_entry(
+                vec![Value::Int(12)],
+                &Value::None,
+                &mut host,
+                Limits::default(),
+            )
+            .unwrap()
         })
     });
     c.bench_function("pyfn/compile", |b| {
@@ -68,7 +77,12 @@ fn bench_pyfn(c: &mut Criterion) {
         b.iter(|| {
             let mut host = CapturingHost::default();
             loop_prog
-                .call_entry(vec![Value::Int(1000)], &Value::None, &mut host, Limits::default())
+                .call_entry(
+                    vec![Value::Int(1000)],
+                    &Value::None,
+                    &mut host,
+                    Limits::default(),
+                )
                 .unwrap()
         })
     });
@@ -84,7 +98,10 @@ fn bench_shell(c: &mut Criterion) {
     let sh = ShellExecutor::new(Vfs::new(), SystemClock::shared());
     let env = Default::default();
     c.bench_function("shell/pipeline", |b| {
-        b.iter(|| sh.run(black_box("seq 50 | grep 3 | wc -l"), &env, "/", None).unwrap())
+        b.iter(|| {
+            sh.run(black_box("seq 50 | grep 3 | wc -l"), &env, "/", None)
+                .unwrap()
+        })
     });
 }
 
@@ -98,7 +115,9 @@ fn bench_broker(c: &mut Criterion) {
     let body = Bytes::from(vec![0u8; 512]);
     c.bench_function("mq/publish_consume_ack", |b| {
         b.iter(|| {
-            broker.publish("bench", Message::new(body.clone()), None).unwrap();
+            broker
+                .publish("bench", Message::new(body.clone()), None)
+                .unwrap();
             let d = consumer.next(Duration::from_secs(1)).unwrap().unwrap();
             consumer.ack(d.tag).unwrap();
         })
@@ -108,7 +127,9 @@ fn bench_broker(c: &mut Criterion) {
 fn bench_config(c: &mut Criterion) {
     use gcx_config::{parse_yaml, Schema, Template};
     let yaml = "display_name: SlurmHPC\nengine:\n  type: GlobusMPIEngine\n  mpi_launcher: srun\n  provider:\n    type: SlurmProvider\n  nodes_per_block: 4\n";
-    c.bench_function("config/parse_yaml", |b| b.iter(|| parse_yaml(black_box(yaml)).unwrap()));
+    c.bench_function("config/parse_yaml", |b| {
+        b.iter(|| parse_yaml(black_box(yaml)).unwrap())
+    });
 
     let template = Template::parse(
         "engine:\n  nodes_per_block: {{ NODES_PER_BLOCK }}\naccount: {{ ACCOUNT_ID }}\nwalltime: {{ WALLTIME|default(\"00:30:00\") }}\n",
@@ -128,7 +149,10 @@ fn bench_config(c: &mut Criterion) {
             "properties",
             Value::map([(
                 "NODES_PER_BLOCK",
-                Value::map([("type", Value::str("integer")), ("maximum", Value::Int(128))]),
+                Value::map([
+                    ("type", Value::str("integer")),
+                    ("maximum", Value::Int(128)),
+                ]),
             )]),
         ),
     ]))
@@ -142,13 +166,17 @@ fn bench_auth(c: &mut Criterion) {
     use gcx_auth::{ExpressionMapping, IdentityMapper};
     use gcx_core::ids::IdentityId;
     let mut mapper = IdentityMapper::new();
-    mapper.add_expression(ExpressionMapping::username_capture("uchicago.edu")).unwrap();
+    mapper
+        .add_expression(ExpressionMapping::username_capture("uchicago.edu"))
+        .unwrap();
     let identity = gcx_auth::Identity {
         id: IdentityId::random(),
         username: "kyle@uchicago.edu".into(),
         display_name: "Kyle".into(),
     };
-    c.bench_function("auth/identity_map", |b| b.iter(|| mapper.map(black_box(&identity)).unwrap()));
+    c.bench_function("auth/identity_map", |b| {
+        b.iter(|| mapper.map(black_box(&identity)).unwrap())
+    });
 
     let re = Regex::new(r"([a-z]+)\.([a-z]+)@([a-z.]+)").unwrap();
     c.bench_function("auth/regex_full_match", |b| {

@@ -41,8 +41,7 @@ fn run(cache_capacity: usize) -> (Duration, u64, (u64, u64)) {
     env.arg_transform = Some(Arc::new(move |v: Value| resolve_value(&v, &r2, &c2)));
     let config = EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n").unwrap();
     let agent =
-        EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env)
-            .unwrap();
+        EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env).unwrap();
 
     // The store sits across a 1 Gbps link: re-fetches are visible.
     let store_metrics = MetricsRegistry::new();
@@ -57,7 +56,10 @@ fn run(cache_capacity: usize) -> (Duration, u64, (u64, u64)) {
         ex,
         store,
         registry,
-        ProxyPolicy { min_size: 1024, evict_after_result: false },
+        ProxyPolicy {
+            min_size: 1024,
+            evict_after_result: false,
+        },
     );
 
     let model = Value::Bytes(vec![3u8; MODEL_BYTES]);
@@ -68,8 +70,12 @@ fn run(cache_capacity: usize) -> (Duration, u64, (u64, u64)) {
     let started = Instant::now();
     let futures: Vec<_> = (0..N_TASKS)
         .map(|i| {
-            pex.submit(&infer, vec![model_proxy.clone(), Value::Int(i as i64)], Value::None)
-                .unwrap()
+            pex.submit(
+                &infer,
+                vec![model_proxy.clone(), Value::Int(i as i64)],
+                Value::None,
+            )
+            .unwrap()
         })
         .collect();
     for (i, fut) in futures.iter().enumerate() {
@@ -121,5 +127,8 @@ fn main() {
     println!();
     println!("  expected shape: with the cache, the store is read once per distinct");
     println!("  object; disabled, every task re-fetches the full model over the link.");
-    assert!(bytes_off > bytes_on * (N_TASKS as u64 / 4), "cache must cut store traffic");
+    assert!(
+        bytes_off > bytes_on * (N_TASKS as u64 / 4),
+        "cache must cut store traffic"
+    );
 }

@@ -27,14 +27,17 @@ fn run(sandbox: bool) -> (usize, usize) {
     // sandbox all tasks fight over one `out.txt`.
     let sf = ShellFunction::new("echo {tag} > out.txt; sleep 0.01; cat out.txt");
     let futures: Vec<_> = (0..N_TASKS)
-        .map(|i| ex.submit(&sf, vec![], Value::map([("tag", Value::Int(i as i64))])).unwrap())
+        .map(|i| {
+            ex.submit(&sf, vec![], Value::map([("tag", Value::Int(i as i64))]))
+                .unwrap()
+        })
         .collect();
     let mut clean = 0;
     let mut corrupted = 0;
     for (i, fut) in futures.iter().enumerate() {
-        let sr = fut.result_timeout(Duration::from_secs(60)).map(|v| {
-            gcx_core::shellres::ShellResult::from_value(&v).unwrap()
-        });
+        let sr = fut
+            .result_timeout(Duration::from_secs(60))
+            .map(|v| gcx_core::shellres::ShellResult::from_value(&v).unwrap());
         match sr {
             Ok(sr) if sr.stdout.trim() == i.to_string() => clean += 1,
             _ => corrupted += 1,
@@ -59,5 +62,8 @@ fn main() {
     println!("  expected shape: without sandboxing, concurrent tasks overwrite each");
     println!("  other's out.txt; with per-task sandbox directories every read is clean.");
     assert_eq!(corrupt_on, 0, "sandboxing must eliminate contention");
-    assert!(corrupt_off > 0, "the contention being mitigated must be observable");
+    assert!(
+        corrupt_off > 0,
+        "the contention being mitigated must be observable"
+    );
 }

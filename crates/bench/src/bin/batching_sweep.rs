@@ -28,9 +28,7 @@ fn main() {
         "complete (ms)",
     ]);
 
-    for (window_ms, max_batch) in
-        [(0u64, 1usize), (1, 16), (5, 64), (20, 128), (50, 512)]
-    {
+    for (window_ms, max_batch) in [(0u64, 1usize), (1, 16), (5, 64), (20, 128), (50, 512)] {
         let stack = BenchStack::new(ENGINE, SystemClock::shared());
         let ex = Executor::with_config(
             stack.cloud.clone(),
@@ -39,6 +37,7 @@ fn main() {
             ExecutorConfig {
                 batch_window: Duration::from_millis(window_ms),
                 max_batch,
+                ..ExecutorConfig::default()
             },
         )
         .unwrap();
@@ -48,7 +47,10 @@ fn main() {
 
         let started = Instant::now();
         let futures: Vec<_> = (0..N_TASKS)
-            .map(|i| ex.submit(&f, vec![Value::Int(i as i64)], Value::None).unwrap())
+            .map(|i| {
+                ex.submit(&f, vec![Value::Int(i as i64)], Value::None)
+                    .unwrap()
+            })
             .collect();
         let submitted = started.elapsed();
         for fut in &futures {

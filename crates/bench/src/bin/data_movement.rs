@@ -28,7 +28,10 @@ use gcx_sdk::{Executor, PyFunction, ShellFunction};
 use gcx_shell::Vfs;
 use gcx_transfer::{TransferService, TransferStatus};
 
-const WAN: LinkProfile = LinkProfile { latency_ms: 20, bytes_per_ms: Some(12_500) }; // 100 Mbps
+const WAN: LinkProfile = LinkProfile {
+    latency_ms: 20,
+    bytes_per_ms: Some(12_500),
+}; // 100 Mbps
 
 struct Stack {
     cloud: WebService,
@@ -46,7 +49,10 @@ impl Stack {
         // Both the REST link and the queue link are the WAN: payloads
         // through the cloud pay for every crossing.
         let broker = Broker::with_profile(MetricsRegistry::new(), clock.clone(), WAN);
-        let cfg = CloudConfig { rest_link: WAN, ..CloudConfig::default() };
+        let cfg = CloudConfig {
+            rest_link: WAN,
+            ..CloudConfig::default()
+        };
         let cloud = WebService::new(cfg, auth, broker, clock.clone());
         let (_, token) = cloud.auth().login("data@bench.dev").unwrap();
         let reg = cloud
@@ -59,13 +65,21 @@ impl Stack {
         env.vfs = vfs.clone();
         let r2 = registry.clone();
         env.arg_transform = Some(Arc::new(move |v: Value| resolve_value(&v, &r2, &cache)));
-        let config =
-            EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n")
-                .unwrap();
+        let config = EndpointConfig::from_yaml(
+            "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n",
+        )
+        .unwrap();
         let agent =
             EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env)
                 .unwrap();
-        Self { cloud, token, ep: reg.endpoint_id, agent: Some(agent), registry, vfs }
+        Self {
+            cloud,
+            token,
+            ep: reg.endpoint_id,
+            agent: Some(agent),
+            registry,
+            vfs,
+        }
     }
 
     fn stop(mut self) {
@@ -86,7 +100,13 @@ fn main() {
         16 * 1024 * 1024,
         64 * 1024 * 1024,
     ];
-    let mut table = Table::new(&["payload", "cloud path", "proxy (site)", "proxy (wan)", "transfer"]);
+    let mut table = Table::new(&[
+        "payload",
+        "cloud path",
+        "proxy (site)",
+        "proxy (wan)",
+        "transfer",
+    ]);
 
     let f_src = "def f(b):\n    return len(b)\n";
 
@@ -99,7 +119,9 @@ fn main() {
             let ex = Executor::new(stack.cloud.clone(), stack.token.clone(), stack.ep).unwrap();
             let f = PyFunction::new(f_src);
             let started = Instant::now();
-            let fut = ex.submit(&f, vec![Value::Bytes(vec![0u8; size])], Value::None).unwrap();
+            let fut = ex
+                .submit(&f, vec![Value::Bytes(vec![0u8; size])], Value::None)
+                .unwrap();
             let cell = match fut.result_timeout(Duration::from_secs(120)) {
                 Ok(_) => format!("{:.0} ms", started.elapsed().as_secs_f64() * 1000.0),
                 Err(gcx_core::error::GcxError::PayloadTooLarge { .. }) => "REJECTED >10MB".into(),
@@ -119,13 +141,21 @@ fn main() {
                 ex,
                 store,
                 stack.registry.clone(),
-                ProxyPolicy { min_size: 10 * 1024, evict_after_result: false },
+                ProxyPolicy {
+                    min_size: 10 * 1024,
+                    evict_after_result: false,
+                },
             );
             let f = PyFunction::new(f_src);
             let started = Instant::now();
-            let fut = pex.submit(&f, vec![Value::Bytes(vec![0u8; size])], Value::None).unwrap();
+            let fut = pex
+                .submit(&f, vec![Value::Bytes(vec![0u8; size])], Value::None)
+                .unwrap();
             pex.result(&fut).unwrap();
-            cells.push(format!("{:.0} ms", started.elapsed().as_secs_f64() * 1000.0));
+            cells.push(format!(
+                "{:.0} ms",
+                started.elapsed().as_secs_f64() * 1000.0
+            ));
             pex.close();
             stack.stop();
         }
@@ -140,13 +170,21 @@ fn main() {
                 ex,
                 store,
                 stack.registry.clone(),
-                ProxyPolicy { min_size: 10 * 1024, evict_after_result: false },
+                ProxyPolicy {
+                    min_size: 10 * 1024,
+                    evict_after_result: false,
+                },
             );
             let f = PyFunction::new(f_src);
             let started = Instant::now();
-            let fut = pex.submit(&f, vec![Value::Bytes(vec![0u8; size])], Value::None).unwrap();
+            let fut = pex
+                .submit(&f, vec![Value::Bytes(vec![0u8; size])], Value::None)
+                .unwrap();
             pex.result(&fut).unwrap();
-            cells.push(format!("{:.0} ms", started.elapsed().as_secs_f64() * 1000.0));
+            cells.push(format!(
+                "{:.0} ms",
+                started.elapsed().as_secs_f64() * 1000.0
+            ));
             pex.close();
             stack.stop();
         }
@@ -157,17 +195,19 @@ fn main() {
             let source_fs = Vfs::new();
             source_fs.mkdir_p("/out").unwrap();
             source_fs.write("/out/data.bin", &vec![0u8; size]).unwrap();
-            let transfer = TransferService::new(
-                SystemClock::shared(),
-                WAN,
-                MetricsRegistry::new(),
-            );
-            transfer.register_endpoint("src", source_fs, "/out").unwrap();
-            transfer.register_endpoint("dst", stack.vfs.clone(), "/staging").unwrap();
+            let transfer = TransferService::new(SystemClock::shared(), WAN, MetricsRegistry::new());
+            transfer
+                .register_endpoint("src", source_fs, "/out")
+                .unwrap();
+            transfer
+                .register_endpoint("dst", stack.vfs.clone(), "/staging")
+                .unwrap();
             let ex = Executor::new(stack.cloud.clone(), stack.token.clone(), stack.ep).unwrap();
             let wc = ShellFunction::new("wc -c /staging/data.bin");
             let started = Instant::now();
-            let tid = transfer.submit("src", "data.bin", "dst", "data.bin").unwrap();
+            let tid = transfer
+                .submit("src", "data.bin", "dst", "data.bin")
+                .unwrap();
             assert_eq!(
                 transfer.wait(tid, Duration::from_secs(300)).unwrap(),
                 TransferStatus::Succeeded
@@ -175,7 +215,10 @@ fn main() {
             let fut = ex.submit(&wc, vec![], Value::None).unwrap();
             let sr = fut.shell_result().unwrap();
             assert_eq!(sr.stdout.trim(), size.to_string());
-            cells.push(format!("{:.0} ms", started.elapsed().as_secs_f64() * 1000.0));
+            cells.push(format!(
+                "{:.0} ms",
+                started.elapsed().as_secs_f64() * 1000.0
+            ));
             ex.close();
             stack.stop();
         }

@@ -108,7 +108,10 @@ fn main() {
 
     let started = Instant::now();
     let futures: Vec<_> = (0..N_TASKS)
-        .map(|i| ex.submit(&f, vec![Value::Int(i as i64)], Value::None).unwrap())
+        .map(|i| {
+            ex.submit(&f, vec![Value::Int(i as i64)], Value::None)
+                .unwrap()
+        })
         .collect();
     for fut in &futures {
         fut.result_timeout(Duration::from_secs(60)).unwrap();

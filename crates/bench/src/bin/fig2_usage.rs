@@ -31,7 +31,11 @@ fn main() {
         let weekday = (day + 1) % 7; // day 0 = Monday-ish
         let season = if weekday >= 5 { 0.6 } else { 1.0 };
         // Campaign bursts: ~8% of days a campaign multiplies load 2–12×.
-        let burst = if rng.f64() < 0.08 { 2.0 + rng.f64() * 10.0 } else { 1.0 };
+        let burst = if rng.f64() < 0.08 {
+            2.0 + rng.f64() * 10.0
+        } else {
+            1.0
+        };
         // Day-to-day noise.
         let noise = 0.7 + rng.f64() * 0.6;
 
@@ -51,7 +55,10 @@ fn main() {
 
     println!("E1 / Fig. 2 — task invocations per day (synthetic reproduction)");
     println!("  simulated span : {DAYS} days (2022-11-28 .. 2024-08-14)");
-    println!("  total tasks    : {:.1} M  (paper: ~17 M since Nov 2022)", total as f64 / 1e6);
+    println!(
+        "  total tasks    : {:.1} M  (paper: ~17 M since Nov 2022)",
+        total as f64 / 1e6
+    );
     println!("  days clipped at 100k: {truncated_days}  (paper truncates the plot at 100,000)");
     println!();
 
@@ -79,8 +86,7 @@ fn main() {
     table.print();
 
     // Shape checks matching the paper's narrative.
-    let first_quarter_mean: f64 =
-        series[..91].iter().map(|(_, c)| *c as f64).sum::<f64>() / 91.0;
+    let first_quarter_mean: f64 = series[..91].iter().map(|(_, c)| *c as f64).sum::<f64>() / 91.0;
     let last_quarter_mean: f64 = series[series.len() - 91..]
         .iter()
         .map(|(_, c)| *c as f64)
@@ -91,6 +97,9 @@ fn main() {
         "  growth: last-quarter mean is {:.1}x the first quarter (paper: 'increasing and more consistent use over time')",
         last_quarter_mean / first_quarter_mean
     );
-    assert!(last_quarter_mean > 2.0 * first_quarter_mean, "usage must grow");
+    assert!(
+        last_quarter_mean > 2.0 * first_quarter_mean,
+        "usage must grow"
+    );
     assert!(truncated_days > 0, "some days must hit the 100k ceiling");
 }

@@ -35,7 +35,9 @@ fn main() {
         .unwrap();
 
     let mut mapper = IdentityMapper::new();
-    mapper.add_expression(ExpressionMapping::username_capture("site.edu")).unwrap();
+    mapper
+        .add_expression(ExpressionMapping::username_capture("site.edu"))
+        .unwrap();
     let template = Template::parse(
         "engine:\n  type: GlobusComputeEngine\n  workers_per_node: {{ WORKERS|default(1) }}\n",
     )
@@ -69,7 +71,11 @@ fn main() {
                 cloud.clone(),
                 token.clone(),
                 reg.endpoint_id,
-                ExecutorConfig { batch_window: Duration::from_millis(0), max_batch: 1 },
+                ExecutorConfig {
+                    batch_window: Duration::from_millis(0),
+                    max_batch: 1,
+                    ..ExecutorConfig::default()
+                },
             )
             .unwrap();
             ex.set_user_endpoint_config(Value::map([("WORKERS", Value::Int(c as i64 + 1))]));
@@ -88,13 +94,15 @@ fn main() {
         }
     }
 
-    let mean = |xs: &[Duration]| -> Duration {
-        xs.iter().sum::<Duration>() / xs.len().max(1) as u32
-    };
+    let mean =
+        |xs: &[Duration]| -> Duration { xs.iter().sum::<Duration>() / xs.len().max(1) as u32 };
     let max = |xs: &[Duration]| xs.iter().max().copied().unwrap_or_default();
 
     let mut table = Table::new(&["metric", "value"]);
-    table.row(&["UEPs spawned (one MEP)".into(), mep.total_spawned().to_string()]);
+    table.row(&[
+        "UEPs spawned (one MEP)".into(),
+        mep.total_spawned().to_string(),
+    ]);
     table.row(&[
         "UEP fan-out vs paper".into(),
         format!("{} vs ~19.7 (1718/87)", mep.total_spawned()),
@@ -104,7 +112,11 @@ fn main() {
     table.row(&["warm latency mean (ms)".into(), ms(mean(&warm))]);
     table.row(&[
         "spawn requests (cloud)".into(),
-        cloud.metrics().counter("mep.uep_spawn_requested").get().to_string(),
+        cloud
+            .metrics()
+            .counter("mep.uep_spawn_requested")
+            .get()
+            .to_string(),
     ]);
     table.row(&[
         "UEP reuses (cloud)".into(),

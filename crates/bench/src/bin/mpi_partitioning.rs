@@ -93,5 +93,8 @@ fn main() {
     println!("  dynamic partitioning speedup: {speedup:.2}x");
     println!("  expected shape: dynamic wins because small apps pack into nodes the");
     println!("  big apps leave free; the whole-block baseline serializes everything.");
-    assert!(speedup > 1.3, "dynamic partitioning must beat serialization");
+    assert!(
+        speedup > 1.3,
+        "dynamic partitioning must beat serialization"
+    );
 }

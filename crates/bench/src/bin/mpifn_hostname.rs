@@ -31,7 +31,13 @@ fn main() {
     }
     println!();
 
-    let mut table = Table::new(&["num_nodes", "ranks_per_node", "ranks (lines)", "distinct nodes", "launcher cmd"]);
+    let mut table = Table::new(&[
+        "num_nodes",
+        "ranks_per_node",
+        "ranks (lines)",
+        "distinct nodes",
+        "launcher cmd",
+    ]);
     for (nodes, rpn) in [(1u32, 1u32), (2, 1), (2, 2), (4, 1), (4, 2), (3, 4)] {
         ex.set_resource_specification(ResourceSpec::nodes_ranks(nodes, rpn));
         let fut = ex.submit(&func, vec![], Value::None).unwrap();
@@ -39,7 +45,11 @@ fn main() {
         let lines: Vec<&str> = sr.stdout.lines().collect();
         let distinct: BTreeSet<&str> = lines.iter().copied().collect();
         assert_eq!(lines.len() as u32, nodes * rpn, "one line per rank");
-        assert_eq!(distinct.len() as u32, nodes, "ranks span exactly the requested nodes");
+        assert_eq!(
+            distinct.len() as u32,
+            nodes,
+            "ranks span exactly the requested nodes"
+        );
         let prefix = sr.cmd.split(" hostname").next().unwrap_or("").to_string();
         table.row(&[
             nodes.to_string(),

@@ -1,10 +1,24 @@
-//! Convenience driver: run every experiment binary in sequence.
+//! Convenience driver: run every experiment binary in sequence, then a
+//! robustness soak that exercises the fault-injection and recovery
+//! machinery and reports its counters.
 //!
 //! `cargo run --release -p gcx-bench --bin run_all` regenerates every
 //! table/figure in EXPERIMENTS.md in one go (several minutes — the
 //! data-movement sweep moves hundreds of simulated megabytes).
 
 use std::process::Command;
+use std::time::Duration;
+
+use gcx_auth::{AuthPolicy, AuthService};
+use gcx_bench::Table;
+use gcx_cloud::{CloudConfig, WebService};
+use gcx_core::clock::SystemClock;
+use gcx_core::metrics::MetricsRegistry;
+use gcx_core::retry::RetryPolicy;
+use gcx_core::value::Value;
+use gcx_endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
+use gcx_mq::{Broker, FaultDirection, FaultPlan, FaultRule, LinkProfile};
+use gcx_sdk::{Executor, ExecutorConfig, PyFunction};
 
 const EXPERIMENTS: &[&str] = &[
     "fig2_usage",
@@ -26,7 +40,10 @@ fn main() {
     let bin_dir = exe.parent().expect("bin dir");
     let mut failures = Vec::new();
     for name in EXPERIMENTS {
-        println!("\n=== {name} {}", "=".repeat(60_usize.saturating_sub(name.len())));
+        println!(
+            "\n=== {name} {}",
+            "=".repeat(60_usize.saturating_sub(name.len()))
+        );
         let status = Command::new(bin_dir.join(name))
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
@@ -34,12 +51,155 @@ fn main() {
             failures.push(*name);
         }
     }
+
+    println!("\n=== robustness soak {}", "=".repeat(44));
+    if let Err(e) = robustness_soak() {
+        println!("  FAILED: {e}");
+        failures.push("robustness_soak");
+    }
+
     println!("\n=== summary {}", "=".repeat(52));
-    println!("  {} experiments, {} failed", EXPERIMENTS.len(), failures.len());
+    println!(
+        "  {} experiments, {} failed",
+        EXPERIMENTS.len() + 1,
+        failures.len()
+    );
     for f in &failures {
         println!("  FAILED: {f}");
     }
     if !failures.is_empty() {
         std::process::exit(1);
     }
+}
+
+/// One combined chaos scenario — a hung agent declared offline by the
+/// liveness monitor, poisoned deliveries dead-lettered and resubmitted, a
+/// seeded fault plan dropping/duplicating messages, and a severed result
+/// stream — followed by a report of the recovery counters.
+fn robustness_soak() -> Result<(), String> {
+    const TASKS: i64 = 24;
+    let clock = SystemClock::shared();
+    let cfg = CloudConfig {
+        heartbeat_timeout_ms: 150,
+        ..CloudConfig::default()
+    };
+    let broker = Broker::with_profile(
+        MetricsRegistry::new(),
+        clock.clone(),
+        LinkProfile::instant(),
+    );
+    let svc = WebService::new(cfg, AuthService::new(clock.clone()), broker, clock.clone());
+    let (_, token) = svc
+        .auth()
+        .login("soak@gcx.dev")
+        .map_err(|e| e.to_string())?;
+    let reg = svc
+        .register_endpoint(&token, "soak-ep", false, AuthPolicy::open(), None)
+        .map_err(|e| e.to_string())?;
+    svc.broker().set_fault_plan(Some(
+        FaultPlan::new(0xBADC0DE)
+            .with_rule(FaultRule::drop("tasks.", FaultDirection::Deliver, 0.10))
+            .with_rule(FaultRule::duplicate("results.", 0.10)),
+    ));
+
+    let ex = Executor::with_config(
+        svc.clone(),
+        token.clone(),
+        reg.endpoint_id,
+        ExecutorConfig {
+            retry: RetryPolicy::fixed(4, 5),
+            ..ExecutorConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let square = PyFunction::new("def f(x):\n    return x * x\n");
+    let futures: Vec<_> = (0..TASKS)
+        .map(|i| ex.submit(&square, vec![Value::Int(i)], Value::None))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+
+    // A doomed first agent: it nacks three tasks to death (dead-letter →
+    // retryable failure → SDK resubmission), then hangs holding two more
+    // deliveries until the liveness monitor declares it offline and
+    // requeues them.
+    let doomed = svc
+        .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+        .map_err(|e| e.to_string())?;
+    let mut ops = 0;
+    while ops < 9 {
+        if let Some((_, tag)) = doomed
+            .next_task(Duration::from_millis(20))
+            .map_err(|e| e.to_string())?
+        {
+            let _ = doomed.nack_task(tag);
+            ops += 1;
+        }
+    }
+    let mut held = 0;
+    while held < 2 {
+        if doomed
+            .next_task(Duration::from_millis(20))
+            .map_err(|e| e.to_string())?
+            .is_some()
+        {
+            held += 1;
+        }
+    }
+    std::thread::sleep(Duration::from_millis(250));
+    svc.check_liveness();
+
+    // A healthy replacement serves everything still queued or requeued.
+    let config =
+        EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n  workers_per_node: 4\n")
+            .map_err(|e| e.to_string())?;
+    let agent = EndpointAgent::start(
+        &svc,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(clock),
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Sever the result stream mid-workload to exercise reconnect + catch-up.
+    if let Some(q) = svc
+        .broker()
+        .queue_names()
+        .into_iter()
+        .find(|n| n.starts_with("stream."))
+    {
+        let _ = svc.broker().delete_queue(&q);
+    }
+
+    for (i, f) in futures.iter().enumerate() {
+        let got = f
+            .result_timeout(Duration::from_secs(30))
+            .map_err(|e| format!("task {i}: {e}"))?;
+        if got != Value::Int((i * i) as i64) {
+            return Err(format!("task {i}: wrong result {got:?}"));
+        }
+    }
+
+    let m = svc.metrics();
+    let mut table = Table::new(&["counter", "value"]);
+    for name in [
+        "mq.dropped",
+        "mq.duplicated",
+        "mq.dead_lettered",
+        "cloud.endpoints_offline",
+        "cloud.retries",
+        "cloud.tasks_dead_lettered",
+        "cloud.duplicate_results_dropped",
+        "sdk.tasks_resubmitted",
+        "sdk.stream_reconnects",
+    ] {
+        table.row(&[name.to_string(), m.counter(name).get().to_string()]);
+    }
+    println!("  {TASKS} tasks, all completed with correct results despite the chaos:\n");
+    table.print();
+    ex.close();
+    agent.stop();
+    drop(doomed);
+    svc.shutdown();
+    Ok(())
 }

@@ -33,9 +33,10 @@ fn main() {
     for n_endpoints in [1usize, 4, 16, 64] {
         let cloud = WebService::with_defaults(SystemClock::shared());
         let (_, token) = cloud.auth().login("scale@bench.dev").unwrap();
-        let config =
-            EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n")
-                .unwrap();
+        let config = EndpointConfig::from_yaml(
+            "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n",
+        )
+        .unwrap();
         let mut agents = Vec::new();
         let mut eps = Vec::new();
         for i in 0..n_endpoints {
@@ -77,7 +78,11 @@ fn main() {
             per_ep.to_string(),
             format!("{:.2}", elapsed.as_secs_f64()),
             format!("{:.0}", TASKS_TOTAL as f64 / elapsed.as_secs_f64()),
-            cloud.metrics().counter("mq.messages_published").get().to_string(),
+            cloud
+                .metrics()
+                .counter("mq.messages_published")
+                .get()
+                .to_string(),
         ]);
 
         for ex in executors {

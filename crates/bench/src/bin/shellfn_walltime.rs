@@ -22,13 +22,14 @@ fn main() {
     let bf = ShellFunction::new("sleep 0.2").with_walltime(0.1);
     let future = ex.submit(&bf, vec![], Value::None).unwrap();
     let r = future.shell_result().unwrap();
-    println!("  ShellFunction(\"sleep 0.2\", walltime=0.1).returncode = {}", r.returncode);
+    println!(
+        "  ShellFunction(\"sleep 0.2\", walltime=0.1).returncode = {}",
+        r.returncode
+    );
     assert_eq!(r.returncode, 124);
 
     let mut table = Table::new(&["command", "walltime (s)", "returncode", "timed out"]);
-    for (sleep_s, walltime_s) in
-        [(0.05, 0.2), (0.1, 0.2), (0.3, 0.2), (0.5, 0.2), (0.2, 0.0)]
-    {
+    for (sleep_s, walltime_s) in [(0.05, 0.2), (0.1, 0.2), (0.3, 0.2), (0.5, 0.2), (0.2, 0.0)] {
         let f = if walltime_s > 0.0 {
             ShellFunction::new(format!("sleep {sleep_s}")).with_walltime(walltime_s)
         } else {
@@ -38,7 +39,11 @@ fn main() {
         let r = fut.shell_result().unwrap();
         table.row(&[
             format!("sleep {sleep_s}"),
-            if walltime_s > 0.0 { format!("{walltime_s}") } else { "none".into() },
+            if walltime_s > 0.0 {
+                format!("{walltime_s}")
+            } else {
+                "none".into()
+            },
             r.returncode.to_string(),
             r.timed_out().to_string(),
         ]);

@@ -66,7 +66,12 @@ impl BenchStack {
             AgentEnv::local(clock),
         )
         .unwrap();
-        Self { cloud, token, endpoint: reg.endpoint_id, agent: Some(agent) }
+        Self {
+            cloud,
+            token,
+            endpoint: reg.endpoint_id,
+            agent: Some(agent),
+        }
     }
 
     /// Bring up with a custom environment (scheduler, vfs, transform).
@@ -80,7 +85,12 @@ impl BenchStack {
         let agent =
             EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env)
                 .unwrap();
-        Self { cloud, token, endpoint: reg.endpoint_id, agent: Some(agent) }
+        Self {
+            cloud,
+            token,
+            endpoint: reg.endpoint_id,
+            agent: Some(agent),
+        }
     }
 
     /// Tear everything down.
@@ -101,7 +111,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (stringified cells).
@@ -190,7 +203,10 @@ mod tests {
         let ex = Executor::new(stack.cloud.clone(), stack.token.clone(), stack.endpoint).unwrap();
         let f = PyFunction::new("def f():\n    return 1\n");
         let fut = ex.submit(&f, vec![], Value::None).unwrap();
-        assert_eq!(fut.result_timeout(Duration::from_secs(10)).unwrap(), Value::Int(1));
+        assert_eq!(
+            fut.result_timeout(Duration::from_secs(10)).unwrap(),
+            Value::Int(1)
+        );
         ex.close();
         stack.stop();
     }

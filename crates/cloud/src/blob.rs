@@ -45,7 +45,11 @@ pub struct BlobStore {
 impl BlobStore {
     /// A store enforcing `limit` bytes per object.
     pub fn new(limit: usize, metrics: MetricsRegistry) -> Self {
-        Self { objects: Arc::new(RwLock::new(HashMap::new())), limit, metrics }
+        Self {
+            objects: Arc::new(RwLock::new(HashMap::new())),
+            limit,
+            metrics,
+        }
     }
 
     /// The per-object size limit.
@@ -57,7 +61,10 @@ impl BlobStore {
     /// [`GcxError::PayloadTooLarge`] above the limit.
     pub fn put(&self, data: Bytes) -> GcxResult<BlobId> {
         if data.len() > self.limit {
-            return Err(GcxError::PayloadTooLarge { size: data.len(), limit: self.limit });
+            return Err(GcxError::PayloadTooLarge {
+                size: data.len(),
+                limit: self.limit,
+            });
         }
         let id = BlobId(Uuid::new_v4());
         self.metrics.counter("s3.objects_put").inc();
@@ -116,7 +123,13 @@ mod tests {
         let s = store(10);
         s.put(Bytes::from(vec![0u8; 10])).unwrap();
         let err = s.put(Bytes::from(vec![0u8; 11])).unwrap_err();
-        assert!(matches!(err, GcxError::PayloadTooLarge { size: 11, limit: 10 }));
+        assert!(matches!(
+            err,
+            GcxError::PayloadTooLarge {
+                size: 11,
+                limit: 10
+            }
+        ));
     }
 
     #[test]

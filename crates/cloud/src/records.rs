@@ -28,6 +28,9 @@ pub struct EndpointRecord {
     pub registered_at: TimeMs,
     /// Whether the agent currently holds a session.
     pub connected: bool,
+    /// When the agent last heartbeated (service clock); the liveness
+    /// monitor marks the endpoint offline once this goes stale.
+    pub last_heartbeat_ms: TimeMs,
 }
 
 impl EndpointRecord {
@@ -81,7 +84,10 @@ impl MepStartRequest {
             ("username", Value::str(&self.username)),
             ("user_config", self.user_config.clone()),
             ("config_hash", Value::Int(self.config_hash as i64)),
-            ("uep_endpoint_id", Value::str(self.uep_endpoint_id.to_string())),
+            (
+                "uep_endpoint_id",
+                Value::str(self.uep_endpoint_id.to_string()),
+            ),
             ("queue_credential", Value::str(&self.queue_credential)),
         ])
     }
@@ -151,6 +157,7 @@ mod tests {
             policy: AuthPolicy::open(),
             registered_at: 0,
             connected: false,
+            last_heartbeat_ms: 0,
         };
         assert!(rec.function_allowed(f1));
         rec.allowed_functions = Some(vec![f1]);

@@ -42,6 +42,13 @@ pub struct CloudConfig {
     /// clock) per request for the bytes it carries, so experiments see
     /// realistic upload/download time for payloads that ride REST.
     pub rest_link: gcx_mq::LinkProfile,
+    /// An endpoint that has not heartbeated for this long is marked offline
+    /// and its in-flight tasks are requeued (see [`WebService::check_liveness`]).
+    pub heartbeat_timeout_ms: u64,
+    /// Delivery budget per task: after this many failed deliveries the task
+    /// is dead-lettered and failed with a retryable error instead of cycling
+    /// through endpoints forever.
+    pub max_task_deliveries: u32,
 }
 
 impl Default for CloudConfig {
@@ -51,6 +58,8 @@ impl Default for CloudConfig {
             inline_threshold: 64 * 1024,
             result_processors: 2,
             rest_link: gcx_mq::LinkProfile::instant(),
+            heartbeat_timeout_ms: 30_000,
+            max_task_deliveries: 3,
         }
     }
 }
@@ -102,6 +111,11 @@ fn stream_queue_name(identity: IdentityId, n: u64) -> String {
 /// The shared result queue every endpoint publishes into.
 pub const RESULT_QUEUE: &str = "results.all";
 
+/// Dead-letter queue for tasks whose delivery budget is exhausted. A
+/// service-side processor fails each such task with a retryable error so
+/// clients see a terminal state instead of a silent black hole.
+pub const DEAD_TASKS_QUEUE: &str = "dead.tasks";
+
 impl WebService {
     /// Bring up the service (auth, broker, blob store, result processors).
     pub fn new(cfg: CloudConfig, auth: AuthService, broker: Broker, clock: SharedClock) -> Self {
@@ -109,6 +123,9 @@ impl WebService {
         let blobs = BlobStore::new(cfg.payload_limit, metrics.clone());
         broker
             .declare_queue(RESULT_QUEUE, Some("cloud-results"))
+            .expect("fresh broker");
+        broker
+            .declare_queue(DEAD_TASKS_QUEUE, Some("cloud-results"))
             .expect("fresh broker");
         let inner = Arc::new(CloudInner {
             cfg,
@@ -136,6 +153,25 @@ impl WebService {
                 .name(format!("gcx-result-proc-{i}"))
                 .spawn(move || svc2.result_processor_loop())
                 .expect("spawn result processor");
+            svc.inner.processors.lock().push(handle);
+        }
+        {
+            let svc2 = svc.clone();
+            let handle = std::thread::Builder::new()
+                .name("gcx-dead-task-proc".into())
+                .spawn(move || svc2.dead_task_processor_loop())
+                .expect("spawn dead-task processor");
+            svc.inner.processors.lock().push(handle);
+        }
+        // On a virtual clock liveness is driven explicitly by the test
+        // harness (`check_liveness`); a background thread would race the
+        // manually-advanced time.
+        if !svc.inner.clock.is_virtual() {
+            let svc2 = svc.clone();
+            let handle = std::thread::Builder::new()
+                .name("gcx-liveness".into())
+                .spawn(move || svc2.liveness_monitor_loop())
+                .expect("spawn liveness monitor");
             svc.inner.processors.lock().push(handle);
         }
         svc
@@ -188,9 +224,18 @@ impl WebService {
 
     fn meter_api(&self, bytes_in: usize, bytes_out: usize) {
         self.inner.metrics.counter("api.requests").inc();
-        self.inner.metrics.counter("api.bytes_in").add(bytes_in as u64);
-        self.inner.metrics.counter("api.bytes_out").add(bytes_out as u64);
-        self.inner.cfg.rest_link.charge(&self.inner.clock, bytes_in + bytes_out);
+        self.inner
+            .metrics
+            .counter("api.bytes_in")
+            .add(bytes_in as u64);
+        self.inner
+            .metrics
+            .counter("api.bytes_out")
+            .add(bytes_out as u64);
+        self.inner
+            .cfg
+            .rest_link
+            .charge(&self.inner.clock, bytes_in + bytes_out);
     }
 
     fn authenticate(&self, token: &Token) -> GcxResult<gcx_auth::service::Introspection> {
@@ -250,9 +295,14 @@ impl WebService {
         self.meter_api(name.len() + 64, 128);
         let id = EndpointId::random();
         let credential = format!("epcred-{}", gcx_core::ids::Uuid::new_v4());
-        self.inner.broker.declare_queue(&task_queue_name(id), Some(&credential))?;
+        self.inner
+            .broker
+            .declare_queue(&task_queue_name(id), Some(&credential))?;
+        self.apply_task_queue_policy(id)?;
         if multi_user {
-            self.inner.broker.declare_queue(&mep_queue_name(id), Some(&credential))?;
+            self.inner
+                .broker
+                .declare_queue(&mep_queue_name(id), Some(&credential))?;
         }
         self.inner.endpoints.write().insert(
             id,
@@ -266,9 +316,13 @@ impl WebService {
                 policy,
                 registered_at: self.inner.clock.now_ms(),
                 connected: false,
+                last_heartbeat_ms: 0,
             },
         );
-        self.inner.credentials.write().insert(id, credential.clone());
+        self.inner
+            .credentials
+            .write()
+            .insert(id, credential.clone());
         Ok(EndpointRegistration {
             endpoint_id: id,
             queue_credential: credential,
@@ -305,7 +359,11 @@ impl WebService {
     /// Live status of an endpoint: connectivity plus task-queue depth.
     /// Visible to the endpoint's owner and, for spawned user endpoints, the
     /// owning MEP's administrator.
-    pub fn endpoint_status(&self, token: &Token, id: EndpointId) -> GcxResult<(EndpointRecord, usize)> {
+    pub fn endpoint_status(
+        &self,
+        token: &Token,
+        id: EndpointId,
+    ) -> GcxResult<(EndpointRecord, usize)> {
         let who = self.authenticate(token)?;
         self.meter_api(36, 64);
         let record = self.endpoint_record(id)?;
@@ -355,9 +413,13 @@ impl WebService {
                 None => return Err(GcxError::EndpointNotFound(endpoint_id)),
             }
         }
-        let consumer = self.inner.broker.consume(&task_queue_name(endpoint_id), Some(credential), 0)?;
+        let consumer =
+            self.inner
+                .broker
+                .consume(&task_queue_name(endpoint_id), Some(credential), 0)?;
         if let Some(rec) = self.inner.endpoints.write().get_mut(&endpoint_id) {
             rec.connected = true;
+            rec.last_heartbeat_ms = self.inner.clock.now_ms();
         }
         self.inner.spawn_pending.write().remove(&endpoint_id);
         Ok(EndpointSession {
@@ -383,6 +445,93 @@ impl WebService {
     pub fn disconnect_endpoint(&self, endpoint_id: EndpointId) {
         if let Some(rec) = self.inner.endpoints.write().get_mut(&endpoint_id) {
             rec.connected = false;
+        }
+    }
+
+    /// Give every endpoint task queue the service-wide delivery budget, with
+    /// exhausted deliveries routed to [`DEAD_TASKS_QUEUE`].
+    fn apply_task_queue_policy(&self, id: EndpointId) -> GcxResult<()> {
+        self.inner.broker.set_queue_policy(
+            &task_queue_name(id),
+            gcx_mq::QueuePolicy::dead_letter(self.inner.cfg.max_task_deliveries, DEAD_TASKS_QUEUE),
+        )
+    }
+
+    // ---- liveness ----------------------------------------------------------
+
+    /// Record a heartbeat from an endpoint agent. A heartbeat from an
+    /// endpoint previously declared offline brings it back online.
+    pub fn heartbeat(&self, endpoint_id: EndpointId) -> GcxResult<()> {
+        let mut endpoints = self.inner.endpoints.write();
+        let rec = endpoints
+            .get_mut(&endpoint_id)
+            .ok_or(GcxError::EndpointNotFound(endpoint_id))?;
+        rec.last_heartbeat_ms = self.inner.clock.now_ms();
+        rec.connected = true;
+        Ok(())
+    }
+
+    /// Sweep for endpoints whose heartbeat has gone stale: mark them
+    /// offline and requeue their in-flight tasks so they are redelivered
+    /// when an agent next connects (tasks over their delivery budget are
+    /// dead-lettered and failed instead). Returns how many endpoints were
+    /// newly marked offline.
+    ///
+    /// Called periodically by a background thread on a real clock; tests on
+    /// a virtual clock call it explicitly after advancing time.
+    pub fn check_liveness(&self) -> usize {
+        let now = self.inner.clock.now_ms();
+        let timeout = self.inner.cfg.heartbeat_timeout_ms;
+        let stale: Vec<EndpointId> = self
+            .inner
+            .endpoints
+            .read()
+            .values()
+            .filter(|r| r.connected && now.saturating_sub(r.last_heartbeat_ms) > timeout)
+            .map(|r| r.id)
+            .collect();
+        let mut newly_offline = 0;
+        for id in stale {
+            {
+                let mut endpoints = self.inner.endpoints.write();
+                match endpoints.get_mut(&id) {
+                    // Re-check under the write lock: a heartbeat may have
+                    // landed between the sweep and now.
+                    Some(rec)
+                        if rec.connected && now.saturating_sub(rec.last_heartbeat_ms) > timeout =>
+                    {
+                        rec.connected = false;
+                    }
+                    _ => continue,
+                }
+            }
+            newly_offline += 1;
+            self.inner.metrics.counter("cloud.endpoints_offline").inc();
+            if let Ok(requeued) = self.inner.broker.recover_queue(&task_queue_name(id)) {
+                self.inner
+                    .metrics
+                    .counter("cloud.retries")
+                    .add(requeued as u64);
+            }
+        }
+        newly_offline
+    }
+
+    fn liveness_monitor_loop(&self) {
+        // Sweep at a quarter of the timeout, sleeping in short slices so
+        // shutdown stays responsive.
+        let sweep_ms = (self.inner.cfg.heartbeat_timeout_ms / 4).max(25);
+        loop {
+            let mut slept = 0u64;
+            while slept < sweep_ms {
+                if self.inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let slice = (sweep_ms - slept).min(25);
+                std::thread::sleep(Duration::from_millis(slice));
+                slept += slice;
+            }
+            self.check_liveness();
         }
     }
 
@@ -416,12 +565,7 @@ impl WebService {
 
             let target = self.endpoint_record(spec.endpoint_id)?;
             target.policy.evaluate(&who.identity, who.auth_time, now)?;
-            if !self
-                .inner
-                .functions
-                .read()
-                .contains_key(&spec.function_id)
-            {
+            if !self.inner.functions.read().contains_key(&spec.function_id) {
                 return Err(GcxError::FunctionNotFound(spec.function_id));
             }
             if !target.function_allowed(spec.function_id) {
@@ -553,7 +697,10 @@ impl WebService {
                     Message::new(codec::encode(&req.to_value())),
                     Some(&mep_credential),
                 )?;
-                self.inner.metrics.counter("mep.uep_respawn_requested").inc();
+                self.inner
+                    .metrics
+                    .counter("mep.uep_respawn_requested")
+                    .inc();
             }
             return Ok(existing);
         }
@@ -564,7 +711,10 @@ impl WebService {
         // Pre-register the user endpoint so tasks can buffer immediately.
         let uep_id = EndpointId::random();
         let credential = format!("uepcred-{}", gcx_core::ids::Uuid::new_v4());
-        self.inner.broker.declare_queue(&task_queue_name(uep_id), Some(&credential))?;
+        self.inner
+            .broker
+            .declare_queue(&task_queue_name(uep_id), Some(&credential))?;
+        self.apply_task_queue_policy(uep_id)?;
         self.inner.endpoints.write().insert(
             uep_id,
             EndpointRecord {
@@ -577,9 +727,13 @@ impl WebService {
                 policy: AuthPolicy::open(),
                 registered_at: self.inner.clock.now_ms(),
                 connected: false,
+                last_heartbeat_ms: 0,
             },
         );
-        self.inner.credentials.write().insert(uep_id, credential.clone());
+        self.inner
+            .credentials
+            .write()
+            .insert(uep_id, credential.clone());
         ueps.insert(key, uep_id);
         drop(ueps);
         self.inner.spawn_pending.write().insert(uep_id);
@@ -625,7 +779,11 @@ impl WebService {
     /// Poll a task's status. This is the traditional REST path the executor
     /// interface replaces; every call is metered so benchmarks can compare
     /// request counts and bytes against streaming.
-    pub fn task_status(&self, token: &Token, id: TaskId) -> GcxResult<(TaskState, Option<TaskResult>)> {
+    pub fn task_status(
+        &self,
+        token: &Token,
+        id: TaskId,
+    ) -> GcxResult<(TaskState, Option<TaskResult>)> {
         let who = self.authenticate(token)?;
         let tasks = self.inner.tasks.read();
         let rec = tasks.get(&id).ok_or(GcxError::TaskNotFound(id))?;
@@ -635,10 +793,11 @@ impl WebService {
         let result = rec.result.clone();
         let state = rec.state;
         drop(tasks);
-        let out_bytes = 24 + result
-            .as_ref()
-            .map(|r| codec::encoded_size(&r.to_value()))
-            .unwrap_or(0);
+        let out_bytes = 24
+            + result
+                .as_ref()
+                .map(|r| codec::encoded_size(&r.to_value()))
+                .unwrap_or(0);
         self.meter_api(36, out_bytes);
         self.inner.metrics.counter("cloud.status_polls").inc();
         Ok((state, result))
@@ -672,7 +831,10 @@ impl WebService {
         }
         drop(tasks);
         self.meter_api(ids.len() * 36, bytes_out);
-        self.inner.metrics.counter("cloud.status_polls").add(ids.len() as u64);
+        self.inner
+            .metrics
+            .counter("cloud.status_polls")
+            .add(ids.len() as u64);
         Ok(out)
     }
 
@@ -800,13 +962,28 @@ impl WebService {
                 .get("result")
                 .ok_or_else(|| GcxError::Codec("result missing body".into()))?,
         )?;
+        self.finish_task(task_id, result)
+    }
+
+    /// Land a task's result: state transitions, metrics, and fan-out to the
+    /// owner's open result streams. Idempotent — exactly one caller wins per
+    /// task id; later results for a terminal task are counted and dropped,
+    /// which is what makes endpoint-side retries safe (a redelivered task
+    /// may legitimately produce its result twice).
+    fn finish_task(&self, task_id: TaskId, result: TaskResult) -> GcxResult<()> {
         let now = self.inner.clock.now_ms();
 
         let owner = {
             let mut tasks = self.inner.tasks.write();
-            let rec = tasks.get_mut(&task_id).ok_or(GcxError::TaskNotFound(task_id))?;
+            let rec = tasks
+                .get_mut(&task_id)
+                .ok_or(GcxError::TaskNotFound(task_id))?;
             if rec.state.is_terminal() {
                 // Duplicate delivery after an endpoint retry — drop it.
+                self.inner
+                    .metrics
+                    .counter("cloud.duplicate_results_dropped")
+                    .inc();
                 return Ok(());
             }
             if rec.state == TaskState::Received {
@@ -845,11 +1022,63 @@ impl WebService {
         Ok(())
     }
 
+    /// Drain [`DEAD_TASKS_QUEUE`]: each message there is a task whose
+    /// delivery budget ran out (poison task, or an endpoint that kept dying
+    /// mid-execution). Fail it with a *retryable* error so SDK-side retry
+    /// budgets can decide whether to resubmit.
+    fn dead_task_processor_loop(&self) {
+        let consumer = match self
+            .inner
+            .broker
+            .consume(DEAD_TASKS_QUEUE, Some("cloud-results"), 64)
+        {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            match consumer.next(Duration::from_millis(25)) {
+                Ok(Some(delivery)) => {
+                    let _ = self.fail_dead_task(&delivery.message);
+                    let _ = consumer.ack(delivery.tag);
+                }
+                Ok(None) => {}
+                Err(_) => return, // queue closed
+            }
+        }
+    }
+
+    fn fail_dead_task(&self, message: &Message) -> GcxResult<()> {
+        let spec = TaskSpec::from_value(&codec::decode(&message.body)?)?;
+        let source = message
+            .headers
+            .get(gcx_mq::DEATH_QUEUE_HEADER)
+            .cloned()
+            .unwrap_or_else(|| "<unknown>".into());
+        self.inner
+            .metrics
+            .counter("cloud.tasks_dead_lettered")
+            .inc();
+        self.finish_task(
+            spec.task_id,
+            TaskResult::retryable_err(format!(
+                "task exhausted its {} delivery attempts on {source}",
+                self.inner.cfg.max_task_deliveries
+            )),
+        )
+    }
+
     /// Endpoint-side state report (Received → WaitingForNodes → Running).
-    fn report_state(&self, endpoint: EndpointId, task_id: TaskId, state: TaskState) -> GcxResult<()> {
+    fn report_state(
+        &self,
+        endpoint: EndpointId,
+        task_id: TaskId,
+        state: TaskState,
+    ) -> GcxResult<()> {
         let now = self.inner.clock.now_ms();
         let mut tasks = self.inner.tasks.write();
-        let rec = tasks.get_mut(&task_id).ok_or(GcxError::TaskNotFound(task_id))?;
+        let rec = tasks
+            .get_mut(&task_id)
+            .ok_or(GcxError::TaskNotFound(task_id))?;
         // The task may have been rerouted to a spawned user endpoint.
         let delivered_ep = rec.spec.endpoint_id;
         let target_ok = delivered_ep == endpoint
@@ -860,7 +1089,9 @@ impl WebService {
                 .get(&endpoint)
                 .is_some_and(|e| e.parent_mep.is_some() || delivered_ep == endpoint);
         if !target_ok {
-            return Err(GcxError::Forbidden("task does not belong to this endpoint".into()));
+            return Err(GcxError::Forbidden(
+                "task does not belong to this endpoint".into(),
+            ));
         }
         if rec.state == state || rec.state.is_terminal() {
             return Ok(()); // idempotent
@@ -909,6 +1140,11 @@ impl EndpointSession {
     /// Report a task state transition.
     pub fn report_state(&self, task_id: TaskId, state: TaskState) -> GcxResult<()> {
         self.cloud.report_state(self.endpoint_id, task_id, state)
+    }
+
+    /// Tell the service this agent is alive (resets the liveness timer).
+    pub fn heartbeat(&self) -> GcxResult<()> {
+        self.cloud.heartbeat(self.endpoint_id)
     }
 
     /// Whether the task was cancelled while buffered (the agent skips it).
@@ -979,7 +1215,8 @@ pub struct ResultStream {
 
 impl Drop for ResultStream {
     fn drop(&mut self) {
-        self.cloud.close_result_stream(self.identity, &self.queue_name);
+        self.cloud
+            .close_result_stream(self.identity, &self.queue_name);
     }
 }
 
@@ -1025,11 +1262,15 @@ mod tests {
     fn submit_flows_to_endpoint_and_result_flows_back() {
         let svc = service();
         let token = login(&svc, "user@site.org");
-        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
         let reg = svc
             .register_endpoint(&token, "ep1", false, AuthPolicy::open(), None)
             .unwrap();
-        let session = svc.connect_endpoint(reg.endpoint_id, &reg.queue_credential).unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
 
         let spec = TaskSpec::new(fid, reg.endpoint_id);
         let task_id = svc.submit_task(&token, spec).unwrap();
@@ -1038,7 +1279,9 @@ mod tests {
         let (got, tag) = session.next_task(T).unwrap().unwrap();
         assert_eq!(got.task_id, task_id);
         session.report_state(task_id, TaskState::Running).unwrap();
-        session.publish_result(task_id, &TaskResult::Ok(Value::Int(42))).unwrap();
+        session
+            .publish_result(task_id, &TaskResult::Ok(Value::Int(42)))
+            .unwrap();
         session.ack_task(tag).unwrap();
 
         // Poll until the result processor lands it.
@@ -1049,7 +1292,10 @@ mod tests {
                 assert_eq!(result, Some(TaskResult::Ok(Value::Int(42))));
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "result never processed");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "result never processed"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         svc.shutdown();
@@ -1059,16 +1305,22 @@ mod tests {
     fn tasks_buffer_while_endpoint_offline() {
         let svc = service();
         let token = login(&svc, "u@x.y");
-        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
         let reg = svc
             .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
             .unwrap();
         // Submit before the agent ever connects.
-        let id = svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
         let (state, _) = svc.task_status(&token, id).unwrap();
         assert_eq!(state, TaskState::Received);
         // Now the agent comes online and finds the buffered task.
-        let session = svc.connect_endpoint(reg.endpoint_id, &reg.queue_credential).unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
         let (got, tag) = session.next_task(T).unwrap().unwrap();
         assert_eq!(got.task_id, id);
         session.ack_task(tag).unwrap();
@@ -1079,7 +1331,9 @@ mod tests {
     fn payload_limit_enforced_on_submit() {
         let svc = service();
         let token = login(&svc, "u@x.y");
-        let fid = svc.register_function(&token, FunctionBody::pyfn("def f(b):\n    return len(b)\n")).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f(b):\n    return len(b)\n"))
+            .unwrap();
         let reg = svc
             .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
             .unwrap();
@@ -1094,22 +1348,33 @@ mod tests {
     fn large_args_offload_to_s3_and_restore() {
         let svc = service();
         let token = login(&svc, "u@x.y");
-        let fid = svc.register_function(&token, FunctionBody::pyfn("def f(b):\n    return len(b)\n")).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f(b):\n    return len(b)\n"))
+            .unwrap();
         let reg = svc
             .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
             .unwrap();
-        let session = svc.connect_endpoint(reg.endpoint_id, &reg.queue_credential).unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
         let payload = vec![7u8; 1024 * 1024]; // 1 MB: above inline, below limit
         let mut spec = TaskSpec::new(fid, reg.endpoint_id);
         spec.args = vec![Value::Bytes(payload.clone())];
         svc.submit_task(&token, spec).unwrap();
         assert_eq!(svc.blobs().len(), 1, "args staged in S3");
         let (got, tag) = session.next_task(T).unwrap().unwrap();
-        assert_eq!(got.args, vec![Value::Bytes(payload)], "restored transparently");
+        assert_eq!(
+            got.args,
+            vec![Value::Bytes(payload)],
+            "restored transparently"
+        );
         session.ack_task(tag).unwrap();
         // The queue message itself stayed small.
         let mq_bytes = svc.metrics().counter("mq.bytes_published").get();
-        assert!(mq_bytes < 128 * 1024, "queue payload should be a reference: {mq_bytes}");
+        assert!(
+            mq_bytes < 128 * 1024,
+            "queue payload should be a reference: {mq_bytes}"
+        );
         svc.shutdown();
     }
 
@@ -1117,15 +1382,23 @@ mod tests {
     fn submit_validates_function_endpoint_policy_and_allowlist() {
         let svc = service();
         let token = login(&svc, "user@uchicago.edu");
-        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
-        let other_fid = svc.register_function(&token, FunctionBody::pyfn("def g():\n    return 2\n")).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let other_fid = svc
+            .register_function(&token, FunctionBody::pyfn("def g():\n    return 2\n"))
+            .unwrap();
 
         // Unknown endpoint.
-        let e = svc.submit_task(&token, TaskSpec::new(fid, EndpointId::random())).unwrap_err();
+        let e = svc
+            .submit_task(&token, TaskSpec::new(fid, EndpointId::random()))
+            .unwrap_err();
         assert!(matches!(e, GcxError::EndpointNotFound(_)));
 
         // Unknown function.
-        let reg = svc.register_endpoint(&token, "ep", false, AuthPolicy::open(), None).unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
         let e = svc
             .submit_task(&token, TaskSpec::new(FunctionId::random(), reg.endpoint_id))
             .unwrap_err();
@@ -1133,17 +1406,34 @@ mod tests {
 
         // Policy rejection.
         let reg2 = svc
-            .register_endpoint(&token, "anl-only", false, AuthPolicy::domains(&["anl.gov"]), None)
+            .register_endpoint(
+                &token,
+                "anl-only",
+                false,
+                AuthPolicy::domains(&["anl.gov"]),
+                None,
+            )
             .unwrap();
-        let e = svc.submit_task(&token, TaskSpec::new(fid, reg2.endpoint_id)).unwrap_err();
+        let e = svc
+            .submit_task(&token, TaskSpec::new(fid, reg2.endpoint_id))
+            .unwrap_err();
         assert!(matches!(e, GcxError::Forbidden(_)));
 
         // Allowed-function list (§IV-A.4).
         let reg3 = svc
-            .register_endpoint(&token, "gateway", false, AuthPolicy::open(), Some(vec![fid]))
+            .register_endpoint(
+                &token,
+                "gateway",
+                false,
+                AuthPolicy::open(),
+                Some(vec![fid]),
+            )
             .unwrap();
-        svc.submit_task(&token, TaskSpec::new(fid, reg3.endpoint_id)).unwrap();
-        let e = svc.submit_task(&token, TaskSpec::new(other_fid, reg3.endpoint_id)).unwrap_err();
+        svc.submit_task(&token, TaskSpec::new(fid, reg3.endpoint_id))
+            .unwrap();
+        let e = svc
+            .submit_task(&token, TaskSpec::new(other_fid, reg3.endpoint_id))
+            .unwrap_err();
         assert!(matches!(e, GcxError::Forbidden(_)));
         svc.shutdown();
     }
@@ -1152,10 +1442,16 @@ mod tests {
     fn batch_submission_is_one_api_request() {
         let svc = service();
         let token = login(&svc, "u@x.y");
-        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
-        let reg = svc.register_endpoint(&token, "ep", false, AuthPolicy::open(), None).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
         svc.metrics().reset_counters();
-        let specs: Vec<TaskSpec> = (0..50).map(|_| TaskSpec::new(fid, reg.endpoint_id)).collect();
+        let specs: Vec<TaskSpec> = (0..50)
+            .map(|_| TaskSpec::new(fid, reg.endpoint_id))
+            .collect();
         let ids = svc.submit_batch(&token, specs).unwrap();
         assert_eq!(ids.len(), 50);
         assert_eq!(svc.metrics().counter("api.requests").get(), 1);
@@ -1167,14 +1463,24 @@ mod tests {
     fn result_stream_receives_pushed_results() {
         let svc = service();
         let token = login(&svc, "streamer@x.y");
-        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
-        let reg = svc.register_endpoint(&token, "ep", false, AuthPolicy::open(), None).unwrap();
-        let session = svc.connect_endpoint(reg.endpoint_id, &reg.queue_credential).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
         let stream = svc.open_result_stream(&token).unwrap();
 
-        let id = svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
         let (_, tag) = session.next_task(T).unwrap().unwrap();
-        session.publish_result(id, &TaskResult::Ok(Value::str("pushed"))).unwrap();
+        session
+            .publish_result(id, &TaskResult::Ok(Value::str("pushed")))
+            .unwrap();
         session.ack_task(tag).unwrap();
 
         let delivery = stream
@@ -1192,10 +1498,15 @@ mod tests {
     fn usage_meter_counts_submissions() {
         let svc = service();
         let token = login(&svc, "u@x.y");
-        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
-        let reg = svc.register_endpoint(&token, "ep", false, AuthPolicy::open(), None).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
         for _ in 0..7 {
-            svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+            svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+                .unwrap();
         }
         assert_eq!(svc.usage().total(), 7);
         svc.shutdown();
@@ -1206,9 +1517,15 @@ mod tests {
         let svc = service();
         let admin = login(&svc, "admin@site.org");
         let user = login(&svc, "user@site.org");
-        let fid = svc.register_function(&user, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
-        let mep = svc.register_endpoint(&admin, "mep", true, AuthPolicy::open(), None).unwrap();
-        let commands = svc.connect_mep_commands(mep.endpoint_id, &mep.queue_credential).unwrap();
+        let fid = svc
+            .register_function(&user, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let mep = svc
+            .register_endpoint(&admin, "mep", true, AuthPolicy::open(), None)
+            .unwrap();
+        let commands = svc
+            .connect_mep_commands(mep.endpoint_id, &mep.queue_credential)
+            .unwrap();
 
         let config = Value::map([("ACCOUNT_ID", Value::str("123"))]);
         let mut spec = TaskSpec::new(fid, mep.endpoint_id);
@@ -1248,15 +1565,237 @@ mod tests {
     }
 
     #[test]
+    fn nacked_task_is_redelivered_to_a_second_session() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
+
+        // First agent takes the task but loses its worker and nacks.
+        let first = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let (got, tag) = first.next_task(T).unwrap().unwrap();
+        assert_eq!(got.task_id, id);
+        first.nack_task(tag).unwrap();
+        drop(first);
+
+        // A replacement agent picks the same task up, flagged redelivered.
+        let second = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let (again, tag2) = second.next_task(T).unwrap().unwrap();
+        assert_eq!(again.task_id, id);
+        second.report_state(id, TaskState::Running).unwrap();
+        second
+            .publish_result(id, &TaskResult::Ok(Value::Int(7)))
+            .unwrap();
+        second.ack_task(tag2).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let (state, _) = svc.task_status(&token, id).unwrap();
+            if state == TaskState::Success {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "result never processed"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn stale_endpoint_goes_offline_and_in_flight_tasks_requeue() {
+        use gcx_core::clock::VirtualClock;
+        let vclock = VirtualClock::new();
+        let clock: gcx_core::clock::SharedClock = vclock.clone();
+        let auth = gcx_auth::AuthService::new(clock.clone());
+        let broker = Broker::with_profile(
+            gcx_core::metrics::MetricsRegistry::new(),
+            clock.clone(),
+            gcx_mq::LinkProfile::instant(),
+        );
+        let cfg = CloudConfig {
+            heartbeat_timeout_ms: 1_000,
+            ..CloudConfig::default()
+        };
+        let svc = WebService::new(cfg, auth, broker, clock);
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
+
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let (got, _tag) = session.next_task(T).unwrap().unwrap();
+        assert_eq!(got.task_id, id);
+
+        // Fresh heartbeat (stamped at connect): nothing is stale yet.
+        assert_eq!(svc.check_liveness(), 0);
+
+        // The agent freezes: no heartbeats while the timeout elapses.
+        vclock.advance(1_500);
+        assert_eq!(svc.check_liveness(), 1);
+        assert!(!svc.endpoint_record(reg.endpoint_id).unwrap().connected);
+        assert_eq!(svc.metrics().counter("cloud.endpoints_offline").get(), 1);
+        assert_eq!(svc.metrics().counter("cloud.retries").get(), 1);
+        let stats = svc
+            .broker()
+            .queue_stats(&task_queue_name(reg.endpoint_id))
+            .unwrap();
+        assert_eq!(stats.ready, 1, "in-flight task requeued");
+        assert_eq!(stats.unacked, 0);
+
+        // A heartbeat brings the endpoint back online...
+        session.heartbeat().unwrap();
+        assert!(svc.endpoint_record(reg.endpoint_id).unwrap().connected);
+
+        // ...and a replacement session receives the requeued task.
+        let second = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let (again, tag) = second.next_task(T).unwrap().unwrap();
+        assert_eq!(again.task_id, id);
+        second.ack_task(tag).unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn exhausted_delivery_budget_fails_task_with_retryable_error() {
+        let svc = service(); // max_task_deliveries = 3
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+
+        // A poison task: every delivery attempt ends in a nack.
+        for _ in 0..3 {
+            let (_, tag) = session
+                .next_task(T)
+                .unwrap()
+                .expect("delivery within budget");
+            session.nack_task(tag).unwrap();
+        }
+        assert!(session
+            .next_task(Duration::from_millis(50))
+            .unwrap()
+            .is_none());
+
+        // The dead-task processor fails it with a retryable error.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let (state, result) = svc.task_status(&token, id).unwrap();
+            if state == TaskState::Failed {
+                let result = result.unwrap();
+                assert!(
+                    result.is_retryable_err(),
+                    "dead-lettered failure must be retryable"
+                );
+                assert!(matches!(result.into_result(), Err(GcxError::Transient(_))));
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dead task never failed"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.metrics().counter("cloud.tasks_dead_lettered").get(), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn duplicate_results_are_dropped_idempotently() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let (_, tag) = session.next_task(T).unwrap().unwrap();
+        // An endpoint retry can publish the same result twice.
+        session
+            .publish_result(id, &TaskResult::Ok(Value::Int(1)))
+            .unwrap();
+        session
+            .publish_result(id, &TaskResult::Ok(Value::Int(1)))
+            .unwrap();
+        session.ack_task(tag).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            if svc
+                .metrics()
+                .counter("cloud.duplicate_results_dropped")
+                .get()
+                == 1
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "duplicate never observed"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.metrics().counter("cloud.results_processed").get(), 1);
+        let (state, _) = svc.task_status(&token, id).unwrap();
+        assert_eq!(state, TaskState::Success);
+        svc.shutdown();
+    }
+
+    #[test]
     fn task_status_hides_other_users_tasks() {
         let svc = service();
         let alice = login(&svc, "alice@x.y");
         let bob = login(&svc, "bob@x.y");
-        let fid = svc.register_function(&alice, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
-        let reg = svc.register_endpoint(&alice, "ep", false, AuthPolicy::open(), None).unwrap();
-        let id = svc.submit_task(&alice, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        let fid = svc
+            .register_function(&alice, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&alice, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let id = svc
+            .submit_task(&alice, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
         assert!(svc.task_status(&alice, id).is_ok());
-        assert!(matches!(svc.task_status(&bob, id), Err(GcxError::Forbidden(_))));
+        assert!(matches!(
+            svc.task_status(&bob, id),
+            Err(GcxError::Forbidden(_))
+        ));
         svc.shutdown();
     }
 
@@ -1264,10 +1803,18 @@ mod tests {
     fn oversized_result_becomes_failure() {
         let svc = service();
         let token = login(&svc, "u@x.y");
-        let fid = svc.register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n")).unwrap();
-        let reg = svc.register_endpoint(&token, "ep", false, AuthPolicy::open(), None).unwrap();
-        let session = svc.connect_endpoint(reg.endpoint_id, &reg.queue_credential).unwrap();
-        let id = svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
         let (_, tag) = session.next_task(T).unwrap().unwrap();
         let huge = TaskResult::Ok(Value::Bytes(vec![0u8; 11 * 1024 * 1024]));
         session.publish_result(id, &huge).unwrap();
@@ -1276,7 +1823,9 @@ mod tests {
         loop {
             let (state, result) = svc.task_status(&token, id).unwrap();
             if state == TaskState::Failed {
-                let TaskResult::Err(msg) = result.unwrap() else { panic!() };
+                let TaskResult::Err(msg) = result.unwrap() else {
+                    panic!()
+                };
                 assert!(msg.contains("payload limit"));
                 break;
             }
@@ -1339,7 +1888,8 @@ mod admin_tests {
             .register_function(&owner, FunctionBody::pyfn("def f():\n    return 1\n"))
             .unwrap();
         for _ in 0..3 {
-            svc.submit_task(&owner, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+            svc.submit_task(&owner, TaskSpec::new(fid, reg.endpoint_id))
+                .unwrap();
         }
         let (record, depth) = svc.endpoint_status(&owner, reg.endpoint_id).unwrap();
         assert!(!record.connected);

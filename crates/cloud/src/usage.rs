@@ -44,7 +44,9 @@ impl UsageMeter {
         else {
             return Vec::new();
         };
-        (first..=last).map(|d| (d, days.get(&d).copied().unwrap_or(0))).collect()
+        (first..=last)
+            .map(|d| (d, days.get(&d).copied().unwrap_or(0)))
+            .collect()
     }
 }
 

@@ -103,7 +103,9 @@ impl Ty {
 impl Schema {
     /// Compile a schema from its `Value` representation.
     pub fn compile(v: &Value) -> GcxResult<Self> {
-        Ok(Self { root: compile_node(v)? })
+        Ok(Self {
+            root: compile_node(v)?,
+        })
     }
 
     /// Validate `v`, returning the first violation as an error. The `path`
@@ -120,9 +122,20 @@ fn compile_node(v: &Value) -> GcxResult<Node> {
 
     for key in m.keys() {
         match key.as_str() {
-            "type" | "properties" | "required" | "additionalProperties" | "items" | "minimum"
-            | "maximum" | "minLength" | "maxLength" | "pattern" | "enum" | "description"
-            | "title" | "default" => {}
+            "type"
+            | "properties"
+            | "required"
+            | "additionalProperties"
+            | "items"
+            | "minimum"
+            | "maximum"
+            | "minLength"
+            | "maxLength"
+            | "pattern"
+            | "enum"
+            | "description"
+            | "title"
+            | "default" => {}
             other => {
                 return Err(GcxError::InvalidConfig(format!(
                     "schema: unsupported keyword '{other}'"
@@ -144,9 +157,9 @@ fn compile_node(v: &Value) -> GcxResult<Node> {
 
     let mut properties = Vec::new();
     if let Some(props) = m.get("properties") {
-        let pm = props.as_map().ok_or_else(|| {
-            GcxError::InvalidConfig("schema: 'properties' must be a dict".into())
-        })?;
+        let pm = props
+            .as_map()
+            .ok_or_else(|| GcxError::InvalidConfig("schema: 'properties' must be a dict".into()))?;
         for (k, sub) in pm {
             properties.push((k.clone(), compile_node(sub)?));
         }
@@ -154,9 +167,9 @@ fn compile_node(v: &Value) -> GcxResult<Node> {
 
     let mut required = Vec::new();
     if let Some(req) = m.get("required") {
-        let rl = req.as_list().ok_or_else(|| {
-            GcxError::InvalidConfig("schema: 'required' must be a list".into())
-        })?;
+        let rl = req
+            .as_list()
+            .ok_or_else(|| GcxError::InvalidConfig("schema: 'required' must be a list".into()))?;
         for r in rl {
             required.push(
                 r.as_str()
@@ -205,7 +218,9 @@ fn compile_node(v: &Value) -> GcxResult<Node> {
     let pattern = match m.get("pattern") {
         Some(Value::Str(p)) => Some(Regex::new(p)?),
         Some(_) => {
-            return Err(GcxError::InvalidConfig("schema: 'pattern' must be a string".into()))
+            return Err(GcxError::InvalidConfig(
+                "schema: 'pattern' must be a string".into(),
+            ))
         }
         None => None,
     };
@@ -361,7 +376,10 @@ mod tests {
             ),
             (
                 "required",
-                Value::List(vec![Value::str("NODES_PER_BLOCK"), Value::str("ACCOUNT_ID")]),
+                Value::List(vec![
+                    Value::str("NODES_PER_BLOCK"),
+                    Value::str("ACCOUNT_ID"),
+                ]),
             ),
             ("additionalProperties", Value::Bool(false)),
         ]);
@@ -439,7 +457,9 @@ mod tests {
             ("items", Value::map([("type", Value::str("integer"))])),
         ]))
         .unwrap();
-        schema.validate(&Value::List(vec![Value::Int(1), Value::Int(2)])).unwrap();
+        schema
+            .validate(&Value::List(vec![Value::Int(1), Value::Int(2)]))
+            .unwrap();
         let err = schema
             .validate(&Value::List(vec![Value::Int(1), Value::str("x")]))
             .unwrap_err();
@@ -485,7 +505,9 @@ mod tests {
         schema
             .validate(&Value::map([("PARTITION", Value::str("gpu"))]))
             .unwrap();
-        assert!(schema.validate(&Value::map([] as [(&str, Value); 0])).is_err());
+        assert!(schema
+            .validate(&Value::map([] as [(&str, Value); 0]))
+            .is_err());
     }
 
     #[test]

@@ -54,20 +54,25 @@ impl Template {
                 segments.push(Segment::Literal(rest[..start].to_string()));
             }
             let after = &rest[start + 2..];
-            let end = after.find("}}").ok_or_else(|| {
-                GcxError::Parse("template: unterminated '{{'".into())
-            })?;
+            let end = after
+                .find("}}")
+                .ok_or_else(|| GcxError::Parse("template: unterminated '{{'".into()))?;
             let expr = &after[..end];
             segments.push(parse_expr(expr)?);
             rest = &after[end + 2..];
         }
         if rest.contains("}}") {
-            return Err(GcxError::Parse("template: '}}' without matching '{{'".into()));
+            return Err(GcxError::Parse(
+                "template: '}}' without matching '{{'".into(),
+            ));
         }
         if !rest.is_empty() {
             segments.push(Segment::Literal(rest.to_string()));
         }
-        Ok(Self { segments, source: text.to_string() })
+        Ok(Self {
+            segments,
+            source: text.to_string(),
+        })
     }
 
     /// The original template text.
@@ -173,10 +178,15 @@ fn parse_expr(expr: &str) -> GcxResult<Segment> {
         } else if let Some(arg) = p.strip_prefix("default(").and_then(|r| r.strip_suffix(')')) {
             filters.push(Filter::Default(parse_default_arg(arg.trim())?));
         } else {
-            return Err(GcxError::Parse(format!("template: unsupported filter '{p}'")));
+            return Err(GcxError::Parse(format!(
+                "template: unsupported filter '{p}'"
+            )));
         }
     }
-    Ok(Segment::Subst { var: var_part, filters })
+    Ok(Segment::Subst {
+        var: var_part,
+        filters,
+    })
 }
 
 /// Split on `|` that are not inside quotes.
@@ -326,7 +336,10 @@ mod tests {
     fn value_types_render_jinja_style() {
         let t = Template::parse("{{ N }}").unwrap();
         assert_eq!(t.render(&vars(&[("N", Value::Int(64))])).unwrap(), "64");
-        assert_eq!(t.render(&vars(&[("N", Value::Bool(false))])).unwrap(), "False");
+        assert_eq!(
+            t.render(&vars(&[("N", Value::Bool(false))])).unwrap(),
+            "False"
+        );
         assert_eq!(t.render(&vars(&[("N", Value::Float(1.5))])).unwrap(), "1.5");
     }
 }

@@ -28,7 +28,10 @@ pub fn parse_yaml(text: &str) -> GcxResult<Value> {
     if lines.is_empty() {
         return Ok(Value::None);
     }
-    let mut p = BlockParser { lines: &lines, pos: 0 };
+    let mut p = BlockParser {
+        lines: &lines,
+        pos: 0,
+    };
     let v = p.parse_block(lines[0].indent)?;
     if p.pos != lines.len() {
         let line = &lines[p.pos];
@@ -80,7 +83,11 @@ fn preprocess(text: &str) -> GcxResult<Vec<Line<'_>>> {
         if content.is_empty() {
             continue;
         }
-        out.push(Line { indent, content, number });
+        out.push(Line {
+            indent,
+            content,
+            number,
+        });
     }
     Ok(out)
 }
@@ -93,10 +100,9 @@ fn strip_trailing_comment(s: &str) -> &str {
         match b {
             b'\'' if !in_double => in_single = !in_single,
             b'"' if !in_single => in_double = !in_double,
-            b'#' if !in_single && !in_double
-                && (i == 0 || bytes[i - 1] == b' ') => {
-                    return &s[..i];
-                }
+            b'#' if !in_single && !in_double && (i == 0 || bytes[i - 1] == b' ') => {
+                return &s[..i];
+            }
             _ => {}
         }
     }
@@ -191,7 +197,9 @@ impl<'a, 'b> BlockParser<'a, 'b> {
                 // `-` with block content below.
                 self.pos += 1;
                 match self.peek() {
-                    Some(next) if next.indent > indent => items.push(self.parse_block(next.indent)?),
+                    Some(next) if next.indent > indent => {
+                        items.push(self.parse_block(next.indent)?)
+                    }
                     _ => items.push(Value::None),
                 }
             } else if rest.contains(':') && looks_like_key(rest) {
@@ -295,9 +303,7 @@ fn split_key(content: &str, number: usize) -> GcxResult<(String, &str)> {
     let idx = content
         .find(':')
         .filter(|i| content[*i + 1..].is_empty() || content.as_bytes()[*i + 1] == b' ')
-        .ok_or_else(|| {
-            GcxError::Parse(format!("yaml: expected 'key: value' at line {number}"))
-        })?;
+        .ok_or_else(|| GcxError::Parse(format!("yaml: expected 'key: value' at line {number}")))?;
     let key = content[..idx].trim();
     if key.is_empty() {
         return Err(GcxError::Parse(format!("yaml: empty key at line {number}")));
@@ -362,7 +368,10 @@ fn parse_scalar(s: &str, number: usize) -> GcxResult<Value> {
             } else if let Ok(f) = s.parse::<f64>() {
                 // Bare words like "nan"/"inf" parse as floats in Rust; treat
                 // only numeric-looking text as a float.
-                if s.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+') {
+                if s.chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                {
                     Value::Float(f)
                 } else {
                     Value::Str(s.to_string())
@@ -486,7 +495,12 @@ fn emit_block(v: &Value, indent: usize, out: &mut String) {
 }
 
 fn emit_key(k: &str) -> String {
-    if k.is_empty() || k.contains(':') || k.contains('#') || k.starts_with(['\'', '"', '-', '[', '{']) || k != k.trim() {
+    if k.is_empty()
+        || k.contains(':')
+        || k.contains('#')
+        || k.starts_with(['\'', '"', '-', '[', '{'])
+        || k != k.trim()
+    {
         format!("'{k}'")
     } else {
         k.to_string()
@@ -557,11 +571,19 @@ engine:
         let v = parse_yaml(text).unwrap();
         assert_eq!(v.get("display_name").unwrap().as_str(), Some("SlurmHPC"));
         let engine = v.get("engine").unwrap();
-        assert_eq!(engine.get("type").unwrap().as_str(), Some("GlobusMPIEngine"));
+        assert_eq!(
+            engine.get("type").unwrap().as_str(),
+            Some("GlobusMPIEngine")
+        );
         assert_eq!(engine.get("mpi_launcher").unwrap().as_str(), Some("srun"));
         assert_eq!(engine.get("nodes_per_block").unwrap().as_int(), Some(4));
         assert_eq!(
-            engine.get("provider").unwrap().get("type").unwrap().as_str(),
+            engine
+                .get("provider")
+                .unwrap()
+                .get("type")
+                .unwrap()
+                .as_str(),
             Some("SlurmProvider")
         );
     }
@@ -649,11 +671,17 @@ launcher:
     #[test]
     fn errors() {
         assert!(parse_yaml("\ta: 1\n").is_err(), "tabs rejected");
-        assert!(parse_yaml("a: 1\na: 2\n").is_err(), "duplicate keys rejected");
+        assert!(
+            parse_yaml("a: 1\na: 2\n").is_err(),
+            "duplicate keys rejected"
+        );
         assert!(parse_yaml("a: [1, 2\n").is_err(), "unterminated flow list");
         assert!(parse_yaml("a: 'oops\n").is_err(), "unterminated string");
         assert!(parse_yaml(": 1\n").is_err(), "empty key");
-        assert!(parse_yaml("just some words\n").is_err(), "top level must be a map or list");
+        assert!(
+            parse_yaml("just some words\n").is_err(),
+            "top level must be a map or list"
+        );
     }
 
     #[test]
@@ -672,10 +700,13 @@ launcher:
     fn roundtrip_simple() {
         let v = Value::map([
             ("name", Value::str("ep1")),
-            ("engine", Value::map([
-                ("type", Value::str("GlobusComputeEngine")),
-                ("workers", Value::Int(8)),
-            ])),
+            (
+                "engine",
+                Value::map([
+                    ("type", Value::str("GlobusComputeEngine")),
+                    ("workers", Value::Int(8)),
+                ]),
+            ),
             ("tags", Value::List(vec![Value::str("hpc"), Value::Int(2)])),
         ]);
         let text = to_yaml(&v);
@@ -688,7 +719,10 @@ launcher:
         let v = Value::map([(
             "mappings",
             Value::List(vec![
-                Value::map([("match", Value::str("(.*)@uchicago.edu")), ("output", Value::str("{0}"))]),
+                Value::map([
+                    ("match", Value::str("(.*)@uchicago.edu")),
+                    ("output", Value::str("{0}")),
+                ]),
                 Value::map([("match", Value::str("x")), ("n", Value::Int(3))]),
             ]),
         )]);
@@ -699,7 +733,10 @@ launcher:
 
     #[test]
     fn numeric_looking_strings_stay_strings_on_roundtrip() {
-        let v = Value::map([("walltime", Value::str("00:30:00")), ("ver", Value::str("1.5"))]);
+        let v = Value::map([
+            ("walltime", Value::str("00:30:00")),
+            ("ver", Value::str("1.5")),
+        ]);
         let back = parse_yaml(&to_yaml(&v)).unwrap();
         assert_eq!(back.get("walltime").unwrap().as_str(), Some("00:30:00"));
         assert_eq!(back.get("ver").unwrap().as_str(), Some("1.5"));

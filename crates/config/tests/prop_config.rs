@@ -1,7 +1,7 @@
 //! Property-based tests for the config machinery.
 
-use gcx_core::value::Value;
 use gcx_config::{parse_yaml, to_yaml, Template};
+use gcx_core::value::Value;
 use proptest::prelude::*;
 
 /// Values that appear in endpoint configurations: nested maps/lists of
@@ -23,8 +23,7 @@ fn config_value() -> impl Strategy<Value = Value> {
 
 /// Top-level documents are maps (like every endpoint config).
 fn config_doc() -> impl Strategy<Value = Value> {
-    prop::collection::btree_map("[a-z][a-z0-9_]{0,10}", config_value(), 1..5)
-        .prop_map(Value::Map)
+    prop::collection::btree_map("[a-z][a-z0-9_]{0,10}", config_value(), 1..5).prop_map(Value::Map)
 }
 
 proptest! {

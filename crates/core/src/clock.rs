@@ -83,7 +83,10 @@ impl VirtualClock {
     /// simulated timestamps convert to calendar dates).
     pub fn starting_at(start_ms: TimeMs) -> Arc<Self> {
         Arc::new(Self {
-            state: Mutex::new(VirtualState { now_ms: start_ms, sleepers: 0 }),
+            state: Mutex::new(VirtualState {
+                now_ms: start_ms,
+                sleepers: 0,
+            }),
             cond: Condvar::new(),
         })
     }

@@ -302,7 +302,7 @@ mod tests {
         assert!(decode(&[99]).is_err()); // bad version
         assert!(decode(&[1, 0xEE]).is_err()); // unknown tag
         assert!(decode(&[1, tag::STR, 10, b'a']).is_err()); // truncated str
-        // trailing bytes
+                                                            // trailing bytes
         let mut good = encode(&Value::Int(1)).to_vec();
         good.push(0);
         assert!(decode(&good).is_err());

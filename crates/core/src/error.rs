@@ -52,6 +52,16 @@ pub enum GcxError {
     Timeout(String),
     /// The component has been shut down and can no longer serve requests.
     ShuttingDown,
+    /// A transient infrastructure failure (lost endpoint, dead-lettered
+    /// delivery, dropped connection): the task itself is fine and retrying it
+    /// elsewhere or later may succeed.
+    Transient(String),
+    /// The target endpoint is offline (missed heartbeats); tasks routed to it
+    /// are requeued or failed with this retryable error.
+    EndpointOffline(EndpointId),
+    /// A retry budget was exhausted: `attempts` tries all failed, the last
+    /// with `last`. Not retryable — the budget is spent.
+    RetriesExhausted { attempts: u32, last: String },
     /// Catch-all for internal invariant violations.
     Internal(String),
 }
@@ -79,6 +89,11 @@ impl fmt::Display for GcxError {
             GcxError::Cancelled(id) => write!(f, "task {id} was cancelled"),
             GcxError::Timeout(m) => write!(f, "timed out: {m}"),
             GcxError::ShuttingDown => write!(f, "component is shutting down"),
+            GcxError::Transient(m) => write!(f, "transient failure: {m}"),
+            GcxError::EndpointOffline(id) => write!(f, "endpoint {id} is offline"),
+            GcxError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
             GcxError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -92,7 +107,11 @@ impl GcxError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            GcxError::Timeout(_) | GcxError::Queue(_) | GcxError::ShuttingDown
+            GcxError::Timeout(_)
+                | GcxError::Queue(_)
+                | GcxError::ShuttingDown
+                | GcxError::Transient(_)
+                | GcxError::EndpointOffline(_)
         )
     }
 
@@ -116,8 +135,14 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let e = GcxError::PayloadTooLarge { size: 11, limit: 10 };
-        assert_eq!(e.to_string(), "payload of 11 bytes exceeds the 10 byte limit");
+        let e = GcxError::PayloadTooLarge {
+            size: 11,
+            limit: 10,
+        };
+        assert_eq!(
+            e.to_string(),
+            "payload of 11 bytes exceeds the 10 byte limit"
+        );
         let e = GcxError::WalltimeExceeded { limit_ms: 1000 };
         assert!(e.to_string().contains("1000 ms"));
     }
@@ -126,8 +151,15 @@ mod tests {
     fn retryable_classification() {
         assert!(GcxError::Timeout("x".into()).is_retryable());
         assert!(GcxError::Queue("x".into()).is_retryable());
+        assert!(GcxError::Transient("x".into()).is_retryable());
+        assert!(GcxError::EndpointOffline(EndpointId::random()).is_retryable());
         assert!(!GcxError::Forbidden("x".into()).is_retryable());
         assert!(!GcxError::Execution("x".into()).is_retryable());
+        assert!(!GcxError::RetriesExhausted {
+            attempts: 3,
+            last: "x".into()
+        }
+        .is_retryable());
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub enum FunctionBody {
 impl FunctionBody {
     /// A plain mini-Python function body.
     pub fn pyfn(source: impl Into<String>) -> Self {
-        FunctionBody::PyFn { source: source.into() }
+        FunctionBody::PyFn {
+            source: source.into(),
+        }
     }
 
     /// A shell command body with default capture settings.
@@ -86,12 +88,21 @@ impl FunctionBody {
     pub fn content_hash(&self) -> u64 {
         let label: (&str, &str, u64, u64) = match self {
             FunctionBody::PyFn { source } => ("pyfn", source, 0, 0),
-            FunctionBody::Shell { cmd, walltime_ms, snippet_lines } => {
-                ("shell", cmd, walltime_ms.unwrap_or(0), *snippet_lines as u64)
-            }
-            FunctionBody::Mpi { cmd, walltime_ms, snippet_lines } => {
-                ("mpi", cmd, walltime_ms.unwrap_or(0), *snippet_lines as u64)
-            }
+            FunctionBody::Shell {
+                cmd,
+                walltime_ms,
+                snippet_lines,
+            } => (
+                "shell",
+                cmd,
+                walltime_ms.unwrap_or(0),
+                *snippet_lines as u64,
+            ),
+            FunctionBody::Mpi {
+                cmd,
+                walltime_ms,
+                snippet_lines,
+            } => ("mpi", cmd, walltime_ms.unwrap_or(0), *snippet_lines as u64),
         };
         fnv1a(&[
             label.0.as_bytes(),
@@ -104,11 +115,14 @@ impl FunctionBody {
     /// Pack for shipping to the web service.
     pub fn to_value(&self) -> Value {
         match self {
-            FunctionBody::PyFn { source } => Value::map([
-                ("kind", Value::str("pyfn")),
-                ("source", Value::str(source)),
-            ]),
-            FunctionBody::Shell { cmd, walltime_ms, snippet_lines } => Value::map([
+            FunctionBody::PyFn { source } => {
+                Value::map([("kind", Value::str("pyfn")), ("source", Value::str(source))])
+            }
+            FunctionBody::Shell {
+                cmd,
+                walltime_ms,
+                snippet_lines,
+            } => Value::map([
                 ("kind", Value::str("shell")),
                 ("cmd", Value::str(cmd)),
                 (
@@ -117,7 +131,11 @@ impl FunctionBody {
                 ),
                 ("snippet_lines", Value::Int(*snippet_lines as i64)),
             ]),
-            FunctionBody::Mpi { cmd, walltime_ms, snippet_lines } => Value::map([
+            FunctionBody::Mpi {
+                cmd,
+                walltime_ms,
+                snippet_lines,
+            } => Value::map([
                 ("kind", Value::str("mpi")),
                 ("cmd", Value::str(cmd)),
                 (
@@ -134,7 +152,9 @@ impl FunctionBody {
         let m = v.as_map()?;
         let kind = m.get("kind")?.as_str()?;
         match kind {
-            "pyfn" => Some(FunctionBody::PyFn { source: m.get("source")?.as_str()?.to_string() }),
+            "pyfn" => Some(FunctionBody::PyFn {
+                source: m.get("source")?.as_str()?.to_string(),
+            }),
             "shell" | "mpi" => {
                 let cmd = m.get("cmd")?.as_str()?.to_string();
                 let walltime_ms = match m.get("walltime_ms") {
@@ -144,9 +164,17 @@ impl FunctionBody {
                 };
                 let snippet_lines = m.get("snippet_lines")?.as_int()? as usize;
                 Some(if kind == "shell" {
-                    FunctionBody::Shell { cmd, walltime_ms, snippet_lines }
+                    FunctionBody::Shell {
+                        cmd,
+                        walltime_ms,
+                        snippet_lines,
+                    }
                 } else {
-                    FunctionBody::Mpi { cmd, walltime_ms, snippet_lines }
+                    FunctionBody::Mpi {
+                        cmd,
+                        walltime_ms,
+                        snippet_lines,
+                    }
                 })
             }
             _ => None,

@@ -92,7 +92,9 @@ impl FromStr for Uuid {
         }
         let mut raw: u128 = 0;
         for c in hex.chars() {
-            let d = c.to_digit(16).ok_or_else(|| ParseUuidError(s.to_string()))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| ParseUuidError(s.to_string()))?;
             raw = (raw << 4) | d as u128;
         }
         Ok(Self(raw))
@@ -203,7 +205,9 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!("not-a-uuid".parse::<Uuid>().is_err());
         assert!("".parse::<Uuid>().is_err());
-        assert!("zzzzzzzz-zzzz-zzzz-zzzz-zzzzzzzzzzzz".parse::<Uuid>().is_err());
+        assert!("zzzzzzzz-zzzz-zzzz-zzzz-zzzzzzzzzzzz"
+            .parse::<Uuid>()
+            .is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod ids;
 pub mod metrics;
 pub mod relite;
 pub mod respec;
+pub mod retry;
 pub mod shellres;
 pub mod task;
 pub mod value;
@@ -45,6 +46,7 @@ pub use error::{GcxError, GcxResult};
 pub use function::{FunctionBody, FunctionRecord};
 pub use ids::{BlockId, EndpointId, FunctionId, IdentityId, JobId, TaskId, Uuid};
 pub use respec::ResourceSpec;
+pub use retry::RetryPolicy;
 pub use shellres::ShellResult;
 pub use task::{TaskRecord, TaskResult, TaskSpec, TaskState};
 pub use value::Value;

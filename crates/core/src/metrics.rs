@@ -141,7 +141,11 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return if i >= 63 { u64::MAX } else { (1u64 << i).saturating_sub(1).max(1) };
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << i).saturating_sub(1).max(1)
+                };
             }
         }
         u64::MAX

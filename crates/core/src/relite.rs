@@ -44,11 +44,18 @@ enum Node {
     Empty,
     Char(char),
     AnyChar,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
     Group(usize, Box<Node>),
     Concat(Vec<Node>),
     Alt(Vec<Node>),
-    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: Option<u32>,
+    },
 }
 
 struct Parser<'a> {
@@ -60,11 +67,19 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(pattern: &'a str) -> Self {
-        Self { chars: pattern.chars().collect(), pos: 0, pattern, group_count: 0 }
+        Self {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+            group_count: 0,
+        }
     }
 
     fn err(&self, msg: &str) -> GcxError {
-        GcxError::Parse(format!("regex '{}': {msg} at offset {}", self.pattern, self.pos))
+        GcxError::Parse(format!(
+            "regex '{}': {msg} at offset {}",
+            self.pattern, self.pos
+        ))
     }
 
     fn peek(&self) -> Option<char> {
@@ -88,7 +103,11 @@ impl<'a> Parser<'a> {
             self.bump();
             branches.push(self.parse_concat(depth)?);
         }
-        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Node::Alt(branches) })
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        })
     }
 
     fn parse_concat(&mut self, depth: usize) -> GcxResult<Node> {
@@ -111,15 +130,27 @@ impl<'a> Parser<'a> {
         match self.peek() {
             Some('*') => {
                 self.bump();
-                Ok(Node::Repeat { node: Box::new(atom), min: 0, max: None })
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min: 0,
+                    max: None,
+                })
             }
             Some('+') => {
                 self.bump();
-                Ok(Node::Repeat { node: Box::new(atom), min: 1, max: None })
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min: 1,
+                    max: None,
+                })
             }
             Some('?') => {
                 self.bump();
-                Ok(Node::Repeat { node: Box::new(atom), min: 0, max: Some(1) })
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min: 0,
+                    max: Some(1),
+                })
             }
             _ => Ok(atom),
         }
@@ -142,7 +173,10 @@ impl<'a> Parser<'a> {
             Some('\\') => {
                 let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
                 match c {
-                    'd' => Ok(Node::Class { negated: false, ranges: vec![('0', '9')] }),
+                    'd' => Ok(Node::Class {
+                        negated: false,
+                        ranges: vec![('0', '9')],
+                    }),
                     'w' => Ok(Node::Class {
                         negated: false,
                         ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
@@ -232,7 +266,12 @@ impl Matcher<'_> {
 
     /// Try to match `node` starting at `pos`; on success call `k` with the
     /// end position. Returns true if the continuation eventually succeeds.
-    fn run(&mut self, node: &Node, pos: usize, k: &mut dyn FnMut(&mut Self, usize) -> bool) -> bool {
+    fn run(
+        &mut self,
+        node: &Node,
+        pos: usize,
+        k: &mut dyn FnMut(&mut Self, usize) -> bool,
+    ) -> bool {
         self.steps += 1;
         if self.steps > self.budget {
             return false; // backtracking budget exhausted — treat as no match
@@ -288,9 +327,7 @@ impl Matcher<'_> {
                 }
                 false
             }
-            Node::Repeat { node, min, max } => {
-                self.run_repeat(node, pos, *min, *max, 0, k)
-            }
+            Node::Repeat { node, min, max } => self.run_repeat(node, pos, *min, *max, 0, k),
         }
     }
 
@@ -364,7 +401,11 @@ impl Regex {
         if p.pos != p.chars.len() {
             return Err(p.err("unexpected ')'"));
         }
-        Ok(Self { root, case_insensitive, n_groups: p.group_count })
+        Ok(Self {
+            root,
+            case_insensitive,
+            n_groups: p.group_count,
+        })
     }
 
     /// Number of capture groups in the pattern.
@@ -426,7 +467,10 @@ mod tests {
         let re = Regex::new(r"(.*)@uchicago\.edu").unwrap();
         let c = re.full_match("kyle@uchicago.edu").unwrap();
         assert_eq!(c.groups[0].as_deref(), Some("kyle"));
-        assert!(re.full_match("kyle@uchicagoXedu").is_none(), "escaped dot is literal");
+        assert!(
+            re.full_match("kyle@uchicagoXedu").is_none(),
+            "escaped dot is literal"
+        );
         assert!(re.full_match("kyle@anl.gov").is_none());
     }
 

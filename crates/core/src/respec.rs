@@ -37,13 +37,21 @@ pub struct NormalizedSpec {
 impl ResourceSpec {
     /// Spec asking for `n` whole nodes with one rank each.
     pub fn nodes(n: u32) -> Self {
-        Self { num_nodes: Some(n), ranks_per_node: None, num_ranks: None }
+        Self {
+            num_nodes: Some(n),
+            ranks_per_node: None,
+            num_ranks: None,
+        }
     }
 
     /// Spec asking for `nodes` nodes with `rpn` ranks per node (the form used
     /// in Listing 6).
     pub fn nodes_ranks(nodes: u32, rpn: u32) -> Self {
-        Self { num_nodes: Some(nodes), ranks_per_node: Some(rpn), num_ranks: None }
+        Self {
+            num_nodes: Some(nodes),
+            ranks_per_node: Some(rpn),
+            num_ranks: None,
+        }
     }
 
     /// True when the user did not constrain anything.
@@ -108,7 +116,11 @@ impl ResourceSpec {
             }
         };
 
-        Ok(NormalizedSpec { num_nodes: nodes, ranks_per_node: rpn, num_ranks: ranks })
+        Ok(NormalizedSpec {
+            num_nodes: nodes,
+            ranks_per_node: rpn,
+            num_ranks: ranks,
+        })
     }
 
     /// Parse a spec out of a `Value::Map` shaped like the paper's Python
@@ -171,7 +183,14 @@ mod tests {
     #[test]
     fn empty_spec_defaults_to_one_rank() {
         let n = ResourceSpec::default().normalize().unwrap();
-        assert_eq!(n, NormalizedSpec { num_nodes: 1, ranks_per_node: 1, num_ranks: 1 });
+        assert_eq!(
+            n,
+            NormalizedSpec {
+                num_nodes: 1,
+                ranks_per_node: 1,
+                num_ranks: 1
+            }
+        );
     }
 
     #[test]
@@ -186,13 +205,24 @@ mod tests {
 
     #[test]
     fn derives_missing_field() {
-        let s = ResourceSpec { num_nodes: Some(4), num_ranks: Some(16), ranks_per_node: None };
+        let s = ResourceSpec {
+            num_nodes: Some(4),
+            num_ranks: Some(16),
+            ranks_per_node: None,
+        };
         assert_eq!(s.normalize().unwrap().ranks_per_node, 4);
 
-        let s = ResourceSpec { ranks_per_node: Some(8), num_ranks: Some(16), num_nodes: None };
+        let s = ResourceSpec {
+            ranks_per_node: Some(8),
+            num_ranks: Some(16),
+            num_nodes: None,
+        };
         assert_eq!(s.normalize().unwrap().num_nodes, 2);
 
-        let s = ResourceSpec { num_ranks: Some(5), ..Default::default() };
+        let s = ResourceSpec {
+            num_ranks: Some(5),
+            ..Default::default()
+        };
         let n = s.normalize().unwrap();
         assert_eq!((n.num_nodes, n.ranks_per_node), (1, 5));
     }
@@ -206,17 +236,28 @@ mod tests {
         };
         assert!(s.normalize().is_err());
 
-        let s = ResourceSpec { num_nodes: Some(3), num_ranks: Some(7), ranks_per_node: None };
+        let s = ResourceSpec {
+            num_nodes: Some(3),
+            num_ranks: Some(7),
+            ranks_per_node: None,
+        };
         assert!(s.normalize().is_err());
 
-        let s = ResourceSpec { ranks_per_node: Some(3), num_ranks: Some(7), num_nodes: None };
+        let s = ResourceSpec {
+            ranks_per_node: Some(3),
+            num_ranks: Some(7),
+            num_nodes: None,
+        };
         assert!(s.normalize().is_err());
     }
 
     #[test]
     fn rejects_zero() {
         assert!(ResourceSpec::nodes(0).normalize().is_err());
-        let s = ResourceSpec { num_ranks: Some(0), ..Default::default() };
+        let s = ResourceSpec {
+            num_ranks: Some(0),
+            ..Default::default()
+        };
         assert!(s.normalize().is_err());
     }
 

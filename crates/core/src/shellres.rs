@@ -50,11 +50,7 @@ impl ShellResult {
         if total <= n {
             return text.to_string();
         }
-        let mut out: String = text
-            .lines()
-            .skip(total - n)
-            .collect::<Vec<_>>()
-            .join("\n");
+        let mut out: String = text.lines().skip(total - n).collect::<Vec<_>>().join("\n");
         if text.ends_with('\n') {
             out.push('\n');
         }

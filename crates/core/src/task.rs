@@ -92,7 +92,10 @@ impl TaskSpec {
                 }
                 _ => ResourceSpec::default(),
             },
-            user_endpoint_config: m.get("user_endpoint_config").cloned().unwrap_or(Value::None),
+            user_endpoint_config: m
+                .get("user_endpoint_config")
+                .cloned()
+                .unwrap_or(Value::None),
         })
     }
 }
@@ -118,7 +121,10 @@ pub enum TaskState {
 impl TaskState {
     /// Terminal states never transition again.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, TaskState::Success | TaskState::Failed | TaskState::Cancelled)
+        matches!(
+            self,
+            TaskState::Success | TaskState::Failed | TaskState::Cancelled
+        )
     }
 
     /// Whether `self → next` is a legal lifecycle transition.
@@ -148,6 +154,11 @@ impl TaskState {
     }
 }
 
+/// Prefix marking a `TaskResult::Err` as infrastructure-caused and safe to
+/// retry (endpoint died, delivery dead-lettered). Kept inside the error
+/// string so it survives the wire codec unchanged.
+pub const RETRYABLE_MARKER: &str = "[retryable] ";
+
 /// The outcome of a task: a value or an error description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TaskResult {
@@ -158,6 +169,17 @@ pub enum TaskResult {
 }
 
 impl TaskResult {
+    /// A failure caused by infrastructure rather than the function itself;
+    /// decoded by [`TaskResult::into_result`] as a retryable
+    /// [`GcxError::Transient`].
+    pub fn retryable_err(msg: impl std::fmt::Display) -> Self {
+        TaskResult::Err(format!("{RETRYABLE_MARKER}{msg}"))
+    }
+
+    /// True if this is a failure carrying the retryable marker.
+    pub fn is_retryable_err(&self) -> bool {
+        matches!(self, TaskResult::Err(e) if e.starts_with(RETRYABLE_MARKER))
+    }
     /// Pack to the wire form used on result queues.
     pub fn to_value(&self) -> Value {
         match self {
@@ -185,10 +207,15 @@ impl TaskResult {
     }
 
     /// Convert to a `GcxResult<Value>` as the SDK's future resolves it.
+    /// Marked errors become retryable [`GcxError::Transient`], everything
+    /// else a fatal [`GcxError::Execution`].
     pub fn into_result(self) -> GcxResult<Value> {
         match self {
             TaskResult::Ok(v) => Ok(v),
-            TaskResult::Err(e) => Err(GcxError::Execution(e)),
+            TaskResult::Err(e) => match e.strip_prefix(RETRYABLE_MARKER) {
+                Some(msg) => Err(GcxError::Transient(msg.to_string())),
+                None => Err(GcxError::Execution(e)),
+            },
         }
     }
 }
@@ -306,7 +333,10 @@ mod tests {
         assert!(!Cancelled.can_transition_to(Running));
         assert!(!Running.can_transition_to(Received));
         assert!(!Success.can_transition_to(Success));
-        assert!(!WaitingForNodes.can_transition_to(Success), "must pass through Running");
+        assert!(
+            !WaitingForNodes.can_transition_to(Success),
+            "must pass through Running"
+        );
     }
 
     #[test]
@@ -331,6 +361,19 @@ mod tests {
             r.result.clone().unwrap().into_result(),
             Err(GcxError::Execution(m)) if m == "boom"
         ));
+    }
+
+    #[test]
+    fn retryable_marker_roundtrip() {
+        let r = TaskResult::retryable_err("endpoint went offline");
+        assert!(r.is_retryable_err());
+        assert!(!TaskResult::Err("boom".into()).is_retryable_err());
+        // The marker survives the wire codec and decodes as Transient.
+        let back = TaskResult::from_value(&r.to_value()).unwrap();
+        match back.into_result() {
+            Err(GcxError::Transient(m)) => assert_eq!(m, "endpoint went offline"),
+            other => panic!("expected Transient, got {other:?}"),
+        }
     }
 
     #[test]

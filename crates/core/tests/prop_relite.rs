@@ -8,8 +8,8 @@ use proptest::prelude::*;
 /// A reference regex AST, kept deliberately independent of relite's.
 #[derive(Debug, Clone, PartialEq)]
 enum R {
-    Empty,          // matches ""
-    Never,          // matches nothing
+    Empty, // matches ""
+    Never, // matches nothing
     Char(char),
     Any,
     Concat(Box<R>, Box<R>),
@@ -105,8 +105,7 @@ fn r_strategy() -> impl Strategy<Value = R> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| R::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| R::Concat(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| R::Alt(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| R::Star(Box::new(a))),
             inner.clone().prop_map(|a| R::Opt(Box::new(a))),

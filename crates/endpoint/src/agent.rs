@@ -46,6 +46,10 @@ pub struct AgentEnv {
     pub hostname: String,
     /// Worker-side payload transform (proxy resolution, §V-B).
     pub arg_transform: Option<ValueTransform>,
+    /// How often the agent heartbeats the cloud service (the service marks
+    /// the endpoint offline after `CloudConfig::heartbeat_timeout_ms` of
+    /// silence).
+    pub heartbeat_interval_ms: u64,
 }
 
 impl AgentEnv {
@@ -58,6 +62,7 @@ impl AgentEnv {
             scheduler: None,
             hostname: "localhost".into(),
             arg_transform: None,
+            heartbeat_interval_ms: 5_000,
         }
     }
 }
@@ -66,17 +71,35 @@ impl AgentEnv {
 pub fn build_provider(spec: &ProviderSpec, env: &AgentEnv) -> GcxResult<Arc<dyn Provider>> {
     Ok(match spec {
         ProviderSpec::Local => Arc::new(LocalProvider::new(env.hostname.clone())),
-        ProviderSpec::Slurm { partition, account, walltime_ms } => {
+        ProviderSpec::Slurm {
+            partition,
+            account,
+            walltime_ms,
+        } => {
             let sched = env.scheduler.clone().ok_or_else(|| {
                 GcxError::InvalidConfig("SlurmProvider requires a site scheduler".into())
             })?;
-            Arc::new(BatchProvider::slurm(sched, partition.clone(), account.clone(), *walltime_ms))
+            Arc::new(BatchProvider::slurm(
+                sched,
+                partition.clone(),
+                account.clone(),
+                *walltime_ms,
+            ))
         }
-        ProviderSpec::Pbs { partition, account, walltime_ms } => {
+        ProviderSpec::Pbs {
+            partition,
+            account,
+            walltime_ms,
+        } => {
             let sched = env.scheduler.clone().ok_or_else(|| {
                 GcxError::InvalidConfig("PBSProvider requires a site scheduler".into())
             })?;
-            Arc::new(BatchProvider::pbs(sched, partition.clone(), account.clone(), *walltime_ms))
+            Arc::new(BatchProvider::pbs(
+                sched,
+                partition.clone(),
+                account.clone(),
+                *walltime_ms,
+            ))
         }
     })
 }
@@ -88,7 +111,13 @@ pub fn build_engine(
     events: Sender<EngineEvent>,
 ) -> GcxResult<Box<dyn Engine>> {
     Ok(match &config.engine {
-        EngineSpec::GlobusCompute { nodes_per_block, max_blocks, workers_per_node, sandbox, provider } => {
+        EngineSpec::GlobusCompute {
+            nodes_per_block,
+            max_blocks,
+            workers_per_node,
+            sandbox,
+            provider,
+        } => {
             let provider = build_provider(provider, env)?;
             Box::new(GlobusComputeEngine::start(
                 HtexConfig {
@@ -106,7 +135,11 @@ pub fn build_engine(
                 env.arg_transform.clone(),
             ))
         }
-        EngineSpec::GlobusMpi { nodes_per_block, mpi_launcher, provider } => {
+        EngineSpec::GlobusMpi {
+            nodes_per_block,
+            mpi_launcher,
+            provider,
+        } => {
             let provider = build_provider(provider, env)?;
             Box::new(GlobusMpiEngine::start(
                 MpiEngineConfig {
@@ -128,14 +161,20 @@ pub fn build_engine(
 /// A running endpoint agent. Dropping it stops the agent.
 pub struct EndpointAgent {
     shutdown: Arc<AtomicBool>,
+    pump_stop: Arc<AtomicBool>,
     puller: Option<std::thread::JoinHandle<()>>,
     pump: Option<std::thread::JoinHandle<()>>,
+    heartbeat: Option<std::thread::JoinHandle<()>>,
     engine: Arc<Mutex<Box<dyn Engine>>>,
 }
 
+/// How long [`EndpointAgent::stop`] waits for in-flight tasks to drain
+/// before tearing the engine down anyway.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
 impl EndpointAgent {
     /// Start an agent from a parsed configuration: connects to the cloud,
-    /// builds the engine, and begins pulling tasks.
+    /// builds the engine, and begins pulling tasks and heartbeating.
     pub fn start(
         cloud: &WebService,
         endpoint_id: gcx_core::ids::EndpointId,
@@ -146,19 +185,60 @@ impl EndpointAgent {
         let session = cloud.connect_endpoint(endpoint_id, credential)?;
         let (events_tx, events_rx) = unbounded();
         let engine = build_engine(config, &env, events_tx)?;
-        Ok(Self::run(session, engine, events_rx))
+        Ok(Self::run_with(
+            session,
+            engine,
+            events_rx,
+            Some((env.clock.clone(), env.heartbeat_interval_ms)),
+        ))
     }
 
     /// Wire an already-built engine to a session (used by tests and custom
-    /// deployments).
+    /// deployments). No heartbeat thread — see [`Self::run_with`].
     pub fn run(
         session: EndpointSession,
         engine: Box<dyn Engine>,
         events: Receiver<EngineEvent>,
     ) -> Self {
+        Self::run_with(session, engine, events, None)
+    }
+
+    /// Like [`Self::run`], optionally heartbeating the service every
+    /// `interval_ms` on the given clock so the liveness monitor knows this
+    /// agent is alive.
+    pub fn run_with(
+        session: EndpointSession,
+        engine: Box<dyn Engine>,
+        events: Receiver<EngineEvent>,
+        heartbeat_cfg: Option<(SharedClock, u64)>,
+    ) -> Self {
         let shutdown = Arc::new(AtomicBool::new(false));
+        let pump_stop = Arc::new(AtomicBool::new(false));
         let session = Arc::new(session);
         let engine = Arc::new(Mutex::new(engine));
+
+        let heartbeat = heartbeat_cfg.map(|(clock, interval_ms)| {
+            let session = Arc::clone(&session);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("gcx-agent-heartbeat".into())
+                .spawn(move || loop {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let _ = session.heartbeat();
+                    // Pace on the *service* clock but wake on real time so
+                    // stop() never blocks on a stalled virtual clock.
+                    let next = clock.now_ms().saturating_add(interval_ms);
+                    while clock.now_ms() < next {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                })
+                .expect("spawn agent heartbeat")
+        });
 
         let puller = {
             let session = Arc::clone(&session);
@@ -179,7 +259,11 @@ impl EndpointAgent {
                                 }
                                 match session.fetch_function(spec.function_id) {
                                     Ok(function) => {
-                                        let task = ExecutableTask { spec, function, tag };
+                                        let task = ExecutableTask {
+                                            spec,
+                                            function,
+                                            tag,
+                                        };
                                         if engine.lock().submit(task).is_err() {
                                             let _ = session.nack_task(tag);
                                             return;
@@ -205,7 +289,10 @@ impl EndpointAgent {
 
         let pump = {
             let session = Arc::clone(&session);
-            let shutdown = Arc::clone(&shutdown);
+            // The pump outlives the shutdown flag: it keeps publishing
+            // results while the engine drains and exits only once stop()
+            // has torn the engine down (or the event channel closes).
+            let pump_stop = Arc::clone(&pump_stop);
             std::thread::Builder::new()
                 .name("gcx-agent-pump".into())
                 .spawn(move || loop {
@@ -217,7 +304,11 @@ impl EndpointAgent {
                             ));
                             let _ = session.report_state(task_id, state);
                         }
-                        Ok(EngineEvent::Done { task_id, tag, result }) => {
+                        Ok(EngineEvent::Done {
+                            task_id,
+                            tag,
+                            result,
+                        }) => {
                             if session.publish_result(task_id, &result).is_ok() {
                                 let _ = session.ack_task(tag);
                             } else {
@@ -225,7 +316,7 @@ impl EndpointAgent {
                             }
                         }
                         Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
-                            if shutdown.load(Ordering::SeqCst) {
+                            if pump_stop.load(Ordering::SeqCst) {
                                 return;
                             }
                         }
@@ -235,7 +326,14 @@ impl EndpointAgent {
                 .expect("spawn agent pump")
         };
 
-        Self { shutdown, puller: Some(puller), pump: Some(pump), engine }
+        Self {
+            shutdown,
+            pump_stop,
+            puller: Some(puller),
+            pump: Some(pump),
+            heartbeat,
+            engine,
+        }
     }
 
     /// Current engine load.
@@ -243,7 +341,9 @@ impl EndpointAgent {
         self.engine.lock().status()
     }
 
-    /// Stop pulling, shut the engine down, join threads.
+    /// Graceful stop: quit pulling new tasks, let in-flight tasks finish
+    /// (bounded by [`DRAIN_TIMEOUT`]) with their results published, then
+    /// shut the engine down and join all threads.
     pub fn stop(mut self) {
         self.stop_inner();
     }
@@ -253,7 +353,23 @@ impl EndpointAgent {
         if let Some(h) = self.puller.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+        // Drain: no new tasks are being pulled; wait for accepted work to
+        // complete so its results make it out before the engine dies.
+        let deadline = std::time::Instant::now() + DRAIN_TIMEOUT;
+        loop {
+            let st = self.engine.lock().status();
+            if (st.queued == 0 && st.running == 0) || std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
         self.engine.lock().shutdown();
+        // Only now may the pump exit on an idle timeout: every Done event
+        // the engine emitted is already in the channel.
+        self.pump_stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.pump.take() {
             let _ = h.join();
         }
@@ -272,10 +388,10 @@ mod tests {
     use gcx_auth::AuthPolicy;
     use gcx_core::clock::SystemClock;
     use gcx_core::function::FunctionBody;
-    use gcx_core::task::TaskSpec;
-    use gcx_core::value::Value;
     use gcx_core::respec::ResourceSpec;
     use gcx_core::shellres::ShellResult;
+    use gcx_core::task::TaskSpec;
+    use gcx_core::value::Value;
 
     fn wait_success(
         svc: &WebService,
@@ -304,9 +420,10 @@ mod tests {
             .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
             .unwrap();
 
-        let config =
-            EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n")
-                .unwrap();
+        let config = EndpointConfig::from_yaml(
+            "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n",
+        )
+        .unwrap();
         let env = AgentEnv::local(SystemClock::shared());
         let agent =
             EndpointAgent::start(&svc, reg.endpoint_id, &reg.queue_credential, &config, env)
@@ -315,7 +432,10 @@ mod tests {
         let mut spec = TaskSpec::new(fid, reg.endpoint_id);
         spec.args = vec![Value::Int(21)];
         let id = svc.submit_task(&token, spec).unwrap();
-        assert_eq!(wait_success(&svc, &token, id), TaskResult::Ok(Value::Int(42)));
+        assert_eq!(
+            wait_success(&svc, &token, id),
+            TaskResult::Ok(Value::Int(42))
+        );
 
         agent.stop();
         svc.shutdown();
@@ -344,7 +464,9 @@ mod tests {
         let mut spec = TaskSpec::new(fid, reg.endpoint_id);
         spec.kwargs = Value::map([("message", Value::str("bonjour"))]);
         let id = svc.submit_task(&token, spec).unwrap();
-        let TaskResult::Ok(v) = wait_success(&svc, &token, id) else { panic!() };
+        let TaskResult::Ok(v) = wait_success(&svc, &token, id) else {
+            panic!()
+        };
         let sr = ShellResult::from_value(&v).unwrap();
         assert_eq!(sr.stdout, "bonjour\n");
 
@@ -356,14 +478,15 @@ mod tests {
     fn end_to_end_mpifunction_through_agent() {
         let svc = WebService::with_defaults(SystemClock::shared());
         let (_, token) = svc.auth().login("user@site.org").unwrap();
-        let fid = svc.register_function(&token, FunctionBody::mpi("hostname")).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::mpi("hostname"))
+            .unwrap();
         let reg = svc
             .register_endpoint(&token, "mpi-ep", false, AuthPolicy::open(), None)
             .unwrap();
-        let config = EndpointConfig::from_yaml(
-            "engine:\n  type: GlobusMPIEngine\n  nodes_per_block: 4\n",
-        )
-        .unwrap();
+        let config =
+            EndpointConfig::from_yaml("engine:\n  type: GlobusMPIEngine\n  nodes_per_block: 4\n")
+                .unwrap();
         let agent = EndpointAgent::start(
             &svc,
             reg.endpoint_id,
@@ -376,7 +499,9 @@ mod tests {
         let mut spec = TaskSpec::new(fid, reg.endpoint_id);
         spec.resource_spec = ResourceSpec::nodes_ranks(2, 2);
         let id = svc.submit_task(&token, spec).unwrap();
-        let TaskResult::Ok(v) = wait_success(&svc, &token, id) else { panic!() };
+        let TaskResult::Ok(v) = wait_success(&svc, &token, id) else {
+            panic!()
+        };
         let sr = ShellResult::from_value(&v).unwrap();
         assert_eq!(sr.stdout.lines().count(), 4);
 
@@ -394,7 +519,9 @@ mod tests {
         // rejection of MPI bodies on a non-MPI engine.)
         let svc = WebService::with_defaults(SystemClock::shared());
         let (_, token) = svc.auth().login("user@site.org").unwrap();
-        let fid = svc.register_function(&token, FunctionBody::mpi("hostname")).unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::mpi("hostname"))
+            .unwrap();
         let reg = svc
             .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
             .unwrap();
@@ -407,7 +534,9 @@ mod tests {
             AgentEnv::local(SystemClock::shared()),
         )
         .unwrap();
-        let id = svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
         let result = wait_success(&svc, &token, id);
         assert!(matches!(result, TaskResult::Err(m) if m.contains("GlobusMPIEngine")));
         agent.stop();
@@ -421,7 +550,10 @@ mod tests {
         let svc = WebService::with_defaults(clock.clone());
         let (_, token) = svc.auth().login("user@site.org").unwrap();
         let fid = svc
-            .register_function(&token, FunctionBody::pyfn("def f():\n    return hostname()\n"))
+            .register_function(
+                &token,
+                FunctionBody::pyfn("def f():\n    return hostname()\n"),
+            )
             .unwrap();
         let reg = svc
             .register_endpoint(&token, "hpc", false, AuthPolicy::open(), None)
@@ -435,10 +567,122 @@ mod tests {
         let agent =
             EndpointAgent::start(&svc, reg.endpoint_id, &reg.queue_credential, &config, env)
                 .unwrap();
-        let id = svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id)).unwrap();
-        let TaskResult::Ok(Value::Str(host)) = wait_success(&svc, &token, id) else { panic!() };
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
+        let TaskResult::Ok(Value::Str(host)) = wait_success(&svc, &token, id) else {
+            panic!()
+        };
         assert!(host.starts_with("node-"), "ran on a scheduler node: {host}");
         agent.stop();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn agent_heartbeats_the_service() {
+        let svc = WebService::with_defaults(SystemClock::shared());
+        let (_, token) = svc.auth().login("user@site.org").unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let config = EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n").unwrap();
+        let mut env = AgentEnv::local(SystemClock::shared());
+        env.heartbeat_interval_ms = 10;
+        let agent =
+            EndpointAgent::start(&svc, reg.endpoint_id, &reg.queue_credential, &config, env)
+                .unwrap();
+
+        let first = svc
+            .endpoint_record(reg.endpoint_id)
+            .unwrap()
+            .last_heartbeat_ms;
+        assert!(first > 0, "stamped on connect");
+        // The heartbeat thread keeps pushing the stamp forward.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if svc
+                .endpoint_record(reg.endpoint_id)
+                .unwrap()
+                .last_heartbeat_ms
+                > first
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no heartbeat observed"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        agent.stop();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn stop_drains_in_flight_tasks() {
+        let svc = WebService::with_defaults(SystemClock::shared());
+        let (_, token) = svc.auth().login("user@site.org").unwrap();
+        let fid = svc
+            .register_function(
+                &token,
+                FunctionBody::pyfn("def f():\n    sleep(0.02)\n    return 1\n"),
+            )
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let config = EndpointConfig::from_yaml(
+            "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n",
+        )
+        .unwrap();
+        let agent = EndpointAgent::start(
+            &svc,
+            reg.endpoint_id,
+            &reg.queue_credential,
+            &config,
+            AgentEnv::local(SystemClock::shared()),
+        )
+        .unwrap();
+
+        let ids: Vec<_> = (0..6)
+            .map(|_| {
+                svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+                    .unwrap()
+            })
+            .collect();
+        // Give the puller a moment to accept some tasks, then stop: every
+        // task the agent accepted must still produce its result; the rest
+        // stay buffered on the queue for the next agent — none stranded.
+        std::thread::sleep(Duration::from_millis(30));
+        agent.stop();
+        let queue = format!("tasks.{}", reg.endpoint_id);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let terminal = ids
+                .iter()
+                .filter(|id| svc.task_status(&token, **id).unwrap().0.is_terminal())
+                .count();
+            let stats = svc.broker().queue_stats(&queue).unwrap();
+            assert_eq!(
+                stats.unacked, 0,
+                "no task may be stranded unacked after stop"
+            );
+            if terminal + stats.ready == ids.len() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "tasks lost in drain");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for id in ids {
+            let (state, result) = svc.task_status(&token, id).unwrap();
+            if state.is_terminal() {
+                assert_eq!(
+                    result,
+                    Some(TaskResult::Ok(Value::Int(1))),
+                    "drained result intact"
+                );
+            }
+        }
         svc.shutdown();
     }
 

@@ -101,14 +101,15 @@ impl EndpointConfig {
                 None => Ok(default),
                 Some(Value::Int(i)) if *i >= 1 && *i <= u32::MAX as i64 => Ok(*i as u32),
                 // MEP templates render numbers into strings; accept numeric text.
-                Some(Value::Str(s)) => s
-                    .trim()
-                    .parse::<u32>()
-                    .ok()
-                    .filter(|v| *v >= 1)
-                    .ok_or_else(|| {
-                        GcxError::InvalidConfig(format!("'{key}' must be a positive integer"))
-                    }),
+                Some(Value::Str(s)) => {
+                    s.trim()
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|v| *v >= 1)
+                        .ok_or_else(|| {
+                            GcxError::InvalidConfig(format!("'{key}' must be a positive integer"))
+                        })
+                }
                 Some(_) => Err(GcxError::InvalidConfig(format!(
                     "'{key}' must be a positive integer"
                 ))),
@@ -138,15 +139,22 @@ impl EndpointConfig {
                 }
             }
             other => {
-                return Err(GcxError::InvalidConfig(format!("unknown engine type '{other}'")))
+                return Err(GcxError::InvalidConfig(format!(
+                    "unknown engine type '{other}'"
+                )))
             }
         };
-        Ok(Self { display_name, engine })
+        Ok(Self {
+            display_name,
+            engine,
+        })
     }
 }
 
 fn parse_provider(doc: Option<&Value>) -> GcxResult<ProviderSpec> {
-    let Some(doc) = doc else { return Ok(ProviderSpec::Local) };
+    let Some(doc) = doc else {
+        return Ok(ProviderSpec::Local);
+    };
     let ty = doc
         .get("type")
         .and_then(Value::as_str)
@@ -160,7 +168,11 @@ fn parse_provider(doc: Option<&Value>) -> GcxResult<ProviderSpec> {
         .get("account")
         .and_then(Value::as_str)
         .map(str::to_string)
-        .or_else(|| doc.get("account").and_then(Value::as_int).map(|i| i.to_string()))
+        .or_else(|| {
+            doc.get("account")
+                .and_then(Value::as_int)
+                .map(|i| i.to_string())
+        })
         .unwrap_or_else(|| "default".to_string());
     let walltime_ms = match doc.get("walltime") {
         None => 30 * 60 * 1000, // Listing 9's default("00:30:00")
@@ -170,9 +182,19 @@ fn parse_provider(doc: Option<&Value>) -> GcxResult<ProviderSpec> {
     };
     match ty {
         "LocalProvider" => Ok(ProviderSpec::Local),
-        "SlurmProvider" => Ok(ProviderSpec::Slurm { partition, account, walltime_ms }),
-        "PBSProProvider" | "PBSProvider" => Ok(ProviderSpec::Pbs { partition, account, walltime_ms }),
-        other => Err(GcxError::InvalidConfig(format!("unknown provider type '{other}'"))),
+        "SlurmProvider" => Ok(ProviderSpec::Slurm {
+            partition,
+            account,
+            walltime_ms,
+        }),
+        "PBSProProvider" | "PBSProvider" => Ok(ProviderSpec::Pbs {
+            partition,
+            account,
+            walltime_ms,
+        }),
+        other => Err(GcxError::InvalidConfig(format!(
+            "unknown provider type '{other}'"
+        ))),
     }
 }
 
@@ -183,7 +205,9 @@ pub fn parse_walltime(s: &str) -> GcxResult<u64> {
     match nums.as_deref() {
         Some([h, m, sec]) if *m < 60 && *sec < 60 => Ok((h * 3600 + m * 60 + sec) * 1000),
         Some([m, sec]) if *sec < 60 => Ok((m * 60 + sec) * 1000),
-        _ => Err(GcxError::InvalidConfig(format!("bad walltime '{s}' (want HH:MM:SS)"))),
+        _ => Err(GcxError::InvalidConfig(format!(
+            "bad walltime '{s}' (want HH:MM:SS)"
+        ))),
     }
 }
 
@@ -206,7 +230,12 @@ engine:
 "#;
         let cfg = EndpointConfig::from_yaml(text).unwrap();
         assert_eq!(cfg.display_name, "SlurmHPC");
-        let EngineSpec::GlobusMpi { nodes_per_block, mpi_launcher, provider } = cfg.engine else {
+        let EngineSpec::GlobusMpi {
+            nodes_per_block,
+            mpi_launcher,
+            provider,
+        } = cfg.engine
+        else {
             panic!()
         };
         assert_eq!(nodes_per_block, 4);
@@ -232,11 +261,23 @@ launcher:
   type: SrunLauncher
 "#;
         let cfg = EndpointConfig::from_yaml(text).unwrap();
-        let EngineSpec::GlobusCompute { nodes_per_block, provider, .. } = cfg.engine else {
+        let EngineSpec::GlobusCompute {
+            nodes_per_block,
+            provider,
+            ..
+        } = cfg.engine
+        else {
             panic!()
         };
         assert_eq!(nodes_per_block, 64);
-        let ProviderSpec::Slurm { partition, account, walltime_ms } = provider else { panic!() };
+        let ProviderSpec::Slurm {
+            partition,
+            account,
+            walltime_ms,
+        } = provider
+        else {
+            panic!()
+        };
         assert_eq!(partition, "cpu");
         assert_eq!(account, "314159265");
         assert_eq!(walltime_ms, 20 * 60 * 1000);
@@ -266,7 +307,12 @@ launcher:
         // Template rendering yields strings; they must still parse.
         let text = "engine:\n  type: GlobusComputeEngine\n  nodes_per_block: \"8\"\n";
         let cfg = EndpointConfig::from_yaml(text).unwrap();
-        let EngineSpec::GlobusCompute { nodes_per_block, .. } = cfg.engine else { panic!() };
+        let EngineSpec::GlobusCompute {
+            nodes_per_block, ..
+        } = cfg.engine
+        else {
+            panic!()
+        };
         assert_eq!(nodes_per_block, 8);
     }
 
@@ -274,17 +320,23 @@ launcher:
     fn sandbox_flag() {
         let text = "engine:\n  type: GlobusComputeEngine\n  sandbox: true\n";
         let cfg = EndpointConfig::from_yaml(text).unwrap();
-        assert!(matches!(cfg.engine, EngineSpec::GlobusCompute { sandbox: true, .. }));
+        assert!(matches!(
+            cfg.engine,
+            EngineSpec::GlobusCompute { sandbox: true, .. }
+        ));
     }
 
     #[test]
     fn errors() {
-        assert!(EndpointConfig::from_yaml("display_name: x\n").is_err(), "no engine");
-        assert!(EndpointConfig::from_yaml("engine:\n  type: WarpEngine\n").is_err());
         assert!(
-            EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n  nodes_per_block: 0\n")
-                .is_err()
+            EndpointConfig::from_yaml("display_name: x\n").is_err(),
+            "no engine"
         );
+        assert!(EndpointConfig::from_yaml("engine:\n  type: WarpEngine\n").is_err());
+        assert!(EndpointConfig::from_yaml(
+            "engine:\n  type: GlobusComputeEngine\n  nodes_per_block: 0\n"
+        )
+        .is_err());
         assert!(EndpointConfig::from_yaml(
             "engine:\n  type: GlobusComputeEngine\n  provider:\n    type: CloudProvider\n"
         )

@@ -137,7 +137,11 @@ impl GlobusComputeEngine {
             .name("gcx-interchange".into())
             .spawn(move || ic.run())
             .expect("spawn interchange");
-        Self { submit_tx, shared, interchange: Some(interchange) }
+        Self {
+            submit_tx,
+            shared,
+            interchange: Some(interchange),
+        }
     }
 }
 
@@ -294,6 +298,7 @@ impl Interchange {
             let events = self.events.clone();
             let resubmit = self.resubmit.clone();
             let shared = Arc::clone(&self.shared);
+            let metrics = self.metrics.clone();
             let max_retries = self.cfg.max_retries;
             let ctx = {
                 let mut c = WorkerContext::new(self.vfs.clone(), self.clock.clone(), node.clone());
@@ -314,8 +319,33 @@ impl Interchange {
                         let task_id = queued.task.spec.task_id;
                         emit(&events, EngineEvent::State(task_id, TaskState::Running));
                         shared.running.fetch_add(1, Ordering::SeqCst);
-                        let result = ctx.execute(&queued.task.spec, &queued.task.function.body);
+                        // Supervision boundary: a panic in user-facing code
+                        // must not kill the worker. The thread survives (an
+                        // in-place restart) and the task re-enters the queue
+                        // within its retry budget.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                ctx.execute(&queued.task.spec, &queued.task.function.body)
+                            }));
                         shared.running.fetch_sub(1, Ordering::SeqCst);
+                        let result = match outcome {
+                            Ok(result) => result,
+                            Err(panic) => {
+                                metrics.counter("htex.worker_panics").inc();
+                                requeue_or_fail_with(
+                                    queued,
+                                    &resubmit,
+                                    &events,
+                                    &shared,
+                                    max_retries,
+                                    format!(
+                                        "RuntimeError: worker panicked while executing task: {}",
+                                        panic_message(&*panic)
+                                    ),
+                                );
+                                continue;
+                            }
+                        };
                         if !alive2.load(Ordering::SeqCst) {
                             // Block died mid-execution: the result is lost.
                             requeue_or_fail(queued, &resubmit, &events, &shared, max_retries);
@@ -323,7 +353,11 @@ impl Interchange {
                         }
                         emit(
                             &events,
-                            EngineEvent::Done { task_id, tag: queued.task.tag, result },
+                            EngineEvent::Done {
+                                task_id,
+                                tag: queued.task.tag,
+                                result,
+                            },
                         );
                     }
                 })
@@ -333,7 +367,13 @@ impl Interchange {
         self.shared
             .capacity
             .fetch_add(self.cfg.workers_per_node as usize, Ordering::SeqCst);
-        self.managers.push(Manager { node, block, task_tx, alive, workers });
+        self.managers.push(Manager {
+            node,
+            block,
+            task_tx,
+            alive,
+            workers,
+        });
     }
 
     fn reap_dead_blocks(&mut self) -> bool {
@@ -343,7 +383,10 @@ impl Interchange {
             if dead_blocks.contains(&m.block) {
                 continue;
             }
-            if matches!(self.provider.block_state(m.block), Ok(BlockState::Done) | Err(_)) {
+            if matches!(
+                self.provider.block_state(m.block),
+                Ok(BlockState::Done) | Err(_)
+            ) {
                 dead_blocks.push(m.block);
             }
         }
@@ -386,7 +429,10 @@ impl Interchange {
             let mut item = Some(queued);
             for i in 0..n {
                 let idx = (self.rr_cursor + i) % n;
-                match self.managers[idx].task_tx.try_send(item.take().expect("present")) {
+                match self.managers[idx]
+                    .task_tx
+                    .try_send(item.take().expect("present"))
+                {
                     Ok(()) => {
                         self.rr_cursor = (idx + 1) % n;
                         self.shared.queued.fetch_sub(1, Ordering::SeqCst);
@@ -409,11 +455,29 @@ impl Interchange {
 }
 
 fn requeue_or_fail(
+    queued: QueuedTask,
+    resubmit: &Sender<QueuedTask>,
+    events: &Sender<EngineEvent>,
+    shared: &Shared,
+    max_retries: u8,
+) {
+    requeue_or_fail_with(
+        queued,
+        resubmit,
+        events,
+        shared,
+        max_retries,
+        "RuntimeError: task lost when its batch job ended".to_string(),
+    );
+}
+
+fn requeue_or_fail_with(
     mut queued: QueuedTask,
     resubmit: &Sender<QueuedTask>,
     events: &Sender<EngineEvent>,
     shared: &Shared,
     max_retries: u8,
+    fail_msg: String,
 ) {
     let task_id = queued.task.spec.task_id;
     if queued.retries < max_retries {
@@ -426,12 +490,20 @@ fn requeue_or_fail(
             EngineEvent::Done {
                 task_id,
                 tag: queued.task.tag,
-                result: TaskResult::Err(
-                    "RuntimeError: task lost when its batch job ended (retries exhausted)"
-                        .to_string(),
-                ),
+                result: TaskResult::Err(format!("{fail_msg} (retries exhausted)")),
             },
         );
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -504,8 +576,12 @@ mod tests {
     #[test]
     fn emits_lifecycle_states() {
         let (mut e, rx) = engine(HtexConfig::default());
-        e.submit(exec_task(FunctionBody::pyfn("def f():\n    return 0\n"), vec![], 1))
-            .unwrap();
+        e.submit(exec_task(
+            FunctionBody::pyfn("def f():\n    return 0\n"),
+            vec![],
+            1,
+        ))
+        .unwrap();
         let mut saw_waiting = false;
         let mut saw_running = false;
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
@@ -548,7 +624,11 @@ mod tests {
         let st = e.status();
         assert_eq!(st.queued, 0);
         assert_eq!(st.running, 0);
-        assert!(st.capacity >= 4, "two blocks × 2 nodes × 2 workers expected ≥ 4, got {}", st.capacity);
+        assert!(
+            st.capacity >= 4,
+            "two blocks × 2 nodes × 2 workers expected ≥ 4, got {}",
+            st.capacity
+        );
         e.shutdown();
     }
 
@@ -557,7 +637,12 @@ mod tests {
         let metrics = MetricsRegistry::new();
         let (tx, rx) = unbounded();
         let mut e = GlobusComputeEngine::start(
-            HtexConfig { nodes_per_block: 1, max_blocks: 3, workers_per_node: 1, ..Default::default() },
+            HtexConfig {
+                nodes_per_block: 1,
+                max_blocks: 3,
+                workers_per_node: 1,
+                ..Default::default()
+            },
             Arc::new(LocalProvider::new("host")),
             Vfs::new(),
             SystemClock::shared(),
@@ -583,7 +668,12 @@ mod tests {
         let metrics = MetricsRegistry::new();
         let (tx, rx) = unbounded();
         let mut e = GlobusComputeEngine::start(
-            HtexConfig { nodes_per_block: 2, max_blocks: 1, workers_per_node: 8, ..Default::default() },
+            HtexConfig {
+                nodes_per_block: 2,
+                max_blocks: 1,
+                workers_per_node: 8,
+                ..Default::default()
+            },
             Arc::new(LocalProvider::new("host")),
             Vfs::new(),
             SystemClock::shared(),
@@ -591,11 +681,23 @@ mod tests {
             tx,
             None,
         );
-        e.submit(exec_task(FunctionBody::pyfn("def f():\n    return 1\n"), vec![], 0))
-            .unwrap();
+        e.submit(exec_task(
+            FunctionBody::pyfn("def f():\n    return 1\n"),
+            vec![],
+            0,
+        ))
+        .unwrap();
         wait_done(&rx, 1);
-        assert_eq!(metrics.counter("htex.connections_opened").get(), 2, "one per node/manager");
-        assert_eq!(metrics.counter("htex.worker_threads").get(), 16, "8 per manager");
+        assert_eq!(
+            metrics.counter("htex.connections_opened").get(),
+            2,
+            "one per node/manager"
+        );
+        assert_eq!(
+            metrics.counter("htex.worker_threads").get(),
+            16,
+            "8 per manager"
+        );
         e.shutdown();
     }
 
@@ -632,7 +734,10 @@ mod tests {
 
         let (tx, rx) = unbounded();
         let mut e = GlobusComputeEngine::start(
-            HtexConfig { max_retries: 1, ..Default::default() },
+            HtexConfig {
+                max_retries: 1,
+                ..Default::default()
+            },
             Arc::new(DyingProvider {
                 inner: LocalProvider::new("host"),
                 polls: parking_lot::Mutex::new(Default::default()),
@@ -658,11 +763,70 @@ mod tests {
     }
 
     #[test]
+    fn panicking_worker_is_supervised_and_keeps_serving() {
+        // A transform that panics on a marker argument stands in for any
+        // panic escaping user-facing code inside the worker.
+        let transform: ValueTransform = Arc::new(|v| {
+            if v == Value::str("boom") {
+                panic!("injected worker panic");
+            }
+            Ok(v)
+        });
+        let metrics = MetricsRegistry::new();
+        let (tx, rx) = unbounded();
+        let mut e = GlobusComputeEngine::start(
+            HtexConfig {
+                max_retries: 1,
+                ..Default::default()
+            }, // 1 worker total
+            Arc::new(LocalProvider::new("host")),
+            Vfs::new(),
+            SystemClock::shared(),
+            metrics.clone(),
+            tx,
+            Some(transform),
+        );
+        e.submit(exec_task(
+            FunctionBody::pyfn("def f(x):\n    return x\n"),
+            vec![Value::str("boom")],
+            1,
+        ))
+        .unwrap();
+        let done = wait_done(&rx, 1);
+        // Retried once (panics again), then failed loudly.
+        assert!(
+            matches!(&done[0].1, TaskResult::Err(m) if m.contains("panicked") && m.contains("injected worker panic")),
+            "got {:?}",
+            done[0].1
+        );
+        assert_eq!(
+            metrics.counter("htex.worker_panics").get(),
+            2,
+            "initial try + 1 retry"
+        );
+
+        // The sole worker survived the panics and still executes tasks.
+        e.submit(exec_task(
+            FunctionBody::pyfn("def f(x):\n    return x\n"),
+            vec![Value::Int(5)],
+            2,
+        ))
+        .unwrap();
+        let done = wait_done(&rx, 1);
+        assert_eq!(done[0], (2, TaskResult::Ok(Value::Int(5))));
+        e.shutdown();
+    }
+
+    #[test]
     fn submit_after_shutdown_errors() {
         let (mut e, _rx) = engine(HtexConfig::default());
         e.shutdown();
         let err = e
-            .submit(exec_task(FunctionBody::pyfn("def f():\n    return 1\n"), vec![], 0))
+            .submit(exec_task(
+                FunctionBody::pyfn("def f():\n    return 1\n"),
+                vec![],
+                0,
+            ))
             .unwrap_err();
         assert!(matches!(err, GcxError::ShuttingDown));
     }

@@ -29,10 +29,10 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use gcx_core::clock::SharedClock;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
+use gcx_core::ids::TaskId;
 use gcx_core::metrics::MetricsRegistry;
 use gcx_core::respec::NormalizedSpec;
 use gcx_core::shellres::ShellResult;
-use gcx_core::ids::TaskId;
 use gcx_core::task::{TaskResult, TaskState};
 use gcx_shell::mpi::{LauncherKind, MpiLaunchPlan, MpiLauncher};
 use gcx_shell::{format_command, ShellExecutor, Vfs};
@@ -54,7 +54,11 @@ pub struct MpiEngineConfig {
 
 impl Default for MpiEngineConfig {
     fn default() -> Self {
-        Self { nodes_per_block: 4, launcher: LauncherKind::Mpiexec, max_retries: 1 }
+        Self {
+            nodes_per_block: 4,
+            launcher: LauncherKind::Mpiexec,
+            max_retries: 1,
+        }
     }
 }
 
@@ -130,7 +134,11 @@ impl GlobusMpiEngine {
             .name("gcx-mpi-scheduler".into())
             .spawn(move || sched.run())
             .expect("spawn mpi scheduler");
-        Self { tx, shared, scheduler: Some(scheduler) }
+        Self {
+            tx,
+            shared,
+            scheduler: Some(scheduler),
+        }
     }
 }
 
@@ -142,7 +150,11 @@ impl Engine for GlobusMpiEngine {
         let spec = task.spec.resource_spec.normalize()?;
         self.shared.queued.fetch_add(1, Ordering::SeqCst);
         self.tx
-            .send(SchedulerMsg::Submit(Box::new(QueuedMpiTask { task, spec, retries: 0 })))
+            .send(SchedulerMsg::Submit(Box::new(QueuedMpiTask {
+                task,
+                spec,
+                retries: 0,
+            })))
             .map_err(|_| GcxError::ShuttingDown)
     }
 
@@ -208,7 +220,12 @@ impl Scheduler {
                         );
                         self.queue.push_back(*q);
                     }
-                    SchedulerMsg::Finished { nodes, generation, task, result } => {
+                    SchedulerMsg::Finished {
+                        nodes,
+                        generation,
+                        task,
+                        result,
+                    } => {
                         self.in_flight -= 1;
                         self.shared.running.fetch_sub(1, Ordering::SeqCst);
                         if generation == self.generation {
@@ -280,7 +297,9 @@ impl Scheduler {
             Some((handle, running)) => match self.provider.block_state(handle) {
                 Ok(BlockState::Running(nodes)) if !running => {
                     self.free_nodes = nodes;
-                    self.shared.capacity.store(self.free_nodes.len(), Ordering::SeqCst);
+                    self.shared
+                        .capacity
+                        .store(self.free_nodes.len(), Ordering::SeqCst);
                     self.shared.blocks.store(1, Ordering::SeqCst);
                     self.block = Some((handle, true));
                     true
@@ -344,7 +363,10 @@ impl Scheduler {
         self.shared.running.fetch_add(1, Ordering::SeqCst);
         self.in_flight += 1;
         self.metrics.counter("mpi.tasks_launched").inc();
-        emit(&self.events, EngineEvent::State(q.task.spec.task_id, TaskState::Running));
+        emit(
+            &self.events,
+            EngineEvent::State(q.task.spec.task_id, TaskState::Running),
+        );
 
         let generation = self.generation;
         let tx = self.self_tx.clone();
@@ -378,7 +400,11 @@ fn run_mpi_task(
     transform: Option<ValueTransform>,
 ) -> TaskResult {
     match &q.task.function.body {
-        FunctionBody::Mpi { cmd, walltime_ms, snippet_lines } => {
+        FunctionBody::Mpi {
+            cmd,
+            walltime_ms,
+            snippet_lines,
+        } => {
             let kwargs = match &transform {
                 Some(t) => match t(q.task.spec.kwargs.clone()) {
                     Ok(v) => v,
@@ -461,7 +487,10 @@ mod tests {
     fn engine(nodes: u32) -> (GlobusMpiEngine, Receiver<EngineEvent>) {
         let (tx, rx) = unbounded();
         let e = GlobusMpiEngine::start(
-            MpiEngineConfig { nodes_per_block: nodes, ..Default::default() },
+            MpiEngineConfig {
+                nodes_per_block: nodes,
+                ..Default::default()
+            },
             Arc::new(LocalProvider::new("exp")),
             Vfs::new(),
             SystemClock::shared(),
@@ -486,7 +515,9 @@ mod tests {
     }
 
     fn shell_result(r: &TaskResult) -> ShellResult {
-        let TaskResult::Ok(v) = r else { panic!("expected ok, got {r:?}") };
+        let TaskResult::Ok(v) = r else {
+            panic!("expected ok, got {r:?}")
+        };
         ShellResult::from_value(v).unwrap()
     }
 
@@ -494,11 +525,13 @@ mod tests {
     fn listing6_hostname_over_two_nodes() {
         let (mut e, rx) = engine(4);
         // n=1: 2 nodes × 1 rank; n=2: 2 nodes × 2 ranks — Listing 6's loop.
-        e.submit(mpi_task("hostname", ResourceSpec::nodes_ranks(2, 1), 1)).unwrap();
+        e.submit(mpi_task("hostname", ResourceSpec::nodes_ranks(2, 1), 1))
+            .unwrap();
         let r1 = wait_results(&rx, 1);
         let sr = shell_result(&r1[0].1);
         assert_eq!(sr.stdout.lines().count(), 2);
-        e.submit(mpi_task("hostname", ResourceSpec::nodes_ranks(2, 2), 2)).unwrap();
+        e.submit(mpi_task("hostname", ResourceSpec::nodes_ranks(2, 2), 2))
+            .unwrap();
         let r2 = wait_results(&rx, 1);
         let sr2 = shell_result(&r2[0].1);
         assert_eq!(sr2.stdout.lines().count(), 4);
@@ -513,7 +546,8 @@ mod tests {
     #[test]
     fn cmd_records_launcher_prefix() {
         let (mut e, rx) = engine(2);
-        e.submit(mpi_task("hostname", ResourceSpec::nodes(2), 0)).unwrap();
+        e.submit(mpi_task("hostname", ResourceSpec::nodes(2), 0))
+            .unwrap();
         let done = wait_results(&rx, 1);
         let sr = shell_result(&done[0].1);
         assert!(
@@ -531,8 +565,10 @@ mod tests {
         // time well under the serial 2×sleep.
         let (mut e, rx) = engine(4);
         let start = std::time::Instant::now();
-        e.submit(mpi_task("sleep 0.4", ResourceSpec::nodes(2), 1)).unwrap();
-        e.submit(mpi_task("sleep 0.4", ResourceSpec::nodes(2), 2)).unwrap();
+        e.submit(mpi_task("sleep 0.4", ResourceSpec::nodes(2), 1))
+            .unwrap();
+        e.submit(mpi_task("sleep 0.4", ResourceSpec::nodes(2), 2))
+            .unwrap();
         wait_results(&rx, 2);
         let elapsed = start.elapsed();
         assert!(
@@ -546,10 +582,13 @@ mod tests {
     fn small_task_starts_while_large_waits() {
         let (mut e, rx) = engine(4);
         // Occupy 3 nodes.
-        e.submit(mpi_task("sleep 0.5", ResourceSpec::nodes(3), 1)).unwrap();
+        e.submit(mpi_task("sleep 0.5", ResourceSpec::nodes(3), 1))
+            .unwrap();
         // 4-node task cannot start yet; 1-node task can (dynamic partitioning).
-        e.submit(mpi_task("sleep 0.1", ResourceSpec::nodes(4), 2)).unwrap();
-        e.submit(mpi_task("hostname", ResourceSpec::nodes(1), 3)).unwrap();
+        e.submit(mpi_task("sleep 0.1", ResourceSpec::nodes(4), 2))
+            .unwrap();
+        e.submit(mpi_task("hostname", ResourceSpec::nodes(1), 3))
+            .unwrap();
         let first = wait_results(&rx, 1);
         assert_eq!(first[0].0, 3, "the 1-node task must finish first");
         wait_results(&rx, 2);
@@ -559,7 +598,8 @@ mod tests {
     #[test]
     fn oversized_request_fails_fast() {
         let (mut e, rx) = engine(2);
-        e.submit(mpi_task("hostname", ResourceSpec::nodes(8), 5)).unwrap();
+        e.submit(mpi_task("hostname", ResourceSpec::nodes(8), 5))
+            .unwrap();
         let done = wait_results(&rx, 1);
         assert!(matches!(&done[0].1, TaskResult::Err(m) if m.contains("8 nodes")));
         e.shutdown();
@@ -568,7 +608,11 @@ mod tests {
     #[test]
     fn invalid_resource_spec_rejected_at_submit() {
         let (mut e, _rx) = engine(2);
-        let bad = ResourceSpec { num_nodes: Some(2), ranks_per_node: Some(2), num_ranks: Some(5) };
+        let bad = ResourceSpec {
+            num_nodes: Some(2),
+            ranks_per_node: Some(2),
+            num_ranks: Some(5),
+        };
         let err = e.submit(mpi_task("hostname", bad, 0)).unwrap_err();
         assert!(matches!(err, GcxError::InvalidConfig(_)));
         e.shutdown();
@@ -581,7 +625,9 @@ mod tests {
         task.function.body = FunctionBody::pyfn("def f():\n    return hostname()\n");
         e.submit(task).unwrap();
         let done = wait_results(&rx, 1);
-        let TaskResult::Ok(Value::Str(host)) = &done[0].1 else { panic!() };
+        let TaskResult::Ok(Value::Str(host)) = &done[0].1 else {
+            panic!()
+        };
         assert!(host.starts_with("exp-"));
         e.shutdown();
     }
@@ -604,7 +650,8 @@ mod tests {
     fn nodes_are_returned_after_completion() {
         let (mut e, rx) = engine(2);
         for i in 0..6 {
-            e.submit(mpi_task("hostname", ResourceSpec::nodes(2), i)).unwrap();
+            e.submit(mpi_task("hostname", ResourceSpec::nodes(2), i))
+                .unwrap();
         }
         wait_results(&rx, 6);
         let st = e.status();
@@ -622,7 +669,11 @@ mod tests {
         let provider = Arc::new(BatchProvider::slurm(sched, "cpu", "a", 1_000));
         let (tx, rx) = unbounded();
         let mut e = GlobusMpiEngine::start(
-            MpiEngineConfig { nodes_per_block: 2, max_retries: 0, ..Default::default() },
+            MpiEngineConfig {
+                nodes_per_block: 2,
+                max_retries: 0,
+                ..Default::default()
+            },
             provider,
             Vfs::new(),
             clock.clone(),
@@ -630,17 +681,21 @@ mod tests {
             tx,
             None,
         );
-        e.submit(mpi_task("sleep 100", ResourceSpec::nodes(2), 1)).unwrap();
+        e.submit(mpi_task("sleep 100", ResourceSpec::nodes(2), 1))
+            .unwrap();
         // Wait for both ranks to be asleep, then advance past the block
         // walltime: the scheduler kills the job; the ranks' sleeps continue
         // to the task deadline... advance far enough for the sleep itself.
         clock.wait_for_sleepers(2);
         clock.advance(1_000); // block dies at t=1000
-        // Wait (in wall time) until the scheduler has observed the death —
-        // otherwise the completion below could race in under generation 0.
+                              // Wait (in wall time) until the scheduler has observed the death —
+                              // otherwise the completion below could race in under generation 0.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while e.status().blocks != 0 {
-            assert!(std::time::Instant::now() < deadline, "engine never saw the dead block");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "engine never saw the dead block"
+            );
             std::thread::yield_now();
         }
         clock.advance(99_000); // let the rank sleeps finish

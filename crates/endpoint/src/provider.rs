@@ -185,7 +185,9 @@ mod tests {
         };
         assert_eq!(nodes, vec!["laptop-0", "laptop-1", "laptop-2"]);
         let b2 = p.submit_block(1).unwrap();
-        let BlockState::Running(nodes2) = p.block_state(b2).unwrap() else { panic!() };
+        let BlockState::Running(nodes2) = p.block_state(b2).unwrap() else {
+            panic!()
+        };
         assert_eq!(nodes2, vec!["laptop-3"], "node names never repeat");
         p.cancel_block(b).unwrap();
         assert_eq!(p.block_state(b).unwrap(), BlockState::Done);

@@ -68,9 +68,11 @@ impl WorkerContext {
         };
         match body {
             FunctionBody::PyFn { source } => self.run_pyfn(spec, source),
-            FunctionBody::Shell { cmd, walltime_ms, snippet_lines } => {
-                self.run_shell(spec, cmd, *walltime_ms, *snippet_lines)
-            }
+            FunctionBody::Shell {
+                cmd,
+                walltime_ms,
+                snippet_lines,
+            } => self.run_shell(spec, cmd, *walltime_ms, *snippet_lines),
             FunctionBody::Mpi { .. } => TaskResult::Err(
                 "TypeError: MPIFunction requires an endpoint running the GlobusMPIEngine"
                     .to_string(),
@@ -81,7 +83,9 @@ impl WorkerContext {
     /// Apply the resolver to args and kwargs; `None` when no resolver is
     /// configured (avoids cloning the spec on the common path).
     fn resolve_payload(&self, spec: &TaskSpec) -> gcx_core::error::GcxResult<Option<TaskSpec>> {
-        let Some(resolver) = &self.resolver else { return Ok(None) };
+        let Some(resolver) = &self.resolver else {
+            return Ok(None);
+        };
         let mut out = spec.clone();
         out.args = out
             .args
@@ -171,7 +175,10 @@ mod tests {
     fn pyfn_executes_and_returns() {
         let c = ctx();
         let body = FunctionBody::pyfn("def f(a, b):\n    return a * b\n");
-        let r = c.execute(&spec_with(vec![Value::Int(6), Value::Int(7)], Value::None), &body);
+        let r = c.execute(
+            &spec_with(vec![Value::Int(6), Value::Int(7)], Value::None),
+            &body,
+        );
         assert_eq!(r, TaskResult::Ok(Value::Int(42)));
     }
 
@@ -212,7 +219,11 @@ mod tests {
         let b = c.execute(&s, &body);
         assert_eq!(a, b, "same task id → same random stream");
         let other = spec_with(vec![], Value::None);
-        assert_ne!(c.execute(&other, &body), a, "different task → different stream");
+        assert_ne!(
+            c.execute(&other, &body),
+            a,
+            "different task → different stream"
+        );
     }
 
     #[test]
@@ -265,8 +276,12 @@ mod tests {
         c.execute(&s1, &body);
         c.execute(&s2, &body);
         // Each task wrote to its own directory.
-        assert!(c.vfs.exists(&format!("/endpoint/tasks/{}/out.txt", s1.task_id)));
-        assert!(c.vfs.exists(&format!("/endpoint/tasks/{}/out.txt", s2.task_id)));
+        assert!(c
+            .vfs
+            .exists(&format!("/endpoint/tasks/{}/out.txt", s1.task_id)));
+        assert!(c
+            .vfs
+            .exists(&format!("/endpoint/tasks/{}/out.txt", s2.task_id)));
         assert!(!c.vfs.exists("/endpoint/out.txt"));
     }
 
@@ -277,7 +292,11 @@ mod tests {
         c.execute(&spec_with(vec![], Value::None), &body);
         c.execute(&spec_with(vec![], Value::None), &body);
         let text = c.vfs.read_to_string("/endpoint/shared.txt").unwrap();
-        assert_eq!(text.lines().count(), 2, "contention: both tasks hit one file");
+        assert_eq!(
+            text.lines().count(),
+            2,
+            "contention: both tasks hit one file"
+        );
     }
 
     #[test]
@@ -295,7 +314,9 @@ mod tests {
         let c = ctx();
         let body = FunctionBody::shell("echo $GC_TASK_UUID");
         let s = spec_with(vec![], Value::None);
-        let TaskResult::Ok(v) = c.execute(&s, &body) else { panic!() };
+        let TaskResult::Ok(v) = c.execute(&s, &body) else {
+            panic!()
+        };
         let sr = ShellResult::from_value(&v).unwrap();
         assert_eq!(sr.stdout.trim(), s.task_id.to_string());
     }

@@ -65,7 +65,13 @@ pub struct MepSetup {
 impl MepSetup {
     /// A setup with the given mapper and template and library defaults.
     pub fn new(mapper: IdentityMapper, template: Template, env_factory: EnvFactory) -> Self {
-        Self { mapper, template, schema: None, env_factory, idle_shutdown: None }
+        Self {
+            mapper,
+            template,
+            schema: None,
+            env_factory,
+            idle_shutdown: None,
+        }
     }
 }
 
@@ -177,7 +183,12 @@ impl MultiUserEndpoint {
 
     /// Number of currently live user endpoints.
     pub fn live_endpoints(&self) -> usize {
-        self.state.lock().spawned.values().filter(|s| s.agent.is_some()).count()
+        self.state
+            .lock()
+            .spawned
+            .values()
+            .filter(|s| s.agent.is_some())
+            .count()
     }
 
     /// Total user endpoints ever spawned.
@@ -236,7 +247,9 @@ fn reap_idle(state: &Arc<Mutex<MepState>>, idle: Option<Duration>) {
     let Some(budget) = idle else { return };
     let mut st = state.lock();
     for spawned in st.spawned.values_mut() {
-        let Some(agent) = &spawned.agent else { continue };
+        let Some(agent) = &spawned.agent else {
+            continue;
+        };
         let status = agent.engine_status();
         if status.queued > 0 || status.running > 0 {
             spawned.last_busy = Instant::now();
@@ -307,7 +320,13 @@ fn handle_start_request(
 
     // "fork(), become the local user, exec() the agent".
     let env = (setup.env_factory)(&local_user);
-    let agent = EndpointAgent::start(cloud, req.uep_endpoint_id, &req.queue_credential, &config, env)?;
+    let agent = EndpointAgent::start(
+        cloud,
+        req.uep_endpoint_id,
+        &req.queue_credential,
+        &config,
+        env,
+    )?;
     metrics.counter("mep.uep_spawned").inc();
 
     let mut st = state.lock();
@@ -332,7 +351,9 @@ fn handle_start_request(
 
 /// Drain a (never-to-start) user endpoint's queue, failing each task.
 fn fail_buffered_tasks(cloud: &WebService, uep: EndpointId, credential: &str, message: &str) {
-    let Ok(session) = cloud.connect_endpoint(uep, credential) else { return };
+    let Ok(session) = cloud.connect_endpoint(uep, credential) else {
+        return;
+    };
     while let Ok(Some((spec, tag))) = session.next_task(Duration::from_millis(50)) {
         let _ = session.publish_result(spec.task_id, &TaskResult::Err(message.to_string()));
         let _ = session.ack_task(tag);
@@ -347,7 +368,8 @@ mod tests {
     use gcx_core::value::Value;
     use gcx_sdk::{Executor, PyFunction};
 
-    const TEMPLATE: &str = "engine:\n  type: GlobusComputeEngine\n  workers_per_node: {{ WORKERS|default(1) }}\n";
+    const TEMPLATE: &str =
+        "engine:\n  type: GlobusComputeEngine\n  workers_per_node: {{ WORKERS|default(1) }}\n";
 
     fn mep_schema() -> Schema {
         Schema::compile(&Value::map([
@@ -376,9 +398,7 @@ mod tests {
         mapper
     }
 
-    fn start_stack(
-        schema: Option<Schema>,
-    ) -> (WebService, EndpointId, MultiUserEndpoint) {
+    fn start_stack(schema: Option<Schema>) -> (WebService, EndpointId, MultiUserEndpoint) {
         let svc = WebService::with_defaults(SystemClock::shared());
         let (_, admin) = svc.auth().login("admin@uchicago.edu").unwrap();
         let reg = svc
@@ -430,13 +450,22 @@ mod tests {
 
         let ex = Executor::new(svc.clone(), token, mep_id).unwrap();
         ex.set_user_endpoint_config(config_a.clone());
-        ex.submit(&f, vec![], Value::None).unwrap().result_timeout(Duration::from_secs(15)).unwrap();
+        ex.submit(&f, vec![], Value::None)
+            .unwrap()
+            .result_timeout(Duration::from_secs(15))
+            .unwrap();
         ex.set_user_endpoint_config(config_a);
-        ex.submit(&f, vec![], Value::None).unwrap().result_timeout(Duration::from_secs(15)).unwrap();
+        ex.submit(&f, vec![], Value::None)
+            .unwrap()
+            .result_timeout(Duration::from_secs(15))
+            .unwrap();
         assert_eq!(mep.total_spawned(), 1, "same config hash → same UEP");
 
         ex.set_user_endpoint_config(config_b);
-        ex.submit(&f, vec![], Value::None).unwrap().result_timeout(Duration::from_secs(15)).unwrap();
+        ex.submit(&f, vec![], Value::None)
+            .unwrap()
+            .result_timeout(Duration::from_secs(15))
+            .unwrap();
         assert_eq!(mep.total_spawned(), 2, "different hash → new UEP");
         ex.close();
         mep.stop();
@@ -533,7 +562,9 @@ mod idle_tests {
             .register_endpoint(&admin, "mep", true, AuthPolicy::open(), None)
             .unwrap();
         let mut mapper = IdentityMapper::new();
-        mapper.add_expression(ExpressionMapping::username_capture("site.edu")).unwrap();
+        mapper
+            .add_expression(ExpressionMapping::username_capture("site.edu"))
+            .unwrap();
         let setup = MepSetup {
             mapper,
             template: Template::parse(

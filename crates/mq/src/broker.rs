@@ -12,7 +12,11 @@ use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::metrics::MetricsRegistry;
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use crate::fault::{FaultPlan, PublishOutcome};
 use crate::link::LinkProfile;
+
+/// Header added to dead-lettered messages naming the queue they died on.
+pub const DEATH_QUEUE_HEADER: &str = "x-death-queue";
 
 /// A queued message.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,17 +27,30 @@ pub struct Message {
     pub headers: BTreeMap<String, String>,
     /// True if this delivery follows an unacked predecessor (consumer died).
     pub redelivered: bool,
+    /// How many times this message has been handed to a consumer; compared
+    /// against [`QueuePolicy::max_deliveries`] to decide dead-lettering.
+    pub delivery_count: u32,
 }
 
 impl Message {
     /// A message with no headers.
     pub fn new(body: Bytes) -> Self {
-        Self { body, headers: BTreeMap::new(), redelivered: false }
+        Self {
+            body,
+            headers: BTreeMap::new(),
+            redelivered: false,
+            delivery_count: 0,
+        }
     }
 
     /// A message with headers.
     pub fn with_headers(body: Bytes, headers: BTreeMap<String, String>) -> Self {
-        Self { body, headers, redelivered: false }
+        Self {
+            body,
+            headers,
+            redelivered: false,
+            delivery_count: 0,
+        }
     }
 
     fn wire_size(&self) -> usize {
@@ -67,6 +84,32 @@ pub struct QueueStats {
     pub published: u64,
 }
 
+/// Redelivery limits for a queue. The default policy (unlimited deliveries,
+/// no dead-letter queue) matches plain AMQP.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueuePolicy {
+    /// Maximum times a message may be handed to a consumer before it is
+    /// dead-lettered instead of requeued; `0` = unlimited.
+    pub max_deliveries: u32,
+    /// Where poisoned messages go. `None` discards them (counted in
+    /// `mq.dropped`).
+    pub dead_letter_to: Option<String>,
+}
+
+impl QueuePolicy {
+    /// Dead-letter to `queue` after `max_deliveries` failed deliveries.
+    pub fn dead_letter(max_deliveries: u32, queue: impl Into<String>) -> Self {
+        Self {
+            max_deliveries,
+            dead_letter_to: Some(queue.into()),
+        }
+    }
+
+    fn exhausted(&self, msg: &Message) -> bool {
+        self.max_deliveries > 0 && msg.delivery_count >= self.max_deliveries
+    }
+}
+
 struct QueueState {
     ready: VecDeque<Message>,
     unacked: HashMap<u64, Message>,
@@ -80,6 +123,7 @@ struct Queue {
     cond: Condvar,
     next_tag: AtomicU64,
     published: AtomicU64,
+    policy: Mutex<QueuePolicy>,
 }
 
 impl Queue {
@@ -98,6 +142,34 @@ struct BrokerInner {
     metrics: MetricsRegistry,
     clock: SharedClock,
     link: LinkProfile,
+    fault: RwLock<Option<Arc<FaultPlan>>>,
+}
+
+impl BrokerInner {
+    /// Route a poisoned message to its dead-letter queue, or discard it.
+    /// Must be called without any queue state lock held.
+    fn dead_letter(&self, source: &str, target: &Option<String>, mut msg: Message) {
+        self.metrics.counter("mq.dead_lettered").inc();
+        if let Some(dlq) = target {
+            let q = self.queues.read().get(dlq).map(Arc::clone);
+            if let Some(q) = q {
+                msg.headers
+                    .insert(DEATH_QUEUE_HEADER.to_string(), source.to_string());
+                msg.redelivered = false;
+                msg.delivery_count = 0;
+                let mut st = q.state.lock();
+                if !st.closed {
+                    st.ready.push_back(msg);
+                    drop(st);
+                    q.published.fetch_add(1, Ordering::Relaxed);
+                    q.cond.notify_one();
+                    return;
+                }
+            }
+        }
+        // No (usable) dead-letter queue: the message is gone.
+        self.metrics.counter("mq.dropped").inc();
+    }
 }
 
 /// The broker handle. Cloning shares the broker.
@@ -115,19 +187,45 @@ impl Default for Broker {
 impl Broker {
     /// A broker with a zero-cost link and its own metrics registry.
     pub fn new() -> Self {
-        Self::with_profile(MetricsRegistry::new(), Arc::new(SystemClock), LinkProfile::instant())
+        Self::with_profile(
+            MetricsRegistry::new(),
+            Arc::new(SystemClock),
+            LinkProfile::instant(),
+        )
     }
 
     /// A broker with explicit metrics, clock, and link profile.
     pub fn with_profile(metrics: MetricsRegistry, clock: SharedClock, link: LinkProfile) -> Self {
         Self {
-            inner: Arc::new(BrokerInner { queues: RwLock::new(HashMap::new()), metrics, clock, link }),
+            inner: Arc::new(BrokerInner {
+                queues: RwLock::new(HashMap::new()),
+                metrics,
+                clock,
+                link,
+                fault: RwLock::new(None),
+            }),
         }
     }
 
     /// The metrics registry (message/byte counters).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.inner.metrics
+    }
+
+    /// Install (or with `None`, remove) a fault-injection plan. Applies to
+    /// every publish and delivery from this point on.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.fault.write() = plan.map(Arc::new);
+    }
+
+    /// Set the redelivery policy for an existing queue.
+    pub fn set_queue_policy(&self, name: &str, policy: QueuePolicy) -> GcxResult<()> {
+        let queues = self.inner.queues.read();
+        let q = queues
+            .get(name)
+            .ok_or_else(|| GcxError::Queue(format!("no such queue '{name}'")))?;
+        *q.policy.lock() = policy;
+        Ok(())
     }
 
     /// Declare a queue. Idempotent if the credential matches; an existing
@@ -155,6 +253,7 @@ impl Broker {
                 cond: Condvar::new(),
                 next_tag: AtomicU64::new(1),
                 published: AtomicU64::new(0),
+                policy: Mutex::new(QueuePolicy::default()),
             }),
         );
         Ok(())
@@ -179,7 +278,9 @@ impl Broker {
             .get(name)
             .ok_or_else(|| GcxError::Queue(format!("no such queue '{name}'")))?;
         if q.credential.is_some() && q.credential.as_deref() != credential {
-            return Err(GcxError::Forbidden(format!("bad credential for queue '{name}'")));
+            return Err(GcxError::Forbidden(format!(
+                "bad credential for queue '{name}'"
+            )));
         }
         Ok(Arc::clone(q))
     }
@@ -187,27 +288,80 @@ impl Broker {
     /// Publish a message. Blocks for the link cost (latency + size/bandwidth)
     /// and then enqueues; returns once the broker has the message (publisher
     /// confirm semantics).
-    pub fn publish(&self, queue: &str, message: Message, credential: Option<&str>) -> GcxResult<()> {
+    ///
+    /// Under an installed [`FaultPlan`] the message may be silently lost
+    /// after the confirm, duplicated, or charged extra latency — exactly the
+    /// failure modes redelivery and retry machinery must absorb.
+    pub fn publish(
+        &self,
+        queue: &str,
+        message: Message,
+        credential: Option<&str>,
+    ) -> GcxResult<()> {
         let q = self.get(queue, credential)?;
         let size = message.wire_size();
+        let fault = self.inner.fault.read().clone();
+        let outcome = match &fault {
+            Some(plan) => plan.on_publish(queue, self.inner.clock.now_ms()),
+            None => PublishOutcome::Deliver {
+                extra_copies: 0,
+                extra_delay_ms: 0,
+            },
+        };
         self.inner.link.charge(&self.inner.clock, size);
+        let copies = match outcome {
+            PublishOutcome::Deliver {
+                extra_copies,
+                extra_delay_ms,
+            } => {
+                if extra_delay_ms > 0 {
+                    self.inner
+                        .clock
+                        .sleep(Duration::from_millis(extra_delay_ms));
+                }
+                1 + extra_copies as u64
+            }
+            PublishOutcome::Drop { extra_delay_ms } => {
+                if extra_delay_ms > 0 {
+                    self.inner
+                        .clock
+                        .sleep(Duration::from_millis(extra_delay_ms));
+                }
+                // Lost in transit after the publisher's confirm.
+                self.inner.metrics.counter("mq.dropped").inc();
+                return Ok(());
+            }
+        };
         {
             let mut st = q.state.lock();
             if st.closed {
                 return Err(GcxError::Queue(format!("queue '{}' is closed", q.name)));
             }
-            st.ready.push_back(message);
+            for _ in 0..copies {
+                st.ready.push_back(message.clone());
+            }
         }
-        q.published.fetch_add(1, Ordering::Relaxed);
-        q.cond.notify_one();
+        q.published.fetch_add(copies, Ordering::Relaxed);
+        q.cond.notify_all();
+        if copies > 1 {
+            self.inner.metrics.counter("mq.duplicated").add(copies - 1);
+        }
         self.inner.metrics.counter("mq.messages_published").inc();
-        self.inner.metrics.counter("mq.bytes_published").add(size as u64);
+        self.inner
+            .metrics
+            .counter("mq.bytes_published")
+            .add(size as u64);
         Ok(())
     }
 
     /// Open a consumer with the given prefetch limit (maximum unacked
     /// deliveries outstanding at once; `0` means unlimited).
-    pub fn consume(&self, queue: &str, credential: Option<&str>, prefetch: usize) -> GcxResult<Consumer> {
+    pub fn consume(
+        &self,
+        queue: &str,
+        credential: Option<&str>,
+        prefetch: usize,
+    ) -> GcxResult<Consumer> {
         let q = self.get(queue, credential)?;
         Ok(Consumer {
             queue: q,
@@ -233,6 +387,48 @@ impl Broker {
         names.sort();
         names
     }
+
+    /// Force every unacked delivery on `queue` back to the ready queue in
+    /// original FIFO (delivery-tag) order, as if the consumers holding them
+    /// had died. Used by the liveness monitor when an endpoint stops
+    /// heartbeating but its consumer handle was never dropped (process
+    /// freeze, partition). Messages over their delivery budget are
+    /// dead-lettered instead. Returns how many messages were requeued.
+    pub fn recover_queue(&self, name: &str) -> GcxResult<usize> {
+        let q = {
+            let queues = self.inner.queues.read();
+            queues
+                .get(name)
+                .map(Arc::clone)
+                .ok_or_else(|| GcxError::Queue(format!("no such queue '{name}'")))?
+        };
+        let policy = q.policy.lock().clone();
+        let mut dead = Vec::new();
+        let requeued;
+        {
+            let mut st = q.state.lock();
+            let mut tags: Vec<u64> = st.unacked.keys().copied().collect();
+            // Highest tag first: push_front restores ascending-tag FIFO order.
+            tags.sort_unstable_by(|a, b| b.cmp(a));
+            let mut count = 0;
+            for tag in tags {
+                let mut msg = st.unacked.remove(&tag).expect("tag just listed");
+                msg.redelivered = true;
+                if policy.exhausted(&msg) {
+                    dead.push(msg);
+                } else {
+                    st.ready.push_front(msg);
+                    count += 1;
+                }
+            }
+            requeued = count;
+        }
+        for msg in dead {
+            self.inner.dead_letter(name, &policy.dead_letter_to, msg);
+        }
+        q.cond.notify_all();
+        Ok(requeued)
+    }
 }
 
 /// A registered consumer. Dropping it requeues all unacked deliveries.
@@ -256,15 +452,44 @@ impl Consumer {
         let virtual_mode = self.broker.clock.is_virtual();
         let deadline = std::time::Instant::now() + timeout;
         loop {
+            let fault = self.broker.fault.read().clone();
+            // A hard partition blocks deliveries without consuming fault-plan
+            // draws, so polling under a partition stays deterministic.
+            let partitioned = fault
+                .as_ref()
+                .is_some_and(|p| p.blocks_deliveries(&self.queue.name, self.broker.clock.now_ms()));
             {
                 let mut st = self.queue.state.lock();
                 if st.closed {
-                    return Err(GcxError::Queue(format!("queue '{}' is closed", self.queue.name)));
+                    return Err(GcxError::Queue(format!(
+                        "queue '{}' is closed",
+                        self.queue.name
+                    )));
                 }
                 let window_open =
                     self.prefetch == 0 || self.outstanding.load(Ordering::Acquire) < self.prefetch;
-                if window_open {
-                    if let Some(msg) = st.ready.pop_front() {
+                if window_open && !partitioned {
+                    if let Some(mut msg) = st.ready.pop_front() {
+                        msg.delivery_count += 1;
+                        let policy = self.queue.policy.lock().clone();
+                        if policy.max_deliveries > 0 && msg.delivery_count > policy.max_deliveries {
+                            // Poisoned: over its delivery budget.
+                            drop(st);
+                            self.broker
+                                .dead_letter(&self.queue.name, &policy.dead_letter_to, msg);
+                            continue;
+                        }
+                        if let Some(plan) = &fault {
+                            if plan.on_deliver(&self.queue.name, self.broker.clock.now_ms()) {
+                                // Delivery lost in transit: back of the queue,
+                                // attempt charged.
+                                msg.redelivered = true;
+                                st.ready.push_back(msg);
+                                drop(st);
+                                self.broker.metrics.counter("mq.dropped").inc();
+                                continue;
+                            }
+                        }
                         let tag = self.queue.next_tag.fetch_add(1, Ordering::Relaxed);
                         st.unacked.insert(tag, msg.clone());
                         drop(st);
@@ -286,7 +511,12 @@ impl Consumer {
                     if now >= deadline {
                         return Ok(None);
                     }
-                    let remaining = deadline - now;
+                    // Nothing notifies when a partition window closes, so
+                    // wait in short slices while one is active.
+                    let mut remaining = deadline - now;
+                    if partitioned {
+                        remaining = remaining.min(Duration::from_millis(10));
+                    }
                     self.queue.cond.wait_for(&mut st, remaining);
                     continue;
                 }
@@ -311,16 +541,24 @@ impl Consumer {
         Ok(())
     }
 
-    /// Negative-acknowledge: requeue the message (redelivered = true).
+    /// Negative-acknowledge: requeue the message (redelivered = true), or
+    /// dead-letter it if it has exhausted the queue's delivery budget.
     pub fn nack(&self, tag: u64) -> GcxResult<()> {
+        let policy = self.queue.policy.lock().clone();
         let mut st = self.queue.state.lock();
         let mut msg = st
             .unacked
             .remove(&tag)
             .ok_or_else(|| GcxError::Queue(format!("unknown delivery tag {tag}")))?;
         msg.redelivered = true;
-        st.ready.push_front(msg);
-        drop(st);
+        if policy.exhausted(&msg) {
+            drop(st);
+            self.broker
+                .dead_letter(&self.queue.name, &policy.dead_letter_to, msg);
+        } else {
+            st.ready.push_front(msg);
+            drop(st);
+        }
         self.forget_tag(tag);
         self.queue.cond.notify_one();
         Ok(())
@@ -344,18 +582,32 @@ impl Consumer {
 impl Drop for Consumer {
     fn drop(&mut self) {
         // Requeue everything we held but never acked — crash semantics.
-        let tags: Vec<u64> = std::mem::take(&mut *self.held_tags.lock());
+        let mut tags: Vec<u64> = std::mem::take(&mut *self.held_tags.lock());
         if tags.is_empty() {
             return;
         }
-        let mut st = self.queue.state.lock();
-        for tag in tags {
-            if let Some(mut msg) = st.unacked.remove(&tag) {
-                msg.redelivered = true;
-                st.ready.push_front(msg);
+        // Highest tag first so repeated push_front restores the original
+        // FIFO (ascending-tag) order, not HashMap iteration order.
+        tags.sort_unstable_by(|a, b| b.cmp(a));
+        let policy = self.queue.policy.lock().clone();
+        let mut dead = Vec::new();
+        {
+            let mut st = self.queue.state.lock();
+            for tag in tags {
+                if let Some(mut msg) = st.unacked.remove(&tag) {
+                    msg.redelivered = true;
+                    if policy.exhausted(&msg) {
+                        dead.push(msg);
+                    } else {
+                        st.ready.push_front(msg);
+                    }
+                }
             }
         }
-        drop(st);
+        for msg in dead {
+            self.broker
+                .dead_letter(&self.queue.name, &policy.dead_letter_to, msg);
+        }
         self.queue.cond.notify_all();
     }
 }
@@ -550,13 +802,181 @@ mod tests {
     }
 
     #[test]
+    fn dropping_consumer_requeues_in_fifo_order() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        for i in 0..6 {
+            b.publish("q", msg(&format!("m{i}")), None).unwrap();
+        }
+        {
+            let c = b.consume("q", None, 0).unwrap();
+            for _ in 0..6 {
+                c.next(T).unwrap().unwrap(); // hold all six, ack none
+            }
+        }
+        let c2 = b.consume("q", None, 0).unwrap();
+        for i in 0..6 {
+            let d = c2.next(T).unwrap().unwrap();
+            assert_eq!(
+                d.message.body,
+                Bytes::from(format!("m{i}")),
+                "requeue must preserve original FIFO order"
+            );
+            c2.ack(d.tag).unwrap();
+        }
+    }
+
+    #[test]
+    fn delivery_budget_dead_letters_poison_messages() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.declare_queue("dlq", None).unwrap();
+        b.set_queue_policy("q", QueuePolicy::dead_letter(2, "dlq"))
+            .unwrap();
+        b.publish("q", msg("poison"), None).unwrap();
+        let c = b.consume("q", None, 0).unwrap();
+        // Two allowed deliveries, each nacked.
+        for _ in 0..2 {
+            let d = c.next(T).unwrap().unwrap();
+            c.nack(d.tag).unwrap();
+        }
+        // Second nack exhausted the budget: message moved to the DLQ.
+        assert!(c.next(Duration::from_millis(30)).unwrap().is_none());
+        assert_eq!(b.queue_stats("q").unwrap().ready, 0);
+        assert_eq!(b.queue_stats("dlq").unwrap().ready, 1);
+        assert_eq!(b.metrics().counter("mq.dead_lettered").get(), 1);
+        let dc = b.consume("dlq", None, 0).unwrap();
+        let d = dc.next(T).unwrap().unwrap();
+        assert_eq!(
+            d.message
+                .headers
+                .get(DEATH_QUEUE_HEADER)
+                .map(String::as_str),
+            Some("q")
+        );
+        assert_eq!(&d.message.body[..], b"poison");
+        dc.ack(d.tag).unwrap();
+    }
+
+    #[test]
+    fn exhausted_message_without_dlq_is_dropped() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.set_queue_policy(
+            "q",
+            QueuePolicy {
+                max_deliveries: 1,
+                dead_letter_to: None,
+            },
+        )
+        .unwrap();
+        b.publish("q", msg("x"), None).unwrap();
+        let c = b.consume("q", None, 0).unwrap();
+        let d = c.next(T).unwrap().unwrap();
+        c.nack(d.tag).unwrap();
+        assert!(c.next(Duration::from_millis(30)).unwrap().is_none());
+        assert_eq!(b.queue_stats("q").unwrap().ready, 0);
+        assert_eq!(b.metrics().counter("mq.dropped").get(), 1);
+        assert_eq!(b.metrics().counter("mq.dead_lettered").get(), 1);
+    }
+
+    #[test]
+    fn recover_queue_requeues_unacked_in_order() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        for i in 0..4 {
+            b.publish("q", msg(&format!("m{i}")), None).unwrap();
+        }
+        // A consumer that "freezes": holds deliveries, never acks, never drops.
+        let frozen = b.consume("q", None, 0).unwrap();
+        for _ in 0..4 {
+            frozen.next(T).unwrap().unwrap();
+        }
+        assert_eq!(b.queue_stats("q").unwrap().unacked, 4);
+        let recovered = b.recover_queue("q").unwrap();
+        assert_eq!(recovered, 4);
+        assert_eq!(b.queue_stats("q").unwrap().unacked, 0);
+        let c2 = b.consume("q", None, 0).unwrap();
+        for i in 0..4 {
+            let d = c2.next(T).unwrap().unwrap();
+            assert!(d.message.redelivered);
+            assert_eq!(d.message.body, Bytes::from(format!("m{i}")));
+            c2.ack(d.tag).unwrap();
+        }
+    }
+
+    #[test]
+    fn fault_plan_drops_publishes() {
+        use crate::fault::{FaultDirection, FaultPlan, FaultRule};
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.set_fault_plan(Some(FaultPlan::new(1).with_rule(FaultRule::drop(
+            "q",
+            FaultDirection::Publish,
+            1.0,
+        ))));
+        b.publish("q", msg("lost"), None).unwrap(); // confirm succeeds…
+        assert_eq!(
+            b.queue_stats("q").unwrap().ready,
+            0,
+            "…but the message is gone"
+        );
+        assert_eq!(b.metrics().counter("mq.dropped").get(), 1);
+        b.set_fault_plan(None);
+        b.publish("q", msg("kept"), None).unwrap();
+        assert_eq!(b.queue_stats("q").unwrap().ready, 1);
+    }
+
+    #[test]
+    fn fault_plan_duplicates_publishes() {
+        use crate::fault::{FaultPlan, FaultRule};
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.set_fault_plan(Some(
+            FaultPlan::new(1).with_rule(FaultRule::duplicate("q", 1.0)),
+        ));
+        b.publish("q", msg("twice"), None).unwrap();
+        assert_eq!(b.queue_stats("q").unwrap().ready, 2);
+        assert_eq!(b.metrics().counter("mq.duplicated").get(), 1);
+    }
+
+    #[test]
+    fn deliver_drops_charge_the_delivery_budget() {
+        use crate::fault::{FaultDirection, FaultPlan, FaultRule};
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.declare_queue("dlq", None).unwrap();
+        b.set_queue_policy("q", QueuePolicy::dead_letter(3, "dlq"))
+            .unwrap();
+        // 0.999 (not 1.0, which is a partition and stops deliveries outright)
+        // with a fixed seed: deterministically drops the first three
+        // delivery attempts, exhausting the budget.
+        b.set_fault_plan(Some(FaultPlan::new(1).with_rule(FaultRule::drop(
+            "q",
+            FaultDirection::Deliver,
+            0.999,
+        ))));
+        b.publish("q", msg("x"), None).unwrap();
+        let c = b.consume("q", None, 0).unwrap();
+        // Every delivery is lost; after 3 charged attempts the message
+        // dead-letters, so `next` returns None rather than looping forever.
+        assert!(c.next(Duration::from_millis(200)).unwrap().is_none());
+        assert_eq!(b.queue_stats("dlq").unwrap().ready, 1);
+        assert_eq!(b.metrics().counter("mq.dropped").get(), 3);
+    }
+
+    #[test]
     fn headers_travel_with_message() {
         let b = Broker::new();
         b.declare_queue("q", None).unwrap();
         let mut headers = BTreeMap::new();
         headers.insert("task_id".to_string(), "abc".to_string());
-        b.publish("q", Message::with_headers(Bytes::from_static(b"x"), headers.clone()), None)
-            .unwrap();
+        b.publish(
+            "q",
+            Message::with_headers(Bytes::from_static(b"x"), headers.clone()),
+            None,
+        )
+        .unwrap();
         let c = b.consume("q", None, 0).unwrap();
         let d = c.next(T).unwrap().unwrap();
         assert_eq!(d.message.headers, headers);

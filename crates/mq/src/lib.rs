@@ -17,8 +17,17 @@
 //! unacknowledged deliveries with the `redelivered` flag set, which is what
 //! makes fire-and-forget task submission safe.
 
+//! Fault injection: [`fault::FaultPlan`] scripts deterministic drops,
+//! duplicates, delays, and partitions per queue and direction; queues carry a
+//! [`broker::QueuePolicy`] that dead-letters messages whose delivery budget
+//! is exhausted, so poisoned tasks surface instead of looping forever.
+
 pub mod broker;
+pub mod fault;
 pub mod link;
 
-pub use broker::{Broker, Consumer, Delivery, Message, QueueStats};
+pub use broker::{
+    Broker, Consumer, Delivery, Message, QueuePolicy, QueueStats, DEATH_QUEUE_HEADER,
+};
+pub use fault::{FaultDirection, FaultPlan, FaultRule, PublishOutcome};
 pub use link::LinkProfile;

@@ -23,13 +23,19 @@ pub struct LinkProfile {
 impl LinkProfile {
     /// A zero-cost link (the default for unit tests).
     pub const fn instant() -> Self {
-        Self { latency_ms: 0, bytes_per_ms: None }
+        Self {
+            latency_ms: 0,
+            bytes_per_ms: None,
+        }
     }
 
     /// A WAN-ish link: `latency_ms` each way, `mbps` megabits per second.
     pub fn wan(latency_ms: u64, mbps: u64) -> Self {
         // mbps → bytes per ms: mbps * 1e6 bits/s = mbps*125 bytes/ms.
-        Self { latency_ms, bytes_per_ms: Some(mbps * 125) }
+        Self {
+            latency_ms,
+            bytes_per_ms: Some(mbps * 125),
+        }
     }
 
     /// Time to move `bytes` across this link.
@@ -90,7 +96,10 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_treated_as_infinite() {
-        let link = LinkProfile { latency_ms: 1, bytes_per_ms: Some(0) };
+        let link = LinkProfile {
+            latency_ms: 1,
+            bytes_per_ms: Some(0),
+        };
         assert_eq!(link.transfer_time_ms(100), 1);
     }
 }

@@ -1,0 +1,96 @@
+//! Property: under any fault plan whose drop probability is below 1.0, with
+//! a bounded delivery budget and a dead-letter queue, every message reaches
+//! a terminal state — acked by a consumer or parked on the DLQ. Nothing is
+//! lost in limbo and nothing loops forever.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use gcx_mq::{Broker, FaultDirection, FaultPlan, FaultRule, Message, QueuePolicy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_message_terminates_under_faults(
+        seed in 0u64..10_000,
+        drop_p in 0.0f64..0.9,
+        dup_p in 0.0f64..0.5,
+        n in 1usize..16,
+        max_deliveries in 1u32..5,
+    ) {
+        let b = Broker::new();
+        b.declare_queue("work", None).unwrap();
+        b.declare_queue("dead", None).unwrap();
+        b.set_queue_policy("work", QueuePolicy::dead_letter(max_deliveries, "dead")).unwrap();
+        b.set_fault_plan(Some(
+            FaultPlan::new(seed)
+                .with_rule(FaultRule::drop("work", FaultDirection::Deliver, drop_p))
+                .with_rule(FaultRule::duplicate("work", dup_p)),
+        ));
+
+        for i in 0..n {
+            b.publish("work", Message::new(Bytes::from(format!("m{i}"))), None).unwrap();
+        }
+        // Duplication means more copies than publishes; all must terminate.
+        let arrived = b.queue_stats("work").unwrap().published;
+        prop_assert!(arrived >= n as u64);
+
+        let c = b.consume("work", None, 0).unwrap();
+        let mut acked = 0u64;
+        while let Some(d) = c.next(Duration::from_millis(50)).unwrap() {
+            c.ack(d.tag).unwrap();
+            acked += 1;
+        }
+
+        let work = b.queue_stats("work").unwrap();
+        let dead = b.queue_stats("dead").unwrap().ready as u64;
+        prop_assert_eq!(work.ready, 0, "no message may be stuck ready");
+        prop_assert_eq!(work.unacked, 0, "no message may be stuck unacked");
+        prop_assert_eq!(
+            acked + dead,
+            arrived,
+            "every copy must end acked or dead-lettered (acked {} dead {} arrived {})",
+            acked,
+            dead,
+            arrived
+        );
+    }
+
+    #[test]
+    fn nacked_messages_terminate_too(
+        seed in 0u64..10_000,
+        nack_every in 2usize..5,
+        n in 1usize..12,
+    ) {
+        let b = Broker::new();
+        b.declare_queue("work", None).unwrap();
+        b.declare_queue("dead", None).unwrap();
+        b.set_queue_policy("work", QueuePolicy::dead_letter(3, "dead")).unwrap();
+        b.set_fault_plan(Some(
+            FaultPlan::new(seed)
+                .with_rule(FaultRule::drop("work", FaultDirection::Deliver, 0.3)),
+        ));
+        for i in 0..n {
+            b.publish("work", Message::new(Bytes::from(format!("m{i}"))), None).unwrap();
+        }
+        let c = b.consume("work", None, 0).unwrap();
+        let mut acked = 0u64;
+        let mut handled = 0usize;
+        while let Some(d) = c.next(Duration::from_millis(50)).unwrap() {
+            handled += 1;
+            if handled.is_multiple_of(nack_every) {
+                c.nack(d.tag).unwrap();
+            } else {
+                c.ack(d.tag).unwrap();
+                acked += 1;
+            }
+        }
+        let work = b.queue_stats("work").unwrap();
+        let dead = b.queue_stats("dead").unwrap().ready as u64;
+        prop_assert_eq!(work.ready, 0);
+        prop_assert_eq!(work.unacked, 0);
+        prop_assert_eq!(acked + dead, n as u64);
+    }
+}

@@ -27,7 +27,10 @@ pub struct ProxyPolicy {
 
 impl Default for ProxyPolicy {
     fn default() -> Self {
-        Self { min_size: 10 * 1024, evict_after_result: true }
+        Self {
+            min_size: 10 * 1024,
+            evict_after_result: true,
+        }
     }
 }
 
@@ -51,7 +54,13 @@ impl ProxyExecutor {
         policy: ProxyPolicy,
     ) -> Self {
         registry.register(Arc::clone(&store));
-        Self { inner, store, registry, policy, client_cache: ProxyCache::new(32) }
+        Self {
+            inner,
+            store,
+            registry,
+            policy,
+            client_cache: ProxyCache::new(32),
+        }
     }
 
     /// The wrapped executor.
@@ -157,10 +166,15 @@ mod tests {
                 .unwrap();
         let ex = Executor::new(svc.clone(), token, reg.endpoint_id).unwrap();
         let store = InMemoryStore::new("mem", MetricsRegistry::new());
-        let pex = ProxyExecutor::new(ex, store, registry.clone(), ProxyPolicy {
-            min_size: 1024,
-            evict_after_result: false,
-        });
+        let pex = ProxyExecutor::new(
+            ex,
+            store,
+            registry.clone(),
+            ProxyPolicy {
+                min_size: 1024,
+                evict_after_result: false,
+            },
+        );
         (svc, pex, agent, registry)
     }
 
@@ -170,12 +184,17 @@ mod tests {
         let f = PyFunction::new("def f(b):\n    return len(b)\n");
         let payload = vec![7u8; 100 * 1024];
         svc.metrics().reset_counters();
-        let fut = pex.submit(&f, vec![Value::Bytes(payload)], Value::None).unwrap();
+        let fut = pex
+            .submit(&f, vec![Value::Bytes(payload)], Value::None)
+            .unwrap();
         let n = pex.result(&fut).unwrap();
         assert_eq!(n, Value::Int(100 * 1024));
         // The queue never carried the 100 KB — only the proxy marker.
         let mq_bytes = svc.metrics().counter("mq.bytes_published").get();
-        assert!(mq_bytes < 10 * 1024, "cloud path stayed small: {mq_bytes} bytes");
+        assert!(
+            mq_bytes < 10 * 1024,
+            "cloud path stayed small: {mq_bytes} bytes"
+        );
         agent.stop();
         svc.shutdown();
         pex.close();
@@ -215,10 +234,15 @@ mod tests {
             ex,
             store.clone(),
             registry,
-            ProxyPolicy { min_size: 64, evict_after_result: true },
+            ProxyPolicy {
+                min_size: 64,
+                evict_after_result: true,
+            },
         );
         let f = PyFunction::new("def f(b):\n    return len(b)\n");
-        let fut = pex.submit(&f, vec![Value::Bytes(vec![0u8; 4096])], Value::None).unwrap();
+        let fut = pex
+            .submit(&f, vec![Value::Bytes(vec![0u8; 4096])], Value::None)
+            .unwrap();
         pex.result(&fut).unwrap();
         // Lifetime cleanup removed the proxied input.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);

@@ -148,7 +148,11 @@ impl ProxyCache {
 ///
 /// `cache` may be shared by all workers on a node; pass a zero-capacity
 /// cache to disable caching (the A3 ablation).
-pub fn resolve_value(value: &Value, registry: &StoreRegistry, cache: &ProxyCache) -> GcxResult<Value> {
+pub fn resolve_value(
+    value: &Value,
+    registry: &StoreRegistry,
+    cache: &ProxyCache,
+) -> GcxResult<Value> {
     if let Some((store_name, key, _)) = as_proxy(value) {
         if let Some(cached) = cache.get(&key) {
             return Ok(cached);
@@ -211,7 +215,10 @@ mod tests {
         let cache = ProxyCache::new(4);
         let resolved = resolve_value(&payload, &registry, &cache).unwrap();
         assert_eq!(resolved.get("a").unwrap(), &Value::Int(1));
-        assert_eq!(resolved.get("rest").unwrap().as_list().unwrap()[0], Value::str("two"));
+        assert_eq!(
+            resolved.get("rest").unwrap().as_list().unwrap()[0],
+            Value::str("two")
+        );
     }
 
     #[test]

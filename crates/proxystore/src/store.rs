@@ -61,14 +61,20 @@ pub struct InMemoryStore {
 impl InMemoryStore {
     /// A store named `name`.
     pub fn new(name: impl Into<String>, metrics: MetricsRegistry) -> Arc<Self> {
-        Arc::new(Self { name: name.into(), objects: RwLock::new(HashMap::new()), metrics })
+        Arc::new(Self {
+            name: name.into(),
+            objects: RwLock::new(HashMap::new()),
+            metrics,
+        })
     }
 }
 
 impl Store for InMemoryStore {
     fn put(&self, data: Bytes) -> GcxResult<ObjectKey> {
         let key = fresh_key();
-        self.metrics.counter("proxystore.bytes_put").add(data.len() as u64);
+        self.metrics
+            .counter("proxystore.bytes_put")
+            .add(data.len() as u64);
         self.objects.write().insert(key.clone(), data);
         Ok(key)
     }
@@ -80,7 +86,9 @@ impl Store for InMemoryStore {
             .get(key)
             .cloned()
             .ok_or_else(|| GcxError::Internal(format!("no such object '{key}'")))?;
-        self.metrics.counter("proxystore.bytes_get").add(data.len() as u64);
+        self.metrics
+            .counter("proxystore.bytes_get")
+            .add(data.len() as u64);
         Ok(data)
     }
 
@@ -117,21 +125,30 @@ impl SharedFsStore {
     ) -> GcxResult<Arc<Self>> {
         let dir = dir.into();
         vfs.mkdir_p(&dir)?;
-        Ok(Arc::new(Self { name: name.into(), vfs, dir, metrics }))
+        Ok(Arc::new(Self {
+            name: name.into(),
+            vfs,
+            dir,
+            metrics,
+        }))
     }
 }
 
 impl Store for SharedFsStore {
     fn put(&self, data: Bytes) -> GcxResult<ObjectKey> {
         let key = fresh_key();
-        self.metrics.counter("proxystore.bytes_put").add(data.len() as u64);
+        self.metrics
+            .counter("proxystore.bytes_put")
+            .add(data.len() as u64);
         self.vfs.write(&format!("{}/{key}", self.dir), &data)?;
         Ok(key)
     }
 
     fn get(&self, key: &str) -> GcxResult<Bytes> {
         let data = self.vfs.read(&format!("{}/{key}", self.dir))?;
-        self.metrics.counter("proxystore.bytes_get").add(data.len() as u64);
+        self.metrics
+            .counter("proxystore.bytes_get")
+            .add(data.len() as u64);
         Ok(Bytes::from(data))
     }
 
@@ -181,7 +198,9 @@ impl Store for RemoteKvStore {
     fn put(&self, data: Bytes) -> GcxResult<ObjectKey> {
         self.link.charge(&self.clock, data.len());
         let key = fresh_key();
-        self.metrics.counter("proxystore.bytes_put").add(data.len() as u64);
+        self.metrics
+            .counter("proxystore.bytes_put")
+            .add(data.len() as u64);
         self.objects.write().insert(key.clone(), data);
         Ok(key)
     }
@@ -194,7 +213,9 @@ impl Store for RemoteKvStore {
             .cloned()
             .ok_or_else(|| GcxError::Internal(format!("no such object '{key}'")))?;
         self.link.charge(&self.clock, data.len());
-        self.metrics.counter("proxystore.bytes_get").add(data.len() as u64);
+        self.metrics
+            .counter("proxystore.bytes_get")
+            .add(data.len() as u64);
         Ok(data)
     }
 
@@ -236,10 +257,13 @@ mod tests {
     #[test]
     fn shared_fs_store() {
         let vfs = Vfs::new();
-        let s = SharedFsStore::new("fs", vfs.clone(), "/proxystore", MetricsRegistry::new())
-            .unwrap();
+        let s =
+            SharedFsStore::new("fs", vfs.clone(), "/proxystore", MetricsRegistry::new()).unwrap();
         let key = s.put(Bytes::from_static(b"on disk")).unwrap();
-        assert!(vfs.exists(&format!("/proxystore/{key}")), "object is a real file");
+        assert!(
+            vfs.exists(&format!("/proxystore/{key}")),
+            "object is a real file"
+        );
         s.evict(&key).unwrap();
         exercise(&*s);
     }

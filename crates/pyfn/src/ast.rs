@@ -21,21 +21,37 @@ pub struct Param {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `def name(params): body`
-    Def { name: String, params: Vec<Param>, body: Vec<Stmt> },
+    Def {
+        name: String,
+        params: Vec<Param>,
+        body: Vec<Stmt>,
+    },
     /// `target = value` (target is a name, index, or attribute-free chain)
     Assign { target: AssignTarget, value: Expr },
     /// `target op= value`
-    AugAssign { target: AssignTarget, op: BinOp, value: Expr },
+    AugAssign {
+        target: AssignTarget,
+        op: BinOp,
+        value: Expr,
+    },
     /// A bare expression evaluated for effect (e.g. `print(x)`).
     Expr(Expr),
     /// `return expr?`
     Return(Option<Expr>),
     /// `if cond: then [elif...] [else: orelse]` — elifs desugar to nested ifs.
-    If { cond: Expr, then: Vec<Stmt>, orelse: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        orelse: Vec<Stmt>,
+    },
     /// `while cond: body`
     While { cond: Expr, body: Vec<Stmt> },
     /// `for var in iterable: body` / `for k, v in pairs: body`
-    For { vars: Vec<String>, iterable: Expr, body: Vec<Stmt> },
+    For {
+        vars: Vec<String>,
+        iterable: Expr,
+        body: Vec<Stmt>,
+    },
     /// `break`
     Break,
     /// `continue`
@@ -102,17 +118,43 @@ pub enum Expr {
     /// `{'k': v, ...}` (string keys only)
     Dict(Vec<(Expr, Expr)>),
     /// Binary operation (short-circuiting for And/Or).
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Unary operation.
-    Un { op: UnOp, operand: Box<Expr> },
+    Un {
+        op: UnOp,
+        operand: Box<Expr>,
+    },
     /// Function call: builtin or module-level def. Kwargs are `name=expr`.
-    Call { func: String, args: Vec<Expr>, kwargs: Vec<(String, Expr)> },
+    Call {
+        func: String,
+        args: Vec<Expr>,
+        kwargs: Vec<(String, Expr)>,
+    },
     /// Method call on a receiver: `xs.append(1)`, `s.upper()`.
-    MethodCall { recv: Box<Expr>, method: String, args: Vec<Expr> },
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+    },
     /// Indexing `xs[i]`, `d['k']`.
-    Index { base: Box<Expr>, index: Box<Expr> },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
     /// Slicing `xs[a:b]` (either bound optional).
-    Slice { base: Box<Expr>, lo: Option<Box<Expr>>, hi: Option<Box<Expr>> },
+    Slice {
+        base: Box<Expr>,
+        lo: Option<Box<Expr>>,
+        hi: Option<Box<Expr>>,
+    },
     /// Conditional expression `a if c else b`.
-    IfExp { cond: Box<Expr>, then: Box<Expr>, orelse: Box<Expr> },
+    IfExp {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        orelse: Box<Expr>,
+    },
 }

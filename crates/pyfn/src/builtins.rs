@@ -39,7 +39,10 @@ pub fn call_builtin(
             Value::Bytes(b) => Ok(Value::Int(b.len() as i64)),
             Value::List(l) => Ok(Value::Int(l.len() as i64)),
             Value::Map(m) => Ok(Value::Int(m.len() as i64)),
-            other => Err(type_err(format!("object of type '{}' has no len()", other.type_name()))),
+            other => Err(type_err(format!(
+                "object of type '{}' has no len()",
+                other.type_name()
+            ))),
         }),
         "str" => one(args, "str").map(|v| Value::Str(v.to_string())),
         "repr" => one(args, "repr").map(|v| {
@@ -57,7 +60,10 @@ pub fn call_builtin(
                 .parse::<i64>()
                 .map(Value::Int)
                 .map_err(|_| value_err(format!("invalid literal for int(): '{s}'"))),
-            other => Err(type_err(format!("int() argument must not be {}", other.type_name()))),
+            other => Err(type_err(format!(
+                "int() argument must not be {}",
+                other.type_name()
+            ))),
         }),
         "float" => one(args, "float").and_then(|v| match v {
             Value::Int(i) => Ok(Value::Float(*i as f64)),
@@ -67,13 +73,19 @@ pub fn call_builtin(
                 .parse::<f64>()
                 .map(Value::Float)
                 .map_err(|_| value_err(format!("could not convert string to float: '{s}'"))),
-            other => Err(type_err(format!("float() argument must not be {}", other.type_name()))),
+            other => Err(type_err(format!(
+                "float() argument must not be {}",
+                other.type_name()
+            ))),
         }),
         "bool" => one(args, "bool").map(|v| Value::Bool(v.truthy())),
         "abs" => one(args, "abs").and_then(|v| match v {
             Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
             Value::Float(f) => Ok(Value::Float(f.abs())),
-            other => Err(type_err(format!("bad operand type for abs(): '{}'", other.type_name()))),
+            other => Err(type_err(format!(
+                "bad operand type for abs(): '{}'",
+                other.type_name()
+            ))),
         }),
         "min" | "max" => {
             let items: Vec<Value> = if args.len() == 1 {
@@ -98,7 +110,11 @@ pub fn call_builtin(
                     Some(c) => c,
                     None => return Some(Err(type_err("values are not comparable"))),
                 };
-                let take = if name == "min" { cmp.is_lt() } else { cmp.is_gt() };
+                let take = if name == "min" {
+                    cmp.is_lt()
+                } else {
+                    cmp.is_gt()
+                };
                 if take {
                     best = item.clone();
                 }
@@ -128,9 +144,16 @@ pub fn call_builtin(
                         }
                     }
                 }
-                Ok(if is_float { Value::Float(float_total) } else { Value::Int(int_total) })
+                Ok(if is_float {
+                    Value::Float(float_total)
+                } else {
+                    Value::Int(int_total)
+                })
             }
-            other => Err(type_err(format!("'{}' object is not iterable", other.type_name()))),
+            other => Err(type_err(format!(
+                "'{}' object is not iterable",
+                other.type_name()
+            ))),
         }),
         "range" => {
             let (lo, hi, step) = match args {
@@ -178,11 +201,17 @@ pub fn call_builtin(
                     Ok(Value::List(items))
                 }
             }
-            other => Err(type_err(format!("'{}' object is not iterable", other.type_name()))),
+            other => Err(type_err(format!(
+                "'{}' object is not iterable",
+                other.type_name()
+            ))),
         }),
         "reversed" => one(args, "reversed").and_then(|v| match v {
             Value::List(l) => Ok(Value::List(l.iter().rev().cloned().collect())),
-            other => Err(type_err(format!("'{}' object is not reversible", other.type_name()))),
+            other => Err(type_err(format!(
+                "'{}' object is not reversible",
+                other.type_name()
+            ))),
         }),
         "round" => match args {
             [v] => match v.as_float() {
@@ -200,7 +229,11 @@ pub fn call_builtin(
         },
         "type" => one(args, "type").map(|v| Value::Str(v.type_name().to_string())),
         "print" => {
-            let line = args.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
+            let line = args
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
             host.print(&line);
             Ok(Value::None)
         }
@@ -231,7 +264,10 @@ pub fn call_builtin(
                     .map(|(i, item)| Value::List(vec![Value::Int(i as i64), item.clone()]))
                     .collect(),
             )),
-            other => Err(type_err(format!("'{}' object is not iterable", other.type_name()))),
+            other => Err(type_err(format!(
+                "'{}' object is not iterable",
+                other.type_name()
+            ))),
         }),
         "zip" => match args {
             [Value::List(a), Value::List(b)] => Ok(Value::List(
@@ -244,11 +280,17 @@ pub fn call_builtin(
         },
         "any" => one(args, "any").and_then(|v| match v {
             Value::List(l) => Ok(Value::Bool(l.iter().any(Value::truthy))),
-            other => Err(type_err(format!("'{}' object is not iterable", other.type_name()))),
+            other => Err(type_err(format!(
+                "'{}' object is not iterable",
+                other.type_name()
+            ))),
         }),
         "all" => one(args, "all").and_then(|v| match v {
             Value::List(l) => Ok(Value::Bool(l.iter().all(Value::truthy))),
-            other => Err(type_err(format!("'{}' object is not iterable", other.type_name()))),
+            other => Err(type_err(format!(
+                "'{}' object is not iterable",
+                other.type_name()
+            ))),
         }),
         "bytes" => one(args, "bytes").and_then(|v| match v {
             Value::Int(n) if *n >= 0 && (*n as usize) <= limits.max_collection * 1024 => {
@@ -256,7 +298,10 @@ pub fn call_builtin(
             }
             Value::Int(_) => Err(value_err("bytes() size out of range")),
             Value::Str(s) => Ok(Value::Bytes(s.as_bytes().to_vec())),
-            other => Err(type_err(format!("bytes() argument must not be {}", other.type_name()))),
+            other => Err(type_err(format!(
+                "bytes() argument must not be {}",
+                other.type_name()
+            ))),
         }),
         _ => return None,
     };
@@ -266,7 +311,10 @@ pub fn call_builtin(
 fn one<'a>(args: &'a [Value], name: &str) -> Result<&'a Value, PyError> {
     match args {
         [v] => Ok(v),
-        _ => Err(type_err(format!("{name}() takes exactly one argument ({} given)", args.len()))),
+        _ => Err(type_err(format!(
+            "{name}() takes exactly one argument ({} given)",
+            args.len()
+        ))),
     }
 }
 
@@ -507,7 +555,10 @@ mod tests {
     #[test]
     fn len_str_int_float() {
         assert_eq!(call("len", &[Value::str("héllo")]).unwrap(), Value::Int(5));
-        assert_eq!(call("len", &[Value::List(vec![Value::None])]).unwrap(), Value::Int(1));
+        assert_eq!(
+            call("len", &[Value::List(vec![Value::None])]).unwrap(),
+            Value::Int(1)
+        );
         assert!(call("len", &[Value::Int(3)]).is_err());
         assert_eq!(call("str", &[Value::Int(42)]).unwrap(), Value::str("42"));
         assert_eq!(call("int", &[Value::str(" 7 ")]).unwrap(), Value::Int(7));
@@ -523,15 +574,27 @@ mod tests {
             Value::List(vec![Value::Int(0), Value::Int(1), Value::Int(2)])
         );
         assert_eq!(
-            call("range", &[Value::Int(1), Value::Int(4)]).unwrap().as_list().unwrap().len(),
+            call("range", &[Value::Int(1), Value::Int(4)])
+                .unwrap()
+                .as_list()
+                .unwrap()
+                .len(),
             3
         );
         assert_eq!(
             call("range", &[Value::Int(10), Value::Int(0), Value::Int(-3)]).unwrap(),
-            Value::List(vec![Value::Int(10), Value::Int(7), Value::Int(4), Value::Int(1)])
+            Value::List(vec![
+                Value::Int(10),
+                Value::Int(7),
+                Value::Int(4),
+                Value::Int(1)
+            ])
         );
         assert!(call("range", &[Value::Int(1), Value::Int(2), Value::Int(0)]).is_err());
-        assert_eq!(call("range", &[Value::Int(-5)]).unwrap(), Value::List(vec![]));
+        assert_eq!(
+            call("range", &[Value::Int(-5)]).unwrap(),
+            Value::List(vec![])
+        );
     }
 
     #[test]
@@ -543,14 +606,26 @@ mod tests {
     #[test]
     fn min_max_sum_sorted() {
         let l = Value::List(vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
-        assert_eq!(call("min", std::slice::from_ref(&l)).unwrap(), Value::Int(1));
-        assert_eq!(call("max", std::slice::from_ref(&l)).unwrap(), Value::Int(3));
-        assert_eq!(call("sum", std::slice::from_ref(&l)).unwrap(), Value::Int(6));
+        assert_eq!(
+            call("min", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call("max", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            call("sum", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(6)
+        );
         assert_eq!(
             call("sorted", &[l]).unwrap(),
             Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
         );
-        assert_eq!(call("max", &[Value::Int(1), Value::Int(9)]).unwrap(), Value::Int(9));
+        assert_eq!(
+            call("max", &[Value::Int(1), Value::Int(9)]).unwrap(),
+            Value::Int(9)
+        );
         assert!(call("min", &[Value::List(vec![])]).is_err());
         assert!(call(
             "sorted",
@@ -562,9 +637,14 @@ mod tests {
     #[test]
     fn print_and_sleep_go_to_host() {
         let mut host = CapturingHost::default();
-        call_builtin("print", &[Value::str("hi"), Value::Int(2)], &mut host, &Limits::default())
-            .unwrap()
-            .unwrap();
+        call_builtin(
+            "print",
+            &[Value::str("hi"), Value::Int(2)],
+            &mut host,
+            &Limits::default(),
+        )
+        .unwrap()
+        .unwrap();
         call_builtin("sleep", &[Value::Float(0.5)], &mut host, &Limits::default())
             .unwrap()
             .unwrap();
@@ -582,14 +662,19 @@ mod tests {
     fn str_methods() {
         let out = call_method(Value::str("a,b,c"), "split", &[Value::str(",")]).unwrap();
         assert_eq!(out.ret.as_list().unwrap().len(), 3);
-        let out = call_method(Value::str("-"), "join", &[Value::List(vec![
-            Value::str("x"),
-            Value::str("y"),
-        ])])
+        let out = call_method(
+            Value::str("-"),
+            "join",
+            &[Value::List(vec![Value::str("x"), Value::str("y")])],
+        )
         .unwrap();
         assert_eq!(out.ret, Value::str("x-y"));
-        let out = call_method(Value::str("{} + {}"), "format", &[Value::Int(1), Value::Int(2)])
-            .unwrap();
+        let out = call_method(
+            Value::str("{} + {}"),
+            "format",
+            &[Value::Int(1), Value::Int(2)],
+        )
+        .unwrap();
         assert_eq!(out.ret, Value::str("1 + 2"));
         assert!(call_method(Value::str("{} {}"), "format", &[Value::Int(1)]).is_err());
         let out = call_method(Value::str("AbC"), "lower", &[]).unwrap();
@@ -600,8 +685,8 @@ mod tests {
 
     #[test]
     fn list_methods_mutate_receiver() {
-        let out = call_method(Value::List(vec![Value::Int(1)]), "append", &[Value::Int(2)])
-            .unwrap();
+        let out =
+            call_method(Value::List(vec![Value::Int(1)]), "append", &[Value::Int(2)]).unwrap();
         assert_eq!(out.receiver.as_list().unwrap().len(), 2);
         assert_eq!(out.ret, Value::None);
 
@@ -645,7 +730,10 @@ mod tests {
 
     #[test]
     fn compare_mixed_numerics() {
-        assert_eq!(compare(&Value::Int(1), &Value::Float(1.5)), Some(std::cmp::Ordering::Less));
+        assert_eq!(
+            compare(&Value::Int(1), &Value::Float(1.5)),
+            Some(std::cmp::Ordering::Less)
+        );
         assert_eq!(compare(&Value::str("a"), &Value::Int(1)), None);
     }
 }
@@ -657,7 +745,11 @@ mod iterable_builtin_tests {
 
     #[test]
     fn enumerate_pairs() {
-        let v = call("enumerate", &[Value::List(vec![Value::str("a"), Value::str("b")])]).unwrap();
+        let v = call(
+            "enumerate",
+            &[Value::List(vec![Value::str("a"), Value::str("b")])],
+        )
+        .unwrap();
         let l = v.as_list().unwrap();
         assert_eq!(l[0], Value::List(vec![Value::Int(0), Value::str("a")]));
         assert_eq!(l[1], Value::List(vec![Value::Int(1), Value::str("b")]));
@@ -676,9 +768,18 @@ mod iterable_builtin_tests {
     #[test]
     fn any_all_truthiness() {
         let l = Value::List(vec![Value::Int(0), Value::Int(2)]);
-        assert_eq!(call("any", std::slice::from_ref(&l)).unwrap(), Value::Bool(true));
+        assert_eq!(
+            call("any", std::slice::from_ref(&l)).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(call("all", &[l]).unwrap(), Value::Bool(false));
-        assert_eq!(call("any", &[Value::List(vec![])]).unwrap(), Value::Bool(false));
-        assert_eq!(call("all", &[Value::List(vec![])]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            call("any", &[Value::List(vec![])]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            call("all", &[Value::List(vec![])]).unwrap(),
+            Value::Bool(true)
+        );
     }
 }

@@ -42,7 +42,12 @@ pub struct SystemHost {
 impl SystemHost {
     /// Host over the given clock, RNG seed, and node hostname.
     pub fn new(clock: SharedClock, seed: u64, hostname: impl Into<String>) -> Self {
-        Self { clock, rng_state: seed.max(1), hostname: hostname.into(), stdout: Vec::new() }
+        Self {
+            clock,
+            rng_state: seed.max(1),
+            hostname: hostname.into(),
+            stdout: Vec::new(),
+        }
     }
 
     /// Host over the real system clock.
@@ -54,7 +59,8 @@ impl SystemHost {
 impl Host for SystemHost {
     fn sleep(&mut self, seconds: f64) {
         if seconds > 0.0 {
-            self.clock.sleep(Duration::from_millis((seconds * 1000.0) as u64));
+            self.clock
+                .sleep(Duration::from_millis((seconds * 1000.0) as u64));
         }
     }
 
@@ -95,7 +101,10 @@ impl Host for CapturingHost {
     }
 
     fn rand(&mut self) -> f64 {
-        self.rng_state = self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.rng_state = self
+            .rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
         (self.rng_state >> 11) as f64 / (1u64 << 53) as f64
     }
 

@@ -37,7 +37,11 @@ impl Default for Limits {
         // max_recursion is far below CPython's 1000: a tree-walking frame is
         // much larger than a CPython frame and must fit the worker thread's
         // 2 MiB stack even in unoptimized builds.
-        Self { max_steps: 10_000_000, max_recursion: 64, max_collection: 4_000_000 }
+        Self {
+            max_steps: 10_000_000,
+            max_recursion: 64,
+            max_collection: 4_000_000,
+        }
     }
 }
 
@@ -53,7 +57,10 @@ pub struct PyError {
 impl PyError {
     /// Construct an error.
     pub fn new(kind: impl Into<String>, msg: impl Into<String>) -> Self {
-        Self { kind: kind.into(), msg: msg.into() }
+        Self {
+            kind: kind.into(),
+            msg: msg.into(),
+        }
     }
 }
 
@@ -93,15 +100,25 @@ impl<'a> Interp<'a> {
                 functions.insert(name.as_str(), (params.as_slice(), body.as_slice()));
             }
         }
-        Self { functions, host, limits, steps: 0, depth: 0 }
+        Self {
+            functions,
+            host,
+            limits,
+            steps: 0,
+            depth: 0,
+        }
     }
 
     /// Call a module-level function by name.
-    pub fn call_function(&mut self, name: &str, args: Vec<Value>, kwargs: &Value) -> PyResult<Value> {
-        let (params, body) = *self
-            .functions
-            .get(name)
-            .ok_or_else(|| PyError::new("NameError", format!("function '{name}' is not defined")))?;
+    pub fn call_function(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        kwargs: &Value,
+    ) -> PyResult<Value> {
+        let (params, body) = *self.functions.get(name).ok_or_else(|| {
+            PyError::new("NameError", format!("function '{name}' is not defined"))
+        })?;
 
         let mut locals = self.bind_params(name, params, args, kwargs)?;
         match self.exec_block(body, &mut locals)? {
@@ -192,7 +209,11 @@ impl<'a> Interp<'a> {
         Ok(())
     }
 
-    fn exec_block(&mut self, stmts: &[Stmt], locals: &mut HashMap<String, Value>) -> PyResult<Flow> {
+    fn exec_block(
+        &mut self,
+        stmts: &[Stmt],
+        locals: &mut HashMap<String, Value>,
+    ) -> PyResult<Flow> {
         for stmt in stmts {
             match self.exec(stmt, locals)? {
                 Flow::Normal => {}
@@ -264,7 +285,11 @@ impl<'a> Interp<'a> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { vars, iterable, body } => {
+            Stmt::For {
+                vars,
+                iterable,
+                body,
+            } => {
                 let items = match self.eval(iterable, locals)? {
                     Value::List(l) => l,
                     Value::Str(s) => s.chars().map(|c| Value::Str(c.to_string())).collect(),
@@ -418,7 +443,11 @@ impl<'a> Interp<'a> {
                     },
                 }
             }
-            Expr::Bin { op: BinOp::And, lhs, rhs } => {
+            Expr::Bin {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
                 let l = self.eval(lhs, locals)?;
                 if !l.truthy() {
                     Ok(l)
@@ -426,7 +455,11 @@ impl<'a> Interp<'a> {
                     self.eval(rhs, locals)
                 }
             }
-            Expr::Bin { op: BinOp::Or, lhs, rhs } => {
+            Expr::Bin {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } => {
                 let l = self.eval(lhs, locals)?;
                 if l.truthy() {
                     Ok(l)
@@ -470,9 +503,7 @@ impl<'a> Interp<'a> {
                     .collect::<PyResult<Vec<_>>>()?;
                 // Builtins take no kwargs in this language.
                 if kwargs.is_empty() {
-                    if let Some(r) =
-                        builtins::call_builtin(func, &argv, self.host, &self.limits)
-                    {
+                    if let Some(r) = builtins::call_builtin(func, &argv, self.host, &self.limits) {
                         return r;
                     }
                 }
@@ -525,7 +556,11 @@ fn index_value(base: &Value, index: &Value) -> PyResult<Value> {
             .ok_or_else(|| PyError::new("KeyError", format!("'{k}'"))),
         (b, i) => Err(PyError::new(
             "TypeError",
-            format!("{} indices must be valid, got {}", b.type_name(), i.type_name()),
+            format!(
+                "{} indices must be valid, got {}",
+                b.type_name(),
+                i.type_name()
+            ),
         )),
     }
 }
@@ -549,7 +584,11 @@ fn slice_value(base: &Value, lo: Option<Value>, hi: Option<Value>) -> PyResult<V
         Value::List(l) => {
             let start = bound(lo, 0, l.len())?;
             let end = bound(hi, l.len() as i64, l.len())?;
-            Ok(Value::List(if start < end { l[start..end].to_vec() } else { vec![] }))
+            Ok(Value::List(if start < end {
+                l[start..end].to_vec()
+            } else {
+                vec![]
+            }))
         }
         Value::Str(s) => {
             let chars: Vec<char> = s.chars().collect();
@@ -633,7 +672,8 @@ fn binop(op: BinOp, l: Value, r: Value) -> PyResult<Value> {
             }
             Ok(Value::Str(s.repeat(n)))
         }
-        (BinOp::Mul, Value::List(a), Value::Int(n)) | (BinOp::Mul, Value::Int(n), Value::List(a)) => {
+        (BinOp::Mul, Value::List(a), Value::Int(n))
+        | (BinOp::Mul, Value::Int(n), Value::List(a)) => {
             let n = (*n).max(0) as usize;
             if n.saturating_mul(a.len()) > 10_000_000 {
                 return Err(PyError::new("MemoryError", "list repetition too large"));
@@ -672,15 +712,23 @@ fn binop(op: BinOp, l: Value, r: Value) -> PyResult<Value> {
                     BinOp::Mul => return Ok(Value::Int(x.wrapping_mul(y))),
                     BinOp::FloorDiv => {
                         if y == 0 {
-                            return Err(PyError::new("ZeroDivisionError", "integer division by zero"));
+                            return Err(PyError::new(
+                                "ZeroDivisionError",
+                                "integer division by zero",
+                            ));
                         }
                         return Ok(Value::Int(py_floordiv(x, y)));
                     }
                     BinOp::Mod => {
                         if y == 0 {
-                            return Err(PyError::new("ZeroDivisionError", "integer modulo by zero"));
+                            return Err(PyError::new(
+                                "ZeroDivisionError",
+                                "integer modulo by zero",
+                            ));
                         }
-                        return Ok(Value::Int(x.wrapping_sub(py_floordiv(x, y).wrapping_mul(y))));
+                        return Ok(Value::Int(
+                            x.wrapping_sub(py_floordiv(x, y).wrapping_mul(y)),
+                        ));
                     }
                     BinOp::Pow => {
                         if y >= 0 {
@@ -715,7 +763,10 @@ fn binop(op: BinOp, l: Value, r: Value) -> PyResult<Value> {
                 }
                 BinOp::FloorDiv => {
                     if b == 0.0 {
-                        Err(PyError::new("ZeroDivisionError", "float floor division by zero"))
+                        Err(PyError::new(
+                            "ZeroDivisionError",
+                            "float floor division by zero",
+                        ))
                     } else {
                         Ok(Value::Float((a / b).floor()))
                     }
@@ -766,7 +817,12 @@ mod tests {
     fn run(src: &str, args: Vec<Value>) -> Result<Value, PyError> {
         let prog = Program::compile(src).unwrap();
         let mut host = CapturingHost::default();
-        prog.call_entry(args, &Value::map([] as [(&str, Value); 0]), &mut host, Limits::default())
+        prog.call_entry(
+            args,
+            &Value::map([] as [(&str, Value); 0]),
+            &mut host,
+            Limits::default(),
+        )
     }
 
     fn run_ok(src: &str, args: Vec<Value>) -> Value {
@@ -775,19 +831,46 @@ mod tests {
 
     #[test]
     fn arithmetic_and_return() {
-        assert_eq!(run_ok("def f(a, b):\n    return a + b * 2\n", vec![Value::Int(1), Value::Int(3)]), Value::Int(7));
-        assert_eq!(run_ok("def f():\n    return 7 // 2\n", vec![]), Value::Int(3));
-        assert_eq!(run_ok("def f():\n    return 7 % 3\n", vec![]), Value::Int(1));
-        assert_eq!(run_ok("def f():\n    return 2 ** 10\n", vec![]), Value::Int(1024));
-        assert_eq!(run_ok("def f():\n    return 7 / 2\n", vec![]), Value::Float(3.5));
-        assert_eq!(run_ok("def f():\n    return -(-5)\n", vec![]), Value::Int(5));
+        assert_eq!(
+            run_ok(
+                "def f(a, b):\n    return a + b * 2\n",
+                vec![Value::Int(1), Value::Int(3)]
+            ),
+            Value::Int(7)
+        );
+        assert_eq!(
+            run_ok("def f():\n    return 7 // 2\n", vec![]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            run_ok("def f():\n    return 7 % 3\n", vec![]),
+            Value::Int(1)
+        );
+        assert_eq!(
+            run_ok("def f():\n    return 2 ** 10\n", vec![]),
+            Value::Int(1024)
+        );
+        assert_eq!(
+            run_ok("def f():\n    return 7 / 2\n", vec![]),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            run_ok("def f():\n    return -(-5)\n", vec![]),
+            Value::Int(5)
+        );
     }
 
     #[test]
     fn python_division_semantics() {
         // Floor division rounds toward negative infinity.
-        assert_eq!(run_ok("def f():\n    return -7 // 2\n", vec![]), Value::Int(-4));
-        assert_eq!(run_ok("def f():\n    return -7 % 2\n", vec![]), Value::Int(1));
+        assert_eq!(
+            run_ok("def f():\n    return -7 // 2\n", vec![]),
+            Value::Int(-4)
+        );
+        assert_eq!(
+            run_ok("def f():\n    return -7 % 2\n", vec![]),
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -801,18 +884,34 @@ mod tests {
     #[test]
     fn string_ops() {
         assert_eq!(
-            run_ok("def f(name):\n    return 'hello ' + name\n", vec![Value::str("world")]),
+            run_ok(
+                "def f(name):\n    return 'hello ' + name\n",
+                vec![Value::str("world")]
+            ),
             Value::str("hello world")
         );
-        assert_eq!(run_ok("def f():\n    return 'ab' * 3\n", vec![]), Value::str("ababab"));
-        assert_eq!(run_ok("def f():\n    return 'abc'[1]\n", vec![]), Value::str("b"));
-        assert_eq!(run_ok("def f():\n    return 'hello'[1:3]\n", vec![]), Value::str("el"));
-        assert_eq!(run_ok("def f():\n    return 'ell' in 'hello'\n", vec![]), Value::Bool(true));
+        assert_eq!(
+            run_ok("def f():\n    return 'ab' * 3\n", vec![]),
+            Value::str("ababab")
+        );
+        assert_eq!(
+            run_ok("def f():\n    return 'abc'[1]\n", vec![]),
+            Value::str("b")
+        );
+        assert_eq!(
+            run_ok("def f():\n    return 'hello'[1:3]\n", vec![]),
+            Value::str("el")
+        );
+        assert_eq!(
+            run_ok("def f():\n    return 'ell' in 'hello'\n", vec![]),
+            Value::Bool(true)
+        );
     }
 
     #[test]
     fn recursion_fib() {
-        let src = "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n";
+        let src =
+            "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n";
         assert_eq!(run_ok(src, vec![Value::Int(10)]), Value::Int(55));
     }
 
@@ -827,9 +926,17 @@ mod tests {
     fn step_budget_stops_infinite_loop() {
         let prog = Program::compile("def f():\n    while True:\n        pass\n").unwrap();
         let mut host = CapturingHost::default();
-        let limits = Limits { max_steps: 10_000, ..Default::default() };
+        let limits = Limits {
+            max_steps: 10_000,
+            ..Default::default()
+        };
         let e = prog
-            .call_entry(vec![], &Value::map([] as [(&str, Value); 0]), &mut host, limits)
+            .call_entry(
+                vec![],
+                &Value::map([] as [(&str, Value); 0]),
+                &mut host,
+                limits,
+            )
             .unwrap_err();
         assert_eq!(e.kind, "TimeoutError");
     }
@@ -880,7 +987,12 @@ mod tests {
         let prog = Program::compile("def f(a):\n    return a\n").unwrap();
         let mut host = CapturingHost::default();
         let e = prog
-            .call_entry(vec![], &Value::map([("zz", Value::Int(1))]), &mut host, Limits::default())
+            .call_entry(
+                vec![],
+                &Value::map([("zz", Value::Int(1))]),
+                &mut host,
+                Limits::default(),
+            )
             .unwrap_err();
         assert!(e.msg.contains("unexpected keyword"));
         let e = prog
@@ -923,7 +1035,8 @@ mod tests {
     fn print_captured_by_host() {
         let prog = Program::compile("def f():\n    print('hello', 42)\n    return None\n").unwrap();
         let mut host = CapturingHost::default();
-        prog.call_entry(vec![], &Value::None, &mut host, Limits::default()).unwrap();
+        prog.call_entry(vec![], &Value::None, &mut host, Limits::default())
+            .unwrap();
         assert_eq!(host.stdout, vec!["hello 42"]);
     }
 
@@ -932,7 +1045,12 @@ mod tests {
         let prog = Program::compile("def f(t):\n    sleep(t)\n    return 'done'\n").unwrap();
         let mut host = CapturingHost::default();
         let r = prog
-            .call_entry(vec![Value::Float(1.25)], &Value::None, &mut host, Limits::default())
+            .call_entry(
+                vec![Value::Float(1.25)],
+                &Value::None,
+                &mut host,
+                Limits::default(),
+            )
             .unwrap();
         assert_eq!(r, Value::str("done"));
         assert_eq!(host.slept, 1.25);
@@ -941,8 +1059,14 @@ mod tests {
     #[test]
     fn short_circuit_semantics() {
         // Python returns the operand, not a bool.
-        assert_eq!(run_ok("def f():\n    return 0 or 'default'\n", vec![]), Value::str("default"));
-        assert_eq!(run_ok("def f():\n    return 1 and 2\n", vec![]), Value::Int(2));
+        assert_eq!(
+            run_ok("def f():\n    return 0 or 'default'\n", vec![]),
+            Value::str("default")
+        );
+        assert_eq!(
+            run_ok("def f():\n    return 1 and 2\n", vec![]),
+            Value::Int(2)
+        );
         // RHS must not evaluate when short-circuited.
         assert_eq!(
             run_ok("def f():\n    return False and missing\n", vec![]),
@@ -962,18 +1086,31 @@ mod tests {
         let src = "def f(s):\n    n = 0\n    for c in s:\n        n += 1\n    return n\n";
         assert_eq!(run_ok(src, vec![Value::str("abc")]), Value::Int(3));
         let src = "def f():\n    d = {'a': 1, 'b': 2}\n    keys = []\n    for k in d:\n        keys.append(k)\n    return keys\n";
-        assert_eq!(run_ok(src, vec![]), Value::List(vec![Value::str("a"), Value::str("b")]));
+        assert_eq!(
+            run_ok(src, vec![]),
+            Value::List(vec![Value::str("a"), Value::str("b")])
+        );
     }
 
     #[test]
     fn mixed_numeric_equality() {
-        assert_eq!(run_ok("def f():\n    return 1 == 1.0\n", vec![]), Value::Bool(true));
-        assert_eq!(run_ok("def f():\n    return 1 != 2.0\n", vec![]), Value::Bool(true));
+        assert_eq!(
+            run_ok("def f():\n    return 1 == 1.0\n", vec![]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run_ok("def f():\n    return 1 != 2.0\n", vec![]),
+            Value::Bool(true)
+        );
     }
 
     #[test]
     fn nested_def_rejected_at_runtime() {
-        let e = run("def f():\n    def g():\n        pass\n    return 1\n", vec![]).unwrap_err();
+        let e = run(
+            "def f():\n    def g():\n        pass\n    return 1\n",
+            vec![],
+        )
+        .unwrap_err();
         assert_eq!(e.kind, "SyntaxError");
     }
 
@@ -1012,6 +1149,7 @@ mod unpacking_tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)]
     fn for_unpacks_enumerate() {
         let src = "def f(xs):\n    total = 0\n    for i, x in enumerate(xs):\n        total += i * x\n    return total\n";
         let xs: Value = vec![10i64, 20, 30].into();
@@ -1030,7 +1168,11 @@ mod unpacking_tests {
     fn unpack_arity_mismatch_errors() {
         let src = "def f():\n    for a, b, c in [[1, 2]]:\n        pass\n    return 0\n";
         let err = Program::eval(src, vec![]).unwrap_err();
-        assert!(err.to_string().contains("cannot unpack 2 values into 3 targets"), "{err}");
+        assert!(
+            err.to_string()
+                .contains("cannot unpack 2 values into 3 targets"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1042,7 +1184,8 @@ mod unpacking_tests {
 
     #[test]
     fn duplicate_loop_vars_rejected_at_parse() {
-        let err = Program::compile("def f():\n    for a, a in [[1, 2]]:\n        pass\n").unwrap_err();
+        let err =
+            Program::compile("def f():\n    for a, a in [[1, 2]]:\n        pass\n").unwrap_err();
         assert!(err.to_string().contains("duplicate loop variable"), "{err}");
     }
 }

@@ -56,7 +56,7 @@ pub enum Tok {
     Slash,
     DoubleSlash,
     Percent,
-    Eq,        // =
+    Eq, // =
     PlusEq,
     MinusEq,
     StarEq,
@@ -118,16 +118,24 @@ pub fn lex(source: &str) -> Result<Vec<Token>, String> {
         if paren_depth == 0 {
             let indent = raw.len() - trimmed.len();
             if raw[..indent].contains('\t') {
-                return Err(format!("line {line_number}: tabs are not allowed in indentation"));
+                return Err(format!(
+                    "line {line_number}: tabs are not allowed in indentation"
+                ));
             }
             let current = *indents.last().unwrap();
             if indent > current {
                 indents.push(indent);
-                tokens.push(Token { kind: Tok::Indent, line: line_number });
+                tokens.push(Token {
+                    kind: Tok::Indent,
+                    line: line_number,
+                });
             } else if indent < current {
                 while *indents.last().unwrap() > indent {
                     indents.pop();
-                    tokens.push(Token { kind: Tok::Dedent, line: line_number });
+                    tokens.push(Token {
+                        kind: Tok::Dedent,
+                        line: line_number,
+                    });
                 }
                 if *indents.last().unwrap() != indent {
                     return Err(format!("line {line_number}: inconsistent dedent"));
@@ -201,9 +209,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, String> {
                                     ))
                                 }
                                 None => {
-                                    return Err(format!(
-                                        "line {line_number}: unterminated string"
-                                    ))
+                                    return Err(format!("line {line_number}: unterminated string"))
                                 }
                             },
                             c2 if c2 == quote => {
@@ -216,7 +222,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, String> {
                     if !closed {
                         return Err(format!("line {line_number}: unterminated string"));
                     }
-                    tokens.push(Token { kind: Tok::Str(s), line: line_number });
+                    tokens.push(Token {
+                        kind: Tok::Str(s),
+                        line: line_number,
+                    });
                     produced_any = true;
                 }
                 c if c.is_ascii_digit() => {
@@ -255,7 +264,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, String> {
                                 .map_err(|e| format!("line {line_number}: bad int: {e}"))?,
                         )
                     };
-                    tokens.push(Token { kind, line: line_number });
+                    tokens.push(Token {
+                        kind,
+                        line: line_number,
+                    });
                     produced_any = true;
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
@@ -291,7 +303,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, String> {
                         "raise" => Tok::Raise,
                         _ => Tok::Name(word.to_string()),
                     };
-                    tokens.push(Token { kind, line: line_number });
+                    tokens.push(Token {
+                        kind,
+                        line: line_number,
+                    });
                     produced_any = true;
                 }
                 _ => {
@@ -374,17 +389,25 @@ pub fn lex(source: &str) -> Result<Vec<Token>, String> {
                         ':' => Tok::Colon,
                         '.' => Tok::Dot,
                         other => {
-                            return Err(format!("line {line_number}: unexpected character '{other}'"))
+                            return Err(format!(
+                                "line {line_number}: unexpected character '{other}'"
+                            ))
                         }
                     };
-                    tokens.push(Token { kind, line: line_number });
+                    tokens.push(Token {
+                        kind,
+                        line: line_number,
+                    });
                     produced_any = true;
                 }
             }
         }
 
         if paren_depth == 0 && produced_any {
-            tokens.push(Token { kind: Tok::Newline, line: line_number });
+            tokens.push(Token {
+                kind: Tok::Newline,
+                line: line_number,
+            });
         }
     }
 
@@ -394,9 +417,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>, String> {
     let last_line = lines.len();
     while indents.len() > 1 {
         indents.pop();
-        tokens.push(Token { kind: Tok::Dedent, line: last_line });
+        tokens.push(Token {
+            kind: Tok::Dedent,
+            line: last_line,
+        });
     }
-    tokens.push(Token { kind: Tok::EndOfFile, line: last_line });
+    tokens.push(Token {
+        kind: Tok::EndOfFile,
+        line: last_line,
+    });
     Ok(tokens)
 }
 
@@ -454,7 +483,13 @@ mod tests {
     fn trailing_comment_stripped() {
         assert_eq!(
             kinds("x = 1  # set x\n"),
-            vec![Tok::Name("x".into()), Tok::Eq, Tok::Int(1), Tok::Newline, Tok::EndOfFile]
+            vec![
+                Tok::Name("x".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::EndOfFile
+            ]
         );
     }
 
@@ -476,7 +511,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("1 2.5 10\n")[..3], [Tok::Int(1), Tok::Float(2.5), Tok::Int(10)]);
+        assert_eq!(
+            kinds("1 2.5 10\n")[..3],
+            [Tok::Int(1), Tok::Float(2.5), Tok::Int(10)]
+        );
     }
 
     #[test]
@@ -529,7 +567,10 @@ mod tests {
         assert!(lex("\tx = 1\n").is_err());
         assert!(lex("x = (1\n").is_err());
         assert!(lex("x = 1)\n").is_err());
-        assert!(lex("def f():\n    a = 1\n  b = 2\n").is_err(), "inconsistent dedent");
+        assert!(
+            lex("def f():\n    a = 1\n  b = 2\n").is_err(),
+            "inconsistent dedent"
+        );
         assert!(lex("x = ! y\n").is_err());
     }
 

@@ -56,7 +56,10 @@ impl Program {
     pub fn compile(source: &str) -> GcxResult<Self> {
         let tokens = lexer::lex(source).map_err(GcxError::Parse)?;
         let module = parser::parse(tokens).map_err(GcxError::Parse)?;
-        Ok(Self { module, source: source.to_string() })
+        Ok(Self {
+            module,
+            source: source.to_string(),
+        })
     }
 
     /// The original source text.
@@ -112,7 +115,12 @@ impl Program {
     pub fn eval(source: &str, args: Vec<Value>) -> GcxResult<Value> {
         let prog = Self::compile(source)?;
         let mut host = CapturingHost::default();
-        prog.call_entry(args, &Value::map([] as [(&str, Value); 0]), &mut host, Limits::default())
-            .map_err(|e| GcxError::Execution(e.to_string()))
+        prog.call_entry(
+            args,
+            &Value::map([] as [(&str, Value); 0]),
+            &mut host,
+            Limits::default(),
+        )
+        .map_err(|e| GcxError::Execution(e.to_string()))
     }
 }

@@ -55,7 +55,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -90,7 +92,10 @@ impl Parser {
     fn name(&mut self, ctx: &str) -> Result<String, String> {
         match self.bump() {
             Tok::Name(n) => Ok(n),
-            other => Err(format!("line {}: expected name in {ctx}, found {other}", self.line())),
+            other => Err(format!(
+                "line {}: expected name in {ctx}, found {other}",
+                self.line()
+            )),
         }
     }
 
@@ -146,9 +151,15 @@ impl Parser {
                     None
                 };
                 if params.iter().any(|p: &Param| p.name == pname) {
-                    return Err(format!("line {}: duplicate parameter '{pname}'", self.line()));
+                    return Err(format!(
+                        "line {}: duplicate parameter '{pname}'",
+                        self.line()
+                    ));
                 }
-                params.push(Param { name: pname, default });
+                params.push(Param {
+                    name: pname,
+                    default,
+                });
                 if !self.eat(&Tok::Comma) {
                     break;
                 }
@@ -193,7 +204,10 @@ impl Parser {
         while self.eat(&Tok::Comma) {
             let v = self.name("for target")?;
             if vars.contains(&v) {
-                return Err(format!("line {}: duplicate loop variable '{v}'", self.line()));
+                return Err(format!(
+                    "line {}: duplicate loop variable '{v}'",
+                    self.line()
+                ));
             }
             vars.push(v);
         }
@@ -201,7 +215,11 @@ impl Parser {
         let iterable = self.expr()?;
         self.expect(&Tok::Colon, "for")?;
         let body = self.block("for body")?;
-        Ok(Stmt::For { vars, iterable, body })
+        Ok(Stmt::For {
+            vars,
+            iterable,
+            body,
+        })
     }
 
     fn simple_stmt(&mut self) -> Result<Stmt, String> {
@@ -237,7 +255,10 @@ impl Parser {
                     Tok::Eq => {
                         self.bump();
                         let value = self.expr()?;
-                        Ok(Stmt::Assign { target: to_target(expr, self.line())?, value })
+                        Ok(Stmt::Assign {
+                            target: to_target(expr, self.line())?,
+                            value,
+                        })
                     }
                     Tok::PlusEq | Tok::MinusEq | Tok::StarEq | Tok::SlashEq => {
                         let op = match self.bump() {
@@ -248,7 +269,11 @@ impl Parser {
                             _ => unreachable!(),
                         };
                         let value = self.expr()?;
-                        Ok(Stmt::AugAssign { target: to_target(expr, self.line())?, op, value })
+                        Ok(Stmt::AugAssign {
+                            target: to_target(expr, self.line())?,
+                            op,
+                            value,
+                        })
                     }
                     _ => Ok(Stmt::Expr(expr)),
                 }
@@ -279,7 +304,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat(&Tok::Or) {
             let rhs = self.and_expr()?;
-            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -288,7 +317,11 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat(&Tok::And) {
             let rhs = self.not_expr()?;
-            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -296,7 +329,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr, String> {
         if self.eat(&Tok::Not) {
             let operand = self.not_expr()?;
-            return Ok(Expr::Un { op: UnOp::Not, operand: Box::new(operand) });
+            return Ok(Expr::Un {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+            });
         }
         self.comparison()
     }
@@ -320,7 +356,11 @@ impl Parser {
                 self.bump(); // the `in`
             }
             let rhs = self.arith()?;
-            return Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+            return Ok(Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
         }
         Ok(lhs)
     }
@@ -335,7 +375,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.term()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -352,7 +396,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.factor()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -360,7 +408,10 @@ impl Parser {
     fn factor(&mut self) -> Result<Expr, String> {
         if self.eat(&Tok::Minus) {
             let operand = self.factor()?;
-            return Ok(Expr::Un { op: UnOp::Neg, operand: Box::new(operand) });
+            return Ok(Expr::Un {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+            });
         }
         if self.eat(&Tok::Plus) {
             return self.factor();
@@ -373,7 +424,11 @@ impl Parser {
         if self.eat(&Tok::DoubleStar) {
             // Right-associative.
             let exp = self.factor()?;
-            return Ok(Expr::Bin { op: BinOp::Pow, lhs: Box::new(base), rhs: Box::new(exp) });
+            return Ok(Expr::Bin {
+                op: BinOp::Pow,
+                lhs: Box::new(base),
+                rhs: Box::new(exp),
+            });
         }
         Ok(base)
     }
@@ -412,13 +467,19 @@ impl Parser {
                             Some(Box::new(self.expr()?))
                         };
                         self.expect(&Tok::RBracket, "slice")?;
-                        e = Expr::Slice { base: Box::new(e), lo, hi };
+                        e = Expr::Slice {
+                            base: Box::new(e),
+                            lo,
+                            hi,
+                        };
                     } else {
                         self.expect(&Tok::RBracket, "index")?;
-                        let index = lo.ok_or_else(|| {
-                            format!("line {}: empty index", self.line())
-                        })?;
-                        e = Expr::Index { base: Box::new(e), index };
+                        let index =
+                            lo.ok_or_else(|| format!("line {}: empty index", self.line()))?;
+                        e = Expr::Index {
+                            base: Box::new(e),
+                            index,
+                        };
                     }
                 }
                 Tok::Dot => {
@@ -432,7 +493,11 @@ impl Parser {
                             self.line()
                         ));
                     }
-                    e = Expr::MethodCall { recv: Box::new(e), method, args };
+                    e = Expr::MethodCall {
+                        recv: Box::new(e),
+                        method,
+                        args,
+                    };
                 }
                 _ => break,
             }
@@ -535,7 +600,10 @@ type ParsedArgs = (Vec<Expr>, Vec<(String, Expr)>);
 fn to_target(e: Expr, line: usize) -> Result<AssignTarget, String> {
     match e {
         Expr::Name(n) => Ok(AssignTarget::Name(n)),
-        Expr::Index { base, index } => Ok(AssignTarget::Index { base: *base, index: *index }),
+        Expr::Index { base, index } => Ok(AssignTarget::Index {
+            base: *base,
+            index: *index,
+        }),
         _ => Err(format!("line {line}: invalid assignment target")),
     }
 }
@@ -576,8 +644,12 @@ mod tests {
         let m = parse_src(
             "def f(x):\n    if x == 1:\n        return 'a'\n    elif x == 2:\n        return 'b'\n    else:\n        return 'c'\n",
         );
-        let Stmt::Def { body, .. } = &m.stmts[0] else { panic!() };
-        let Stmt::If { orelse, .. } = &body[0] else { panic!() };
+        let Stmt::Def { body, .. } = &m.stmts[0] else {
+            panic!()
+        };
+        let Stmt::If { orelse, .. } = &body[0] else {
+            panic!()
+        };
         assert_eq!(orelse.len(), 1);
         assert!(matches!(&orelse[0], Stmt::If { .. }));
     }
@@ -585,16 +657,27 @@ mod tests {
     #[test]
     fn operator_precedence() {
         let m = parse_src("x = 1 + 2 * 3\n");
-        let Stmt::Assign { value, .. } = &m.stmts[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &m.stmts[0] else {
+            panic!()
+        };
         // Should parse as 1 + (2 * 3).
-        let Expr::Bin { op: BinOp::Add, rhs, .. } = value else { panic!("{value:?}") };
+        let Expr::Bin {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
+            panic!("{value:?}")
+        };
         assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
     }
 
     #[test]
     fn power_is_right_associative_and_binds_tighter() {
         let m = parse_src("x = -2 ** 2\n");
-        let Stmt::Assign { value, .. } = &m.stmts[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &m.stmts[0] else {
+            panic!()
+        };
         // Python: -(2 ** 2).
         assert!(matches!(value, Expr::Un { op: UnOp::Neg, .. }));
     }
@@ -602,24 +685,40 @@ mod tests {
     #[test]
     fn comparison_and_bool_ops() {
         let m = parse_src("x = a < b and c or not d\n");
-        let Stmt::Assign { value, .. } = &m.stmts[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &m.stmts[0] else {
+            panic!()
+        };
         assert!(matches!(value, Expr::Bin { op: BinOp::Or, .. }));
     }
 
     #[test]
     fn membership_operators() {
         let m = parse_src("x = 1 in xs\ny = 2 not in xs\n");
-        let Stmt::Assign { value, .. } = &m.stmts[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &m.stmts[0] else {
+            panic!()
+        };
         assert!(matches!(value, Expr::Bin { op: BinOp::In, .. }));
-        let Stmt::Assign { value, .. } = &m.stmts[1] else { panic!() };
-        assert!(matches!(value, Expr::Bin { op: BinOp::NotIn, .. }));
+        let Stmt::Assign { value, .. } = &m.stmts[1] else {
+            panic!()
+        };
+        assert!(matches!(
+            value,
+            Expr::Bin {
+                op: BinOp::NotIn,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn calls_with_kwargs() {
         let m = parse_src("r = f(1, 2, mode='fast')\n");
-        let Stmt::Assign { value, .. } = &m.stmts[0] else { panic!() };
-        let Expr::Call { func, args, kwargs } = value else { panic!() };
+        let Stmt::Assign { value, .. } = &m.stmts[0] else {
+            panic!()
+        };
+        let Expr::Call { func, args, kwargs } = value else {
+            panic!()
+        };
         assert_eq!(func, "f");
         assert_eq!(args.len(), 2);
         assert_eq!(kwargs[0].0, "mode");
@@ -628,8 +727,12 @@ mod tests {
     #[test]
     fn method_calls_chain() {
         let m = parse_src("s = 'a b'.split(' ').pop()\n");
-        let Stmt::Assign { value, .. } = &m.stmts[0] else { panic!() };
-        let Expr::MethodCall { method, recv, .. } = value else { panic!() };
+        let Stmt::Assign { value, .. } = &m.stmts[0] else {
+            panic!()
+        };
+        let Expr::MethodCall { method, recv, .. } = value else {
+            panic!()
+        };
         assert_eq!(method, "pop");
         assert!(matches!(**recv, Expr::MethodCall { .. }));
     }
@@ -637,8 +740,20 @@ mod tests {
     #[test]
     fn index_and_slice() {
         let m = parse_src("a = xs[0]\nb = xs[1:3]\nc = xs[:2]\nd = xs[2:]\n");
-        assert!(matches!(&m.stmts[0], Stmt::Assign { value: Expr::Index { .. }, .. }));
-        assert!(matches!(&m.stmts[1], Stmt::Assign { value: Expr::Slice { .. }, .. }));
+        assert!(matches!(
+            &m.stmts[0],
+            Stmt::Assign {
+                value: Expr::Index { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &m.stmts[1],
+            Stmt::Assign {
+                value: Expr::Slice { .. },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -646,14 +761,20 @@ mod tests {
         let m = parse_src("d['k'] = 5\n");
         assert!(matches!(
             &m.stmts[0],
-            Stmt::Assign { target: AssignTarget::Index { .. }, .. }
+            Stmt::Assign {
+                target: AssignTarget::Index { .. },
+                ..
+            }
         ));
     }
 
     #[test]
     fn augmented_assignment() {
         let m = parse_src("x += 1\n");
-        assert!(matches!(&m.stmts[0], Stmt::AugAssign { op: BinOp::Add, .. }));
+        assert!(matches!(
+            &m.stmts[0],
+            Stmt::AugAssign { op: BinOp::Add, .. }
+        ));
     }
 
     #[test]
@@ -666,7 +787,13 @@ mod tests {
     #[test]
     fn ternary_expression() {
         let m = parse_src("x = 'big' if n > 3 else 'small'\n");
-        assert!(matches!(&m.stmts[0], Stmt::Assign { value: Expr::IfExp { .. }, .. }));
+        assert!(matches!(
+            &m.stmts[0],
+            Stmt::Assign {
+                value: Expr::IfExp { .. },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -674,7 +801,9 @@ mod tests {
         let m = parse_src(
             "def f(xs):\n    total = 0\n    for x in xs:\n        if x < 0:\n            continue\n        total += x\n    while total > 100:\n        total -= 10\n        break\n    return total\n",
         );
-        let Stmt::Def { body, .. } = &m.stmts[0] else { panic!() };
+        let Stmt::Def { body, .. } = &m.stmts[0] else {
+            panic!()
+        };
         assert!(matches!(body[1], Stmt::For { .. }));
         assert!(matches!(body[2], Stmt::While { .. }));
     }
@@ -695,7 +824,10 @@ mod tests {
         assert!(parse_err("1 + = 2\n").contains("unexpected"));
         assert!(parse_err("(1 + 2) = 3\n").contains("invalid assignment target"));
         assert!(parse_err("if 1:\n    pass\nelse:\n").contains("else"));
-        assert!(parse_err("x = xs[]\n").contains("empty index") || parse_err("x = xs[]\n").contains("unexpected"));
+        assert!(
+            parse_err("x = xs[]\n").contains("empty index")
+                || parse_err("x = xs[]\n").contains("unexpected")
+        );
     }
 
     #[test]
@@ -712,7 +844,13 @@ mod tests {
     #[test]
     fn multiline_call() {
         let m = parse_src("x = f(1,\n      2,\n      3)\n");
-        let Stmt::Assign { value: Expr::Call { args, .. }, .. } = &m.stmts[0] else { panic!() };
+        let Stmt::Assign {
+            value: Expr::Call { args, .. },
+            ..
+        } = &m.stmts[0]
+        else {
+            panic!()
+        };
         assert_eq!(args.len(), 3);
     }
 }

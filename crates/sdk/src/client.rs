@@ -91,8 +91,11 @@ impl Client {
         let mut done: std::collections::HashMap<TaskId, GcxResult<Value>> =
             std::collections::HashMap::new();
         while done.len() < tasks.len() {
-            let remaining: Vec<TaskId> =
-                tasks.iter().filter(|t| !done.contains_key(t)).copied().collect();
+            let remaining: Vec<TaskId> = tasks
+                .iter()
+                .filter(|t| !done.contains_key(t))
+                .copied()
+                .collect();
             for (id, state, result) in self.cloud.task_status_batch(&self.token, &remaining)? {
                 if state.is_terminal() {
                     let outcome = result
@@ -179,7 +182,9 @@ mod tests {
         let fid = client
             .register_function(&PyFunction::new("def f(x):\n    return x + 1\n"))
             .unwrap();
-        let task = client.run(fid, ep, vec![Value::Int(9)], Value::None).unwrap();
+        let task = client
+            .run(fid, ep, vec![Value::Int(9)], Value::None)
+            .unwrap();
         let v = client
             .get_result(task, Duration::from_millis(5), Duration::from_secs(10))
             .unwrap();
@@ -217,7 +222,9 @@ mod tests {
         let reg = svc
             .register_endpoint(client.token(), "offline", false, AuthPolicy::open(), None)
             .unwrap();
-        let task = client.run(fid, reg.endpoint_id, vec![], Value::None).unwrap();
+        let task = client
+            .run(fid, reg.endpoint_id, vec![], Value::None)
+            .unwrap();
         let err = client
             .get_result(task, Duration::from_millis(5), Duration::from_millis(50))
             .unwrap_err();

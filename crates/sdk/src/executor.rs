@@ -18,6 +18,14 @@
 //!   [`ExecutorConfig::max_batch`]) into single `submit_batch` calls;
 //! - a result-stream thread consuming the user's AMQPS stream queue and
 //!   resolving futures as results arrive — zero polling.
+//!
+//! The executor is also the client half of the recovery story: if the result
+//! stream breaks it reconnects under [`ExecutorConfig::retry`] backoff and
+//! catches up on results it missed via one batched status call, and tasks
+//! that come back with *retryable* failures (endpoint died, delivery budget
+//! exhausted in transit) are transparently resubmitted under a fresh task id
+//! until the client-side retry budget runs out, at which point the future
+//! resolves with [`GcxError::RetriesExhausted`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,6 +39,7 @@ use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
 use gcx_core::ids::{EndpointId, FunctionId, TaskId};
 use gcx_core::respec::ResourceSpec;
+use gcx_core::retry::RetryPolicy;
 use gcx_core::task::{TaskResult, TaskSpec};
 use gcx_core::value::Value;
 use parking_lot::Mutex;
@@ -45,27 +54,47 @@ pub struct ExecutorConfig {
     pub batch_window: Duration,
     /// Flush immediately once this many submissions are pending.
     pub max_batch: usize,
+    /// Client-side retry budget, shared by two recovery paths: resubmission
+    /// of tasks that fail with retryable errors, and reconnection of the
+    /// result stream after a broker failure.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        Self { batch_window: Duration::from_millis(20), max_batch: 128 }
+        Self {
+            batch_window: Duration::from_millis(20),
+            max_batch: 128,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
 struct PendingSubmit {
     spec: TaskSpec,
-    future: TaskFuture,
     enqueued_at: Instant,
+}
+
+/// A submitted task the stream thread is still waiting on. The spec is kept
+/// so a retryable failure can be resubmitted without involving the caller.
+struct Inflight {
+    future: TaskFuture,
+    spec: TaskSpec,
+    /// Submissions so far (1 = the original submit).
+    attempts: u32,
 }
 
 struct ExecutorShared {
     cloud: WebService,
     token: Token,
-    /// Futures awaiting results, keyed by task id.
-    inflight: Mutex<HashMap<TaskId, TaskFuture>>,
+    /// Futures awaiting results, keyed by the task id of the *latest*
+    /// submission attempt.
+    inflight: Mutex<HashMap<TaskId, Inflight>>,
     /// Submissions not yet flushed.
     pending: Mutex<Vec<PendingSubmit>>,
+    /// Resubmissions serving out their backoff; the batcher promotes each to
+    /// `pending` once its instant arrives.
+    delayed: Mutex<Vec<(Instant, PendingSubmit)>>,
     /// Content-hash → registered function id (on-the-fly dedup).
     registered: Mutex<HashMap<u64, FunctionId>>,
     shutdown: AtomicBool,
@@ -106,12 +135,14 @@ impl Executor {
             token,
             inflight: Mutex::new(HashMap::new()),
             pending: Mutex::new(Vec::new()),
+            delayed: Mutex::new(Vec::new()),
             registered: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
         });
 
         let batcher = {
             let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name("gcx-executor-batcher".into())
                 .spawn(move || batcher_loop(&shared, cfg))
@@ -119,9 +150,10 @@ impl Executor {
         };
         let streamer = {
             let shared = Arc::clone(&shared);
+            let retry = cfg.retry.clone();
             std::thread::Builder::new()
                 .name("gcx-executor-stream".into())
-                .spawn(move || stream_loop(&shared, stream))
+                .spawn(move || stream_loop(&shared, &retry, stream))
                 .map_err(|e| GcxError::Internal(format!("spawn streamer: {e}")))?
         };
 
@@ -171,11 +203,18 @@ impl Executor {
         spec.user_endpoint_config = self.user_endpoint_config.lock().clone();
 
         let future = TaskFuture::pending(spec.task_id);
-        self.shared.inflight.lock().insert(spec.task_id, future.clone());
-        self.shared
-            .pending
-            .lock()
-            .push(PendingSubmit { spec, future: future.clone(), enqueued_at: Instant::now() });
+        self.shared.inflight.lock().insert(
+            spec.task_id,
+            Inflight {
+                future: future.clone(),
+                spec: spec.clone(),
+                attempts: 1,
+            },
+        );
+        self.shared.pending.lock().push(PendingSubmit {
+            spec,
+            enqueued_at: Instant::now(),
+        });
         Ok(future)
     }
 
@@ -185,7 +224,10 @@ impl Executor {
         if let Some(id) = self.shared.registered.lock().get(&hash) {
             return Ok(*id);
         }
-        let id = self.shared.cloud.register_function(&self.shared.token, body)?;
+        let id = self
+            .shared
+            .cloud
+            .register_function(&self.shared.token, body)?;
         self.shared.registered.lock().insert(hash, id);
         Ok(id)
     }
@@ -253,6 +295,22 @@ impl Drop for Executor {
 fn batcher_loop(shared: &ExecutorShared, cfg: ExecutorConfig) {
     loop {
         let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        // Promote resubmissions whose backoff has elapsed (all of them at
+        // shutdown, so nothing is stranded in the delay queue).
+        {
+            let now = Instant::now();
+            let mut delayed = shared.delayed.lock();
+            let mut i = 0;
+            while i < delayed.len() {
+                if shutting_down || delayed[i].0 <= now {
+                    let (_, mut p) = delayed.swap_remove(i);
+                    p.enqueued_at = now;
+                    shared.pending.lock().push(p);
+                } else {
+                    i += 1;
+                }
+            }
+        }
         let flush: Vec<PendingSubmit> = {
             let mut pending = shared.pending.lock();
             let should_flush = !pending.is_empty()
@@ -274,11 +332,10 @@ fn batcher_loop(shared: &ExecutorShared, cfg: ExecutorConfig) {
             match shared.cloud.submit_batch(&shared.token, specs) {
                 Ok(_) => {}
                 Err(e) => {
-                    // The whole batch was rejected: fail its futures.
-                    let mut inflight = shared.inflight.lock();
+                    // The whole batch was rejected: fail (or, for retryable
+                    // rejections, resubmit) each task.
                     for p in &flush {
-                        inflight.remove(&p.spec.task_id);
-                        p.future.resolve(Err(e.clone()));
+                        fail_or_retry(shared, &cfg.retry, p.spec.task_id, e.clone());
                     }
                 }
             }
@@ -290,7 +347,11 @@ fn batcher_loop(shared: &ExecutorShared, cfg: ExecutorConfig) {
     }
 }
 
-fn stream_loop(shared: &ExecutorShared, stream: gcx_cloud::service::ResultStream) {
+fn stream_loop(
+    shared: &ExecutorShared,
+    retry: &RetryPolicy,
+    mut stream: gcx_cloud::service::ResultStream,
+) {
     loop {
         match stream.consumer.next(Duration::from_millis(25)) {
             Ok(Some(delivery)) => {
@@ -300,11 +361,14 @@ fn stream_loop(shared: &ExecutorShared, stream: gcx_cloud::service::ResultStream
                         .and_then(Value::as_str)
                         .and_then(|s| s.parse::<TaskId>().ok())
                     {
-                        let future = shared.inflight.lock().remove(&task_id);
-                        if let (Some(future), Some(result_v)) = (future, envelope.get("result")) {
+                        if let Some(result_v) = envelope.get("result") {
                             match TaskResult::from_value(result_v) {
-                                Ok(result) => future.resolve(result.into_result()),
-                                Err(e) => future.resolve(Err(e)),
+                                Ok(result) => complete_task(shared, retry, task_id, result),
+                                Err(e) => {
+                                    if let Some(inf) = shared.inflight.lock().remove(&task_id) {
+                                        inf.future.resolve(Err(e));
+                                    }
+                                }
                             }
                         }
                     }
@@ -320,9 +384,134 @@ fn stream_loop(shared: &ExecutorShared, stream: gcx_cloud::service::ResultStream
                     return;
                 }
             }
-            Err(_) => return,
+            Err(_) => match reconnect_stream(shared, retry) {
+                Some(s) => stream = s,
+                None => return,
+            },
         }
     }
+}
+
+/// The result stream broke (broker restart, queue deleted). Reopen it under
+/// the retry policy's backoff, then catch up on any results that were
+/// published while we were disconnected with one batched status call.
+/// Returns `None` once the budget is exhausted (all inflight futures are
+/// failed first) or at shutdown.
+fn reconnect_stream(
+    shared: &ExecutorShared,
+    retry: &RetryPolicy,
+) -> Option<gcx_cloud::service::ResultStream> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        if !retry.allows(attempt) {
+            let err = GcxError::RetriesExhausted {
+                attempts: attempt,
+                last: "result stream disconnected".into(),
+            };
+            let mut inflight = shared.inflight.lock();
+            for (_, inf) in inflight.drain() {
+                inf.future.resolve(Err(err.clone()));
+            }
+            return None;
+        }
+        std::thread::sleep(retry.backoff(attempt));
+        if shared.shutdown.load(Ordering::SeqCst) && shared.inflight.lock().is_empty() {
+            return None;
+        }
+        match shared.cloud.open_result_stream(&shared.token) {
+            Ok(stream) => {
+                shared
+                    .cloud
+                    .metrics()
+                    .counter("sdk.stream_reconnects")
+                    .inc();
+                catch_up(shared, retry);
+                return Some(stream);
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+/// After a reconnect, resolve (or resubmit) every inflight task that reached
+/// a terminal state while the stream was down — its result went to the dead
+/// queue and will never be streamed again.
+fn catch_up(shared: &ExecutorShared, retry: &RetryPolicy) {
+    let ids: Vec<TaskId> = shared.inflight.lock().keys().copied().collect();
+    if ids.is_empty() {
+        return;
+    }
+    if let Ok(statuses) = shared.cloud.task_status_batch(&shared.token, &ids) {
+        for (task_id, state, result) in statuses {
+            if state.is_terminal() {
+                if let Some(result) = result {
+                    complete_task(shared, retry, task_id, result);
+                }
+            }
+        }
+    }
+}
+
+/// A terminal result arrived for `task_id`: resolve the future, unless the
+/// result is a *retryable* failure and the retry budget still allows a
+/// resubmission.
+fn complete_task(
+    shared: &ExecutorShared,
+    retry: &RetryPolicy,
+    task_id: TaskId,
+    result: TaskResult,
+) {
+    match result.into_result() {
+        Err(e) if e.is_retryable() => fail_or_retry(shared, retry, task_id, e),
+        outcome => {
+            if let Some(inf) = shared.inflight.lock().remove(&task_id) {
+                inf.future.resolve(outcome);
+            }
+        }
+    }
+}
+
+/// `task_id` failed with `err`. If the error is retryable and the budget
+/// allows another attempt, resubmit the task under a fresh id after the
+/// policy's backoff; otherwise resolve the future — with
+/// [`GcxError::RetriesExhausted`] when retries ran out, or the error itself
+/// when it is fatal.
+fn fail_or_retry(shared: &ExecutorShared, retry: &RetryPolicy, task_id: TaskId, err: GcxError) {
+    let Some(mut inf) = shared.inflight.lock().remove(&task_id) else {
+        return;
+    };
+    if !err.is_retryable() {
+        inf.future.resolve(Err(err));
+        return;
+    }
+    if !retry.allows(inf.attempts) || shared.shutdown.load(Ordering::SeqCst) {
+        inf.future.resolve(Err(GcxError::RetriesExhausted {
+            attempts: inf.attempts,
+            last: err.to_string(),
+        }));
+        return;
+    }
+    // Resubmit under a fresh task id: the old id's record is terminal on the
+    // cloud side, so reusing it would let straggler duplicate deliveries of
+    // the failed attempt race the new one.
+    let backoff = retry.backoff(inf.attempts);
+    inf.attempts += 1;
+    inf.spec.task_id = TaskId::random();
+    shared
+        .cloud
+        .metrics()
+        .counter("sdk.tasks_resubmitted")
+        .inc();
+    let pending = PendingSubmit {
+        spec: inf.spec.clone(),
+        enqueued_at: Instant::now(),
+    };
+    shared.inflight.lock().insert(inf.spec.task_id, inf);
+    shared
+        .delayed
+        .lock()
+        .push((Instant::now() + backoff, pending));
 }
 
 #[cfg(test)]
@@ -356,7 +545,12 @@ mod tests {
                 AgentEnv::local(SystemClock::shared()),
             )
             .unwrap();
-            Self { svc, token, ep: reg.endpoint_id, agent: Some(agent) }
+            Self {
+                svc,
+                token,
+                ep: reg.endpoint_id,
+                agent: Some(agent),
+            }
         }
 
         fn executor(&self) -> Executor {
@@ -379,7 +573,10 @@ mod tests {
         let ex = stack.executor();
         let some_task = PyFunction::new("def some_task():\n    return 1\n");
         let fut = ex.submit(&some_task, vec![], Value::None).unwrap();
-        assert_eq!(fut.result_timeout(Duration::from_secs(10)).unwrap(), Value::Int(1));
+        assert_eq!(
+            fut.result_timeout(Duration::from_secs(10)).unwrap(),
+            Value::Int(1)
+        );
         ex.close();
     }
 
@@ -425,7 +622,11 @@ mod tests {
             stack.svc.clone(),
             stack.token.clone(),
             stack.ep,
-            ExecutorConfig { batch_window: Duration::from_millis(50), max_batch: 1000 },
+            ExecutorConfig {
+                batch_window: Duration::from_millis(50),
+                max_batch: 1000,
+                ..ExecutorConfig::default()
+            },
         )
         .unwrap();
         let f = PyFunction::new("def f(x):\n    return x\n");
@@ -476,8 +677,7 @@ mod tests {
 
     #[test]
     fn listing6_mpifunction_with_resource_spec() {
-        let stack =
-            Stack::new("engine:\n  type: GlobusMPIEngine\n  nodes_per_block: 4\n");
+        let stack = Stack::new("engine:\n  type: GlobusMPIEngine\n  nodes_per_block: 4\n");
         let ex = stack.executor();
         let func = MpiFunction::new("hostname");
         for n in 1..=2u32 {
@@ -509,8 +709,8 @@ mod tests {
         let stack = Stack::new("engine:\n  type: GlobusComputeEngine\n");
         // Executor pointed at a nonexistent endpoint: the whole batch is
         // rejected and every future resolves with the error.
-        let ex = Executor::new(stack.svc.clone(), stack.token.clone(), EndpointId::random())
-            .unwrap();
+        let ex =
+            Executor::new(stack.svc.clone(), stack.token.clone(), EndpointId::random()).unwrap();
         let f = PyFunction::new("def f():\n    return 1\n");
         let fut = ex.submit(&f, vec![], Value::None).unwrap();
         let err = fut.result_timeout(Duration::from_secs(5)).unwrap_err();
@@ -528,13 +728,108 @@ mod tests {
     }
 
     #[test]
+    fn retryable_failures_resubmit_until_budget_exhausted() {
+        let svc = WebService::with_defaults(SystemClock::shared());
+        let (_, token) = svc.auth().login("user@site.org").unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        // A hostile endpoint that nacks every delivery: the broker
+        // dead-letters each task once its delivery budget is spent and the
+        // cloud fails it with a retryable error, driving the executor's
+        // resubmission path end to end.
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let nacker = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    if let Ok(Some((_, tag))) = session.next_task(Duration::from_millis(5)) {
+                        let _ = session.nack_task(tag);
+                    }
+                }
+            })
+        };
+        let ex = Executor::with_config(
+            svc.clone(),
+            token.clone(),
+            reg.endpoint_id,
+            ExecutorConfig {
+                retry: RetryPolicy::fixed(3, 5),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let f = PyFunction::new("def f():\n    return 1\n");
+        let fut = ex.submit(&f, vec![], Value::None).unwrap();
+        let err = fut.result_timeout(Duration::from_secs(15)).unwrap_err();
+        assert!(
+            matches!(err, GcxError::RetriesExhausted { attempts: 3, .. }),
+            "expected RetriesExhausted after 3 attempts, got {err:?}"
+        );
+        assert_eq!(
+            svc.metrics().counter("sdk.tasks_resubmitted").get(),
+            2,
+            "a 3-attempt budget means exactly 2 resubmissions"
+        );
+        stop.store(true, Ordering::SeqCst);
+        nacker.join().unwrap();
+        ex.close();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn stream_reconnects_and_catches_up_after_queue_loss() {
+        let stack = Stack::new("engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n");
+        let ex = Executor::with_config(
+            stack.svc.clone(),
+            stack.token.clone(),
+            stack.ep,
+            ExecutorConfig {
+                retry: RetryPolicy::fixed(5, 10),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let slow = PyFunction::new("def f():\n    sleep(0.05)\n    return 11\n");
+        let fut = ex.submit(&slow, vec![], Value::None).unwrap();
+        // Sever the AMQPS stream out from under the executor while the task
+        // is still running; the result lands while we are disconnected and
+        // must be recovered by the post-reconnect catch-up poll (or by the
+        // fresh stream, depending on timing — both are correct).
+        let stream_queue = stack
+            .svc
+            .broker()
+            .queue_names()
+            .into_iter()
+            .find(|n| n.starts_with("stream."))
+            .expect("executor holds a stream queue");
+        stack.svc.broker().delete_queue(&stream_queue).unwrap();
+        assert_eq!(
+            fut.result_timeout(Duration::from_secs(10)).unwrap(),
+            Value::Int(11)
+        );
+        assert!(
+            stack.svc.metrics().counter("sdk.stream_reconnects").get() >= 1,
+            "the executor must have reconnected its result stream"
+        );
+        assert_eq!(ex.inflight(), 0);
+        ex.close();
+    }
+
+    #[test]
     fn no_polling_happens_on_the_streaming_path() {
         let stack = Stack::new("engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n");
         let ex = stack.executor();
         stack.svc.metrics().reset_counters();
         let f = PyFunction::new("def f():\n    return 7\n");
         let fut = ex.submit(&f, vec![], Value::None).unwrap();
-        assert_eq!(fut.result_timeout(Duration::from_secs(10)).unwrap(), Value::Int(7));
+        assert_eq!(
+            fut.result_timeout(Duration::from_secs(10)).unwrap(),
+            Value::Int(7)
+        );
         assert_eq!(
             stack.svc.metrics().counter("cloud.status_polls").get(),
             0,

@@ -19,7 +19,9 @@ pub struct PyFunction {
 impl PyFunction {
     /// Wrap mini-Python source; the first `def` is the entry point.
     pub fn new(source: impl Into<String>) -> Self {
-        Self { source: source.into() }
+        Self {
+            source: source.into(),
+        }
     }
 }
 
@@ -42,7 +44,11 @@ pub struct ShellFunction {
 impl ShellFunction {
     /// A shell function from a command template.
     pub fn new(cmd: impl Into<String>) -> Self {
-        Self { cmd: cmd.into(), walltime_ms: None, snippet_lines: DEFAULT_SNIPPET_LINES }
+        Self {
+            cmd: cmd.into(),
+            walltime_ms: None,
+            snippet_lines: DEFAULT_SNIPPET_LINES,
+        }
     }
 
     /// Listing 3: maximum run duration in seconds; exceeding it terminates
@@ -88,7 +94,11 @@ pub struct MpiFunction {
 impl MpiFunction {
     /// An MPI function from an application command template.
     pub fn new(cmd: impl Into<String>) -> Self {
-        Self { cmd: cmd.into(), walltime_ms: None, snippet_lines: DEFAULT_SNIPPET_LINES }
+        Self {
+            cmd: cmd.into(),
+            walltime_ms: None,
+            snippet_lines: DEFAULT_SNIPPET_LINES,
+        }
     }
 
     /// Maximum run duration in seconds.
@@ -126,8 +136,17 @@ mod tests {
 
     #[test]
     fn shellfunction_builder() {
-        let f = ShellFunction::new("sleep 2").with_walltime(1.0).with_snippet_lines(10);
-        let FunctionBody::Shell { cmd, walltime_ms, snippet_lines } = f.body() else { panic!() };
+        let f = ShellFunction::new("sleep 2")
+            .with_walltime(1.0)
+            .with_snippet_lines(10);
+        let FunctionBody::Shell {
+            cmd,
+            walltime_ms,
+            snippet_lines,
+        } = f.body()
+        else {
+            panic!()
+        };
         assert_eq!(cmd, "sleep 2");
         assert_eq!(walltime_ms, Some(1000));
         assert_eq!(snippet_lines, 10);
@@ -136,8 +155,11 @@ mod tests {
 
     #[test]
     fn default_snippet_is_1000_lines() {
-        let FunctionBody::Shell { snippet_lines, walltime_ms, .. } =
-            ShellFunction::new("x").body()
+        let FunctionBody::Shell {
+            snippet_lines,
+            walltime_ms,
+            ..
+        } = ShellFunction::new("x").body()
         else {
             panic!()
         };
@@ -148,7 +170,12 @@ mod tests {
     #[test]
     fn mpifunction_body() {
         let f = MpiFunction::new("hostname").with_walltime(2.5);
-        let FunctionBody::Mpi { cmd, walltime_ms, .. } = f.body() else { panic!() };
+        let FunctionBody::Mpi {
+            cmd, walltime_ms, ..
+        } = f.body()
+        else {
+            panic!()
+        };
         assert_eq!(cmd, "hostname");
         assert_eq!(walltime_ms, Some(2500));
         assert!(f.body().requires_mpi());

@@ -38,7 +38,10 @@ impl TaskFuture {
         Self {
             inner: Arc::new(Inner {
                 task_id,
-                state: Mutex::new(State { outcome: None, callbacks: Vec::new() }),
+                state: Mutex::new(State {
+                    outcome: None,
+                    callbacks: Vec::new(),
+                }),
                 cond: Condvar::new(),
             }),
         }
@@ -118,7 +121,12 @@ impl TaskFuture {
 
 impl std::fmt::Debug for TaskFuture {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "TaskFuture({}, done={})", self.inner.task_id, self.done())
+        write!(
+            f,
+            "TaskFuture({}, done={})",
+            self.inner.task_id,
+            self.done()
+        )
     }
 }
 
@@ -180,7 +188,12 @@ mod tests {
     #[test]
     fn shell_result_decoding() {
         let f = TaskFuture::pending(TaskId::random());
-        let sr = ShellResult { returncode: 0, stdout: "x\n".into(), stderr: String::new(), cmd: "echo x".into() };
+        let sr = ShellResult {
+            returncode: 0,
+            stdout: "x\n".into(),
+            stderr: String::new(),
+            cmd: "echo x".into(),
+        };
         f.resolve(Ok(sr.to_value()));
         assert_eq!(f.shell_result().unwrap(), sr);
 

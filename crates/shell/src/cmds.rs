@@ -45,11 +45,23 @@ pub struct CmdOut {
 
 impl CmdOut {
     fn ok(stdout: impl Into<String>) -> Self {
-        Self { code: 0, stdout: stdout.into(), stderr: String::new(), hard_exit: false, timed_out: false }
+        Self {
+            code: 0,
+            stdout: stdout.into(),
+            stderr: String::new(),
+            hard_exit: false,
+            timed_out: false,
+        }
     }
 
     fn fail(code: i32, stderr: impl Into<String>) -> Self {
-        Self { code, stdout: String::new(), stderr: stderr.into(), hard_exit: false, timed_out: false }
+        Self {
+            code,
+            stdout: String::new(),
+            stderr: stderr.into(),
+            hard_exit: false,
+            timed_out: false,
+        }
     }
 
     fn timeout() -> Self {
@@ -90,7 +102,11 @@ pub fn run(argv: &[String], ctx: &CmdCtx<'_>) -> CmdOut {
             CmdOut::ok(out)
         }
         "hostname" => {
-            let host = ctx.env.get("HOSTNAME").cloned().unwrap_or_else(|| "localhost".into());
+            let host = ctx
+                .env
+                .get("HOSTNAME")
+                .cloned()
+                .unwrap_or_else(|| "localhost".into());
             CmdOut::ok(format!("{host}\n"))
         }
         "exit" => {
@@ -98,7 +114,13 @@ pub fn run(argv: &[String], ctx: &CmdCtx<'_>) -> CmdOut {
                 .first()
                 .and_then(|a| a.parse::<i32>().ok())
                 .unwrap_or(0);
-            CmdOut { code, stdout: String::new(), stderr: String::new(), hard_exit: true, timed_out: false }
+            CmdOut {
+                code,
+                stdout: String::new(),
+                stderr: String::new(),
+                hard_exit: true,
+                timed_out: false,
+            }
         }
         "sleep" => {
             let Some(secs) = args.first().and_then(|a| a.parse::<f64>().ok()) else {
@@ -190,7 +212,12 @@ pub fn run(argv: &[String], ctx: &CmdCtx<'_>) -> CmdOut {
                 CmdOut::ok(format!("{}\n", text.lines().count()))
             } else {
                 let words: usize = text.split_whitespace().count();
-                CmdOut::ok(format!("{} {} {}\n", text.lines().count(), words, bytes.len()))
+                CmdOut::ok(format!(
+                    "{} {} {}\n",
+                    text.lines().count(),
+                    words,
+                    bytes.len()
+                ))
             }
         }
         "head" | "tail" => {
@@ -215,7 +242,11 @@ pub fn run(argv: &[String], ctx: &CmdCtx<'_>) -> CmdOut {
             let selected: Vec<&str> = if name == "head" {
                 lines.iter().take(n).copied().collect()
             } else {
-                lines.iter().skip(lines.len().saturating_sub(n)).copied().collect()
+                lines
+                    .iter()
+                    .skip(lines.len().saturating_sub(n))
+                    .copied()
+                    .collect()
             };
             let mut out = selected.join("\n");
             if !out.is_empty() {
@@ -294,7 +325,14 @@ mod tests {
         env: &'a BTreeMap<String, String>,
         stdin: &'a str,
     ) -> CmdCtx<'a> {
-        CmdCtx { vfs, clock, env, cwd: "/", stdin, deadline: None }
+        CmdCtx {
+            vfs,
+            clock,
+            env,
+            cwd: "/",
+            stdin,
+            deadline: None,
+        }
     }
 
     fn run_cmd(argv: &[&str], stdin: &str) -> CmdOut {
@@ -307,7 +345,10 @@ mod tests {
 
     #[test]
     fn echo_variants() {
-        assert_eq!(run_cmd(&["echo", "hello", "world"], "").stdout, "hello world\n");
+        assert_eq!(
+            run_cmd(&["echo", "hello", "world"], "").stdout,
+            "hello world\n"
+        );
         assert_eq!(run_cmd(&["echo", "-n", "x"], "").stdout, "x");
         assert_eq!(run_cmd(&["echo"], "").stdout, "\n");
     }
@@ -336,9 +377,18 @@ mod tests {
         let clock: SharedClock = SystemClock::shared();
         let env = BTreeMap::new();
         let c = ctx(&vfs, &clock, &env, "");
-        assert_eq!(run(&["cat".into(), "/data.txt".into()], &c).stdout, "alpha\nbeta\ngamma\n");
-        assert_eq!(run(&["grep".into(), "am".into(), "/data.txt".into()], &c).stdout, "gamma\n");
-        assert_eq!(run(&["wc".into(), "-l".into(), "/data.txt".into()], &c).stdout, "3\n");
+        assert_eq!(
+            run(&["cat".into(), "/data.txt".into()], &c).stdout,
+            "alpha\nbeta\ngamma\n"
+        );
+        assert_eq!(
+            run(&["grep".into(), "am".into(), "/data.txt".into()], &c).stdout,
+            "gamma\n"
+        );
+        assert_eq!(
+            run(&["wc".into(), "-l".into(), "/data.txt".into()], &c).stdout,
+            "3\n"
+        );
 
         assert_eq!(run_cmd(&["cat"], "piped").stdout, "piped");
         assert_eq!(run_cmd(&["grep", "b"], "a\nb\n").stdout, "b\n");

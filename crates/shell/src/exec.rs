@@ -80,7 +80,9 @@ impl ShellExecutor {
         walltime_ms: Option<u64>,
     ) -> GcxResult<ExecOutcome> {
         if !self.vfs.is_dir(cwd) {
-            return Err(GcxError::Execution(format!("no such working directory: '{cwd}'")));
+            return Err(GcxError::Execution(format!(
+                "no such working directory: '{cwd}'"
+            )));
         }
         let deadline: Option<TimeMs> = walltime_ms.map(|w| self.clock.now_ms().saturating_add(w));
 
@@ -142,14 +144,19 @@ impl ShellExecutor {
                     }
                 }
                 skip_until_op = match op_after {
-                    Some(ShTok::AndIf) => Some(true),  // next runs only on success
-                    Some(ShTok::OrIf) => Some(false),  // next runs only on failure
+                    Some(ShTok::AndIf) => Some(true), // next runs only on success
+                    Some(ShTok::OrIf) => Some(false), // next runs only on failure
                     _ => None,
                 };
             }
         }
 
-        Ok(ExecOutcome { returncode: last_code, stdout: stdout_acc, stderr: stderr_acc, timed_out: false })
+        Ok(ExecOutcome {
+            returncode: last_code,
+            stdout: stdout_acc,
+            stderr: stderr_acc,
+            timed_out: false,
+        })
     }
 
     fn run_pipeline(
@@ -251,14 +258,20 @@ fn parse_simple(tokens: &[ShTok]) -> GcxResult<Simple> {
                 _ => return Err(GcxError::Parse("redirect requires a source".into())),
             },
             other => {
-                return Err(GcxError::Parse(format!("unexpected token {other:?} in command")))
+                return Err(GcxError::Parse(format!(
+                    "unexpected token {other:?} in command"
+                )))
             }
         }
     }
     if argv.is_empty() {
         return Err(GcxError::Parse("empty command".into()));
     }
-    Ok(Simple { argv, redirect_out, redirect_in })
+    Ok(Simple {
+        argv,
+        redirect_out,
+        redirect_in,
+    })
 }
 
 #[cfg(test)]
@@ -283,7 +296,9 @@ mod tests {
 
     #[test]
     fn pipelines() {
-        let out = shell().run("seq 10 | grep 1 | wc -l", &env(), "/", None).unwrap();
+        let out = shell()
+            .run("seq 10 | grep 1 | wc -l", &env(), "/", None)
+            .unwrap();
         assert_eq!(out.stdout, "2\n"); // 1 and 10
         let out = shell().run("echo 'a b c' | wc", &env(), "/", None).unwrap();
         assert_eq!(out.stdout, "1 3 6\n");
@@ -298,9 +313,13 @@ mod tests {
         let out = shell().run("false && echo no", &env(), "/", None).unwrap();
         assert_eq!(out.stdout, "");
         assert_eq!(out.returncode, 1);
-        let out = shell().run("false || echo fallback", &env(), "/", None).unwrap();
+        let out = shell()
+            .run("false || echo fallback", &env(), "/", None)
+            .unwrap();
         assert_eq!(out.stdout, "fallback\n");
-        let out = shell().run("true || echo skipped; echo always", &env(), "/", None).unwrap();
+        let out = shell()
+            .run("true || echo skipped; echo always", &env(), "/", None)
+            .unwrap();
         assert_eq!(out.stdout, "always\n");
     }
 
@@ -309,7 +328,10 @@ mod tests {
         let sh = shell();
         sh.run("echo line1 > /out.txt", &env(), "/", None).unwrap();
         sh.run("echo line2 >> /out.txt", &env(), "/", None).unwrap();
-        assert_eq!(sh.vfs().read_to_string("/out.txt").unwrap(), "line1\nline2\n");
+        assert_eq!(
+            sh.vfs().read_to_string("/out.txt").unwrap(),
+            "line1\nline2\n"
+        );
         let out = sh.run("wc -l < /out.txt", &env(), "/", None).unwrap();
         assert_eq!(out.stdout, "2\n");
         // Redirected output does not appear on stdout.
@@ -321,7 +343,8 @@ mod tests {
     fn cwd_resolution() {
         let sh = shell();
         sh.vfs().mkdir_p("/work").unwrap();
-        sh.run("echo data > rel.txt", &env(), "/work", None).unwrap();
+        sh.run("echo data > rel.txt", &env(), "/work", None)
+            .unwrap();
         assert!(sh.vfs().exists("/work/rel.txt"));
         let out = sh.run("cat rel.txt", &env(), "/work", None).unwrap();
         assert_eq!(out.stdout, "data\n");
@@ -341,14 +364,18 @@ mod tests {
 
     #[test]
     fn exit_stops_line() {
-        let out = shell().run("echo a; exit 3; echo b", &env(), "/", None).unwrap();
+        let out = shell()
+            .run("echo a; exit 3; echo b", &env(), "/", None)
+            .unwrap();
         assert_eq!(out.stdout, "a\n");
         assert_eq!(out.returncode, 3);
     }
 
     #[test]
     fn stderr_captured_separately() {
-        let out = shell().run("cat /missing; echo ok", &env(), "/", None).unwrap();
+        let out = shell()
+            .run("cat /missing; echo ok", &env(), "/", None)
+            .unwrap();
         assert!(out.stderr.contains("no such file"));
         assert_eq!(out.stdout, "ok\n");
     }
@@ -360,7 +387,10 @@ mod tests {
         let sh = ShellExecutor::new(Vfs::new(), clock.clone());
         let h = {
             let sh = sh.clone();
-            std::thread::spawn(move || sh.run("sleep 2", &BTreeMap::new(), "/", Some(1_000)).unwrap())
+            std::thread::spawn(move || {
+                sh.run("sleep 2", &BTreeMap::new(), "/", Some(1_000))
+                    .unwrap()
+            })
         };
         clock.wait_for_sleepers(1);
         clock.advance(1_000);
@@ -376,8 +406,13 @@ mod tests {
         let h = {
             let sh = sh.clone();
             std::thread::spawn(move || {
-                sh.run("echo started; sleep 5; echo done", &BTreeMap::new(), "/", Some(2_000))
-                    .unwrap()
+                sh.run(
+                    "echo started; sleep 5; echo done",
+                    &BTreeMap::new(),
+                    "/",
+                    Some(2_000),
+                )
+                .unwrap()
             })
         };
         clock.wait_for_sleepers(1);
@@ -399,14 +434,18 @@ mod tests {
     fn parse_errors_surface() {
         assert!(shell().run("echo >", &env(), "/", None).is_err());
         assert!(shell().run("| echo", &env(), "/", None).is_err());
-        assert!(shell().run("echo 'unterminated", &env(), "/", None).is_err());
+        assert!(shell()
+            .run("echo 'unterminated", &env(), "/", None)
+            .is_err());
     }
 
     #[test]
     fn multi_stage_pipeline_with_files() {
         let sh = shell();
         sh.run("seq 100 > /nums.txt", &env(), "/", None).unwrap();
-        let out = sh.run("cat /nums.txt | grep 9 | wc -l", &env(), "/", None).unwrap();
+        let out = sh
+            .run("cat /nums.txt | grep 9 | wc -l", &env(), "/", None)
+            .unwrap();
         // 9, 19, …, 89, 90-99 → 19 lines containing '9'.
         assert_eq!(out.stdout, "19\n");
     }

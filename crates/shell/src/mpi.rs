@@ -40,7 +40,9 @@ impl LauncherKind {
             "mpiexec" | "mpirun" => Ok(LauncherKind::Mpiexec),
             "srun" => Ok(LauncherKind::Srun),
             "aprun" => Ok(LauncherKind::Aprun),
-            other => Err(GcxError::InvalidConfig(format!("unknown mpi_launcher '{other}'"))),
+            other => Err(GcxError::InvalidConfig(format!(
+                "unknown mpi_launcher '{other}'"
+            ))),
         }
     }
 }
@@ -144,7 +146,12 @@ impl MpiLauncher {
         if timed_out {
             code = WALLTIME_RETURNCODE;
         }
-        Ok(ExecOutcome { returncode: code, stdout, stderr, timed_out })
+        Ok(ExecOutcome {
+            returncode: code,
+            stdout,
+            stderr,
+            timed_out,
+        })
     }
 }
 
@@ -179,7 +186,10 @@ mod tests {
     #[test]
     fn launcher_kind_parse() {
         assert_eq!(LauncherKind::parse("srun").unwrap(), LauncherKind::Srun);
-        assert_eq!(LauncherKind::parse("mpiexec").unwrap(), LauncherKind::Mpiexec);
+        assert_eq!(
+            LauncherKind::parse("mpiexec").unwrap(),
+            LauncherKind::Mpiexec
+        );
         assert!(LauncherKind::parse("qsub").is_err());
     }
 
@@ -203,7 +213,13 @@ mod tests {
         let l = launcher();
         let p = plan(&["n1", "n2"], 4, LauncherKind::Srun);
         let out = l
-            .run(&p, "echo rank=$RANK of $SIZE on $HOSTNAME", &BTreeMap::new(), "/", None)
+            .run(
+                &p,
+                "echo rank=$RANK of $SIZE on $HOSTNAME",
+                &BTreeMap::new(),
+                "/",
+                None,
+            )
             .unwrap();
         assert_eq!(
             out.stdout,
@@ -228,7 +244,8 @@ mod tests {
         let l = MpiLauncher::new(ShellExecutor::new(Vfs::new(), clock.clone()));
         let p = plan(&["n1", "n2"], 2, LauncherKind::Mpiexec);
         let h = std::thread::spawn(move || {
-            l.run(&p, "sleep 10", &BTreeMap::new(), "/", Some(1_000)).unwrap()
+            l.run(&p, "sleep 10", &BTreeMap::new(), "/", Some(1_000))
+                .unwrap()
         });
         clock.wait_for_sleepers(2);
         clock.advance(1_000);
@@ -242,7 +259,14 @@ mod tests {
         let vfs = Vfs::new();
         let l = MpiLauncher::new(ShellExecutor::new(vfs.clone(), SystemClock::shared()));
         let p = plan(&["n1", "n2", "n3"], 3, LauncherKind::Mpiexec);
-        l.run(&p, "echo $HOSTNAME >> /ranks.log", &BTreeMap::new(), "/", None).unwrap();
+        l.run(
+            &p,
+            "echo $HOSTNAME >> /ranks.log",
+            &BTreeMap::new(),
+            "/",
+            None,
+        )
+        .unwrap();
         let text = vfs.read_to_string("/ranks.log").unwrap();
         assert_eq!(text.lines().count(), 3);
     }
@@ -261,7 +285,13 @@ mod tests {
         let l = launcher();
         let p = plan(&["n1"], 1, LauncherKind::Mpiexec);
         let out = l
-            .run(&p, "echo \"$PARSL_MPI_PREFIX\"", &BTreeMap::new(), "/", None)
+            .run(
+                &p,
+                "echo \"$PARSL_MPI_PREFIX\"",
+                &BTreeMap::new(),
+                "/",
+                None,
+            )
             .unwrap();
         assert_eq!(out.stdout, "mpiexec -n 1 -host n1\n");
     }

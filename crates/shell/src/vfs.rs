@@ -154,7 +154,10 @@ impl Vfs {
 
     /// Is the path a directory?
     pub fn is_dir(&self, path: &str) -> bool {
-        matches!(self.inner.read().get(&normalize(path, "/")), Some(Node::Dir))
+        matches!(
+            self.inner.read().get(&normalize(path, "/")),
+            Some(Node::Dir)
+        )
     }
 
     /// File size in bytes.
@@ -169,7 +172,11 @@ impl Vfs {
         if !matches!(tree.get(&path), Some(Node::Dir)) {
             return Err(GcxError::Execution(format!("no such directory: '{path}'")));
         }
-        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
         Ok(tree
             .keys()
             .filter(|k| k.starts_with(&prefix) && *k != &path)
@@ -192,7 +199,9 @@ impl Vfs {
         }
         let mut tree = self.inner.write();
         if !tree.contains_key(&path) {
-            return Err(GcxError::Execution(format!("no such file or directory: '{path}'")));
+            return Err(GcxError::Execution(format!(
+                "no such file or directory: '{path}'"
+            )));
         }
         let prefix = format!("{path}/");
         tree.retain(|k, _| k != &path && !k.starts_with(&prefix));
@@ -237,7 +246,10 @@ mod tests {
         let fs = Vfs::new();
         assert!(fs.write("/missing/file", b"x").is_err());
         fs.write("/rootfile", b"x").unwrap();
-        assert!(fs.write("/rootfile/child", b"x").is_err(), "file is not a directory");
+        assert!(
+            fs.write("/rootfile/child", b"x").is_err(),
+            "file is not a directory"
+        );
     }
 
     #[test]

@@ -273,7 +273,10 @@ mod tests {
     fn listing2_formatting() {
         // ShellFunction("echo '{message}'") formatted with message kwargs.
         let kw = Value::map([("message", Value::str("hello"))]);
-        assert_eq!(format_command("echo '{message}'", &kw).unwrap(), "echo 'hello'");
+        assert_eq!(
+            format_command("echo '{message}'", &kw).unwrap(),
+            "echo 'hello'"
+        );
     }
 
     #[test]
@@ -288,7 +291,10 @@ mod tests {
     #[test]
     fn format_escaped_braces() {
         let kw = Value::map([("x", Value::Int(1))]);
-        assert_eq!(format_command("awk '{{print}}' {x}", &kw).unwrap(), "awk '{print}' 1");
+        assert_eq!(
+            format_command("awk '{{print}}' {x}", &kw).unwrap(),
+            "awk '{print}' 1"
+        );
     }
 
     #[test]
@@ -302,7 +308,10 @@ mod tests {
 
     #[test]
     fn format_no_placeholders_passthrough() {
-        assert_eq!(format_command("hostname", &Value::None).unwrap(), "hostname");
+        assert_eq!(
+            format_command("hostname", &Value::None).unwrap(),
+            "hostname"
+        );
     }
 
     #[test]
@@ -375,7 +384,11 @@ mod tests {
         assert_eq!(expand_vars("hello $USER", &env), "hello alice");
         assert_eq!(expand_vars("n=${N}x", &env), "n=4x");
         assert_eq!(expand_vars("$MISSING!", &env), "!");
-        assert_eq!(expand_vars("'$USER'", &env), "'$USER'", "single quotes are literal");
+        assert_eq!(
+            expand_vars("'$USER'", &env),
+            "'$USER'",
+            "single quotes are literal"
+        );
         assert_eq!(expand_vars("cost $", &env), "cost $");
         assert_eq!(expand_vars("${unterminated", &env), "${unterminated");
     }

@@ -111,10 +111,13 @@ impl TransferService {
     /// Globus Connect on a resource).
     pub fn register_endpoint(&self, name: &str, vfs: Vfs, root: &str) -> GcxResult<()> {
         vfs.mkdir_p(root)?;
-        self.inner
-            .endpoints
-            .write()
-            .insert(name.to_string(), TransferEndpoint { vfs, root: root.to_string() });
+        self.inner.endpoints.write().insert(
+            name.to_string(),
+            TransferEndpoint {
+                vfs,
+                root: root.to_string(),
+            },
+        );
         Ok(())
     }
 
@@ -123,7 +126,11 @@ impl TransferService {
         let ep = endpoints
             .get(endpoint)
             .ok_or_else(|| GcxError::Internal(format!("no transfer endpoint '{endpoint}'")))?;
-        let full = format!("{}/{}", ep.root.trim_end_matches('/'), path.trim_start_matches('/'));
+        let full = format!(
+            "{}/{}",
+            ep.root.trim_end_matches('/'),
+            path.trim_start_matches('/')
+        );
         Ok((ep.vfs.clone(), full))
     }
 
@@ -142,7 +149,11 @@ impl TransferService {
 
         let id = TransferId::random();
         let record = Arc::new(Mutex::new(TransferRecord {
-            status: TransferStatus::Active { bytes_done: 0, bytes_total: total, faults_retried: 0 },
+            status: TransferStatus::Active {
+                bytes_done: 0,
+                bytes_total: total,
+                faults_retried: 0,
+            },
         }));
         self.inner.transfers.write().insert(id, Arc::clone(&record));
 
@@ -241,7 +252,10 @@ fn run_transfer(
             return;
         }
         offset = end;
-        inner.metrics.counter("transfer.bytes_moved").add(chunk.len() as u64);
+        inner
+            .metrics
+            .counter("transfer.bytes_moved")
+            .add(chunk.len() as u64);
         record.lock().status = TransferStatus::Active {
             bytes_done: offset,
             bytes_total: total,
@@ -268,8 +282,10 @@ mod tests {
         );
         let src = Vfs::new();
         let dst = Vfs::new();
-        svc.register_endpoint("aps#clutch", src.clone(), "/data").unwrap();
-        svc.register_endpoint("alcf#theta", dst.clone(), "/projects").unwrap();
+        svc.register_endpoint("aps#clutch", src.clone(), "/data")
+            .unwrap();
+        svc.register_endpoint("alcf#theta", dst.clone(), "/projects")
+            .unwrap();
         (svc, src, dst)
     }
 
@@ -277,25 +293,37 @@ mod tests {
     fn basic_transfer() {
         let (svc, src, dst) = service();
         src.write("/data/scan.h5", &vec![9u8; 100_000]).unwrap();
-        let id = svc.submit("aps#clutch", "scan.h5", "alcf#theta", "run1/scan.h5").unwrap();
+        let id = svc
+            .submit("aps#clutch", "scan.h5", "alcf#theta", "run1/scan.h5")
+            .unwrap();
         let status = svc.wait(id, Duration::from_secs(5)).unwrap();
         assert_eq!(status, TransferStatus::Succeeded);
-        assert_eq!(dst.read("/projects/run1/scan.h5").unwrap(), vec![9u8; 100_000]);
+        assert_eq!(
+            dst.read("/projects/run1/scan.h5").unwrap(),
+            vec![9u8; 100_000]
+        );
     }
 
     #[test]
     fn empty_file_transfers() {
         let (svc, src, dst) = service();
         src.write("/data/empty", b"").unwrap();
-        let id = svc.submit("aps#clutch", "empty", "alcf#theta", "empty").unwrap();
-        assert_eq!(svc.wait(id, Duration::from_secs(5)).unwrap(), TransferStatus::Succeeded);
+        let id = svc
+            .submit("aps#clutch", "empty", "alcf#theta", "empty")
+            .unwrap();
+        assert_eq!(
+            svc.wait(id, Duration::from_secs(5)).unwrap(),
+            TransferStatus::Succeeded
+        );
         assert_eq!(dst.read("/projects/empty").unwrap(), Vec::<u8>::new());
     }
 
     #[test]
     fn missing_source_rejected_at_submit() {
         let (svc, _, _) = service();
-        assert!(svc.submit("aps#clutch", "nope.dat", "alcf#theta", "x").is_err());
+        assert!(svc
+            .submit("aps#clutch", "nope.dat", "alcf#theta", "x")
+            .is_err());
         assert!(svc.submit("ghost#ep", "x", "alcf#theta", "x").is_err());
     }
 
@@ -315,7 +343,11 @@ mod tests {
         src.write("/a/big", &vec![1u8; CHUNK_SIZE * 8]).unwrap();
         let id = svc.submit("a", "big", "b", "big").unwrap();
         let status = svc.wait(id, Duration::from_secs(10)).unwrap();
-        assert_eq!(status, TransferStatus::Succeeded, "retries mask transient faults");
+        assert_eq!(
+            status,
+            TransferStatus::Succeeded,
+            "retries mask transient faults"
+        );
         assert_eq!(dst.read("/b/big").unwrap().len(), CHUNK_SIZE * 8);
     }
 

@@ -17,7 +17,9 @@ use gcx::core::metrics::MetricsRegistry;
 use gcx::core::value::Value;
 use gcx::endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
 use gcx::mq::LinkProfile;
-use gcx::proxystore::{resolve_value, InMemoryStore, ProxyCache, ProxyExecutor, ProxyPolicy, StoreRegistry};
+use gcx::proxystore::{
+    resolve_value, InMemoryStore, ProxyCache, ProxyExecutor, ProxyPolicy, StoreRegistry,
+};
 use gcx::sdk::{Executor, PyFunction, ShellFunction};
 use gcx::shell::Vfs;
 use gcx::transfer::{TransferService, TransferStatus};
@@ -49,8 +51,7 @@ fn main() {
     let cache2 = cache.clone();
     env.arg_transform = Some(Arc::new(move |v: Value| resolve_value(&v, &reg2, &cache2)));
     let agent =
-        EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env)
-            .unwrap();
+        EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env).unwrap();
 
     // Globus Transfer between the facilities (100 Mbps WAN, 20 ms RTT).
     let transfer = TransferService::new(
@@ -58,8 +59,12 @@ fn main() {
         LinkProfile::wan(20, 100),
         MetricsRegistry::new(),
     );
-    transfer.register_endpoint("aps#detector", aps_fs.clone(), "/scans").unwrap();
-    transfer.register_endpoint("alcf#flows", alcf_fs.clone(), "/staging").unwrap();
+    transfer
+        .register_endpoint("aps#detector", aps_fs.clone(), "/scans")
+        .unwrap();
+    transfer
+        .register_endpoint("alcf#flows", alcf_fs.clone(), "/staging")
+        .unwrap();
 
     // ProxyStore for large results back to the client.
     let store = InMemoryStore::new("campaign-store", MetricsRegistry::new());
@@ -71,7 +76,9 @@ fn main() {
     for scan in 0..3 {
         // 1. The instrument writes a scan file at APS (2 MB).
         let raw: Vec<u8> = (0..2_000_000u32).map(|i| (i % 251) as u8).collect();
-        aps_fs.write(&format!("/scans/scan{scan}.raw"), &raw).unwrap();
+        aps_fs
+            .write(&format!("/scans/scan{scan}.raw"), &raw)
+            .unwrap();
 
         // 2. Fire-and-forget transfer APS → ALCF.
         let tid = transfer
@@ -100,7 +107,9 @@ fn main() {
         let analyze = PyFunction::new(
             "def analyze(n):\n    histogram = []\n    for i in range(2048):\n        histogram.append((i * 31 + n) % 251)\n    return {'scan': n, 'histogram': histogram, 'peak': max(histogram)}\n",
         );
-        let fut = pex.submit(&analyze, vec![Value::Int(scan)], Value::None).unwrap();
+        let fut = pex
+            .submit(&analyze, vec![Value::Int(scan)], Value::None)
+            .unwrap();
         let product = pex.result(&fut).unwrap();
         println!(
             "  scan{scan}: analysis peak={} ({} histogram bins)",

@@ -61,9 +61,8 @@ fn main() {
     // The workload: `units` units of compute; each site pays its own
     // per-unit cost (the {speed} kwarg is bound per site at profile time,
     // standing in for real hardware differences).
-    let work = PyFunction::new(
-        "def work(units, speed):\n    sleep(units * speed)\n    return units\n",
-    );
+    let work =
+        PyFunction::new("def work(units, speed):\n    sleep(units * speed)\n    return units\n");
 
     // ---- profiling phase (what Delta does continuously) --------------------
     println!("profiling one 5-unit task per endpoint:");
@@ -97,7 +96,11 @@ fn main() {
             backlog[&ep] / workers + units as f64 * profile[&ep]
         };
         let best = (0..fleet.len())
-            .min_by(|a, b| predict(*a, *units).partial_cmp(&predict(*b, *units)).unwrap())
+            .min_by(|a, b| {
+                predict(*a, *units)
+                    .partial_cmp(&predict(*b, *units))
+                    .unwrap()
+            })
             .unwrap();
         let ep = fleet[best].0;
         *backlog.get_mut(&ep).unwrap() += *units as f64 * profile[&ep];
@@ -124,7 +127,11 @@ fn main() {
 
     // Baseline: everything on the single fastest-profiled endpoint.
     let fastest = (0..fleet.len())
-        .min_by(|a, b| profile[&fleet[*a].0].partial_cmp(&profile[&fleet[*b].0]).unwrap())
+        .min_by(|a, b| {
+            profile[&fleet[*a].0]
+                .partial_cmp(&profile[&fleet[*b].0])
+                .unwrap()
+        })
         .unwrap();
     let (_, fast_name, fast_speed, fast_ex) = &fleet[fastest];
     let started = Instant::now();
@@ -152,7 +159,10 @@ fn main() {
     }
     println!("\nplacements across the fleet:");
     for (name, _, _) in SITES {
-        println!("  {name:>15}: {} tasks", counts.get(name).copied().unwrap_or(0));
+        println!(
+            "  {name:>15}: {} tasks",
+            counts.get(name).copied().unwrap_or(0)
+        );
     }
     println!(
         "\nmakespan: fleet-scheduled {:.2}s vs fastest-site-only {:.2}s ({fast_name})",

@@ -54,8 +54,7 @@ engine:
     let mut env = AgentEnv::local(clock.clone());
     env.scheduler = Some(scheduler);
     let agent =
-        EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env)
-            .unwrap();
+        EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env).unwrap();
 
     let ex = Executor::new(cloud.clone(), token, reg.endpoint_id).unwrap();
 
@@ -85,10 +84,7 @@ engine:
         .iter()
         .map(|(name, nodes, secs)| {
             ex.set_resource_specification(ResourceSpec::nodes(*nodes));
-            let kwargs = Value::map([
-                ("name", Value::str(*name)),
-                ("secs", Value::Float(*secs)),
-            ]);
+            let kwargs = Value::map([("name", Value::str(*name)), ("secs", Value::Float(*secs))]);
             (*name, *nodes, ex.submit(&app, vec![], kwargs).unwrap())
         })
         .collect();

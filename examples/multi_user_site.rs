@@ -66,7 +66,10 @@ fn main() {
                 ),
                 (
                     "ACCOUNT_ID",
-                    Value::map([("type", Value::str("string")), ("pattern", Value::str("[0-9]+"))]),
+                    Value::map([
+                        ("type", Value::str("string")),
+                        ("pattern", Value::str("[0-9]+")),
+                    ]),
                 ),
                 (
                     "WALLTIME",
@@ -77,7 +80,13 @@ fn main() {
                 ),
             ]),
         ),
-        ("required", Value::List(vec![Value::str("NODES_PER_BLOCK"), Value::str("ACCOUNT_ID")])),
+        (
+            "required",
+            Value::List(vec![
+                Value::str("NODES_PER_BLOCK"),
+                Value::str("ACCOUNT_ID"),
+            ]),
+        ),
         ("additionalProperties", Value::Bool(false)),
     ]))
     .unwrap();

@@ -71,7 +71,11 @@ fn main() {
         .collect();
     let fibs: Vec<String> = futures
         .iter()
-        .map(|f| f.result_timeout(Duration::from_secs(30)).unwrap().to_string())
+        .map(|f| {
+            f.result_timeout(Duration::from_secs(30))
+                .unwrap()
+                .to_string()
+        })
         .collect();
     println!("fib(0..16) = [{}]", fibs.join(", "));
 

@@ -1,0 +1,307 @@
+//! Chaos tests: scripted failures injected into the full SDK → cloud →
+//! broker → endpoint stack, checking the recovery machinery end to end.
+//!
+//! The acceptance bar for each scenario is the same: every submitted task
+//! reaches a terminal state (no hangs, no lost tasks) and the SDK observes
+//! each result exactly once (no duplicated side effects).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gcx::auth::{AuthPolicy, AuthService};
+use gcx::cloud::{CloudConfig, WebService};
+use gcx::core::clock::{SharedClock, SystemClock, VirtualClock};
+use gcx::core::error::GcxError;
+use gcx::core::metrics::MetricsRegistry;
+use gcx::core::retry::RetryPolicy;
+use gcx::core::task::TaskResult;
+use gcx::core::value::Value;
+use gcx::endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
+use gcx::mq::{Broker, FaultDirection, FaultPlan, FaultRule, LinkProfile};
+use gcx::sdk::{Executor, ExecutorConfig, PyFunction, TaskFuture};
+
+const ENGINE_YAML: &str = "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n";
+
+fn virtual_service(heartbeat_timeout_ms: u64) -> (Arc<VirtualClock>, WebService) {
+    let vclock = VirtualClock::new();
+    let clock: SharedClock = vclock.clone();
+    let cfg = CloudConfig {
+        heartbeat_timeout_ms,
+        ..CloudConfig::default()
+    };
+    let broker = Broker::with_profile(
+        MetricsRegistry::new(),
+        clock.clone(),
+        LinkProfile::instant(),
+    );
+    let svc = WebService::new(cfg, AuthService::new(clock.clone()), broker, clock);
+    (vclock, svc)
+}
+
+/// Count every resolution the SDK observes; a duplicate delivery that
+/// re-resolved a future would be visible as `resolutions > futures`.
+fn observe(futures: &[TaskFuture]) -> Arc<AtomicUsize> {
+    let resolutions = Arc::new(AtomicUsize::new(0));
+    for f in futures {
+        let r = Arc::clone(&resolutions);
+        f.on_done(move |_| {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    resolutions
+}
+
+/// Assert the SDK observed exactly `expect` resolutions. Completion
+/// callbacks fire just after `result()` waiters wake, so allow a short
+/// settling window before the count is final.
+fn assert_observed_exactly(resolutions: &AtomicUsize, expect: usize) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while resolutions.load(Ordering::SeqCst) < expect && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        resolutions.load(Ordering::SeqCst),
+        expect,
+        "the SDK must observe each result exactly once"
+    );
+}
+
+/// The headline scenario: an endpoint agent dies mid-workload — after
+/// completing some tasks, after publishing-but-not-acking one (the classic
+/// duplicate window), and while holding several deliveries it will never
+/// finish. The liveness monitor declares it offline and requeues its
+/// in-flight tasks; a replacement agent connects and serves the rest. All
+/// timing runs on a virtual clock, so the failure point and the recovery
+/// sweep are deterministic.
+#[test]
+fn killed_agent_mid_workload_tasks_reroute_and_complete() {
+    const TASKS: i64 = 12;
+    let (vclock, svc) = virtual_service(1_000);
+    let (_, token) = svc.auth().login("chaos@test.org").unwrap();
+    let reg = svc
+        .register_endpoint(&token, "doomed", false, AuthPolicy::open(), None)
+        .unwrap();
+
+    let ex = Executor::with_config(
+        svc.clone(),
+        token.clone(),
+        reg.endpoint_id,
+        ExecutorConfig {
+            retry: RetryPolicy::fixed(3, 5),
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    let double = PyFunction::new("def f(x):\n    return x * 2\n");
+    let futures: Vec<TaskFuture> = (0..TASKS)
+        .map(|i| {
+            ex.submit(&double, vec![Value::Int(i)], Value::None)
+                .unwrap()
+        })
+        .collect();
+    let resolutions = observe(&futures);
+
+    // "Agent A": a scripted endpoint session that pulls six deliveries,
+    // finishes two cleanly, publishes a third result but crashes before the
+    // ack, and hangs holding the other three. The session is kept alive —
+    // a hung process does not return its deliveries — so only the liveness
+    // sweep can recover them.
+    let session_a = svc
+        .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+        .unwrap();
+    let mut pulled = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while pulled.len() < 6 {
+        assert!(Instant::now() < deadline, "agent A never saw its 6 tasks");
+        if let Some(d) = session_a.next_task(Duration::from_millis(20)).unwrap() {
+            pulled.push(d);
+        }
+    }
+    let answer = |spec: &gcx::core::task::TaskSpec| {
+        TaskResult::Ok(Value::Int(spec.args[0].as_int().unwrap() * 2))
+    };
+    for (spec, tag) in &pulled[..2] {
+        session_a
+            .publish_result(spec.task_id, &answer(spec))
+            .unwrap();
+        session_a.ack_task(*tag).unwrap();
+    }
+    session_a
+        .publish_result(pulled[2].0.task_id, &answer(&pulled[2].0))
+        .unwrap();
+    // ...and here agent A stops making progress forever.
+
+    // The heartbeat goes stale; the liveness sweep declares the endpoint
+    // offline and requeues its four unacked deliveries.
+    vclock.advance(1_500);
+    assert_eq!(
+        svc.check_liveness(),
+        1,
+        "stale endpoint must be declared offline"
+    );
+    assert_eq!(svc.metrics().counter("cloud.endpoints_offline").get(), 1);
+    assert_eq!(
+        svc.metrics().counter("cloud.retries").get(),
+        4,
+        "3 unprocessed + 1 published-but-unacked deliveries requeue"
+    );
+
+    // "Agent B": a real replacement agent reconnects and serves everything
+    // still queued — the six untouched tasks plus the four requeued ones.
+    let config = EndpointConfig::from_yaml(ENGINE_YAML).unwrap();
+    let agent_b = EndpointAgent::start(
+        &svc,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(vclock.clone()),
+    )
+    .unwrap();
+
+    for (i, f) in futures.iter().enumerate() {
+        assert_eq!(
+            f.result_timeout(Duration::from_secs(20)).unwrap(),
+            Value::Int(i as i64 * 2),
+            "task {i} must complete with the right answer"
+        );
+    }
+    assert_eq!(ex.inflight(), 0);
+    assert_observed_exactly(&resolutions, TASKS as usize);
+    // The published-but-unacked task ran twice; the cloud's idempotent
+    // result processing suppressed the duplicate before the SDK saw it.
+    assert_eq!(
+        svc.metrics()
+            .counter("cloud.duplicate_results_dropped")
+            .get(),
+        1
+    );
+
+    ex.close();
+    agent_b.stop();
+    drop(session_a);
+    svc.shutdown();
+}
+
+/// A seeded fault plan drops task deliveries and duplicates result
+/// publishes while a real agent serves a workload. Dropped deliveries are
+/// redelivered (and dead-lettered tasks resubmitted by the executor);
+/// duplicated results are deduplicated by the cloud. Everything completes,
+/// nothing is observed twice.
+#[test]
+fn workload_completes_under_message_drops_and_duplicates() {
+    const TASKS: i64 = 40;
+    let svc = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = svc.auth().login("faulty@test.org").unwrap();
+    let reg = svc
+        .register_endpoint(&token, "lossy", false, AuthPolicy::open(), None)
+        .unwrap();
+    svc.broker().set_fault_plan(Some(
+        FaultPlan::new(0xC0FFEE)
+            .with_rule(FaultRule::drop("tasks.", FaultDirection::Deliver, 0.15))
+            .with_rule(FaultRule::duplicate("results.", 0.20)),
+    ));
+
+    let config = EndpointConfig::from_yaml(ENGINE_YAML).unwrap();
+    let agent = EndpointAgent::start(
+        &svc,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(SystemClock::shared()),
+    )
+    .unwrap();
+    let ex = Executor::with_config(
+        svc.clone(),
+        token.clone(),
+        reg.endpoint_id,
+        ExecutorConfig {
+            retry: RetryPolicy::fixed(4, 5),
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+
+    let square = PyFunction::new("def f(x):\n    return x * x\n");
+    let futures: Vec<TaskFuture> = (0..TASKS)
+        .map(|i| {
+            ex.submit(&square, vec![Value::Int(i)], Value::None)
+                .unwrap()
+        })
+        .collect();
+    let resolutions = observe(&futures);
+
+    for (i, f) in futures.iter().enumerate() {
+        assert_eq!(
+            f.result_timeout(Duration::from_secs(30)).unwrap(),
+            Value::Int((i * i) as i64),
+            "task {i} must survive the fault plan"
+        );
+    }
+    assert_observed_exactly(&resolutions, TASKS as usize);
+    assert!(
+        svc.metrics().counter("mq.dropped").get() > 0,
+        "the fault plan must actually have dropped deliveries"
+    );
+    assert!(
+        svc.metrics().counter("mq.duplicated").get() > 0,
+        "the fault plan must actually have duplicated results"
+    );
+    ex.close();
+    agent.stop();
+    svc.shutdown();
+}
+
+/// Delivery-budget exhaustion surfaces as a typed, retryable failure — and
+/// once the client-side budget is spent too, as `RetriesExhausted` — rather
+/// than a hang. A nack-everything endpoint guarantees every delivery fails.
+#[test]
+fn poisoned_endpoint_yields_typed_terminal_errors_not_hangs() {
+    let svc = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = svc.auth().login("poison@test.org").unwrap();
+    let reg = svc
+        .register_endpoint(&token, "nacker", false, AuthPolicy::open(), None)
+        .unwrap();
+    let session = svc
+        .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+        .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let nacker = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                if let Ok(Some((_, tag))) = session.next_task(Duration::from_millis(5)) {
+                    let _ = session.nack_task(tag);
+                }
+            }
+        })
+    };
+
+    let ex = Executor::with_config(
+        svc.clone(),
+        token.clone(),
+        reg.endpoint_id,
+        ExecutorConfig {
+            retry: RetryPolicy::fixed(2, 5),
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    let f = PyFunction::new("def f():\n    return 1\n");
+    let futures: Vec<TaskFuture> = (0..3)
+        .map(|_| ex.submit(&f, vec![], Value::None).unwrap())
+        .collect();
+    for fut in &futures {
+        let err = fut.result_timeout(Duration::from_secs(15)).unwrap_err();
+        assert!(
+            matches!(err, GcxError::RetriesExhausted { attempts: 2, .. }),
+            "expected RetriesExhausted, got {err:?}"
+        );
+    }
+    assert!(svc.metrics().counter("cloud.tasks_dead_lettered").get() >= 3);
+    assert_eq!(svc.metrics().counter("sdk.tasks_resubmitted").get(), 3);
+    stop.store(true, Ordering::SeqCst);
+    nacker.join().unwrap();
+    ex.close();
+    svc.shutdown();
+}

@@ -25,7 +25,9 @@ fn cancel_buffered_task_never_executes() {
         .unwrap();
 
     // Submit while the endpoint is offline, then cancel.
-    let task = client.run(fid, reg.endpoint_id, vec![], Value::None).unwrap();
+    let task = client
+        .run(fid, reg.endpoint_id, vec![], Value::None)
+        .unwrap();
     client.cancel(task).unwrap();
     let (state, result) = client.task_status(task).unwrap();
     assert_eq!(state, TaskState::Cancelled);
@@ -44,12 +46,18 @@ fn cancel_buffered_task_never_executes() {
 
     // Submit a sentinel task and wait for it: once it completes we know the
     // agent has drained past the cancelled task.
-    let sentinel = client.run(fid, reg.endpoint_id, vec![], Value::None).unwrap();
+    let sentinel = client
+        .run(fid, reg.endpoint_id, vec![], Value::None)
+        .unwrap();
     client
         .get_result(sentinel, Duration::from_millis(5), Duration::from_secs(10))
         .unwrap();
     let (state, _) = client.task_status(task).unwrap();
-    assert_eq!(state, TaskState::Cancelled, "cancelled task stays cancelled");
+    assert_eq!(
+        state,
+        TaskState::Cancelled,
+        "cancelled task stays cancelled"
+    );
     // The engine executed exactly one task (the sentinel): the cancelled one
     // was acked without dispatch, visible via the dispatch metric being the
     // cloud-side count of completed results.
@@ -79,7 +87,9 @@ fn cancel_completed_task_errors() {
     let fid = client
         .register_function(&PyFunction::new("def f():\n    return 1\n"))
         .unwrap();
-    let task = client.run(fid, reg.endpoint_id, vec![], Value::None).unwrap();
+    let task = client
+        .run(fid, reg.endpoint_id, vec![], Value::None)
+        .unwrap();
     client
         .get_result(task, Duration::from_millis(5), Duration::from_secs(10))
         .unwrap();
@@ -125,7 +135,9 @@ fn others_cannot_cancel_your_tasks() {
     let fid = alice_client
         .register_function(&PyFunction::new("def f():\n    return 1\n"))
         .unwrap();
-    let task = alice_client.run(fid, reg.endpoint_id, vec![], Value::None).unwrap();
+    let task = alice_client
+        .run(fid, reg.endpoint_id, vec![], Value::None)
+        .unwrap();
     let err = mallory_client.cancel(task).unwrap_err();
     assert!(matches!(err, GcxError::Forbidden(_)));
     cloud.shutdown();

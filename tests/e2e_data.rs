@@ -48,7 +48,14 @@ impl DataStack {
         let agent =
             EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env)
                 .unwrap();
-        Self { cloud, token, ep: reg.endpoint_id, agent: Some(agent), registry, endpoint_vfs }
+        Self {
+            cloud,
+            token,
+            ep: reg.endpoint_id,
+            agent: Some(agent),
+            registry,
+            endpoint_vfs,
+        }
     }
 }
 
@@ -70,20 +77,23 @@ fn proxystore_roundtrip_with_worker_cache() {
         ex,
         store.clone(),
         stack.registry.clone(),
-        ProxyPolicy { min_size: 1024, evict_after_result: false },
+        ProxyPolicy {
+            min_size: 1024,
+            evict_after_result: false,
+        },
     );
     // The same large object feeds many tasks; the worker cache means the
     // store is read far fewer times than there are tasks.
     let model = Value::Bytes(vec![5u8; 256 * 1024]);
     let f = PyFunction::new("def f(model, x):\n    return len(model) + x\n");
     let futs: Vec<_> = (0..8)
-        .map(|i| pex.submit(&f, vec![model.clone(), Value::Int(i)], Value::None).unwrap())
+        .map(|i| {
+            pex.submit(&f, vec![model.clone(), Value::Int(i)], Value::None)
+                .unwrap()
+        })
         .collect();
     for (i, fut) in futs.iter().enumerate() {
-        assert_eq!(
-            pex.result(fut).unwrap(),
-            Value::Int(256 * 1024 + i as i64)
-        );
+        assert_eq!(pex.result(fut).unwrap(), Value::Int(256 * 1024 + i as i64));
     }
     pex.close();
 }
@@ -118,21 +128,30 @@ fn transfer_stages_files_for_shell_tasks() {
     let remote_fs = Vfs::new();
     remote_fs.mkdir_p("/archive").unwrap();
     let content = "line one\nline two\nline three\n";
-    remote_fs.write("/archive/input.txt", content.as_bytes()).unwrap();
+    remote_fs
+        .write("/archive/input.txt", content.as_bytes())
+        .unwrap();
 
     let transfer = TransferService::new(
         SystemClock::shared(),
         LinkProfile::wan(5, 1000),
         MetricsRegistry::new(),
     );
-    transfer.register_endpoint("remote#archive", remote_fs, "/archive").unwrap();
+    transfer
+        .register_endpoint("remote#archive", remote_fs, "/archive")
+        .unwrap();
     transfer
         .register_endpoint("compute#scratch", stack.endpoint_vfs.clone(), "/scratch")
         .unwrap();
 
     // Move the file to the compute endpoint, out of band.
     let tid = transfer
-        .submit("remote#archive", "input.txt", "compute#scratch", "input.txt")
+        .submit(
+            "remote#archive",
+            "input.txt",
+            "compute#scratch",
+            "input.txt",
+        )
         .unwrap();
     assert_eq!(
         transfer.wait(tid, Duration::from_secs(10)).unwrap(),
@@ -143,7 +162,11 @@ fn transfer_stages_files_for_shell_tasks() {
     let ex = Executor::new(stack.cloud.clone(), stack.token.clone(), stack.ep).unwrap();
     let wc = ShellFunction::new("wc -l {path}");
     let fut = ex
-        .submit(&wc, vec![], Value::map([("path", Value::str("/scratch/input.txt"))]))
+        .submit(
+            &wc,
+            vec![],
+            Value::map([("path", Value::str("/scratch/input.txt"))]),
+        )
         .unwrap();
     let sr = fut.shell_result().unwrap();
     assert_eq!(sr.stdout.trim(), "3");
@@ -159,7 +182,9 @@ fn inline_vs_offload_vs_proxy_byte_accounting() {
     // Small payload: rides the queue inline.
     let ex = Executor::new(stack.cloud.clone(), stack.token.clone(), stack.ep).unwrap();
     metrics.reset_counters();
-    let fut = ex.submit(&f, vec![Value::Bytes(vec![0u8; 1024])], Value::None).unwrap();
+    let fut = ex
+        .submit(&f, vec![Value::Bytes(vec![0u8; 1024])], Value::None)
+        .unwrap();
     fut.result_timeout(Duration::from_secs(10)).unwrap();
     let inline_queue_bytes = metrics.counter("mq.bytes_published").get();
     assert!(inline_queue_bytes >= 1024, "inline payload rides the queue");
@@ -172,7 +197,10 @@ fn inline_vs_offload_vs_proxy_byte_accounting() {
     fut.result_timeout(Duration::from_secs(10)).unwrap();
     let offload_queue_bytes = metrics.counter("mq.bytes_published").get();
     let s3_bytes = metrics.counter("s3.bytes_put").get();
-    assert!(offload_queue_bytes < 64 * 1024, "queue carries a reference: {offload_queue_bytes}");
+    assert!(
+        offload_queue_bytes < 64 * 1024,
+        "queue carries a reference: {offload_queue_bytes}"
+    );
     assert!(s3_bytes >= 1024 * 1024, "S3 carried the body: {s3_bytes}");
     ex.close();
 
@@ -183,7 +211,10 @@ fn inline_vs_offload_vs_proxy_byte_accounting() {
         ex,
         store,
         stack.registry.clone(),
-        ProxyPolicy { min_size: 10 * 1024, evict_after_result: false },
+        ProxyPolicy {
+            min_size: 10 * 1024,
+            evict_after_result: false,
+        },
     );
     metrics.reset_counters();
     let fut = pex

@@ -19,7 +19,9 @@ const TEMPLATE: &str =
 
 fn mapper_for(domain: &str) -> IdentityMapper {
     let mut mapper = IdentityMapper::new();
-    mapper.add_expression(ExpressionMapping::username_capture(domain)).unwrap();
+    mapper
+        .add_expression(ExpressionMapping::username_capture(domain))
+        .unwrap();
     mapper
 }
 
@@ -42,7 +44,11 @@ fn fig1_full_flow_submit_spawn_execute() {
         cloud.clone(),
         reg.endpoint_id,
         &reg.queue_credential,
-        MepSetup::new(mapper_for("site.edu"), Template::parse(TEMPLATE).unwrap(), env_factory()),
+        MepSetup::new(
+            mapper_for("site.edu"),
+            Template::parse(TEMPLATE).unwrap(),
+            env_factory(),
+        ),
     )
     .unwrap();
 
@@ -75,7 +81,11 @@ fn fan_out_many_users_many_configs() {
         cloud.clone(),
         reg.endpoint_id,
         &reg.queue_credential,
-        MepSetup::new(mapper_for("hpc.org"), Template::parse(TEMPLATE).unwrap(), env_factory()),
+        MepSetup::new(
+            mapper_for("hpc.org"),
+            Template::parse(TEMPLATE).unwrap(),
+            env_factory(),
+        ),
     )
     .unwrap();
 
@@ -119,7 +129,11 @@ fn cloud_policy_blocks_before_mep_sees_anything() {
         cloud.clone(),
         reg.endpoint_id,
         &reg.queue_credential,
-        MepSetup::new(mapper_for("anl.gov"), Template::parse(TEMPLATE).unwrap(), env_factory()),
+        MepSetup::new(
+            mapper_for("anl.gov"),
+            Template::parse(TEMPLATE).unwrap(),
+            env_factory(),
+        ),
     )
     .unwrap();
 
@@ -150,13 +164,23 @@ fn allowed_functions_restrict_gateway_endpoints() {
         )
         .unwrap();
     let reg = cloud
-        .register_endpoint(&admin, "gateway-mep", true, AuthPolicy::open(), Some(vec![approved]))
+        .register_endpoint(
+            &admin,
+            "gateway-mep",
+            true,
+            AuthPolicy::open(),
+            Some(vec![approved]),
+        )
         .unwrap();
     let mep = MultiUserEndpoint::start(
         cloud.clone(),
         reg.endpoint_id,
         &reg.queue_credential,
-        MepSetup::new(mapper_for("esgf.org"), Template::parse(TEMPLATE).unwrap(), env_factory()),
+        MepSetup::new(
+            mapper_for("esgf.org"),
+            Template::parse(TEMPLATE).unwrap(),
+            env_factory(),
+        ),
     )
     .unwrap();
 
@@ -194,14 +218,20 @@ fn uep_reuse_hit_rate_is_visible_in_cloud_metrics() {
         cloud.clone(),
         reg.endpoint_id,
         &reg.queue_credential,
-        MepSetup::new(mapper_for("site.edu"), Template::parse(TEMPLATE).unwrap(), env_factory()),
+        MepSetup::new(
+            mapper_for("site.edu"),
+            Template::parse(TEMPLATE).unwrap(),
+            env_factory(),
+        ),
     )
     .unwrap();
     let (_, user) = cloud.auth().login("bob@site.edu").unwrap();
     let ex = Executor::new(cloud.clone(), user, reg.endpoint_id).unwrap();
     ex.set_user_endpoint_config(Value::map([("WORKERS", Value::Int(1))]));
     let f = PyFunction::new("def f():\n    return 0\n");
-    let futs: Vec<_> = (0..10).map(|_| ex.submit(&f, vec![], Value::None).unwrap()).collect();
+    let futs: Vec<_> = (0..10)
+        .map(|_| ex.submit(&f, vec![], Value::None).unwrap())
+        .collect();
     for fut in &futs {
         fut.result_timeout(Duration::from_secs(20)).unwrap();
     }

@@ -84,9 +84,14 @@ fn mixed_function_kinds_share_an_endpoint() {
     let py = PyFunction::new("def f(x):\n    return x * 10\n");
     let sh = ShellFunction::new("seq {n} | wc -l");
     let py_fut = ex.submit(&py, vec![Value::Int(5)], Value::None).unwrap();
-    let sh_fut = ex.submit(&sh, vec![], Value::map([("n", Value::Int(12))])).unwrap();
+    let sh_fut = ex
+        .submit(&sh, vec![], Value::map([("n", Value::Int(12))]))
+        .unwrap();
 
-    assert_eq!(py_fut.result_timeout(Duration::from_secs(10)).unwrap(), Value::Int(50));
+    assert_eq!(
+        py_fut.result_timeout(Duration::from_secs(10)).unwrap(),
+        Value::Int(50)
+    );
     let sr = sh_fut.shell_result().unwrap();
     assert_eq!(sr.stdout.trim(), "12");
     ex.close();
@@ -107,8 +112,12 @@ fn endpoint_restart_preserves_buffered_tasks() {
         .unwrap();
 
     // Submit with the agent offline: fire-and-forget buffering.
-    let t1 = client.run(fid, reg.endpoint_id, vec![Value::Int(1)], Value::None).unwrap();
-    let t2 = client.run(fid, reg.endpoint_id, vec![Value::Int(2)], Value::None).unwrap();
+    let t1 = client
+        .run(fid, reg.endpoint_id, vec![Value::Int(1)], Value::None)
+        .unwrap();
+    let t2 = client
+        .run(fid, reg.endpoint_id, vec![Value::Int(2)], Value::None)
+        .unwrap();
 
     // First agent comes up, serves the backlog, goes away.
     let config = EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n").unwrap();
@@ -122,18 +131,24 @@ fn endpoint_restart_preserves_buffered_tasks() {
         )
         .unwrap();
         assert_eq!(
-            client.get_result(t1, Duration::from_millis(5), Duration::from_secs(10)).unwrap(),
+            client
+                .get_result(t1, Duration::from_millis(5), Duration::from_secs(10))
+                .unwrap(),
             Value::Int(101)
         );
         assert_eq!(
-            client.get_result(t2, Duration::from_millis(5), Duration::from_secs(10)).unwrap(),
+            client
+                .get_result(t2, Duration::from_millis(5), Duration::from_secs(10))
+                .unwrap(),
             Value::Int(102)
         );
         agent.stop();
     }
 
     // Submit while down again; a *restarted* agent picks it up.
-    let t3 = client.run(fid, reg.endpoint_id, vec![Value::Int(3)], Value::None).unwrap();
+    let t3 = client
+        .run(fid, reg.endpoint_id, vec![Value::Int(3)], Value::None)
+        .unwrap();
     let agent = EndpointAgent::start(
         &cloud,
         reg.endpoint_id,
@@ -143,7 +158,9 @@ fn endpoint_restart_preserves_buffered_tasks() {
     )
     .unwrap();
     assert_eq!(
-        client.get_result(t3, Duration::from_millis(5), Duration::from_secs(10)).unwrap(),
+        client
+            .get_result(t3, Duration::from_millis(5), Duration::from_secs(10))
+            .unwrap(),
         Value::Int(103)
     );
     agent.stop();
@@ -176,7 +193,11 @@ fn two_endpoints_one_executor_each() {
     for ep in &eps {
         let ex = Executor::new(cloud.clone(), token.clone(), *ep).unwrap();
         let fut = ex.submit(&f, vec![], Value::None).unwrap();
-        hosts.push(fut.result_timeout(Duration::from_secs(10)).unwrap().to_string());
+        hosts.push(
+            fut.result_timeout(Duration::from_secs(10))
+                .unwrap()
+                .to_string(),
+        );
         ex.close();
     }
     assert!(hosts[0].starts_with("site-a"));
@@ -203,8 +224,7 @@ fn mpi_and_batch_stack_end_to_end() {
     let mut env = AgentEnv::local(clock);
     env.scheduler = Some(scheduler);
     let agent =
-        EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env)
-            .unwrap();
+        EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env).unwrap();
 
     let ex = Executor::new(cloud.clone(), token, reg.endpoint_id).unwrap();
     let func = MpiFunction::new("echo rank $RANK of $SIZE on $HOSTNAME");
@@ -243,7 +263,11 @@ fn oversized_payload_rejected_then_small_succeeds() {
 
     // >10 MB: the batch is rejected, the future fails.
     let fut = ex
-        .submit(&f, vec![Value::Bytes(vec![0u8; 11 * 1024 * 1024])], Value::None)
+        .submit(
+            &f,
+            vec![Value::Bytes(vec![0u8; 11 * 1024 * 1024])],
+            Value::None,
+        )
         .unwrap();
     let err = fut.result_timeout(Duration::from_secs(10)).unwrap_err();
     assert!(matches!(err, GcxError::PayloadTooLarge { .. }));
@@ -287,7 +311,8 @@ fn sandboxing_prevents_shellfunction_contention() {
     let sf = ShellFunction::new("echo {tag} > out.txt; cat out.txt");
     let futures: Vec<_> = (0..20)
         .map(|i| {
-            ex.submit(&sf, vec![], Value::map([("tag", Value::Int(i))])).unwrap()
+            ex.submit(&sf, vec![], Value::map([("tag", Value::Int(i))]))
+                .unwrap()
         })
         .collect();
     for (i, fut) in futures.iter().enumerate() {

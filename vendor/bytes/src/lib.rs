@@ -1,0 +1,434 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! `Bytes` is an immutable, cheaply-cloneable byte buffer (`Arc<[u8]>` under
+//! the hood); `BytesMut` is a growable builder that freezes into `Bytes`.
+//! The `Buf`/`BufMut` traits cover the subset gcx's codec and queues use,
+//! with big-endian multi-byte accessors like the real crate.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer. Cloning is O(1).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Buffer backed by a static slice (copied; cheap relative to use).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self {
+            data: Arc::from(bytes),
+        }
+    }
+
+    /// Copy `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out to a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+
+    /// A new buffer holding `self[range]`.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.data.len(),
+        };
+        Self {
+            data: Arc::from(&self.data[start..end]),
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: Arc::from(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Self::from_static(s.as_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Self::from_static(s)
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Self::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data[..] == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.data[..] == **other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.data[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.data[..] == other[..]
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.data[..] == other[..]
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter().take(64) {
+            if (0x20..0x7F).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.data.len() > 64 {
+            write!(f, "…({} bytes)", self.data.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the builder holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read-side cursor operations. Implemented for `&[u8]`, which advances the
+/// slice in place (the idiom the codec uses).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread byte slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `cnt` bytes. Panics if fewer remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let mut buf = [0u8; 2];
+        self.copy_to_slice(&mut buf);
+        u16::from_be_bytes(buf)
+    }
+
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut buf = [0u8; 4];
+        self.copy_to_slice(&mut buf);
+        u32::from_be_bytes(buf)
+    }
+
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        self.copy_to_slice(&mut buf);
+        u64::from_be_bytes(buf)
+    }
+
+    /// Read a big-endian f64.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    /// Copy exactly `dst.len()` bytes out. Panics if fewer remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = self.slice(cnt..);
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian f64.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_and_eq() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b, Bytes::copy_from_slice(&[1, 2, 3]));
+        assert_eq!(b, [1u8, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(c, b);
+        assert_eq!(b.slice(1..3), Bytes::from(vec![2u8, 3]));
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from_static(b"hi").as_ref(), b"hi");
+    }
+
+    #[test]
+    fn bufmut_and_buf_bigendian_roundtrip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u64(0xDEAD_BEEF_0123_4567);
+        buf.put_f64(1.5);
+        buf.put_slice(b"xyz");
+        let frozen = buf.freeze();
+
+        let mut cur: &[u8] = &frozen;
+        assert!(cur.has_remaining());
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u64(), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(cur.get_f64(), 1.5);
+        let mut tail = [0u8; 3];
+        cur.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn buf_advance() {
+        let data = [1u8, 2, 3, 4];
+        let mut cur: &[u8] = &data;
+        cur.advance(2);
+        assert_eq!(cur.remaining(), 2);
+        assert_eq!(cur.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn buf_underflow_panics() {
+        let mut cur: &[u8] = &[1];
+        let mut dst = [0u8; 2];
+        cur.copy_to_slice(&mut dst);
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark a fixed number of iterations and prints mean
+//! nanoseconds per iteration. No statistical analysis — just enough to keep
+//! `benches/` compiling and producing comparable numbers offline. When the
+//! harness detects it is being run by `cargo test` (a `--test`-style flag in
+//! argv), each benchmark runs a single iteration as a smoke test.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// stub runs every batch at size 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration, recorded by the last `iter*` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, running it `iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup round so one-time lazy costs don't dominate.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+
+    /// Time `routine` with a fresh `setup()` product per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total_ns = 0u128;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos();
+        }
+        self.last_ns = total_ns as f64 / self.iters as f64;
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the bench binary is invoked with test-harness
+        // flags; collapse to smoke-test mode so the suite stays fast.
+        let smoke = std::env::args().any(|a| a == "--test" || a.starts_with("--format"));
+        Self {
+            iters: if smoke { 1 } else { 100 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        println!("bench {name:<40} {:>12.0} ns/iter", b.last_ns);
+        self
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion { iters: 10 };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

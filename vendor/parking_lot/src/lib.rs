@@ -1,0 +1,318 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the small slice of the `parking_lot` API it actually uses, implemented on
+//! top of `std::sync`. Semantics match parking_lot where they matter to gcx:
+//! no lock poisoning (a panicked holder does not wedge the lock), guards
+//! returned directly from `lock()`, and `Condvar::wait` taking `&mut guard`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+use std::time::Duration;
+
+/// A mutex that hands back the data on `lock()` without a poison layer.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]. Wraps the std guard so [`Condvar`] can take it
+/// by `&mut` (parking_lot style) while std's API consumes it by value.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let g = self
+            .inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard { inner: Some(g) }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// Reader-writer lock without a poison layer.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self
+                .inner
+                .read()
+                .unwrap_or_else(sync::PoisonError::into_inner),
+        }
+    }
+
+    /// Acquire an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self
+                .inner
+                .write()
+                .unwrap_or_else(sync::PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RwLock { .. }")
+    }
+}
+
+/// Result of a [`Condvar::wait_for`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable usable with [`MutexGuard`] taken by `&mut`.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, releasing the guarded lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present");
+        let g = self
+            .inner
+            .wait(g)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(g);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, timed_out) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res.timed_out()),
+            Err(poisoned) => {
+                let (g, res) = poisoned.into_inner();
+                (g, res.timed_out())
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult { timed_out }
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut started = lock.lock();
+            while !*started {
+                cvar.wait(&mut started);
+            }
+            true
+        });
+        thread::sleep(Duration::from_millis(10));
+        let (lock, cvar) = &*pair;
+        *lock.lock() = true;
+        cvar.notify_all();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn no_poisoning_across_panics() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: the lock is still usable.
+        assert_eq!(*m.lock(), 0);
+    }
+}

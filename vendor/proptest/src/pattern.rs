@@ -1,0 +1,235 @@
+//! Tiny regex-pattern sampler backing `&'static str` strategies.
+//!
+//! Supported grammar (enough for the patterns the test-suite uses):
+//! - literal characters, with `\n`, `\t`, `\r`, `\\` and other `\x` escapes
+//! - `.` — any printable ASCII character
+//! - `[...]` character classes, with ranges (`a-z`), `^` negation against
+//!   printable ASCII, escapes, and a literal `-` just before `]`
+//! - `{m}` / `{m,n}` repetition suffixes (inclusive); default is exactly one
+//!
+//! Anything else (`|`, `(`, `*`, `+`, `?`) panics — better a loud failure in
+//! a test helper than silently wrong sampling.
+
+use crate::TestRng;
+
+const PRINTABLE: std::ops::RangeInclusive<u8> = 0x20..=0x7E;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Sample one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = piece.min + rng.below(piece.max - piece.min + 1);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(chars) => out.push(chars[rng.below(chars.len())]),
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(class)
+            }
+            '.' => {
+                i += 1;
+                Atom::Class(PRINTABLE.map(|b| b as char).collect())
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| bad(pattern, "trailing backslash"));
+                i += 1;
+                Atom::Literal(unescape(c))
+            }
+            c @ ('|' | '(' | ')' | '*' | '+' | '?') => {
+                bad(pattern, &format!("unsupported construct `{c}`"))
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_rep(&chars, i, pattern);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut members: Vec<char> = Vec::new();
+    loop {
+        let c = *chars
+            .get(i)
+            .unwrap_or_else(|| bad(pattern, "unterminated class"));
+        if c == ']' {
+            i += 1;
+            break;
+        }
+        let lo = if c == '\\' {
+            i += 1;
+            let e = *chars
+                .get(i)
+                .unwrap_or_else(|| bad(pattern, "trailing backslash in class"));
+            unescape(e)
+        } else {
+            c
+        };
+        i += 1;
+        // `a-z` range, unless the `-` is last-before-`]` (then it's literal).
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            i += 1;
+            let hc = *chars
+                .get(i)
+                .unwrap_or_else(|| bad(pattern, "unterminated range"));
+            let hi = if hc == '\\' {
+                i += 1;
+                let e = *chars
+                    .get(i)
+                    .unwrap_or_else(|| bad(pattern, "trailing backslash in class"));
+                unescape(e)
+            } else {
+                hc
+            };
+            i += 1;
+            if hi < lo {
+                bad(pattern, "reversed class range")
+            }
+            members.extend((lo..=hi).filter(|c| c.is_ascii() || *c as u32 <= 0x10FFFF));
+        } else {
+            members.push(lo);
+        }
+    }
+    let class = if negated {
+        let excluded: std::collections::BTreeSet<char> = members.into_iter().collect();
+        PRINTABLE
+            .map(|b| b as char)
+            .filter(|c| !excluded.contains(c))
+            .collect()
+    } else {
+        members
+    };
+    if class.is_empty() {
+        bad(pattern, "empty character class")
+    }
+    (class, i)
+}
+
+fn parse_rep(chars: &[char], mut i: usize, pattern: &str) -> (usize, usize, usize) {
+    if chars.get(i) != Some(&'{') {
+        return (1, 1, i);
+    }
+    i += 1;
+    let mut min_s = String::new();
+    while chars.get(i).is_some_and(char::is_ascii_digit) {
+        min_s.push(chars[i]);
+        i += 1;
+    }
+    let min: usize = min_s
+        .parse()
+        .unwrap_or_else(|_| bad(pattern, "bad repetition count"));
+    let max = match chars.get(i) {
+        Some('}') => min,
+        Some(',') => {
+            i += 1;
+            let mut max_s = String::new();
+            while chars.get(i).is_some_and(char::is_ascii_digit) {
+                max_s.push(chars[i]);
+                i += 1;
+            }
+            max_s
+                .parse()
+                .unwrap_or_else(|_| bad(pattern, "open-ended repetition unsupported"))
+        }
+        _ => bad(pattern, "unterminated repetition"),
+    };
+    if chars.get(i) != Some(&'}') {
+        bad(pattern, "unterminated repetition")
+    }
+    i += 1;
+    if max < min {
+        bad(pattern, "reversed repetition bounds")
+    }
+    (min, max, i)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn bad(pattern: &str, why: &str) -> ! {
+    panic!("unsupported pattern {pattern:?}: {why}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_reps() {
+        let mut rng = TestRng::for_case("pat-lit", 0);
+        assert_eq!(sample_pattern("abc", &mut rng), "abc");
+        let s = sample_pattern("x{3}", &mut rng);
+        assert_eq!(s, "xxx");
+        for _ in 0..50 {
+            let s = sample_pattern("a{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a'));
+        }
+    }
+
+    #[test]
+    fn classes_ranges_negation() {
+        let mut rng = TestRng::for_case("pat-class", 0);
+        for _ in 0..100 {
+            let s = sample_pattern("[A-Z][A-Z0-9_]{0,8}", &mut rng);
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'));
+            let t = sample_pattern("[^a-z]{1,5}", &mut rng);
+            assert!(t.chars().all(|c| !c.is_ascii_lowercase()));
+            let d = sample_pattern(".{0,32}", &mut rng);
+            assert!(d.len() <= 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported construct")]
+    fn alternation_is_rejected() {
+        let mut rng = TestRng::for_case("pat-alt", 0);
+        sample_pattern("a|b", &mut rng);
+    }
+}

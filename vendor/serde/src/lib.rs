@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! gcx types carry `#[derive(Serialize, Deserialize)]` annotations for
+//! ecosystem familiarity, but all wire encoding goes through
+//! `gcx_core::codec`. This stub provides the trait names and re-exports
+//! no-op derive macros so those annotations compile without crates.io
+//! access. Nothing in the workspace calls serde serialization at runtime.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
