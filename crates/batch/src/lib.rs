@@ -12,10 +12,13 @@
 //!   job id;
 //! - FIFO scheduling with EASY backfill (later jobs may jump ahead only if
 //!   they cannot delay the head job's reservation);
-//! - job states (`Pending → Running → Completed/TimedOut/Cancelled`);
+//! - job states (`Pending → Running → Completed/TimedOut/Cancelled/
+//!   Preempted/NodeFail`);
 //! - node lists handed to running jobs (the `SLURM_JOB_NODELIST` /
 //!   `$PBS_NODEFILE` equivalent that the MPI engine partitions);
-//! - walltime enforcement.
+//! - walltime enforcement;
+//! - a seeded [`ResourceFaultPlan`] injecting node crashes, whole-job
+//!   preemption, and scheduler holds, deterministically per seed.
 //!
 //! Time comes from a [`gcx_core::clock::Clock`], so tests drive the cluster
 //! deterministically under virtual time. Scheduling passes run on every
@@ -24,4 +27,7 @@
 
 pub mod sim;
 
-pub use sim::{BatchScheduler, ClusterSpec, JobInfo, JobRequest, JobState, PartitionSpec};
+pub use sim::{
+    BatchScheduler, ClusterSpec, FaultStats, JobInfo, JobRequest, JobState, NodeCensus,
+    PartitionSpec, ResourceFaultKind, ResourceFaultPlan, ResourceFaultRule,
+};

@@ -1,0 +1,190 @@
+//! Property-based tests for the block/fault state machine: under arbitrary
+//! seeded resource-fault schedules the scheduler never loses or
+//! double-allocates a node, the node census stays conserved
+//! (`free + down + busy == total`), and terminal job states never change.
+
+use std::collections::HashSet;
+
+use gcx_batch::{
+    BatchScheduler, ClusterSpec, JobRequest, JobState, ResourceFaultPlan, ResourceFaultRule,
+};
+use gcx_core::clock::VirtualClock;
+use gcx_core::ids::JobId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Submit { nodes: u32, walltime_ms: u64 },
+    CompleteOldest,
+    CancelNewest,
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..6, 1_000u64..50_000)
+            .prop_map(|(nodes, walltime_ms)| Op::Submit { nodes, walltime_ms }),
+        Just(Op::CompleteOldest),
+        Just(Op::CancelNewest),
+        (1u64..20_000).prop_map(Op::Advance),
+    ]
+}
+
+fn plan_strategy() -> impl Strategy<Value = ResourceFaultPlan> {
+    (
+        (any::<u64>(), 0.0f64..1.25, 0u64..10_000, 1u64..30_000),
+        (0.0f64..1.25, 0u64..10_000),
+        (0.0f64..1.25, 0u64..10_000),
+    )
+        .prop_map(
+            |((seed, p_crash, crash_off, down_ms), (p_preempt, preempt_off), (p_hold, hold_ms))| {
+                ResourceFaultPlan::new(seed)
+                    .with_rule(ResourceFaultRule::node_crash(
+                        "", p_crash, crash_off, down_ms,
+                    ))
+                    .with_rule(ResourceFaultRule::preempt("", p_preempt, preempt_off))
+                    .with_rule(ResourceFaultRule::hold("", p_hold, hold_ms))
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Run a random operation sequence against an 8-node cluster with an
+    /// arbitrary seeded fault plan and check, after every step:
+    /// - running jobs never share a node (no double allocation);
+    /// - the node census is conserved: `free + down + busy == total`;
+    /// - census `busy` equals the sum of running jobs' node counts
+    ///   (no node leaks out of the accounting);
+    /// - terminal jobs stay terminal.
+    #[test]
+    fn block_state_machine_conserves_nodes_under_faults(
+        plan in plan_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        const CLUSTER_NODES: usize = 8;
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(CLUSTER_NODES), clock.clone());
+        sched.set_fault_plan(Some(plan));
+        let mut jobs: Vec<JobId> = Vec::new();
+        let mut terminal: Vec<(JobId, JobState)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Submit { nodes, walltime_ms } => {
+                    if let Ok(id) = sched.submit(JobRequest {
+                        num_nodes: nodes,
+                        walltime_ms,
+                        partition: "cpu".into(),
+                        account: "a".into(),
+                    }) {
+                        jobs.push(id);
+                    }
+                }
+                Op::CompleteOldest => {
+                    if let Some(id) = jobs.iter().find(|j| {
+                        sched.status(**j).map(|i| !i.state.is_terminal()).unwrap_or(false)
+                    }) {
+                        let _ = sched.complete(*id);
+                    }
+                }
+                Op::CancelNewest => {
+                    if let Some(id) = jobs.iter().rev().find(|j| {
+                        sched.status(**j).map(|i| !i.state.is_terminal()).unwrap_or(false)
+                    }) {
+                        let _ = sched.cancel(*id);
+                    }
+                }
+                Op::Advance(ms) => clock.advance(ms),
+            }
+
+            // ---- invariants ----
+            let mut used_nodes: HashSet<String> = HashSet::new();
+            let mut running_nodes = 0usize;
+            for id in &jobs {
+                let info = sched.status(*id).unwrap();
+                match info.state {
+                    JobState::Running => {
+                        for n in &info.nodes {
+                            prop_assert!(
+                                used_nodes.insert(n.clone()),
+                                "node {n} assigned to two running jobs"
+                            );
+                        }
+                        running_nodes += info.nodes.len();
+                    }
+                    state if state.is_terminal() => {
+                        if let Some((_, prev)) =
+                            terminal.iter().find(|(tid, _)| tid == id)
+                        {
+                            prop_assert_eq!(*prev, state, "terminal state changed");
+                        } else {
+                            terminal.push((*id, state));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let census = sched.node_census("cpu").unwrap();
+            prop_assert_eq!(census.total, CLUSTER_NODES);
+            prop_assert_eq!(
+                census.free + census.down + census.busy,
+                census.total,
+                "census conservation violated: {:?}",
+                census
+            );
+            prop_assert_eq!(
+                census.busy,
+                running_nodes,
+                "census busy vs running-job nodes: {:?}",
+                census
+            );
+        }
+    }
+
+    /// Whatever faults fire, every job eventually reaches a terminal state
+    /// once its walltime has fully elapsed, and the cluster drains back to
+    /// an all-free (or recovering) census.
+    #[test]
+    fn cluster_drains_after_faults(
+        plan in plan_strategy(),
+        n_jobs in 1usize..10,
+    ) {
+        const CLUSTER_NODES: usize = 4;
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(CLUSTER_NODES), clock.clone());
+        sched.set_fault_plan(Some(plan));
+        let jobs: Vec<JobId> = (0..n_jobs)
+            .filter_map(|i| {
+                sched
+                    .submit(JobRequest {
+                        num_nodes: (i % CLUSTER_NODES) as u32 + 1,
+                        walltime_ms: 5_000,
+                        partition: "cpu".into(),
+                        account: "a".into(),
+                    })
+                    .ok()
+            })
+            .collect();
+        // Generous horizon: every hold (<10 s), every queue wait, every
+        // walltime (5 s each, serially) and every node down-time (<30 s)
+        // fits well inside it.
+        for _ in 0..40 {
+            clock.advance(10_000);
+            let _ = sched.node_census("cpu");
+        }
+        for id in &jobs {
+            let info = sched.status(*id).unwrap();
+            prop_assert!(
+                info.state.is_terminal(),
+                "job {:?} still {:?} after the horizon",
+                id,
+                info.state
+            );
+        }
+        let census = sched.node_census("cpu").unwrap();
+        prop_assert_eq!(census.busy, 0, "drained cluster still has busy nodes");
+        prop_assert_eq!(census.free + census.down, census.total);
+    }
+}

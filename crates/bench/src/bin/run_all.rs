@@ -7,18 +7,22 @@
 //! data-movement sweep moves hundreds of simulated megabytes).
 
 use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use gcx_auth::{AuthPolicy, AuthService};
-use gcx_bench::Table;
+use gcx_batch::{BatchScheduler, ClusterSpec, PartitionSpec, ResourceFaultPlan, ResourceFaultRule};
+use gcx_bench::{JsonReport, Table};
 use gcx_cloud::{CloudConfig, WebService};
-use gcx_core::clock::SystemClock;
+use gcx_core::clock::{SharedClock, SystemClock, VirtualClock};
 use gcx_core::metrics::MetricsRegistry;
+use gcx_core::respec::ResourceSpec;
 use gcx_core::retry::RetryPolicy;
 use gcx_core::value::Value;
 use gcx_endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
 use gcx_mq::{Broker, FaultDirection, FaultPlan, FaultRule, LinkProfile};
-use gcx_sdk::{Executor, ExecutorConfig, PyFunction};
+use gcx_sdk::{Executor, ExecutorConfig, MpiFunction, PyFunction};
 
 const EXPERIMENTS: &[&str] = &[
     "fig2_usage",
@@ -58,10 +62,16 @@ fn main() {
         failures.push("robustness_soak");
     }
 
+    println!("\n=== resource-fault soak {}", "=".repeat(40));
+    if let Err(e) = resource_fault_soak() {
+        println!("  FAILED: {e}");
+        failures.push("resource_fault_soak");
+    }
+
     println!("\n=== summary {}", "=".repeat(52));
     println!(
         "  {} experiments, {} failed",
-        EXPERIMENTS.len() + 1,
+        EXPERIMENTS.len() + 2,
         failures.len()
     );
     for f in &failures {
@@ -200,6 +210,232 @@ fn robustness_soak() -> Result<(), String> {
     ex.close();
     agent.stop();
     drop(doomed);
+    svc.shutdown();
+    Ok(())
+}
+
+/// Resource-layer soak: a two-partition simulated site where the batch
+/// scheduler preempts the htex block mid-workload and crashes a node inside
+/// an active MPI partition, on a virtual clock so the failure points are
+/// deterministic. All layers must recover — block re-provisioning,
+/// partition-table repair, task re-dispatch — and the recovery counters are
+/// printed and emitted as `bench_results/resource_fault_soak.json`.
+fn resource_fault_soak() -> Result<(), String> {
+    const PYFN_TASKS: usize = 8;
+    let vclock = VirtualClock::new();
+    let clock: SharedClock = vclock.clone();
+    let broker = Broker::with_profile(
+        MetricsRegistry::new(),
+        clock.clone(),
+        LinkProfile::instant(),
+    );
+    let svc = WebService::new(
+        CloudConfig {
+            heartbeat_timeout_ms: 600_000,
+            ..CloudConfig::default()
+        },
+        AuthService::new(clock.clone()),
+        broker,
+        clock.clone(),
+    );
+    let sched = BatchScheduler::new(
+        ClusterSpec {
+            name: "soak-site".into(),
+            partitions: vec![
+                PartitionSpec::sized("cpu", "cn", 2, 24 * 3600 * 1000),
+                PartitionSpec::sized("mpi", "mn", 2, 24 * 3600 * 1000),
+            ],
+        },
+        clock.clone(),
+    );
+    sched.set_fault_plan(Some(
+        ResourceFaultPlan::new(0x50AC_BEEF)
+            .with_rule(ResourceFaultRule::preempt("cpu", 1.0, 1_500).during(0, 2_000))
+            .with_rule(ResourceFaultRule::node_crash("mpi", 1.0, 2_000, 3_000).during(0, 5_000)),
+    ));
+
+    let (_, token) = svc
+        .auth()
+        .login("resource-soak@gcx.dev")
+        .map_err(|e| e.to_string())?;
+    let mut agents = Vec::new();
+    let mut endpoints = Vec::new();
+    let mut engine_metrics = Vec::new();
+    for (name, yaml) in [
+        (
+            "soak-cpu",
+            "engine:\n  type: GlobusComputeEngine\n  nodes_per_block: 2\n  workers_per_node: 2\n  provider:\n    type: SlurmProvider\n    partition: cpu\n    walltime: \"00:00:30\"\n",
+        ),
+        (
+            "soak-mpi",
+            "engine:\n  type: GlobusMPIEngine\n  nodes_per_block: 2\n  provider:\n    type: SlurmProvider\n    partition: mpi\n    walltime: \"00:01:00\"\n",
+        ),
+    ] {
+        let reg = svc
+            .register_endpoint(&token, name, false, AuthPolicy::open(), None)
+            .map_err(|e| e.to_string())?;
+        let mut env = AgentEnv::local(clock.clone());
+        env.scheduler = Some(sched.clone());
+        engine_metrics.push(env.metrics.clone());
+        let config = EndpointConfig::from_yaml(yaml).map_err(|e| e.to_string())?;
+        agents.push(
+            EndpointAgent::start(&svc, reg.endpoint_id, &reg.queue_credential, &config, env)
+                .map_err(|e| e.to_string())?,
+        );
+        endpoints.push(reg.endpoint_id);
+    }
+
+    let executor = |ep| {
+        Executor::with_config(
+            svc.clone(),
+            token.clone(),
+            ep,
+            ExecutorConfig {
+                retry: RetryPolicy::fixed(5, 5),
+                ..ExecutorConfig::default()
+            },
+        )
+        .map_err(|e| e.to_string())
+    };
+    let ex_cpu = executor(endpoints[0])?;
+    let ex_mpi = executor(endpoints[1])?;
+
+    let double = PyFunction::new("def f(x):\n    sleep(3)\n    return x * 2\n");
+    let py_futures: Vec<_> = (0..PYFN_TASKS)
+        .map(|i| ex_cpu.submit(&double, vec![Value::Int(i as i64)], Value::None))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    ex_mpi.set_resource_specification(ResourceSpec::nodes_ranks(2, 2));
+    let big = ex_mpi
+        .submit(&MpiFunction::new("sleep 4"), vec![], Value::None)
+        .map_err(|e| e.to_string())?;
+    ex_mpi.set_resource_specification(ResourceSpec::nodes_ranks(1, 1));
+    let small: Vec<_> = (0..2)
+        .map(|_| ex_mpi.submit(&MpiFunction::new("hostname"), vec![], Value::None))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+
+    // Quiesce (4 pyfn workers + 2 MPI ranks asleep), then drive time.
+    vclock.wait_for_sleepers(6);
+    let driving = Arc::new(AtomicBool::new(true));
+    let driver = {
+        let vclock = vclock.clone();
+        let driving = Arc::clone(&driving);
+        std::thread::spawn(move || {
+            while driving.load(Ordering::SeqCst) {
+                vclock.advance(100);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let mut completed = 0u64;
+    for (i, f) in py_futures.iter().enumerate() {
+        let got = f
+            .result_timeout(Duration::from_secs(60))
+            .map_err(|e| format!("pyfn task {i}: {e}"))?;
+        if got != Value::Int(i as i64 * 2) {
+            return Err(format!("pyfn task {i}: wrong result {got:?}"));
+        }
+        completed += 1;
+    }
+    for (i, f) in std::iter::once(&big).chain(small.iter()).enumerate() {
+        f.result_timeout(Duration::from_secs(60))
+            .map_err(|e| format!("mpi task {i}: {e}"))?;
+        completed += 1;
+    }
+    driving.store(false, Ordering::SeqCst);
+    let _ = driver.join();
+
+    let stats = sched.fault_stats();
+    let m = svc.metrics();
+    let htex_m = &engine_metrics[0];
+    let mpi_m = &engine_metrics[1];
+    let mut report = JsonReport::new("resource_fault_soak");
+    report
+        .num("tasks_completed", completed)
+        .num("nodes_crashed", stats.nodes_crashed)
+        .num("nodes_recovered", stats.nodes_recovered)
+        .num("jobs_preempted", stats.jobs_preempted)
+        .num("jobs_timed_out", stats.jobs_timed_out)
+        .num(
+            "htex_tasks_redispatched",
+            htex_m.counter("htex.tasks_redispatched").get(),
+        )
+        .num(
+            "mpi_partitions_repaired",
+            mpi_m.counter("mpi.partitions_repaired").get(),
+        )
+        .num(
+            "mpi_tasks_redispatched",
+            mpi_m.counter("mpi.tasks_redispatched").get(),
+        )
+        .num(
+            "mpi_blocks_replaced",
+            mpi_m.counter("mpi.blocks_replaced").get(),
+        )
+        .num(
+            "cloud_block_loss_reports",
+            m.counter("cloud.block_loss_reports").get(),
+        )
+        .num(
+            "cloud_block_recovery_reports",
+            m.counter("cloud.block_recovery_reports").get(),
+        )
+        .num(
+            "sdk_tasks_resubmitted",
+            m.counter("sdk.tasks_resubmitted").get(),
+        );
+    let mut table = Table::new(&["counter", "value"]);
+    for (k, v) in [
+        ("nodes_crashed", stats.nodes_crashed),
+        ("nodes_recovered", stats.nodes_recovered),
+        ("jobs_preempted", stats.jobs_preempted),
+        (
+            "htex.tasks_redispatched",
+            htex_m.counter("htex.tasks_redispatched").get(),
+        ),
+        (
+            "mpi.partitions_repaired",
+            mpi_m.counter("mpi.partitions_repaired").get(),
+        ),
+        (
+            "mpi.tasks_redispatched",
+            mpi_m.counter("mpi.tasks_redispatched").get(),
+        ),
+        (
+            "mpi.blocks_replaced",
+            mpi_m.counter("mpi.blocks_replaced").get(),
+        ),
+        (
+            "cloud.block_loss_reports",
+            m.counter("cloud.block_loss_reports").get(),
+        ),
+        (
+            "cloud.block_recovery_reports",
+            m.counter("cloud.block_recovery_reports").get(),
+        ),
+    ] {
+        table.row(&[k.to_string(), v.to_string()]);
+    }
+    println!(
+        "  {completed} tasks completed despite a preempted block and a node \
+         crash inside an active MPI partition:\n"
+    );
+    table.print();
+    let path = report
+        .write_to(std::path::Path::new("bench_results"))
+        .map_err(|e| e.to_string())?;
+    println!("\n  recovery counters written to {}", path.display());
+
+    if stats.jobs_preempted == 0 || stats.nodes_crashed == 0 {
+        return Err(format!("faults did not fire: {stats:?}"));
+    }
+    ex_cpu.close();
+    ex_mpi.close();
+    for a in agents {
+        a.stop();
+    }
     svc.shutdown();
     Ok(())
 }

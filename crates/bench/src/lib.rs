@@ -148,6 +148,83 @@ impl Table {
     }
 }
 
+/// A flat JSON object writer for machine-readable bench outputs:
+/// string/number fields appended in order, rendered without any external
+/// dependency, written to `<dir>/<name>.json`.
+pub struct JsonReport {
+    name: String,
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// A report named `name` (also the output file stem).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            fields: vec![("experiment".into(), json_escape(name))],
+        }
+    }
+
+    /// Append an integer field.
+    pub fn num(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Append a float field (JSON has no NaN/Inf; those render as null).
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".into()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Append a string field.
+    pub fn text(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields.push((key.to_string(), json_escape(value)));
+        self
+    }
+
+    /// Render the object.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{}: {}", json_escape(k), v))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+
+    /// Write `<dir>/<name>.json`, creating `dir` if needed; returns the path.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.render() + "\n")?;
+        Ok(path)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Format a duration as milliseconds with 2 decimals.
 pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1000.0)
@@ -219,6 +296,23 @@ mod tests {
         assert_eq!(human_bytes(2048), "2.0KB");
         assert_eq!(human_bytes(3 * 1024 * 1024), "3.0MB");
         assert_eq!(human_bytes(10), "10B");
+    }
+
+    #[test]
+    fn json_report_renders_and_writes() {
+        let mut r = JsonReport::new("soak");
+        r.num("tasks", 10)
+            .float("rate", 2.5)
+            .text("note", "a \"quoted\"\nline");
+        assert_eq!(
+            r.render(),
+            "{\"experiment\": \"soak\", \"tasks\": 10, \"rate\": 2.5, \
+             \"note\": \"a \\\"quoted\\\"\\nline\"}"
+        );
+        let dir = std::env::temp_dir().join("gcx-bench-json-test");
+        let path = r.write_to(&dir).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), r.render() + "\n");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

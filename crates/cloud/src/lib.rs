@@ -27,6 +27,6 @@ pub mod service;
 pub mod usage;
 
 pub use blob::{BlobId, BlobStore};
-pub use records::{EndpointRecord, EndpointRegistration, MepStartRequest};
+pub use records::{EndpointHealth, EndpointRecord, EndpointRegistration, MepStartRequest};
 pub use service::{CloudConfig, EndpointSession, WebService};
 pub use usage::UsageMeter;

@@ -31,6 +31,25 @@ pub struct EndpointRecord {
     /// When the agent last heartbeated (service clock); the liveness
     /// monitor marks the endpoint offline once this goes stale.
     pub last_heartbeat_ms: TimeMs,
+    /// The agent reported lost batch capacity (a dead block or crashed
+    /// nodes) and has not yet reported it re-provisioned. A degraded
+    /// endpoint is still *alive* — it keeps heartbeating and is never
+    /// marked offline by the liveness monitor on that basis alone.
+    pub degraded: bool,
+}
+
+/// Coarse endpoint health as seen by the cloud, distinguishing "endpoint
+/// dead" from "endpoint lost capacity, recovering".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointHealth {
+    /// Connected, no outstanding capacity loss.
+    Online,
+    /// Connected, but the agent reported lost batch capacity it has not
+    /// yet recovered.
+    Degraded,
+    /// No live session (never connected, disconnected, or declared dead
+    /// by the liveness monitor).
+    Offline,
 }
 
 impl EndpointRecord {
@@ -158,6 +177,7 @@ mod tests {
             registered_at: 0,
             connected: false,
             last_heartbeat_ms: 0,
+            degraded: false,
         };
         assert!(rec.function_allowed(f1));
         rec.allowed_functions = Some(vec![f1]);

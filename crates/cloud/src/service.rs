@@ -19,7 +19,9 @@ use gcx_mq::{Broker, Consumer, Message};
 use parking_lot::{Mutex, RwLock};
 
 use crate::blob::{BlobId, BlobStore, DEFAULT_PAYLOAD_LIMIT};
-use crate::records::{config_hash, EndpointRecord, EndpointRegistration, MepStartRequest};
+use crate::records::{
+    config_hash, EndpointHealth, EndpointRecord, EndpointRegistration, MepStartRequest,
+};
 use crate::usage::UsageMeter;
 
 /// The scope required for Globus Compute API calls.
@@ -317,6 +319,7 @@ impl WebService {
                 registered_at: self.inner.clock.now_ms(),
                 connected: false,
                 last_heartbeat_ms: 0,
+                degraded: false,
             },
         );
         self.inner
@@ -469,6 +472,56 @@ impl WebService {
         rec.last_heartbeat_ms = self.inner.clock.now_ms();
         rec.connected = true;
         Ok(())
+    }
+
+    /// An agent reports lost batch capacity (a dead block or crashed
+    /// nodes): the endpoint is marked *degraded*, not offline — it is
+    /// still alive and recovering on its own.
+    pub fn report_block_loss(&self, endpoint_id: EndpointId, reason: &str) -> GcxResult<()> {
+        let mut endpoints = self.inner.endpoints.write();
+        let rec = endpoints
+            .get_mut(&endpoint_id)
+            .ok_or(GcxError::EndpointNotFound(endpoint_id))?;
+        rec.degraded = true;
+        drop(endpoints);
+        self.inner.metrics.counter("cloud.block_loss_reports").inc();
+        self.inner
+            .metrics
+            .counter(&format!("cloud.block_loss_{reason}"))
+            .inc();
+        Ok(())
+    }
+
+    /// An agent reports a running block again: capacity is back, the
+    /// endpoint is no longer degraded.
+    pub fn report_block_recovery(&self, endpoint_id: EndpointId) -> GcxResult<()> {
+        let mut endpoints = self.inner.endpoints.write();
+        let rec = endpoints
+            .get_mut(&endpoint_id)
+            .ok_or(GcxError::EndpointNotFound(endpoint_id))?;
+        rec.degraded = false;
+        drop(endpoints);
+        self.inner
+            .metrics
+            .counter("cloud.block_recovery_reports")
+            .inc();
+        Ok(())
+    }
+
+    /// Coarse health: offline (no session) vs degraded (alive but missing
+    /// batch capacity) vs online.
+    pub fn endpoint_health(&self, endpoint_id: EndpointId) -> GcxResult<EndpointHealth> {
+        let endpoints = self.inner.endpoints.read();
+        let rec = endpoints
+            .get(&endpoint_id)
+            .ok_or(GcxError::EndpointNotFound(endpoint_id))?;
+        Ok(if !rec.connected {
+            EndpointHealth::Offline
+        } else if rec.degraded {
+            EndpointHealth::Degraded
+        } else {
+            EndpointHealth::Online
+        })
     }
 
     /// Sweep for endpoints whose heartbeat has gone stale: mark them
@@ -728,6 +781,7 @@ impl WebService {
                 registered_at: self.inner.clock.now_ms(),
                 connected: false,
                 last_heartbeat_ms: 0,
+                degraded: false,
             },
         );
         self.inner
@@ -1145,6 +1199,16 @@ impl EndpointSession {
     /// Tell the service this agent is alive (resets the liveness timer).
     pub fn heartbeat(&self) -> GcxResult<()> {
         self.cloud.heartbeat(self.endpoint_id)
+    }
+
+    /// Report lost batch capacity (engine saw a block die or shrink).
+    pub fn report_block_lost(&self, reason: &str, _nodes_lost: usize) -> GcxResult<()> {
+        self.cloud.report_block_loss(self.endpoint_id, reason)
+    }
+
+    /// Report a running block (capacity recovered).
+    pub fn report_block_recovered(&self, _nodes: usize) -> GcxResult<()> {
+        self.cloud.report_block_recovery(self.endpoint_id)
     }
 
     /// Whether the task was cancelled while buffered (the agent skips it).
@@ -1673,6 +1737,82 @@ mod tests {
         let (again, tag) = second.next_task(T).unwrap().unwrap();
         assert_eq!(again.task_id, id);
         second.ack_task(tag).unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn degraded_endpoint_is_not_dead() {
+        // Block-loss reports mark the endpoint degraded, never offline:
+        // as long as the agent heartbeats, the liveness monitor leaves a
+        // recovering endpoint alone ("endpoint lost capacity, recovering"
+        // vs "endpoint dead").
+        use gcx_core::clock::VirtualClock;
+        let vclock = VirtualClock::new();
+        let clock: gcx_core::clock::SharedClock = vclock.clone();
+        let auth = gcx_auth::AuthService::new(clock.clone());
+        let broker = Broker::with_profile(
+            gcx_core::metrics::MetricsRegistry::new(),
+            clock.clone(),
+            gcx_mq::LinkProfile::instant(),
+        );
+        let cfg = CloudConfig {
+            heartbeat_timeout_ms: 1_000,
+            ..CloudConfig::default()
+        };
+        let svc = WebService::new(cfg, auth, broker, clock);
+        let token = login(&svc, "u@x.y");
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        assert_eq!(
+            svc.endpoint_health(reg.endpoint_id).unwrap(),
+            EndpointHealth::Offline,
+            "registered but never connected"
+        );
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        assert_eq!(
+            svc.endpoint_health(reg.endpoint_id).unwrap(),
+            EndpointHealth::Online
+        );
+
+        session.report_block_lost("preempted", 2).unwrap();
+        assert_eq!(
+            svc.endpoint_health(reg.endpoint_id).unwrap(),
+            EndpointHealth::Degraded
+        );
+        assert_eq!(svc.metrics().counter("cloud.block_loss_reports").get(), 1);
+        assert_eq!(svc.metrics().counter("cloud.block_loss_preempted").get(), 1);
+
+        // Heartbeating through the degraded window: never marked offline.
+        vclock.advance(800);
+        session.heartbeat().unwrap();
+        vclock.advance(800);
+        session.heartbeat().unwrap();
+        assert_eq!(svc.check_liveness(), 0);
+        assert_eq!(
+            svc.endpoint_health(reg.endpoint_id).unwrap(),
+            EndpointHealth::Degraded
+        );
+
+        session.report_block_recovered(2).unwrap();
+        assert_eq!(
+            svc.endpoint_health(reg.endpoint_id).unwrap(),
+            EndpointHealth::Online
+        );
+        assert_eq!(
+            svc.metrics().counter("cloud.block_recovery_reports").get(),
+            1
+        );
+
+        // Only heartbeat staleness takes an endpoint offline.
+        vclock.advance(1_500);
+        assert_eq!(svc.check_liveness(), 1);
+        assert_eq!(
+            svc.endpoint_health(reg.endpoint_id).unwrap(),
+            EndpointHealth::Offline
+        );
         svc.shutdown();
     }
 

@@ -315,6 +315,14 @@ impl EndpointAgent {
                                 let _ = session.nack_task(tag);
                             }
                         }
+                        Ok(EngineEvent::BlockLost { reason, nodes_lost }) => {
+                            // Surface capacity loss so the cloud can tell
+                            // "endpoint dead" from "endpoint recovering".
+                            let _ = session.report_block_lost(reason, nodes_lost);
+                        }
+                        Ok(EngineEvent::BlockProvisioned { nodes }) => {
+                            let _ = session.report_block_recovered(nodes);
+                        }
                         Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
                             if pump_stop.load(Ordering::SeqCst) {
                                 return;

@@ -42,6 +42,21 @@ pub enum EngineEvent {
         /// The outcome.
         result: TaskResult,
     },
+    /// The engine lost provisioned capacity (a whole block, or member
+    /// nodes of one). The agent forwards this to the cloud so liveness
+    /// accounting can tell "endpoint dead" from "endpoint lost capacity,
+    /// recovering".
+    BlockLost {
+        /// Why the capacity went away (`walltime`, `preempted`, …).
+        reason: &'static str,
+        /// Worker slots or nodes lost.
+        nodes_lost: usize,
+    },
+    /// The engine (re-)gained a running block of `nodes` nodes.
+    BlockProvisioned {
+        /// Nodes in the newly running block.
+        nodes: usize,
+    },
 }
 
 /// Point-in-time engine load.

@@ -20,7 +20,7 @@
 //!   backlog exists and recovers tasks from blocks that die (walltime) by
 //!   requeueing them once before failing them.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,12 +28,15 @@ use std::time::Duration;
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use gcx_core::clock::SharedClock;
 use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::function::FunctionBody;
+use gcx_core::ids::TaskId;
 use gcx_core::metrics::MetricsRegistry;
+use gcx_core::shellres::ShellResult;
 use gcx_core::task::{TaskResult, TaskState};
 use gcx_shell::Vfs;
 
 use crate::engine::{emit, Engine, EngineEvent, EngineStatus, ExecutableTask, ValueTransform};
-use crate::provider::{BlockHandle, BlockState, Provider};
+use crate::provider::{BlockEndReason, BlockHandle, BlockState, BlockSupervisor, Provider};
 use crate::worker::WorkerContext;
 
 /// Configuration for [`GlobusComputeEngine`].
@@ -65,18 +68,27 @@ impl Default for HtexConfig {
     }
 }
 
+#[derive(Clone)]
 struct QueuedTask {
     task: ExecutableTask,
     retries: u8,
 }
 
+/// Tasks a manager's workers are executing right now. A worker registers a
+/// task before running it and claims it back afterwards; whoever removes
+/// the entry (worker on completion, interchange on block/node death) owns
+/// delivering its outcome — so a lost task is resolved the moment the loss
+/// is observed, never when a stranded execution happens to finish.
+type InFlight = Arc<parking_lot::Mutex<HashMap<TaskId, QueuedTask>>>;
+
 struct Manager {
-    /// Node hostname (diagnostics; workers carry their own copy).
-    #[allow(dead_code)]
+    /// Node hostname this manager serves (used to detect node-level loss).
     node: String,
     block: BlockHandle,
     task_tx: Sender<QueuedTask>,
+    task_rx: Receiver<QueuedTask>,
     alive: Arc<AtomicBool>,
+    in_flight: InFlight,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -117,9 +129,10 @@ impl GlobusComputeEngine {
             blocks: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         });
+        let supervisor = BlockSupervisor::new(provider, clock.clone(), metrics.clone(), "htex");
         let ic = Interchange {
             cfg,
-            provider,
+            supervisor,
             vfs,
             clock,
             metrics,
@@ -130,6 +143,7 @@ impl GlobusComputeEngine {
             backlog: VecDeque::new(),
             pending_blocks: Vec::new(),
             managers: Vec::new(),
+            zombies: Vec::new(),
             rr_cursor: 0,
             transform,
         };
@@ -181,7 +195,7 @@ impl Drop for GlobusComputeEngine {
 
 struct Interchange {
     cfg: HtexConfig,
-    provider: Arc<dyn Provider>,
+    supervisor: BlockSupervisor,
     vfs: Vfs,
     clock: SharedClock,
     metrics: MetricsRegistry,
@@ -192,6 +206,11 @@ struct Interchange {
     backlog: VecDeque<QueuedTask>,
     pending_blocks: Vec<BlockHandle>,
     managers: Vec<Manager>,
+    /// Worker threads of dead managers. Not joined during operation — a
+    /// worker stranded in a long (virtual-clock) execution must not stall
+    /// the interchange; its task was already recovered via the in-flight
+    /// registry and it exits on its own once the execution returns.
+    zombies: Vec<std::thread::JoinHandle<()>>,
     rr_cursor: usize,
     transform: Option<ValueTransform>,
 }
@@ -222,13 +241,13 @@ impl Interchange {
             // 3. Reap managers on dead blocks.
             progressed |= self.reap_dead_blocks();
 
-            // 4. Scale out while there is a backlog.
+            // 4. Scale out while there is a backlog. Requests go through
+            // the supervisor, which holds a backoff gate after losses.
             if !self.backlog.is_empty() {
                 let live = self.live_block_count();
                 if live + self.pending_blocks.len() < self.cfg.max_blocks as usize {
-                    if let Ok(handle) = self.provider.submit_block(self.cfg.nodes_per_block) {
+                    if let Some(handle) = self.supervisor.request_block(self.cfg.nodes_per_block) {
                         self.pending_blocks.push(handle);
-                        self.metrics.counter("htex.blocks_requested").inc();
                         progressed = true;
                     }
                 }
@@ -241,7 +260,9 @@ impl Interchange {
                 std::thread::sleep(Duration::from_micros(500));
             }
         }
-        // Shutdown: close manager channels and join workers.
+        // Shutdown: close manager channels and join workers of live
+        // managers. Zombie workers (from dead blocks) are detached — they
+        // may be stranded in a virtual-clock sleep nobody will advance.
         for m in self.managers.drain(..) {
             m.alive.store(false, Ordering::SeqCst);
             drop(m.task_tx);
@@ -249,8 +270,9 @@ impl Interchange {
                 let _ = w.join();
             }
         }
+        drop(self.zombies.drain(..));
         for b in self.pending_blocks.drain(..) {
-            let _ = self.provider.cancel_block(b);
+            let _ = self.supervisor.provider().cancel_block(b);
         }
     }
 
@@ -264,17 +286,32 @@ impl Interchange {
         let mut progressed = false;
         let mut still_pending = Vec::new();
         for handle in std::mem::take(&mut self.pending_blocks) {
-            match self.provider.block_state(handle) {
+            match self.supervisor.provider().block_state(handle) {
                 Ok(BlockState::Running(nodes)) => {
+                    let n = nodes.len();
                     for node in nodes {
                         self.spawn_manager(handle, node);
                     }
                     self.shared.blocks.fetch_add(1, Ordering::SeqCst);
+                    self.supervisor.note_running();
+                    emit(&self.events, EngineEvent::BlockProvisioned { nodes: n });
                     progressed = true;
                 }
                 Ok(BlockState::Pending) => still_pending.push(handle),
-                Ok(BlockState::Done) | Err(_) => {
+                Ok(BlockState::Done(reason)) => {
                     // Died before we ever used it.
+                    self.supervisor.note_lost(reason);
+                    emit(
+                        &self.events,
+                        EngineEvent::BlockLost {
+                            reason: reason.as_str(),
+                            nodes_lost: 0,
+                        },
+                    );
+                    progressed = true;
+                }
+                Err(_) => {
+                    self.supervisor.note_lost(BlockEndReason::Unknown);
                     progressed = true;
                 }
             }
@@ -289,12 +326,14 @@ impl Interchange {
         // prefetch window.
         let (task_tx, task_rx) = bounded::<QueuedTask>(self.cfg.workers_per_node as usize);
         let alive = Arc::new(AtomicBool::new(true));
+        let in_flight: InFlight = Arc::new(parking_lot::Mutex::new(HashMap::new()));
         self.metrics.counter("htex.connections_opened").inc();
 
         let mut workers = Vec::new();
         for w in 0..self.cfg.workers_per_node {
             let rx = task_rx.clone();
             let alive2 = Arc::clone(&alive);
+            let in_flight2 = Arc::clone(&in_flight);
             let events = self.events.clone();
             let resubmit = self.resubmit.clone();
             let shared = Arc::clone(&self.shared);
@@ -313,10 +352,35 @@ impl Interchange {
                     while let Ok(queued) = rx.recv() {
                         if !alive2.load(Ordering::SeqCst) {
                             // The block died with this task on the wire.
-                            requeue_or_fail(queued, &resubmit, &events, &shared, max_retries);
+                            requeue_or_fail(
+                                queued,
+                                &resubmit,
+                                &events,
+                                &shared,
+                                max_retries,
+                                &metrics,
+                            );
                             continue;
                         }
                         let task_id = queued.task.spec.task_id;
+                        // Register in the in-flight table, then re-check
+                        // liveness: the interchange flips `alive` *before*
+                        // draining the table, so exactly one side claims
+                        // this task whatever the interleaving.
+                        in_flight2.lock().insert(task_id, queued.clone());
+                        if !alive2.load(Ordering::SeqCst) {
+                            if in_flight2.lock().remove(&task_id).is_some() {
+                                requeue_or_fail(
+                                    queued,
+                                    &resubmit,
+                                    &events,
+                                    &shared,
+                                    max_retries,
+                                    &metrics,
+                                );
+                            }
+                            continue;
+                        }
                         emit(&events, EngineEvent::State(task_id, TaskState::Running));
                         shared.running.fetch_add(1, Ordering::SeqCst);
                         // Supervision boundary: a panic in user-facing code
@@ -328,6 +392,14 @@ impl Interchange {
                                 ctx.execute(&queued.task.spec, &queued.task.function.body)
                             }));
                         shared.running.fetch_sub(1, Ordering::SeqCst);
+                        // Claim the task back. If the entry is gone, the
+                        // interchange already recovered it after a block or
+                        // node loss — this outcome must be discarded.
+                        let owned = in_flight2.lock().remove(&task_id).is_some();
+                        if !owned {
+                            metrics.counter("htex.stale_results_discarded").inc();
+                            continue;
+                        }
                         let result = match outcome {
                             Ok(result) => result,
                             Err(panic) => {
@@ -338,6 +410,7 @@ impl Interchange {
                                     &events,
                                     &shared,
                                     max_retries,
+                                    &metrics,
                                     format!(
                                         "RuntimeError: worker panicked while executing task: {}",
                                         panic_message(&*panic)
@@ -348,7 +421,14 @@ impl Interchange {
                         };
                         if !alive2.load(Ordering::SeqCst) {
                             // Block died mid-execution: the result is lost.
-                            requeue_or_fail(queued, &resubmit, &events, &shared, max_retries);
+                            requeue_or_fail(
+                                queued,
+                                &resubmit,
+                                &events,
+                                &shared,
+                                max_retries,
+                                &metrics,
+                            );
                             continue;
                         }
                         emit(
@@ -371,52 +451,142 @@ impl Interchange {
             node,
             block,
             task_tx,
+            task_rx,
             alive,
+            in_flight,
             workers,
         });
     }
 
+    /// Detect whole-block death *and* node-level loss inside a still-
+    /// running block. Dead managers are torn down immediately: their
+    /// in-flight tasks are recovered through the registry (never waiting
+    /// for a stranded execution), queued tasks are re-dispatched, and the
+    /// worker threads are left to exit on their own.
     fn reap_dead_blocks(&mut self) -> bool {
-        let mut progressed = false;
-        let mut dead_blocks = Vec::new();
-        for m in &self.managers {
-            if dead_blocks.contains(&m.block) {
-                continue;
-            }
-            if matches!(
-                self.provider.block_state(m.block),
-                Ok(BlockState::Done) | Err(_)
-            ) {
-                dead_blocks.push(m.block);
-            }
-        }
-        if dead_blocks.is_empty() {
+        if self.managers.is_empty() {
             return false;
         }
+        // One state poll per distinct block.
+        let mut states: HashMap<BlockHandle, BlockState> = HashMap::new();
+        for m in &self.managers {
+            states.entry(m.block).or_insert_with(|| {
+                self.supervisor
+                    .provider()
+                    .block_state(m.block)
+                    .unwrap_or(BlockState::Done(BlockEndReason::Unknown))
+            });
+        }
+        let mut progressed = false;
+        let mut whole_blocks_lost: Vec<(BlockHandle, BlockEndReason)> = Vec::new();
+        let mut node_losses = 0usize;
         let mut kept = Vec::new();
-        for m in self.managers.drain(..) {
-            if dead_blocks.contains(&m.block) {
-                m.alive.store(false, Ordering::SeqCst);
-                // Drop the sender: workers drain the channel (requeueing, as
-                // alive=false) and exit.
-                drop(m.task_tx);
-                for w in m.workers {
-                    let _ = w.join();
+        for m in std::mem::take(&mut self.managers) {
+            let verdict = match &states[&m.block] {
+                BlockState::Done(r) => Some(*r),
+                BlockState::Running(nodes) if !nodes.contains(&m.node) => {
+                    Some(BlockEndReason::NodeFail)
                 }
-                self.shared
-                    .capacity
-                    .fetch_sub(self.cfg.workers_per_node as usize, Ordering::SeqCst);
-                self.metrics.counter("htex.managers_lost").inc();
-                progressed = true;
-            } else {
+                _ => None,
+            };
+            let Some(reason) = verdict else {
                 kept.push(m);
+                continue;
+            };
+            progressed = true;
+            m.alive.store(false, Ordering::SeqCst);
+            // Steal every in-flight task and resolve it now.
+            let stolen: Vec<QueuedTask> = m.in_flight.lock().drain().map(|(_, q)| q).collect();
+            for q in stolen {
+                self.recover_lost_task(q, reason);
+            }
+            // Close the channel and re-dispatch tasks no worker started.
+            drop(m.task_tx);
+            while let Ok(q) = m.task_rx.try_recv() {
+                requeue_or_fail(
+                    q,
+                    &self.resubmit,
+                    &self.events,
+                    &self.shared,
+                    self.cfg.max_retries,
+                    &self.metrics,
+                );
+            }
+            self.zombies.extend(m.workers);
+            self.shared
+                .capacity
+                .fetch_sub(self.cfg.workers_per_node as usize, Ordering::SeqCst);
+            self.metrics.counter("htex.managers_lost").inc();
+            if matches!(states[&m.block], BlockState::Done(_)) {
+                if !whole_blocks_lost.iter().any(|(b, _)| *b == m.block) {
+                    whole_blocks_lost.push((m.block, reason));
+                }
+            } else {
+                node_losses += 1;
             }
         }
-        for _ in &dead_blocks {
-            self.shared.blocks.fetch_sub(1, Ordering::SeqCst);
-        }
         self.managers = kept;
+        for (_, reason) in &whole_blocks_lost {
+            self.shared.blocks.fetch_sub(1, Ordering::SeqCst);
+            self.supervisor.note_lost(*reason);
+            emit(
+                &self.events,
+                EngineEvent::BlockLost {
+                    reason: reason.as_str(),
+                    nodes_lost: self.cfg.nodes_per_block as usize,
+                },
+            );
+        }
+        if node_losses > 0 {
+            self.supervisor.note_lost(BlockEndReason::NodeFail);
+            emit(
+                &self.events,
+                EngineEvent::BlockLost {
+                    reason: BlockEndReason::NodeFail.as_str(),
+                    nodes_lost: node_losses,
+                },
+            );
+        }
         progressed
+    }
+
+    /// Resolve a task stolen from a dead manager's in-flight table. A
+    /// walltime kill resolves Shell/MPI bodies with return code 124 — the
+    /// §III-B.3 contract: the command ran and was killed, which is a
+    /// *result*, not an infrastructure error. Everything else re-enters the
+    /// queue within the retry budget and then fails as a typed retryable
+    /// error the SDK may resubmit.
+    fn recover_lost_task(&mut self, q: QueuedTask, reason: BlockEndReason) {
+        if reason == BlockEndReason::Walltime {
+            if let FunctionBody::Shell { cmd, .. } | FunctionBody::Mpi { cmd, .. } =
+                &q.task.function.body
+            {
+                let sr = ShellResult {
+                    returncode: 124,
+                    stdout: String::new(),
+                    stderr: "killed: batch job walltime exceeded".to_string(),
+                    cmd: cmd.clone(),
+                };
+                self.metrics.counter("htex.walltime_kills").inc();
+                emit(
+                    &self.events,
+                    EngineEvent::Done {
+                        task_id: q.task.spec.task_id,
+                        tag: q.task.tag,
+                        result: TaskResult::Ok(sr.to_value()),
+                    },
+                );
+                return;
+            }
+        }
+        requeue_or_fail(
+            q,
+            &self.resubmit,
+            &self.events,
+            &self.shared,
+            self.cfg.max_retries,
+            &self.metrics,
+        );
     }
 
     fn dispatch(&mut self) -> bool {
@@ -460,6 +630,7 @@ fn requeue_or_fail(
     events: &Sender<EngineEvent>,
     shared: &Shared,
     max_retries: u8,
+    metrics: &MetricsRegistry,
 ) {
     requeue_or_fail_with(
         queued,
@@ -467,6 +638,7 @@ fn requeue_or_fail(
         events,
         shared,
         max_retries,
+        metrics,
         "RuntimeError: task lost when its batch job ended".to_string(),
     );
 }
@@ -477,20 +649,24 @@ fn requeue_or_fail_with(
     events: &Sender<EngineEvent>,
     shared: &Shared,
     max_retries: u8,
+    metrics: &MetricsRegistry,
     fail_msg: String,
 ) {
     let task_id = queued.task.spec.task_id;
     if queued.retries < max_retries {
         queued.retries += 1;
         shared.queued.fetch_add(1, Ordering::SeqCst);
+        metrics.counter("htex.tasks_redispatched").inc();
         let _ = resubmit.send(queued);
     } else {
+        // Typed retryable failure: the SDK decodes this as transient and
+        // may resubmit the task within its own budget.
         emit(
             events,
             EngineEvent::Done {
                 task_id,
                 tag: queued.task.tag,
-                result: TaskResult::Err(format!("{fail_msg} (retries exhausted)")),
+                result: TaskResult::retryable_err(format!("{fail_msg} (retries exhausted)")),
             },
         );
     }
@@ -719,7 +895,7 @@ mod tests {
                 let count = polls.entry(b.0).or_insert(0);
                 *count += 1;
                 if *count > 2 {
-                    return Ok(BlockState::Done);
+                    return Ok(BlockState::Done(BlockEndReason::Cancelled));
                 }
                 self.inner.block_state(b)
             }

@@ -33,4 +33,7 @@ pub use config::EndpointConfig;
 pub use engine::{Engine, EngineEvent, ExecutableTask};
 pub use htex::GlobusComputeEngine;
 pub use mpi_engine::GlobusMpiEngine;
-pub use provider::{BatchProvider, BlockHandle, BlockState, LocalProvider, Provider};
+pub use provider::{
+    BatchProvider, BlockEndReason, BlockHandle, BlockState, BlockSupervisor, LocalProvider,
+    Provider, SupervisorStats,
+};

@@ -20,7 +20,7 @@
 //! `$PARSL_MPI_PREFIX`, which resolves to the configured launcher prefix
 //! (e.g. `mpiexec -n 4 -host node-001,node-002`).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -38,7 +38,7 @@ use gcx_shell::mpi::{LauncherKind, MpiLaunchPlan, MpiLauncher};
 use gcx_shell::{format_command, ShellExecutor, Vfs};
 
 use crate::engine::{emit, Engine, EngineEvent, EngineStatus, ExecutableTask, ValueTransform};
-use crate::provider::{BlockHandle, BlockState, Provider};
+use crate::provider::{BlockEndReason, BlockHandle, BlockState, BlockSupervisor, Provider};
 use crate::worker::WorkerContext;
 
 /// Configuration for [`GlobusMpiEngine`].
@@ -70,20 +70,22 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
+#[derive(Clone)]
 struct QueuedMpiTask {
     task: ExecutableTask,
     spec: NormalizedSpec,
     retries: u8,
 }
 
+/// Partition-table entry for one launched task: which nodes it holds.
+struct InFlightMpi {
+    q: QueuedMpiTask,
+    nodes: Vec<String>,
+}
+
 enum SchedulerMsg {
     Submit(Box<QueuedMpiTask>),
-    Finished {
-        nodes: Vec<String>,
-        generation: u64,
-        task: Box<QueuedMpiTask>,
-        result: TaskResult,
-    },
+    Finished { launch_id: u64, result: TaskResult },
 }
 
 /// The MPI engine.
@@ -113,9 +115,10 @@ impl GlobusMpiEngine {
             blocks: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         });
+        let supervisor = BlockSupervisor::new(provider, clock.clone(), metrics.clone(), "mpi");
         let sched = Scheduler {
             cfg,
-            provider,
+            supervisor,
             vfs,
             clock,
             metrics,
@@ -125,9 +128,10 @@ impl GlobusMpiEngine {
             self_tx: tx.clone(),
             queue: VecDeque::new(),
             free_nodes: Vec::new(),
+            members: Vec::new(),
             block: None,
-            generation: 0,
-            in_flight: 0,
+            in_flight: HashMap::new(),
+            launch_seq: 0,
             transform,
         };
         let scheduler = std::thread::Builder::new()
@@ -183,7 +187,7 @@ impl Drop for GlobusMpiEngine {
 
 struct Scheduler {
     cfg: MpiEngineConfig,
-    provider: Arc<dyn Provider>,
+    supervisor: BlockSupervisor,
     vfs: Vfs,
     clock: SharedClock,
     metrics: MetricsRegistry,
@@ -192,10 +196,21 @@ struct Scheduler {
     rx: Receiver<SchedulerMsg>,
     self_tx: Sender<SchedulerMsg>,
     queue: VecDeque<QueuedMpiTask>,
+    /// Nodes of the running block not currently assigned to a task.
     free_nodes: Vec<String>,
+    /// Full live membership of the running block (free + in flight). When
+    /// the batch layer reports fewer members than we think we have, the
+    /// difference is the set of crashed nodes and the partition table is
+    /// repaired around them.
+    members: Vec<String>,
     block: Option<(BlockHandle, bool)>, // (handle, running)
-    generation: u64,
-    in_flight: usize,
+    /// Partition table: launch id → (queued task, node slice). Keyed by a
+    /// per-launch id (not task id) so a zombie launch of a since-requeued
+    /// task can never resolve the retry's entry. A `Finished` message whose
+    /// launch id is no longer in this table is stale (its nodes were
+    /// already reclaimed by fault recovery) and its result is discarded.
+    in_flight: HashMap<u64, InFlightMpi>,
+    launch_seq: u64,
     transform: Option<ValueTransform>,
 }
 
@@ -220,27 +235,26 @@ impl Scheduler {
                         );
                         self.queue.push_back(*q);
                     }
-                    SchedulerMsg::Finished {
-                        nodes,
-                        generation,
-                        task,
-                        result,
-                    } => {
-                        self.in_flight -= 1;
-                        self.shared.running.fetch_sub(1, Ordering::SeqCst);
-                        if generation == self.generation {
-                            self.free_nodes.extend(nodes);
-                            emit(
-                                &self.events,
-                                EngineEvent::Done {
-                                    task_id: task.task.spec.task_id,
-                                    tag: task.task.tag,
-                                    result,
-                                },
-                            );
-                        } else {
-                            // The block died under this launch: result lost.
-                            self.requeue_or_fail(*task);
+                    SchedulerMsg::Finished { launch_id, result } => {
+                        match self.in_flight.remove(&launch_id) {
+                            Some(entry) => {
+                                self.shared.running.fetch_sub(1, Ordering::SeqCst);
+                                self.free_nodes.extend(entry.nodes);
+                                emit(
+                                    &self.events,
+                                    EngineEvent::Done {
+                                        task_id: entry.q.task.spec.task_id,
+                                        tag: entry.q.task.tag,
+                                        result,
+                                    },
+                                );
+                            }
+                            None => {
+                                // Fault recovery already reclaimed this
+                                // task's nodes and requeued (or resolved)
+                                // it; the zombie launch's result is stale.
+                                self.metrics.counter("mpi.stale_results_discarded").inc();
+                            }
                         }
                     }
                 }
@@ -254,13 +268,14 @@ impl Scheduler {
             }
         }
         if let Some((handle, _)) = self.block.take() {
-            let _ = self.provider.cancel_block(handle);
+            let _ = self.supervisor.provider().cancel_block(handle);
         }
     }
 
     fn requeue_or_fail(&mut self, mut q: QueuedMpiTask) {
         if q.retries < self.cfg.max_retries {
             q.retries += 1;
+            self.metrics.counter("mpi.tasks_redispatched").inc();
             self.shared.queued.fetch_add(1, Ordering::SeqCst);
             self.queue.push_back(q);
         } else {
@@ -269,13 +284,44 @@ impl Scheduler {
                 EngineEvent::Done {
                     task_id: q.task.spec.task_id,
                     tag: q.task.tag,
-                    result: TaskResult::Err(
-                        "RuntimeError: MPI task lost when its batch job ended (retries exhausted)"
-                            .to_string(),
+                    result: TaskResult::retryable_err(
+                        "RuntimeError: MPI task lost when its batch job ended (retries exhausted)",
                     ),
                 },
             );
         }
+    }
+
+    /// Resolve a task whose node slice just died. A walltime kill means the
+    /// application ran and was killed by the batch system — for Shell/MPI
+    /// bodies that is a *result* (return code 124, §III-B.3), not an error,
+    /// so it resolves immediately without retry. Everything else requeues.
+    fn recover_lost_task(&mut self, q: QueuedMpiTask, reason: BlockEndReason) {
+        if reason == BlockEndReason::Walltime {
+            if let FunctionBody::Shell { cmd, .. } | FunctionBody::Mpi { cmd, .. } =
+                &q.task.function.body
+            {
+                self.metrics.counter("mpi.walltime_kills").inc();
+                emit(
+                    &self.events,
+                    EngineEvent::Done {
+                        task_id: q.task.spec.task_id,
+                        tag: q.task.tag,
+                        result: TaskResult::Ok(
+                            ShellResult {
+                                returncode: 124,
+                                stdout: String::new(),
+                                stderr: "killed: batch job walltime exceeded".to_string(),
+                                cmd: cmd.clone(),
+                            }
+                            .to_value(),
+                        ),
+                    },
+                );
+                return;
+            }
+        }
+        self.requeue_or_fail(q);
     }
 
     /// Keep one block alive while there is (or could be) work.
@@ -287,37 +333,144 @@ impl Scheduler {
                 if self.queue.is_empty() {
                     return false;
                 }
-                if let Ok(handle) = self.provider.submit_block(self.cfg.nodes_per_block) {
+                if let Some(handle) = self.supervisor.request_block(self.cfg.nodes_per_block) {
                     self.block = Some((handle, false));
-                    self.metrics.counter("mpi.blocks_requested").inc();
                     return true;
                 }
                 false
             }
-            Some((handle, running)) => match self.provider.block_state(handle) {
+            Some((handle, running)) => match self.supervisor.provider().block_state(handle) {
                 Ok(BlockState::Running(nodes)) if !running => {
+                    self.members = nodes.clone();
                     self.free_nodes = nodes;
                     self.shared
                         .capacity
                         .store(self.free_nodes.len(), Ordering::SeqCst);
                     self.shared.blocks.store(1, Ordering::SeqCst);
                     self.block = Some((handle, true));
+                    self.supervisor.note_running();
+                    emit(
+                        &self.events,
+                        EngineEvent::BlockProvisioned {
+                            nodes: self.members.len(),
+                        },
+                    );
                     true
                 }
-                Ok(BlockState::Pending) | Ok(BlockState::Running(_)) => false,
-                Ok(BlockState::Done) | Err(_) => {
-                    // The block died: everything in flight is lost; queued
-                    // tasks simply wait for a fresh block.
-                    self.generation += 1;
-                    self.free_nodes.clear();
-                    self.shared.capacity.store(0, Ordering::SeqCst);
-                    self.shared.blocks.store(0, Ordering::SeqCst);
-                    self.metrics.counter("mpi.blocks_lost").inc();
-                    self.block = None;
+                Ok(BlockState::Pending) => false,
+                Ok(BlockState::Running(current)) => {
+                    if current.len() == self.members.len() {
+                        return false;
+                    }
+                    // Member nodes died under us: repair the partition
+                    // table around them, then consider replacing a block
+                    // too small for the remaining work.
+                    self.repair_partition(&current);
+                    self.maybe_replace_degraded_block(handle);
+                    true
+                }
+                Ok(BlockState::Done(reason)) => {
+                    self.lose_whole_block(reason);
+                    true
+                }
+                Err(_) => {
+                    self.lose_whole_block(BlockEndReason::Unknown);
                     true
                 }
             },
         }
+    }
+
+    /// The batch layer says the block now has `current` members; everything
+    /// in `self.members` but not in `current` crashed. Tasks whose slice
+    /// intersects the crashed set are pulled from the partition table (their
+    /// surviving nodes return to the free pool); crashed nodes simply leave
+    /// the partition — if the batch system later revives them they rejoin
+    /// the *cluster's* free pool, never a running job's.
+    fn repair_partition(&mut self, current: &[String]) {
+        let live: HashSet<&str> = current.iter().map(String::as_str).collect();
+        let dead: HashSet<String> = self
+            .members
+            .iter()
+            .filter(|n| !live.contains(n.as_str()))
+            .cloned()
+            .collect();
+        if dead.is_empty() {
+            self.members = current.to_vec();
+            return;
+        }
+        self.free_nodes.retain(|n| !dead.contains(n));
+        let hit: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, e)| e.nodes.iter().any(|n| dead.contains(n)))
+            .map(|(id, _)| *id)
+            .collect();
+        for launch_id in hit {
+            let entry = self.in_flight.remove(&launch_id).expect("entry present");
+            self.shared.running.fetch_sub(1, Ordering::SeqCst);
+            self.free_nodes
+                .extend(entry.nodes.into_iter().filter(|n| !dead.contains(n)));
+            self.metrics.counter("mpi.partitions_repaired").inc();
+            self.recover_lost_task(entry.q, BlockEndReason::NodeFail);
+        }
+        self.members = current.to_vec();
+        self.shared
+            .capacity
+            .store(self.members.len(), Ordering::SeqCst);
+        self.supervisor.note_lost(BlockEndReason::NodeFail);
+        emit(
+            &self.events,
+            EngineEvent::BlockLost {
+                reason: BlockEndReason::NodeFail.as_str(),
+                nodes_lost: dead.len(),
+            },
+        );
+    }
+
+    /// After node loss, a degraded block may be too small for the queued
+    /// work (a task needing more nodes than remain would wait forever).
+    /// When the block is idle and the queue holds such a task, release the
+    /// block and let the normal acquisition path request a full-size one.
+    fn maybe_replace_degraded_block(&mut self, handle: BlockHandle) {
+        let degraded = self.members.len() < self.cfg.nodes_per_block as usize;
+        let stuck = self
+            .queue
+            .iter()
+            .any(|q| q.spec.num_nodes as usize > self.members.len());
+        if degraded && stuck && self.in_flight.is_empty() {
+            let _ = self.supervisor.provider().cancel_block(handle);
+            self.metrics.counter("mpi.blocks_replaced").inc();
+            self.free_nodes.clear();
+            self.members.clear();
+            self.shared.capacity.store(0, Ordering::SeqCst);
+            self.shared.blocks.store(0, Ordering::SeqCst);
+            self.block = None;
+        }
+    }
+
+    /// The whole block ended (walltime, preemption, total node failure, …):
+    /// recover every in-flight task and drop all capacity.
+    fn lose_whole_block(&mut self, reason: BlockEndReason) {
+        let nodes_lost = self.members.len();
+        let entries: Vec<InFlightMpi> = self.in_flight.drain().map(|(_, e)| e).collect();
+        for entry in entries {
+            self.shared.running.fetch_sub(1, Ordering::SeqCst);
+            self.recover_lost_task(entry.q, reason);
+        }
+        self.free_nodes.clear();
+        self.members.clear();
+        self.shared.capacity.store(0, Ordering::SeqCst);
+        self.shared.blocks.store(0, Ordering::SeqCst);
+        self.supervisor.note_lost(reason);
+        self.block = None;
+        emit(
+            &self.events,
+            EngineEvent::BlockLost {
+                reason: reason.as_str(),
+                nodes_lost,
+            },
+        );
     }
 
     /// Greedy dynamic partitioning: start every queued task whose node
@@ -361,30 +514,32 @@ impl Scheduler {
     fn launch(&mut self, q: QueuedMpiTask, nodes: Vec<String>) {
         self.shared.queued.fetch_sub(1, Ordering::SeqCst);
         self.shared.running.fetch_add(1, Ordering::SeqCst);
-        self.in_flight += 1;
         self.metrics.counter("mpi.tasks_launched").inc();
         emit(
             &self.events,
             EngineEvent::State(q.task.spec.task_id, TaskState::Running),
         );
 
-        let generation = self.generation;
         let tx = self.self_tx.clone();
         let vfs = self.vfs.clone();
         let clock = self.clock.clone();
         let launcher_kind = self.cfg.launcher;
         let transform = self.transform.clone();
         let task_id = q.task.spec.task_id;
+        let launch_id = self.launch_seq;
+        self.launch_seq += 1;
+        self.in_flight.insert(
+            launch_id,
+            InFlightMpi {
+                q: q.clone(),
+                nodes: nodes.clone(),
+            },
+        );
         std::thread::Builder::new()
             .name(format!("gcx-mpi-launch-{task_id}"))
             .spawn(move || {
                 let result = run_mpi_task(&q, &nodes, launcher_kind, vfs, clock, transform);
-                let _ = tx.send(SchedulerMsg::Finished {
-                    nodes,
-                    generation,
-                    task: Box::new(q),
-                    result,
-                });
+                let _ = tx.send(SchedulerMsg::Finished { launch_id, result });
             })
             .expect("spawn mpi launch");
     }
@@ -662,8 +817,11 @@ mod tests {
     }
 
     #[test]
-    fn block_death_requeues_then_fails() {
-        // Batch block with a short walltime dies under a long task.
+    fn block_walltime_kill_resolves_mpi_task_with_124() {
+        // Batch block with a short walltime dies under a long task: the
+        // command ran and was killed by the batch system, so the task
+        // resolves immediately with return code 124 (§III-B.3) — it does
+        // not hang until the zombie launch's virtual sleeps elapse.
         let clock = VirtualClock::new();
         let sched = BatchScheduler::new(ClusterSpec::simple(2), clock.clone());
         let provider = Arc::new(BatchProvider::slurm(sched, "cpu", "a", 1_000));
@@ -683,24 +841,73 @@ mod tests {
         );
         e.submit(mpi_task("sleep 100", ResourceSpec::nodes(2), 1))
             .unwrap();
-        // Wait for both ranks to be asleep, then advance past the block
-        // walltime: the scheduler kills the job; the ranks' sleeps continue
-        // to the task deadline... advance far enough for the sleep itself.
         clock.wait_for_sleepers(2);
-        clock.advance(1_000); // block dies at t=1000
-                              // Wait (in wall time) until the scheduler has observed the death —
-                              // otherwise the completion below could race in under generation 0.
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while e.status().blocks != 0 {
-            assert!(
-                std::time::Instant::now() < deadline,
-                "engine never saw the dead block"
-            );
-            std::thread::yield_now();
-        }
-        clock.advance(99_000); // let the rank sleeps finish
+        clock.advance(1_000); // block walltime expires at t=1000
         let done = wait_results(&rx, 1);
-        assert!(matches!(&done[0].1, TaskResult::Err(m) if m.contains("batch job ended")));
+        let sr = shell_result(&done[0].1);
+        assert_eq!(sr.returncode, 124);
+        assert!(sr.stderr.contains("walltime"), "stderr: {}", sr.stderr);
+        e.shutdown();
+    }
+
+    #[test]
+    fn node_crash_repairs_partition_and_replaces_block() {
+        use gcx_batch::{ResourceFaultPlan, ResourceFaultRule};
+        // A node inside the active MPI partition crashes mid-task. The
+        // engine must repair its partition table (requeue the task, reclaim
+        // survivors), notice the degraded block cannot host the 2-node
+        // retry, replace the block, and complete the task on the new one.
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(2), clock.clone());
+        sched.set_fault_plan(Some(ResourceFaultPlan::new(7).with_rule(
+            // Only the first block's job is in flight during [0, 600).
+            ResourceFaultRule::node_crash("cpu", 1.0, 500, 200).during(0, 600),
+        )));
+        let metrics = MetricsRegistry::new();
+        let provider = Arc::new(BatchProvider::slurm(sched, "cpu", "a", 60_000));
+        let (tx, rx) = unbounded();
+        let mut e = GlobusMpiEngine::start(
+            MpiEngineConfig {
+                nodes_per_block: 2,
+                max_retries: 1,
+                ..Default::default()
+            },
+            provider,
+            Vfs::new(),
+            clock.clone(),
+            metrics.clone(),
+            tx,
+            None,
+        );
+        e.submit(mpi_task("sleep 5", ResourceSpec::nodes(2), 1))
+            .unwrap();
+        clock.wait_for_sleepers(2); // both ranks asleep on attempt one
+        clock.advance(500); // the crash fires
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(EngineEvent::BlockLost { reason, nodes_lost }) => {
+                    assert_eq!(reason, "node-failure");
+                    assert_eq!(nodes_lost, 1);
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) => panic!("engine never reported the node loss"),
+            }
+        }
+        // Crashed node is back at t=700; the supervisor backoff gate is at
+        // most 500 + 300 = 800. Advance to 800 so the replacement block can
+        // be requested and started, then let the retry's sleeps elapse.
+        clock.advance(300);
+        clock.wait_for_sleepers(4); // 2 zombie ranks + 2 retry ranks
+        clock.advance(5_000);
+        let done = wait_results(&rx, 1);
+        let sr = shell_result(&done[0].1);
+        assert_eq!(sr.returncode, 0);
+        assert_eq!(metrics.counter("mpi.partitions_repaired").get(), 1);
+        assert_eq!(metrics.counter("mpi.tasks_redispatched").get(), 1);
+        assert_eq!(metrics.counter("mpi.blocks_replaced").get(), 1);
         e.shutdown();
     }
 }

@@ -1,20 +1,64 @@
 //! The Provider abstraction (§II): "The Provider abstracts different
 //! computing resources … The abstraction exposes an interface to obtain
 //! resources, check the status of requests, and to release resources."
+//!
+//! [`BlockSupervisor`] layers a small recovery state machine on top: it
+//! gates block re-provisioning behind a capped exponential backoff (a
+//! [`RetryPolicy`] on the endpoint's clock) so an engine that keeps losing
+//! blocks to walltime, preemption, or node failure re-requests capacity
+//! without hammering the scheduler.
 
 use gcx_batch::{BatchScheduler, JobRequest, JobState};
+use gcx_core::clock::{SharedClock, TimeMs};
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::ids::JobId;
+use gcx_core::metrics::MetricsRegistry;
+use gcx_core::retry::RetryPolicy;
+use std::sync::Arc;
+
+/// Why a block ended — engines use this to pick recovery semantics (a
+/// walltime kill resolves shell tasks with return code 124; other losses
+/// requeue or fail retryably).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockEndReason {
+    /// The pilot released it normally.
+    Completed,
+    /// Cancelled by the engine/user.
+    Cancelled,
+    /// Killed by the scheduler for exceeding its walltime.
+    Walltime,
+    /// Evicted whole by the scheduler.
+    Preempted,
+    /// Lost every node to hardware failure.
+    NodeFail,
+    /// The provider could not say (e.g. the block was never tracked).
+    Unknown,
+}
+
+impl BlockEndReason {
+    /// Short human-readable label for events and logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BlockEndReason::Completed => "completed",
+            BlockEndReason::Cancelled => "cancelled",
+            BlockEndReason::Walltime => "walltime",
+            BlockEndReason::Preempted => "preempted",
+            BlockEndReason::NodeFail => "node-failure",
+            BlockEndReason::Unknown => "unknown",
+        }
+    }
+}
 
 /// State of one provisioned block (pilot job).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BlockState {
     /// Waiting in the scheduler queue.
     Pending,
-    /// Running on these nodes.
+    /// Running on these nodes. The list can *shrink* across polls when the
+    /// scheduler's fault plan crashes a member node.
     Running(Vec<String>),
-    /// Gone (completed, cancelled, or killed by walltime).
-    Done,
+    /// Gone, and why.
+    Done(BlockEndReason),
 }
 
 /// Handle to one provisioned block.
@@ -70,7 +114,7 @@ impl Provider for LocalProvider {
     fn block_state(&self, block: BlockHandle) -> GcxResult<BlockState> {
         Ok(match self.active.lock().get(&block.0) {
             Some(nodes) => BlockState::Running(nodes.clone()),
-            None => BlockState::Done,
+            None => BlockState::Done(BlockEndReason::Cancelled),
         })
     }
 
@@ -153,7 +197,11 @@ impl Provider for BatchProvider {
         Ok(match info.state {
             JobState::Pending => BlockState::Pending,
             JobState::Running => BlockState::Running(info.nodes),
-            _ => BlockState::Done,
+            JobState::Completed => BlockState::Done(BlockEndReason::Completed),
+            JobState::Cancelled => BlockState::Done(BlockEndReason::Cancelled),
+            JobState::TimedOut => BlockState::Done(BlockEndReason::Walltime),
+            JobState::Preempted => BlockState::Done(BlockEndReason::Preempted),
+            JobState::NodeFail => BlockState::Done(BlockEndReason::NodeFail),
         })
     }
 
@@ -170,10 +218,154 @@ impl Provider for BatchProvider {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Block supervision
+// ---------------------------------------------------------------------------
+
+/// Running totals kept by a [`BlockSupervisor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Blocks (or parts of blocks) lost to walltime/preemption/node failure.
+    pub blocks_lost: u64,
+    /// Blocks requested *after* at least one loss — i.e. re-provisioned.
+    pub blocks_reprovisioned: u64,
+}
+
+struct SupervisorState {
+    /// Consecutive losses since the last block reached Running.
+    losses: u32,
+    /// No submissions before this instant (backoff gate).
+    next_submit_at: TimeMs,
+    stats: SupervisorStats,
+}
+
+/// Block-provisioning state machine shared by both engines: submissions go
+/// through [`request_block`](Self::request_block), which refuses to re-hit
+/// the scheduler until a capped exponential backoff (reset whenever a block
+/// reaches `Running`) has elapsed after each loss.
+pub struct BlockSupervisor {
+    provider: Arc<dyn Provider>,
+    clock: SharedClock,
+    metrics: MetricsRegistry,
+    backoff: RetryPolicy,
+    prefix: &'static str,
+    state: parking_lot::Mutex<SupervisorState>,
+}
+
+impl BlockSupervisor {
+    /// Default re-provisioning backoff: 250 ms doubling to a 4 s cap, with
+    /// deterministic jitter. The attempt budget is irrelevant here — a
+    /// supervisor retries for as long as its engine wants capacity.
+    pub fn default_backoff() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: u32::MAX,
+            base_ms: 250,
+            max_ms: 4_000,
+            jitter: 0.2,
+            seed: 0xB10C,
+        }
+    }
+
+    /// Supervise `provider`, emitting counters as `<prefix>.blocks_lost` /
+    /// `<prefix>.blocks_reprovisioned`.
+    pub fn new(
+        provider: Arc<dyn Provider>,
+        clock: SharedClock,
+        metrics: MetricsRegistry,
+        prefix: &'static str,
+    ) -> Self {
+        Self::with_backoff(provider, clock, metrics, prefix, Self::default_backoff())
+    }
+
+    /// As [`new`](Self::new) with an explicit backoff policy.
+    pub fn with_backoff(
+        provider: Arc<dyn Provider>,
+        clock: SharedClock,
+        metrics: MetricsRegistry,
+        prefix: &'static str,
+        backoff: RetryPolicy,
+    ) -> Self {
+        Self {
+            provider,
+            clock,
+            metrics,
+            backoff,
+            prefix,
+            state: parking_lot::Mutex::new(SupervisorState {
+                losses: 0,
+                next_submit_at: 0,
+                stats: SupervisorStats::default(),
+            }),
+        }
+    }
+
+    /// The supervised provider (pass-through access for polling/cancel).
+    pub fn provider(&self) -> &Arc<dyn Provider> {
+        &self.provider
+    }
+
+    /// Request a block, unless the backoff gate is closed — then `None`.
+    /// A provider-side submission error also counts as a loss (so a broken
+    /// scheduler is retried with backoff, not hammered).
+    pub fn request_block(&self, num_nodes: u32) -> Option<BlockHandle> {
+        {
+            let st = self.state.lock();
+            if self.clock.now_ms() < st.next_submit_at {
+                return None;
+            }
+        }
+        match self.provider.submit_block(num_nodes) {
+            Ok(handle) => {
+                self.metrics
+                    .counter(&format!("{}.blocks_requested", self.prefix))
+                    .inc();
+                let mut st = self.state.lock();
+                if st.losses > 0 {
+                    st.stats.blocks_reprovisioned += 1;
+                    self.metrics
+                        .counter(&format!("{}.blocks_reprovisioned", self.prefix))
+                        .inc();
+                }
+                Some(handle)
+            }
+            Err(_) => {
+                self.note_lost(BlockEndReason::Unknown);
+                None
+            }
+        }
+    }
+
+    /// A block reached `Running`: the resource layer is healthy again.
+    pub fn note_running(&self) {
+        self.state.lock().losses = 0;
+    }
+
+    /// A block (pending or running) was lost. Arms the backoff gate.
+    pub fn note_lost(&self, reason: BlockEndReason) {
+        let mut st = self.state.lock();
+        st.losses = st.losses.saturating_add(1);
+        st.stats.blocks_lost += 1;
+        let wait = self.backoff.backoff_ms(st.losses);
+        st.next_submit_at = self.clock.now_ms().saturating_add(wait);
+        drop(st);
+        self.metrics
+            .counter(&format!("{}.blocks_lost", self.prefix))
+            .inc();
+        self.metrics
+            .counter(&format!("{}.blocks_lost_{}", self.prefix, reason.as_str()))
+            .inc();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SupervisorStats {
+        self.state.lock().stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcx_batch::ClusterSpec;
+    use gcx_batch::{ClusterSpec, ResourceFaultPlan, ResourceFaultRule};
     use gcx_core::clock::VirtualClock;
 
     #[test]
@@ -190,7 +382,10 @@ mod tests {
         };
         assert_eq!(nodes2, vec!["laptop-3"], "node names never repeat");
         p.cancel_block(b).unwrap();
-        assert_eq!(p.block_state(b).unwrap(), BlockState::Done);
+        assert_eq!(
+            p.block_state(b).unwrap(),
+            BlockState::Done(BlockEndReason::Cancelled)
+        );
         assert!(p.cancel_block(b).is_err());
         assert_eq!(p.kind(), "local");
     }
@@ -218,10 +413,29 @@ mod tests {
         let p = BatchProvider::pbs(sched, "cpu", "acct", 5_000);
         let b = p.submit_block(1).unwrap();
         clock.advance(5_000);
-        assert_eq!(p.block_state(b).unwrap(), BlockState::Done);
+        assert_eq!(
+            p.block_state(b).unwrap(),
+            BlockState::Done(BlockEndReason::Walltime)
+        );
         // Releasing an already-dead block is idempotent.
         p.cancel_block(b).unwrap();
         assert_eq!(p.kind(), "pbs");
+    }
+
+    #[test]
+    fn batch_provider_surfaces_fault_reasons() {
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(1), clock.clone());
+        sched.set_fault_plan(Some(
+            ResourceFaultPlan::new(1).with_rule(ResourceFaultRule::preempt("", 1.0, 2_000)),
+        ));
+        let p = BatchProvider::slurm(sched, "cpu", "acct", 60_000);
+        let b = p.submit_block(1).unwrap();
+        clock.advance(2_000);
+        assert_eq!(
+            p.block_state(b).unwrap(),
+            BlockState::Done(BlockEndReason::Preempted)
+        );
     }
 
     #[test]
@@ -230,5 +444,58 @@ mod tests {
         let sched = BatchScheduler::new(ClusterSpec::simple(2), clock);
         let p = BatchProvider::slurm(sched, "nope", "acct", 60_000);
         assert!(p.submit_block(1).is_err());
+    }
+
+    #[test]
+    fn supervisor_gates_resubmission_behind_backoff() {
+        let clock = VirtualClock::new();
+        let sched = BatchScheduler::new(ClusterSpec::simple(1), clock.clone());
+        let provider: Arc<dyn Provider> =
+            Arc::new(BatchProvider::slurm(sched, "cpu", "acct", 60_000));
+        let sup = BlockSupervisor::with_backoff(
+            provider,
+            clock.clone(),
+            MetricsRegistry::new(),
+            "test",
+            RetryPolicy::fixed(u32::MAX, 1_000),
+        );
+        let b = sup.request_block(1).expect("first request goes through");
+        sup.note_running();
+        sup.note_lost(BlockEndReason::Walltime);
+        assert!(
+            sup.request_block(1).is_none(),
+            "backoff gate must be closed right after a loss"
+        );
+        clock.advance(999);
+        assert!(sup.request_block(1).is_none());
+        clock.advance(1);
+        // Gate open again; the old block still holds the node, so release it.
+        sup.provider().cancel_block(b).unwrap();
+        assert!(sup.request_block(1).is_some());
+        assert_eq!(sup.stats().blocks_lost, 1);
+        assert_eq!(sup.stats().blocks_reprovisioned, 1);
+    }
+
+    #[test]
+    fn supervisor_backoff_doubles_then_resets_on_running() {
+        let clock = VirtualClock::new();
+        let provider: Arc<dyn Provider> = Arc::new(LocalProvider::new("h"));
+        let sup = BlockSupervisor::with_backoff(
+            provider,
+            clock.clone(),
+            MetricsRegistry::new(),
+            "test",
+            RetryPolicy::fixed(u32::MAX, 100),
+        );
+        sup.note_lost(BlockEndReason::NodeFail);
+        sup.note_lost(BlockEndReason::NodeFail); // 2nd consecutive loss → 200 ms
+        clock.advance(199);
+        assert!(sup.request_block(1).is_none());
+        clock.advance(1);
+        assert!(sup.request_block(1).is_some());
+        sup.note_running(); // healthy → streak resets
+        sup.note_lost(BlockEndReason::Walltime); // back to base backoff
+        clock.advance(100);
+        assert!(sup.request_block(1).is_some());
     }
 }

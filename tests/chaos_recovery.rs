@@ -10,16 +10,21 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gcx::auth::{AuthPolicy, AuthService};
-use gcx::cloud::{CloudConfig, WebService};
+use gcx::batch::{
+    BatchScheduler, ClusterSpec, PartitionSpec, ResourceFaultPlan, ResourceFaultRule,
+};
+use gcx::cloud::{CloudConfig, EndpointHealth, WebService};
 use gcx::core::clock::{SharedClock, SystemClock, VirtualClock};
 use gcx::core::error::GcxError;
 use gcx::core::metrics::MetricsRegistry;
+use gcx::core::respec::ResourceSpec;
 use gcx::core::retry::RetryPolicy;
+use gcx::core::shellres::ShellResult;
 use gcx::core::task::TaskResult;
 use gcx::core::value::Value;
 use gcx::endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
 use gcx::mq::{Broker, FaultDirection, FaultPlan, FaultRule, LinkProfile};
-use gcx::sdk::{Executor, ExecutorConfig, PyFunction, TaskFuture};
+use gcx::sdk::{Executor, ExecutorConfig, MpiFunction, PyFunction, ShellFunction, TaskFuture};
 
 const ENGINE_YAML: &str = "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n";
 
@@ -250,6 +255,278 @@ fn workload_completes_under_message_drops_and_duplicates() {
     ex.close();
     agent.stop();
     svc.shutdown();
+}
+
+/// The chaos seed: `GCX_CHAOS_SEED` (decimal or `0x`-hex) when set, a fixed
+/// default otherwise. CI runs the suite under several fixed seeds; the
+/// probabilistic fault rules draw differently under each, so the recovery
+/// paths are exercised from different interleavings while the acceptance
+/// bar (100% completion, exactly-once) stays seed-independent.
+fn chaos_seed() -> u64 {
+    std::env::var("GCX_CHAOS_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim().to_string();
+            match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(0xC4A0_5EED)
+}
+
+/// The resource-fault headline scenario (ISSUE 2): a three-partition site
+/// runs a mixed plain/Shell/MPI workload while the batch layer injects
+/// scripted resource faults —
+///
+/// - a node crash at t=2 s inside the `mpi` partition, killing a member of
+///   an **active MPI partition** (the 2-node application is mid-run);
+/// - a whole-job preemption of the `cpu` block at t=1.5 s with four pyfn
+///   tasks in flight, plus a seed-dependent chance of the replacement block
+///   being preempted again (driving the engine's retry budget into the
+///   SDK's resubmission path);
+/// - a walltime expiry on the `short` partition (2 s block walltime) under
+///   a 60 s shell task.
+///
+/// Every layer above must recover: the MPI engine repairs its partition
+/// table and re-dispatches the lost application, htex re-provisions blocks
+/// and requeues stolen tasks, the walltime-killed shell task resolves with
+/// return code 124 (never hangs), and the cloud sees the capacity loss as
+/// *degraded* — not dead. The workload reaches 100% completion with each
+/// result observed exactly once and no node ever double-allocated.
+#[test]
+fn node_crash_and_preemption_mid_mixed_workload_all_complete() {
+    let (vclock, svc) = virtual_service(600_000);
+    let clock: SharedClock = vclock.clone();
+    let sched = BatchScheduler::new(
+        ClusterSpec {
+            name: "chaos-site".into(),
+            partitions: vec![
+                PartitionSpec::sized("cpu", "cn", 2, 24 * 3600 * 1000),
+                PartitionSpec::sized("mpi", "mn", 2, 24 * 3600 * 1000),
+                PartitionSpec::sized("short", "sn", 1, 24 * 3600 * 1000),
+            ],
+        },
+        clock.clone(),
+    );
+    // Fire times are relative to each job's start; `during` windows gate on
+    // the absolute fire time, so replacement blocks (which start later) are
+    // spared the deterministic rules and recovery can make progress.
+    sched.set_fault_plan(Some(
+        ResourceFaultPlan::new(chaos_seed())
+            .with_rule(ResourceFaultRule::node_crash("mpi", 1.0, 2_000, 3_000).during(0, 5_000))
+            .with_rule(ResourceFaultRule::preempt("cpu", 1.0, 1_500).during(0, 2_000))
+            .with_rule(ResourceFaultRule::preempt("cpu", 0.4, 1_200).during(2_500, 6_000)),
+    ));
+
+    let (_, token) = svc.auth().login("resource-chaos@test.org").unwrap();
+    let mut agents = Vec::new();
+    let mut endpoints = Vec::new();
+    let mut engine_metrics = Vec::new();
+    for (name, yaml) in [
+        (
+            "cpu-ep",
+            "engine:\n  type: GlobusComputeEngine\n  nodes_per_block: 2\n  workers_per_node: 2\n  provider:\n    type: SlurmProvider\n    partition: cpu\n    walltime: \"00:00:30\"\n",
+        ),
+        (
+            "mpi-ep",
+            "engine:\n  type: GlobusMPIEngine\n  nodes_per_block: 2\n  provider:\n    type: SlurmProvider\n    partition: mpi\n    walltime: \"00:01:00\"\n",
+        ),
+        (
+            "short-ep",
+            "engine:\n  type: GlobusComputeEngine\n  nodes_per_block: 1\n  workers_per_node: 1\n  provider:\n    type: SlurmProvider\n    partition: short\n    walltime: \"00:00:02\"\n",
+        ),
+    ] {
+        let reg = svc
+            .register_endpoint(&token, name, false, AuthPolicy::open(), None)
+            .unwrap();
+        let mut env = AgentEnv::local(clock.clone());
+        env.scheduler = Some(sched.clone());
+        engine_metrics.push(env.metrics.clone());
+        let agent =
+            EndpointAgent::start(&svc, reg.endpoint_id, &reg.queue_credential, &config_of(yaml), env)
+                .unwrap();
+        agents.push(agent);
+        endpoints.push(reg.endpoint_id);
+    }
+    let (ep_cpu, ep_mpi, ep_short) = (endpoints[0], endpoints[1], endpoints[2]);
+
+    let executor = |ep, attempts| {
+        Executor::with_config(
+            svc.clone(),
+            token.clone(),
+            ep,
+            ExecutorConfig {
+                retry: RetryPolicy::fixed(attempts, 5),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let ex_cpu = executor(ep_cpu, 5);
+    let ex_mpi = executor(ep_mpi, 3);
+    let ex_short = executor(ep_short, 3);
+
+    // The workload: 6 pyfn tasks (4 slots on the cpu block, mid-sleep when
+    // the preemption hits), one 60 s shell command doomed by the 2 s block
+    // walltime, and 3 MPI applications — the 2-node one is running when its
+    // member node crashes; the 1-rank ones fit the surviving node.
+    let double = PyFunction::new("def f(x):\n    sleep(3)\n    return x * 2\n");
+    let py_futures: Vec<TaskFuture> = (0..6)
+        .map(|i| {
+            ex_cpu
+                .submit(&double, vec![Value::Int(i)], Value::None)
+                .unwrap()
+        })
+        .collect();
+    let long_shell = ShellFunction::new("sleep 60");
+    let shell_future = ex_short.submit(&long_shell, vec![], Value::None).unwrap();
+    ex_mpi.set_resource_specification(ResourceSpec::nodes_ranks(2, 2));
+    let mpi_big = MpiFunction::new("sleep 4");
+    let big_future = ex_mpi.submit(&mpi_big, vec![], Value::None).unwrap();
+    ex_mpi.set_resource_specification(ResourceSpec::nodes_ranks(1, 1));
+    let mpi_small = MpiFunction::new("hostname");
+    let small_futures: Vec<TaskFuture> = (0..2)
+        .map(|_| ex_mpi.submit(&mpi_small, vec![], Value::None).unwrap())
+        .collect();
+
+    let mut all: Vec<TaskFuture> = py_futures.clone();
+    all.push(shell_future.clone());
+    all.push(big_future.clone());
+    all.extend(small_futures.iter().cloned());
+    let resolutions = observe(&all);
+
+    // Quiesce before the first tick so every first block starts at t=0 and
+    // the scripted fire times are deterministic: 4 pyfn workers + the shell
+    // task + the 2-node MPI application's 2 ranks = 7 virtual sleepers.
+    // (The 1-rank `hostname` applications never sleep — they are queued
+    // behind the 2-node one, which holds the whole block.)
+    vclock.wait_for_sleepers(7);
+
+    // Drive virtual time from a helper thread while the main thread waits
+    // on the futures, exactly like a wall clock that no task can stall.
+    let driving = Arc::new(AtomicBool::new(true));
+    let driver = {
+        let vclock = vclock.clone();
+        let driving = Arc::clone(&driving);
+        std::thread::spawn(move || {
+            while driving.load(Ordering::SeqCst) {
+                vclock.advance(100);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    for (i, f) in py_futures.iter().enumerate() {
+        assert_eq!(
+            f.result_timeout(Duration::from_secs(60)).unwrap(),
+            Value::Int(i as i64 * 2),
+            "pyfn task {i} must survive the preemption(s)"
+        );
+    }
+    let shell_v = shell_future
+        .result_timeout(Duration::from_secs(60))
+        .unwrap();
+    let shell_res = ShellResult::from_value(&shell_v).unwrap();
+    assert_eq!(
+        shell_res.returncode, 124,
+        "walltime-killed shell task must report code 124, got {shell_res:?}"
+    );
+    assert!(
+        shell_res.stderr.contains("walltime"),
+        "stderr must say why: {:?}",
+        shell_res.stderr
+    );
+    let big_v = big_future.result_timeout(Duration::from_secs(60)).unwrap();
+    assert_eq!(
+        ShellResult::from_value(&big_v).unwrap().returncode,
+        0,
+        "the re-dispatched MPI application must complete cleanly"
+    );
+    for f in &small_futures {
+        let v = f.result_timeout(Duration::from_secs(60)).unwrap();
+        let sr = ShellResult::from_value(&v).unwrap();
+        assert_eq!(sr.returncode, 0);
+        assert_eq!(sr.stdout.lines().count(), 1, "1 rank → 1 hostname line");
+    }
+    assert_observed_exactly(&resolutions, all.len());
+
+    // The faults actually fired (not a vacuous pass) and the scheduler's
+    // node accounting survived them: census conservation per partition, the
+    // crashed node recovered, and nothing is double-allocated (the census
+    // would not balance if a node were in two jobs).
+    let stats = sched.fault_stats();
+    assert!(stats.nodes_crashed >= 1, "no node crash fired: {stats:?}");
+    assert!(stats.jobs_preempted >= 1, "no preemption fired: {stats:?}");
+    assert!(
+        stats.jobs_timed_out >= 1,
+        "no walltime expiry fired: {stats:?}"
+    );
+    assert!(stats.nodes_recovered >= 1, "crashed node never came back");
+    for part in ["cpu", "mpi", "short"] {
+        let census = sched.node_census(part).unwrap();
+        assert_eq!(
+            census.free + census.down + census.busy,
+            census.total,
+            "census conservation violated on {part}: {census:?}"
+        );
+    }
+    assert_eq!(sched.node_census("mpi").unwrap().down, 0);
+
+    // The engines recorded their recovery work on this site.
+    let mpi_metrics = &engine_metrics[1];
+    assert!(
+        mpi_metrics.counter("mpi.partitions_repaired").get() >= 1,
+        "the MPI engine must have repaired its partition table"
+    );
+    assert!(
+        mpi_metrics.counter("mpi.tasks_redispatched").get() >= 1,
+        "the lost MPI application must have been re-dispatched"
+    );
+    assert!(
+        engine_metrics[0].counter("htex.tasks_redispatched").get() >= 1,
+        "htex must have requeued the tasks stolen from the preempted block"
+    );
+
+    // The cloud heard about every capacity loss, and tells "degraded,
+    // recovering" apart from "dead": the cpu and mpi endpoints finished
+    // their recoveries (re-provisioned blocks), while the short endpoint —
+    // whose queue drained when the walltime kill resolved its only task —
+    // has no reason to re-provision and stays degraded. Event pumps run
+    // just behind result resolution, so poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let reports = svc.metrics().counter("cloud.block_loss_reports").get();
+        let cpu_h = svc.endpoint_health(ep_cpu).unwrap();
+        let mpi_h = svc.endpoint_health(ep_mpi).unwrap();
+        let short_h = svc.endpoint_health(ep_short).unwrap();
+        if reports >= 3
+            && cpu_h == EndpointHealth::Online
+            && mpi_h == EndpointHealth::Online
+            && short_h == EndpointHealth::Degraded
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cloud never converged: reports={reports} cpu={cpu_h:?} mpi={mpi_h:?} short={short_h:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    ex_cpu.close();
+    ex_mpi.close();
+    ex_short.close();
+    for agent in agents {
+        agent.stop();
+    }
+    driving.store(false, Ordering::SeqCst);
+    driver.join().unwrap();
+    svc.shutdown();
+}
+
+fn config_of(yaml: &str) -> EndpointConfig {
+    EndpointConfig::from_yaml(yaml).unwrap()
 }
 
 /// Delivery-budget exhaustion surfaces as a typed, retryable failure — and
