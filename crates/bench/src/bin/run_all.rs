@@ -34,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "mep_scaling",
     "data_movement",
     "service_scale",
+    "throughput",
     "ablation_sandbox",
     "ablation_multiplex",
     "ablation_proxy_cache",

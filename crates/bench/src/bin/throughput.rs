@@ -1,0 +1,287 @@
+//! E10 · Multi-threaded submit/result throughput through the cloud hot
+//! path, comparing the sharded + batched-publish layout against the
+//! pre-refactor single-lock, per-message layout in one run.
+//!
+//! N client threads each drive their own endpoint: submit M tasks in
+//! batches of B through `WebService::submit_batch`, while a small pool of
+//! endpoint sessions per endpoint drains the task queues and publishes
+//! results back; clients then poll `task_status_batch` until every task is
+//! terminal. Aggregate throughput = completed tasks / wall time.
+//!
+//! Two link models are measured:
+//! - a WAN-ish broker link (per-message latency, as the production AMQPS
+//!   wire behaves) — here batched publish amortizes the per-message charge,
+//!   the §III-A batching claim;
+//! - an instant link — isolating the lock-layout (shards vs single lock)
+//!   and per-message bookkeeping costs.
+//!
+//! Emits `bench_results/BENCH_throughput.json`.
+//!
+//! Flags: `--threads N`, `--tasks M` (per thread), `--batch B`,
+//! `--layout both|baseline|sharded` (baseline forces the pre-refactor
+//! single-lock layout: `state_shards = 1`, per-message publish),
+//! `--smoke` (tiny parameters for CI).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use gcx_auth::{AuthPolicy, AuthService, Token};
+use gcx_bench::{JsonReport, Table};
+use gcx_cloud::{CloudConfig, WebService};
+use gcx_core::clock::SystemClock;
+use gcx_core::function::FunctionBody;
+use gcx_core::ids::{EndpointId, TaskId};
+use gcx_core::metrics::MetricsRegistry;
+use gcx_core::task::{TaskResult, TaskSpec};
+use gcx_core::value::Value;
+use gcx_mq::{Broker, LinkProfile};
+
+#[derive(Clone, Copy)]
+struct Params {
+    threads: usize,
+    tasks_per_thread: usize,
+    batch: usize,
+    drains_per_endpoint: usize,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Layout {
+    Both,
+    Baseline,
+    Sharded,
+}
+
+fn parse_args() -> (Params, Layout) {
+    let mut p = Params {
+        threads: 8,
+        tasks_per_thread: 256,
+        batch: 64,
+        drains_per_endpoint: 4,
+    };
+    let mut layout = Layout::Both;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--threads" => {
+                p.threads = need(i).parse().expect("--threads");
+                i += 2;
+            }
+            "--tasks" => {
+                p.tasks_per_thread = need(i).parse().expect("--tasks");
+                i += 2;
+            }
+            "--batch" => {
+                p.batch = need(i).parse().expect("--batch");
+                i += 2;
+            }
+            "--layout" => {
+                layout = match need(i).as_str() {
+                    "both" => Layout::Both,
+                    "baseline" => Layout::Baseline,
+                    "sharded" => Layout::Sharded,
+                    other => panic!("unknown layout {other:?}"),
+                };
+                i += 2;
+            }
+            "--smoke" => {
+                p = Params {
+                    threads: 2,
+                    tasks_per_thread: 48,
+                    batch: 16,
+                    drains_per_endpoint: 2,
+                };
+                i += 1;
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    assert!(p.batch > 0 && p.threads > 0 && p.tasks_per_thread > 0);
+    (p, layout)
+}
+
+/// One full run: returns (elapsed, completed tasks).
+fn run_layout(baseline: bool, p: Params, link: LinkProfile) -> (Duration, u64) {
+    let clock = SystemClock::shared();
+    let broker = Broker::with_profile(MetricsRegistry::new(), clock.clone(), link);
+    let cfg = CloudConfig {
+        state_shards: if baseline {
+            1
+        } else {
+            CloudConfig::default().state_shards
+        },
+        batch_publish: !baseline,
+        result_processors: 4,
+        heartbeat_timeout_ms: 600_000,
+        ..CloudConfig::default()
+    };
+    let svc = WebService::new(cfg, AuthService::new(clock.clone()), broker, clock);
+    let (_, token) = svc.auth().login("throughput@gcx.dev").unwrap();
+    let fid = svc
+        .register_function(&token, FunctionBody::pyfn("def f(x):\n    return x\n"))
+        .unwrap();
+
+    // One endpoint per client thread, each drained by a small session pool
+    // that acks tasks and publishes an immediate result.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut endpoints: Vec<EndpointId> = Vec::with_capacity(p.threads);
+    let mut drains = Vec::new();
+    for t in 0..p.threads {
+        let reg = svc
+            .register_endpoint(&token, &format!("ep-{t}"), false, AuthPolicy::open(), None)
+            .unwrap();
+        endpoints.push(reg.endpoint_id);
+        for _ in 0..p.drains_per_endpoint {
+            let session = svc
+                .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+                .unwrap();
+            let stop = Arc::clone(&stop);
+            drains.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match session.next_task(Duration::from_millis(10)) {
+                        Ok(Some((spec, tag))) => {
+                            let _ = session
+                                .publish_result(spec.task_id, &TaskResult::Ok(Value::Int(1)));
+                            let _ = session.ack_task(tag);
+                        }
+                        Ok(None) => {}
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+    }
+
+    let barrier = Arc::new(Barrier::new(p.threads + 1));
+    let clients: Vec<_> = (0..p.threads)
+        .map(|t| {
+            let svc = svc.clone();
+            let token: Token = token.clone();
+            let ep = endpoints[t];
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut ids: Vec<TaskId> = Vec::with_capacity(p.tasks_per_thread);
+                let mut submitted = 0usize;
+                while submitted < p.tasks_per_thread {
+                    let n = p.batch.min(p.tasks_per_thread - submitted);
+                    let specs: Vec<TaskSpec> = (0..n)
+                        .map(|k| {
+                            let mut spec = TaskSpec::new(fid, ep);
+                            spec.args = vec![Value::Int((submitted + k) as i64)];
+                            spec
+                        })
+                        .collect();
+                    ids.extend(svc.submit_batch(&token, specs).unwrap());
+                    submitted += n;
+                }
+                // Poll until every task is terminal (the polling read path
+                // shares the task store with the result processors' writes).
+                let mut done = 0u64;
+                let mut open = ids;
+                while !open.is_empty() {
+                    let statuses = svc.task_status_batch(&token, &open).unwrap();
+                    let mut still_open = Vec::with_capacity(open.len());
+                    for (id, state, _) in statuses {
+                        if state.is_terminal() {
+                            done += 1;
+                        } else {
+                            still_open.push(id);
+                        }
+                    }
+                    open = still_open;
+                    if !open.is_empty() {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+                done
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let started = Instant::now();
+    let completed: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    let elapsed = started.elapsed();
+
+    stop.store(true, Ordering::Relaxed);
+    for d in drains {
+        let _ = d.join();
+    }
+    svc.shutdown();
+    (elapsed, completed)
+}
+
+fn main() {
+    let (p, layout) = parse_args();
+    let total = (p.threads * p.tasks_per_thread) as u64;
+    // 1 ms per message, 1 Gbps — TLS-over-WAN-ish, far below production RTT
+    // but enough that per-message charges dominate per-byte ones.
+    let wan = LinkProfile::wan(1, 1000);
+
+    println!(
+        "submit/result throughput: {} threads x {} tasks, batch {}",
+        p.threads, p.tasks_per_thread, p.batch
+    );
+    let mut table = Table::new(&["layout", "link", "elapsed_ms", "tasks/s"]);
+    let mut report = JsonReport::new("BENCH_throughput");
+    report
+        .num("threads", p.threads as u64)
+        .num("tasks_per_thread", p.tasks_per_thread as u64)
+        .num("batch_size", p.batch as u64)
+        .num("total_tasks", total)
+        .num("wan_latency_ms", 1);
+
+    let mut measure = |name: &str, baseline: bool, link: LinkProfile, link_name: &str| -> f64 {
+        let (elapsed, completed) = run_layout(baseline, p, link);
+        assert_eq!(completed, total, "{name}/{link_name}: lost tasks");
+        let tps = total as f64 / elapsed.as_secs_f64();
+        table.row(&[
+            name.to_string(),
+            link_name.to_string(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1000.0),
+            format!("{tps:.0}"),
+        ]);
+        report.float(
+            &format!("{link_name}_{name}_elapsed_ms"),
+            elapsed.as_secs_f64() * 1000.0,
+        );
+        report.float(&format!("{link_name}_{name}_tasks_per_sec"), tps);
+        tps
+    };
+
+    let mut wan_speedup = None;
+    match layout {
+        Layout::Baseline => {
+            measure("baseline", true, wan, "wan");
+            measure("baseline", true, LinkProfile::instant(), "instant");
+        }
+        Layout::Sharded => {
+            measure("sharded", false, wan, "wan");
+            measure("sharded", false, LinkProfile::instant(), "instant");
+        }
+        Layout::Both => {
+            let base_wan = measure("baseline", true, wan, "wan");
+            let shard_wan = measure("sharded", false, wan, "wan");
+            let base_instant = measure("baseline", true, LinkProfile::instant(), "instant");
+            let shard_instant = measure("sharded", false, LinkProfile::instant(), "instant");
+            wan_speedup = Some(shard_wan / base_wan);
+            report.float("speedup", shard_wan / base_wan);
+            report.float("instant_speedup", shard_instant / base_instant);
+        }
+    }
+
+    table.print();
+    if let Some(s) = wan_speedup {
+        println!("\n  sharded + batched publish vs single-lock baseline: {s:.2}x");
+    }
+    let path = report
+        .write_to(std::path::Path::new("bench_results"))
+        .expect("write BENCH_throughput.json");
+    println!("  written to {}", path.display());
+}

@@ -17,6 +17,7 @@
 //! | `mep_scaling`        | E7         | §IV/§VI spawn-on-demand, config-hash reuse  |
 //! | `data_movement`      | E8         | §V 10 MB limit / ProxyStore / Transfer      |
 //! | `service_scale`      | E9         | §I/§VI one service, many endpoints          |
+//! | `throughput`         | E10        | sharded + batched hot path vs single lock   |
 //! | `ablation_sandbox`   | A1         | §III-B.2 sandbox contention                 |
 //! | `ablation_multiplex` | A2         | §II manager multiplexing                    |
 //! | `ablation_proxy_cache`| A3        | §V-B worker-side proxy cache                |

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::ids::Uuid;
-use gcx_core::metrics::MetricsRegistry;
+use gcx_core::metrics::{Counter, MetricsRegistry};
 use parking_lot::RwLock;
 
 /// Identifies a stored object.
@@ -39,16 +39,23 @@ pub const DEFAULT_PAYLOAD_LIMIT: usize = 10 * 1024 * 1024;
 pub struct BlobStore {
     objects: Arc<RwLock<HashMap<BlobId, Bytes>>>,
     limit: usize,
-    metrics: MetricsRegistry,
+    objects_put: Arc<Counter>,
+    bytes_put: Arc<Counter>,
+    objects_get: Arc<Counter>,
+    bytes_get: Arc<Counter>,
 }
 
 impl BlobStore {
-    /// A store enforcing `limit` bytes per object.
+    /// A store enforcing `limit` bytes per object. Counters are resolved
+    /// once here so put/get never touch the registry lock.
     pub fn new(limit: usize, metrics: MetricsRegistry) -> Self {
         Self {
             objects: Arc::new(RwLock::new(HashMap::new())),
             limit,
-            metrics,
+            objects_put: metrics.counter("s3.objects_put"),
+            bytes_put: metrics.counter("s3.bytes_put"),
+            objects_get: metrics.counter("s3.objects_get"),
+            bytes_get: metrics.counter("s3.bytes_get"),
         }
     }
 
@@ -67,8 +74,8 @@ impl BlobStore {
             });
         }
         let id = BlobId(Uuid::new_v4());
-        self.metrics.counter("s3.objects_put").inc();
-        self.metrics.counter("s3.bytes_put").add(data.len() as u64);
+        self.objects_put.inc();
+        self.bytes_put.add(data.len() as u64);
         self.objects.write().insert(id, data);
         Ok(id)
     }
@@ -81,8 +88,8 @@ impl BlobStore {
             .get(&id)
             .cloned()
             .ok_or_else(|| GcxError::Internal(format!("no such blob {id}")))?;
-        self.metrics.counter("s3.objects_get").inc();
-        self.metrics.counter("s3.bytes_get").add(data.len() as u64);
+        self.objects_get.inc();
+        self.bytes_get.add(data.len() as u64);
         Ok(data)
     }
 

@@ -1,0 +1,646 @@
+//! Task dispatch: submission (single and batched), MEP→UEP resolution,
+//! blob offload, and the status-polling path.
+
+use std::collections::HashMap;
+
+use gcx_auth::{AuthPolicy, Token};
+use gcx_core::codec;
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::ids::{EndpointId, TaskId};
+use gcx_core::task::{TaskRecord, TaskResult, TaskSpec, TaskState};
+use gcx_core::value::Value;
+use gcx_mq::Message;
+
+use super::{mep_queue_name, task_queue_name, WebService, BLOB_MARKER};
+use crate::blob::BlobId;
+use crate::records::{config_hash, EndpointRecord, MepStartRequest};
+
+impl WebService {
+    // ---- task submission -------------------------------------------------
+
+    /// Submit one task (one REST request).
+    pub fn submit_task(&self, token: &Token, spec: TaskSpec) -> GcxResult<TaskId> {
+        let ids = self.submit_batch(token, vec![spec])?;
+        Ok(ids[0])
+    }
+
+    /// Submit a batch of tasks in a single REST request (§III-A: the
+    /// executor batches submissions "to avoid many individual REST
+    /// requests"). The batch is also shipped to each target endpoint's
+    /// queue with one batched broker publish — one queue-lock acquisition
+    /// and one consumer wake per endpoint, not per task.
+    pub fn submit_batch(&self, token: &Token, specs: Vec<TaskSpec>) -> GcxResult<Vec<TaskId>> {
+        let who = self.authenticate(token)?;
+        let mut bytes_in = 0usize;
+        let now = self.inner.clock.now_ms();
+
+        // Validate everything before enqueueing anything (atomic batch).
+        // The validation encoding doubles as the wire body whenever the
+        // spec is neither rerouted to a UEP nor blob-offloaded (the common
+        // case), sparing a second encode per task.
+        let mut prepared: Vec<(TaskSpec, EndpointId, Option<bytes::Bytes>)> =
+            Vec::with_capacity(specs.len());
+        for mut spec in specs {
+            let encoded = codec::encode(&spec.to_value());
+            if encoded.len() > self.inner.cfg.payload_limit {
+                return Err(GcxError::PayloadTooLarge {
+                    size: encoded.len(),
+                    limit: self.inner.cfg.payload_limit,
+                });
+            }
+            bytes_in += encoded.len();
+
+            let target = self.endpoint_record(spec.endpoint_id)?;
+            target.policy.evaluate(&who.identity, who.auth_time, now)?;
+            if !self.inner.functions.contains_key(&spec.function_id) {
+                return Err(GcxError::FunctionNotFound(spec.function_id));
+            }
+            if !target.function_allowed(spec.function_id) {
+                return Err(GcxError::Forbidden(format!(
+                    "function {} is not in endpoint {}'s allowed list",
+                    spec.function_id, spec.endpoint_id
+                )));
+            }
+            // Resolve MEP targets to a user endpoint (spawning if needed).
+            let deliver_to = if target.multi_user {
+                self.resolve_user_endpoint(&target, &who.identity, &spec.user_endpoint_config)?
+            } else {
+                spec.endpoint_id
+            };
+            // Offload large argument payloads to the blob store.
+            let offloaded = encoded.len() > self.inner.cfg.inline_threshold;
+            if offloaded {
+                spec = self.offload_args(spec)?;
+            }
+            let body = if offloaded || deliver_to != spec.endpoint_id {
+                None // spec changed; re-encode at ship time
+            } else {
+                Some(encoded)
+            };
+            prepared.push((spec, deliver_to, body));
+        }
+
+        self.meter_api(bytes_in, prepared.len() * 36);
+
+        let mut ids = Vec::with_capacity(prepared.len());
+        let mut by_endpoint: HashMap<EndpointId, Vec<Message>> = HashMap::new();
+        for (spec, deliver_to, body) in prepared {
+            let task_id = spec.task_id;
+            let record = TaskRecord::new(spec.clone(), who.identity.id, now);
+            self.inner.tasks.insert(task_id, record);
+            self.inner.usage.record_task(now);
+            let body = match body {
+                Some(b) => b,
+                None => {
+                    // Ship to the (possibly rewritten) endpoint's queue.
+                    let mut wire_spec = spec;
+                    wire_spec.endpoint_id = deliver_to;
+                    codec::encode(&wire_spec.to_value())
+                }
+            };
+            by_endpoint
+                .entry(deliver_to)
+                .or_default()
+                .push(Message::new(body));
+            ids.push(task_id);
+        }
+        self.inner.m.tasks_submitted.add(ids.len() as u64);
+
+        for (deliver_to, messages) in by_endpoint {
+            let credential = self
+                .inner
+                .credentials
+                .get_cloned(&deliver_to)
+                .ok_or(GcxError::EndpointNotFound(deliver_to))?;
+            let queue = task_queue_name(deliver_to);
+            if self.inner.cfg.batch_publish {
+                self.inner
+                    .broker
+                    .publish_batch(&queue, messages, Some(&credential))?;
+            } else {
+                for message in messages {
+                    self.inner
+                        .broker
+                        .publish(&queue, message, Some(&credential))?;
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Large payloads ride S3: replace args/kwargs with a blob reference.
+    fn offload_args(&self, mut spec: TaskSpec) -> GcxResult<TaskSpec> {
+        let container = Value::map([
+            ("args", Value::List(std::mem::take(&mut spec.args))),
+            ("kwargs", std::mem::replace(&mut spec.kwargs, Value::None)),
+        ]);
+        let blob = self.inner.blobs.put(codec::encode(&container))?;
+        spec.kwargs = Value::map([(BLOB_MARKER, Value::str(blob.to_string()))]);
+        Ok(spec)
+    }
+
+    /// Inverse of [`Self::offload_args`]; used by endpoint sessions.
+    pub(super) fn restore_args(&self, spec: &mut TaskSpec) -> GcxResult<()> {
+        let Some(marker) = spec.kwargs.get(BLOB_MARKER).and_then(Value::as_str) else {
+            return Ok(());
+        };
+        let blob_id: BlobId = marker
+            .parse()
+            .map_err(|e| GcxError::Codec(format!("bad blob reference: {e}")))?;
+        let container = codec::decode(&self.inner.blobs.get(blob_id)?)?;
+        spec.args = container
+            .get("args")
+            .and_then(Value::as_list)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default();
+        spec.kwargs = container.get("kwargs").cloned().unwrap_or(Value::None);
+        Ok(())
+    }
+
+    /// Resolve the user endpoint for (MEP, identity, config-hash), creating
+    /// and starting one when none exists (§IV-B).
+    fn resolve_user_endpoint(
+        &self,
+        mep: &EndpointRecord,
+        identity: &gcx_auth::Identity,
+        user_config: &Value,
+    ) -> GcxResult<EndpointId> {
+        let hash = config_hash(user_config);
+        let key = (mep.id, identity.id, hash);
+        if let Some(existing) = self.inner.ueps.read().get(&key).copied() {
+            self.inner.m.uep_reused.inc();
+            // If the UEP was reaped (idle shutdown) and no restart is in
+            // flight, ask the MEP to start it again — tasks are already
+            // buffering on its queue.
+            let connected = self
+                .inner
+                .endpoints
+                .with(&existing, |r| r.map(|r| r.connected).unwrap_or(false));
+            if !connected && self.inner.spawn_pending.write().insert(existing) {
+                let credential = self
+                    .inner
+                    .credentials
+                    .get_cloned(&existing)
+                    .ok_or(GcxError::EndpointNotFound(existing))?;
+                let req = MepStartRequest {
+                    identity: identity.id,
+                    username: identity.username.clone(),
+                    user_config: user_config.clone(),
+                    config_hash: hash,
+                    uep_endpoint_id: existing,
+                    queue_credential: credential,
+                };
+                let mep_credential = self
+                    .inner
+                    .credentials
+                    .get_cloned(&mep.id)
+                    .ok_or(GcxError::EndpointNotFound(mep.id))?;
+                self.inner.broker.publish(
+                    &mep_queue_name(mep.id),
+                    Message::new(codec::encode(&req.to_value())),
+                    Some(&mep_credential),
+                )?;
+                self.inner.m.uep_respawn_requested.inc();
+            }
+            return Ok(existing);
+        }
+        let mut ueps = self.inner.ueps.write();
+        if let Some(existing) = ueps.get(&key) {
+            return Ok(*existing);
+        }
+        // Pre-register the user endpoint so tasks can buffer immediately.
+        let uep_id = EndpointId::random();
+        let credential = format!("uepcred-{}", gcx_core::ids::Uuid::new_v4());
+        self.inner
+            .broker
+            .declare_queue(&task_queue_name(uep_id), Some(&credential))?;
+        self.apply_task_queue_policy(uep_id)?;
+        self.inner.endpoints.insert(
+            uep_id,
+            EndpointRecord {
+                id: uep_id,
+                owner: identity.id,
+                name: format!("{}/uep-{:x}", mep.name, hash),
+                multi_user: false,
+                parent_mep: Some(mep.id),
+                allowed_functions: mep.allowed_functions.clone(),
+                policy: AuthPolicy::open(),
+                registered_at: self.inner.clock.now_ms(),
+                connected: false,
+                last_heartbeat_ms: 0,
+                degraded: false,
+            },
+        );
+        self.inner.credentials.insert(uep_id, credential.clone());
+        ueps.insert(key, uep_id);
+        drop(ueps);
+        self.inner.spawn_pending.write().insert(uep_id);
+
+        // Fig. 1 step 2: issue the Start Endpoint request to the MEP.
+        let req = MepStartRequest {
+            identity: identity.id,
+            username: identity.username.clone(),
+            user_config: user_config.clone(),
+            config_hash: hash,
+            uep_endpoint_id: uep_id,
+            queue_credential: credential,
+        };
+        let mep_credential = self
+            .inner
+            .credentials
+            .get_cloned(&mep.id)
+            .ok_or(GcxError::EndpointNotFound(mep.id))?;
+        self.inner.broker.publish(
+            &mep_queue_name(mep.id),
+            Message::new(codec::encode(&req.to_value())),
+            Some(&mep_credential),
+        )?;
+        self.inner.m.uep_spawn_requested.inc();
+        Ok(uep_id)
+    }
+
+    /// The user endpoints spawned under a MEP (for tests/benches).
+    pub fn user_endpoints_of(&self, mep: EndpointId) -> Vec<EndpointId> {
+        self.inner
+            .ueps
+            .read()
+            .iter()
+            .filter(|((m, _, _), _)| *m == mep)
+            .map(|(_, uep)| *uep)
+            .collect()
+    }
+
+    // ---- task status (the polling path) ----------------------------------
+
+    /// Poll a task's status. This is the traditional REST path the executor
+    /// interface replaces; every call is metered so benchmarks can compare
+    /// request counts and bytes against streaming.
+    pub fn task_status(
+        &self,
+        token: &Token,
+        id: TaskId,
+    ) -> GcxResult<(TaskState, Option<TaskResult>)> {
+        let who = self.authenticate(token)?;
+        let (owner, state, result) = self
+            .inner
+            .tasks
+            .with(&id, |rec| {
+                rec.map(|rec| (rec.owner, rec.state, rec.result.clone()))
+            })
+            .ok_or(GcxError::TaskNotFound(id))?;
+        if owner != who.identity.id {
+            return Err(GcxError::Forbidden("not your task".into()));
+        }
+        let out_bytes = 24
+            + result
+                .as_ref()
+                .map(|r| codec::encoded_size(&r.to_value()))
+                .unwrap_or(0);
+        self.meter_api(36, out_bytes);
+        self.inner.m.status_polls.inc();
+        Ok((state, result))
+    }
+
+    /// Batched status poll: one REST request covering many tasks (the
+    /// production `get_batch_result` API). Tasks owned by other identities
+    /// are skipped rather than failing the whole batch.
+    pub fn task_status_batch(
+        &self,
+        token: &Token,
+        ids: &[TaskId],
+    ) -> GcxResult<Vec<(TaskId, TaskState, Option<TaskResult>)>> {
+        let who = self.authenticate(token)?;
+        let mut out = Vec::with_capacity(ids.len());
+        let mut bytes_out = 0usize;
+        for id in ids {
+            let entry = self.inner.tasks.with(id, |rec| {
+                rec.filter(|rec| rec.owner == who.identity.id)
+                    .map(|rec| (*id, rec.state, rec.result.clone()))
+            });
+            if let Some((id, state, result)) = entry {
+                bytes_out += 24
+                    + result
+                        .as_ref()
+                        .map(|r| codec::encoded_size(&r.to_value()))
+                        .unwrap_or(0);
+                out.push((id, state, result));
+            }
+        }
+        self.meter_api(ids.len() * 36, bytes_out);
+        self.inner.m.status_polls.add(ids.len() as u64);
+        Ok(out)
+    }
+
+    /// Cancel a task (best-effort, like the production API): tasks that
+    /// have not reached a worker never run; tasks already running finish
+    /// but their results are discarded by the result processor.
+    pub fn cancel_task(&self, token: &Token, id: TaskId) -> GcxResult<()> {
+        let who = self.authenticate(token)?;
+        self.meter_api(36, 8);
+        let now = self.inner.clock.now_ms();
+        self.inner.tasks.update(&id, |rec| {
+            let rec = rec.ok_or(GcxError::TaskNotFound(id))?;
+            if rec.owner != who.identity.id {
+                return Err(GcxError::Forbidden("not your task".into()));
+            }
+            if rec.state.is_terminal() {
+                return Err(GcxError::Internal(format!(
+                    "task is already {}",
+                    rec.state.label()
+                )));
+            }
+            rec.transition(TaskState::Cancelled, now)?;
+            rec.result = Some(TaskResult::Err(format!("task {id} was cancelled")));
+            Ok(())
+        })?;
+        self.inner.m.tasks_cancelled.inc();
+        Ok(())
+    }
+
+    /// Whether a task has been cancelled (endpoint-side check before
+    /// spending cycles on it).
+    pub(super) fn task_cancelled(&self, id: TaskId) -> bool {
+        self.inner.tasks.with(&id, |rec| {
+            rec.map(|r| r.state == TaskState::Cancelled)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Full task record (internal/test use).
+    pub fn task_record(&self, id: TaskId) -> GcxResult<TaskRecord> {
+        self.inner
+            .tasks
+            .get_cloned(&id)
+            .ok_or(GcxError::TaskNotFound(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testkit::{login, service, T};
+    use super::*;
+    use gcx_core::function::FunctionBody;
+    use gcx_core::ids::FunctionId;
+
+    #[test]
+    fn payload_limit_enforced_on_submit() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f(b):\n    return len(b)\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let mut spec = TaskSpec::new(fid, reg.endpoint_id);
+        spec.args = vec![Value::Bytes(vec![0u8; 11 * 1024 * 1024])];
+        let e = svc.submit_task(&token, spec).unwrap_err();
+        assert!(matches!(e, GcxError::PayloadTooLarge { .. }));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn large_args_offload_to_s3_and_restore() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f(b):\n    return len(b)\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let payload = vec![7u8; 1024 * 1024]; // 1 MB: above inline, below limit
+        let mut spec = TaskSpec::new(fid, reg.endpoint_id);
+        spec.args = vec![Value::Bytes(payload.clone())];
+        svc.submit_task(&token, spec).unwrap();
+        assert_eq!(svc.blobs().len(), 1, "args staged in S3");
+        let (got, tag) = session.next_task(T).unwrap().unwrap();
+        assert_eq!(
+            got.args,
+            vec![Value::Bytes(payload)],
+            "restored transparently"
+        );
+        session.ack_task(tag).unwrap();
+        // The queue message itself stayed small.
+        let mq_bytes = svc.metrics().counter("mq.bytes_published").get();
+        assert!(
+            mq_bytes < 128 * 1024,
+            "queue payload should be a reference: {mq_bytes}"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_validates_function_endpoint_policy_and_allowlist() {
+        let svc = service();
+        let token = login(&svc, "user@uchicago.edu");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let other_fid = svc
+            .register_function(&token, FunctionBody::pyfn("def g():\n    return 2\n"))
+            .unwrap();
+
+        // Unknown endpoint.
+        let e = svc
+            .submit_task(&token, TaskSpec::new(fid, EndpointId::random()))
+            .unwrap_err();
+        assert!(matches!(e, GcxError::EndpointNotFound(_)));
+
+        // Unknown function.
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let e = svc
+            .submit_task(&token, TaskSpec::new(FunctionId::random(), reg.endpoint_id))
+            .unwrap_err();
+        assert!(matches!(e, GcxError::FunctionNotFound(_)));
+
+        // Policy rejection.
+        let reg2 = svc
+            .register_endpoint(
+                &token,
+                "anl-only",
+                false,
+                AuthPolicy::domains(&["anl.gov"]),
+                None,
+            )
+            .unwrap();
+        let e = svc
+            .submit_task(&token, TaskSpec::new(fid, reg2.endpoint_id))
+            .unwrap_err();
+        assert!(matches!(e, GcxError::Forbidden(_)));
+
+        // Allowed-function list (§IV-A.4).
+        let reg3 = svc
+            .register_endpoint(
+                &token,
+                "gateway",
+                false,
+                AuthPolicy::open(),
+                Some(vec![fid]),
+            )
+            .unwrap();
+        svc.submit_task(&token, TaskSpec::new(fid, reg3.endpoint_id))
+            .unwrap();
+        let e = svc
+            .submit_task(&token, TaskSpec::new(other_fid, reg3.endpoint_id))
+            .unwrap_err();
+        assert!(matches!(e, GcxError::Forbidden(_)));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batch_submission_is_one_api_request() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        svc.metrics().reset_counters();
+        let specs: Vec<TaskSpec> = (0..50)
+            .map(|_| TaskSpec::new(fid, reg.endpoint_id))
+            .collect();
+        let ids = svc.submit_batch(&token, specs).unwrap();
+        assert_eq!(ids.len(), 50);
+        assert_eq!(svc.metrics().counter("api.requests").get(), 1);
+        assert_eq!(svc.metrics().counter("cloud.tasks_submitted").get(), 50);
+        // The whole batch rides one broker publish per target endpoint, and
+        // every task still lands on the queue.
+        assert_eq!(svc.metrics().counter("mq.messages_published").get(), 50);
+        assert_eq!(
+            svc.broker()
+                .queue_stats(&task_queue_name(reg.endpoint_id))
+                .unwrap()
+                .ready,
+            50
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batch_delivers_in_submission_order() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let specs: Vec<TaskSpec> = (0..10)
+            .map(|_| TaskSpec::new(fid, reg.endpoint_id))
+            .collect();
+        let ids = svc.submit_batch(&token, specs).unwrap();
+        for expected in &ids {
+            let (got, tag) = session.next_task(T).unwrap().unwrap();
+            assert_eq!(got.task_id, *expected);
+            session.ack_task(tag).unwrap();
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn usage_meter_counts_submissions() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        for _ in 0..7 {
+            svc.submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+                .unwrap();
+        }
+        assert_eq!(svc.usage().total(), 7);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn mep_submission_spawns_and_reuses_uep() {
+        let svc = service();
+        let admin = login(&svc, "admin@site.org");
+        let user = login(&svc, "user@site.org");
+        let fid = svc
+            .register_function(&user, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let mep = svc
+            .register_endpoint(&admin, "mep", true, AuthPolicy::open(), None)
+            .unwrap();
+        let commands = svc
+            .connect_mep_commands(mep.endpoint_id, &mep.queue_credential)
+            .unwrap();
+
+        let config = Value::map([("ACCOUNT_ID", Value::str("123"))]);
+        let mut spec = TaskSpec::new(fid, mep.endpoint_id);
+        spec.user_endpoint_config = config.clone();
+        svc.submit_task(&user, spec).unwrap();
+
+        // The MEP sees exactly one start request.
+        let d = commands.next(T).unwrap().expect("start request");
+        let req = MepStartRequest::from_value(&codec::decode(&d.message.body).unwrap()).unwrap();
+        assert_eq!(req.username, "user@site.org");
+        commands.ack(d.tag).unwrap();
+
+        // Same config → same UEP, no second start request.
+        let mut spec2 = TaskSpec::new(fid, mep.endpoint_id);
+        spec2.user_endpoint_config = config;
+        svc.submit_task(&user, spec2).unwrap();
+        assert!(commands
+            .next(std::time::Duration::from_millis(50))
+            .unwrap()
+            .is_none());
+        assert_eq!(svc.user_endpoints_of(mep.endpoint_id).len(), 1);
+
+        // Different config → new UEP.
+        let mut spec3 = TaskSpec::new(fid, mep.endpoint_id);
+        spec3.user_endpoint_config = Value::map([("ACCOUNT_ID", Value::str("999"))]);
+        svc.submit_task(&user, spec3).unwrap();
+        assert!(commands.next(T).unwrap().is_some());
+        assert_eq!(svc.user_endpoints_of(mep.endpoint_id).len(), 2);
+
+        // Both tasks for the first config are buffered on the same UEP queue.
+        let uep_id = req.uep_endpoint_id;
+        let uep_session = svc.connect_endpoint(uep_id, &req.queue_credential).unwrap();
+        let (t1, tag1) = uep_session.next_task(T).unwrap().unwrap();
+        let (t2, tag2) = uep_session.next_task(T).unwrap().unwrap();
+        assert_eq!(t1.endpoint_id, uep_id);
+        assert_eq!(t2.endpoint_id, uep_id);
+        uep_session.ack_task(tag1).unwrap();
+        uep_session.ack_task(tag2).unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn task_status_hides_other_users_tasks() {
+        let svc = service();
+        let alice = login(&svc, "alice@x.y");
+        let bob = login(&svc, "bob@x.y");
+        let fid = svc
+            .register_function(&alice, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&alice, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let id = svc
+            .submit_task(&alice, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
+        assert!(svc.task_status(&alice, id).is_ok());
+        assert!(matches!(
+            svc.task_status(&bob, id),
+            Err(GcxError::Forbidden(_))
+        ));
+        svc.shutdown();
+    }
+}

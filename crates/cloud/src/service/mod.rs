@@ -1,0 +1,347 @@
+//! The web service, decomposed by concern:
+//!
+//! - [`mod@self`] — configuration, shared state ([`CloudInner`]), service
+//!   construction/shutdown, and the pre-resolved metric handles.
+//! - `api` — the authenticated REST surface: function registration,
+//!   endpoint registration/listing/status, agent connect.
+//! - `dispatch` — task submission (single and batched), MEP→UEP
+//!   resolution, blob offload, and the status-polling path.
+//! - `results` — result streams, the result/dead-task processor loops,
+//!   and endpoint-side state reports.
+//! - `liveness` — heartbeats, degradation reports, and the stale-endpoint
+//!   sweep that requeues in-flight tasks.
+//! - `session` — [`EndpointSession`], the agent's live connection.
+//!
+//! Every id-keyed store rides a [`ShardedMap`], so unrelated submits,
+//! results, and status polls contend only on their own shard; set
+//! [`CloudConfig::state_shards`] to 1 to force the old single-lock layout
+//! (the throughput benchmark's baseline).
+
+mod api;
+mod dispatch;
+mod liveness;
+mod results;
+mod session;
+
+pub use results::ResultStream;
+pub use session::EndpointSession;
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gcx_auth::{AuthService, Token};
+use gcx_core::clock::SharedClock;
+use gcx_core::function::FunctionRecord;
+use gcx_core::ids::{EndpointId, FunctionId, IdentityId, TaskId};
+use gcx_core::metrics::{Counter, MetricsRegistry};
+use gcx_core::task::TaskRecord;
+use gcx_core::GcxResult;
+use gcx_core::ShardedMap;
+use gcx_mq::Broker;
+use parking_lot::{Mutex, RwLock};
+
+use crate::blob::{BlobStore, DEFAULT_PAYLOAD_LIMIT};
+use crate::records::EndpointRecord;
+use crate::usage::UsageMeter;
+
+/// The scope required for Globus Compute API calls.
+pub const COMPUTE_SCOPE: &str = gcx_auth::service::COMPUTE_SCOPE;
+
+/// Marker key identifying a blob-offloaded payload container.
+pub(super) const BLOB_MARKER: &str = "__gcx_blob__";
+
+/// The shared result queue every endpoint publishes into.
+pub const RESULT_QUEUE: &str = "results.all";
+
+/// Dead-letter queue for tasks whose delivery budget is exhausted. A
+/// service-side processor fails each such task with a retryable error so
+/// clients see a terminal state instead of a silent black hole.
+pub const DEAD_TASKS_QUEUE: &str = "dead.tasks";
+
+pub(super) fn task_queue_name(ep: EndpointId) -> String {
+    format!("tasks.{ep}")
+}
+
+pub(super) fn mep_queue_name(ep: EndpointId) -> String {
+    format!("mep.{ep}")
+}
+
+pub(super) fn stream_queue_name(identity: IdentityId, n: u64) -> String {
+    format!("stream.{identity}.{n}")
+}
+
+/// Tunables for the web service.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Hard payload limit per task submission / result (10 MB, §V).
+    pub payload_limit: usize,
+    /// Payloads above this are offloaded to the blob store instead of
+    /// riding the queues inline ("large task inputs are stored in S3", §II).
+    pub inline_threshold: usize,
+    /// Result-processor threads.
+    pub result_processors: usize,
+    /// Cost model of the client↔service REST link; charged (on the service
+    /// clock) per request for the bytes it carries, so experiments see
+    /// realistic upload/download time for payloads that ride REST.
+    pub rest_link: gcx_mq::LinkProfile,
+    /// An endpoint that has not heartbeated for this long is marked offline
+    /// and its in-flight tasks are requeued (see [`WebService::check_liveness`]).
+    pub heartbeat_timeout_ms: u64,
+    /// Delivery budget per task: after this many failed deliveries the task
+    /// is dead-lettered and failed with a retryable error instead of cycling
+    /// through endpoints forever.
+    pub max_task_deliveries: u32,
+    /// Shard count for the id-keyed state stores (tasks, endpoints,
+    /// functions, streams). Rounded up to a power of two; 1 degenerates to
+    /// a single lock per store — the pre-sharding layout, kept selectable
+    /// so benchmarks can measure the difference in one binary.
+    pub state_shards: usize,
+    /// Ship each submit batch to its endpoint queue with one
+    /// [`gcx_mq::Broker::publish_batch`] call (one queue lock, one link
+    /// charge, one consumer wake per endpoint). `false` publishes per task
+    /// — the pre-batching layout, kept selectable for the same reason as
+    /// `state_shards`.
+    pub batch_publish: bool,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        Self {
+            payload_limit: DEFAULT_PAYLOAD_LIMIT,
+            inline_threshold: 64 * 1024,
+            result_processors: 2,
+            rest_link: gcx_mq::LinkProfile::instant(),
+            heartbeat_timeout_ms: 30_000,
+            max_task_deliveries: 3,
+            state_shards: gcx_core::sharded::DEFAULT_SHARDS,
+            batch_publish: true,
+        }
+    }
+}
+
+/// Pre-resolved counter handles for the service's hot paths; one registry
+/// lookup each at construction instead of a read-lock + string compare per
+/// API call. (Dynamically named counters, e.g. per-reason block-loss
+/// counts, still go through the registry.)
+pub(super) struct CloudMetrics {
+    pub(super) api_requests: Arc<Counter>,
+    pub(super) api_bytes_in: Arc<Counter>,
+    pub(super) api_bytes_out: Arc<Counter>,
+    pub(super) tasks_submitted: Arc<Counter>,
+    pub(super) status_polls: Arc<Counter>,
+    pub(super) tasks_cancelled: Arc<Counter>,
+    pub(super) results_processed: Arc<Counter>,
+    pub(super) duplicate_results_dropped: Arc<Counter>,
+    pub(super) tasks_dead_lettered: Arc<Counter>,
+    pub(super) retries: Arc<Counter>,
+    pub(super) endpoints_offline: Arc<Counter>,
+    pub(super) block_loss_reports: Arc<Counter>,
+    pub(super) block_recovery_reports: Arc<Counter>,
+    pub(super) uep_reused: Arc<Counter>,
+    pub(super) uep_spawn_requested: Arc<Counter>,
+    pub(super) uep_respawn_requested: Arc<Counter>,
+}
+
+impl CloudMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        Self {
+            api_requests: registry.counter("api.requests"),
+            api_bytes_in: registry.counter("api.bytes_in"),
+            api_bytes_out: registry.counter("api.bytes_out"),
+            tasks_submitted: registry.counter("cloud.tasks_submitted"),
+            status_polls: registry.counter("cloud.status_polls"),
+            tasks_cancelled: registry.counter("cloud.tasks_cancelled"),
+            results_processed: registry.counter("cloud.results_processed"),
+            duplicate_results_dropped: registry.counter("cloud.duplicate_results_dropped"),
+            tasks_dead_lettered: registry.counter("cloud.tasks_dead_lettered"),
+            retries: registry.counter("cloud.retries"),
+            endpoints_offline: registry.counter("cloud.endpoints_offline"),
+            block_loss_reports: registry.counter("cloud.block_loss_reports"),
+            block_recovery_reports: registry.counter("cloud.block_recovery_reports"),
+            uep_reused: registry.counter("mep.uep_reused"),
+            uep_spawn_requested: registry.counter("mep.uep_spawn_requested"),
+            uep_respawn_requested: registry.counter("mep.uep_respawn_requested"),
+        }
+    }
+}
+
+pub(super) struct CloudInner {
+    pub(super) cfg: CloudConfig,
+    pub(super) auth: AuthService,
+    pub(super) broker: Broker,
+    pub(super) blobs: BlobStore,
+    pub(super) usage: UsageMeter,
+    pub(super) clock: SharedClock,
+    pub(super) metrics: MetricsRegistry,
+    pub(super) m: CloudMetrics,
+    pub(super) functions: ShardedMap<FunctionId, FunctionRecord>,
+    pub(super) endpoints: ShardedMap<EndpointId, EndpointRecord>,
+    pub(super) credentials: ShardedMap<EndpointId, String>,
+    pub(super) tasks: ShardedMap<TaskId, TaskRecord>,
+    /// (MEP id, user identity, config hash) → spawned user endpoint. Cold
+    /// (one entry per spawned UEP) and guarded by a read-then-write
+    /// double-check, so it stays a plain map.
+    pub(super) ueps: RwLock<HashMap<(EndpointId, IdentityId, u64), EndpointId>>,
+    /// Open result streams per identity: (queue name, credential). Each
+    /// executor instance gets its own stream; results fan out to all of an
+    /// identity's streams.
+    pub(super) streams: ShardedMap<IdentityId, Vec<(String, String)>>,
+    pub(super) stream_counter: AtomicU64,
+    /// UEPs with an outstanding Start Endpoint request (cleared on connect)
+    /// — prevents a start-request storm while the agent boots.
+    pub(super) spawn_pending: RwLock<HashSet<EndpointId>>,
+    pub(super) shutdown: AtomicBool,
+    pub(super) processors: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The Globus Compute web service handle. Cloning shares the service.
+#[derive(Clone)]
+pub struct WebService {
+    pub(super) inner: Arc<CloudInner>,
+}
+
+impl WebService {
+    /// Bring up the service (auth, broker, blob store, result processors).
+    pub fn new(cfg: CloudConfig, auth: AuthService, broker: Broker, clock: SharedClock) -> Self {
+        let metrics = broker.metrics().clone();
+        let blobs = BlobStore::new(cfg.payload_limit, metrics.clone());
+        broker
+            .declare_queue(RESULT_QUEUE, Some("cloud-results"))
+            .expect("fresh broker");
+        broker
+            .declare_queue(DEAD_TASKS_QUEUE, Some("cloud-results"))
+            .expect("fresh broker");
+        let shards = cfg.state_shards;
+        let m = CloudMetrics::resolve(&metrics);
+        let inner = Arc::new(CloudInner {
+            cfg,
+            auth,
+            broker,
+            blobs,
+            usage: UsageMeter::new(),
+            clock,
+            metrics,
+            m,
+            functions: ShardedMap::new(shards),
+            endpoints: ShardedMap::new(shards),
+            credentials: ShardedMap::new(shards),
+            tasks: ShardedMap::new(shards),
+            ueps: RwLock::new(HashMap::new()),
+            streams: ShardedMap::new(shards),
+            stream_counter: AtomicU64::new(0),
+            spawn_pending: RwLock::new(HashSet::new()),
+            shutdown: AtomicBool::new(false),
+            processors: Mutex::new(Vec::new()),
+        });
+        let svc = Self { inner };
+        for i in 0..svc.inner.cfg.result_processors {
+            let svc2 = svc.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("gcx-result-proc-{i}"))
+                .spawn(move || svc2.result_processor_loop())
+                .expect("spawn result processor");
+            svc.inner.processors.lock().push(handle);
+        }
+        {
+            let svc2 = svc.clone();
+            let handle = std::thread::Builder::new()
+                .name("gcx-dead-task-proc".into())
+                .spawn(move || svc2.dead_task_processor_loop())
+                .expect("spawn dead-task processor");
+            svc.inner.processors.lock().push(handle);
+        }
+        // On a virtual clock liveness is driven explicitly by the test
+        // harness (`check_liveness`); a background thread would race the
+        // manually-advanced time.
+        if !svc.inner.clock.is_virtual() {
+            let svc2 = svc.clone();
+            let handle = std::thread::Builder::new()
+                .name("gcx-liveness".into())
+                .spawn(move || svc2.liveness_monitor_loop())
+                .expect("spawn liveness monitor");
+            svc.inner.processors.lock().push(handle);
+        }
+        svc
+    }
+
+    /// Convenience constructor with defaults on the given clock.
+    pub fn with_defaults(clock: SharedClock) -> Self {
+        let auth = AuthService::new(clock.clone());
+        let broker = Broker::with_profile(
+            MetricsRegistry::new(),
+            clock.clone(),
+            gcx_mq::LinkProfile::instant(),
+        );
+        Self::new(CloudConfig::default(), auth, broker, clock)
+    }
+
+    /// The auth service (to register identities / issue tokens).
+    pub fn auth(&self) -> &AuthService {
+        &self.inner.auth
+    }
+
+    /// The broker (tests/benches inspect queue stats).
+    pub fn broker(&self) -> &Broker {
+        &self.inner.broker
+    }
+
+    /// Metrics registry shared with the broker.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The usage meter (Fig. 2 data).
+    pub fn usage(&self) -> &UsageMeter {
+        &self.inner.usage
+    }
+
+    /// The blob store.
+    pub fn blobs(&self) -> &BlobStore {
+        &self.inner.blobs
+    }
+
+    /// Stop result processors and release threads.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let handles: Vec<_> = std::mem::take(&mut *self.inner.processors.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    pub(super) fn meter_api(&self, bytes_in: usize, bytes_out: usize) {
+        self.inner.m.api_requests.inc();
+        self.inner.m.api_bytes_in.add(bytes_in as u64);
+        self.inner.m.api_bytes_out.add(bytes_out as u64);
+        self.inner
+            .cfg
+            .rest_link
+            .charge(&self.inner.clock, bytes_in + bytes_out);
+    }
+
+    pub(super) fn authenticate(
+        &self,
+        token: &Token,
+    ) -> GcxResult<gcx_auth::service::Introspection> {
+        self.inner.auth.introspect(token, COMPUTE_SCOPE)
+    }
+}
+
+#[cfg(test)]
+pub(super) mod testkit {
+    use super::WebService;
+    use gcx_auth::Token;
+    use gcx_core::clock::SystemClock;
+    use std::time::Duration;
+
+    pub fn service() -> WebService {
+        WebService::with_defaults(SystemClock::shared())
+    }
+
+    pub fn login(svc: &WebService, user: &str) -> Token {
+        svc.auth().login(user).unwrap().1
+    }
+
+    pub const T: Duration = Duration::from_millis(1000);
+}

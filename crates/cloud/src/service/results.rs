@@ -1,0 +1,454 @@
+//! Result landing: the processor loops draining the shared result and
+//! dead-task queues, per-identity result streams, and endpoint-side state
+//! reports.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use gcx_auth::Token;
+use gcx_core::codec;
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::ids::{EndpointId, IdentityId, TaskId};
+use gcx_core::task::{TaskResult, TaskSpec, TaskState};
+use gcx_core::value::Value;
+use gcx_mq::{Consumer, Message};
+
+use super::{stream_queue_name, WebService, DEAD_TASKS_QUEUE, RESULT_QUEUE};
+
+impl WebService {
+    // ---- result streaming (the executor path) ----------------------------
+
+    /// Open a result stream for the caller: an AMQPS consumer that receives
+    /// `(task_id, result)` pairs as they arrive at the service (§III-A).
+    /// Every call creates a fresh stream (one per executor instance);
+    /// results for the identity fan out to all of its open streams. Drop
+    /// the returned [`ResultStream`] to tear the stream down.
+    pub fn open_result_stream(&self, token: &Token) -> GcxResult<ResultStream> {
+        let who = self.authenticate(token)?;
+        let n = self.inner.stream_counter.fetch_add(1, Ordering::Relaxed);
+        let qname = stream_queue_name(who.identity.id, n);
+        let cred = format!("stream-{}", who.identity.id);
+        self.inner.broker.declare_queue(&qname, Some(&cred))?;
+        self.inner
+            .streams
+            .update_or_insert_with(who.identity.id, Vec::new, |list| {
+                list.push((qname.clone(), cred.clone()))
+            });
+        let consumer = self.inner.broker.consume(&qname, Some(&cred), 0)?;
+        Ok(ResultStream {
+            consumer,
+            cloud: self.clone(),
+            identity: who.identity.id,
+            queue_name: qname,
+        })
+    }
+
+    fn close_result_stream(&self, identity: IdentityId, queue_name: &str) {
+        // An identity's entry may go empty; it stays in the map (a few
+        // bytes) and fans out to nothing.
+        self.inner.streams.update(&identity, |list| {
+            if let Some(list) = list {
+                list.retain(|(q, _)| q != queue_name);
+            }
+        });
+        let _ = self.inner.broker.delete_queue(queue_name);
+    }
+
+    // ---- result processing -----------------------------------------------
+
+    pub(super) fn result_processor_loop(&self) {
+        let consumer = match self
+            .inner
+            .broker
+            .consume(RESULT_QUEUE, Some("cloud-results"), 64)
+        {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            match consumer.next(Duration::from_millis(25)) {
+                Ok(Some(delivery)) => {
+                    let _ = self.process_result(&delivery.message);
+                    let _ = consumer.ack(delivery.tag);
+                }
+                Ok(None) => {}
+                Err(_) => return, // queue closed
+            }
+        }
+    }
+
+    fn process_result(&self, message: &Message) -> GcxResult<()> {
+        let envelope = codec::decode(&message.body)?;
+        let task_id: TaskId = envelope
+            .get("task_id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| GcxError::Codec("result missing task_id".into()))?
+            .parse()
+            .map_err(|e| GcxError::Codec(format!("bad task_id: {e}")))?;
+        let result = TaskResult::from_value(
+            envelope
+                .get("result")
+                .ok_or_else(|| GcxError::Codec("result missing body".into()))?,
+        )?;
+        self.finish_task(task_id, result)
+    }
+
+    /// Land a task's result: state transitions, metrics, and fan-out to the
+    /// owner's open result streams. Idempotent — exactly one caller wins per
+    /// task id; later results for a terminal task are counted and dropped,
+    /// which is what makes endpoint-side retries safe (a redelivered task
+    /// may legitimately produce its result twice).
+    pub(super) fn finish_task(&self, task_id: TaskId, result: TaskResult) -> GcxResult<()> {
+        let now = self.inner.clock.now_ms();
+
+        // None = duplicate delivery of an already-terminal task.
+        let owner: Option<IdentityId> = self.inner.tasks.update(&task_id, |rec| {
+            let rec = rec.ok_or(GcxError::TaskNotFound(task_id))?;
+            if rec.state.is_terminal() {
+                return Ok(None);
+            }
+            if rec.state == TaskState::Received || rec.state == TaskState::WaitingForNodes {
+                // The endpoint may complete so fast the Running report races
+                // behind the result.
+                rec.transition(TaskState::Running, now)?;
+            }
+            rec.complete(result.clone(), now)?;
+            Ok(Some(rec.owner))
+        })?;
+        let Some(owner) = owner else {
+            // Duplicate delivery after an endpoint retry — drop it.
+            self.inner.m.duplicate_results_dropped.inc();
+            return Ok(());
+        };
+        self.inner.m.results_processed.inc();
+
+        // Push to all of the owner's open streams.
+        let targets: Vec<(String, String)> =
+            self.inner.streams.get_cloned(&owner).unwrap_or_default();
+        if !targets.is_empty() {
+            let push = Value::map([
+                ("task_id", Value::str(task_id.to_string())),
+                ("result", result.to_value()),
+            ]);
+            let body = codec::encode(&push);
+            for (qname, cred) in targets {
+                let _ = self
+                    .inner
+                    .broker
+                    .publish(&qname, Message::new(body.clone()), Some(&cred));
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain [`DEAD_TASKS_QUEUE`]: each message there is a task whose
+    /// delivery budget ran out (poison task, or an endpoint that kept dying
+    /// mid-execution). Fail it with a *retryable* error so SDK-side retry
+    /// budgets can decide whether to resubmit.
+    pub(super) fn dead_task_processor_loop(&self) {
+        let consumer = match self
+            .inner
+            .broker
+            .consume(DEAD_TASKS_QUEUE, Some("cloud-results"), 64)
+        {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            match consumer.next(Duration::from_millis(25)) {
+                Ok(Some(delivery)) => {
+                    let _ = self.fail_dead_task(&delivery.message);
+                    let _ = consumer.ack(delivery.tag);
+                }
+                Ok(None) => {}
+                Err(_) => return, // queue closed
+            }
+        }
+    }
+
+    fn fail_dead_task(&self, message: &Message) -> GcxResult<()> {
+        let spec = TaskSpec::from_value(&codec::decode(&message.body)?)?;
+        let source = message
+            .headers
+            .get(gcx_mq::DEATH_QUEUE_HEADER)
+            .cloned()
+            .unwrap_or_else(|| "<unknown>".into());
+        self.inner.m.tasks_dead_lettered.inc();
+        self.finish_task(
+            spec.task_id,
+            TaskResult::retryable_err(format!(
+                "task exhausted its {} delivery attempts on {source}",
+                self.inner.cfg.max_task_deliveries
+            )),
+        )
+    }
+
+    /// Endpoint-side state report (Received → WaitingForNodes → Running).
+    pub(super) fn report_state(
+        &self,
+        endpoint: EndpointId,
+        task_id: TaskId,
+        state: TaskState,
+    ) -> GcxResult<()> {
+        let now = self.inner.clock.now_ms();
+        self.inner.tasks.update(&task_id, |rec| {
+            let rec = rec.ok_or(GcxError::TaskNotFound(task_id))?;
+            // The task may have been rerouted to a spawned user endpoint.
+            let delivered_ep = rec.spec.endpoint_id;
+            let target_ok = delivered_ep == endpoint
+                || self.inner.endpoints.with(&endpoint, |e| {
+                    e.is_some_and(|e| e.parent_mep.is_some() || delivered_ep == endpoint)
+                });
+            if !target_ok {
+                return Err(GcxError::Forbidden(
+                    "task does not belong to this endpoint".into(),
+                ));
+            }
+            if rec.state == state || rec.state.is_terminal() {
+                return Ok(()); // idempotent
+            }
+            rec.transition(state, now)
+        })
+    }
+}
+
+/// A live result stream. Dereference to the consumer; dropping it closes
+/// and deletes the stream queue.
+pub struct ResultStream {
+    /// The stream consumer.
+    pub consumer: Consumer,
+    cloud: WebService,
+    identity: IdentityId,
+    queue_name: String,
+}
+
+impl Drop for ResultStream {
+    fn drop(&mut self) {
+        self.cloud
+            .close_result_stream(self.identity, &self.queue_name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testkit::{login, service, T};
+    use super::*;
+    use gcx_auth::AuthPolicy;
+    use gcx_core::function::FunctionBody;
+    use gcx_core::task::TaskSpec;
+
+    #[test]
+    fn submit_flows_to_endpoint_and_result_flows_back() {
+        let svc = service();
+        let token = login(&svc, "user@site.org");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep1", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+
+        let spec = TaskSpec::new(fid, reg.endpoint_id);
+        let task_id = svc.submit_task(&token, spec).unwrap();
+
+        // Endpoint receives the task.
+        let (got, tag) = session.next_task(T).unwrap().unwrap();
+        assert_eq!(got.task_id, task_id);
+        session.report_state(task_id, TaskState::Running).unwrap();
+        session
+            .publish_result(task_id, &TaskResult::Ok(Value::Int(42)))
+            .unwrap();
+        session.ack_task(tag).unwrap();
+
+        // Poll until the result processor lands it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let (state, result) = svc.task_status(&token, task_id).unwrap();
+            if state == TaskState::Success {
+                assert_eq!(result, Some(TaskResult::Ok(Value::Int(42))));
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "result never processed"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn result_stream_receives_pushed_results() {
+        let svc = service();
+        let token = login(&svc, "streamer@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let stream = svc.open_result_stream(&token).unwrap();
+
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
+        let (_, tag) = session.next_task(T).unwrap().unwrap();
+        session
+            .publish_result(id, &TaskResult::Ok(Value::str("pushed")))
+            .unwrap();
+        session.ack_task(tag).unwrap();
+
+        let delivery = stream
+            .consumer
+            .next(Duration::from_secs(2))
+            .unwrap()
+            .expect("streamed result");
+        let v = codec::decode(&delivery.message.body).unwrap();
+        assert_eq!(v.get("task_id").unwrap().as_str().unwrap(), id.to_string());
+        stream.consumer.ack(delivery.tag).unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn exhausted_delivery_budget_fails_task_with_retryable_error() {
+        let svc = service(); // max_task_deliveries = 3
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+
+        // A poison task: every delivery attempt ends in a nack.
+        for _ in 0..3 {
+            let (_, tag) = session
+                .next_task(T)
+                .unwrap()
+                .expect("delivery within budget");
+            session.nack_task(tag).unwrap();
+        }
+        assert!(session
+            .next_task(Duration::from_millis(50))
+            .unwrap()
+            .is_none());
+
+        // The dead-task processor fails it with a retryable error.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let (state, result) = svc.task_status(&token, id).unwrap();
+            if state == TaskState::Failed {
+                let result = result.unwrap();
+                assert!(
+                    result.is_retryable_err(),
+                    "dead-lettered failure must be retryable"
+                );
+                assert!(matches!(result.into_result(), Err(GcxError::Transient(_))));
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dead task never failed"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.metrics().counter("cloud.tasks_dead_lettered").get(), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn duplicate_results_are_dropped_idempotently() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let (_, tag) = session.next_task(T).unwrap().unwrap();
+        // An endpoint retry can publish the same result twice.
+        session
+            .publish_result(id, &TaskResult::Ok(Value::Int(1)))
+            .unwrap();
+        session
+            .publish_result(id, &TaskResult::Ok(Value::Int(1)))
+            .unwrap();
+        session.ack_task(tag).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            if svc
+                .metrics()
+                .counter("cloud.duplicate_results_dropped")
+                .get()
+                == 1
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "duplicate never observed"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.metrics().counter("cloud.results_processed").get(), 1);
+        let (state, _) = svc.task_status(&token, id).unwrap();
+        assert_eq!(state, TaskState::Success);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn oversized_result_becomes_failure() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let id = svc
+            .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
+            .unwrap();
+        let (_, tag) = session.next_task(T).unwrap().unwrap();
+        let huge = TaskResult::Ok(Value::Bytes(vec![0u8; 11 * 1024 * 1024]));
+        session.publish_result(id, &huge).unwrap();
+        session.ack_task(tag).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let (state, result) = svc.task_status(&token, id).unwrap();
+            if state == TaskState::Failed {
+                let TaskResult::Err(msg) = result.unwrap() else {
+                    panic!()
+                };
+                assert!(msg.contains("payload limit"));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        svc.shutdown();
+    }
+}

@@ -26,6 +26,8 @@
 //!   functions.
 //! - [`metrics`] — lightweight atomic counters and histograms used by the
 //!   benchmark harness to meter bytes over the wire, request counts, etc.
+//! - [`sharded`] — the N-way sharded concurrent map the cloud service's
+//!   state stores run on.
 //! - [`error`] — the shared error type.
 
 pub mod clock;
@@ -37,6 +39,7 @@ pub mod metrics;
 pub mod relite;
 pub mod respec;
 pub mod retry;
+pub mod sharded;
 pub mod shellres;
 pub mod task;
 pub mod value;
@@ -47,6 +50,7 @@ pub use function::{FunctionBody, FunctionRecord};
 pub use ids::{BlockId, EndpointId, FunctionId, IdentityId, JobId, TaskId, Uuid};
 pub use respec::ResourceSpec;
 pub use retry::RetryPolicy;
+pub use sharded::ShardedMap;
 pub use shellres::ShellResult;
 pub use task::{TaskRecord, TaskResult, TaskSpec, TaskState};
 pub use value::Value;

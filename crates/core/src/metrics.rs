@@ -80,9 +80,14 @@ impl Gauge {
 
 /// Histogram with power-of-two latency buckets (microsecond granularity up
 /// to ~17 minutes). Lock-free recording.
+///
+/// Bucket layout: bucket 0 holds only the value 0; bucket `i` for
+/// `1 <= i < BUCKETS - 1` holds `[2^(i-1), 2^i)`; the final bucket
+/// (`BUCKETS - 1`) is open-ended and holds everything from
+/// `2^(BUCKETS - 2)` up.
 #[derive(Debug)]
 pub struct Histogram {
-    buckets: [AtomicU64; 32],
+    buckets: [AtomicU64; Self::BUCKETS],
     sum: AtomicU64,
     count: AtomicU64,
 }
@@ -94,6 +99,9 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Number of buckets; the last one is open-ended.
+    pub const BUCKETS: usize = 32;
+
     /// New empty histogram.
     pub fn new() -> Self {
         Self {
@@ -104,7 +112,20 @@ impl Histogram {
     }
 
     fn bucket_for(v: u64) -> usize {
-        (64 - v.leading_zeros() as usize).min(31)
+        (64 - v.leading_zeros() as usize).min(Self::BUCKETS - 1)
+    }
+
+    /// The largest value bucket `i` can hold (inclusive): 0 for bucket 0,
+    /// `2^i - 1` for the middle buckets, `u64::MAX` for the open-ended last
+    /// bucket.
+    fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= Self::BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
     }
 
     /// Record one observation.
@@ -141,11 +162,7 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << i).saturating_sub(1).max(1)
-                };
+                return Self::bucket_upper_bound(i);
             }
         }
         u64::MAX
@@ -266,6 +283,52 @@ mod tests {
         assert!(h.quantile(0.5) <= 7);
         assert!(h.quantile(1.0) >= 1000 / 2);
         assert_eq!(Histogram::new().quantile(0.9), 0);
+    }
+
+    #[test]
+    fn quantile_bounds_pinned_at_bucket_edges() {
+        // A value of 0 lands in bucket 0, whose upper bound is exactly 0.
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 0);
+
+        // Each power-of-two edge: 2^(i-1) is the smallest value in bucket i,
+        // whose reported upper bound is 2^i - 1; 2^i - 1 is the largest and
+        // must report the same bound.
+        for i in 1..=30usize {
+            let lo = Histogram::new();
+            lo.record(1u64 << (i - 1));
+            assert_eq!(lo.quantile(1.0), (1u64 << i) - 1, "low edge, bucket {i}");
+            let hi = Histogram::new();
+            hi.record((1u64 << i) - 1);
+            assert_eq!(hi.quantile(1.0), (1u64 << i) - 1, "high edge, bucket {i}");
+        }
+
+        // Everything from 2^30 up falls into the open-ended last bucket.
+        for v in [1u64 << 30, (1u64 << 31) - 1, 1u64 << 40, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            assert_eq!(
+                Histogram::bucket_for(v),
+                Histogram::BUCKETS - 1,
+                "value {v} must land in the last bucket"
+            );
+            assert_eq!(h.quantile(1.0), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn quantile_upper_bound_never_undershoots() {
+        // The reported quantile is the bucket's upper bound, so it is always
+        // >= every recorded value at that quantile.
+        let h = Histogram::new();
+        for v in [0u64, 1, 3, 17, 1000, 65_535, 1 << 29] {
+            h.record(v);
+        }
+        assert!(h.quantile(1.0) >= 1 << 29);
+        assert!(h.quantile(0.0) < h.quantile(1.0));
+        let mid = h.quantile(0.5);
+        assert!(mid >= 3, "p50 bound must cover the median value: {mid}");
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Property-based tests dedicated to the wire codec: deep `Value` trees,
+//! the `MAX_DEPTH` rejection boundary, and exact size prediction.
+//!
+//! `prop_core.rs` keeps a shallow smoke round-trip; this suite generates
+//! deeper and wider trees and pins the decoder's nesting limit exactly.
+
+use gcx_core::codec::{decode, encode, encoded_size};
+use gcx_core::value::Value;
+use proptest::prelude::*;
+
+/// The decoder's nesting limit (private `MAX_DEPTH` in `codec.rs`); the
+/// boundary test below fails if the two ever drift apart.
+const MAX_DEPTH: usize = 64;
+
+/// Arbitrary `Value` leaves, covering every scalar variant and the integer
+/// extremes where zigzag/varint encoding is most likely to go wrong.
+fn leaf_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::None),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        prop_oneof![
+            Just(i64::MIN),
+            Just(i64::MAX),
+            Just(-1i64),
+            Just(0i64),
+            Just(1i64)
+        ]
+        .prop_map(Value::Int),
+        // Finite floats only: NaN breaks PartialEq-based roundtrip checks.
+        prop::num::f64::NORMAL.prop_map(Value::Float),
+        prop_oneof![Just(f64::INFINITY), Just(f64::NEG_INFINITY), Just(0.0f64)]
+            .prop_map(Value::Float),
+        // Multi-byte UTF-8 included: string lengths are byte lengths.
+        prop::collection::vec(
+            prop_oneof![any::<char>(), Just('√'), Just('縦'), Just('😀'), Just('\0')],
+            0..24,
+        )
+        .prop_map(|cs| Value::Str(cs.into_iter().collect())),
+        prop::collection::vec(any::<u8>(), 0..128).prop_map(Value::Bytes),
+    ]
+}
+
+/// Trees up to 8 levels deep and ~128 nodes wide.
+fn tree_strategy() -> impl Strategy<Value = Value> {
+    leaf_strategy().prop_recursive(8, 128, 10, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..10).prop_map(Value::List),
+            prop::collection::btree_map("[a-zA-Z0-9_.]{0,12}", inner, 0..10).prop_map(Value::Map),
+        ]
+    })
+}
+
+/// `depth` lists wrapped around a scalar: the innermost value decodes at
+/// recursion depth `depth`.
+fn nested_lists(depth: usize) -> Value {
+    let mut v = Value::Int(7);
+    for _ in 0..depth {
+        v = Value::List(vec![v]);
+    }
+    v
+}
+
+proptest! {
+    /// Every tree round-trips unchanged, and `encoded_size` predicts the
+    /// encoder's output length exactly — both on the same generated input,
+    /// so a mismatch pinpoints the failing tree.
+    #[test]
+    fn deep_tree_roundtrip_with_exact_size(v in tree_strategy()) {
+        let bytes = encode(&v);
+        prop_assert_eq!(bytes.len(), encoded_size(&v), "encoded_size must be exact");
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(&v, &back);
+    }
+
+    /// The nesting limit is a hard boundary: values at or below `MAX_DEPTH`
+    /// decode, values beyond it are rejected (never a panic or a hang).
+    #[test]
+    fn nesting_limit_is_exact(depth in 0usize..=(MAX_DEPTH + 16)) {
+        let v = nested_lists(depth);
+        let bytes = encode(&v);
+        match decode(&bytes) {
+            Ok(back) => {
+                prop_assert!(depth <= MAX_DEPTH, "depth {depth} must be rejected");
+                prop_assert_eq!(v, back);
+            }
+            Err(_) => prop_assert!(depth > MAX_DEPTH, "depth {depth} must be accepted"),
+        }
+    }
+
+    /// Maps round-trip regardless of construction order (BTreeMap keeps the
+    /// wire form canonical), and the re-encode of a decode is bit-identical.
+    #[test]
+    fn reencode_is_bit_identical(v in tree_strategy()) {
+        let bytes = encode(&v);
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(encode(&back), bytes);
+    }
+
+    /// Flipping any single byte of a valid encoding never panics the
+    /// decoder: it either errors or yields some (different or equal) value.
+    #[test]
+    fn corrupted_payloads_never_panic(v in tree_strategy(), pos in any::<usize>(), x in any::<u8>()) {
+        let mut bytes = encode(&v).to_vec();
+        let i = pos % bytes.len(); // always ≥ 1 byte: the version prefix
+        bytes[i] ^= x;
+        let _ = decode(&bytes);
+    }
+}

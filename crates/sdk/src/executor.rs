@@ -38,6 +38,7 @@ use gcx_core::codec;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
 use gcx_core::ids::{EndpointId, FunctionId, TaskId};
+use gcx_core::metrics::Counter;
 use gcx_core::respec::ResourceSpec;
 use gcx_core::retry::RetryPolicy;
 use gcx_core::task::{TaskResult, TaskSpec};
@@ -98,7 +99,14 @@ struct ExecutorShared {
     /// Content-hash → registered function id (on-the-fly dedup).
     registered: Mutex<HashMap<u64, FunctionId>>,
     shutdown: AtomicBool,
+    /// Hot-path counters, resolved once at construction.
+    tasks_resubmitted: Arc<Counter>,
+    stream_reconnects: Arc<Counter>,
 }
+
+/// How long [`Executor::close`] waits for results of already-flushed tasks
+/// before failing their futures with [`GcxError::ShuttingDown`].
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
 /// The future-based executor, bound to one endpoint (like
 /// `Executor(endpoint_id=…)` in Listing 1).
@@ -130,6 +138,8 @@ impl Executor {
     ) -> GcxResult<Self> {
         // Open the AMQPS result stream up front; failures surface now.
         let stream = cloud.open_result_stream(&token)?;
+        let tasks_resubmitted = cloud.metrics().counter("sdk.tasks_resubmitted");
+        let stream_reconnects = cloud.metrics().counter("sdk.stream_reconnects");
         let shared = Arc::new(ExecutorShared {
             cloud,
             token,
@@ -138,6 +148,8 @@ impl Executor {
             delayed: Mutex::new(Vec::new()),
             registered: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
+            tasks_resubmitted,
+            stream_reconnects,
         });
 
         let batcher = {
@@ -211,7 +223,17 @@ impl Executor {
                 attempts: 1,
             },
         );
-        self.shared.pending.lock().push(PendingSubmit {
+        let mut pending = self.shared.pending.lock();
+        // Re-check under the pending lock: the batcher takes this lock for
+        // its final drain only after observing the shutdown flag, so a push
+        // that lands here is guaranteed to be flushed, and a push that would
+        // land after the drain is rejected instead of stranding the task.
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            drop(pending);
+            self.shared.inflight.lock().remove(&spec.task_id);
+            return Err(GcxError::ShuttingDown);
+        }
+        pending.push(PendingSubmit {
             spec,
             enqueued_at: Instant::now(),
         });
@@ -352,6 +374,7 @@ fn stream_loop(
     retry: &RetryPolicy,
     mut stream: gcx_cloud::service::ResultStream,
 ) {
+    let mut grace: Option<Instant> = None;
     loop {
         match stream.consumer.next(Duration::from_millis(25)) {
             Ok(Some(delivery)) => {
@@ -376,12 +399,21 @@ fn stream_loop(
                 let _ = stream.consumer.ack(delivery.tag);
             }
             Ok(None) => {
-                if shared.shutdown.load(Ordering::SeqCst) && shared.inflight.lock().is_empty() {
-                    return;
-                }
-                if shared.shutdown.load(Ordering::SeqCst) && shared.pending.lock().is_empty() {
-                    // Give stragglers a bounded grace period at shutdown.
-                    return;
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    if shared.inflight.lock().is_empty() {
+                        return;
+                    }
+                    // The batcher flushed everything pending before exiting;
+                    // give those tasks a bounded grace period to report
+                    // back, then fail the leftovers so no future strands.
+                    let deadline = *grace.get_or_insert_with(|| Instant::now() + SHUTDOWN_GRACE);
+                    if Instant::now() >= deadline {
+                        let mut inflight = shared.inflight.lock();
+                        for (_, inf) in inflight.drain() {
+                            inf.future.resolve(Err(GcxError::ShuttingDown));
+                        }
+                        return;
+                    }
                 }
             }
             Err(_) => match reconnect_stream(shared, retry) {
@@ -421,11 +453,7 @@ fn reconnect_stream(
         }
         match shared.cloud.open_result_stream(&shared.token) {
             Ok(stream) => {
-                shared
-                    .cloud
-                    .metrics()
-                    .counter("sdk.stream_reconnects")
-                    .inc();
+                shared.stream_reconnects.inc();
                 catch_up(shared, retry);
                 return Some(stream);
             }
@@ -498,11 +526,7 @@ fn fail_or_retry(shared: &ExecutorShared, retry: &RetryPolicy, task_id: TaskId, 
     let backoff = retry.backoff(inf.attempts);
     inf.attempts += 1;
     inf.spec.task_id = TaskId::random();
-    shared
-        .cloud
-        .metrics()
-        .counter("sdk.tasks_resubmitted")
-        .inc();
+    shared.tasks_resubmitted.inc();
     let pending = PendingSubmit {
         spec: inf.spec.clone(),
         enqueued_at: Instant::now(),
@@ -716,6 +740,38 @@ mod tests {
         let err = fut.result_timeout(Duration::from_secs(5)).unwrap_err();
         assert!(matches!(err, GcxError::EndpointNotFound(_)));
         ex.close();
+    }
+
+    #[test]
+    fn close_flushes_pending_batch_and_drains_results() {
+        let stack = Stack::new("engine:\n  type: GlobusComputeEngine\n  workers_per_node: 2\n");
+        let ex = Executor::with_config(
+            stack.svc.clone(),
+            stack.token.clone(),
+            stack.ep,
+            ExecutorConfig {
+                // A window far longer than the test: only the shutdown path
+                // can flush this batch.
+                batch_window: Duration::from_secs(60),
+                max_batch: 1000,
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let f = PyFunction::new("def f(x):\n    return x + 1\n");
+        let futures: Vec<TaskFuture> = (0..5)
+            .map(|i| ex.submit(&f, vec![Value::Int(i)], Value::None).unwrap())
+            .collect();
+        // Nothing has shipped yet (the window is a minute long); close()
+        // must flush the pending batch and wait out its results.
+        ex.close();
+        for (i, fut) in futures.iter().enumerate() {
+            assert_eq!(
+                fut.result_timeout(Duration::from_millis(100)).unwrap(),
+                Value::Int(i as i64 + 1),
+                "close() must flush the pending batch and drain its results"
+            );
+        }
     }
 
     #[test]
