@@ -35,6 +35,7 @@ const EXPERIMENTS: &[&str] = &[
     "data_movement",
     "service_scale",
     "throughput",
+    "latency_breakdown",
     "ablation_sandbox",
     "ablation_multiplex",
     "ablation_proxy_cache",
@@ -208,6 +209,21 @@ fn robustness_soak() -> Result<(), String> {
     }
     println!("  {TASKS} tasks, all completed with correct results despite the chaos:\n");
     table.print();
+    let histos = m.histogram_snapshot();
+    if !histos.is_empty() {
+        let mut table = Table::new(&["histogram", "count", "mean", "p50", "p99"]);
+        for (name, h) in &histos {
+            table.row(&[
+                name.clone(),
+                h.count.to_string(),
+                format!("{:.2}", h.mean),
+                h.p50.to_string(),
+                h.p99.to_string(),
+            ]);
+        }
+        println!("\n  service-side latency histograms:\n");
+        table.print();
+    }
     ex.close();
     agent.stop();
     drop(doomed);

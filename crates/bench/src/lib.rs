@@ -18,6 +18,7 @@
 //! | `data_movement`      | E8         | §V 10 MB limit / ProxyStore / Transfer      |
 //! | `service_scale`      | E9         | §I/§VI one service, many endpoints          |
 //! | `throughput`         | E10        | sharded + batched hot path vs single lock   |
+//! | `latency_breakdown`  | E11        | per-leg lifecycle latency from trace spans  |
 //! | `ablation_sandbox`   | A1         | §III-B.2 sandbox contention                 |
 //! | `ablation_multiplex` | A2         | §II manager multiplexing                    |
 //! | `ablation_proxy_cache`| A3        | §V-B worker-side proxy cache                |

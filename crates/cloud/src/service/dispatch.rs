@@ -38,9 +38,18 @@ impl WebService {
         // The validation encoding doubles as the wire body whenever the
         // spec is neither rerouted to a UEP nor blob-offloaded (the common
         // case), sparing a second encode per task.
-        let mut prepared: Vec<(TaskSpec, EndpointId, Option<bytes::Bytes>)> =
+        let mut prepared: Vec<(TaskSpec, EndpointId, Option<bytes::Bytes>, bool)> =
             Vec::with_capacity(specs.len());
         for mut spec in specs {
+            // SDK submissions arrive with a trace context already minted;
+            // direct REST submissions get theirs here (subject to sampling)
+            // so the per-leg timeline exists either way. Setting it before
+            // the validation encode lets that encoding double as the wire
+            // body, trace included.
+            let cloud_traced = spec.trace.is_none() && self.inner.tracer.enabled();
+            if cloud_traced {
+                spec.trace = self.inner.tracer.start_trace("task");
+            }
             let encoded = codec::encode(&spec.to_value());
             if encoded.len() > self.inner.cfg.payload_limit {
                 return Err(GcxError::PayloadTooLarge {
@@ -77,18 +86,30 @@ impl WebService {
             } else {
                 Some(encoded)
             };
-            prepared.push((spec, deliver_to, body));
+            prepared.push((spec, deliver_to, body, cloud_traced));
         }
 
         self.meter_api(bytes_in, prepared.len() * 36);
 
+        // Everything below ships in this same call, so one "dispatched"
+        // stamp (taken after the REST link charge) serves the whole batch;
+        // it is also the queue-transit span's start, carried in a header.
+        let shipped = self.inner.clock.now_ms();
+        let shipped_str = shipped.to_string();
         let mut ids = Vec::with_capacity(prepared.len());
         let mut by_endpoint: HashMap<EndpointId, Vec<Message>> = HashMap::new();
-        for (spec, deliver_to, body) in prepared {
+        for (spec, deliver_to, body, cloud_traced) in prepared {
             let task_id = spec.task_id;
-            let record = TaskRecord::new(spec.clone(), who.identity.id, now);
+            let trace = spec.trace;
+            let mut record = TaskRecord::new(spec.clone(), who.identity.id, now);
+            record.dispatched_at = Some(shipped);
             self.inner.tasks.insert(task_id, record);
             self.inner.usage.record_task(now);
+            if cloud_traced {
+                self.inner
+                    .tracer
+                    .record_span(trace.as_ref(), "submit", now, shipped);
+            }
             let body = match body {
                 Some(b) => b,
                 None => {
@@ -98,10 +119,19 @@ impl WebService {
                     codec::encode(&wire_spec.to_value())
                 }
             };
-            by_endpoint
-                .entry(deliver_to)
-                .or_default()
-                .push(Message::new(body));
+            let message = match &trace {
+                Some(ctx) => {
+                    // Headers let the broker annotate the trace on fault
+                    // injection and the receiving session time the
+                    // queue-transit leg, without decoding the body.
+                    let mut headers = std::collections::BTreeMap::new();
+                    headers.insert(gcx_mq::TRACE_HEADER.to_string(), ctx.encode());
+                    headers.insert(gcx_mq::SENT_MS_HEADER.to_string(), shipped_str.clone());
+                    Message::with_headers(body, headers)
+                }
+                None => Message::new(body),
+            };
+            by_endpoint.entry(deliver_to).or_default().push(message);
             ids.push(task_id);
         }
         self.inner.m.tasks_submitted.add(ids.len() as u64);

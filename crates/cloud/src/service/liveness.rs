@@ -104,9 +104,22 @@ impl WebService {
             }
             newly_offline += 1;
             self.inner.m.endpoints_offline.inc();
-            if let Ok(requeued) = self.inner.broker.recover_queue(&task_queue_name(id)) {
-                self.inner.m.retries.add(requeued as u64);
-            }
+            let requeued = self
+                .inner
+                .broker
+                .recover_queue(&task_queue_name(id))
+                .unwrap_or(0);
+            self.inner.m.retries.add(requeued as u64);
+            self.inner.tracer.event(
+                gcx_core::trace::EventLevel::Warn,
+                "cloud.endpoint_offline",
+                || {
+                    vec![
+                        ("endpoint", id.to_string()),
+                        ("requeued", requeued.to_string()),
+                    ]
+                },
+            );
         }
         newly_offline
     }

@@ -34,8 +34,9 @@ use gcx_auth::{AuthService, Token};
 use gcx_core::clock::SharedClock;
 use gcx_core::function::FunctionRecord;
 use gcx_core::ids::{EndpointId, FunctionId, IdentityId, TaskId};
-use gcx_core::metrics::{Counter, MetricsRegistry};
+use gcx_core::metrics::{Counter, Histogram, MetricsRegistry};
 use gcx_core::task::TaskRecord;
+use gcx_core::trace::{TraceConfig, Tracer};
 use gcx_core::GcxResult;
 use gcx_core::ShardedMap;
 use gcx_mq::Broker;
@@ -103,6 +104,12 @@ pub struct CloudConfig {
     /// — the pre-batching layout, kept selectable for the same reason as
     /// `state_shards`.
     pub batch_publish: bool,
+    /// Tracing limits (sampling, retention, event buffering). The service
+    /// installs a [`Tracer`] built from this on its metrics registry, which
+    /// the broker, engines, and SDK resolve it from — set `sample_every` to
+    /// 0 to disable collection entirely (untraced tasks cost a branch, not
+    /// an allocation, so the default is on).
+    pub trace: TraceConfig,
 }
 
 impl Default for CloudConfig {
@@ -116,6 +123,7 @@ impl Default for CloudConfig {
             max_task_deliveries: 3,
             state_shards: gcx_core::sharded::DEFAULT_SHARDS,
             batch_publish: true,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -141,6 +149,8 @@ pub(super) struct CloudMetrics {
     pub(super) uep_reused: Arc<Counter>,
     pub(super) uep_spawn_requested: Arc<Counter>,
     pub(super) uep_respawn_requested: Arc<Counter>,
+    pub(super) roundtrip_ms: Arc<Histogram>,
+    pub(super) result_transit_ms: Arc<Histogram>,
 }
 
 impl CloudMetrics {
@@ -162,6 +172,8 @@ impl CloudMetrics {
             uep_reused: registry.counter("mep.uep_reused"),
             uep_spawn_requested: registry.counter("mep.uep_spawn_requested"),
             uep_respawn_requested: registry.counter("mep.uep_respawn_requested"),
+            roundtrip_ms: registry.histogram("cloud.task_roundtrip_ms"),
+            result_transit_ms: registry.histogram("cloud.result_transit_ms"),
         }
     }
 }
@@ -174,6 +186,7 @@ pub(super) struct CloudInner {
     pub(super) usage: UsageMeter,
     pub(super) clock: SharedClock,
     pub(super) metrics: MetricsRegistry,
+    pub(super) tracer: Tracer,
     pub(super) m: CloudMetrics,
     pub(super) functions: ShardedMap<FunctionId, FunctionRecord>,
     pub(super) endpoints: ShardedMap<EndpointId, EndpointRecord>,
@@ -214,6 +227,15 @@ impl WebService {
             .expect("fresh broker");
         let shards = cfg.state_shards;
         let m = CloudMetrics::resolve(&metrics);
+        // The registry is shared with the broker (and, when the harness
+        // wires it so, the endpoint engines), so installing the tracer here
+        // makes one collector visible to every layer of the envelope path.
+        let tracer = if cfg.trace.sample_every > 0 {
+            Tracer::new(clock.clone(), cfg.trace.clone())
+        } else {
+            Tracer::disabled()
+        };
+        metrics.set_tracer(tracer.clone());
         let inner = Arc::new(CloudInner {
             cfg,
             auth,
@@ -222,6 +244,7 @@ impl WebService {
             usage: UsageMeter::new(),
             clock,
             metrics,
+            tracer,
             m,
             functions: ShardedMap::new(shards),
             endpoints: ShardedMap::new(shards),
@@ -299,6 +322,80 @@ impl WebService {
     /// The blob store.
     pub fn blobs(&self) -> &BlobStore {
         &self.inner.blobs
+    }
+
+    /// The task-lifecycle tracer (disabled when `cfg.trace.sample_every`
+    /// is 0). Also reachable through [`WebService::metrics`]'s registry.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Everything a scraper wants, in Prometheus text exposition format:
+    /// all counters and histogram buckets, trace leg summaries, and
+    /// per-endpoint health gauges.
+    pub fn exposition_prometheus(&self) -> String {
+        let mut page = gcx_core::expo::PromText::new();
+        page.registry(&self.inner.metrics);
+        page.trace_summary(&self.inner.tracer);
+        self.inner.endpoints.for_each(|_, rec| {
+            let id = rec.id.to_string();
+            let health = if !rec.connected {
+                "offline"
+            } else if rec.degraded {
+                "degraded"
+            } else {
+                "online"
+            };
+            page.gauge(
+                "endpoint.up",
+                &[("endpoint", id.as_str()), ("health", health)],
+                u64::from(rec.connected),
+            );
+            page.gauge(
+                "endpoint.last_heartbeat_ms",
+                &[("endpoint", id.as_str())],
+                rec.last_heartbeat_ms,
+            );
+        });
+        page.render()
+    }
+
+    /// The same snapshot as JSON: counters, histogram quantiles, trace leg
+    /// summaries, per-endpoint health, and the buffered event lines.
+    pub fn exposition_json(&self) -> String {
+        let mut body = gcx_core::expo::JsonBody::new();
+        body.registry(&self.inner.metrics, &self.inner.tracer);
+        let mut endpoints = String::from("[");
+        let mut first = true;
+        self.inner.endpoints.for_each(|_, rec| {
+            if !first {
+                endpoints.push(',');
+            }
+            first = false;
+            let health = if !rec.connected {
+                "offline"
+            } else if rec.degraded {
+                "degraded"
+            } else {
+                "online"
+            };
+            endpoints.push_str(&format!(
+                "{{\"id\":\"{}\",\"health\":\"{health}\",\"last_heartbeat_ms\":{}}}",
+                rec.id, rec.last_heartbeat_ms
+            ));
+        });
+        endpoints.push(']');
+        body.raw("endpoints", &endpoints);
+        let mut events = String::from("[");
+        for (i, line) in self.inner.tracer.events().iter().enumerate() {
+            if i > 0 {
+                events.push(',');
+            }
+            events.push_str(line);
+        }
+        events.push(']');
+        body.raw("events", &events);
+        body.render()
     }
 
     /// Stop result processors and release threads.

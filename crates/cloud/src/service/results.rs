@@ -90,7 +90,11 @@ impl WebService {
                 .get("result")
                 .ok_or_else(|| GcxError::Codec("result missing body".into()))?,
         )?;
-        self.finish_task(task_id, result)
+        let sent_ms = envelope
+            .get("sent_ms")
+            .and_then(Value::as_int)
+            .map(|n| n.max(0) as u64);
+        self.finish_task_traced(task_id, result, sent_ms)
     }
 
     /// Land a task's result: state transitions, metrics, and fan-out to the
@@ -99,13 +103,25 @@ impl WebService {
     /// which is what makes endpoint-side retries safe (a redelivered task
     /// may legitimately produce its result twice).
     pub(super) fn finish_task(&self, task_id: TaskId, result: TaskResult) -> GcxResult<()> {
+        self.finish_task_traced(task_id, result, None)
+    }
+
+    /// [`finish_task`](Self::finish_task) plus the result-leg span:
+    /// `sent_ms` is the agent's publish stamp carried in the envelope, so
+    /// the span covers result-queue transit and processor pickup.
+    pub(super) fn finish_task_traced(
+        &self,
+        task_id: TaskId,
+        result: TaskResult,
+        sent_ms: Option<u64>,
+    ) -> GcxResult<()> {
         let now = self.inner.clock.now_ms();
 
         // None = duplicate delivery of an already-terminal task.
-        let owner: Option<IdentityId> = self.inner.tasks.update(&task_id, |rec| {
+        let (owner, trace, submitted_at) = self.inner.tasks.update(&task_id, |rec| {
             let rec = rec.ok_or(GcxError::TaskNotFound(task_id))?;
             if rec.state.is_terminal() {
-                return Ok(None);
+                return Ok((None, rec.spec.trace, rec.submitted_at));
             }
             if rec.state == TaskState::Received || rec.state == TaskState::WaitingForNodes {
                 // The endpoint may complete so fast the Running report races
@@ -113,14 +129,32 @@ impl WebService {
                 rec.transition(TaskState::Running, now)?;
             }
             rec.complete(result.clone(), now)?;
-            Ok(Some(rec.owner))
+            Ok((Some(rec.owner), rec.spec.trace, rec.submitted_at))
         })?;
         let Some(owner) = owner else {
             // Duplicate delivery after an endpoint retry — drop it.
             self.inner.m.duplicate_results_dropped.inc();
+            self.inner
+                .tracer
+                .annotate(trace.as_ref(), || "duplicate result dropped".into());
             return Ok(());
         };
         self.inner.m.results_processed.inc();
+        self.inner
+            .m
+            .roundtrip_ms
+            .record(now.saturating_sub(submitted_at));
+        if let Some(sent) = sent_ms {
+            self.inner
+                .m
+                .result_transit_ms
+                .record(now.saturating_sub(sent));
+        }
+        if let Some(ctx) = &trace {
+            let tracer = &self.inner.tracer;
+            tracer.record_span(Some(ctx), "result", sent_ms.unwrap_or(now), now);
+            tracer.end_trace(Some(ctx));
+        }
 
         // Push to all of the owner's open streams.
         let targets: Vec<(String, String)> =
@@ -174,6 +208,16 @@ impl WebService {
             .cloned()
             .unwrap_or_else(|| "<unknown>".into());
         self.inner.m.tasks_dead_lettered.inc();
+        let tracer = &self.inner.tracer;
+        tracer.annotate(spec.trace.as_ref(), || {
+            format!("dead-lettered from {source}: delivery budget exhausted")
+        });
+        tracer.event(gcx_core::trace::EventLevel::Warn, "cloud.dead_task", || {
+            vec![
+                ("task_id", spec.task_id.to_string()),
+                ("source", source.clone()),
+            ]
+        });
         self.finish_task(
             spec.task_id,
             TaskResult::retryable_err(format!(
@@ -191,6 +235,7 @@ impl WebService {
         state: TaskState,
     ) -> GcxResult<()> {
         let now = self.inner.clock.now_ms();
+        let mut dispatch_leg = None;
         self.inner.tasks.update(&task_id, |rec| {
             let rec = rec.ok_or(GcxError::TaskNotFound(task_id))?;
             // The task may have been rerouted to a spawned user endpoint.
@@ -207,8 +252,19 @@ impl WebService {
             if rec.state == state || rec.state.is_terminal() {
                 return Ok(()); // idempotent
             }
-            rec.transition(state, now)
-        })
+            rec.transition(state, now)?;
+            if state == TaskState::Running {
+                // Dispatch leg: agent receipt → the engine actually starting
+                // the task (queueing inside the endpoint's interchange).
+                dispatch_leg = rec.spec.trace.map(|ctx| (ctx, rec.received_at));
+            }
+            Ok(())
+        })?;
+        if let Some((ctx, received_at)) = dispatch_leg {
+            let tracer = &self.inner.tracer;
+            tracer.record_span(Some(&ctx), "dispatch", received_at.unwrap_or(now), now);
+        }
+        Ok(())
     }
 }
 

@@ -52,6 +52,36 @@ impl EndpointSession {
             Some(delivery) => {
                 let mut spec = TaskSpec::from_value(&codec::decode(&delivery.message.body)?)?;
                 self.cloud.restore_args(&mut spec)?;
+                if let Some(ctx) = &spec.trace {
+                    // Queue-transit leg: publish stamp (header) → now. A
+                    // redelivery records a second queue span, so recovery
+                    // round-trips are visible in the timeline.
+                    let tracer = &self.cloud.inner.tracer;
+                    let now = tracer.now_ms();
+                    let sent = delivery
+                        .message
+                        .headers
+                        .get(gcx_mq::SENT_MS_HEADER)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(now);
+                    let redelivered = delivery.message.redelivered;
+                    let delivery_count = delivery.message.delivery_count;
+                    tracer.record_span_annotated(Some(ctx), "queue", sent, now, || {
+                        if redelivered {
+                            vec![format!("redelivered (delivery {delivery_count})")]
+                        } else {
+                            Vec::new()
+                        }
+                    });
+                    // First receipt stamps the record; redeliveries keep it.
+                    self.cloud.inner.tasks.update(&spec.task_id, |rec| {
+                        if let Some(rec) = rec {
+                            if rec.received_at.is_none() {
+                                rec.received_at = Some(now);
+                            }
+                        }
+                    });
+                }
                 Ok(Some((spec, delivery.tag)))
             }
         }
@@ -94,19 +124,34 @@ impl EndpointSession {
 
     /// Publish a task result to the shared result queue.
     pub fn publish_result(&self, task_id: TaskId, result: &TaskResult) -> GcxResult<()> {
-        let encoded_result = result.to_value();
+        let mut encoded_result = result.to_value();
         let size = codec::encoded_size(&encoded_result);
         if size > self.cloud.inner.cfg.payload_limit {
             // Oversized results become failures, like the production 10 MB rule.
-            let err = TaskResult::Err(format!(
+            encoded_result = TaskResult::Err(format!(
                 "result of {size} bytes exceeds the {} byte payload limit",
                 self.cloud.inner.cfg.payload_limit
-            ));
-            return self.publish_result(task_id, &err);
+            ))
+            .to_value();
+        }
+        let tracer = &self.cloud.inner.tracer;
+        let now = self.cloud.inner.clock.now_ms();
+        if tracer.enabled() {
+            // Execute leg: Running stamp → result published by the agent.
+            let mut traced = None;
+            self.cloud.inner.tasks.with(&task_id, |rec| {
+                if let Some(rec) = rec {
+                    traced = rec.spec.trace.map(|ctx| (ctx, rec.started_at));
+                }
+            });
+            if let Some((ctx, started_at)) = traced {
+                tracer.record_span(Some(&ctx), "execute", started_at.unwrap_or(now), now);
+            }
         }
         let envelope = Value::map([
             ("task_id", Value::str(task_id.to_string())),
             ("result", encoded_result),
+            ("sent_ms", Value::Int(now as i64)),
         ]);
         self.cloud.inner.broker.publish(
             RESULT_QUEUE,

@@ -26,6 +26,11 @@
 //!   functions.
 //! - [`metrics`] — lightweight atomic counters and histograms used by the
 //!   benchmark harness to meter bytes over the wire, request counts, etc.
+//! - [`trace`] — task-lifecycle tracing: trace/span contexts carried
+//!   through the task envelope, a lock-sharded bounded collector, and a
+//!   leveled rate-limited JSON-lines event sink.
+//! - [`expo`] — Prometheus-text and JSON exposition of metrics registries
+//!   and trace summaries.
 //! - [`sharded`] — the N-way sharded concurrent map the cloud service's
 //!   state stores run on.
 //! - [`error`] — the shared error type.
@@ -33,6 +38,7 @@
 pub mod clock;
 pub mod codec;
 pub mod error;
+pub mod expo;
 pub mod function;
 pub mod ids;
 pub mod metrics;
@@ -42,6 +48,7 @@ pub mod retry;
 pub mod sharded;
 pub mod shellres;
 pub mod task;
+pub mod trace;
 pub mod value;
 
 pub use clock::{Clock, SharedClock, SystemClock, VirtualClock};
@@ -53,4 +60,5 @@ pub use retry::RetryPolicy;
 pub use sharded::ShardedMap;
 pub use shellres::ShellResult;
 pub use task::{TaskRecord, TaskResult, TaskSpec, TaskState};
+pub use trace::{EventLevel, SpanId, TraceConfig, TraceContext, TraceId, Tracer};
 pub use value::Value;

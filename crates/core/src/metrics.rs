@@ -10,6 +10,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Tracer;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -118,7 +121,7 @@ impl Histogram {
     /// The largest value bucket `i` can hold (inclusive): 0 for bucket 0,
     /// `2^i - 1` for the middle buckets, `u64::MAX` for the open-ended last
     /// bucket.
-    fn bucket_upper_bound(i: usize) -> u64 {
+    pub fn bucket_upper_bound(i: usize) -> u64 {
         if i == 0 {
             0
         } else if i >= Self::BUCKETS - 1 {
@@ -150,6 +153,38 @@ impl Histogram {
         }
     }
 
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Occupied buckets as `(inclusive upper bound, count)` pairs, in
+    /// ascending bound order — the raw material for Prometheus-style
+    /// cumulative `le` buckets without shipping 32 mostly-zero entries.
+    pub fn bucket_counts(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (Self::bucket_upper_bound(i), n))
+            })
+            .collect()
+    }
+
+    /// Point-in-time snapshot (counts, sum, quantile bounds, buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            mean: self.mean(),
+            p50: self.quantile(0.5),
+            p90: self.quantile(0.9),
+            p99: self.quantile(0.99),
+            buckets: self.bucket_counts(),
+        }
+    }
+
     /// Approximate quantile (upper bound of the bucket containing it).
     /// `q` in [0, 1].
     pub fn quantile(&self, q: f64) -> u64 {
@@ -169,6 +204,28 @@ impl Histogram {
     }
 }
 
+/// Point-in-time view of one histogram, as produced by
+/// [`Histogram::snapshot`] / [`MetricsRegistry::histogram_snapshot`].
+/// Quantiles are bucket upper bounds (same convention as
+/// [`Histogram::quantile`]); `buckets` lists only occupied buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Mean observation (0 if empty).
+    pub mean: f64,
+    /// Median bound.
+    pub p50: u64,
+    /// 90th-percentile bound.
+    pub p90: u64,
+    /// 99th-percentile bound.
+    pub p99: u64,
+    /// `(inclusive upper bound, count)` for each occupied bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
 /// A named registry of counters and histograms shared by one component.
 ///
 /// Cloning the registry shares the underlying metrics (it is an `Arc`
@@ -183,6 +240,10 @@ pub struct MetricsRegistry {
 struct RegistryInner {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    // The tracer rides on the registry so every component that already
+    // holds a registry handle (broker, cloud, engines, agent) reaches the
+    // same trace collector without new plumbing. Disabled by default.
+    tracer: RwLock<Tracer>,
 }
 
 impl MetricsRegistry {
@@ -217,6 +278,28 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect()
+    }
+
+    /// Snapshot of all histograms, sorted by name.
+    pub fn histogram_snapshot(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.inner
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Install the tracer every holder of this registry should use.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.inner.tracer.write() = tracer;
+    }
+
+    /// The installed tracer (a disabled no-op one unless
+    /// [`MetricsRegistry::set_tracer`] was called). Cheap to clone; hot
+    /// paths should resolve it once and keep the clone.
+    pub fn tracer(&self) -> Tracer {
+        self.inner.tracer.read().clone()
     }
 
     /// Reset every counter to zero (between benchmark phases).
@@ -329,6 +412,39 @@ mod tests {
         assert!(h.quantile(0.0) < h.quantile(1.0));
         let mid = h.quantile(0.5);
         assert!(mid >= 3, "p50 bound must cover the median value: {mid}");
+    }
+
+    #[test]
+    fn histogram_snapshot_matches_live_stats() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        for v in [0u64, 1, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        let snap = &r.histogram_snapshot()["lat"];
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1015);
+        assert_eq!(snap.p50, h.quantile(0.5));
+        assert_eq!(snap.p99, h.quantile(0.99));
+        // Buckets cover every observation exactly once, bounds ascending.
+        assert_eq!(snap.buckets.iter().map(|(_, n)| n).sum::<u64>(), 6);
+        assert!(snap.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(snap.buckets[0], (0, 1), "value 0 lands in bucket 0");
+        assert!(!r.histogram_snapshot().contains_key("missing"));
+    }
+
+    #[test]
+    fn registry_carries_a_shared_tracer() {
+        let r = MetricsRegistry::new();
+        assert!(!r.tracer().enabled(), "disabled by default");
+        let clock: crate::clock::SharedClock = crate::clock::VirtualClock::new();
+        r.set_tracer(crate::trace::Tracer::new(
+            clock,
+            crate::trace::TraceConfig::default(),
+        ));
+        let r2 = r.clone();
+        let ctx = r2.tracer().start_trace("task").unwrap();
+        assert!(r.tracer().trace(ctx.trace_id).is_some());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::clock::TimeMs;
 use crate::error::{GcxError, GcxResult};
 use crate::ids::{EndpointId, FunctionId, IdentityId, TaskId};
 use crate::respec::ResourceSpec;
+use crate::trace::TraceContext;
 use crate::value::Value;
 
 /// A task submission: which function to run, where, with what arguments.
@@ -34,6 +35,11 @@ pub struct TaskSpec {
     /// User endpoint configuration for multi-user endpoints (hash of this
     /// selects/spawns the user endpoint, §IV-B); `Value::None` otherwise.
     pub user_endpoint_config: Value,
+    /// Trace context linking this task (and any retry of it — the SDK
+    /// reuses the spec when it resubmits) to its submission timeline.
+    /// `None` for untraced/sampled-out tasks; absent on old wire payloads.
+    #[serde(default)]
+    pub trace: Option<TraceContext>,
 }
 
 impl TaskSpec {
@@ -48,12 +54,13 @@ impl TaskSpec {
             kwargs: Value::map([] as [(&str, Value); 0]),
             resource_spec: ResourceSpec::default(),
             user_endpoint_config: Value::None,
+            trace: None,
         }
     }
 
     /// Pack to the wire form used on task queues.
     pub fn to_value(&self) -> Value {
-        Value::map([
+        let mut fields = vec![
             ("task_id", Value::str(self.task_id.to_string())),
             ("function_id", Value::str(self.function_id.to_string())),
             ("endpoint_id", Value::str(self.endpoint_id.to_string())),
@@ -61,7 +68,11 @@ impl TaskSpec {
             ("kwargs", self.kwargs.clone()),
             ("resource_spec", self.resource_spec.to_value()),
             ("user_endpoint_config", self.user_endpoint_config.clone()),
-        ])
+        ];
+        if let Some(ctx) = &self.trace {
+            fields.push(("trace", Value::str(ctx.encode())));
+        }
+        Value::map(fields)
     }
 
     /// Decode the wire form.
@@ -96,6 +107,10 @@ impl TaskSpec {
                 .get("user_endpoint_config")
                 .cloned()
                 .unwrap_or(Value::None),
+            trace: m
+                .get("trace")
+                .and_then(Value::as_str)
+                .and_then(TraceContext::decode),
         })
     }
 }
@@ -233,6 +248,15 @@ pub struct TaskRecord {
     pub result: Option<TaskResult>,
     /// Submission timestamp (cloud clock).
     pub submitted_at: TimeMs,
+    /// When the task was shipped to the endpoint's queue, if it has been.
+    #[serde(default)]
+    pub dispatched_at: Option<TimeMs>,
+    /// When the endpoint first received the task, if it has.
+    #[serde(default)]
+    pub received_at: Option<TimeMs>,
+    /// When execution started (first transition to `Running`), if it has.
+    #[serde(default)]
+    pub started_at: Option<TimeMs>,
     /// Completion timestamp, once terminal.
     pub completed_at: Option<TimeMs>,
 }
@@ -246,11 +270,16 @@ impl TaskRecord {
             state: TaskState::Received,
             result: None,
             submitted_at: now,
+            dispatched_at: None,
+            received_at: None,
+            started_at: None,
             completed_at: None,
         }
     }
 
     /// Apply a state transition, enforcing the lifecycle state machine.
+    /// Stage timestamps are stamped on first entry (re-deliveries after a
+    /// recovery keep the original stamps, matching the trace's first spans).
     pub fn transition(&mut self, next: TaskState, now: TimeMs) -> GcxResult<()> {
         if !self.state.can_transition_to(next) {
             return Err(GcxError::Internal(format!(
@@ -261,6 +290,12 @@ impl TaskRecord {
             )));
         }
         self.state = next;
+        if next == TaskState::WaitingForNodes && self.received_at.is_none() {
+            self.received_at = Some(now);
+        }
+        if next == TaskState::Running && self.started_at.is_none() {
+            self.started_at = Some(now);
+        }
         if next.is_terminal() {
             self.completed_at = Some(now);
         }
@@ -297,6 +332,20 @@ mod tests {
         let v = s.to_value();
         let back = TaskSpec::from_value(&v).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn spec_trace_context_survives_the_wire() {
+        let mut s = spec();
+        s.trace = Some(TraceContext {
+            trace_id: crate::trace::TraceId::random(),
+            parent: crate::trace::SpanId::random(),
+        });
+        let back = TaskSpec::from_value(&s.to_value()).unwrap();
+        assert_eq!(back.trace, s.trace);
+        // Payloads without the key (old peers) decode as untraced.
+        let bare = spec();
+        assert_eq!(TaskSpec::from_value(&bare.to_value()).unwrap().trace, None);
     }
 
     #[test]
@@ -349,6 +398,25 @@ mod tests {
         assert_eq!(r.completed_at, Some(120));
         // Completing twice is illegal.
         assert!(r.complete(TaskResult::Ok(Value::Int(1)), 130).is_err());
+    }
+
+    #[test]
+    fn record_stamps_stage_timestamps_once() {
+        let mut r = TaskRecord::new(spec(), IdentityId::random(), 100);
+        assert_eq!(
+            (r.dispatched_at, r.received_at, r.started_at),
+            (None, None, None)
+        );
+        r.dispatched_at = Some(105);
+        r.transition(TaskState::WaitingForNodes, 110).unwrap();
+        assert_eq!(r.received_at, Some(110));
+        r.transition(TaskState::Running, 120).unwrap();
+        assert_eq!(r.started_at, Some(120));
+        r.complete(TaskResult::Ok(Value::Int(1)), 130).unwrap();
+        assert_eq!(
+            (r.submitted_at, r.dispatched_at, r.received_at, r.started_at),
+            (100, Some(105), Some(110), Some(120))
+        );
     }
 
     #[test]

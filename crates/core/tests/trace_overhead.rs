@@ -1,0 +1,108 @@
+//! Overhead guard: a disabled or sampled-out span path must cost no heap
+//! allocation and construct no collector entry. This is what lets tracing
+//! default-on in the cloud service without moving the throughput numbers —
+//! untraced tasks pay a branch, not a malloc.
+//!
+//! Lives in its own integration-test binary because it swaps in a counting
+//! `#[global_allocator]`, which must not leak into other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gcx_core::clock::{SharedClock, VirtualClock};
+use gcx_core::trace::{EventLevel, SpanId, TraceConfig, TraceContext, TraceId, Tracer};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Count allocations performed by `f`.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn disabled_tracer_path_is_allocation_free() {
+    let tracer = Tracer::disabled();
+    // A context as it would arrive over the wire on a traced task whose
+    // receiving component has tracing off.
+    let ctx = TraceContext {
+        trace_id: TraceId::random(),
+        parent: SpanId::random(),
+    };
+    let header = ctx.encode();
+
+    let allocs = allocations_in(|| {
+        for _ in 0..1000 {
+            assert!(tracer.start_trace("task").is_none());
+            tracer.record_span(Some(&ctx), "queue", 0, 5);
+            tracer.record_span_annotated(Some(&ctx), "retry", 0, 0, || {
+                vec![format!("attempt={}", 1)]
+            });
+            let span = tracer.span(Some(&ctx), "worker");
+            assert!(span.is_none());
+            tracer.finish(span);
+            tracer.annotate(Some(&ctx), || "never rendered".repeat(8));
+            tracer.annotate_encoded(Some(&header), || unreachable!());
+            tracer.end_trace(Some(&ctx));
+            tracer.event(EventLevel::Warn, "mq.fault.drop", || {
+                vec![("queue", "tasks.ep".to_string())]
+            });
+        }
+    });
+    assert_eq!(allocs, 0, "disabled tracer must never allocate");
+    assert_eq!(tracer.trace_count(), 0);
+}
+
+#[test]
+fn sampled_out_path_is_allocation_free_and_builds_no_entry() {
+    let clock: SharedClock = VirtualClock::new();
+    let tracer = Tracer::new(
+        clock,
+        TraceConfig {
+            sample_every: 0, // sample nothing
+            ..TraceConfig::default()
+        },
+    );
+
+    let allocs = allocations_in(|| {
+        for _ in 0..1000 {
+            // The sampler hands out no context...
+            let ctx = tracer.start_trace("task");
+            assert!(ctx.is_none());
+            // ...so the whole downstream path no-ops on `None`.
+            tracer.record_span(ctx.as_ref(), "submit", 0, 1);
+            tracer.finish(tracer.span(ctx.as_ref(), "worker"));
+            tracer.annotate(ctx.as_ref(), || "never rendered".to_string());
+            tracer.end_trace(ctx.as_ref());
+        }
+    });
+    assert_eq!(allocs, 0, "sampled-out submissions must never allocate");
+    assert_eq!(tracer.trace_count(), 0, "no collector entry constructed");
+}
+
+#[test]
+fn enabled_path_does_record() {
+    // Sanity check that the guard above is measuring a real difference.
+    let clock: SharedClock = VirtualClock::new();
+    let tracer = Tracer::new(clock, TraceConfig::default());
+    let ctx = tracer.start_trace("task");
+    tracer.record_span(ctx.as_ref(), "submit", 0, 1);
+    assert_eq!(tracer.trace_count(), 1);
+}

@@ -166,6 +166,10 @@ pub struct EndpointAgent {
     pump: Option<std::thread::JoinHandle<()>>,
     heartbeat: Option<std::thread::JoinHandle<()>>,
     engine: Arc<Mutex<Box<dyn Engine>>>,
+    /// The environment's registry, kept so operators can scrape the agent
+    /// (engine counters plus trace summaries). `None` for agents wired via
+    /// [`Self::run`]/[`Self::run_with`], which have no environment.
+    metrics: Option<MetricsRegistry>,
 }
 
 /// How long [`EndpointAgent::stop`] waits for in-flight tasks to drain
@@ -185,12 +189,14 @@ impl EndpointAgent {
         let session = cloud.connect_endpoint(endpoint_id, credential)?;
         let (events_tx, events_rx) = unbounded();
         let engine = build_engine(config, &env, events_tx)?;
-        Ok(Self::run_with(
+        let mut agent = Self::run_with(
             session,
             engine,
             events_rx,
             Some((env.clock.clone(), env.heartbeat_interval_ms)),
-        ))
+        );
+        agent.metrics = Some(env.metrics.clone());
+        Ok(agent)
     }
 
     /// Wire an already-built engine to a session (used by tests and custom
@@ -341,12 +347,51 @@ impl EndpointAgent {
             pump: Some(pump),
             heartbeat,
             engine,
+            metrics: None,
         }
     }
 
     /// Current engine load.
     pub fn engine_status(&self) -> crate::engine::EngineStatus {
         self.engine.lock().status()
+    }
+
+    /// Prometheus-text exposition of the agent's registry: engine counters,
+    /// histograms, engine load gauges, and (when a tracer is installed on
+    /// the registry) per-leg trace summaries. Empty when the agent was wired
+    /// without an environment.
+    pub fn exposition_prometheus(&self) -> String {
+        let Some(reg) = &self.metrics else {
+            return String::new();
+        };
+        let mut p = gcx_core::expo::PromText::new();
+        p.registry(reg);
+        let st = self.engine_status();
+        p.gauge("agent.engine_queued", &[], st.queued as u64);
+        p.gauge("agent.engine_running", &[], st.running as u64);
+        p.gauge("agent.engine_capacity", &[], st.capacity as u64);
+        p.gauge("agent.engine_blocks", &[], st.blocks as u64);
+        let tracer = reg.tracer();
+        if tracer.enabled() {
+            p.trace_summary(&tracer);
+        }
+        p.render()
+    }
+
+    /// JSON exposition of the same data (for dashboards and the bench
+    /// harness).
+    pub fn exposition_json(&self) -> String {
+        let Some(reg) = &self.metrics else {
+            return "{}".to_string();
+        };
+        let mut j = gcx_core::expo::JsonBody::new();
+        j.registry(reg, &reg.tracer());
+        let st = self.engine_status();
+        j.num("engine_queued", st.queued as u64);
+        j.num("engine_running", st.running as u64);
+        j.num("engine_capacity", st.capacity as u64);
+        j.num("engine_blocks", st.blocks as u64);
+        j.render()
     }
 
     /// Graceful stop: quit pulling new tasks, let in-flight tasks finish

@@ -349,6 +349,7 @@ impl Interchange {
             let handle = std::thread::Builder::new()
                 .name(format!("gcx-worker-{node}-{w}"))
                 .spawn(move || {
+                    let tracer = metrics.tracer();
                     while let Ok(queued) = rx.recv() {
                         if !alive2.load(Ordering::SeqCst) {
                             // The block died with this task on the wire.
@@ -383,6 +384,7 @@ impl Interchange {
                         }
                         emit(&events, EngineEvent::State(task_id, TaskState::Running));
                         shared.running.fetch_add(1, Ordering::SeqCst);
+                        let span_start = tracer.now_ms();
                         // Supervision boundary: a panic in user-facing code
                         // must not kill the worker. The thread survives (an
                         // in-place restart) and the task re-enters the queue
@@ -392,6 +394,16 @@ impl Interchange {
                                 ctx.execute(&queued.task.spec, &queued.task.function.body)
                             }));
                         shared.running.fetch_sub(1, Ordering::SeqCst);
+                        {
+                            let node = &ctx.hostname;
+                            tracer.record_span_annotated(
+                                queued.task.spec.trace.as_ref(),
+                                "worker",
+                                span_start,
+                                tracer.now_ms(),
+                                || vec![format!("node {node}")],
+                            );
+                        }
                         // Claim the task back. If the entry is gone, the
                         // interchange already recovered it after a block or
                         // node loss — this outcome must be discarded.
@@ -568,6 +580,11 @@ impl Interchange {
                     cmd: cmd.clone(),
                 };
                 self.metrics.counter("htex.walltime_kills").inc();
+                self.metrics
+                    .tracer()
+                    .annotate(q.task.spec.trace.as_ref(), || {
+                        "walltime kill: resolved with returncode 124".to_string()
+                    });
                 emit(
                     &self.events,
                     EngineEvent::Done {
@@ -653,12 +670,25 @@ fn requeue_or_fail_with(
     fail_msg: String,
 ) {
     let task_id = queued.task.spec.task_id;
+    let tracer = metrics.tracer();
     if queued.retries < max_retries {
         queued.retries += 1;
         shared.queued.fetch_add(1, Ordering::SeqCst);
         metrics.counter("htex.tasks_redispatched").inc();
+        let now = tracer.now_ms();
+        let attempt = queued.retries;
+        tracer.record_span_annotated(
+            queued.task.spec.trace.as_ref(),
+            "redispatch",
+            now,
+            now,
+            || vec![format!("engine redispatch {attempt}: {fail_msg}")],
+        );
         let _ = resubmit.send(queued);
     } else {
+        tracer.annotate(queued.task.spec.trace.as_ref(), || {
+            format!("engine retries exhausted: {fail_msg}")
+        });
         // Typed retryable failure: the SDK decodes this as transient and
         // may resubmit the task within its own budget.
         emit(

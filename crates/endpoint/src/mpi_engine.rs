@@ -273,12 +273,25 @@ impl Scheduler {
     }
 
     fn requeue_or_fail(&mut self, mut q: QueuedMpiTask) {
+        let tracer = self.metrics.tracer();
         if q.retries < self.cfg.max_retries {
             q.retries += 1;
             self.metrics.counter("mpi.tasks_redispatched").inc();
             self.shared.queued.fetch_add(1, Ordering::SeqCst);
+            let now = tracer.now_ms();
+            let attempt = q.retries;
+            tracer.record_span_annotated(
+                q.task.spec.trace.as_ref(),
+                "redispatch",
+                now,
+                now,
+                || vec![format!("mpi engine redispatch {attempt}: node slice lost")],
+            );
             self.queue.push_back(q);
         } else {
+            tracer.annotate(q.task.spec.trace.as_ref(), || {
+                "mpi engine retries exhausted: task lost with its batch job".to_string()
+            });
             emit(
                 &self.events,
                 EngineEvent::Done {
@@ -302,6 +315,11 @@ impl Scheduler {
                 &q.task.function.body
             {
                 self.metrics.counter("mpi.walltime_kills").inc();
+                self.metrics
+                    .tracer()
+                    .annotate(q.task.spec.trace.as_ref(), || {
+                        "walltime kill: resolved with returncode 124".to_string()
+                    });
                 emit(
                     &self.events,
                     EngineEvent::Done {
@@ -535,10 +553,19 @@ impl Scheduler {
                 nodes: nodes.clone(),
             },
         );
+        let tracer = self.metrics.tracer();
         std::thread::Builder::new()
             .name(format!("gcx-mpi-launch-{task_id}"))
             .spawn(move || {
+                let span_start = tracer.now_ms();
                 let result = run_mpi_task(&q, &nodes, launcher_kind, vfs, clock, transform);
+                tracer.record_span_annotated(
+                    q.task.spec.trace.as_ref(),
+                    "worker",
+                    span_start,
+                    tracer.now_ms(),
+                    || vec![format!("nodes {}", nodes.join(","))],
+                );
                 let _ = tx.send(SchedulerMsg::Finished { launch_id, result });
             })
             .expect("spawn mpi launch");

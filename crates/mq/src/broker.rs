@@ -18,6 +18,17 @@ use crate::link::LinkProfile;
 /// Header added to dead-lettered messages naming the queue they died on.
 pub const DEATH_QUEUE_HEADER: &str = "x-death-queue";
 
+/// Header carrying the compact [`TraceContext`] wire form
+/// (`<trace>:<span>`). It lets the broker annotate the task's trace when
+/// fault injection touches a message, without ever decoding the body.
+///
+/// [`TraceContext`]: gcx_core::trace::TraceContext
+pub const TRACE_HEADER: &str = "gcx-trace";
+
+/// Header carrying the publisher's clock reading in ms; the consumer uses
+/// it as the queue-transit span's start.
+pub const SENT_MS_HEADER: &str = "gcx-sent-ms";
+
 /// A queued message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
@@ -179,10 +190,37 @@ struct BrokerInner {
 }
 
 impl BrokerInner {
+    /// Record an injected fault (or dead-lettering) on the affected task's
+    /// trace — reached through the [`TRACE_HEADER`] wire form, since the
+    /// broker never decodes bodies — and in the structured event sink.
+    /// Fault paths are rare, so resolving the tracer from the registry per
+    /// event is fine (and necessary: the cloud installs it on the shared
+    /// registry after the broker is constructed).
+    fn trace_fault(
+        &self,
+        level: gcx_core::trace::EventLevel,
+        event: &'static str,
+        queue: &str,
+        trace_header: Option<&str>,
+    ) {
+        let tracer = self.metrics.tracer();
+        if !tracer.enabled() {
+            return;
+        }
+        tracer.annotate_encoded(trace_header, || format!("{event} on {queue}"));
+        tracer.event(level, event, || vec![("queue", queue.to_string())]);
+    }
+
     /// Route a poisoned message to its dead-letter queue, or discard it.
     /// Must be called without any queue state lock held.
     fn dead_letter(&self, source: &str, target: &Option<String>, mut msg: Message) {
         self.m.dead_lettered.inc();
+        self.trace_fault(
+            gcx_core::trace::EventLevel::Error,
+            "mq.dead_letter",
+            source,
+            msg.headers.get(TRACE_HEADER).map(String::as_str),
+        );
         if let Some(dlq) = target {
             let q = self.queues.read().get(dlq).map(Arc::clone);
             if let Some(q) = q {
@@ -364,6 +402,12 @@ impl Broker {
                 }
                 // Lost in transit after the publisher's confirm.
                 self.inner.m.dropped.inc();
+                self.inner.trace_fault(
+                    gcx_core::trace::EventLevel::Warn,
+                    "mq.fault.publish_drop",
+                    queue,
+                    message.headers.get(TRACE_HEADER).map(String::as_str),
+                );
                 return Ok(());
             }
         };
@@ -380,6 +424,12 @@ impl Broker {
         q.cond.notify_all();
         if copies > 1 {
             self.inner.m.duplicated.add(copies - 1);
+            self.inner.trace_fault(
+                gcx_core::trace::EventLevel::Warn,
+                "mq.fault.duplicate",
+                queue,
+                message.headers.get(TRACE_HEADER).map(String::as_str),
+            );
         }
         self.inner.m.messages_published.inc();
         self.inner.m.bytes_published.add(size as u64);
@@ -431,11 +481,25 @@ impl Broker {
                     extra_delay += extra_delay_ms;
                     duplicated += extra_copies as u64;
                     surviving_size += size as u64;
+                    if extra_copies > 0 {
+                        self.inner.trace_fault(
+                            gcx_core::trace::EventLevel::Warn,
+                            "mq.fault.duplicate",
+                            queue,
+                            message.headers.get(TRACE_HEADER).map(String::as_str),
+                        );
+                    }
                     surviving.push((message, 1 + extra_copies as u64));
                 }
                 PublishOutcome::Drop { extra_delay_ms } => {
                     extra_delay += extra_delay_ms;
                     dropped += 1;
+                    self.inner.trace_fault(
+                        gcx_core::trace::EventLevel::Warn,
+                        "mq.fault.publish_drop",
+                        queue,
+                        message.headers.get(TRACE_HEADER).map(String::as_str),
+                    );
                 }
             }
         }
@@ -603,9 +667,16 @@ impl Consumer {
                                 // Delivery lost in transit: back of the queue,
                                 // attempt charged.
                                 msg.redelivered = true;
+                                let trace_hdr = msg.headers.get(TRACE_HEADER).cloned();
                                 st.ready.push_back(msg);
                                 drop(st);
                                 self.broker.m.dropped.inc();
+                                self.broker.trace_fault(
+                                    gcx_core::trace::EventLevel::Warn,
+                                    "mq.fault.deliver_drop",
+                                    &self.queue.name,
+                                    trace_hdr.as_deref(),
+                                );
                                 continue;
                             }
                         }

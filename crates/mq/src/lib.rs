@@ -28,6 +28,7 @@ pub mod link;
 
 pub use broker::{
     Broker, Consumer, Delivery, Message, QueuePolicy, QueueStats, DEATH_QUEUE_HEADER,
+    SENT_MS_HEADER, TRACE_HEADER,
 };
 pub use fault::{FaultDirection, FaultPlan, FaultRule, PublishOutcome};
 pub use link::LinkProfile;

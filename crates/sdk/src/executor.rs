@@ -74,6 +74,9 @@ impl Default for ExecutorConfig {
 struct PendingSubmit {
     spec: TaskSpec,
     enqueued_at: Instant,
+    /// Trace stamp of the original `submit()` call (or of the resubmission
+    /// decision), so the submit span covers batching wait plus the REST call.
+    submitted_ms: u64,
 }
 
 /// A submitted task the stream thread is still waiting on. The spec is kept
@@ -102,6 +105,9 @@ struct ExecutorShared {
     /// Hot-path counters, resolved once at construction.
     tasks_resubmitted: Arc<Counter>,
     stream_reconnects: Arc<Counter>,
+    /// The service's tracer (shared via the metrics registry); disabled
+    /// tracers make every span call a no-op.
+    tracer: gcx_core::trace::Tracer,
 }
 
 /// How long [`Executor::close`] waits for results of already-flushed tasks
@@ -140,6 +146,7 @@ impl Executor {
         let stream = cloud.open_result_stream(&token)?;
         let tasks_resubmitted = cloud.metrics().counter("sdk.tasks_resubmitted");
         let stream_reconnects = cloud.metrics().counter("sdk.stream_reconnects");
+        let tracer = cloud.metrics().tracer();
         let shared = Arc::new(ExecutorShared {
             cloud,
             token,
@@ -150,6 +157,7 @@ impl Executor {
             shutdown: AtomicBool::new(false),
             tasks_resubmitted,
             stream_reconnects,
+            tracer,
         });
 
         let batcher = {
@@ -213,6 +221,9 @@ impl Executor {
         spec.kwargs = kwargs;
         spec.resource_spec = *self.resource_specification.lock();
         spec.user_endpoint_config = self.user_endpoint_config.lock().clone();
+        // The SDK is the trace root for executor submissions: the context
+        // rides the spec through every resubmission attempt.
+        spec.trace = self.shared.tracer.start_trace("task");
 
         let future = TaskFuture::pending(spec.task_id);
         self.shared.inflight.lock().insert(
@@ -234,6 +245,7 @@ impl Executor {
             return Err(GcxError::ShuttingDown);
         }
         pending.push(PendingSubmit {
+            submitted_ms: self.shared.tracer.now_ms(),
             spec,
             enqueued_at: Instant::now(),
         });
@@ -352,7 +364,21 @@ fn batcher_loop(shared: &ExecutorShared, cfg: ExecutorConfig) {
         if !flush.is_empty() {
             let specs: Vec<TaskSpec> = flush.iter().map(|p| p.spec.clone()).collect();
             match shared.cloud.submit_batch(&shared.token, specs) {
-                Ok(_) => {}
+                Ok(_) => {
+                    if shared.tracer.enabled() {
+                        // Submit leg: submit() call → batch accepted by the
+                        // REST API (covers the coalescing window).
+                        let now = shared.tracer.now_ms();
+                        for p in &flush {
+                            shared.tracer.record_span(
+                                p.spec.trace.as_ref(),
+                                "submit",
+                                p.submitted_ms,
+                                now,
+                            );
+                        }
+                    }
+                }
                 Err(e) => {
                     // The whole batch was rejected: fail (or, for retryable
                     // rejections, resubmit) each task.
@@ -514,6 +540,9 @@ fn fail_or_retry(shared: &ExecutorShared, retry: &RetryPolicy, task_id: TaskId, 
         return;
     }
     if !retry.allows(inf.attempts) || shared.shutdown.load(Ordering::SeqCst) {
+        shared.tracer.annotate(inf.spec.trace.as_ref(), || {
+            format!("retries exhausted after {} attempts: {err}", inf.attempts)
+        });
         inf.future.resolve(Err(GcxError::RetriesExhausted {
             attempts: inf.attempts,
             last: err.to_string(),
@@ -527,9 +556,17 @@ fn fail_or_retry(shared: &ExecutorShared, retry: &RetryPolicy, task_id: TaskId, 
     inf.attempts += 1;
     inf.spec.task_id = TaskId::random();
     shared.tasks_resubmitted.inc();
+    let now = shared.tracer.now_ms();
+    let attempt = inf.attempts;
+    shared
+        .tracer
+        .record_span_annotated(inf.spec.trace.as_ref(), "retry", now, now, || {
+            vec![format!("attempt {attempt} resubmitted after: {err}")]
+        });
     let pending = PendingSubmit {
         spec: inf.spec.clone(),
         enqueued_at: Instant::now(),
+        submitted_ms: now,
     };
     shared.inflight.lock().insert(inf.spec.task_id, inf);
     shared

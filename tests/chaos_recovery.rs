@@ -582,3 +582,93 @@ fn poisoned_endpoint_yields_typed_terminal_errors_not_hangs() {
     ex.close();
     svc.shutdown();
 }
+
+/// A task whose node dies under it (modeled as a doomed endpoint session
+/// nacking its delivery to death) is dead-lettered and resubmitted by the
+/// SDK — and the whole episode must land in ONE trace: the resubmission's
+/// spans are children of the original trace's root (linked via a `retry`
+/// span), not a fresh unlinked trace, and no span is left orphaned.
+#[test]
+fn retried_task_keeps_one_linked_trace_with_no_orphans() {
+    let svc = WebService::with_defaults(SystemClock::shared());
+    let tracer = svc.metrics().tracer();
+    assert!(tracer.enabled(), "tracing must be on by default");
+    let (_, token) = svc.auth().login("trace-chaos@test.org").unwrap();
+    let reg = svc
+        .register_endpoint(&token, "crashy", false, AuthPolicy::open(), None)
+        .unwrap();
+
+    let ex = Executor::with_config(
+        svc.clone(),
+        token.clone(),
+        reg.endpoint_id,
+        ExecutorConfig {
+            retry: RetryPolicy::fixed(3, 5),
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    let f = PyFunction::new("def f(x):\n    return x + 1\n");
+    let fut = ex.submit(&f, vec![Value::Int(41)], Value::None).unwrap();
+
+    // The doomed "node": nack the delivery to death (the default delivery
+    // budget is 3), which dead-letters the task and makes the SDK resubmit
+    // it under a fresh task id but the same trace context.
+    let doomed = svc
+        .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+        .unwrap();
+    let mut nacks = 0;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while nacks < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "doomed session never got 3 nacks in"
+        );
+        if let Some((_, tag)) = doomed.next_task(Duration::from_millis(10)).unwrap() {
+            doomed.nack_task(tag).unwrap();
+            nacks += 1;
+        }
+    }
+
+    // A healthy agent — sharing the service registry so its engine-side
+    // `worker` spans land in the same trace collector — serves the retry.
+    let config = EndpointConfig::from_yaml(ENGINE_YAML).unwrap();
+    let mut env = AgentEnv::local(SystemClock::shared());
+    env.metrics = svc.metrics().clone();
+    let agent =
+        EndpointAgent::start(&svc, reg.endpoint_id, &reg.queue_credential, &config, env).unwrap();
+    assert_eq!(
+        fut.result_timeout(Duration::from_secs(20)).unwrap(),
+        Value::Int(42)
+    );
+    assert_eq!(svc.metrics().counter("sdk.tasks_resubmitted").get(), 1);
+
+    let traces = tracer.traces();
+    assert_eq!(traces.len(), 1, "one submission → one trace, even retried");
+    let trace = &traces[0];
+    let retries: Vec<_> = trace.spans_named("retry").collect();
+    assert_eq!(retries.len(), 1, "one dead-letter → one retry span");
+    assert_eq!(
+        retries[0].parent,
+        Some(trace.root),
+        "the retry span must be a child of the original root"
+    );
+    assert_eq!(
+        trace.spans_named("submit").count(),
+        2,
+        "original submission + resubmission, both in the same trace"
+    );
+    assert!(
+        trace.spans_named("worker").count() >= 1,
+        "the serving engine's worker span must join the trace"
+    );
+    assert!(
+        trace.orphan_spans().is_empty(),
+        "every span must resolve its parent within the trace"
+    );
+
+    ex.close();
+    agent.stop();
+    drop(doomed);
+    svc.shutdown();
+}
