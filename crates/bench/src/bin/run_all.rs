@@ -70,10 +70,16 @@ fn main() {
         failures.push("resource_fault_soak");
     }
 
+    println!("\n=== engine parity {}", "=".repeat(46));
+    if let Err(e) = engine_parity() {
+        println!("  FAILED: {e}");
+        failures.push("engine_parity");
+    }
+
     println!("\n=== summary {}", "=".repeat(52));
     println!(
         "  {} experiments, {} failed",
-        EXPERIMENTS.len() + 2,
+        EXPERIMENTS.len() + 3,
         failures.len()
     );
     for f in &failures {
@@ -450,6 +456,123 @@ fn resource_fault_soak() -> Result<(), String> {
     }
     ex_cpu.close();
     ex_mpi.close();
+    for a in agents {
+        a.stop();
+    }
+    svc.shutdown();
+    Ok(())
+}
+
+/// Engine-parity check: the same single-task round trip over the instant
+/// link through a `ThreadEngine` endpoint and a `GlobusComputeEngine`
+/// endpoint. Both run the shared execution core, so the comparison isolates
+/// the engine-specific leg (in-process worker vs interchange → manager →
+/// worker). Latencies are reported, never thresholded — the check fails
+/// only on a lost task or wrong result.
+fn engine_parity() -> Result<(), String> {
+    const WARMUP: usize = 10;
+    const ROUNDS: usize = 100;
+    let clock = SystemClock::shared();
+    let broker = Broker::with_profile(
+        MetricsRegistry::new(),
+        clock.clone(),
+        LinkProfile::instant(),
+    );
+    let svc = WebService::new(
+        CloudConfig::default(),
+        AuthService::new(clock.clone()),
+        broker,
+        clock.clone(),
+    );
+    let (_, token) = svc
+        .auth()
+        .login("parity@gcx.dev")
+        .map_err(|e| e.to_string())?;
+
+    let mut report = JsonReport::new("engine_parity");
+    let mut table = Table::new(&["engine", "rounds", "mean_us", "p50_us", "p99_us"]);
+    let mut agents = Vec::new();
+    let mut executors = Vec::new();
+    for (label, yaml) in [
+        ("thread", "engine:\n  type: ThreadEngine\n  workers: 1\n"),
+        (
+            "htex",
+            "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 1\n",
+        ),
+    ] {
+        let reg = svc
+            .register_endpoint(
+                &token,
+                &format!("parity-{label}"),
+                false,
+                AuthPolicy::open(),
+                None,
+            )
+            .map_err(|e| e.to_string())?;
+        let config = EndpointConfig::from_yaml(yaml).map_err(|e| e.to_string())?;
+        let agent = EndpointAgent::start(
+            &svc,
+            reg.endpoint_id,
+            &reg.queue_credential,
+            &config,
+            AgentEnv::local(clock.clone()),
+        )
+        .map_err(|e| e.to_string())?;
+        let ex = Executor::new(svc.clone(), token.clone(), reg.endpoint_id)
+            .map_err(|e| e.to_string())?;
+
+        let ident = PyFunction::new("def f(x):\n    return x\n");
+        let round = |i: usize| -> Result<Duration, String> {
+            let started = std::time::Instant::now();
+            let fut = ex
+                .submit(&ident, vec![Value::Int(i as i64)], Value::None)
+                .map_err(|e| e.to_string())?;
+            let got = fut
+                .result_timeout(Duration::from_secs(20))
+                .map_err(|e| format!("{label} round {i}: {e}"))?;
+            if got != Value::Int(i as i64) {
+                return Err(format!("{label} round {i}: wrong result {got:?}"));
+            }
+            Ok(started.elapsed())
+        };
+        for i in 0..WARMUP {
+            round(i)?;
+        }
+        let mut us: Vec<u64> = (0..ROUNDS)
+            .map(|i| round(i).map(|d| d.as_micros() as u64))
+            .collect::<Result<_, _>>()?;
+        us.sort_unstable();
+        let mean = us.iter().sum::<u64>() / us.len() as u64;
+        let p50 = us[us.len() / 2];
+        let p99 = us[us.len() * 99 / 100];
+        report
+            .num(&format!("{label}_mean_us"), mean)
+            .num(&format!("{label}_p50_us"), p50)
+            .num(&format!("{label}_p99_us"), p99);
+        table.row(&[
+            label.to_string(),
+            ROUNDS.to_string(),
+            mean.to_string(),
+            p50.to_string(),
+            p99.to_string(),
+        ]);
+        agents.push(agent);
+        executors.push(ex);
+    }
+
+    println!(
+        "  {ROUNDS} sequential round trips per engine on the instant link \
+         (engine leg isolated; numbers reported, not thresholded):\n"
+    );
+    table.print();
+    let path = report
+        .write_to(std::path::Path::new("bench_results"))
+        .map_err(|e| e.to_string())?;
+    println!("\n  parity numbers written to {}", path.display());
+
+    for ex in executors {
+        ex.close();
+    }
     for a in agents {
         a.stop();
     }

@@ -30,6 +30,7 @@ use crate::engine::{Engine, EngineEvent, ExecutableTask, ValueTransform};
 use crate::htex::{GlobusComputeEngine, HtexConfig};
 use crate::mpi_engine::{GlobusMpiEngine, MpiEngineConfig};
 use crate::provider::{BatchProvider, LocalProvider, Provider};
+use crate::thread_engine::{ThreadEngine, ThreadEngineConfig};
 
 /// Everything an agent needs from its host environment.
 #[derive(Clone)]
@@ -155,6 +156,17 @@ pub fn build_engine(
                 env.arg_transform.clone(),
             ))
         }
+        EngineSpec::Thread { workers } => Box::new(ThreadEngine::start(
+            ThreadEngineConfig {
+                workers: *workers,
+                max_retries: 1,
+            },
+            env.vfs.clone(),
+            env.clock.clone(),
+            env.metrics.clone(),
+            events,
+            env.arg_transform.clone(),
+        )),
     })
 }
 
@@ -367,10 +379,17 @@ impl EndpointAgent {
         let mut p = gcx_core::expo::PromText::new();
         p.registry(reg);
         let st = self.engine_status();
-        p.gauge("agent.engine_queued", &[], st.queued as u64);
-        p.gauge("agent.engine_running", &[], st.running as u64);
-        p.gauge("agent.engine_capacity", &[], st.capacity as u64);
-        p.gauge("agent.engine_blocks", &[], st.blocks as u64);
+        let kind = [("engine", st.kind.as_str())];
+        p.gauge("agent.engine_queued", &kind, st.queued as u64);
+        p.gauge("agent.engine_running", &kind, st.running as u64);
+        p.gauge("agent.engine_capacity", &kind, st.capacity as u64);
+        p.gauge("agent.engine_blocks", &kind, st.blocks as u64);
+        p.gauge("agent.engine_nodes_lost_total", &kind, st.nodes_lost_total);
+        p.gauge(
+            "agent.engine_redispatches_total",
+            &kind,
+            st.redispatches_total,
+        );
         let tracer = reg.tracer();
         if tracer.enabled() {
             p.trace_summary(&tracer);
@@ -387,10 +406,13 @@ impl EndpointAgent {
         let mut j = gcx_core::expo::JsonBody::new();
         j.registry(reg, &reg.tracer());
         let st = self.engine_status();
+        j.text("engine_kind", st.kind.as_str());
         j.num("engine_queued", st.queued as u64);
         j.num("engine_running", st.running as u64);
         j.num("engine_capacity", st.capacity as u64);
         j.num("engine_blocks", st.blocks as u64);
+        j.num("engine_nodes_lost_total", st.nodes_lost_total);
+        j.num("engine_redispatches_total", st.redispatches_total);
         j.render()
     }
 
@@ -522,6 +544,39 @@ mod tests {
         };
         let sr = ShellResult::from_value(&v).unwrap();
         assert_eq!(sr.stdout, "bonjour\n");
+
+        agent.stop();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn end_to_end_pyfn_through_thread_engine() {
+        let svc = WebService::with_defaults(SystemClock::shared());
+        let (_, token) = svc.auth().login("user@site.org").unwrap();
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f(x):\n    return x * 2\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let config =
+            EndpointConfig::from_yaml("engine:\n  type: ThreadEngine\n  workers: 2\n").unwrap();
+        let env = AgentEnv::local(SystemClock::shared());
+        let agent =
+            EndpointAgent::start(&svc, reg.endpoint_id, &reg.queue_credential, &config, env)
+                .unwrap();
+
+        let mut spec = TaskSpec::new(fid, reg.endpoint_id);
+        spec.args = vec![Value::Int(21)];
+        let id = svc.submit_task(&token, spec).unwrap();
+        assert_eq!(
+            wait_success(&svc, &token, id),
+            TaskResult::Ok(Value::Int(42))
+        );
+        let st = agent.engine_status();
+        assert_eq!(st.kind, crate::engine::EngineKind::Thread);
+        let json = agent.exposition_json();
+        assert!(json.contains("\"engine_kind\""), "exposes kind: {json}");
 
         agent.stop();
         svc.shutdown();

@@ -59,6 +59,12 @@ pub enum EngineSpec {
         /// Block provider.
         provider: ProviderSpec,
     },
+    /// The in-process engine (`ThreadEngine`): local worker threads, no
+    /// provider — the non-batch deployment mode.
+    Thread {
+        /// Worker threads.
+        workers: u32,
+    },
 }
 
 /// A parsed endpoint configuration.
@@ -138,6 +144,9 @@ impl EndpointConfig {
                     provider,
                 }
             }
+            "ThreadEngine" => EngineSpec::Thread {
+                workers: get_u32("workers", 4)?,
+            },
             other => {
                 return Err(GcxError::InvalidConfig(format!(
                     "unknown engine type '{other}'"
@@ -324,6 +333,18 @@ launcher:
             cfg.engine,
             EngineSpec::GlobusCompute { sandbox: true, .. }
         ));
+    }
+
+    #[test]
+    fn thread_engine_parses_with_and_without_workers() {
+        let cfg = EndpointConfig::from_yaml("engine:\n  type: ThreadEngine\n").unwrap();
+        assert_eq!(cfg.engine, EngineSpec::Thread { workers: 4 });
+        let cfg =
+            EndpointConfig::from_yaml("engine:\n  type: ThreadEngine\n  workers: 8\n").unwrap();
+        assert_eq!(cfg.engine, EngineSpec::Thread { workers: 8 });
+        assert!(
+            EndpointConfig::from_yaml("engine:\n  type: ThreadEngine\n  workers: 0\n").is_err()
+        );
     }
 
     #[test]

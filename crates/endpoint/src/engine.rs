@@ -3,12 +3,42 @@
 
 use std::sync::Arc;
 
-use crossbeam_channel::Sender;
 use gcx_core::error::GcxResult;
 use gcx_core::function::FunctionRecord;
 use gcx_core::ids::TaskId;
 use gcx_core::task::{TaskResult, TaskSpec, TaskState};
 use gcx_core::value::Value;
+
+/// Which engine implementation is running. The kind names the scheduling
+/// policy, labels metrics (`htex.*` / `mpi.*` / `thread.*`), and appears in
+/// [`EngineStatus`] so operators can tell engines apart in expositions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// `GlobusComputeEngine` — the pilot-job/htex model.
+    #[default]
+    Htex,
+    /// `GlobusMPIEngine` — dynamic node partitioning.
+    Mpi,
+    /// `ThreadEngine` — in-process worker threads, no provider.
+    Thread,
+}
+
+impl EngineKind {
+    /// The metric-name prefix (and display label) for this engine kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineKind::Htex => "htex",
+            EngineKind::Mpi => "mpi",
+            EngineKind::Thread => "thread",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A payload transform applied worker-side to task arguments before
 /// execution. This is the hook `gcx-proxystore` uses to resolve transparent
@@ -59,9 +89,12 @@ pub enum EngineEvent {
     },
 }
 
-/// Point-in-time engine load.
+/// Point-in-time engine load. Every engine reports the same parity fields,
+/// whatever its scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStatus {
+    /// Which engine implementation produced this status.
+    pub kind: EngineKind,
     /// Tasks queued inside the engine.
     pub queued: usize,
     /// Tasks currently executing.
@@ -70,6 +103,11 @@ pub struct EngineStatus {
     pub capacity: usize,
     /// Provisioned blocks currently alive.
     pub blocks: usize,
+    /// Member nodes lost to crashes/preemption/walltime over the engine's
+    /// lifetime.
+    pub nodes_lost_total: u64,
+    /// Tasks requeued after losing their resources, over the lifetime.
+    pub redispatches_total: u64,
 }
 
 /// An execution engine. Submission is non-blocking; completion and state
@@ -83,9 +121,4 @@ pub trait Engine: Send {
 
     /// Stop accepting work, release resources, join internal threads.
     fn shutdown(&mut self);
-}
-
-/// Helper: emit `Done`, tolerating a disconnected receiver during shutdown.
-pub(crate) fn emit(events: &Sender<EngineEvent>, event: EngineEvent) {
-    let _ = events.send(event);
 }

@@ -9,34 +9,34 @@
 //! multiplexed via managers to reduce the number of ports and connections."
 //!
 //! Mapping to this reproduction:
-//! - the interchange is a dispatcher thread owning the task backlog and the
-//!   manager registry;
-//! - a manager is one bounded channel per node (the single multiplexed
+//! - the interchange is the shared [`ExecCore`](crate::exec_core) dispatch
+//!   loop; block lifecycle, lost-task recovery, and redispatch live there,
+//!   not here;
+//! - what this module defines is the [`SlotPool`] scheduling policy: a
+//!   manager is one bounded channel per node (the single multiplexed
 //!   "connection"), behind which `workers_per_node` worker threads execute
 //!   tasks — the `htex.connections_opened` counter vs
 //!   `htex.worker_threads` counter is exactly the multiplexing saving the
-//!   paper describes, and the A2 ablation measures it;
-//! - blocks come from a [`Provider`]; the interchange scales out while a
-//!   backlog exists and recovers tasks from blocks that die (walltime) by
-//!   requeueing them once before failing them.
+//!   paper describes, and the A2 ablation measures it.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crossbeam_channel::{bounded, unbounded, Sender, TrySendError};
 use gcx_core::clock::SharedClock;
-use gcx_core::error::{GcxError, GcxResult};
-use gcx_core::function::FunctionBody;
-use gcx_core::ids::TaskId;
+use gcx_core::error::GcxResult;
 use gcx_core::metrics::MetricsRegistry;
-use gcx_core::shellres::ShellResult;
-use gcx_core::task::{TaskResult, TaskState};
 use gcx_shell::Vfs;
 
-use crate::engine::{emit, Engine, EngineEvent, EngineStatus, ExecutableTask, ValueTransform};
-use crate::provider::{BlockEndReason, BlockHandle, BlockState, BlockSupervisor, Provider};
+use crate::engine::{
+    Engine, EngineEvent, EngineKind, EngineStatus, ExecutableTask, ValueTransform,
+};
+use crate::exec_core::{
+    run_worker, Assignment, BlockShape, BlockTable, CoreConfig, CoreEngine, CoreMsg, CoreTask,
+    LaunchDecision, SchedPolicy, WorkerMsg,
+};
+use crate::provider::{BlockHandle, BlockSupervisor, Provider};
 use crate::worker::WorkerContext;
 
 /// Configuration for [`GlobusComputeEngine`].
@@ -68,43 +68,9 @@ impl Default for HtexConfig {
     }
 }
 
-#[derive(Clone)]
-struct QueuedTask {
-    task: ExecutableTask,
-    retries: u8,
-}
-
-/// Tasks a manager's workers are executing right now. A worker registers a
-/// task before running it and claims it back afterwards; whoever removes
-/// the entry (worker on completion, interchange on block/node death) owns
-/// delivering its outcome — so a lost task is resolved the moment the loss
-/// is observed, never when a stranded execution happens to finish.
-type InFlight = Arc<parking_lot::Mutex<HashMap<TaskId, QueuedTask>>>;
-
-struct Manager {
-    /// Node hostname this manager serves (used to detect node-level loss).
-    node: String,
-    block: BlockHandle,
-    task_tx: Sender<QueuedTask>,
-    task_rx: Receiver<QueuedTask>,
-    alive: Arc<AtomicBool>,
-    in_flight: InFlight,
-    workers: Vec<std::thread::JoinHandle<()>>,
-}
-
-struct Shared {
-    queued: AtomicUsize,
-    running: AtomicUsize,
-    capacity: AtomicUsize,
-    blocks: AtomicUsize,
-    shutdown: AtomicBool,
-}
-
-/// The pilot-job engine.
+/// The pilot-job engine: the shared core under a [`SlotPool`] policy.
 pub struct GlobusComputeEngine {
-    submit_tx: Sender<QueuedTask>,
-    shared: Arc<Shared>,
-    interchange: Option<std::thread::JoinHandle<()>>,
+    core: CoreEngine,
 }
 
 impl GlobusComputeEngine {
@@ -121,148 +87,211 @@ impl GlobusComputeEngine {
         events: Sender<EngineEvent>,
         transform: Option<ValueTransform>,
     ) -> Self {
-        let (submit_tx, submit_rx) = unbounded::<QueuedTask>();
-        let shared = Arc::new(Shared {
-            queued: AtomicUsize::new(0),
-            running: AtomicUsize::new(0),
-            capacity: AtomicUsize::new(0),
-            blocks: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-        });
-        let supervisor = BlockSupervisor::new(provider, clock.clone(), metrics.clone(), "htex");
-        let ic = Interchange {
-            cfg,
+        let supervisor =
+            BlockSupervisor::new(provider, clock.clone(), metrics.clone(), EngineKind::Htex);
+        let table = BlockTable::new(
             supervisor,
+            BlockShape {
+                nodes_per_block: cfg.nodes_per_block,
+                max_blocks: cfg.max_blocks,
+            },
+        );
+        let channel = unbounded::<CoreMsg>();
+        let policy = SlotPool {
+            workers_per_node: cfg.workers_per_node,
+            sandbox: cfg.sandbox,
             vfs,
             clock,
-            metrics,
-            events,
-            shared: Arc::clone(&shared),
-            submit_rx,
-            resubmit: submit_tx.clone(),
-            backlog: VecDeque::new(),
-            pending_blocks: Vec::new(),
+            metrics: metrics.clone(),
+            finished: channel.0.clone(),
+            transform,
             managers: Vec::new(),
             zombies: Vec::new(),
             rr_cursor: 0,
-            transform,
         };
-        let interchange = std::thread::Builder::new()
-            .name("gcx-interchange".into())
-            .spawn(move || ic.run())
-            .expect("spawn interchange");
-        Self {
-            submit_tx,
-            shared,
-            interchange: Some(interchange),
-        }
+        let core = CoreEngine::start(
+            CoreConfig {
+                kind: EngineKind::Htex,
+                max_retries: cfg.max_retries,
+                thread_name: "gcx-interchange",
+            },
+            policy,
+            Some(table),
+            metrics,
+            events,
+            channel,
+            None,
+        );
+        Self { core }
     }
 }
 
 impl Engine for GlobusComputeEngine {
     fn submit(&self, task: ExecutableTask) -> GcxResult<()> {
-        if self.shared.shutdown.load(Ordering::SeqCst) {
-            return Err(GcxError::ShuttingDown);
-        }
-        self.shared.queued.fetch_add(1, Ordering::SeqCst);
-        self.submit_tx
-            .send(QueuedTask { task, retries: 0 })
-            .map_err(|_| GcxError::ShuttingDown)
+        self.core.submit(task)
     }
 
     fn status(&self) -> EngineStatus {
-        EngineStatus {
-            queued: self.shared.queued.load(Ordering::SeqCst),
-            running: self.shared.running.load(Ordering::SeqCst),
-            capacity: self.shared.capacity.load(Ordering::SeqCst),
-            blocks: self.shared.blocks.load(Ordering::SeqCst),
-        }
+        self.core.status()
     }
 
     fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.interchange.take() {
-            let _ = h.join();
-        }
+        self.core.shutdown();
     }
 }
 
-impl Drop for GlobusComputeEngine {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
+/// One manager: the per-node multiplexed connection plus its workers.
+struct Manager {
+    node: String,
+    block: BlockHandle,
+    task_tx: Sender<WorkerMsg>,
+    alive: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
-struct Interchange {
-    cfg: HtexConfig,
-    supervisor: BlockSupervisor,
+/// Slot-per-worker scheduling: round-robin tasks into per-manager bounded
+/// channels (capacity `workers_per_node`, like HTEX's per-manager prefetch
+/// window). Loss recovery is the core's job — when a manager's node dies
+/// the policy only tears the manager down; tasks on it are recovered
+/// through the core's in-flight table, and a worker that picks a task off
+/// a dead manager's channel drops it silently.
+struct SlotPool {
+    workers_per_node: u32,
+    sandbox: bool,
     vfs: Vfs,
     clock: SharedClock,
     metrics: MetricsRegistry,
-    events: Sender<EngineEvent>,
-    shared: Arc<Shared>,
-    submit_rx: Receiver<QueuedTask>,
-    resubmit: Sender<QueuedTask>,
-    backlog: VecDeque<QueuedTask>,
-    pending_blocks: Vec<BlockHandle>,
+    finished: Sender<CoreMsg>,
+    transform: Option<ValueTransform>,
     managers: Vec<Manager>,
     /// Worker threads of dead managers. Not joined during operation — a
     /// worker stranded in a long (virtual-clock) execution must not stall
-    /// the interchange; its task was already recovered via the in-flight
-    /// registry and it exits on its own once the execution returns.
+    /// the core; its task was already recovered and it exits on its own
+    /// once the execution returns.
     zombies: Vec<std::thread::JoinHandle<()>>,
     rr_cursor: usize,
-    transform: Option<ValueTransform>,
 }
 
-impl Interchange {
-    fn run(mut self) {
-        loop {
-            if self.shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let mut progressed = false;
+impl SlotPool {
+    fn spawn_manager(&mut self, block: BlockHandle, node: String) {
+        // One bounded channel per manager: the multiplexed connection.
+        let (task_tx, task_rx) = bounded::<WorkerMsg>(self.workers_per_node as usize);
+        let alive = Arc::new(AtomicBool::new(true));
+        self.metrics.counter("htex.connections_opened").inc();
+        let panics = self.metrics.counter("htex.worker_panics");
 
-            // 1. Drain new submissions into the backlog.
-            while let Ok(task) = self.submit_rx.try_recv() {
-                if task.retries == 0 {
-                    emit(
-                        &self.events,
-                        EngineEvent::State(task.task.spec.task_id, TaskState::WaitingForNodes),
-                    );
+        let mut workers = Vec::new();
+        for w in 0..self.workers_per_node {
+            let rx = task_rx.clone();
+            let alive2 = Arc::clone(&alive);
+            let finished = self.finished.clone();
+            let metrics = self.metrics.clone();
+            let panics = Arc::clone(&panics);
+            let ctx = {
+                let mut c = WorkerContext::new(self.vfs.clone(), self.clock.clone(), node.clone());
+                c.sandbox = self.sandbox;
+                c.resolver = self.transform.clone();
+                c
+            };
+            self.metrics.counter("htex.worker_threads").inc();
+            let handle = std::thread::Builder::new()
+                .name(format!("gcx-worker-{node}-{w}"))
+                .spawn(move || run_worker(rx, Some(alive2), ctx, finished, metrics, panics))
+                .expect("spawn worker");
+            workers.push(handle);
+        }
+        self.managers.push(Manager {
+            node,
+            block,
+            task_tx,
+            alive,
+            workers,
+        });
+    }
+
+    /// Tear down every manager matching `pred`: flip `alive` so its
+    /// workers drop whatever is still on the channel, close the channel,
+    /// and detach the worker threads as zombies.
+    fn drop_managers(&mut self, pred: impl Fn(&Manager) -> bool) {
+        let (dead, kept): (Vec<Manager>, Vec<Manager>) = std::mem::take(&mut self.managers)
+            .into_iter()
+            .partition(pred);
+        self.managers = kept;
+        for m in dead {
+            m.alive.store(false, Ordering::SeqCst);
+            drop(m.task_tx);
+            self.zombies.extend(m.workers);
+            self.metrics.counter("htex.managers_lost").inc();
+        }
+    }
+}
+
+impl SchedPolicy for SlotPool {
+    fn capacity(&self) -> usize {
+        self.managers.len() * self.workers_per_node as usize
+    }
+
+    fn on_block_up(&mut self, block: BlockHandle, nodes: &[String]) {
+        for node in nodes {
+            self.spawn_manager(block, node.clone());
+        }
+    }
+
+    fn on_nodes_lost(&mut self, block: BlockHandle, dead: &HashSet<String>, _remaining: &[String]) {
+        self.drop_managers(|m| m.block == block && dead.contains(&m.node));
+    }
+
+    fn on_block_down(&mut self, block: BlockHandle) {
+        self.drop_managers(|m| m.block == block);
+    }
+
+    fn try_launch(&mut self, launch_id: u64, task: &CoreTask) -> LaunchDecision {
+        let n = self.managers.len();
+        if n == 0 {
+            return LaunchDecision::NoCapacity;
+        }
+        let mut msg = Some(WorkerMsg {
+            launch_id,
+            task: task.task.clone(),
+        });
+        for i in 0..n {
+            let idx = (self.rr_cursor + i) % n;
+            match self.managers[idx]
+                .task_tx
+                .try_send(msg.take().expect("present"))
+            {
+                Ok(()) => {
+                    self.rr_cursor = (idx + 1) % n;
+                    self.metrics.counter("htex.tasks_dispatched").inc();
+                    let m = &self.managers[idx];
+                    return LaunchDecision::Launched(Assignment {
+                        block: Some(m.block),
+                        nodes: vec![m.node.clone()],
+                    });
                 }
-                self.backlog.push_back(task);
-                progressed = true;
-            }
-
-            // 2. Promote pending blocks whose nodes arrived.
-            progressed |= self.poll_blocks();
-
-            // 3. Reap managers on dead blocks.
-            progressed |= self.reap_dead_blocks();
-
-            // 4. Scale out while there is a backlog. Requests go through
-            // the supervisor, which holds a backoff gate after losses.
-            if !self.backlog.is_empty() {
-                let live = self.live_block_count();
-                if live + self.pending_blocks.len() < self.cfg.max_blocks as usize {
-                    if let Some(handle) = self.supervisor.request_block(self.cfg.nodes_per_block) {
-                        self.pending_blocks.push(handle);
-                        progressed = true;
-                    }
+                Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
+                    msg = Some(back);
                 }
-            }
-
-            // 5. Dispatch backlog to managers with free capacity.
-            progressed |= self.dispatch();
-
-            if !progressed {
-                std::thread::sleep(Duration::from_micros(500));
             }
         }
-        // Shutdown: close manager channels and join workers of live
-        // managers. Zombie workers (from dead blocks) are detached — they
-        // may be stranded in a virtual-clock sleep nobody will advance.
+        LaunchDecision::NoCapacity
+    }
+
+    fn block_unviable(
+        &self,
+        remaining: usize,
+        _backlog: &std::collections::VecDeque<CoreTask>,
+    ) -> bool {
+        // A block that lost every node serves nothing; release it so the
+        // scale-out path can request a full replacement. Partially degraded
+        // blocks keep their surviving managers.
+        remaining == 0
+    }
+
+    fn shutdown(&mut self) {
+        // Close manager channels and join workers of live managers. Zombie
+        // workers (from dead blocks) are detached — they may be stranded in
+        // a virtual-clock sleep nobody will advance.
         for m in self.managers.drain(..) {
             m.alive.store(false, Ordering::SeqCst);
             drop(m.task_tx);
@@ -271,457 +300,21 @@ impl Interchange {
             }
         }
         drop(self.zombies.drain(..));
-        for b in self.pending_blocks.drain(..) {
-            let _ = self.supervisor.provider().cancel_block(b);
-        }
-    }
-
-    fn live_block_count(&self) -> usize {
-        let mut blocks: Vec<BlockHandle> = self.managers.iter().map(|m| m.block).collect();
-        blocks.dedup_by_key(|b| b.0);
-        blocks.len()
-    }
-
-    fn poll_blocks(&mut self) -> bool {
-        let mut progressed = false;
-        let mut still_pending = Vec::new();
-        for handle in std::mem::take(&mut self.pending_blocks) {
-            match self.supervisor.provider().block_state(handle) {
-                Ok(BlockState::Running(nodes)) => {
-                    let n = nodes.len();
-                    for node in nodes {
-                        self.spawn_manager(handle, node);
-                    }
-                    self.shared.blocks.fetch_add(1, Ordering::SeqCst);
-                    self.supervisor.note_running();
-                    emit(&self.events, EngineEvent::BlockProvisioned { nodes: n });
-                    progressed = true;
-                }
-                Ok(BlockState::Pending) => still_pending.push(handle),
-                Ok(BlockState::Done(reason)) => {
-                    // Died before we ever used it.
-                    self.supervisor.note_lost(reason);
-                    emit(
-                        &self.events,
-                        EngineEvent::BlockLost {
-                            reason: reason.as_str(),
-                            nodes_lost: 0,
-                        },
-                    );
-                    progressed = true;
-                }
-                Err(_) => {
-                    self.supervisor.note_lost(BlockEndReason::Unknown);
-                    progressed = true;
-                }
-            }
-        }
-        self.pending_blocks = still_pending;
-        progressed
-    }
-
-    fn spawn_manager(&mut self, block: BlockHandle, node: String) {
-        // One bounded channel per manager: the multiplexed connection. Its
-        // capacity is the manager's worker count, like HTEX's per-manager
-        // prefetch window.
-        let (task_tx, task_rx) = bounded::<QueuedTask>(self.cfg.workers_per_node as usize);
-        let alive = Arc::new(AtomicBool::new(true));
-        let in_flight: InFlight = Arc::new(parking_lot::Mutex::new(HashMap::new()));
-        self.metrics.counter("htex.connections_opened").inc();
-
-        let mut workers = Vec::new();
-        for w in 0..self.cfg.workers_per_node {
-            let rx = task_rx.clone();
-            let alive2 = Arc::clone(&alive);
-            let in_flight2 = Arc::clone(&in_flight);
-            let events = self.events.clone();
-            let resubmit = self.resubmit.clone();
-            let shared = Arc::clone(&self.shared);
-            let metrics = self.metrics.clone();
-            let max_retries = self.cfg.max_retries;
-            let ctx = {
-                let mut c = WorkerContext::new(self.vfs.clone(), self.clock.clone(), node.clone());
-                c.sandbox = self.cfg.sandbox;
-                c.resolver = self.transform.clone();
-                c
-            };
-            self.metrics.counter("htex.worker_threads").inc();
-            let handle = std::thread::Builder::new()
-                .name(format!("gcx-worker-{node}-{w}"))
-                .spawn(move || {
-                    let tracer = metrics.tracer();
-                    while let Ok(queued) = rx.recv() {
-                        if !alive2.load(Ordering::SeqCst) {
-                            // The block died with this task on the wire.
-                            requeue_or_fail(
-                                queued,
-                                &resubmit,
-                                &events,
-                                &shared,
-                                max_retries,
-                                &metrics,
-                            );
-                            continue;
-                        }
-                        let task_id = queued.task.spec.task_id;
-                        // Register in the in-flight table, then re-check
-                        // liveness: the interchange flips `alive` *before*
-                        // draining the table, so exactly one side claims
-                        // this task whatever the interleaving.
-                        in_flight2.lock().insert(task_id, queued.clone());
-                        if !alive2.load(Ordering::SeqCst) {
-                            if in_flight2.lock().remove(&task_id).is_some() {
-                                requeue_or_fail(
-                                    queued,
-                                    &resubmit,
-                                    &events,
-                                    &shared,
-                                    max_retries,
-                                    &metrics,
-                                );
-                            }
-                            continue;
-                        }
-                        emit(&events, EngineEvent::State(task_id, TaskState::Running));
-                        shared.running.fetch_add(1, Ordering::SeqCst);
-                        let span_start = tracer.now_ms();
-                        // Supervision boundary: a panic in user-facing code
-                        // must not kill the worker. The thread survives (an
-                        // in-place restart) and the task re-enters the queue
-                        // within its retry budget.
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                ctx.execute(&queued.task.spec, &queued.task.function.body)
-                            }));
-                        shared.running.fetch_sub(1, Ordering::SeqCst);
-                        {
-                            let node = &ctx.hostname;
-                            tracer.record_span_annotated(
-                                queued.task.spec.trace.as_ref(),
-                                "worker",
-                                span_start,
-                                tracer.now_ms(),
-                                || vec![format!("node {node}")],
-                            );
-                        }
-                        // Claim the task back. If the entry is gone, the
-                        // interchange already recovered it after a block or
-                        // node loss — this outcome must be discarded.
-                        let owned = in_flight2.lock().remove(&task_id).is_some();
-                        if !owned {
-                            metrics.counter("htex.stale_results_discarded").inc();
-                            continue;
-                        }
-                        let result = match outcome {
-                            Ok(result) => result,
-                            Err(panic) => {
-                                metrics.counter("htex.worker_panics").inc();
-                                requeue_or_fail_with(
-                                    queued,
-                                    &resubmit,
-                                    &events,
-                                    &shared,
-                                    max_retries,
-                                    &metrics,
-                                    format!(
-                                        "RuntimeError: worker panicked while executing task: {}",
-                                        panic_message(&*panic)
-                                    ),
-                                );
-                                continue;
-                            }
-                        };
-                        if !alive2.load(Ordering::SeqCst) {
-                            // Block died mid-execution: the result is lost.
-                            requeue_or_fail(
-                                queued,
-                                &resubmit,
-                                &events,
-                                &shared,
-                                max_retries,
-                                &metrics,
-                            );
-                            continue;
-                        }
-                        emit(
-                            &events,
-                            EngineEvent::Done {
-                                task_id,
-                                tag: queued.task.tag,
-                                result,
-                            },
-                        );
-                    }
-                })
-                .expect("spawn worker");
-            workers.push(handle);
-        }
-        self.shared
-            .capacity
-            .fetch_add(self.cfg.workers_per_node as usize, Ordering::SeqCst);
-        self.managers.push(Manager {
-            node,
-            block,
-            task_tx,
-            task_rx,
-            alive,
-            in_flight,
-            workers,
-        });
-    }
-
-    /// Detect whole-block death *and* node-level loss inside a still-
-    /// running block. Dead managers are torn down immediately: their
-    /// in-flight tasks are recovered through the registry (never waiting
-    /// for a stranded execution), queued tasks are re-dispatched, and the
-    /// worker threads are left to exit on their own.
-    fn reap_dead_blocks(&mut self) -> bool {
-        if self.managers.is_empty() {
-            return false;
-        }
-        // One state poll per distinct block.
-        let mut states: HashMap<BlockHandle, BlockState> = HashMap::new();
-        for m in &self.managers {
-            states.entry(m.block).or_insert_with(|| {
-                self.supervisor
-                    .provider()
-                    .block_state(m.block)
-                    .unwrap_or(BlockState::Done(BlockEndReason::Unknown))
-            });
-        }
-        let mut progressed = false;
-        let mut whole_blocks_lost: Vec<(BlockHandle, BlockEndReason)> = Vec::new();
-        let mut node_losses = 0usize;
-        let mut kept = Vec::new();
-        for m in std::mem::take(&mut self.managers) {
-            let verdict = match &states[&m.block] {
-                BlockState::Done(r) => Some(*r),
-                BlockState::Running(nodes) if !nodes.contains(&m.node) => {
-                    Some(BlockEndReason::NodeFail)
-                }
-                _ => None,
-            };
-            let Some(reason) = verdict else {
-                kept.push(m);
-                continue;
-            };
-            progressed = true;
-            m.alive.store(false, Ordering::SeqCst);
-            // Steal every in-flight task and resolve it now.
-            let stolen: Vec<QueuedTask> = m.in_flight.lock().drain().map(|(_, q)| q).collect();
-            for q in stolen {
-                self.recover_lost_task(q, reason);
-            }
-            // Close the channel and re-dispatch tasks no worker started.
-            drop(m.task_tx);
-            while let Ok(q) = m.task_rx.try_recv() {
-                requeue_or_fail(
-                    q,
-                    &self.resubmit,
-                    &self.events,
-                    &self.shared,
-                    self.cfg.max_retries,
-                    &self.metrics,
-                );
-            }
-            self.zombies.extend(m.workers);
-            self.shared
-                .capacity
-                .fetch_sub(self.cfg.workers_per_node as usize, Ordering::SeqCst);
-            self.metrics.counter("htex.managers_lost").inc();
-            if matches!(states[&m.block], BlockState::Done(_)) {
-                if !whole_blocks_lost.iter().any(|(b, _)| *b == m.block) {
-                    whole_blocks_lost.push((m.block, reason));
-                }
-            } else {
-                node_losses += 1;
-            }
-        }
-        self.managers = kept;
-        for (_, reason) in &whole_blocks_lost {
-            self.shared.blocks.fetch_sub(1, Ordering::SeqCst);
-            self.supervisor.note_lost(*reason);
-            emit(
-                &self.events,
-                EngineEvent::BlockLost {
-                    reason: reason.as_str(),
-                    nodes_lost: self.cfg.nodes_per_block as usize,
-                },
-            );
-        }
-        if node_losses > 0 {
-            self.supervisor.note_lost(BlockEndReason::NodeFail);
-            emit(
-                &self.events,
-                EngineEvent::BlockLost {
-                    reason: BlockEndReason::NodeFail.as_str(),
-                    nodes_lost: node_losses,
-                },
-            );
-        }
-        progressed
-    }
-
-    /// Resolve a task stolen from a dead manager's in-flight table. A
-    /// walltime kill resolves Shell/MPI bodies with return code 124 — the
-    /// §III-B.3 contract: the command ran and was killed, which is a
-    /// *result*, not an infrastructure error. Everything else re-enters the
-    /// queue within the retry budget and then fails as a typed retryable
-    /// error the SDK may resubmit.
-    fn recover_lost_task(&mut self, q: QueuedTask, reason: BlockEndReason) {
-        if reason == BlockEndReason::Walltime {
-            if let FunctionBody::Shell { cmd, .. } | FunctionBody::Mpi { cmd, .. } =
-                &q.task.function.body
-            {
-                let sr = ShellResult {
-                    returncode: 124,
-                    stdout: String::new(),
-                    stderr: "killed: batch job walltime exceeded".to_string(),
-                    cmd: cmd.clone(),
-                };
-                self.metrics.counter("htex.walltime_kills").inc();
-                self.metrics
-                    .tracer()
-                    .annotate(q.task.spec.trace.as_ref(), || {
-                        "walltime kill: resolved with returncode 124".to_string()
-                    });
-                emit(
-                    &self.events,
-                    EngineEvent::Done {
-                        task_id: q.task.spec.task_id,
-                        tag: q.task.tag,
-                        result: TaskResult::Ok(sr.to_value()),
-                    },
-                );
-                return;
-            }
-        }
-        requeue_or_fail(
-            q,
-            &self.resubmit,
-            &self.events,
-            &self.shared,
-            self.cfg.max_retries,
-            &self.metrics,
-        );
-    }
-
-    fn dispatch(&mut self) -> bool {
-        if self.managers.is_empty() {
-            return false;
-        }
-        let mut progressed = false;
-        while let Some(queued) = self.backlog.pop_front() {
-            let n = self.managers.len();
-            let mut item = Some(queued);
-            for i in 0..n {
-                let idx = (self.rr_cursor + i) % n;
-                match self.managers[idx]
-                    .task_tx
-                    .try_send(item.take().expect("present"))
-                {
-                    Ok(()) => {
-                        self.rr_cursor = (idx + 1) % n;
-                        self.shared.queued.fetch_sub(1, Ordering::SeqCst);
-                        self.metrics.counter("htex.tasks_dispatched").inc();
-                        progressed = true;
-                        break;
-                    }
-                    Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
-                        item = Some(back);
-                    }
-                }
-            }
-            if let Some(unsent) = item {
-                self.backlog.push_front(unsent);
-                break;
-            }
-        }
-        progressed
-    }
-}
-
-fn requeue_or_fail(
-    queued: QueuedTask,
-    resubmit: &Sender<QueuedTask>,
-    events: &Sender<EngineEvent>,
-    shared: &Shared,
-    max_retries: u8,
-    metrics: &MetricsRegistry,
-) {
-    requeue_or_fail_with(
-        queued,
-        resubmit,
-        events,
-        shared,
-        max_retries,
-        metrics,
-        "RuntimeError: task lost when its batch job ended".to_string(),
-    );
-}
-
-fn requeue_or_fail_with(
-    mut queued: QueuedTask,
-    resubmit: &Sender<QueuedTask>,
-    events: &Sender<EngineEvent>,
-    shared: &Shared,
-    max_retries: u8,
-    metrics: &MetricsRegistry,
-    fail_msg: String,
-) {
-    let task_id = queued.task.spec.task_id;
-    let tracer = metrics.tracer();
-    if queued.retries < max_retries {
-        queued.retries += 1;
-        shared.queued.fetch_add(1, Ordering::SeqCst);
-        metrics.counter("htex.tasks_redispatched").inc();
-        let now = tracer.now_ms();
-        let attempt = queued.retries;
-        tracer.record_span_annotated(
-            queued.task.spec.trace.as_ref(),
-            "redispatch",
-            now,
-            now,
-            || vec![format!("engine redispatch {attempt}: {fail_msg}")],
-        );
-        let _ = resubmit.send(queued);
-    } else {
-        tracer.annotate(queued.task.spec.trace.as_ref(), || {
-            format!("engine retries exhausted: {fail_msg}")
-        });
-        // Typed retryable failure: the SDK decodes this as transient and
-        // may resubmit the task within its own budget.
-        emit(
-            events,
-            EngineEvent::Done {
-                task_id,
-                tag: queued.task.tag,
-                result: TaskResult::retryable_err(format!("{fail_msg} (retries exhausted)")),
-            },
-        );
-    }
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
-    if let Some(s) = panic.downcast_ref::<&'static str>() {
-        s
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s
-    } else {
-        "<non-string panic payload>"
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::provider::LocalProvider;
+    use crate::provider::{BlockEndReason, BlockState, LocalProvider};
+    use crossbeam_channel::Receiver;
     use gcx_core::clock::SystemClock;
+    use gcx_core::error::GcxError;
     use gcx_core::function::{FunctionBody, FunctionRecord};
     use gcx_core::ids::{EndpointId, FunctionId, IdentityId};
-    use gcx_core::task::TaskSpec;
+    use gcx_core::task::{TaskResult, TaskSpec, TaskState};
     use gcx_core::value::Value;
+    use std::time::Duration;
 
     fn exec_task(body: FunctionBody, args: Vec<Value>, tag: u64) -> ExecutableTask {
         let mut spec = TaskSpec::new(FunctionId::random(), EndpointId::random());
@@ -835,6 +428,7 @@ mod tests {
             "two blocks × 2 nodes × 2 workers expected ≥ 4, got {}",
             st.capacity
         );
+        assert_eq!(st.kind, EngineKind::Htex);
         e.shutdown();
     }
 
@@ -910,8 +504,8 @@ mod tests {
     #[test]
     fn tasks_lost_to_dead_block_are_retried_then_fail() {
         // A provider whose blocks die shortly after starting: they survive
-        // two state polls (long enough for the interchange to dispatch) and
-        // then report Done, losing whatever was in flight.
+        // two state polls (long enough for the core to dispatch) and then
+        // report Done, losing whatever was in flight.
         struct DyingProvider {
             inner: LocalProvider,
             polls: parking_lot::Mutex<std::collections::HashMap<gcx_core::ids::JobId, u32>>,
@@ -965,6 +559,8 @@ mod tests {
         let (tag, result) = &done[0];
         assert_eq!(*tag, 9);
         assert!(matches!(result, TaskResult::Err(m) if m.contains("batch job ended")));
+        let st = e.status();
+        assert!(st.redispatches_total >= 1, "got {}", st.redispatches_total);
         e.shutdown();
     }
 

@@ -9,8 +9,11 @@
 //! `GlobusMPIEngine` implements advanced functionality to partition a batch
 //! job dynamically based on user-defined function requirements."
 //!
-//! The engine holds one pilot block of `nodes_per_block` nodes and carves
-//! node subsets out of it per task according to the task's normalized
+//! Block lifecycle, partition-table repair around crashed nodes, and
+//! lost-task recovery live in the shared [`ExecCore`](crate::exec_core);
+//! what this module defines is the [`NodePartitioner`] policy. The engine
+//! holds one pilot block of `nodes_per_block` nodes and carves node subsets
+//! out of it per task according to the task's normalized
 //! `resource_specification`. Tasks whose requirement does not fit the
 //! currently free nodes wait; smaller tasks may start ahead of a blocked
 //! larger one (greedy packing — that *is* the dynamic-partitioning win the
@@ -20,25 +23,29 @@
 //! `$PARSL_MPI_PREFIX`, which resolves to the configured launcher prefix
 //! (e.g. `mpiexec -n 4 -host node-001,node-002`).
 
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Sender};
 use gcx_core::clock::SharedClock;
-use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::error::GcxResult;
 use gcx_core::function::FunctionBody;
 use gcx_core::ids::TaskId;
 use gcx_core::metrics::MetricsRegistry;
 use gcx_core::respec::NormalizedSpec;
 use gcx_core::shellres::ShellResult;
-use gcx_core::task::{TaskResult, TaskState};
+use gcx_core::task::TaskResult;
 use gcx_shell::mpi::{LauncherKind, MpiLaunchPlan, MpiLauncher};
 use gcx_shell::{format_command, ShellExecutor, Vfs};
 
-use crate::engine::{emit, Engine, EngineEvent, EngineStatus, ExecutableTask, ValueTransform};
-use crate::provider::{BlockEndReason, BlockHandle, BlockState, BlockSupervisor, Provider};
+use crate::engine::{
+    Engine, EngineEvent, EngineKind, EngineStatus, ExecutableTask, ValueTransform,
+};
+use crate::exec_core::{
+    Assignment, BlockShape, BlockTable, CoreConfig, CoreEngine, CoreMsg, CoreTask, LaunchDecision,
+    LaunchOutcome, SchedPolicy,
+};
+use crate::provider::{BlockHandle, BlockSupervisor, Provider};
 use crate::worker::WorkerContext;
 
 /// Configuration for [`GlobusMpiEngine`].
@@ -62,37 +69,9 @@ impl Default for MpiEngineConfig {
     }
 }
 
-struct Shared {
-    queued: AtomicUsize,
-    running: AtomicUsize,
-    capacity: AtomicUsize,
-    blocks: AtomicUsize,
-    shutdown: AtomicBool,
-}
-
-#[derive(Clone)]
-struct QueuedMpiTask {
-    task: ExecutableTask,
-    spec: NormalizedSpec,
-    retries: u8,
-}
-
-/// Partition-table entry for one launched task: which nodes it holds.
-struct InFlightMpi {
-    q: QueuedMpiTask,
-    nodes: Vec<String>,
-}
-
-enum SchedulerMsg {
-    Submit(Box<QueuedMpiTask>),
-    Finished { launch_id: u64, result: TaskResult },
-}
-
-/// The MPI engine.
+/// The MPI engine: the shared core under a [`NodePartitioner`] policy.
 pub struct GlobusMpiEngine {
-    tx: Sender<SchedulerMsg>,
-    shared: Arc<Shared>,
-    scheduler: Option<std::thread::JoinHandle<()>>,
+    core: CoreEngine,
 }
 
 impl GlobusMpiEngine {
@@ -107,466 +86,206 @@ impl GlobusMpiEngine {
         events: Sender<EngineEvent>,
         transform: Option<ValueTransform>,
     ) -> Self {
-        let (tx, rx) = unbounded();
-        let shared = Arc::new(Shared {
-            queued: AtomicUsize::new(0),
-            running: AtomicUsize::new(0),
-            capacity: AtomicUsize::new(0),
-            blocks: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-        });
-        let supervisor = BlockSupervisor::new(provider, clock.clone(), metrics.clone(), "mpi");
-        let sched = Scheduler {
-            cfg,
+        let supervisor =
+            BlockSupervisor::new(provider, clock.clone(), metrics.clone(), EngineKind::Mpi);
+        let table = BlockTable::new(
             supervisor,
+            BlockShape {
+                nodes_per_block: cfg.nodes_per_block,
+                max_blocks: 1,
+            },
+        );
+        let channel = unbounded::<CoreMsg>();
+        let policy = NodePartitioner {
+            nodes_per_block: cfg.nodes_per_block,
+            launcher: cfg.launcher,
             vfs,
             clock,
+            metrics: metrics.clone(),
+            finished: channel.0.clone(),
+            transform,
+            block: None,
+            free: Vec::new(),
+            members: 0,
+        };
+        let core = CoreEngine::start(
+            CoreConfig {
+                kind: EngineKind::Mpi,
+                max_retries: cfg.max_retries,
+                thread_name: "gcx-mpi-scheduler",
+            },
+            policy,
+            Some(table),
             metrics,
             events,
-            shared: Arc::clone(&shared),
-            rx,
-            self_tx: tx.clone(),
-            queue: VecDeque::new(),
-            free_nodes: Vec::new(),
-            members: Vec::new(),
-            block: None,
-            in_flight: HashMap::new(),
-            launch_seq: 0,
-            transform,
-        };
-        let scheduler = std::thread::Builder::new()
-            .name("gcx-mpi-scheduler".into())
-            .spawn(move || sched.run())
-            .expect("spawn mpi scheduler");
-        Self {
-            tx,
-            shared,
-            scheduler: Some(scheduler),
-        }
+            channel,
+            // Malformed resource_specifications are rejected synchronously
+            // on the submitter's thread.
+            Some(Arc::new(|t: &ExecutableTask| {
+                t.spec.resource_spec.normalize().map(|_| ())
+            })),
+        );
+        Self { core }
     }
 }
 
 impl Engine for GlobusMpiEngine {
     fn submit(&self, task: ExecutableTask) -> GcxResult<()> {
-        if self.shared.shutdown.load(Ordering::SeqCst) {
-            return Err(GcxError::ShuttingDown);
-        }
-        let spec = task.spec.resource_spec.normalize()?;
-        self.shared.queued.fetch_add(1, Ordering::SeqCst);
-        self.tx
-            .send(SchedulerMsg::Submit(Box::new(QueuedMpiTask {
-                task,
-                spec,
-                retries: 0,
-            })))
-            .map_err(|_| GcxError::ShuttingDown)
+        self.core.submit(task)
     }
 
     fn status(&self) -> EngineStatus {
-        EngineStatus {
-            queued: self.shared.queued.load(Ordering::SeqCst),
-            running: self.shared.running.load(Ordering::SeqCst),
-            capacity: self.shared.capacity.load(Ordering::SeqCst),
-            blocks: self.shared.blocks.load(Ordering::SeqCst),
-        }
+        self.core.status()
     }
 
     fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.scheduler.take() {
-            let _ = h.join();
-        }
+        self.core.shutdown();
     }
 }
 
-impl Drop for GlobusMpiEngine {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-struct Scheduler {
-    cfg: MpiEngineConfig,
-    supervisor: BlockSupervisor,
+/// Greedy dynamic partitioning over one pilot block: every queued task
+/// whose node requirement fits the currently free subset starts, in
+/// arrival order. Crashed nodes simply leave the partition (the core hands
+/// back each hit launch's slice via [`SchedPolicy::reclaim`], survivors
+/// rejoining the free pool — the partition-table repair of PR 2).
+struct NodePartitioner {
+    nodes_per_block: u32,
+    launcher: LauncherKind,
     vfs: Vfs,
     clock: SharedClock,
     metrics: MetricsRegistry,
-    events: Sender<EngineEvent>,
-    shared: Arc<Shared>,
-    rx: Receiver<SchedulerMsg>,
-    self_tx: Sender<SchedulerMsg>,
-    queue: VecDeque<QueuedMpiTask>,
-    /// Nodes of the running block not currently assigned to a task.
-    free_nodes: Vec<String>,
-    /// Full live membership of the running block (free + in flight). When
-    /// the batch layer reports fewer members than we think we have, the
-    /// difference is the set of crashed nodes and the partition table is
-    /// repaired around them.
-    members: Vec<String>,
-    block: Option<(BlockHandle, bool)>, // (handle, running)
-    /// Partition table: launch id → (queued task, node slice). Keyed by a
-    /// per-launch id (not task id) so a zombie launch of a since-requeued
-    /// task can never resolve the retry's entry. A `Finished` message whose
-    /// launch id is no longer in this table is stale (its nodes were
-    /// already reclaimed by fault recovery) and its result is discarded.
-    in_flight: HashMap<u64, InFlightMpi>,
-    launch_seq: u64,
+    finished: Sender<CoreMsg>,
     transform: Option<ValueTransform>,
+    block: Option<BlockHandle>,
+    /// Nodes of the running block not currently assigned to a task.
+    free: Vec<String>,
+    /// Full live membership count (free + in flight).
+    members: usize,
 }
 
-impl Scheduler {
-    fn run(mut self) {
-        loop {
-            // Shut down promptly even with launches in flight: their results
-            // are lost (the launch threads drain into a dead channel), which
-            // matches an agent being killed mid-task.
-            if self.shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let mut progressed = false;
+impl SchedPolicy for NodePartitioner {
+    const GREEDY: bool = true;
 
-            while let Ok(msg) = self.rx.try_recv() {
-                progressed = true;
-                match msg {
-                    SchedulerMsg::Submit(q) => {
-                        emit(
-                            &self.events,
-                            EngineEvent::State(q.task.spec.task_id, TaskState::WaitingForNodes),
-                        );
-                        self.queue.push_back(*q);
-                    }
-                    SchedulerMsg::Finished { launch_id, result } => {
-                        match self.in_flight.remove(&launch_id) {
-                            Some(entry) => {
-                                self.shared.running.fetch_sub(1, Ordering::SeqCst);
-                                self.free_nodes.extend(entry.nodes);
-                                emit(
-                                    &self.events,
-                                    EngineEvent::Done {
-                                        task_id: entry.q.task.spec.task_id,
-                                        tag: entry.q.task.tag,
-                                        result,
-                                    },
-                                );
-                            }
-                            None => {
-                                // Fault recovery already reclaimed this
-                                // task's nodes and requeued (or resolved)
-                                // it; the zombie launch's result is stale.
-                                self.metrics.counter("mpi.stale_results_discarded").inc();
-                            }
-                        }
-                    }
-                }
-            }
-
-            progressed |= self.manage_block();
-            progressed |= self.dispatch();
-
-            if !progressed {
-                std::thread::sleep(Duration::from_micros(500));
-            }
-        }
-        if let Some((handle, _)) = self.block.take() {
-            let _ = self.supervisor.provider().cancel_block(handle);
-        }
+    fn capacity(&self) -> usize {
+        self.members
     }
 
-    fn requeue_or_fail(&mut self, mut q: QueuedMpiTask) {
-        let tracer = self.metrics.tracer();
-        if q.retries < self.cfg.max_retries {
-            q.retries += 1;
-            self.metrics.counter("mpi.tasks_redispatched").inc();
-            self.shared.queued.fetch_add(1, Ordering::SeqCst);
-            let now = tracer.now_ms();
-            let attempt = q.retries;
-            tracer.record_span_annotated(
-                q.task.spec.trace.as_ref(),
-                "redispatch",
-                now,
-                now,
-                || vec![format!("mpi engine redispatch {attempt}: node slice lost")],
-            );
-            self.queue.push_back(q);
-        } else {
-            tracer.annotate(q.task.spec.trace.as_ref(), || {
-                "mpi engine retries exhausted: task lost with its batch job".to_string()
-            });
-            emit(
-                &self.events,
-                EngineEvent::Done {
-                    task_id: q.task.spec.task_id,
-                    tag: q.task.tag,
-                    result: TaskResult::retryable_err(
-                        "RuntimeError: MPI task lost when its batch job ended (retries exhausted)",
-                    ),
-                },
-            );
-        }
+    fn on_block_up(&mut self, block: BlockHandle, nodes: &[String]) {
+        self.block = Some(block);
+        self.free = nodes.to_vec();
+        self.members = nodes.len();
     }
 
-    /// Resolve a task whose node slice just died. A walltime kill means the
-    /// application ran and was killed by the batch system — for Shell/MPI
-    /// bodies that is a *result* (return code 124, §III-B.3), not an error,
-    /// so it resolves immediately without retry. Everything else requeues.
-    fn recover_lost_task(&mut self, q: QueuedMpiTask, reason: BlockEndReason) {
-        if reason == BlockEndReason::Walltime {
-            if let FunctionBody::Shell { cmd, .. } | FunctionBody::Mpi { cmd, .. } =
-                &q.task.function.body
-            {
-                self.metrics.counter("mpi.walltime_kills").inc();
-                self.metrics
-                    .tracer()
-                    .annotate(q.task.spec.trace.as_ref(), || {
-                        "walltime kill: resolved with returncode 124".to_string()
-                    });
-                emit(
-                    &self.events,
-                    EngineEvent::Done {
-                        task_id: q.task.spec.task_id,
-                        tag: q.task.tag,
-                        result: TaskResult::Ok(
-                            ShellResult {
-                                returncode: 124,
-                                stdout: String::new(),
-                                stderr: "killed: batch job walltime exceeded".to_string(),
-                                cmd: cmd.clone(),
-                            }
-                            .to_value(),
-                        ),
-                    },
-                );
-                return;
-            }
-        }
-        self.requeue_or_fail(q);
+    fn on_nodes_lost(&mut self, _block: BlockHandle, dead: &HashSet<String>, remaining: &[String]) {
+        self.free.retain(|n| !dead.contains(n));
+        self.members = remaining.len();
     }
 
-    /// Keep one block alive while there is (or could be) work.
-    fn manage_block(&mut self) -> bool {
-        match self.block {
-            None => {
-                // Acquire a block only when queued work exists; in-flight
-                // launches from a dead block resolve on their own.
-                if self.queue.is_empty() {
-                    return false;
-                }
-                if let Some(handle) = self.supervisor.request_block(self.cfg.nodes_per_block) {
-                    self.block = Some((handle, false));
-                    return true;
-                }
-                false
-            }
-            Some((handle, running)) => match self.supervisor.provider().block_state(handle) {
-                Ok(BlockState::Running(nodes)) if !running => {
-                    self.members = nodes.clone();
-                    self.free_nodes = nodes;
-                    self.shared
-                        .capacity
-                        .store(self.free_nodes.len(), Ordering::SeqCst);
-                    self.shared.blocks.store(1, Ordering::SeqCst);
-                    self.block = Some((handle, true));
-                    self.supervisor.note_running();
-                    emit(
-                        &self.events,
-                        EngineEvent::BlockProvisioned {
-                            nodes: self.members.len(),
-                        },
-                    );
-                    true
-                }
-                Ok(BlockState::Pending) => false,
-                Ok(BlockState::Running(current)) => {
-                    if current.len() == self.members.len() {
-                        return false;
-                    }
-                    // Member nodes died under us: repair the partition
-                    // table around them, then consider replacing a block
-                    // too small for the remaining work.
-                    self.repair_partition(&current);
-                    self.maybe_replace_degraded_block(handle);
-                    true
-                }
-                Ok(BlockState::Done(reason)) => {
-                    self.lose_whole_block(reason);
-                    true
-                }
-                Err(_) => {
-                    self.lose_whole_block(BlockEndReason::Unknown);
-                    true
-                }
-            },
-        }
-    }
-
-    /// The batch layer says the block now has `current` members; everything
-    /// in `self.members` but not in `current` crashed. Tasks whose slice
-    /// intersects the crashed set are pulled from the partition table (their
-    /// surviving nodes return to the free pool); crashed nodes simply leave
-    /// the partition — if the batch system later revives them they rejoin
-    /// the *cluster's* free pool, never a running job's.
-    fn repair_partition(&mut self, current: &[String]) {
-        let live: HashSet<&str> = current.iter().map(String::as_str).collect();
-        let dead: HashSet<String> = self
-            .members
-            .iter()
-            .filter(|n| !live.contains(n.as_str()))
-            .cloned()
-            .collect();
-        if dead.is_empty() {
-            self.members = current.to_vec();
-            return;
-        }
-        self.free_nodes.retain(|n| !dead.contains(n));
-        let hit: Vec<u64> = self
-            .in_flight
-            .iter()
-            .filter(|(_, e)| e.nodes.iter().any(|n| dead.contains(n)))
-            .map(|(id, _)| *id)
-            .collect();
-        for launch_id in hit {
-            let entry = self.in_flight.remove(&launch_id).expect("entry present");
-            self.shared.running.fetch_sub(1, Ordering::SeqCst);
-            self.free_nodes
-                .extend(entry.nodes.into_iter().filter(|n| !dead.contains(n)));
-            self.metrics.counter("mpi.partitions_repaired").inc();
-            self.recover_lost_task(entry.q, BlockEndReason::NodeFail);
-        }
-        self.members = current.to_vec();
-        self.shared
-            .capacity
-            .store(self.members.len(), Ordering::SeqCst);
-        self.supervisor.note_lost(BlockEndReason::NodeFail);
-        emit(
-            &self.events,
-            EngineEvent::BlockLost {
-                reason: BlockEndReason::NodeFail.as_str(),
-                nodes_lost: dead.len(),
-            },
-        );
-    }
-
-    /// After node loss, a degraded block may be too small for the queued
-    /// work (a task needing more nodes than remain would wait forever).
-    /// When the block is idle and the queue holds such a task, release the
-    /// block and let the normal acquisition path request a full-size one.
-    fn maybe_replace_degraded_block(&mut self, handle: BlockHandle) {
-        let degraded = self.members.len() < self.cfg.nodes_per_block as usize;
-        let stuck = self
-            .queue
-            .iter()
-            .any(|q| q.spec.num_nodes as usize > self.members.len());
-        if degraded && stuck && self.in_flight.is_empty() {
-            let _ = self.supervisor.provider().cancel_block(handle);
-            self.metrics.counter("mpi.blocks_replaced").inc();
-            self.free_nodes.clear();
-            self.members.clear();
-            self.shared.capacity.store(0, Ordering::SeqCst);
-            self.shared.blocks.store(0, Ordering::SeqCst);
-            self.block = None;
-        }
-    }
-
-    /// The whole block ended (walltime, preemption, total node failure, …):
-    /// recover every in-flight task and drop all capacity.
-    fn lose_whole_block(&mut self, reason: BlockEndReason) {
-        let nodes_lost = self.members.len();
-        let entries: Vec<InFlightMpi> = self.in_flight.drain().map(|(_, e)| e).collect();
-        for entry in entries {
-            self.shared.running.fetch_sub(1, Ordering::SeqCst);
-            self.recover_lost_task(entry.q, reason);
-        }
-        self.free_nodes.clear();
-        self.members.clear();
-        self.shared.capacity.store(0, Ordering::SeqCst);
-        self.shared.blocks.store(0, Ordering::SeqCst);
-        self.supervisor.note_lost(reason);
+    fn on_block_down(&mut self, _block: BlockHandle) {
         self.block = None;
-        emit(
-            &self.events,
-            EngineEvent::BlockLost {
-                reason: reason.as_str(),
-                nodes_lost,
-            },
-        );
+        self.free.clear();
+        self.members = 0;
     }
 
-    /// Greedy dynamic partitioning: start every queued task whose node
-    /// requirement fits the currently free subset, in arrival order.
-    fn dispatch(&mut self) -> bool {
-        if self.free_nodes.is_empty() || self.queue.is_empty() {
-            return false;
+    fn try_launch(&mut self, launch_id: u64, task: &CoreTask) -> LaunchDecision {
+        let spec = match task.task.spec.resource_spec.normalize() {
+            Ok(spec) => spec,
+            // Unreachable in practice: validated at submit time.
+            Err(e) => return LaunchDecision::Reject(TaskResult::Err(format!("ValueError: {e}"))),
+        };
+        let need = spec.num_nodes as usize;
+        if need > self.nodes_per_block as usize {
+            return LaunchDecision::Reject(TaskResult::Err(format!(
+                "ValueError: resource_specification requests {need} nodes but the endpoint's block has only {}",
+                self.nodes_per_block
+            )));
         }
-        let mut progressed = false;
-        let mut remaining = VecDeque::new();
-        while let Some(q) = self.queue.pop_front() {
-            let need = q.spec.num_nodes as usize;
-            if need > self.cfg.nodes_per_block as usize {
-                self.shared.queued.fetch_sub(1, Ordering::SeqCst);
-                emit(
-                    &self.events,
-                    EngineEvent::Done {
-                        task_id: q.task.spec.task_id,
-                        tag: q.task.tag,
-                        result: TaskResult::Err(format!(
-                            "ValueError: resource_specification requests {need} nodes but the endpoint's block has only {}",
-                            self.cfg.nodes_per_block
-                        )),
-                    },
-                );
-                progressed = true;
-                continue;
-            }
-            if need <= self.free_nodes.len() {
-                let nodes: Vec<String> = self.free_nodes.drain(..need).collect();
-                self.launch(q, nodes);
-                progressed = true;
-            } else {
-                remaining.push_back(q);
-            }
+        if need > self.free.len() {
+            return LaunchDecision::NoCapacity;
         }
-        self.queue = remaining;
-        progressed
-    }
-
-    fn launch(&mut self, q: QueuedMpiTask, nodes: Vec<String>) {
-        self.shared.queued.fetch_sub(1, Ordering::SeqCst);
-        self.shared.running.fetch_add(1, Ordering::SeqCst);
+        let nodes: Vec<String> = self.free.drain(..need).collect();
         self.metrics.counter("mpi.tasks_launched").inc();
-        emit(
-            &self.events,
-            EngineEvent::State(q.task.spec.task_id, TaskState::Running),
-        );
+        self.spawn_launch(launch_id, task.task.clone(), spec, nodes.clone());
+        LaunchDecision::Launched(Assignment {
+            block: self.block,
+            nodes,
+        })
+    }
 
-        let tx = self.self_tx.clone();
+    fn reclaim(&mut self, assignment: &Assignment, dead: Option<&HashSet<String>>) {
+        match dead {
+            None => self.free.extend(assignment.nodes.iter().cloned()),
+            Some(dead) => {
+                // Partition repair: the slice's survivors return to the
+                // free pool; crashed nodes leave the partition for good —
+                // if the batch system later revives them they rejoin the
+                // *cluster's* free pool, never a running job's.
+                self.free.extend(
+                    assignment
+                        .nodes
+                        .iter()
+                        .filter(|n| !dead.contains(*n))
+                        .cloned(),
+                );
+                self.metrics.counter("mpi.partitions_repaired").inc();
+            }
+        }
+    }
+
+    fn block_unviable(&self, remaining: usize, backlog: &VecDeque<CoreTask>) -> bool {
+        // A degraded block may be too small for the queued work (a task
+        // needing more nodes than remain would wait forever).
+        remaining < self.nodes_per_block as usize
+            && backlog.iter().any(|t| {
+                t.task
+                    .spec
+                    .resource_spec
+                    .normalize()
+                    .map(|s| s.num_nodes as usize > remaining)
+                    .unwrap_or(false)
+            })
+    }
+
+    fn shutdown(&mut self) {
+        // Launch threads are detached: they drain into a dead channel,
+        // which matches an agent being killed mid-task.
+    }
+}
+
+impl NodePartitioner {
+    /// Run one launch on its node slice in a dedicated thread, reporting
+    /// the result back to the core.
+    fn spawn_launch(
+        &self,
+        launch_id: u64,
+        task: ExecutableTask,
+        spec: NormalizedSpec,
+        nodes: Vec<String>,
+    ) {
+        let finished = self.finished.clone();
         let vfs = self.vfs.clone();
         let clock = self.clock.clone();
-        let launcher_kind = self.cfg.launcher;
+        let launcher_kind = self.launcher;
         let transform = self.transform.clone();
-        let task_id = q.task.spec.task_id;
-        let launch_id = self.launch_seq;
-        self.launch_seq += 1;
-        self.in_flight.insert(
-            launch_id,
-            InFlightMpi {
-                q: q.clone(),
-                nodes: nodes.clone(),
-            },
-        );
         let tracer = self.metrics.tracer();
+        let task_id = task.spec.task_id;
         std::thread::Builder::new()
             .name(format!("gcx-mpi-launch-{task_id}"))
             .spawn(move || {
                 let span_start = tracer.now_ms();
-                let result = run_mpi_task(&q, &nodes, launcher_kind, vfs, clock, transform);
+                let result =
+                    run_mpi_task(&task, &spec, &nodes, launcher_kind, vfs, clock, transform);
                 tracer.record_span_annotated(
-                    q.task.spec.trace.as_ref(),
+                    task.spec.trace.as_ref(),
                     "worker",
                     span_start,
                     tracer.now_ms(),
                     || vec![format!("nodes {}", nodes.join(","))],
                 );
-                let _ = tx.send(SchedulerMsg::Finished { launch_id, result });
+                let _ = finished.send(CoreMsg::Finished {
+                    launch_id,
+                    outcome: LaunchOutcome::Done(result),
+                });
             })
             .expect("spawn mpi launch");
     }
@@ -574,25 +293,26 @@ impl Scheduler {
 
 /// Execute one task on its assigned node partition.
 fn run_mpi_task(
-    q: &QueuedMpiTask,
+    task: &ExecutableTask,
+    spec: &NormalizedSpec,
     nodes: &[String],
     launcher_kind: LauncherKind,
     vfs: Vfs,
     clock: SharedClock,
     transform: Option<ValueTransform>,
 ) -> TaskResult {
-    match &q.task.function.body {
+    match &task.function.body {
         FunctionBody::Mpi {
             cmd,
             walltime_ms,
             snippet_lines,
         } => {
             let kwargs = match &transform {
-                Some(t) => match t(q.task.spec.kwargs.clone()) {
+                Some(t) => match t(task.spec.kwargs.clone()) {
                     Ok(v) => v,
                     Err(e) => return TaskResult::Err(format!("ProxyError: {e}")),
                 },
-                None => q.task.spec.kwargs.clone(),
+                None => task.spec.kwargs.clone(),
             };
             let app_cmd = match format_command(cmd, &kwargs) {
                 Ok(c) => c,
@@ -600,7 +320,7 @@ fn run_mpi_task(
             };
             let plan = MpiLaunchPlan {
                 nodes: nodes.to_vec(),
-                num_ranks: q.spec.num_ranks,
+                num_ranks: spec.num_ranks,
                 launcher: launcher_kind,
             };
             let shell = ShellExecutor::new(vfs, clock);
@@ -625,7 +345,7 @@ fn run_mpi_task(
         other => {
             let mut ctx = WorkerContext::new(vfs, clock, nodes[0].clone());
             ctx.resolver = transform;
-            ctx.execute(&q.task.spec, other)
+            ctx.execute(&task.spec, other)
         }
     }
 }
@@ -643,13 +363,16 @@ pub struct Placement {
 mod tests {
     use super::*;
     use crate::provider::{BatchProvider, LocalProvider};
+    use crossbeam_channel::Receiver;
     use gcx_batch::{BatchScheduler, ClusterSpec};
     use gcx_core::clock::{SystemClock, VirtualClock};
+    use gcx_core::error::GcxError;
     use gcx_core::function::FunctionRecord;
     use gcx_core::ids::{EndpointId, FunctionId, IdentityId};
     use gcx_core::respec::ResourceSpec;
     use gcx_core::task::TaskSpec;
     use gcx_core::value::Value;
+    use std::time::Duration;
 
     fn mpi_task(cmd: &str, spec: ResourceSpec, tag: u64) -> ExecutableTask {
         let mut tspec = TaskSpec::new(FunctionId::random(), EndpointId::random());
@@ -840,6 +563,7 @@ mod tests {
         assert_eq!(st.running, 0);
         assert_eq!(st.queued, 0);
         assert_eq!(st.capacity, 2);
+        assert_eq!(st.kind, EngineKind::Mpi);
         e.shutdown();
     }
 

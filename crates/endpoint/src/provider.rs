@@ -16,6 +16,8 @@ use gcx_core::metrics::MetricsRegistry;
 use gcx_core::retry::RetryPolicy;
 use std::sync::Arc;
 
+use crate::engine::EngineKind;
+
 /// Why a block ended — engines use this to pick recovery semantics (a
 /// walltime kill resolves shell tasks with return code 124; other losses
 /// requeue or fail retryably).
@@ -248,7 +250,7 @@ pub struct BlockSupervisor {
     clock: SharedClock,
     metrics: MetricsRegistry,
     backoff: RetryPolicy,
-    prefix: &'static str,
+    kind: EngineKind,
     state: parking_lot::Mutex<SupervisorState>,
 }
 
@@ -266,15 +268,15 @@ impl BlockSupervisor {
         }
     }
 
-    /// Supervise `provider`, emitting counters as `<prefix>.blocks_lost` /
-    /// `<prefix>.blocks_reprovisioned`.
+    /// Supervise `provider` for an engine of `kind`, emitting counters as
+    /// `<kind>.blocks_lost` / `<kind>.blocks_reprovisioned`.
     pub fn new(
         provider: Arc<dyn Provider>,
         clock: SharedClock,
         metrics: MetricsRegistry,
-        prefix: &'static str,
+        kind: EngineKind,
     ) -> Self {
-        Self::with_backoff(provider, clock, metrics, prefix, Self::default_backoff())
+        Self::with_backoff(provider, clock, metrics, kind, Self::default_backoff())
     }
 
     /// As [`new`](Self::new) with an explicit backoff policy.
@@ -282,7 +284,7 @@ impl BlockSupervisor {
         provider: Arc<dyn Provider>,
         clock: SharedClock,
         metrics: MetricsRegistry,
-        prefix: &'static str,
+        kind: EngineKind,
         backoff: RetryPolicy,
     ) -> Self {
         Self {
@@ -290,7 +292,7 @@ impl BlockSupervisor {
             clock,
             metrics,
             backoff,
-            prefix,
+            kind,
             state: parking_lot::Mutex::new(SupervisorState {
                 losses: 0,
                 next_submit_at: 0,
@@ -317,13 +319,13 @@ impl BlockSupervisor {
         match self.provider.submit_block(num_nodes) {
             Ok(handle) => {
                 self.metrics
-                    .counter(&format!("{}.blocks_requested", self.prefix))
+                    .counter(&format!("{}.blocks_requested", self.kind.as_str()))
                     .inc();
                 let mut st = self.state.lock();
                 if st.losses > 0 {
                     st.stats.blocks_reprovisioned += 1;
                     self.metrics
-                        .counter(&format!("{}.blocks_reprovisioned", self.prefix))
+                        .counter(&format!("{}.blocks_reprovisioned", self.kind.as_str()))
                         .inc();
                 }
                 Some(handle)
@@ -349,10 +351,14 @@ impl BlockSupervisor {
         st.next_submit_at = self.clock.now_ms().saturating_add(wait);
         drop(st);
         self.metrics
-            .counter(&format!("{}.blocks_lost", self.prefix))
+            .counter(&format!("{}.blocks_lost", self.kind.as_str()))
             .inc();
         self.metrics
-            .counter(&format!("{}.blocks_lost_{}", self.prefix, reason.as_str()))
+            .counter(&format!(
+                "{}.blocks_lost_{}",
+                self.kind.as_str(),
+                reason.as_str()
+            ))
             .inc();
     }
 
@@ -456,7 +462,7 @@ mod tests {
             provider,
             clock.clone(),
             MetricsRegistry::new(),
-            "test",
+            EngineKind::Htex,
             RetryPolicy::fixed(u32::MAX, 1_000),
         );
         let b = sup.request_block(1).expect("first request goes through");
@@ -484,7 +490,7 @@ mod tests {
             provider,
             clock.clone(),
             MetricsRegistry::new(),
-            "test",
+            EngineKind::Htex,
             RetryPolicy::fixed(u32::MAX, 100),
         );
         sup.note_lost(BlockEndReason::NodeFail);

@@ -441,6 +441,49 @@ mod tests {
     }
 
     #[test]
+    fn thread_engine_template_spawns_provider_less_uep() {
+        // A MEP template can hand out provider-less ThreadEngine user
+        // endpoints — the non-batch deployment mode for login nodes and
+        // workstations — through the same spawn-on-demand path.
+        let svc = WebService::with_defaults(SystemClock::shared());
+        let (_, admin) = svc.auth().login("admin@uchicago.edu").unwrap();
+        let reg = svc
+            .register_endpoint(&admin, "thread-mep", true, AuthPolicy::open(), None)
+            .unwrap();
+        let setup = MepSetup {
+            mapper: setup_mapper(),
+            template: Template::parse(
+                "engine:\n  type: ThreadEngine\n  workers: {{ WORKERS|default(2) }}\n",
+            )
+            .unwrap(),
+            schema: None,
+            env_factory: Arc::new(|local_user: &str| {
+                let mut env = AgentEnv::local(SystemClock::shared());
+                env.hostname = format!("node-{local_user}");
+                env
+            }),
+            idle_shutdown: None,
+        };
+        let mep =
+            MultiUserEndpoint::start(svc.clone(), reg.endpoint_id, &reg.queue_credential, setup)
+                .unwrap();
+        let (_, token) = svc.auth().login("lei@uchicago.edu").unwrap();
+        let ex = Executor::new(svc.clone(), token, reg.endpoint_id).unwrap();
+        ex.set_user_endpoint_config(Value::map([("WORKERS", Value::Int(1))]));
+        let f = PyFunction::new("def f(x):\n    return x + 1\n");
+        let fut = ex.submit(&f, vec![Value::Int(41)], Value::None).unwrap();
+        assert_eq!(
+            fut.result_timeout(Duration::from_secs(15)).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(mep.live_endpoints(), 1);
+        assert_eq!(mep.local_users(), vec!["lei"]);
+        ex.close();
+        mep.stop();
+        svc.shutdown();
+    }
+
+    #[test]
     fn same_config_reuses_uep_different_config_spawns_new() {
         let (svc, mep_id, mep) = start_stack(None);
         let (_, token) = svc.auth().login("kyle@uchicago.edu").unwrap();
