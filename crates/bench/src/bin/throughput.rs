@@ -20,7 +20,11 @@
 //! Flags: `--threads N`, `--tasks M` (per thread), `--batch B`,
 //! `--layout both|baseline|sharded` (baseline forces the pre-refactor
 //! single-lock layout: `state_shards = 1`, per-message publish),
-//! `--smoke` (tiny parameters for CI).
+//! `--smoke` (tiny parameters for CI), `--baseline <path>` compare this
+//! run's tasks/s against a committed `BENCH_throughput.json` and exit
+//! nonzero if any shared series drops below `--min-ratio` (default 0.25)
+//! of it — a loose perf-regression tripwire, not a precision gate, since
+//! CI machines vary wildly.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -52,7 +56,12 @@ enum Layout {
     Sharded,
 }
 
-fn parse_args() -> (Params, Layout) {
+struct Gate {
+    baseline: Option<std::path::PathBuf>,
+    min_ratio: f64,
+}
+
+fn parse_args() -> (Params, Layout, Gate) {
     let mut p = Params {
         threads: 8,
         tasks_per_thread: 256,
@@ -60,6 +69,10 @@ fn parse_args() -> (Params, Layout) {
         drains_per_endpoint: 4,
     };
     let mut layout = Layout::Both;
+    let mut gate = Gate {
+        baseline: None,
+        min_ratio: 0.25,
+    };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -98,11 +111,32 @@ fn parse_args() -> (Params, Layout) {
                 };
                 i += 1;
             }
+            "--baseline" => {
+                gate.baseline = Some(need(i).into());
+                i += 2;
+            }
+            "--min-ratio" => {
+                gate.min_ratio = need(i).parse().expect("--min-ratio");
+                i += 2;
+            }
             other => panic!("unknown flag {other:?}"),
         }
     }
     assert!(p.batch > 0 && p.threads > 0 && p.tasks_per_thread > 0);
-    (p, layout)
+    assert!(gate.min_ratio > 0.0 && gate.min_ratio <= 1.0);
+    (p, layout, gate)
+}
+
+/// Pull `"key": <number>` out of a flat `JsonReport`-style file. Keeps
+/// the bench dependency-free: no JSON parser ships in the workspace.
+fn baseline_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// One full run: returns (elapsed, completed tasks).
@@ -218,7 +252,13 @@ fn run_layout(baseline: bool, p: Params, link: LinkProfile) -> (Duration, u64) {
 }
 
 fn main() {
-    let (p, layout) = parse_args();
+    let (p, layout, gate) = parse_args();
+    // Snapshot the baseline up front: the report below overwrites
+    // `bench_results/BENCH_throughput.json`, which is the usual gate input.
+    let baseline_text = gate.baseline.as_ref().map(|path| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()))
+    });
     let total = (p.threads * p.tasks_per_thread) as u64;
     // 1 ms per message, 1 Gbps — TLS-over-WAN-ish, far below production RTT
     // but enough that per-message charges dominate per-byte ones.
@@ -237,6 +277,7 @@ fn main() {
         .num("total_tasks", total)
         .num("wan_latency_ms", 1);
 
+    let mut series: Vec<(String, f64)> = Vec::new();
     let mut measure = |name: &str, baseline: bool, link: LinkProfile, link_name: &str| -> f64 {
         let (elapsed, completed) = run_layout(baseline, p, link);
         assert_eq!(completed, total, "{name}/{link_name}: lost tasks");
@@ -252,6 +293,7 @@ fn main() {
             elapsed.as_secs_f64() * 1000.0,
         );
         report.float(&format!("{link_name}_{name}_tasks_per_sec"), tps);
+        series.push((format!("{link_name}_{name}_tasks_per_sec"), tps));
         tps
     };
 
@@ -284,4 +326,48 @@ fn main() {
         .write_to(std::path::Path::new("bench_results"))
         .expect("write BENCH_throughput.json");
     println!("  written to {}", path.display());
+
+    // Perf-regression tripwire: every series present in both this run and
+    // the committed baseline must hold at least `min_ratio` of the
+    // baseline's tasks/s. The ratio is deliberately generous — it catches
+    // order-of-magnitude regressions (a lost lock-split, an accidental
+    // per-message publish), not CI-machine jitter.
+    if let (Some(baseline_path), Some(text)) = (gate.baseline, baseline_text) {
+        let mut compared = 0usize;
+        let mut failed = false;
+        println!(
+            "\n  perf gate vs {} (min ratio {:.2}):",
+            baseline_path.display(),
+            gate.min_ratio
+        );
+        for (key, current) in &series {
+            let Some(base) = baseline_field(&text, key) else {
+                continue;
+            };
+            if base <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            let ratio = current / base;
+            let verdict = if ratio >= gate.min_ratio {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            println!("    {key}: {current:.0} vs {base:.0} tasks/s ({ratio:.2}x) {verdict}");
+            if ratio < gate.min_ratio {
+                failed = true;
+            }
+        }
+        assert!(
+            compared > 0,
+            "baseline {} shares no series with this run (layout mismatch?)",
+            baseline_path.display()
+        );
+        if failed {
+            eprintln!("  perf gate FAILED: throughput regressed below the tolerance");
+            std::process::exit(1);
+        }
+        println!("  perf gate passed ({compared} series)");
+    }
 }

@@ -1,0 +1,224 @@
+//! The broker-durable per-replica task log that makes failure handover
+//! possible.
+//!
+//! Each replica appends an entry to its own `fed.tasklog.<r>` queue for
+//! every ownership-relevant task event: `Open` when it becomes responsible
+//! for a task, `Done` when the task reaches a terminal state, and `Moved`
+//! when a rebalance shipped the task to another replica's log. The queue
+//! is never consumed in steady state — the broker *is* the durable store
+//! (the stand-in for the production service's database/raft log). When a
+//! replica dies, the federation drains its log and replays it: tasks with
+//! an `Open` but no `Done`/`Moved` are the orphans the survivors must
+//! adopt; `Done` entries carry the result so completions survive the
+//! owner's death.
+
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::ids::{IdentityId, TaskId};
+use gcx_core::task::{TaskRecord, TaskResult, TaskSpec};
+use gcx_core::value::Value;
+
+use super::ring::ReplicaId;
+
+/// Credential guarding the federation-internal queues (rpc + task log).
+pub(crate) const FED_CRED: &str = "fed-internal";
+
+/// The replica-to-replica RPC queue: forwarded submits/results/state
+/// reports addressed to `replica`.
+pub(crate) fn fed_rpc_queue(replica: ReplicaId) -> String {
+    format!("fed.rpc.{}", replica.0)
+}
+
+/// The durable task log owned by `replica`.
+pub(crate) fn fed_log_queue(replica: ReplicaId) -> String {
+    format!("fed.tasklog.{}", replica.0)
+}
+
+/// One durable task-log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskLogEntry {
+    /// The writing replica became responsible for this task (fresh submit,
+    /// forwarded submit, or adoption during handover).
+    Open {
+        spec: TaskSpec,
+        owner: IdentityId,
+        submitted_at: u64,
+    },
+    /// The task reached a terminal state with this result.
+    Done { task_id: TaskId, result: TaskResult },
+    /// A rebalance moved the task to another replica's log; this log is no
+    /// longer authoritative for it.
+    Moved { task_id: TaskId },
+}
+
+impl TaskLogEntry {
+    /// Pack to the wire form used on `fed.tasklog.<r>`.
+    pub fn to_value(&self) -> Value {
+        match self {
+            TaskLogEntry::Open {
+                spec,
+                owner,
+                submitted_at,
+            } => Value::map([
+                ("kind", Value::str("open")),
+                ("spec", spec.to_value()),
+                ("owner", Value::str(owner.to_string())),
+                ("submitted_at", Value::Int(*submitted_at as i64)),
+            ]),
+            TaskLogEntry::Done { task_id, result } => Value::map([
+                ("kind", Value::str("done")),
+                ("task_id", Value::str(task_id.to_string())),
+                ("result", result.to_value()),
+            ]),
+            TaskLogEntry::Moved { task_id } => Value::map([
+                ("kind", Value::str("moved")),
+                ("task_id", Value::str(task_id.to_string())),
+            ]),
+        }
+    }
+
+    /// Decode the wire form.
+    pub fn from_value(v: &Value) -> GcxResult<Self> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| GcxError::Codec("task-log entry missing 'kind'".into()))?;
+        let task_id = |v: &Value| -> GcxResult<TaskId> {
+            v.get("task_id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| GcxError::Codec("task-log entry missing 'task_id'".into()))?
+                .parse()
+                .map_err(|e| GcxError::Codec(format!("task-log bad task_id: {e}")))
+        };
+        match kind {
+            "open" => Ok(TaskLogEntry::Open {
+                spec: TaskSpec::from_value(
+                    v.get("spec")
+                        .ok_or_else(|| GcxError::Codec("open entry missing 'spec'".into()))?,
+                )?,
+                owner: IdentityId(
+                    v.get("owner")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| GcxError::Codec("open entry missing 'owner'".into()))?
+                        .parse()
+                        .map_err(|e| GcxError::Codec(format!("open entry bad owner: {e}")))?,
+                ),
+                submitted_at: v
+                    .get("submitted_at")
+                    .and_then(Value::as_int)
+                    .unwrap_or(0)
+                    .max(0) as u64,
+            }),
+            "done" => Ok(TaskLogEntry::Done {
+                task_id: task_id(v)?,
+                result: TaskResult::from_value(
+                    v.get("result")
+                        .ok_or_else(|| GcxError::Codec("done entry missing 'result'".into()))?,
+                )?,
+            }),
+            "moved" => Ok(TaskLogEntry::Moved {
+                task_id: task_id(v)?,
+            }),
+            other => Err(GcxError::Codec(format!("unknown task-log kind '{other}'"))),
+        }
+    }
+}
+
+/// Fold a drained log into the records a surviving replica must adopt:
+/// every task that was opened and not moved away, with `Done` results
+/// installed as terminal state. Entries must be in append order (the
+/// broker preserves it).
+pub fn replay(entries: &[TaskLogEntry], now: u64) -> Vec<TaskRecord> {
+    use std::collections::BTreeMap;
+    let mut records: BTreeMap<TaskId, TaskRecord> = BTreeMap::new();
+    for entry in entries {
+        match entry {
+            TaskLogEntry::Open {
+                spec,
+                owner,
+                submitted_at,
+            } => {
+                let mut rec = TaskRecord::new(spec.clone(), *owner, *submitted_at);
+                rec.dispatched_at = Some(*submitted_at);
+                records.entry(spec.task_id).or_insert(rec);
+            }
+            TaskLogEntry::Done { task_id, result } => {
+                if let Some(rec) = records.get_mut(task_id) {
+                    if !rec.state.is_terminal() {
+                        let _ = rec.transition(gcx_core::task::TaskState::Running, now);
+                        let _ = rec.complete(result.clone(), now);
+                    }
+                }
+            }
+            TaskLogEntry::Moved { task_id } => {
+                records.remove(task_id);
+            }
+        }
+    }
+    records.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcx_core::ids::{EndpointId, FunctionId};
+
+    fn spec() -> TaskSpec {
+        TaskSpec::new(FunctionId::random(), EndpointId::random())
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let s = spec();
+        let entries = [
+            TaskLogEntry::Open {
+                spec: s.clone(),
+                owner: IdentityId::random(),
+                submitted_at: 42,
+            },
+            TaskLogEntry::Done {
+                task_id: s.task_id,
+                result: TaskResult::Ok(Value::Int(7)),
+            },
+            TaskLogEntry::Moved { task_id: s.task_id },
+        ];
+        for e in &entries {
+            assert_eq!(&TaskLogEntry::from_value(&e.to_value()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn replay_keeps_orphans_installs_results_and_drops_moved() {
+        let owner = IdentityId::random();
+        let (a, b, c) = (spec(), spec(), spec());
+        let entries = vec![
+            TaskLogEntry::Open {
+                spec: a.clone(),
+                owner,
+                submitted_at: 1,
+            },
+            TaskLogEntry::Open {
+                spec: b.clone(),
+                owner,
+                submitted_at: 2,
+            },
+            TaskLogEntry::Open {
+                spec: c.clone(),
+                owner,
+                submitted_at: 3,
+            },
+            TaskLogEntry::Done {
+                task_id: b.task_id,
+                result: TaskResult::Ok(Value::Int(1)),
+            },
+            TaskLogEntry::Moved { task_id: c.task_id },
+        ];
+        let mut records = replay(&entries, 10);
+        records.sort_by_key(|r| r.submitted_at);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].spec.task_id, a.task_id);
+        assert!(!records[0].state.is_terminal(), "orphan stays open");
+        assert_eq!(records[1].spec.task_id, b.task_id);
+        assert!(records[1].state.is_terminal(), "done entry installs result");
+        assert_eq!(records[1].result, Some(TaskResult::Ok(Value::Int(1))));
+    }
+}

@@ -19,14 +19,20 @@
 //!   behind Fig. 2;
 //! - multi-user endpoint routing: submissions to a MEP resolve (identity,
 //!   config-hash) → user endpoint, spawning one via the MEP's command queue
-//!   when needed (§IV-B).
+//!   when needed (§IV-B);
+//! - a [`federation::Federation`] running N replicas of the service behind
+//!   one broker: consistent-hash ownership, epoch-guarded forwarding, and
+//!   failure handover with exactly-once result ingestion — the "highly
+//!   available" part of §II made concrete.
 
 pub mod blob;
+pub mod federation;
 pub mod records;
 pub mod service;
 pub mod usage;
 
 pub use blob::{BlobId, BlobStore};
+pub use federation::{Federation, FederationConfig, HashRing, ReplicaDirectory, ReplicaId};
 pub use records::{EndpointHealth, EndpointRecord, EndpointRegistration, MepStartRequest};
 pub use service::{CloudConfig, EndpointSession, WebService};
 pub use usage::UsageMeter;

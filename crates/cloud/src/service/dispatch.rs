@@ -101,14 +101,33 @@ impl WebService {
         for (spec, deliver_to, body, cloud_traced) in prepared {
             let task_id = spec.task_id;
             let trace = spec.trace;
-            let mut record = TaskRecord::new(spec.clone(), who.identity.id, now);
-            record.dispatched_at = Some(shipped);
-            self.inner.tasks.insert(task_id, record);
             self.inner.usage.record_task(now);
             if cloud_traced {
                 self.inner
                     .tracer
                     .record_span(trace.as_ref(), "submit", now, shipped);
+            }
+            // Federation: only the task's ring owner installs the record,
+            // appends to the durable log, and ships to the endpoint queue.
+            // Any other replica forwards the deliverable spec to the owner
+            // and never touches its own task store.
+            if let Some(fed) = self.fed() {
+                let owner = fed.owner(task_id.uuid()).unwrap_or(fed.replica);
+                if owner != fed.replica {
+                    let mut wire_spec = spec;
+                    wire_spec.endpoint_id = deliver_to;
+                    self.fed_forward_submit(owner, &wire_spec, who.identity.id, now)?;
+                    ids.push(task_id);
+                    continue;
+                }
+            }
+            let mut record = TaskRecord::new(spec.clone(), who.identity.id, now);
+            record.dispatched_at = Some(shipped);
+            self.inner.tasks.insert(task_id, record);
+            if self.fed().is_some() {
+                let mut wire_spec = spec.clone();
+                wire_spec.endpoint_id = deliver_to;
+                self.fed_log_open(&wire_spec, who.identity.id, now);
             }
             let body = match body {
                 Some(b) => b,
@@ -311,13 +330,15 @@ impl WebService {
         id: TaskId,
     ) -> GcxResult<(TaskState, Option<TaskResult>)> {
         let who = self.authenticate(token)?;
-        let (owner, state, result) = self
-            .inner
-            .tasks
-            .with(&id, |rec| {
-                rec.map(|rec| (rec.owner, rec.state, rec.result.clone()))
-            })
-            .ok_or(GcxError::TaskNotFound(id))?;
+        let entry = self.inner.tasks.with(&id, |rec| {
+            rec.map(|rec| (rec.owner, rec.state, rec.result.clone()))
+        });
+        let (owner, state, result) = match entry {
+            Some(found) => found,
+            // We don't hold the record: in a federation that usually means
+            // another replica owns it — redirect the client there.
+            None => return Err(self.fed_missing_task_error(id)),
+        };
         if owner != who.identity.id {
             return Err(GcxError::Forbidden("not your task".into()));
         }
@@ -369,7 +390,7 @@ impl WebService {
         self.meter_api(36, 8);
         let now = self.inner.clock.now_ms();
         self.inner.tasks.update(&id, |rec| {
-            let rec = rec.ok_or(GcxError::TaskNotFound(id))?;
+            let rec = rec.ok_or_else(|| self.fed_missing_task_error(id))?;
             if rec.owner != who.identity.id {
                 return Err(GcxError::Forbidden("not your task".into()));
             }
@@ -384,6 +405,9 @@ impl WebService {
             Ok(())
         })?;
         self.inner.m.tasks_cancelled.inc();
+        // Make the cancellation durable: without a `Done` entry a handover
+        // replay would resurrect (and republish) the task.
+        self.fed_log_done(id, &TaskResult::Err(format!("task {id} was cancelled")));
         Ok(())
     }
 

@@ -82,6 +82,14 @@ impl WebService {
         let timeout = self.inner.cfg.heartbeat_timeout_ms;
         let mut stale: Vec<EndpointId> = Vec::new();
         self.inner.endpoints.for_each(|_, r| {
+            // Federated: the endpoint store is shared, so only the
+            // endpoint's ring owner sweeps it — a dead endpoint is requeued
+            // once, not once per replica.
+            if let Some(fed) = &self.inner.fed {
+                if !fed.is_mine(r.id.uuid()) {
+                    return;
+                }
+            }
             if r.connected && now.saturating_sub(r.last_heartbeat_ms) > timeout {
                 stale.push(r.id);
             }

@@ -19,6 +19,7 @@
 
 mod api;
 mod dispatch;
+mod fed;
 mod liveness;
 mod results;
 mod session;
@@ -43,6 +44,7 @@ use gcx_mq::Broker;
 use parking_lot::{Mutex, RwLock};
 
 use crate::blob::{BlobStore, DEFAULT_PAYLOAD_LIMIT};
+use crate::federation::FedMembership;
 use crate::records::EndpointRecord;
 use crate::usage::UsageMeter;
 
@@ -178,6 +180,44 @@ impl CloudMetrics {
     }
 }
 
+/// (MEP id, user identity, config hash) → spawned user endpoint.
+pub(crate) type UepMap = Arc<RwLock<HashMap<(EndpointId, IdentityId, u64), EndpointId>>>;
+
+/// The metadata stores a federation shares across replicas — the stand-in
+/// for the production service's replicated config database (functions,
+/// endpoints, credentials, result streams, blobs, usage). The task hot
+/// path (`CloudInner::tasks`) deliberately stays per-replica
+/// shared-nothing; *that* is what the consistent-hash ring partitions.
+/// A standalone service builds a private set.
+#[derive(Clone)]
+pub(crate) struct SharedStores {
+    pub(crate) functions: Arc<ShardedMap<FunctionId, FunctionRecord>>,
+    pub(crate) endpoints: Arc<ShardedMap<EndpointId, EndpointRecord>>,
+    pub(crate) credentials: Arc<ShardedMap<EndpointId, String>>,
+    pub(crate) ueps: UepMap,
+    pub(crate) streams: Arc<ShardedMap<IdentityId, Vec<(String, String)>>>,
+    pub(crate) stream_counter: Arc<AtomicU64>,
+    pub(crate) spawn_pending: Arc<RwLock<HashSet<EndpointId>>>,
+    pub(crate) blobs: BlobStore,
+    pub(crate) usage: UsageMeter,
+}
+
+impl SharedStores {
+    pub(crate) fn new(shards: usize, payload_limit: usize, metrics: &MetricsRegistry) -> Self {
+        Self {
+            functions: Arc::new(ShardedMap::new(shards)),
+            endpoints: Arc::new(ShardedMap::new(shards)),
+            credentials: Arc::new(ShardedMap::new(shards)),
+            ueps: Arc::new(RwLock::new(HashMap::new())),
+            streams: Arc::new(ShardedMap::new(shards)),
+            stream_counter: Arc::new(AtomicU64::new(0)),
+            spawn_pending: Arc::new(RwLock::new(HashSet::new())),
+            blobs: BlobStore::new(payload_limit, metrics.clone()),
+            usage: UsageMeter::new(),
+        }
+    }
+}
+
 pub(super) struct CloudInner {
     pub(super) cfg: CloudConfig,
     pub(super) auth: AuthService,
@@ -188,22 +228,24 @@ pub(super) struct CloudInner {
     pub(super) metrics: MetricsRegistry,
     pub(super) tracer: Tracer,
     pub(super) m: CloudMetrics,
-    pub(super) functions: ShardedMap<FunctionId, FunctionRecord>,
-    pub(super) endpoints: ShardedMap<EndpointId, EndpointRecord>,
-    pub(super) credentials: ShardedMap<EndpointId, String>,
+    pub(super) functions: Arc<ShardedMap<FunctionId, FunctionRecord>>,
+    pub(super) endpoints: Arc<ShardedMap<EndpointId, EndpointRecord>>,
+    pub(super) credentials: Arc<ShardedMap<EndpointId, String>>,
     pub(super) tasks: ShardedMap<TaskId, TaskRecord>,
     /// (MEP id, user identity, config hash) → spawned user endpoint. Cold
     /// (one entry per spawned UEP) and guarded by a read-then-write
     /// double-check, so it stays a plain map.
-    pub(super) ueps: RwLock<HashMap<(EndpointId, IdentityId, u64), EndpointId>>,
+    pub(super) ueps: UepMap,
     /// Open result streams per identity: (queue name, credential). Each
     /// executor instance gets its own stream; results fan out to all of an
     /// identity's streams.
-    pub(super) streams: ShardedMap<IdentityId, Vec<(String, String)>>,
-    pub(super) stream_counter: AtomicU64,
+    pub(super) streams: Arc<ShardedMap<IdentityId, Vec<(String, String)>>>,
+    pub(super) stream_counter: Arc<AtomicU64>,
     /// UEPs with an outstanding Start Endpoint request (cleared on connect)
     /// — prevents a start-request storm while the agent boots.
-    pub(super) spawn_pending: RwLock<HashSet<EndpointId>>,
+    pub(super) spawn_pending: Arc<RwLock<HashSet<EndpointId>>>,
+    /// Federation membership (`None` for a standalone service).
+    pub(super) fed: Option<FedMembership>,
     pub(super) shutdown: AtomicBool,
     pub(super) processors: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -217,8 +259,45 @@ pub struct WebService {
 impl WebService {
     /// Bring up the service (auth, broker, blob store, result processors).
     pub fn new(cfg: CloudConfig, auth: AuthService, broker: Broker, clock: SharedClock) -> Self {
+        Self::build(cfg, auth, broker, clock, None, None, None)
+    }
+
+    /// Bring up one federated replica: shared metadata stores, a shared
+    /// tracer, and a [`FedMembership`] that routes task ownership through
+    /// the federation's hash ring. Called by
+    /// [`crate::federation::Federation`].
+    pub(crate) fn new_federated(
+        cfg: CloudConfig,
+        auth: AuthService,
+        broker: Broker,
+        clock: SharedClock,
+        fed: FedMembership,
+        shared: SharedStores,
+        tracer: Tracer,
+    ) -> Self {
+        Self::build(
+            cfg,
+            auth,
+            broker,
+            clock,
+            Some(fed),
+            Some(shared),
+            Some(tracer),
+        )
+    }
+
+    fn build(
+        cfg: CloudConfig,
+        auth: AuthService,
+        broker: Broker,
+        clock: SharedClock,
+        fed: Option<FedMembership>,
+        shared: Option<SharedStores>,
+        tracer: Option<Tracer>,
+    ) -> Self {
         let metrics = broker.metrics().clone();
-        let blobs = BlobStore::new(cfg.payload_limit, metrics.clone());
+        // Queue declaration is idempotent for a matching credential, so N
+        // federated replicas share these two queues safely.
         broker
             .declare_queue(RESULT_QUEUE, Some("cloud-results"))
             .expect("fresh broker");
@@ -227,33 +306,41 @@ impl WebService {
             .expect("fresh broker");
         let shards = cfg.state_shards;
         let m = CloudMetrics::resolve(&metrics);
+        let shared =
+            shared.unwrap_or_else(|| SharedStores::new(shards, cfg.payload_limit, &metrics));
         // The registry is shared with the broker (and, when the harness
         // wires it so, the endpoint engines), so installing the tracer here
         // makes one collector visible to every layer of the envelope path.
-        let tracer = if cfg.trace.sample_every > 0 {
-            Tracer::new(clock.clone(), cfg.trace.clone())
-        } else {
-            Tracer::disabled()
-        };
-        metrics.set_tracer(tracer.clone());
+        // A federation passes its own tracer so spans from every replica
+        // land in one collector.
+        let tracer = tracer.unwrap_or_else(|| {
+            let t = if cfg.trace.sample_every > 0 {
+                Tracer::new(clock.clone(), cfg.trace.clone())
+            } else {
+                Tracer::disabled()
+            };
+            metrics.set_tracer(t.clone());
+            t
+        });
         let inner = Arc::new(CloudInner {
             cfg,
             auth,
             broker,
-            blobs,
-            usage: UsageMeter::new(),
+            blobs: shared.blobs.clone(),
+            usage: shared.usage.clone(),
             clock,
             metrics,
             tracer,
             m,
-            functions: ShardedMap::new(shards),
-            endpoints: ShardedMap::new(shards),
-            credentials: ShardedMap::new(shards),
+            functions: shared.functions,
+            endpoints: shared.endpoints,
+            credentials: shared.credentials,
             tasks: ShardedMap::new(shards),
-            ueps: RwLock::new(HashMap::new()),
-            streams: ShardedMap::new(shards),
-            stream_counter: AtomicU64::new(0),
-            spawn_pending: RwLock::new(HashSet::new()),
+            ueps: shared.ueps,
+            streams: shared.streams,
+            stream_counter: shared.stream_counter,
+            spawn_pending: shared.spawn_pending,
+            fed,
             shutdown: AtomicBool::new(false),
             processors: Mutex::new(Vec::new()),
         });
@@ -272,6 +359,14 @@ impl WebService {
                 .name("gcx-dead-task-proc".into())
                 .spawn(move || svc2.dead_task_processor_loop())
                 .expect("spawn dead-task processor");
+            svc.inner.processors.lock().push(handle);
+        }
+        if svc.inner.fed.is_some() {
+            let svc2 = svc.clone();
+            let handle = std::thread::Builder::new()
+                .name("gcx-fed-rpc".into())
+                .spawn(move || svc2.fed_rpc_loop())
+                .expect("spawn fed rpc loop");
             svc.inner.processors.lock().push(handle);
         }
         // On a virtual clock liveness is driven explicitly by the test
@@ -421,6 +516,22 @@ impl WebService {
         &self,
         token: &Token,
     ) -> GcxResult<gcx_auth::service::Introspection> {
+        // A killed or partitioned replica is unreachable from clients; the
+        // typed error drives the SDK's rotate-to-next-replica retry. The
+        // shutdown check covers stale handles to a *restarted* replica: the
+        // membership flags look healthy again, but this inner (and its task
+        // store) belongs to the dead incarnation.
+        if let Some(fed) = &self.inner.fed {
+            if self
+                .inner
+                .shutdown
+                .load(std::sync::atomic::Ordering::SeqCst)
+                || fed.is_down()
+                || fed.is_partitioned(self.inner.clock.now_ms())
+            {
+                return Err(gcx_core::GcxError::ReplicaUnavailable(fed.replica.0));
+            }
+        }
         self.inner.auth.introspect(token, COMPUTE_SCOPE)
     }
 }

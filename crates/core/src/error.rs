@@ -62,6 +62,17 @@ pub enum GcxError {
     /// A retry budget was exhausted: `attempts` tries all failed, the last
     /// with `last`. Not retryable — the budget is spent.
     RetriesExhausted { attempts: u32, last: String },
+    /// A federated replica received a request for a key it does not own;
+    /// `owner` is the replica index currently responsible. Clients follow
+    /// the redirect (capped by their redirect budget).
+    NotOwner { owner: u32 },
+    /// The addressed replica is down (killed or draining); retry against
+    /// another replica.
+    ReplicaUnavailable(u32),
+    /// A redirect budget was exhausted while chasing ownership moves across
+    /// replicas: `redirects` hops all failed, the last with `last`. Not
+    /// retryable — the budget is spent (mirrors [`GcxError::RetriesExhausted`]).
+    RedirectsExhausted { redirects: u32, last: String },
     /// Catch-all for internal invariant violations.
     Internal(String),
 }
@@ -94,6 +105,13 @@ impl fmt::Display for GcxError {
             GcxError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts; last error: {last}")
             }
+            GcxError::NotOwner { owner } => {
+                write!(f, "resource is owned by replica {owner}")
+            }
+            GcxError::ReplicaUnavailable(r) => write!(f, "replica {r} is unavailable"),
+            GcxError::RedirectsExhausted { redirects, last } => {
+                write!(f, "gave up after {redirects} redirects; last error: {last}")
+            }
             GcxError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -112,6 +130,7 @@ impl GcxError {
                 | GcxError::ShuttingDown
                 | GcxError::Transient(_)
                 | GcxError::EndpointOffline(_)
+                | GcxError::ReplicaUnavailable(_)
         )
     }
 
@@ -157,6 +176,16 @@ mod tests {
         assert!(!GcxError::Execution("x".into()).is_retryable());
         assert!(!GcxError::RetriesExhausted {
             attempts: 3,
+            last: "x".into()
+        }
+        .is_retryable());
+        // A down replica is transient infrastructure; a redirect is its own
+        // protocol (the client must change targets, not retry in place), and
+        // an exhausted redirect budget is spent.
+        assert!(GcxError::ReplicaUnavailable(2).is_retryable());
+        assert!(!GcxError::NotOwner { owner: 1 }.is_retryable());
+        assert!(!GcxError::RedirectsExhausted {
+            redirects: 8,
             last: "x".into()
         }
         .is_retryable());

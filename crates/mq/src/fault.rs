@@ -127,6 +127,64 @@ impl FaultRule {
     }
 }
 
+/// A scripted replica-level fault (federated-cloud chaos): the federation
+/// layer polls [`FaultPlan::replica_actions_due`] on its clock and applies
+/// each due action to the named replica. The broker itself ignores these —
+/// they script *process* faults, not message faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaAction {
+    /// Hard-kill the replica: it stops heartbeating and serving requests;
+    /// the liveness sweep declares it dead and hands its ranges over.
+    Kill,
+    /// Sever the replica from its peers until `until_ms` (broker clock):
+    /// heartbeats and inter-replica processing stop, but the process stays
+    /// up and resumes (possibly as a stale ex-owner) when the window closes.
+    Partition { until_ms: u64 },
+    /// Restart a previously killed replica with fresh (empty) state; it
+    /// re-seeds metadata from a survivor and rejoins the ring.
+    Restart,
+}
+
+/// One scheduled [`ReplicaAction`]: which replica, when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaFaultRule {
+    /// Replica index the action applies to.
+    pub replica: u32,
+    /// When the action fires (broker clock, ms).
+    pub at_ms: u64,
+    /// What happens.
+    pub action: ReplicaAction,
+}
+
+impl ReplicaFaultRule {
+    /// Kill `replica` at `at_ms`.
+    pub fn kill(replica: u32, at_ms: u64) -> Self {
+        Self {
+            replica,
+            at_ms,
+            action: ReplicaAction::Kill,
+        }
+    }
+
+    /// Partition `replica` for `[at_ms, until_ms)`.
+    pub fn partition(replica: u32, at_ms: u64, until_ms: u64) -> Self {
+        Self {
+            replica,
+            at_ms,
+            action: ReplicaAction::Partition { until_ms },
+        }
+    }
+
+    /// Restart `replica` at `at_ms`.
+    pub fn restart(replica: u32, at_ms: u64) -> Self {
+        Self {
+            replica,
+            at_ms,
+            action: ReplicaAction::Restart,
+        }
+    }
+}
+
 /// What the broker should do with one publish.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PublishOutcome {
@@ -145,6 +203,7 @@ pub enum PublishOutcome {
 pub struct FaultPlan {
     seed: u64,
     rules: Vec<FaultRule>,
+    replica_rules: Vec<ReplicaFaultRule>,
     draws: AtomicU64,
 }
 
@@ -153,6 +212,7 @@ impl Clone for FaultPlan {
         Self {
             seed: self.seed,
             rules: self.rules.clone(),
+            replica_rules: self.replica_rules.clone(),
             draws: AtomicU64::new(self.draws.load(Ordering::Relaxed)),
         }
     }
@@ -164,6 +224,7 @@ impl FaultPlan {
         Self {
             seed,
             rules: Vec::new(),
+            replica_rules: Vec::new(),
             draws: AtomicU64::new(0),
         }
     }
@@ -174,9 +235,34 @@ impl FaultPlan {
         self
     }
 
+    /// Add a scheduled replica action.
+    pub fn with_replica_rule(mut self, rule: ReplicaFaultRule) -> Self {
+        self.replica_rules.push(rule);
+        self
+    }
+
     /// The scripted rules.
     pub fn rules(&self) -> &[FaultRule] {
         &self.rules
+    }
+
+    /// The scripted replica actions.
+    pub fn replica_rules(&self) -> &[ReplicaFaultRule] {
+        &self.replica_rules
+    }
+
+    /// Replica actions due in `(after_ms, now_ms]`, in schedule order. The
+    /// federation driver polls this with a watermark so each action fires
+    /// exactly once; draw-free, so polling never perturbs message faults.
+    pub fn replica_actions_due(&self, after_ms: u64, now_ms: u64) -> Vec<ReplicaFaultRule> {
+        let mut due: Vec<ReplicaFaultRule> = self
+            .replica_rules
+            .iter()
+            .filter(|r| r.at_ms > after_ms && r.at_ms <= now_ms)
+            .copied()
+            .collect();
+        due.sort_by_key(|r| (r.at_ms, r.replica));
+        due
     }
 
     /// One uniform draw in `[0, 1)`; consumed only for probabilistic rules.
@@ -311,6 +397,32 @@ mod tests {
             }
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    #[test]
+    fn replica_actions_fire_once_per_watermark_window() {
+        let plan = FaultPlan::new(5)
+            .with_replica_rule(ReplicaFaultRule::kill(1, 100))
+            .with_replica_rule(ReplicaFaultRule::partition(2, 150, 400))
+            .with_replica_rule(ReplicaFaultRule::restart(1, 300));
+        assert!(plan.replica_actions_due(0, 99).is_empty());
+        let first = plan.replica_actions_due(0, 200);
+        assert_eq!(
+            first,
+            vec![
+                ReplicaFaultRule::kill(1, 100),
+                ReplicaFaultRule::partition(2, 150, 400)
+            ],
+            "due actions arrive in schedule order"
+        );
+        // Advancing the watermark makes the window half-open: nothing
+        // re-fires, the restart fires exactly once.
+        assert_eq!(
+            plan.replica_actions_due(200, 1_000),
+            vec![ReplicaFaultRule::restart(1, 300)]
+        );
+        // Replica schedules never consume RNG draws.
+        assert_eq!(plan.draws.load(Ordering::Relaxed), 0);
     }
 
     #[test]

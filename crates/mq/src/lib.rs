@@ -30,5 +30,7 @@ pub use broker::{
     Broker, Consumer, Delivery, Message, QueuePolicy, QueueStats, DEATH_QUEUE_HEADER,
     SENT_MS_HEADER, TRACE_HEADER,
 };
-pub use fault::{FaultDirection, FaultPlan, FaultRule, PublishOutcome};
+pub use fault::{
+    FaultDirection, FaultPlan, FaultRule, PublishOutcome, ReplicaAction, ReplicaFaultRule,
+};
 pub use link::LinkProfile;

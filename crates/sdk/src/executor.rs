@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gcx_auth::Token;
-use gcx_cloud::WebService;
+use gcx_cloud::{ReplicaDirectory, WebService};
 use gcx_core::codec;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
@@ -43,8 +43,9 @@ use gcx_core::respec::ResourceSpec;
 use gcx_core::retry::RetryPolicy;
 use gcx_core::task::{TaskResult, TaskSpec};
 use gcx_core::value::Value;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
+use crate::client::DEFAULT_MAX_REDIRECTS;
 use crate::functions::Function;
 use crate::future::TaskFuture;
 
@@ -59,6 +60,9 @@ pub struct ExecutorConfig {
     /// of tasks that fail with retryable errors, and reconnection of the
     /// result stream after a broker failure.
     pub retry: RetryPolicy,
+    /// Federated only: how many replica rotations one recovery episode may
+    /// make before failing with [`GcxError::RedirectsExhausted`].
+    pub max_redirects: u32,
 }
 
 impl Default for ExecutorConfig {
@@ -67,6 +71,7 @@ impl Default for ExecutorConfig {
             batch_window: Duration::from_millis(20),
             max_batch: 128,
             retry: RetryPolicy::default(),
+            max_redirects: DEFAULT_MAX_REDIRECTS,
         }
     }
 }
@@ -89,7 +94,14 @@ struct Inflight {
 }
 
 struct ExecutorShared {
-    cloud: WebService,
+    /// The replica the executor currently talks to. Standalone executors
+    /// never swap it; federated ones rotate it away from a dead or
+    /// partitioned replica via [`ExecutorShared::rotate_replica`].
+    cloud: RwLock<WebService>,
+    /// Replica discovery when the cloud is federated.
+    directory: Option<ReplicaDirectory>,
+    /// Rotation cap per recovery episode (see [`ExecutorConfig`]).
+    max_redirects: u32,
     token: Token,
     /// Futures awaiting results, keyed by the task id of the *latest*
     /// submission attempt.
@@ -105,9 +117,35 @@ struct ExecutorShared {
     /// Hot-path counters, resolved once at construction.
     tasks_resubmitted: Arc<Counter>,
     stream_reconnects: Arc<Counter>,
+    replica_rotations: Arc<Counter>,
     /// The service's tracer (shared via the metrics registry); disabled
     /// tracers make every span call a no-op.
     tracer: gcx_core::trace::Tracer,
+}
+
+impl ExecutorShared {
+    /// The current replica handle (cheap: an `Arc` clone).
+    fn cloud(&self) -> WebService {
+        self.cloud.read().clone()
+    }
+
+    /// Replica `from` stopped answering: swap the handle to the next live
+    /// replica after it, ring order. Returns `false` when not federated or
+    /// when no replica is live right now (the caller keeps retrying the old
+    /// handle under its remaining budget).
+    fn rotate_replica(&self, from: u32) -> bool {
+        let Some(dir) = &self.directory else {
+            return false;
+        };
+        match dir.next_live_after(from) {
+            Some(next) => {
+                *self.cloud.write() = next;
+                self.replica_rotations.inc();
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// How long [`Executor::close`] waits for results of already-flushed tasks
@@ -135,6 +173,22 @@ impl Executor {
         Self::with_config(cloud, token, endpoint_id, ExecutorConfig::default())
     }
 
+    /// Create an executor against a federation, bootstrapping from any live
+    /// replica in `directory`. The executor rotates its replica (up to
+    /// [`ExecutorConfig::max_redirects`] hops per recovery episode) when the
+    /// one it talks to dies or partitions.
+    pub fn federated(
+        directory: ReplicaDirectory,
+        token: Token,
+        endpoint_id: EndpointId,
+        cfg: ExecutorConfig,
+    ) -> GcxResult<Self> {
+        let cloud = directory
+            .any_live()
+            .ok_or_else(|| GcxError::Transient("no live replica in the federation".into()))?;
+        Self::build(cloud, token, endpoint_id, cfg, Some(directory))
+    }
+
     /// Create an executor with explicit batching configuration.
     pub fn with_config(
         cloud: WebService,
@@ -142,13 +196,26 @@ impl Executor {
         endpoint_id: EndpointId,
         cfg: ExecutorConfig,
     ) -> GcxResult<Self> {
+        Self::build(cloud, token, endpoint_id, cfg, None)
+    }
+
+    fn build(
+        cloud: WebService,
+        token: Token,
+        endpoint_id: EndpointId,
+        cfg: ExecutorConfig,
+        directory: Option<ReplicaDirectory>,
+    ) -> GcxResult<Self> {
         // Open the AMQPS result stream up front; failures surface now.
         let stream = cloud.open_result_stream(&token)?;
         let tasks_resubmitted = cloud.metrics().counter("sdk.tasks_resubmitted");
         let stream_reconnects = cloud.metrics().counter("sdk.stream_reconnects");
+        let replica_rotations = cloud.metrics().counter("sdk.replica_rotations");
         let tracer = cloud.metrics().tracer();
         let shared = Arc::new(ExecutorShared {
-            cloud,
+            cloud: RwLock::new(cloud),
+            directory,
+            max_redirects: cfg.max_redirects,
             token,
             inflight: Mutex::new(HashMap::new()),
             pending: Mutex::new(Vec::new()),
@@ -157,6 +224,7 @@ impl Executor {
             shutdown: AtomicBool::new(false),
             tasks_resubmitted,
             stream_reconnects,
+            replica_rotations,
             tracer,
         });
 
@@ -260,7 +328,7 @@ impl Executor {
         }
         let id = self
             .shared
-            .cloud
+            .cloud()
             .register_function(&self.shared.token, body)?;
         self.shared.registered.lock().insert(hash, id);
         Ok(id)
@@ -280,7 +348,17 @@ impl Executor {
             return Ok(false);
         }
         let task_id = future.task_id();
-        match self.shared.cloud.cancel_task(&self.shared.token, task_id) {
+        let first = self.shared.cloud().cancel_task(&self.shared.token, task_id);
+        // Federated: the task record lives on its ring owner; follow one
+        // NotOwner redirect there.
+        let outcome = match (first, self.shared.directory.as_ref()) {
+            (Err(GcxError::NotOwner { owner }), Some(dir)) => match dir.get(owner) {
+                Some(next) => next.cancel_task(&self.shared.token, task_id),
+                None => Err(GcxError::ReplicaUnavailable(owner)),
+            },
+            (r, _) => r,
+        };
+        match outcome {
             Ok(()) => {
                 self.shared.inflight.lock().remove(&task_id);
                 future.resolve(Err(GcxError::Cancelled(task_id)));
@@ -363,7 +441,7 @@ fn batcher_loop(shared: &ExecutorShared, cfg: ExecutorConfig) {
         };
         if !flush.is_empty() {
             let specs: Vec<TaskSpec> = flush.iter().map(|p| p.spec.clone()).collect();
-            match shared.cloud.submit_batch(&shared.token, specs) {
+            match shared.cloud().submit_batch(&shared.token, specs) {
                 Ok(_) => {
                     if shared.tracer.enabled() {
                         // Submit leg: submit() call → batch accepted by the
@@ -380,6 +458,13 @@ fn batcher_loop(shared: &ExecutorShared, cfg: ExecutorConfig) {
                     }
                 }
                 Err(e) => {
+                    // A dead or partitioned replica rejected the batch:
+                    // rotate the handle now, so the resubmissions
+                    // (ReplicaUnavailable is retryable) flush to a live
+                    // replica after their backoff.
+                    if let GcxError::ReplicaUnavailable(r) = &e {
+                        shared.rotate_replica(*r);
+                    }
                     // The whole batch was rejected: fail (or, for retryable
                     // rejections, resubmit) each task.
                     for p in &flush {
@@ -450,16 +535,20 @@ fn stream_loop(
     }
 }
 
-/// The result stream broke (broker restart, queue deleted). Reopen it under
-/// the retry policy's backoff, then catch up on any results that were
-/// published while we were disconnected with one batched status call.
-/// Returns `None` once the budget is exhausted (all inflight futures are
-/// failed first) or at shutdown.
+/// The result stream broke (broker restart, queue deleted, replica death).
+/// Reopen it under the retry policy's backoff, then catch up on any results
+/// that were published while we were disconnected with one batched status
+/// call. Against a federation, a `ReplicaUnavailable` answer rotates the
+/// executor to the next live replica; rotations are capped at
+/// `max_redirects` per episode, after which every inflight future fails with
+/// [`GcxError::RedirectsExhausted`]. Returns `None` once a budget is
+/// exhausted (all inflight futures are failed first) or at shutdown.
 fn reconnect_stream(
     shared: &ExecutorShared,
     retry: &RetryPolicy,
 ) -> Option<gcx_cloud::service::ResultStream> {
     let mut attempt = 0u32;
+    let mut rotations = 0u32;
     loop {
         attempt += 1;
         if !retry.allows(attempt) {
@@ -477,11 +566,29 @@ fn reconnect_stream(
         if shared.shutdown.load(Ordering::SeqCst) && shared.inflight.lock().is_empty() {
             return None;
         }
-        match shared.cloud.open_result_stream(&shared.token) {
+        match shared.cloud().open_result_stream(&shared.token) {
             Ok(stream) => {
                 shared.stream_reconnects.inc();
                 catch_up(shared, retry);
                 return Some(stream);
+            }
+            Err(GcxError::ReplicaUnavailable(r)) if shared.directory.is_some() => {
+                rotations += 1;
+                if rotations > shared.max_redirects {
+                    let err = GcxError::RedirectsExhausted {
+                        redirects: rotations - 1,
+                        last: format!("replica {r} is unavailable"),
+                    };
+                    let mut inflight = shared.inflight.lock();
+                    for (_, inf) in inflight.drain() {
+                        inf.future.resolve(Err(err.clone()));
+                    }
+                    return None;
+                }
+                // A rotation does not consume the reconnect budget: the next
+                // iteration retries against the new replica.
+                shared.rotate_replica(r);
+                attempt = attempt.saturating_sub(1);
             }
             Err(_) => continue,
         }
@@ -490,18 +597,34 @@ fn reconnect_stream(
 
 /// After a reconnect, resolve (or resubmit) every inflight task that reached
 /// a terminal state while the stream was down — its result went to the dead
-/// queue and will never be streamed again.
+/// queue and will never be streamed again. Federated clouds shard the task
+/// store by ownership and a non-owner skips tasks it does not hold, so the
+/// catch-up unions the answers from every live replica.
 fn catch_up(shared: &ExecutorShared, retry: &RetryPolicy) {
     let ids: Vec<TaskId> = shared.inflight.lock().keys().copied().collect();
     if ids.is_empty() {
         return;
     }
-    if let Ok(statuses) = shared.cloud.task_status_batch(&shared.token, &ids) {
-        for (task_id, state, result) in statuses {
-            if state.is_terminal() {
-                if let Some(result) = result {
-                    complete_task(shared, retry, task_id, result);
+    let mut statuses = Vec::new();
+    match &shared.directory {
+        None => {
+            if let Ok(part) = shared.cloud().task_status_batch(&shared.token, &ids) {
+                statuses = part;
+            }
+        }
+        Some(dir) => {
+            for r in dir.live() {
+                let Some(svc) = dir.get(r) else { continue };
+                if let Ok(part) = svc.task_status_batch(&shared.token, &ids) {
+                    statuses.extend(part);
                 }
+            }
+        }
+    }
+    for (task_id, state, result) in statuses {
+        if state.is_terminal() {
+            if let Some(result) = result {
+                complete_task(shared, retry, task_id, result);
             }
         }
     }
@@ -910,6 +1033,102 @@ mod tests {
         );
         assert_eq!(ex.inflight(), 0);
         ex.close();
+    }
+
+    #[test]
+    fn federated_executor_survives_replica_kill_with_handover() {
+        use gcx_cloud::{CloudConfig, Federation, FederationConfig};
+
+        let clock: gcx_core::clock::SharedClock = SystemClock::shared();
+        let auth = gcx_auth::AuthService::new(clock.clone());
+        let broker = gcx_mq::Broker::with_profile(
+            gcx_core::metrics::MetricsRegistry::new(),
+            clock.clone(),
+            gcx_mq::LinkProfile::instant(),
+        );
+        // A short replica heartbeat timeout so the background sweep detects
+        // the kill and runs the handover within test time.
+        let fed = Federation::with_parts(
+            FederationConfig {
+                replicas: 2,
+                heartbeat_timeout_ms: 250,
+                ..FederationConfig::default()
+            },
+            CloudConfig::default(),
+            auth,
+            broker,
+            clock,
+        );
+        let dir = fed.directory();
+        let r1 = dir.get(1).unwrap();
+        let (_, token) = fed.auth().login("fed@site.org").unwrap();
+        // The agent connects through the survivor so only the executor's
+        // replica dies.
+        let reg = r1
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let config = EndpointConfig::from_yaml(
+            "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 4\n",
+        )
+        .unwrap();
+        let agent = EndpointAgent::start(
+            &r1,
+            reg.endpoint_id,
+            &reg.queue_credential,
+            &config,
+            AgentEnv::local(SystemClock::shared()),
+        )
+        .unwrap();
+
+        // Bootstraps from the lowest live replica: replica 0.
+        let ex = Executor::federated(
+            dir.clone(),
+            token.clone(),
+            reg.endpoint_id,
+            ExecutorConfig {
+                retry: RetryPolicy::fixed(8, 20),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let slow = PyFunction::new("def f(x):\n    sleep(0.05)\n    return x + 1\n");
+        let futures: Vec<TaskFuture> = (0..24)
+            .map(|i| ex.submit(&slow, vec![Value::Int(i)], Value::None).unwrap())
+            .collect();
+        // Let the batch flush and some tasks start, then kill the replica
+        // the executor is bound to and sever its stream. Recovery needs all
+        // three federation mechanisms: the sweep hands replica 0's tasks
+        // over to replica 1 (log replay + republish), queued result
+        // envelopes re-route to the adopter, and the executor rotates its
+        // stream to the survivor.
+        std::thread::sleep(Duration::from_millis(100));
+        fed.kill(0);
+        let stream_queue = fed
+            .broker()
+            .queue_names()
+            .into_iter()
+            .find(|n| n.starts_with("stream."))
+            .expect("executor holds a stream queue");
+        fed.broker().delete_queue(&stream_queue).unwrap();
+        for (i, f) in futures.iter().enumerate() {
+            assert_eq!(
+                f.result_timeout(Duration::from_secs(30)).unwrap(),
+                Value::Int(i as i64 + 1),
+                "task {i} must complete despite its replica dying"
+            );
+        }
+        assert_eq!(ex.inflight(), 0);
+        assert!(
+            fed.metrics().counter("sdk.replica_rotations").get() >= 1,
+            "the executor must have rotated away from the dead replica"
+        );
+        assert!(
+            fed.metrics().counter("fed.replicas_dead").get() >= 1,
+            "the sweep must have declared replica 0 dead"
+        );
+        ex.close();
+        agent.stop();
+        fed.shutdown();
     }
 
     #[test]
