@@ -1,0 +1,311 @@
+//! E13 — overload soak: graceful load shedding vs unprotected meltdown.
+//!
+//! A hot tenant floods the stack through the `Executor` (small sleeps so
+//! in-flight work genuinely accumulates) while a quiet tenant sends
+//! latency probes through the polling `Client`. Two legs:
+//!
+//! - **unprotected**: admission off — every submission is accepted and
+//!   buffers in front of the workers; the quiet tenant's probes queue
+//!   behind the entire flood.
+//! - **admission**: per-tenant in-flight quotas + token buckets on — the
+//!   hot tenant is throttled with typed `Overloaded { retry_after_ms }`
+//!   rejections its SDK retry loop honors, bounding the backlog the quiet
+//!   tenant's probes sit behind.
+//!
+//! Both legs also submit a slice of tasks with deadlines they cannot meet,
+//! exercising the TTL expiry sweep under load (typed `DeadlineExceeded`,
+//! counted, never hung).
+//!
+//! The quantities of interest: hot-tenant goodput (completions/s — shed
+//! tasks are not good work), quiet-tenant probe p50/p99, shed and expired
+//! counts. Expected shape: admission trades a slice of the hot tenant's
+//! completions for a quiet-tenant p99 that stays flat instead of growing
+//! with the flood.
+//!
+//! Emits `bench_results/BENCH_overload.json`.
+//!
+//! Flags: `--tasks N` (flood size per leg), `--smoke` (tiny parameters).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gcx_auth::{AuthPolicy, AuthService};
+use gcx_bench::{BenchRng, JsonReport, Table};
+use gcx_cloud::{AdmissionConfig, CloudConfig, WebService};
+use gcx_core::clock::{SharedClock, SystemClock};
+use gcx_core::error::GcxError;
+use gcx_core::metrics::MetricsRegistry;
+use gcx_core::retry::RetryPolicy;
+use gcx_core::task::TaskSpec;
+use gcx_core::value::Value;
+use gcx_endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
+use gcx_mq::{Broker, LinkProfile};
+use gcx_sdk::{Client, Executor, ExecutorConfig, PyFunction};
+
+struct Params {
+    tasks: usize,
+    probes: usize,
+}
+
+fn parse_args() -> Params {
+    let mut p = Params {
+        tasks: 400,
+        probes: 24,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tasks" => {
+                p.tasks = args
+                    .get(i + 1)
+                    .expect("--tasks needs a value")
+                    .parse()
+                    .expect("--tasks");
+                i += 2;
+            }
+            "--smoke" => {
+                p = Params {
+                    tasks: 80,
+                    probes: 10,
+                };
+                i += 1;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    p
+}
+
+struct LegOutcome {
+    elapsed: Duration,
+    completed: u64,
+    shed: u64,
+    expired: u64,
+    rejected_submits: u64,
+    probe_p50_ms: f64,
+    probe_p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn run_leg(admission_on: bool, p: &Params) -> LegOutcome {
+    let clock: SharedClock = SystemClock::shared();
+    let admission = AdmissionConfig {
+        enabled: admission_on,
+        rate_per_sec: 10_000,
+        burst: 10_000,
+        max_inflight: 32,
+        retry_after_cap_ms: 100,
+        brownout_threshold_ms: 0,
+        ..AdmissionConfig::default()
+    };
+    let broker = Broker::with_profile(
+        MetricsRegistry::new(),
+        clock.clone(),
+        LinkProfile::instant(),
+    );
+    let cloud = WebService::new(
+        CloudConfig {
+            admission,
+            ..CloudConfig::default()
+        },
+        AuthService::new(clock.clone()),
+        broker,
+        clock.clone(),
+    );
+    let (_, hot_token) = cloud.auth().login("hot@soak.dev").unwrap();
+    let (_, quiet_token) = cloud.auth().login("quiet@soak.dev").unwrap();
+    let hot_token2 = hot_token.clone();
+    let quiet_token2 = quiet_token.clone();
+    let reg = cloud
+        .register_endpoint(&hot_token, "soak-ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    let config =
+        EndpointConfig::from_yaml("engine:\n  type: ThreadEngine\n  workers: 4\n").unwrap();
+    let env = AgentEnv::local(clock);
+    let engine_metrics = env.metrics.clone();
+    let agent =
+        EndpointAgent::start(&cloud, reg.endpoint_id, &reg.queue_credential, &config, env).unwrap();
+
+    let hot = Executor::with_config(
+        cloud.clone(),
+        hot_token,
+        reg.endpoint_id,
+        ExecutorConfig {
+            retry: RetryPolicy {
+                max_attempts: 10,
+                base_ms: 5,
+                max_ms: 120,
+                jitter: 0.2,
+                seed: 13,
+            },
+            max_batch: 16,
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    let quiet = Client::new(cloud.clone(), quiet_token);
+    let hot_client = Client::new(cloud.clone(), hot_token2);
+    let busy = PyFunction::new("def f(t):\n    sleep(t)\n    return 1\n");
+    let busy_fid = hot_client.register_function(&busy).unwrap();
+    let probe_fid = quiet
+        .register_function(&PyFunction::new("def f():\n    return 1\n"))
+        .unwrap();
+
+    // Quiet tenant: latency probes spread across the whole flood window.
+    let stop = Arc::new(AtomicBool::new(false));
+    let prober = {
+        let stop = Arc::clone(&stop);
+        let quiet = Client::new(cloud.clone(), quiet_token2);
+        let ep = reg.endpoint_id;
+        let probes = p.probes;
+        std::thread::spawn(move || {
+            let mut latencies_ms = Vec::with_capacity(probes);
+            for _ in 0..probes {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let t0 = Instant::now();
+                let id = quiet.run(probe_fid, ep, vec![], Value::None).unwrap();
+                quiet
+                    .get_result(id, Duration::from_millis(1), Duration::from_secs(60))
+                    .unwrap();
+                latencies_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            latencies_ms
+        })
+    };
+
+    // Hot tenant: the flood. Every ~8th task carries a deadline it cannot
+    // meet, exercising typed expiry under load.
+    let mut rng = BenchRng::new(0x50AC);
+    let start = Instant::now();
+    let mut futures = Vec::with_capacity(p.tasks);
+    let mut doomed = 0u64;
+    for i in 0..p.tasks {
+        let hold_ms = 2 + rng.below(8);
+        if i % 8 == 7 {
+            // Direct spec submission so the deadline knob rides the flood:
+            // a 1 ms TTL against a queued multi-ms sleep can never be met.
+            let mut spec = TaskSpec::new(busy_fid, reg.endpoint_id);
+            spec.deadline_ms = Some(1);
+            spec.args = vec![Value::Float(hold_ms as f64 / 1000.0)];
+            if hot_client.run_spec(spec).is_ok() {
+                doomed += 1;
+            }
+            continue;
+        }
+        let fut = hot
+            .submit(
+                &busy,
+                vec![Value::Float(hold_ms as f64 / 1000.0)],
+                Value::None,
+            )
+            .unwrap();
+        futures.push(fut);
+    }
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    for fut in &futures {
+        match fut.result_timeout(Duration::from_secs(120)) {
+            Ok(_) => completed += 1,
+            Err(GcxError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("untyped failure in soak: {e}"),
+        }
+    }
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::SeqCst);
+    let mut latencies = prober.join().expect("prober thread");
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // Two sweeps race to enforce a doomed task's TTL: the cloud's expiry
+    // sweep (25 ms cadence, counts `cloud.tasks_expired`) and the engine's
+    // kill sweep (10 ms throttle, counts `thread.deadline_kills`, whose
+    // typed result the cloud lands as a terminal deadline failure). Either
+    // way the task dies typed; wait for the union to cover every doomed one.
+    let expiry_wait = Instant::now() + Duration::from_secs(10);
+    let cloud_expired = cloud.metrics().counter("cloud.tasks_expired");
+    let engine_killed = engine_metrics.counter("thread.deadline_kills");
+    while cloud_expired.get() + engine_killed.get() < doomed && Instant::now() < expiry_wait {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let rejected_submits = cloud
+        .metrics()
+        .counter("cloud.submits_rejected_overload")
+        .get();
+    let expired = cloud_expired.get() + engine_killed.get();
+    hot.close();
+    agent.stop();
+    cloud.shutdown();
+    LegOutcome {
+        elapsed,
+        completed,
+        shed,
+        expired,
+        rejected_submits,
+        probe_p50_ms: percentile(&latencies, 0.5),
+        probe_p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let p = parse_args();
+    println!(
+        "E13 — overload soak: {} hot tasks, {} quiet probes per leg",
+        p.tasks, p.probes
+    );
+    let mut table = Table::new(&[
+        "leg",
+        "elapsed_ms",
+        "goodput/s",
+        "shed",
+        "rejected submits",
+        "expired",
+        "probe p50 ms",
+        "probe p99 ms",
+    ]);
+    let mut report = JsonReport::new("BENCH_overload");
+    report.num("hot_tasks", p.tasks as u64);
+
+    for (leg, on) in [("unprotected", false), ("admission", true)] {
+        let o = run_leg(on, &p);
+        let goodput = o.completed as f64 / o.elapsed.as_secs_f64();
+        table.row(&[
+            leg.into(),
+            format!("{:.1}", o.elapsed.as_secs_f64() * 1000.0),
+            format!("{goodput:.0}"),
+            o.shed.to_string(),
+            o.rejected_submits.to_string(),
+            o.expired.to_string(),
+            format!("{:.1}", o.probe_p50_ms),
+            format!("{:.1}", o.probe_p99_ms),
+        ]);
+        report
+            .float(&format!("{leg}_goodput_per_sec"), goodput)
+            .num(&format!("{leg}_completed"), o.completed)
+            .num(&format!("{leg}_shed"), o.shed)
+            .num(&format!("{leg}_rejected_submits"), o.rejected_submits)
+            .num(&format!("{leg}_expired"), o.expired)
+            .float(&format!("{leg}_probe_p50_ms"), o.probe_p50_ms)
+            .float(&format!("{leg}_probe_p99_ms"), o.probe_p99_ms);
+    }
+
+    table.print();
+    println!();
+    println!("  expected shape: the admission leg sheds (or delays) part of the flood");
+    println!("  with typed Overloaded pushback, keeping the quiet tenant's probe p99");
+    println!("  bounded by the in-flight cap rather than the whole flood's backlog.");
+    let path = report
+        .write_to(std::path::Path::new("bench_results"))
+        .expect("write BENCH_overload.json");
+    println!("  written to {}", path.display());
+}

@@ -36,6 +36,7 @@ const EXPERIMENTS: &[&str] = &[
     "service_scale",
     "throughput",
     "latency_breakdown",
+    "overload_soak",
     "ablation_sandbox",
     "ablation_multiplex",
     "ablation_proxy_cache",

@@ -19,6 +19,8 @@
 //! | `service_scale`      | E9         | §I/§VI one service, many endpoints          |
 //! | `throughput`         | E10        | sharded + batched hot path vs single lock   |
 //! | `latency_breakdown`  | E11        | per-leg lifecycle latency from trace spans  |
+//! | `federation_scale`   | E12        | replicated cloud: throughput + chaos leg    |
+//! | `overload_soak`      | E13        | admission control vs unprotected meltdown   |
 //! | `ablation_sandbox`   | A1         | §III-B.2 sandbox contention                 |
 //! | `ablation_multiplex` | A2         | §II manager multiplexing                    |
 //! | `ablation_proxy_cache`| A3        | §V-B worker-side proxy cache                |

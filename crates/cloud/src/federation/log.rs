@@ -37,9 +37,10 @@ pub(crate) fn fed_log_queue(replica: ReplicaId) -> String {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TaskLogEntry {
     /// The writing replica became responsible for this task (fresh submit,
-    /// forwarded submit, or adoption during handover).
+    /// forwarded submit, or adoption during handover). The spec is boxed to
+    /// keep the enum near the size of its tombstone variants.
     Open {
-        spec: TaskSpec,
+        spec: Box<TaskSpec>,
         owner: IdentityId,
         submitted_at: u64,
     },
@@ -48,6 +49,10 @@ pub enum TaskLogEntry {
     /// A rebalance moved the task to another replica's log; this log is no
     /// longer authoritative for it.
     Moved { task_id: TaskId },
+    /// The task's deadline passed before it completed; an expiry tombstone
+    /// so a handover replay keeps the task dead instead of resurrecting and
+    /// re-running it after its deadline.
+    Expired { task_id: TaskId },
 }
 
 impl TaskLogEntry {
@@ -73,6 +78,10 @@ impl TaskLogEntry {
                 ("kind", Value::str("moved")),
                 ("task_id", Value::str(task_id.to_string())),
             ]),
+            TaskLogEntry::Expired { task_id } => Value::map([
+                ("kind", Value::str("expired")),
+                ("task_id", Value::str(task_id.to_string())),
+            ]),
         }
     }
 
@@ -91,10 +100,10 @@ impl TaskLogEntry {
         };
         match kind {
             "open" => Ok(TaskLogEntry::Open {
-                spec: TaskSpec::from_value(
+                spec: Box::new(TaskSpec::from_value(
                     v.get("spec")
                         .ok_or_else(|| GcxError::Codec("open entry missing 'spec'".into()))?,
-                )?,
+                )?),
                 owner: IdentityId(
                     v.get("owner")
                         .and_then(Value::as_str)
@@ -118,6 +127,9 @@ impl TaskLogEntry {
             "moved" => Ok(TaskLogEntry::Moved {
                 task_id: task_id(v)?,
             }),
+            "expired" => Ok(TaskLogEntry::Expired {
+                task_id: task_id(v)?,
+            }),
             other => Err(GcxError::Codec(format!("unknown task-log kind '{other}'"))),
         }
     }
@@ -137,7 +149,7 @@ pub fn replay(entries: &[TaskLogEntry], now: u64) -> Vec<TaskRecord> {
                 owner,
                 submitted_at,
             } => {
-                let mut rec = TaskRecord::new(spec.clone(), *owner, *submitted_at);
+                let mut rec = TaskRecord::new(spec.as_ref().clone(), *owner, *submitted_at);
                 rec.dispatched_at = Some(*submitted_at);
                 records.entry(spec.task_id).or_insert(rec);
             }
@@ -151,6 +163,14 @@ pub fn replay(entries: &[TaskLogEntry], now: u64) -> Vec<TaskRecord> {
             }
             TaskLogEntry::Moved { task_id } => {
                 records.remove(task_id);
+            }
+            TaskLogEntry::Expired { task_id } => {
+                if let Some(rec) = records.get_mut(task_id) {
+                    if !rec.state.is_terminal() {
+                        let _ = rec.transition(gcx_core::task::TaskState::Cancelled, now);
+                        rec.result = Some(TaskResult::deadline_err(*task_id));
+                    }
+                }
             }
         }
     }
@@ -171,7 +191,7 @@ mod tests {
         let s = spec();
         let entries = [
             TaskLogEntry::Open {
-                spec: s.clone(),
+                spec: Box::new(s.clone()),
                 owner: IdentityId::random(),
                 submitted_at: 42,
             },
@@ -180,10 +200,49 @@ mod tests {
                 result: TaskResult::Ok(Value::Int(7)),
             },
             TaskLogEntry::Moved { task_id: s.task_id },
+            TaskLogEntry::Expired { task_id: s.task_id },
         ];
         for e in &entries {
             assert_eq!(&TaskLogEntry::from_value(&e.to_value()).unwrap(), e);
         }
+    }
+
+    #[test]
+    fn replay_expired_tombstone_keeps_task_dead() {
+        let owner = IdentityId::random();
+        let s = spec();
+        let entries = vec![
+            TaskLogEntry::Open {
+                spec: Box::new(s.clone()),
+                owner,
+                submitted_at: 1,
+            },
+            TaskLogEntry::Expired { task_id: s.task_id },
+        ];
+        let records = replay(&entries, 10);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].state, gcx_core::task::TaskState::Cancelled);
+        assert!(records[0]
+            .result
+            .as_ref()
+            .is_some_and(TaskResult::is_deadline_err));
+
+        // A result that landed before the expiry tombstone wins: the
+        // tombstone never overwrites a terminal record.
+        let entries = vec![
+            TaskLogEntry::Open {
+                spec: Box::new(s.clone()),
+                owner,
+                submitted_at: 1,
+            },
+            TaskLogEntry::Done {
+                task_id: s.task_id,
+                result: TaskResult::Ok(Value::Int(9)),
+            },
+            TaskLogEntry::Expired { task_id: s.task_id },
+        ];
+        let records = replay(&entries, 10);
+        assert_eq!(records[0].result, Some(TaskResult::Ok(Value::Int(9))));
     }
 
     #[test]
@@ -192,17 +251,17 @@ mod tests {
         let (a, b, c) = (spec(), spec(), spec());
         let entries = vec![
             TaskLogEntry::Open {
-                spec: a.clone(),
+                spec: Box::new(a.clone()),
                 owner,
                 submitted_at: 1,
             },
             TaskLogEntry::Open {
-                spec: b.clone(),
+                spec: Box::new(b.clone()),
                 owner,
                 submitted_at: 2,
             },
             TaskLogEntry::Open {
-                spec: c.clone(),
+                spec: Box::new(c.clone()),
                 owner,
                 submitted_at: 3,
             },

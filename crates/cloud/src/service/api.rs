@@ -213,12 +213,18 @@ impl WebService {
     }
 
     /// Give every endpoint task queue the service-wide delivery budget, with
-    /// exhausted deliveries routed to [`DEAD_TASKS_QUEUE`].
+    /// exhausted deliveries routed to [`DEAD_TASKS_QUEUE`], plus the
+    /// configured depth/byte bounds (0 = unbounded, the default). Bounded
+    /// queues reject new publishes with a typed [`GcxError::QueueFull`]
+    /// rather than growing without limit under overload.
     pub(super) fn apply_task_queue_policy(&self, id: EndpointId) -> GcxResult<()> {
-        self.inner.broker.set_queue_policy(
-            &task_queue_name(id),
-            gcx_mq::QueuePolicy::dead_letter(self.inner.cfg.max_task_deliveries, DEAD_TASKS_QUEUE),
-        )
+        let mut policy =
+            gcx_mq::QueuePolicy::dead_letter(self.inner.cfg.max_task_deliveries, DEAD_TASKS_QUEUE);
+        policy.max_depth = self.inner.cfg.task_queue_depth;
+        policy.max_bytes = self.inner.cfg.task_queue_bytes;
+        self.inner
+            .broker
+            .set_queue_policy(&task_queue_name(id), policy)
     }
 }
 

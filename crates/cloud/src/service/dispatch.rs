@@ -15,6 +15,19 @@ use super::{mep_queue_name, task_queue_name, WebService, BLOB_MARKER};
 use crate::blob::BlobId;
 use crate::records::{config_hash, EndpointRecord, MepStartRequest};
 
+/// What a [`WebService::cancel_task`] call actually did.
+///
+/// Cancellation races against result delivery and deadline expiry; when the
+/// task was already terminal the cancel is a no-op and the caller sees the
+/// state it lost to, rather than an error or a silently overwritten record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The task was live and is now cancelled.
+    Cancelled,
+    /// The task had already reached this terminal state; nothing changed.
+    AlreadyTerminal(TaskState),
+}
+
 impl WebService {
     // ---- task submission -------------------------------------------------
 
@@ -29,8 +42,28 @@ impl WebService {
     /// requests"). The batch is also shipped to each target endpoint's
     /// queue with one batched broker publish — one queue-lock acquisition
     /// and one consumer wake per endpoint, not per task.
+    ///
+    /// Admission control runs before any validation work: a tenant over
+    /// its rate or in-flight quota — or shed by brownout — gets a typed
+    /// [`GcxError::Overloaded`] with a `retry_after_ms` hint, all-or-
+    /// nothing for the batch.
     pub fn submit_batch(&self, token: &Token, specs: Vec<TaskSpec>) -> GcxResult<Vec<TaskId>> {
         let who = self.authenticate(token)?;
+        self.admit_batch(who.identity.id, &specs)?;
+        let n = specs.len() as u64;
+        let out = self.submit_batch_admitted(&who, specs);
+        if out.is_err() {
+            // The batch never landed: return its in-flight charge.
+            self.admission_release(who.identity.id, n);
+        }
+        out
+    }
+
+    fn submit_batch_admitted(
+        &self,
+        who: &gcx_auth::service::Introspection,
+        specs: Vec<TaskSpec>,
+    ) -> GcxResult<Vec<TaskId>> {
         let mut bytes_in = 0usize;
         let now = self.inner.clock.now_ms();
 
@@ -117,9 +150,16 @@ impl WebService {
                     let mut wire_spec = spec;
                     wire_spec.endpoint_id = deliver_to;
                     self.fed_forward_submit(owner, &wire_spec, who.identity.id, now)?;
+                    // The owning replica tracks this task's lifecycle; it
+                    // never flows through our local completion paths, so
+                    // drop its in-flight charge here.
+                    self.admission_release(who.identity.id, 1);
                     ids.push(task_id);
                     continue;
                 }
+            }
+            if spec.deadline_ms.is_some() {
+                self.inner.admission.note_deadline_task();
             }
             let mut record = TaskRecord::new(spec.clone(), who.identity.id, now);
             record.dispatched_at = Some(shipped);
@@ -155,24 +195,46 @@ impl WebService {
         }
         self.inner.m.tasks_submitted.add(ids.len() as u64);
 
-        for (deliver_to, messages) in by_endpoint {
-            let credential = self
-                .inner
-                .credentials
-                .get_cloned(&deliver_to)
-                .ok_or(GcxError::EndpointNotFound(deliver_to))?;
-            let queue = task_queue_name(deliver_to);
-            if self.inner.cfg.batch_publish {
-                self.inner
-                    .broker
-                    .publish_batch(&queue, messages, Some(&credential))?;
-            } else {
-                for message in messages {
+        let ship = || -> GcxResult<()> {
+            for (deliver_to, messages) in by_endpoint {
+                let credential = self
+                    .inner
+                    .credentials
+                    .get_cloned(&deliver_to)
+                    .ok_or(GcxError::EndpointNotFound(deliver_to))?;
+                let queue = task_queue_name(deliver_to);
+                if self.inner.cfg.batch_publish {
                     self.inner
                         .broker
-                        .publish(&queue, message, Some(&credential))?;
+                        .publish_batch(&queue, messages, Some(&credential))?;
+                } else {
+                    for message in messages {
+                        self.inner
+                            .broker
+                            .publish(&queue, message, Some(&credential))?;
+                    }
                 }
             }
+            Ok(())
+        };
+        if let Err(e) = ship() {
+            // The caller sees a whole-batch error (typically a bounded
+            // queue's typed `QueueFull` pushback), so no record from this
+            // batch may linger as a live orphan: fail everything that is
+            // still non-terminal with the same retryable error. Messages
+            // that did ship before the failure produce results that land
+            // on these terminal records and are dropped as duplicates.
+            let failed = TaskResult::retryable_err(e.to_string());
+            for id in &ids {
+                self.inner.tasks.update(id, |rec| {
+                    if let Some(rec) = rec {
+                        if !rec.state.is_terminal() {
+                            let _ = rec.complete(failed.clone(), shipped);
+                        }
+                    }
+                });
+            }
+            return Err(e);
         }
         Ok(ids)
     }
@@ -385,30 +447,37 @@ impl WebService {
     /// Cancel a task (best-effort, like the production API): tasks that
     /// have not reached a worker never run; tasks already running finish
     /// but their results are discarded by the result processor.
-    pub fn cancel_task(&self, token: &Token, id: TaskId) -> GcxResult<()> {
+    ///
+    /// Cancelling a task that already reached a terminal state is an
+    /// idempotent no-op — the existing state and result are left intact
+    /// and the caller learns what it raced against via
+    /// [`CancelOutcome::AlreadyTerminal`].
+    pub fn cancel_task(&self, token: &Token, id: TaskId) -> GcxResult<CancelOutcome> {
         let who = self.authenticate(token)?;
         self.meter_api(36, 8);
         let now = self.inner.clock.now_ms();
-        self.inner.tasks.update(&id, |rec| {
+        let (outcome, owner) = self.inner.tasks.update(&id, |rec| {
             let rec = rec.ok_or_else(|| self.fed_missing_task_error(id))?;
             if rec.owner != who.identity.id {
                 return Err(GcxError::Forbidden("not your task".into()));
             }
             if rec.state.is_terminal() {
-                return Err(GcxError::Internal(format!(
-                    "task is already {}",
-                    rec.state.label()
-                )));
+                // Lost the race against a result (or a prior cancel/expiry):
+                // never overwrite the terminal record.
+                return Ok((CancelOutcome::AlreadyTerminal(rec.state), rec.owner));
             }
             rec.transition(TaskState::Cancelled, now)?;
             rec.result = Some(TaskResult::Err(format!("task {id} was cancelled")));
-            Ok(())
+            Ok((CancelOutcome::Cancelled, rec.owner))
         })?;
-        self.inner.m.tasks_cancelled.inc();
-        // Make the cancellation durable: without a `Done` entry a handover
-        // replay would resurrect (and republish) the task.
-        self.fed_log_done(id, &TaskResult::Err(format!("task {id} was cancelled")));
-        Ok(())
+        if outcome == CancelOutcome::Cancelled {
+            self.inner.m.tasks_cancelled.inc();
+            self.admission_release(owner, 1);
+            // Make the cancellation durable: without a `Done` entry a
+            // handover replay would resurrect (and republish) the task.
+            self.fed_log_done(id, &TaskResult::Err(format!("task {id} was cancelled")));
+        }
+        Ok(outcome)
     }
 
     /// Whether a task has been cancelled (endpoint-side check before

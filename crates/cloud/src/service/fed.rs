@@ -72,7 +72,7 @@ impl WebService {
             self.fed_log_append(
                 fed.replica,
                 &TaskLogEntry::Open {
-                    spec: wire_spec.clone(),
+                    spec: Box::new(wire_spec.clone()),
                     owner,
                     submitted_at,
                 },
@@ -95,6 +95,14 @@ impl WebService {
     fn fed_log_moved(&self, task_id: TaskId) {
         if let Some(fed) = &self.inner.fed {
             self.fed_log_append(fed.replica, &TaskLogEntry::Moved { task_id });
+        }
+    }
+
+    /// Expiry tombstone: keeps a deadline-expired task dead across a
+    /// handover replay instead of resurrecting it past its deadline.
+    pub(super) fn fed_log_expired(&self, task_id: TaskId) {
+        if let Some(fed) = &self.inner.fed {
+            self.fed_log_append(fed.replica, &TaskLogEntry::Expired { task_id });
         }
     }
 

@@ -17,6 +17,7 @@
 //! [`CloudConfig::state_shards`] to 1 to force the old single-lock layout
 //! (the throughput benchmark's baseline).
 
+mod admission;
 mod api;
 mod dispatch;
 mod fed;
@@ -24,8 +25,12 @@ mod liveness;
 mod results;
 mod session;
 
+pub use admission::AdmissionConfig;
+pub use dispatch::CancelOutcome;
 pub use results::ResultStream;
 pub use session::EndpointSession;
+
+use admission::AdmissionState;
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -112,6 +117,16 @@ pub struct CloudConfig {
     /// 0 to disable collection entirely (untraced tasks cost a branch, not
     /// an allocation, so the default is on).
     pub trace: TraceConfig,
+    /// Admission control (per-tenant rate limits, in-flight quotas,
+    /// brownout shedding). Disabled by default — the pre-admission
+    /// behavior.
+    pub admission: AdmissionConfig,
+    /// Bound on each endpoint task queue's ready depth; `0` = unbounded
+    /// (the pre-bounding behavior). Publishes over the bound surface as a
+    /// typed retryable [`gcx_core::GcxError::QueueFull`].
+    pub task_queue_depth: usize,
+    /// Bound on each endpoint task queue's ready bytes; `0` = unbounded.
+    pub task_queue_bytes: usize,
 }
 
 impl Default for CloudConfig {
@@ -126,6 +141,9 @@ impl Default for CloudConfig {
             state_shards: gcx_core::sharded::DEFAULT_SHARDS,
             batch_publish: true,
             trace: TraceConfig::default(),
+            admission: AdmissionConfig::default(),
+            task_queue_depth: 0,
+            task_queue_bytes: 0,
         }
     }
 }
@@ -151,6 +169,9 @@ pub(super) struct CloudMetrics {
     pub(super) uep_reused: Arc<Counter>,
     pub(super) uep_spawn_requested: Arc<Counter>,
     pub(super) uep_respawn_requested: Arc<Counter>,
+    pub(super) tasks_expired: Arc<Counter>,
+    pub(super) submits_rejected_overload: Arc<Counter>,
+    pub(super) tasks_shed_brownout: Arc<Counter>,
     pub(super) roundtrip_ms: Arc<Histogram>,
     pub(super) result_transit_ms: Arc<Histogram>,
 }
@@ -174,6 +195,9 @@ impl CloudMetrics {
             uep_reused: registry.counter("mep.uep_reused"),
             uep_spawn_requested: registry.counter("mep.uep_spawn_requested"),
             uep_respawn_requested: registry.counter("mep.uep_respawn_requested"),
+            tasks_expired: registry.counter("cloud.tasks_expired"),
+            submits_rejected_overload: registry.counter("cloud.submits_rejected_overload"),
+            tasks_shed_brownout: registry.counter("cloud.tasks_shed_brownout"),
             roundtrip_ms: registry.histogram("cloud.task_roundtrip_ms"),
             result_transit_ms: registry.histogram("cloud.result_transit_ms"),
         }
@@ -246,6 +270,8 @@ pub(super) struct CloudInner {
     pub(super) spawn_pending: Arc<RwLock<HashSet<EndpointId>>>,
     /// Federation membership (`None` for a standalone service).
     pub(super) fed: Option<FedMembership>,
+    /// Admission control: token buckets, in-flight quotas, brownout flag.
+    pub(super) admission: AdmissionState,
     pub(super) shutdown: AtomicBool,
     pub(super) processors: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -322,6 +348,7 @@ impl WebService {
             metrics.set_tracer(t.clone());
             t
         });
+        let admission = AdmissionState::new(cfg.admission.clone());
         let inner = Arc::new(CloudInner {
             cfg,
             auth,
@@ -341,6 +368,7 @@ impl WebService {
             stream_counter: shared.stream_counter,
             spawn_pending: shared.spawn_pending,
             fed,
+            admission,
             shutdown: AtomicBool::new(false),
             processors: Mutex::new(Vec::new()),
         });
@@ -378,6 +406,14 @@ impl WebService {
                 .name("gcx-liveness".into())
                 .spawn(move || svc2.liveness_monitor_loop())
                 .expect("spawn liveness monitor");
+            svc.inner.processors.lock().push(handle);
+            // Deadline/TTL expiry and brownout share a finer-grained sweep;
+            // it no-ops while nothing can expire and admission is off.
+            let svc2 = svc.clone();
+            let handle = std::thread::Builder::new()
+                .name("gcx-expiry".into())
+                .spawn(move || svc2.expiry_monitor_loop())
+                .expect("spawn expiry monitor");
             svc.inner.processors.lock().push(handle);
         }
         svc

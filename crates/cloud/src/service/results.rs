@@ -171,6 +171,9 @@ impl WebService {
             return Ok(());
         };
         self.inner.m.results_processed.inc();
+        // First (non-duplicate) completion: return the owner's in-flight
+        // admission charge.
+        self.admission_release(owner, 1);
         // Durable completion: a handover replay of our log must preserve
         // this result, not resurrect the task.
         self.fed_log_done(task_id, &result);

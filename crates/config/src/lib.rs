@@ -16,11 +16,13 @@
 //! through the cloud as a task payload validates and renders without
 //! conversion.
 
+pub mod admission;
 pub mod federation;
 pub mod schema;
 pub mod template;
 pub mod yaml;
 
+pub use admission::AdmissionSpec;
 pub use federation::FederationSpec;
 pub use schema::Schema;
 pub use template::Template;

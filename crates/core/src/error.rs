@@ -73,6 +73,15 @@ pub enum GcxError {
     /// replicas: `redirects` hops all failed, the last with `last`. Not
     /// retryable — the budget is spent (mirrors [`GcxError::RetriesExhausted`]).
     RedirectsExhausted { redirects: u32, last: String },
+    /// The service is shedding load (admission control or brownout) and
+    /// declined the request. Retryable — but not before `retry_after_ms`.
+    Overloaded { retry_after_ms: u64 },
+    /// A bounded queue is at its configured depth or byte capacity and its
+    /// overflow policy rejects new publishes. Retryable — the queue drains.
+    QueueFull { queue: String },
+    /// The task's deadline/TTL elapsed before it completed. Terminal: the
+    /// deadline is gone, retrying the same submission cannot meet it.
+    DeadlineExceeded(TaskId),
     /// Catch-all for internal invariant violations.
     Internal(String),
 }
@@ -112,6 +121,15 @@ impl fmt::Display for GcxError {
             GcxError::RedirectsExhausted { redirects, last } => {
                 write!(f, "gave up after {redirects} redirects; last error: {last}")
             }
+            GcxError::Overloaded { retry_after_ms } => {
+                write!(f, "service overloaded; retry after {retry_after_ms} ms")
+            }
+            GcxError::QueueFull { queue } => {
+                write!(f, "queue '{queue}' is at capacity")
+            }
+            GcxError::DeadlineExceeded(id) => {
+                write!(f, "task {id} exceeded its deadline")
+            }
             GcxError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -131,7 +149,19 @@ impl GcxError {
                 | GcxError::Transient(_)
                 | GcxError::EndpointOffline(_)
                 | GcxError::ReplicaUnavailable(_)
+                | GcxError::Overloaded { .. }
+                | GcxError::QueueFull { .. }
         )
+    }
+
+    /// For [`GcxError::Overloaded`], the server's requested minimum wait
+    /// before retrying; `None` for every other variant. Retry loops use this
+    /// to stretch their own backoff to at least the server's ask.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            GcxError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
     }
 
     /// True if the failure was caused by the user's own input (won't succeed
@@ -189,6 +219,20 @@ mod tests {
             last: "x".into()
         }
         .is_retryable());
+        // Overload pushback and full queues drain; a blown deadline does not
+        // come back.
+        assert!(GcxError::Overloaded { retry_after_ms: 50 }.is_retryable());
+        assert!(GcxError::QueueFull { queue: "q".into() }.is_retryable());
+        assert!(!GcxError::DeadlineExceeded(TaskId::random()).is_retryable());
+    }
+
+    #[test]
+    fn retry_after_surfaces_only_for_overload() {
+        assert_eq!(
+            GcxError::Overloaded { retry_after_ms: 75 }.retry_after_ms(),
+            Some(75)
+        );
+        assert_eq!(GcxError::Timeout("x".into()).retry_after_ms(), None);
     }
 
     #[test]

@@ -239,6 +239,7 @@ pub struct MetricsRegistry {
 #[derive(Default)]
 struct RegistryInner {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     // The tracer rides on the registry so every component that already
     // holds a registry handle (broker, cloud, engines, agent) reaches the
@@ -259,6 +260,25 @@ impl MetricsRegistry {
         }
         let mut w = self.inner.counters.write();
         Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.inner.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        let mut w = self.inner.gauges.write();
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Snapshot of all gauge values, sorted by name.
+    pub fn gauge_snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
     }
 
     /// Get or create the histogram named `name`.
@@ -458,5 +478,16 @@ mod tests {
         assert_eq!(snap.get("bytes"), Some(&15));
         r.reset_counters();
         assert_eq!(r.counter("bytes").get(), 0);
+    }
+
+    #[test]
+    fn registry_shares_named_gauges() {
+        let r = MetricsRegistry::new();
+        r.gauge("depth").add(7);
+        let r2 = r.clone();
+        r2.gauge("depth").sub(2);
+        assert_eq!(r.gauge("depth").get(), 5);
+        assert_eq!(r.gauge_snapshot().get("depth"), Some(&5));
+        assert!(!r.gauge_snapshot().contains_key("missing"));
     }
 }

@@ -40,6 +40,15 @@ pub struct TaskSpec {
     /// `None` for untraced/sampled-out tasks; absent on old wire payloads.
     #[serde(default)]
     pub trace: Option<TraceContext>,
+    /// Optional relative deadline (TTL) in milliseconds from submission.
+    /// The cloud expires the task once the deadline passes; the endpoint
+    /// kills a still-running execution. `None` means no deadline.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// Scheduling priority: higher values are more important. Brownout-mode
+    /// load shedding drops the lowest-priority traffic first. Default `0`.
+    #[serde(default)]
+    pub priority: i64,
 }
 
 impl TaskSpec {
@@ -55,6 +64,8 @@ impl TaskSpec {
             resource_spec: ResourceSpec::default(),
             user_endpoint_config: Value::None,
             trace: None,
+            deadline_ms: None,
+            priority: 0,
         }
     }
 
@@ -71,6 +82,12 @@ impl TaskSpec {
         ];
         if let Some(ctx) = &self.trace {
             fields.push(("trace", Value::str(ctx.encode())));
+        }
+        if let Some(deadline) = self.deadline_ms {
+            fields.push(("deadline_ms", Value::Int(deadline as i64)));
+        }
+        if self.priority != 0 {
+            fields.push(("priority", Value::Int(self.priority)));
         }
         Value::map(fields)
     }
@@ -111,7 +128,18 @@ impl TaskSpec {
                 .get("trace")
                 .and_then(Value::as_str)
                 .and_then(TraceContext::decode),
+            deadline_ms: m
+                .get("deadline_ms")
+                .and_then(Value::as_int)
+                .map(|n| n.max(0) as u64),
+            priority: m.get("priority").and_then(Value::as_int).unwrap_or(0),
         })
+    }
+
+    /// Absolute expiry instant for a task submitted at `submitted_at`
+    /// (cloud clock), or `None` when the spec carries no deadline.
+    pub fn expires_at(&self, submitted_at: TimeMs) -> Option<TimeMs> {
+        self.deadline_ms.map(|d| submitted_at.saturating_add(d))
     }
 }
 
@@ -174,6 +202,11 @@ impl TaskState {
 /// string so it survives the wire codec unchanged.
 pub const RETRYABLE_MARKER: &str = "[retryable] ";
 
+/// Prefix marking a `TaskResult::Err` as a deadline/TTL expiry. The marker
+/// is followed by the task id, so [`TaskResult::into_result`] can decode a
+/// typed [`GcxError::DeadlineExceeded`] on the far side of the wire.
+pub const DEADLINE_MARKER: &str = "[deadline] ";
+
 /// The outcome of a task: a value or an error description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TaskResult {
@@ -194,6 +227,17 @@ impl TaskResult {
     /// True if this is a failure carrying the retryable marker.
     pub fn is_retryable_err(&self) -> bool {
         matches!(self, TaskResult::Err(e) if e.starts_with(RETRYABLE_MARKER))
+    }
+
+    /// The typed expiry failure for `task_id`; decoded by
+    /// [`TaskResult::into_result`] as [`GcxError::DeadlineExceeded`].
+    pub fn deadline_err(task_id: TaskId) -> Self {
+        TaskResult::Err(format!("{DEADLINE_MARKER}{task_id}"))
+    }
+
+    /// True if this is a failure carrying the deadline marker.
+    pub fn is_deadline_err(&self) -> bool {
+        matches!(self, TaskResult::Err(e) if e.starts_with(DEADLINE_MARKER))
     }
     /// Pack to the wire form used on result queues.
     pub fn to_value(&self) -> Value {
@@ -227,10 +271,19 @@ impl TaskResult {
     pub fn into_result(self) -> GcxResult<Value> {
         match self {
             TaskResult::Ok(v) => Ok(v),
-            TaskResult::Err(e) => match e.strip_prefix(RETRYABLE_MARKER) {
-                Some(msg) => Err(GcxError::Transient(msg.to_string())),
-                None => Err(GcxError::Execution(e)),
-            },
+            TaskResult::Err(e) => {
+                if let Some(msg) = e.strip_prefix(RETRYABLE_MARKER) {
+                    return Err(GcxError::Transient(msg.to_string()));
+                }
+                if let Some(rest) = e.strip_prefix(DEADLINE_MARKER) {
+                    // The marker is followed by the task id; a corrupted
+                    // payload falls through to a plain execution error.
+                    if let Ok(id) = rest.split_whitespace().next().unwrap_or("").parse() {
+                        return Err(GcxError::DeadlineExceeded(TaskId(id)));
+                    }
+                }
+                Err(GcxError::Execution(e))
+            }
         }
     }
 }
@@ -442,6 +495,42 @@ mod tests {
             Err(GcxError::Transient(m)) => assert_eq!(m, "endpoint went offline"),
             other => panic!("expected Transient, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn spec_deadline_and_priority_survive_the_wire() {
+        let mut s = spec();
+        s.deadline_ms = Some(5_000);
+        s.priority = -2;
+        let back = TaskSpec::from_value(&s.to_value()).unwrap();
+        assert_eq!(back.deadline_ms, Some(5_000));
+        assert_eq!(back.priority, -2);
+        assert_eq!(back, s);
+        // Payloads without the keys (old peers) decode with the defaults.
+        let bare = spec();
+        let back = TaskSpec::from_value(&bare.to_value()).unwrap();
+        assert_eq!(back.deadline_ms, None);
+        assert_eq!(back.priority, 0);
+        assert_eq!(bare.expires_at(100), None);
+        let mut d = spec();
+        d.deadline_ms = Some(50);
+        assert_eq!(d.expires_at(100), Some(150));
+    }
+
+    #[test]
+    fn deadline_marker_roundtrip() {
+        let id = TaskId::random();
+        let r = TaskResult::deadline_err(id);
+        assert!(r.is_deadline_err());
+        assert!(!r.is_retryable_err());
+        let back = TaskResult::from_value(&r.to_value()).unwrap();
+        match back.into_result() {
+            Err(GcxError::DeadlineExceeded(got)) => assert_eq!(got, id),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // A corrupted marker body degrades to a plain execution error.
+        let garbled = TaskResult::Err(format!("{DEADLINE_MARKER}not-a-uuid"));
+        assert!(matches!(garbled.into_result(), Err(GcxError::Execution(_))));
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam_channel::{Receiver, Sender};
+use gcx_core::clock::SharedClock;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
 use gcx_core::metrics::{Counter, MetricsRegistry};
@@ -54,6 +55,11 @@ pub struct CoreTask {
     pub task: ExecutableTask,
     /// How many times it has been requeued after a resource loss.
     pub retries: u8,
+    /// Absolute expiry on the engine's clock, stamped at submit from the
+    /// spec's relative `deadline_ms`. A task past this instant is killed
+    /// wherever it sits (backlog or in flight) and resolves with a typed
+    /// deadline error.
+    pub expires_at_ms: Option<u64>,
 }
 
 /// Messages driving the core loop. Submissions come from the engine
@@ -169,6 +175,9 @@ pub struct CoreConfig {
     pub max_retries: u8,
     /// Name for the core's driver thread.
     pub thread_name: &'static str,
+    /// The engine's clock: stamps task expiry at submit and drives the
+    /// deadline sweep.
+    pub clock: SharedClock,
 }
 
 struct CoreShared {
@@ -186,6 +195,7 @@ struct CoreCounters {
     redispatched: Arc<Counter>,
     walltime_kills: Arc<Counter>,
     stale_discarded: Arc<Counter>,
+    deadline_kills: Arc<Counter>,
 }
 
 impl CoreCounters {
@@ -195,6 +205,7 @@ impl CoreCounters {
             redispatched: metrics.counter(&format!("{k}.tasks_redispatched")),
             walltime_kills: metrics.counter(&format!("{k}.walltime_kills")),
             stale_discarded: metrics.counter(&format!("{k}.stale_results_discarded")),
+            deadline_kills: metrics.counter(&format!("{k}.deadline_kills")),
         }
     }
 }
@@ -207,6 +218,7 @@ pub struct CoreEngine {
     shared: Arc<CoreShared>,
     driver: Option<std::thread::JoinHandle<()>>,
     validate: Option<Validator>,
+    clock: SharedClock,
 }
 
 impl CoreEngine {
@@ -247,6 +259,9 @@ impl CoreEngine {
             backlog: VecDeque::new(),
             in_flight: HashMap::new(),
             launch_seq: 0,
+            clock: cfg.clock.clone(),
+            deadlines_present: false,
+            next_deadline_sweep_ms: 0,
         };
         let driver = std::thread::Builder::new()
             .name(cfg.thread_name.into())
@@ -258,6 +273,7 @@ impl CoreEngine {
             shared,
             driver: Some(driver),
             validate,
+            clock: cfg.clock,
         }
     }
 
@@ -270,9 +286,19 @@ impl CoreEngine {
         if let Some(validate) = &self.validate {
             validate(&task)?;
         }
+        // Deadlines are relative on the wire (clock-skew safe); pin the
+        // absolute expiry to this engine's clock on arrival.
+        let expires_at_ms = task
+            .spec
+            .deadline_ms
+            .map(|d| self.clock.now_ms().saturating_add(d));
         self.shared.queued.fetch_add(1, Ordering::SeqCst);
         self.tx
-            .send(CoreMsg::Submit(Box::new(CoreTask { task, retries: 0 })))
+            .send(CoreMsg::Submit(Box::new(CoreTask {
+                task,
+                retries: 0,
+                expires_at_ms,
+            })))
             .map_err(|_| GcxError::ShuttingDown)
     }
 
@@ -328,6 +354,11 @@ struct ExecCore<P: SchedPolicy> {
     /// finish, and a stranded execution's late result is discarded.
     in_flight: HashMap<u64, InFlight>,
     launch_seq: u64,
+    clock: SharedClock,
+    /// Latched once any deadline-carrying task arrives; gates the sweep so
+    /// deadline-free workloads pay nothing on the hot loop.
+    deadlines_present: bool,
+    next_deadline_sweep_ms: u64,
 }
 
 impl<P: SchedPolicy> ExecCore<P> {
@@ -348,12 +379,14 @@ impl<P: SchedPolicy> ExecCore<P> {
                             task.task.spec.task_id,
                             TaskState::WaitingForNodes,
                         ));
+                        self.deadlines_present |= task.expires_at_ms.is_some();
                         self.backlog.push_back(*task);
                     }
                     CoreMsg::Finished { launch_id, outcome } => self.finish(launch_id, outcome),
                 }
             }
 
+            progressed |= self.kill_expired();
             progressed |= self.poll_blocks();
 
             // Scale out while a backlog exists. Requests go through the
@@ -394,6 +427,69 @@ impl<P: SchedPolicy> ExecCore<P> {
             self.table.as_ref().map_or(0, |t| t.blocks()),
             Ordering::SeqCst,
         );
+    }
+
+    /// Kill every task past its deadline, wherever it sits. Backlogged
+    /// tasks are dropped before ever launching; in-flight tasks have their
+    /// launch entry stolen (the stranded execution's late result is
+    /// discarded as stale) and their resources reclaimed. Both resolve with
+    /// the typed deadline marker the cloud decodes into
+    /// [`GcxError::DeadlineExceeded`]. Throttled to ~10 ms granularity and
+    /// skipped entirely until a deadline-carrying task has been seen.
+    fn kill_expired(&mut self) -> bool {
+        if !self.deadlines_present {
+            return false;
+        }
+        let now = self.clock.now_ms();
+        if now < self.next_deadline_sweep_ms {
+            return false;
+        }
+        self.next_deadline_sweep_ms = now + 10;
+        let mut killed = false;
+
+        let mut i = 0;
+        while i < self.backlog.len() {
+            let expired = self.backlog[i].expires_at_ms.is_some_and(|t| now > t);
+            if !expired {
+                i += 1;
+                continue;
+            }
+            let task = self.backlog.remove(i).expect("index in bounds");
+            self.shared.queued.fetch_sub(1, Ordering::SeqCst);
+            self.resolve_expired(&task);
+            killed = true;
+        }
+
+        let hit: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, e)| e.task.expires_at_ms.is_some_and(|t| now > t))
+            .map(|(id, _)| *id)
+            .collect();
+        for launch_id in hit {
+            let entry = self.in_flight.remove(&launch_id).expect("entry present");
+            self.shared.running.fetch_sub(1, Ordering::SeqCst);
+            self.policy.reclaim(&entry.assignment, None);
+            self.resolve_expired(&entry.task);
+            killed = true;
+        }
+        killed
+    }
+
+    /// Emit the typed deadline result for an expired task.
+    fn resolve_expired(&self, task: &CoreTask) {
+        let task_id = task.task.spec.task_id;
+        self.counters.deadline_kills.inc();
+        self.metrics
+            .tracer()
+            .annotate(task.task.spec.trace.as_ref(), || {
+                "deadline exceeded: killed by the engine".to_string()
+            });
+        self.emit(EngineEvent::Done {
+            task_id,
+            tag: task.task.tag,
+            result: TaskResult::deadline_err(task_id),
+        });
     }
 
     /// Fold block-table transitions into recovery, policy callbacks, and

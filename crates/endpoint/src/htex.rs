@@ -101,7 +101,7 @@ impl GlobusComputeEngine {
             workers_per_node: cfg.workers_per_node,
             sandbox: cfg.sandbox,
             vfs,
-            clock,
+            clock: clock.clone(),
             metrics: metrics.clone(),
             finished: channel.0.clone(),
             transform,
@@ -114,6 +114,7 @@ impl GlobusComputeEngine {
                 kind: EngineKind::Htex,
                 max_retries: cfg.max_retries,
                 thread_name: "gcx-interchange",
+                clock: clock.clone(),
             },
             policy,
             Some(table),

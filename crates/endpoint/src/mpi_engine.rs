@@ -100,7 +100,7 @@ impl GlobusMpiEngine {
             nodes_per_block: cfg.nodes_per_block,
             launcher: cfg.launcher,
             vfs,
-            clock,
+            clock: clock.clone(),
             metrics: metrics.clone(),
             finished: channel.0.clone(),
             transform,
@@ -113,6 +113,7 @@ impl GlobusMpiEngine {
                 kind: EngineKind::Mpi,
                 max_retries: cfg.max_retries,
                 thread_name: "gcx-mpi-scheduler",
+                clock: clock.clone(),
             },
             policy,
             Some(table),

@@ -98,6 +98,7 @@ impl ThreadEngine {
                 kind: EngineKind::Thread,
                 max_retries: cfg.max_retries,
                 thread_name: "gcx-thread-engine",
+                clock,
             },
             policy,
             None,

@@ -95,8 +95,22 @@ pub struct QueueStats {
     pub published: u64,
 }
 
-/// Redelivery limits for a queue. The default policy (unlimited deliveries,
-/// no dead-letter queue) matches plain AMQP.
+/// What a bounded queue does with a publish that would exceed its capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Refuse the publish with a typed [`GcxError::QueueFull`] — the
+    /// publisher absorbs the backpressure. This is the default.
+    #[default]
+    RejectNew,
+    /// Accept the publish and evict the *oldest* ready messages to the
+    /// queue's dead-letter target (or drop them if it has none) until the
+    /// queue is back under its bound. Freshness wins over age.
+    DropOldestToDlq,
+}
+
+/// Redelivery limits and capacity bounds for a queue. The default policy
+/// (unlimited deliveries, no dead-letter queue, unbounded) matches plain
+/// AMQP.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueuePolicy {
     /// Maximum times a message may be handed to a consumer before it is
@@ -105,6 +119,13 @@ pub struct QueuePolicy {
     /// Where poisoned messages go. `None` discards them (counted in
     /// `mq.dropped`).
     pub dead_letter_to: Option<String>,
+    /// Maximum ready (undelivered) messages; `0` = unbounded. Unacked
+    /// deliveries don't count — prefetch already bounds those.
+    pub max_depth: usize,
+    /// Maximum total wire bytes across ready messages; `0` = unbounded.
+    pub max_bytes: usize,
+    /// What happens when a publish would exceed `max_depth`/`max_bytes`.
+    pub overflow: OverflowPolicy,
 }
 
 impl QueuePolicy {
@@ -113,16 +134,62 @@ impl QueuePolicy {
         Self {
             max_deliveries,
             dead_letter_to: Some(queue.into()),
+            ..Self::default()
         }
+    }
+
+    /// Cap the queue at `max_depth` ready messages (reject-new overflow).
+    pub fn bounded(max_depth: usize) -> Self {
+        Self {
+            max_depth,
+            ..Self::default()
+        }
+    }
+
+    /// Also cap total ready bytes.
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Choose what happens to publishes over the bound.
+    pub fn with_overflow(mut self, overflow: OverflowPolicy) -> Self {
+        self.overflow = overflow;
+        self
+    }
+
+    /// Route poisoned/evicted messages to `queue`.
+    pub fn with_dead_letter_to(mut self, queue: impl Into<String>) -> Self {
+        self.dead_letter_to = Some(queue.into());
+        self
     }
 
     fn exhausted(&self, msg: &Message) -> bool {
         self.max_deliveries > 0 && msg.delivery_count >= self.max_deliveries
     }
+
+    fn is_bounded(&self) -> bool {
+        self.max_depth > 0 || self.max_bytes > 0
+    }
+
+    /// Would adding `add_msgs` messages totalling `add_bytes` exceed a bound?
+    fn would_overflow(&self, st: &QueueState, add_msgs: usize, add_bytes: usize) -> bool {
+        (self.max_depth > 0 && st.ready.len() + add_msgs > self.max_depth)
+            || (self.max_bytes > 0 && st.ready_bytes + add_bytes > self.max_bytes)
+    }
+
+    /// Is the queue currently over either bound?
+    fn over_bound(&self, st: &QueueState) -> bool {
+        (self.max_depth > 0 && st.ready.len() > self.max_depth)
+            || (self.max_bytes > 0 && st.ready_bytes > self.max_bytes)
+    }
 }
 
 struct QueueState {
     ready: VecDeque<Message>,
+    /// Running total of `wire_size` across `ready` — kept so capacity checks
+    /// and the bytes gauge never walk the deque.
+    ready_bytes: usize,
     unacked: HashMap<u64, Message>,
     closed: bool,
 }
@@ -135,6 +202,10 @@ struct Queue {
     next_tag: AtomicU64,
     published: AtomicU64,
     policy: Mutex<QueuePolicy>,
+    /// `mq.depth.<queue>` — ready messages, kept in lockstep with `ready`.
+    depth_gauge: Arc<gcx_core::metrics::Gauge>,
+    /// `mq.bytes.<queue>` — ready wire bytes, kept in lockstep.
+    bytes_gauge: Arc<gcx_core::metrics::Gauge>,
 }
 
 impl Queue {
@@ -145,6 +216,49 @@ impl Queue {
             unacked: st.unacked.len(),
             published: self.published.load(Ordering::Relaxed),
         }
+    }
+
+    /// Append to `ready`, maintaining the byte total and gauges. Every path
+    /// that grows `ready` must go through this (or `push_ready_front`).
+    fn push_ready_back(&self, st: &mut QueueState, msg: Message) {
+        let size = msg.wire_size();
+        st.ready_bytes += size;
+        st.ready.push_back(msg);
+        self.depth_gauge.add(1);
+        self.bytes_gauge.add(size as u64);
+    }
+
+    /// Prepend to `ready` (requeue paths), maintaining totals and gauges.
+    fn push_ready_front(&self, st: &mut QueueState, msg: Message) {
+        let size = msg.wire_size();
+        st.ready_bytes += size;
+        st.ready.push_front(msg);
+        self.depth_gauge.add(1);
+        self.bytes_gauge.add(size as u64);
+    }
+
+    /// Pop the oldest ready message, maintaining totals and gauges.
+    fn pop_ready(&self, st: &mut QueueState) -> Option<Message> {
+        let msg = st.ready.pop_front()?;
+        let size = msg.wire_size();
+        st.ready_bytes = st.ready_bytes.saturating_sub(size);
+        self.depth_gauge.sub(1);
+        self.bytes_gauge.sub(size as u64);
+        Some(msg)
+    }
+
+    /// Pop oldest ready messages until the queue is back under `policy`'s
+    /// bounds; returns the evicted messages (route them to the DLQ *after*
+    /// releasing the state lock).
+    fn evict_over_bound(&self, st: &mut QueueState, policy: &QueuePolicy) -> Vec<Message> {
+        let mut evicted = Vec::new();
+        while policy.over_bound(st) {
+            match self.pop_ready(st) {
+                Some(msg) => evicted.push(msg),
+                None => break,
+            }
+        }
+        evicted
     }
 }
 
@@ -162,6 +276,8 @@ struct MqMetrics {
     bytes_delivered: Arc<gcx_core::metrics::Counter>,
     redeliveries: Arc<gcx_core::metrics::Counter>,
     acks: Arc<gcx_core::metrics::Counter>,
+    queue_full_rejections: Arc<gcx_core::metrics::Counter>,
+    overflow_dropped: Arc<gcx_core::metrics::Counter>,
 }
 
 impl MqMetrics {
@@ -176,6 +292,8 @@ impl MqMetrics {
             bytes_delivered: registry.counter("mq.bytes_delivered"),
             redeliveries: registry.counter("mq.redeliveries"),
             acks: registry.counter("mq.acks"),
+            queue_full_rejections: registry.counter("mq.queue_full_rejections"),
+            overflow_dropped: registry.counter("mq.overflow_dropped"),
         }
     }
 }
@@ -230,7 +348,10 @@ impl BrokerInner {
                 msg.delivery_count = 0;
                 let mut st = q.state.lock();
                 if !st.closed {
-                    st.ready.push_back(msg);
+                    // The DLQ itself is exempt from capacity bounds: it is
+                    // the overflow valve, and bouncing between bounded
+                    // queues could recurse forever.
+                    q.push_ready_back(&mut st, msg);
                     drop(st);
                     q.published.fetch_add(1, Ordering::Relaxed);
                     q.cond.notify_one();
@@ -320,6 +441,7 @@ impl Broker {
                 credential: credential.map(str::to_string),
                 state: Mutex::new(QueueState {
                     ready: VecDeque::new(),
+                    ready_bytes: 0,
                     unacked: HashMap::new(),
                     closed: false,
                 }),
@@ -327,6 +449,8 @@ impl Broker {
                 next_tag: AtomicU64::new(1),
                 published: AtomicU64::new(0),
                 policy: Mutex::new(QueuePolicy::default()),
+                depth_gauge: self.inner.metrics.gauge(&format!("mq.depth.{name}")),
+                bytes_gauge: self.inner.metrics.gauge(&format!("mq.bytes.{name}")),
             }),
         );
         Ok(())
@@ -340,7 +464,15 @@ impl Broker {
             .write()
             .remove(name)
             .ok_or_else(|| GcxError::Queue(format!("no such queue '{name}'")))?;
-        q.state.lock().closed = true;
+        {
+            let mut st = q.state.lock();
+            st.closed = true;
+            // Zero the gauges so a deleted queue doesn't report phantom depth.
+            q.depth_gauge.sub(st.ready.len() as u64);
+            q.bytes_gauge.sub(st.ready_bytes as u64);
+            st.ready.clear();
+            st.ready_bytes = 0;
+        }
         q.cond.notify_all();
         Ok(())
     }
@@ -411,13 +543,38 @@ impl Broker {
                 return Ok(());
             }
         };
+        let policy = q.policy.lock().clone();
+        let evicted;
         {
             let mut st = q.state.lock();
             if st.closed {
                 return Err(GcxError::Queue(format!("queue '{}' is closed", q.name)));
             }
+            if policy.is_bounded()
+                && policy.overflow == OverflowPolicy::RejectNew
+                && policy.would_overflow(&st, copies as usize, size * copies as usize)
+            {
+                drop(st);
+                self.inner.m.queue_full_rejections.inc();
+                self.inner.trace_fault(
+                    gcx_core::trace::EventLevel::Warn,
+                    "mq.queue_full",
+                    queue,
+                    message.headers.get(TRACE_HEADER).map(String::as_str),
+                );
+                return Err(GcxError::QueueFull {
+                    queue: q.name.clone(),
+                });
+            }
             for _ in 0..copies {
-                st.ready.push_back(message.clone());
+                q.push_ready_back(&mut st, message.clone());
+            }
+            evicted = q.evict_over_bound(&mut st, &policy);
+        }
+        if !evicted.is_empty() {
+            self.inner.m.overflow_dropped.add(evicted.len() as u64);
+            for msg in evicted {
+                self.inner.dead_letter(&q.name, &policy.dead_letter_to, msg);
             }
         }
         q.published.fetch_add(copies, Ordering::Relaxed);
@@ -514,16 +671,51 @@ impl Broker {
         let copies_total: u64 = surviving.iter().map(|(_, c)| *c).sum();
         let accepted = surviving.len() as u64;
         if copies_total > 0 {
+            let policy = q.policy.lock().clone();
+            let batch_bytes: usize = surviving
+                .iter()
+                .map(|(m, c)| m.wire_size() * *c as usize)
+                .sum();
+            let evicted;
             {
                 let mut st = q.state.lock();
                 if st.closed {
                     return Err(GcxError::Queue(format!("queue '{}' is closed", q.name)));
                 }
+                // A rejected batch is all-or-nothing: either every surviving
+                // message fits under the bound or none is enqueued, matching
+                // the whole-batch error semantics of `submit_batch`.
+                if policy.is_bounded()
+                    && policy.overflow == OverflowPolicy::RejectNew
+                    && policy.would_overflow(&st, copies_total as usize, batch_bytes)
+                {
+                    drop(st);
+                    self.inner.m.queue_full_rejections.add(accepted);
+                    self.inner.trace_fault(
+                        gcx_core::trace::EventLevel::Warn,
+                        "mq.queue_full",
+                        queue,
+                        surviving
+                            .first()
+                            .and_then(|(m, _)| m.headers.get(TRACE_HEADER))
+                            .map(String::as_str),
+                    );
+                    return Err(GcxError::QueueFull {
+                        queue: q.name.clone(),
+                    });
+                }
                 for (message, copies) in surviving {
                     for _ in 1..copies {
-                        st.ready.push_back(message.clone());
+                        q.push_ready_back(&mut st, message.clone());
                     }
-                    st.ready.push_back(message);
+                    q.push_ready_back(&mut st, message);
+                }
+                evicted = q.evict_over_bound(&mut st, &policy);
+            }
+            if !evicted.is_empty() {
+                self.inner.m.overflow_dropped.add(evicted.len() as u64);
+                for msg in evicted {
+                    self.inner.dead_letter(&q.name, &policy.dead_letter_to, msg);
                 }
             }
             q.published.fetch_add(copies_total, Ordering::Relaxed);
@@ -600,7 +792,7 @@ impl Broker {
                 if policy.exhausted(&msg) {
                     dead.push(msg);
                 } else {
-                    st.ready.push_front(msg);
+                    q.push_ready_front(&mut st, msg);
                     count += 1;
                 }
             }
@@ -652,7 +844,7 @@ impl Consumer {
                 let window_open =
                     self.prefetch == 0 || self.outstanding.load(Ordering::Acquire) < self.prefetch;
                 if window_open && !partitioned {
-                    if let Some(mut msg) = st.ready.pop_front() {
+                    if let Some(mut msg) = self.queue.pop_ready(&mut st) {
                         msg.delivery_count += 1;
                         let policy = self.queue.policy.lock().clone();
                         if policy.max_deliveries > 0 && msg.delivery_count > policy.max_deliveries {
@@ -668,7 +860,7 @@ impl Consumer {
                                 // attempt charged.
                                 msg.redelivered = true;
                                 let trace_hdr = msg.headers.get(TRACE_HEADER).cloned();
-                                st.ready.push_back(msg);
+                                self.queue.push_ready_back(&mut st, msg);
                                 drop(st);
                                 self.broker.m.dropped.inc();
                                 self.broker.trace_fault(
@@ -743,7 +935,7 @@ impl Consumer {
             self.broker
                 .dead_letter(&self.queue.name, &policy.dead_letter_to, msg);
         } else {
-            st.ready.push_front(msg);
+            self.queue.push_ready_front(&mut st, msg);
             drop(st);
         }
         self.forget_tag(tag);
@@ -786,7 +978,7 @@ impl Drop for Consumer {
                     if policy.exhausted(&msg) {
                         dead.push(msg);
                     } else {
-                        st.ready.push_front(msg);
+                        self.queue.push_ready_front(&mut st, msg);
                     }
                 }
             }
@@ -1054,6 +1246,7 @@ mod tests {
             QueuePolicy {
                 max_deliveries: 1,
                 dead_letter_to: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -1228,6 +1421,136 @@ mod tests {
             b2.metrics().counter("mq.bytes_published").get(),
             "batched publish must meter the same bytes as singles"
         );
+    }
+
+    #[test]
+    fn bounded_queue_rejects_new_at_depth() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.set_queue_policy("q", QueuePolicy::bounded(2)).unwrap();
+        b.publish("q", msg("a"), None).unwrap();
+        b.publish("q", msg("b"), None).unwrap();
+        let err = b.publish("q", msg("c"), None).unwrap_err();
+        assert_eq!(err, GcxError::QueueFull { queue: "q".into() });
+        assert!(err.is_retryable());
+        assert_eq!(b.queue_stats("q").unwrap().ready, 2);
+        assert_eq!(b.metrics().counter("mq.queue_full_rejections").get(), 1);
+        // Draining one slot reopens the queue.
+        let c = b.consume("q", None, 0).unwrap();
+        let d = c.next(T).unwrap().unwrap();
+        c.ack(d.tag).unwrap();
+        b.publish("q", msg("c"), None).unwrap();
+    }
+
+    #[test]
+    fn bounded_queue_byte_cap_rejects_large_publish() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        let one = msg("0123456789").wire_size();
+        b.set_queue_policy("q", QueuePolicy::default().with_max_bytes(one * 2))
+            .unwrap();
+        b.publish("q", msg("0123456789"), None).unwrap();
+        b.publish("q", msg("0123456789"), None).unwrap();
+        assert!(matches!(
+            b.publish("q", msg("0123456789"), None),
+            Err(GcxError::QueueFull { .. })
+        ));
+        // A small message under the remaining byte budget still fails depth?
+        // No depth bound here — but bytes are exhausted, so even 1 byte fails.
+        assert!(b.publish("q", msg("x"), None).is_err());
+    }
+
+    #[test]
+    fn drop_oldest_overflow_evicts_to_dlq() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.declare_queue("dlq", None).unwrap();
+        b.set_queue_policy(
+            "q",
+            QueuePolicy::bounded(2)
+                .with_overflow(OverflowPolicy::DropOldestToDlq)
+                .with_dead_letter_to("dlq"),
+        )
+        .unwrap();
+        b.publish("q", msg("oldest"), None).unwrap();
+        b.publish("q", msg("mid"), None).unwrap();
+        b.publish("q", msg("newest"), None).unwrap();
+        // Newest wins; oldest was evicted to the DLQ.
+        assert_eq!(b.queue_stats("q").unwrap().ready, 2);
+        assert_eq!(b.queue_stats("dlq").unwrap().ready, 1);
+        assert_eq!(b.metrics().counter("mq.overflow_dropped").get(), 1);
+        let dc = b.consume("dlq", None, 0).unwrap();
+        let d = dc.next(T).unwrap().unwrap();
+        assert_eq!(&d.message.body[..], b"oldest");
+        assert_eq!(
+            d.message
+                .headers
+                .get(DEATH_QUEUE_HEADER)
+                .map(String::as_str),
+            Some("q")
+        );
+        dc.ack(d.tag).unwrap();
+        let c = b.consume("q", None, 0).unwrap();
+        let d = c.next(T).unwrap().unwrap();
+        assert_eq!(&d.message.body[..], b"mid");
+        c.ack(d.tag).unwrap();
+    }
+
+    #[test]
+    fn bounded_batch_is_all_or_nothing() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.set_queue_policy("q", QueuePolicy::bounded(3)).unwrap();
+        b.publish("q", msg("resident"), None).unwrap();
+        let batch: Vec<Message> = (0..3).map(|i| msg(&format!("m{i}"))).collect();
+        assert!(matches!(
+            b.publish_batch("q", batch, None),
+            Err(GcxError::QueueFull { .. })
+        ));
+        // Nothing from the rejected batch landed.
+        assert_eq!(b.queue_stats("q").unwrap().ready, 1);
+        // A batch that fits goes through whole.
+        let batch: Vec<Message> = (0..2).map(|i| msg(&format!("m{i}"))).collect();
+        b.publish_batch("q", batch, None).unwrap();
+        assert_eq!(b.queue_stats("q").unwrap().ready, 3);
+    }
+
+    #[test]
+    fn depth_and_bytes_gauges_track_queue_contents() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        let size = msg("0123456789").wire_size() as u64;
+        b.publish("q", msg("0123456789"), None).unwrap();
+        b.publish("q", msg("0123456789"), None).unwrap();
+        assert_eq!(b.metrics().gauge("mq.depth.q").get(), 2);
+        assert_eq!(b.metrics().gauge("mq.bytes.q").get(), 2 * size);
+        let c = b.consume("q", None, 0).unwrap();
+        let d = c.next(T).unwrap().unwrap();
+        // Delivered (unacked) messages no longer count against the bound.
+        assert_eq!(b.metrics().gauge("mq.depth.q").get(), 1);
+        assert_eq!(b.metrics().gauge("mq.bytes.q").get(), size);
+        // A nack puts it back.
+        c.nack(d.tag).unwrap();
+        assert_eq!(b.metrics().gauge("mq.depth.q").get(), 2);
+        assert_eq!(b.metrics().gauge("mq.bytes.q").get(), 2 * size);
+        drop(c);
+        b.delete_queue("q").unwrap();
+        assert_eq!(b.metrics().gauge("mq.depth.q").get(), 0);
+        assert_eq!(b.metrics().gauge("mq.bytes.q").get(), 0);
+    }
+
+    #[test]
+    fn unacked_messages_do_not_count_against_depth_bound() {
+        let b = Broker::new();
+        b.declare_queue("q", None).unwrap();
+        b.set_queue_policy("q", QueuePolicy::bounded(1)).unwrap();
+        b.publish("q", msg("a"), None).unwrap();
+        let c = b.consume("q", None, 0).unwrap();
+        let d = c.next(T).unwrap().unwrap();
+        // "a" is unacked, not ready: the bound has room again.
+        b.publish("q", msg("b"), None).unwrap();
+        assert!(b.publish("q", msg("c"), None).is_err());
+        c.ack(d.tag).unwrap();
     }
 
     #[test]

@@ -9,10 +9,11 @@
 use std::time::{Duration, Instant};
 
 use gcx_auth::Token;
-use gcx_cloud::{ReplicaDirectory, WebService};
+use gcx_cloud::{CancelOutcome, ReplicaDirectory, WebService};
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
 use gcx_core::ids::{EndpointId, FunctionId, TaskId};
+use gcx_core::retry::RetryPolicy;
 use gcx_core::task::{TaskResult, TaskSpec, TaskState};
 use gcx_core::value::Value;
 
@@ -23,6 +24,19 @@ use crate::functions::Function;
 /// follow before failing with [`GcxError::RedirectsExhausted`].
 pub const DEFAULT_MAX_REDIRECTS: u32 = 8;
 
+/// Default backoff between `ReplicaUnavailable` rotations: exponential from
+/// 2 ms capped at 100 ms, deterministic (no jitter) so federated tests
+/// replay identically.
+fn default_rotation_backoff() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: DEFAULT_MAX_REDIRECTS + 1,
+        base_ms: 2,
+        max_ms: 100,
+        jitter: 0.0,
+        seed: 0,
+    }
+}
+
 /// A polling client bound to one user token. Against a federated cloud
 /// ([`Client::federated`]) the client follows [`GcxError::NotOwner`]
 /// redirects to the task's owning replica and rotates away from dead or
@@ -32,6 +46,7 @@ pub struct Client {
     token: Token,
     directory: Option<ReplicaDirectory>,
     max_redirects: u32,
+    rotation_backoff: RetryPolicy,
 }
 
 impl Client {
@@ -42,6 +57,7 @@ impl Client {
             token,
             directory: None,
             max_redirects: DEFAULT_MAX_REDIRECTS,
+            rotation_backoff: default_rotation_backoff(),
         }
     }
 
@@ -56,12 +72,19 @@ impl Client {
             token,
             directory: Some(directory),
             max_redirects: DEFAULT_MAX_REDIRECTS,
+            rotation_backoff: default_rotation_backoff(),
         })
     }
 
     /// Override the per-operation redirect/rotation budget.
     pub fn with_max_redirects(mut self, max_redirects: u32) -> Self {
         self.max_redirects = max_redirects;
+        self
+    }
+
+    /// Override the backoff schedule used between replica rotations.
+    pub fn with_rotation_backoff(mut self, policy: RetryPolicy) -> Self {
+        self.rotation_backoff = policy;
         self
     }
 
@@ -111,7 +134,7 @@ impl Client {
                 GcxError::ReplicaUnavailable(r) => {
                     // Capped exponential backoff: gives a partitioned
                     // federation a beat to elect new owners.
-                    std::thread::sleep(Duration::from_millis((1u64 << redirects.min(6)).min(100)));
+                    std::thread::sleep(self.rotation_backoff.backoff(redirects));
                     if let Some(next) = dir.next_live_after(r) {
                         svc = next;
                     }
@@ -158,8 +181,11 @@ impl Client {
         self.with_replica(|svc| svc.task_status(&self.token, task))
     }
 
-    /// Cancel a task (best effort), following ownership redirects.
-    pub fn cancel(&self, task: TaskId) -> GcxResult<()> {
+    /// Cancel a task (best effort), following ownership redirects. Returns
+    /// what actually happened: cancelling a task that already finished is a
+    /// typed no-op ([`CancelOutcome::AlreadyTerminal`]), not an error, and
+    /// the landed result is left intact.
+    pub fn cancel(&self, task: TaskId) -> GcxResult<CancelOutcome> {
         self.with_replica(|svc| svc.cancel_task(&self.token, task))
     }
 

@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gcx_auth::Token;
-use gcx_cloud::{ReplicaDirectory, WebService};
+use gcx_cloud::{CancelOutcome, ReplicaDirectory, WebService};
 use gcx_core::codec;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
@@ -118,6 +118,9 @@ struct ExecutorShared {
     tasks_resubmitted: Arc<Counter>,
     stream_reconnects: Arc<Counter>,
     replica_rotations: Arc<Counter>,
+    /// Retries whose backoff was stretched by a server `retry_after_ms`
+    /// hint (admission-control rejections and queue-full backpressure).
+    overload_backoffs: Arc<Counter>,
     /// The service's tracer (shared via the metrics registry); disabled
     /// tracers make every span call a no-op.
     tracer: gcx_core::trace::Tracer,
@@ -211,6 +214,7 @@ impl Executor {
         let tasks_resubmitted = cloud.metrics().counter("sdk.tasks_resubmitted");
         let stream_reconnects = cloud.metrics().counter("sdk.stream_reconnects");
         let replica_rotations = cloud.metrics().counter("sdk.replica_rotations");
+        let overload_backoffs = cloud.metrics().counter("sdk.overload_backoffs");
         let tracer = cloud.metrics().tracer();
         let shared = Arc::new(ExecutorShared {
             cloud: RwLock::new(cloud),
@@ -225,6 +229,7 @@ impl Executor {
             tasks_resubmitted,
             stream_reconnects,
             replica_rotations,
+            overload_backoffs,
             tracer,
         });
 
@@ -359,11 +364,14 @@ impl Executor {
             (r, _) => r,
         };
         match outcome {
-            Ok(()) => {
+            Ok(CancelOutcome::Cancelled) => {
                 self.shared.inflight.lock().remove(&task_id);
                 future.resolve(Err(GcxError::Cancelled(task_id)));
                 Ok(true)
             }
+            // Raced a result (or expiry): the terminal outcome stands and
+            // reaches the future through the normal stream path.
+            Ok(CancelOutcome::AlreadyTerminal(_)) => Ok(false),
             Err(GcxError::TaskNotFound(_)) => {
                 // Not yet flushed from the batcher: cancel locally.
                 let mut pending = self.shared.pending.lock();
@@ -666,16 +674,30 @@ fn fail_or_retry(shared: &ExecutorShared, retry: &RetryPolicy, task_id: TaskId, 
         shared.tracer.annotate(inf.spec.trace.as_ref(), || {
             format!("retries exhausted after {} attempts: {err}", inf.attempts)
         });
-        inf.future.resolve(Err(GcxError::RetriesExhausted {
-            attempts: inf.attempts,
-            last: err.to_string(),
-        }));
+        // Exhausting the budget against admission control stays typed: the
+        // caller should see `Overloaded` (and its retry hint), not a
+        // generic retries-exhausted wrapper.
+        let last = if matches!(err, GcxError::Overloaded { .. }) {
+            err
+        } else {
+            GcxError::RetriesExhausted {
+                attempts: inf.attempts,
+                last: err.to_string(),
+            }
+        };
+        inf.future.resolve(Err(last));
         return;
     }
     // Resubmit under a fresh task id: the old id's record is terminal on the
     // cloud side, so reusing it would let straggler duplicate deliveries of
     // the failed attempt race the new one.
-    let backoff = retry.backoff(inf.attempts);
+    // An overloaded service names its own price: stretch the policy's
+    // backoff to at least the server's `retry_after_ms` hint.
+    let mut backoff = retry.backoff(inf.attempts);
+    if let Some(hint_ms) = err.retry_after_ms() {
+        shared.overload_backoffs.inc();
+        backoff = backoff.max(Duration::from_millis(hint_ms));
+    }
     inf.attempts += 1;
     inf.spec.task_id = TaskId::random();
     shared.tasks_resubmitted.inc();

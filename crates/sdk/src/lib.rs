@@ -35,3 +35,4 @@ pub use client::Client;
 pub use executor::{Executor, ExecutorConfig};
 pub use functions::{Function, MpiFunction, PyFunction, ShellFunction};
 pub use future::TaskFuture;
+pub use gcx_cloud::CancelOutcome;

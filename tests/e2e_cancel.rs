@@ -6,10 +6,10 @@ use gcx::auth::AuthPolicy;
 use gcx::cloud::WebService;
 use gcx::core::clock::SystemClock;
 use gcx::core::error::GcxError;
-use gcx::core::task::TaskState;
+use gcx::core::task::{TaskResult, TaskState};
 use gcx::core::value::Value;
 use gcx::endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
-use gcx::sdk::{Client, Executor, PyFunction};
+use gcx::sdk::{CancelOutcome, Client, Executor, PyFunction};
 
 #[test]
 fn cancel_buffered_task_never_executes() {
@@ -28,10 +28,10 @@ fn cancel_buffered_task_never_executes() {
     let task = client
         .run(fid, reg.endpoint_id, vec![], Value::None)
         .unwrap();
-    client.cancel(task).unwrap();
+    assert_eq!(client.cancel(task).unwrap(), CancelOutcome::Cancelled);
     let (state, result) = client.task_status(task).unwrap();
     assert_eq!(state, TaskState::Cancelled);
-    assert!(matches!(result, Some(gcx::core::task::TaskResult::Err(m)) if m.contains("cancelled")));
+    assert!(matches!(result, Some(TaskResult::Err(m)) if m.contains("cancelled")));
 
     // Now the agent comes online: it must skip the cancelled task.
     let config = EndpointConfig::from_yaml("engine:\n  type: GlobusComputeEngine\n").unwrap();
@@ -68,7 +68,7 @@ fn cancel_buffered_task_never_executes() {
 }
 
 #[test]
-fn cancel_completed_task_errors() {
+fn cancel_completed_task_is_typed_noop() {
     let cloud = WebService::with_defaults(SystemClock::shared());
     let (_, token) = cloud.auth().login("late@test.org").unwrap();
     let client = Client::new(cloud.clone(), token.clone());
@@ -90,13 +90,121 @@ fn cancel_completed_task_errors() {
     let task = client
         .run(fid, reg.endpoint_id, vec![], Value::None)
         .unwrap();
-    client
+    let landed = client
         .get_result(task, Duration::from_millis(5), Duration::from_secs(10))
         .unwrap();
-    let err = client.cancel(task).unwrap_err();
-    assert!(err.to_string().contains("already"), "{err}");
+    // Cancelling a finished task is a typed no-op: the caller learns which
+    // terminal state it raced against, and the record is untouched.
+    assert_eq!(
+        client.cancel(task).unwrap(),
+        CancelOutcome::AlreadyTerminal(TaskState::Success)
+    );
+    let (state, result) = client.task_status(task).unwrap();
+    assert_eq!(
+        state,
+        TaskState::Success,
+        "cancel must not overwrite a result"
+    );
+    assert_eq!(result, Some(TaskResult::Ok(landed)));
     agent.stop();
     cloud.shutdown();
+}
+
+/// Cancel a task *while it is executing* on the engine. The cloud record
+/// flips to Cancelled immediately; the function keeps running on the
+/// endpoint (best-effort cancellation does not reach into a live worker),
+/// and its late result must be dropped as a duplicate rather than
+/// resurrecting the cancelled task.
+fn cancel_running_task_on(engine_yaml: &str, user: &str) {
+    let cloud = WebService::with_defaults(SystemClock::shared());
+    let (_, token) = cloud.auth().login(user).unwrap();
+    let client = Client::new(cloud.clone(), token.clone());
+    let reg = cloud
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    let config = EndpointConfig::from_yaml(engine_yaml).unwrap();
+    let agent = EndpointAgent::start(
+        &cloud,
+        reg.endpoint_id,
+        &reg.queue_credential,
+        &config,
+        AgentEnv::local(SystemClock::shared()),
+    )
+    .unwrap();
+    let fid = client
+        .register_function(&PyFunction::new(
+            "def f():\n    sleep(0.3)\n    return 'finished'\n",
+        ))
+        .unwrap();
+    let task = client
+        .run(fid, reg.endpoint_id, vec![], Value::None)
+        .unwrap();
+
+    // Wait until the engine reports the task Running, then cancel it
+    // mid-execution.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (state, _) = client.task_status(task).unwrap();
+        if state == TaskState::Running {
+            break;
+        }
+        assert!(
+            !state.is_terminal(),
+            "task finished before it was cancelled"
+        );
+        assert!(std::time::Instant::now() < deadline, "task never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(client.cancel(task).unwrap(), CancelOutcome::Cancelled);
+    let (state, result) = client.task_status(task).unwrap();
+    assert_eq!(state, TaskState::Cancelled);
+    assert!(matches!(result, Some(TaskResult::Err(m)) if m.contains("cancelled")));
+
+    // The worker finishes anyway; its late result is swallowed by the
+    // terminal record.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while cloud
+        .metrics()
+        .counter("cloud.duplicate_results_dropped")
+        .get()
+        == 0
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "late result never reached the cloud"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (state, result) = client.task_status(task).unwrap();
+    assert_eq!(
+        state,
+        TaskState::Cancelled,
+        "late result must not resurrect"
+    );
+    assert!(matches!(result, Some(TaskResult::Err(m)) if m.contains("cancelled")));
+    // A second cancel now reports the terminal state it hit.
+    assert_eq!(
+        client.cancel(task).unwrap(),
+        CancelOutcome::AlreadyTerminal(TaskState::Cancelled)
+    );
+    agent.stop();
+    cloud.shutdown();
+}
+
+#[test]
+fn cancel_running_task_globus_compute_engine() {
+    cancel_running_task_on(
+        "engine:\n  type: GlobusComputeEngine\n",
+        "mid-htex@test.org",
+    );
+}
+
+#[test]
+fn cancel_running_task_thread_engine() {
+    cancel_running_task_on(
+        "engine:\n  type: ThreadEngine\n  workers: 2\n",
+        "mid-thread@test.org",
+    );
 }
 
 #[test]
