@@ -17,11 +17,23 @@
 //!
 //! Emits `bench_results/BENCH_throughput.json`.
 //!
+//! `--transport tcp` swaps the in-process client threads for true OS
+//! processes: the parent runs the service plus a [`WireServer`] on
+//! localhost TCP, then re-executes its own binary N times in a hidden
+//! `--wire-client` mode. Each child dials the framed wire protocol,
+//! submits its share in batches, and polls `task_status_batch` until every
+//! task is terminal — request frames, correlation-id multiplexing, and the
+//! handshake all on a real socket. Child process startup is inside the
+//! measured wall time (a few ms per client; the series is not comparable
+//! with the inmem numbers and is reported separately as
+//! `bench_results/BENCH_throughput_tcp.json`).
+//!
 //! Flags: `--threads N`, `--tasks M` (per thread), `--batch B`,
 //! `--layout both|baseline|sharded` (baseline forces the pre-refactor
 //! single-lock layout: `state_shards = 1`, per-message publish),
-//! `--smoke` (tiny parameters for CI), `--baseline <path>` compare this
-//! run's tasks/s against a committed `BENCH_throughput.json` and exit
+//! `--transport inmem|tcp` (tcp runs the sharded layout only, over real
+//! sockets), `--smoke` (tiny parameters for CI), `--baseline <path>`
+//! compare this run's tasks/s against a committed baseline JSON and exit
 //! nonzero if any shared series drops below `--min-ratio` (default 0.25)
 //! of it — a loose perf-regression tripwire, not a precision gate, since
 //! CI machines vary wildly.
@@ -32,14 +44,16 @@ use std::time::{Duration, Instant};
 
 use gcx_auth::{AuthPolicy, AuthService, Token};
 use gcx_bench::{JsonReport, Table};
-use gcx_cloud::{CloudConfig, WebService};
+use gcx_cloud::{CloudConfig, WebService, WireServer};
+use gcx_config::TransportSpec;
 use gcx_core::clock::SystemClock;
 use gcx_core::function::FunctionBody;
-use gcx_core::ids::{EndpointId, TaskId};
+use gcx_core::ids::{EndpointId, FunctionId, TaskId};
 use gcx_core::metrics::MetricsRegistry;
 use gcx_core::task::{TaskResult, TaskSpec};
 use gcx_core::value::Value;
 use gcx_mq::{Broker, LinkProfile};
+use gcx_sdk::{Link, WireClientConfig};
 
 #[derive(Clone, Copy)]
 struct Params {
@@ -56,12 +70,18 @@ enum Layout {
     Sharded,
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Transport {
+    Inmem,
+    Tcp,
+}
+
 struct Gate {
     baseline: Option<std::path::PathBuf>,
     min_ratio: f64,
 }
 
-fn parse_args() -> (Params, Layout, Gate) {
+fn parse_args() -> (Params, Layout, Transport, Gate) {
     let mut p = Params {
         threads: 8,
         tasks_per_thread: 256,
@@ -69,6 +89,7 @@ fn parse_args() -> (Params, Layout, Gate) {
         drains_per_endpoint: 4,
     };
     let mut layout = Layout::Both;
+    let mut transport = Transport::Inmem;
     let mut gate = Gate {
         baseline: None,
         min_ratio: 0.25,
@@ -102,6 +123,14 @@ fn parse_args() -> (Params, Layout, Gate) {
                 };
                 i += 2;
             }
+            "--transport" => {
+                transport = match need(i).as_str() {
+                    "inmem" => Transport::Inmem,
+                    "tcp" => Transport::Tcp,
+                    other => panic!("unknown transport {other:?}"),
+                };
+                i += 2;
+            }
             "--smoke" => {
                 p = Params {
                     threads: 2,
@@ -124,7 +153,7 @@ fn parse_args() -> (Params, Layout, Gate) {
     }
     assert!(p.batch > 0 && p.threads > 0 && p.tasks_per_thread > 0);
     assert!(gate.min_ratio > 0.0 && gate.min_ratio <= 1.0);
-    (p, layout, gate)
+    (p, layout, transport, gate)
 }
 
 /// Pull `"key": <number>` out of a flat `JsonReport`-style file. Keeps
@@ -251,8 +280,201 @@ fn run_layout(baseline: bool, p: Params, link: LinkProfile) -> (Duration, u64) {
     (elapsed, completed)
 }
 
+/// The hidden child mode behind `--transport tcp`: dial the wire server,
+/// submit our share in batches, poll `task_status_batch` until every task
+/// is terminal, report the count on stdout. Mirrors the in-process client
+/// thread exactly, except every call is a framed request over TCP.
+fn wire_client_main(args: &[String]) -> ! {
+    let mut addr = None;
+    let mut token = None;
+    let mut endpoint: Option<EndpointId> = None;
+    let mut function: Option<FunctionId> = None;
+    let mut tasks = 0usize;
+    let mut batch = 0usize;
+    let mut i = 0;
+    while i + 1 < args.len() {
+        let v = &args[i + 1];
+        match args[i].as_str() {
+            "--addr" => addr = Some(v.clone()),
+            "--token" => token = Some(v.clone()),
+            "--endpoint" => endpoint = Some(v.parse().expect("--endpoint uuid")),
+            "--function" => function = Some(v.parse().expect("--function uuid")),
+            "--tasks" => tasks = v.parse().expect("--tasks"),
+            "--batch" => batch = v.parse().expect("--batch"),
+            other => panic!("wire-client: unknown flag {other:?}"),
+        }
+        i += 2;
+    }
+    let addr = addr.expect("--addr");
+    let token_str = token.expect("--token");
+    let ep = endpoint.expect("--endpoint");
+    let fid = function.expect("--function");
+    assert!(tasks > 0 && batch > 0);
+
+    let link = Link::connect(vec![addr], &token_str, WireClientConfig::default())
+        .expect("wire-client: connect");
+    let token = Token(token_str);
+    let mut ids: Vec<TaskId> = Vec::with_capacity(tasks);
+    let mut submitted = 0usize;
+    while submitted < tasks {
+        let n = batch.min(tasks - submitted);
+        let specs: Vec<TaskSpec> = (0..n)
+            .map(|k| {
+                let mut spec = TaskSpec::new(fid, ep);
+                spec.args = vec![Value::Int((submitted + k) as i64)];
+                spec
+            })
+            .collect();
+        ids.extend(
+            link.submit_batch(&token, &specs)
+                .expect("wire-client: submit_batch"),
+        );
+        submitted += n;
+    }
+    let mut done = 0u64;
+    let mut open = ids;
+    while !open.is_empty() {
+        let statuses = link
+            .task_status_batch(&token, &open)
+            .expect("wire-client: task_status_batch");
+        let mut still_open = Vec::with_capacity(open.len());
+        for (id, state, _) in statuses {
+            if state.is_terminal() {
+                done += 1;
+            } else {
+                still_open.push(id);
+            }
+        }
+        open = still_open;
+        if !open.is_empty() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    link.close();
+    println!("completed={done}");
+    std::process::exit(0)
+}
+
+/// One full TCP run (sharded layout, instant broker link — the wire is the
+/// variable under test): returns (elapsed, completed tasks). The measured
+/// window spans child-process spawn to last exit, so process startup is
+/// part of the cost, as it is for any real out-of-process client fleet.
+fn run_tcp(p: Params) -> (Duration, u64) {
+    let clock = SystemClock::shared();
+    let broker = Broker::with_profile(
+        MetricsRegistry::new(),
+        clock.clone(),
+        LinkProfile::instant(),
+    );
+    let cfg = CloudConfig {
+        batch_publish: true,
+        result_processors: 4,
+        heartbeat_timeout_ms: 600_000,
+        ..CloudConfig::default()
+    };
+    let svc = WebService::new(cfg, AuthService::new(clock.clone()), broker, clock);
+    let server = WireServer::listen(
+        &svc,
+        TransportSpec {
+            // Children are busy polling, not heartbeating on a schedule
+            // tight enough for the default reaper — give them headroom.
+            idle_timeout_ms: 60_000,
+            max_connections: (p.threads as u64).max(16),
+            ..TransportSpec::default()
+        },
+    )
+    .expect("wire server");
+    let addr = server.addr().to_string();
+    let (_, token) = svc.auth().login("throughput@gcx.dev").unwrap();
+    let fid = svc
+        .register_function(&token, FunctionBody::pyfn("def f(x):\n    return x\n"))
+        .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut endpoints: Vec<EndpointId> = Vec::with_capacity(p.threads);
+    let mut drains = Vec::new();
+    for t in 0..p.threads {
+        let reg = svc
+            .register_endpoint(&token, &format!("ep-{t}"), false, AuthPolicy::open(), None)
+            .unwrap();
+        endpoints.push(reg.endpoint_id);
+        for _ in 0..p.drains_per_endpoint {
+            let session = svc
+                .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+                .unwrap();
+            let stop = Arc::clone(&stop);
+            drains.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match session.next_task(Duration::from_millis(10)) {
+                        Ok(Some((spec, tag))) => {
+                            let _ = session
+                                .publish_result(spec.task_id, &TaskResult::Ok(Value::Int(1)));
+                            let _ = session.ack_task(tag);
+                        }
+                        Ok(None) => {}
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+    }
+
+    let exe = std::env::current_exe().expect("own path");
+    let started = Instant::now();
+    let children: Vec<std::process::Child> = (0..p.threads)
+        .map(|t| {
+            std::process::Command::new(&exe)
+                .args([
+                    "--wire-client",
+                    "--addr",
+                    &addr,
+                    "--token",
+                    &token.0,
+                    "--endpoint",
+                    &endpoints[t].to_string(),
+                    "--function",
+                    &fid.to_string(),
+                    "--tasks",
+                    &p.tasks_per_thread.to_string(),
+                    "--batch",
+                    &p.batch.to_string(),
+                ])
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn wire client")
+        })
+        .collect();
+    let mut completed = 0u64;
+    for (t, child) in children.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("wire client exit");
+        assert!(out.status.success(), "wire client {t}: {}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let count: u64 = stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("completed="))
+            .unwrap_or_else(|| panic!("wire client {t}: no count in {stdout:?}"))
+            .trim()
+            .parse()
+            .expect("wire client count");
+        completed += count;
+    }
+    let elapsed = started.elapsed();
+
+    stop.store(true, Ordering::Relaxed);
+    for d in drains {
+        let _ = d.join();
+    }
+    server.shutdown();
+    svc.shutdown();
+    (elapsed, completed)
+}
+
 fn main() {
-    let (p, layout, gate) = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--wire-client") {
+        wire_client_main(&argv[1..]);
+    }
+    let (p, layout, transport, gate) = parse_args();
     // Snapshot the baseline up front: the report below overwrites
     // `bench_results/BENCH_throughput.json`, which is the usual gate input.
     let baseline_text = gate.baseline.as_ref().map(|path| {
@@ -260,6 +482,58 @@ fn main() {
             .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()))
     });
     let total = (p.threads * p.tasks_per_thread) as u64;
+
+    if transport == Transport::Tcp {
+        println!(
+            "submit/result throughput over localhost TCP: {} client processes x {} tasks, batch {}",
+            p.threads, p.tasks_per_thread, p.batch
+        );
+        let (elapsed, completed) = run_tcp(p);
+        assert_eq!(completed, total, "tcp: lost tasks");
+        let tps = total as f64 / elapsed.as_secs_f64();
+        let mut table = Table::new(&["transport", "clients", "elapsed_ms", "tasks/s"]);
+        table.row(&[
+            "tcp".to_string(),
+            p.threads.to_string(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1000.0),
+            format!("{tps:.0}"),
+        ]);
+        table.print();
+        let mut report = JsonReport::new("BENCH_throughput_tcp");
+        report
+            .num("threads", p.threads as u64)
+            .num("tasks_per_thread", p.tasks_per_thread as u64)
+            .num("batch_size", p.batch as u64)
+            .num("total_tasks", total);
+        report.float("tcp_elapsed_ms", elapsed.as_secs_f64() * 1000.0);
+        report.float("tcp_tasks_per_sec", tps);
+        let path = report
+            .write_to(std::path::Path::new("bench_results"))
+            .expect("write BENCH_throughput_tcp.json");
+        println!("  written to {}", path.display());
+
+        if let (Some(baseline_path), Some(text)) = (gate.baseline, baseline_text) {
+            let Some(base) = baseline_field(&text, "tcp_tasks_per_sec") else {
+                panic!(
+                    "baseline {} has no tcp_tasks_per_sec series",
+                    baseline_path.display()
+                );
+            };
+            let ratio = tps / base;
+            println!(
+                "\n  perf gate vs {} (min ratio {:.2}): {tps:.0} vs {base:.0} tasks/s ({ratio:.2}x)",
+                baseline_path.display(),
+                gate.min_ratio
+            );
+            if base > 0.0 && ratio < gate.min_ratio {
+                eprintln!("  perf gate FAILED: tcp throughput regressed below the tolerance");
+                std::process::exit(1);
+            }
+            println!("  perf gate passed");
+        }
+        return;
+    }
+
     // 1 ms per message, 1 Gbps — TLS-over-WAN-ish, far below production RTT
     // but enough that per-message charges dominate per-byte ones.
     let wan = LinkProfile::wan(1, 1000);

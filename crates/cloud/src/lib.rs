@@ -34,5 +34,8 @@ pub mod usage;
 pub use blob::{BlobId, BlobStore};
 pub use federation::{Federation, FederationConfig, HashRing, ReplicaDirectory, ReplicaId};
 pub use records::{EndpointHealth, EndpointRecord, EndpointRegistration, MepStartRequest};
-pub use service::{AdmissionConfig, CancelOutcome, CloudConfig, EndpointSession, WebService};
+pub use service::{
+    AdmissionConfig, CancelOutcome, CloudConfig, EndpointSession, ResultStream, WebService,
+    WireClient, WireClientConfig, WireServer, WireStream,
+};
 pub use usage::UsageMeter;

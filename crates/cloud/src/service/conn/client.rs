@@ -1,0 +1,487 @@
+//! The dialing side of the wire: a multiplexing client that issues typed
+//! requests over one connection, keeps it alive with heartbeats, and
+//! receives server-push result frames.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::function::FunctionBody;
+use gcx_core::ids::{FunctionId, TaskId};
+use gcx_core::task::{TaskResult, TaskSpec, TaskState};
+use gcx_core::value::Value;
+use gcx_core::wire::{
+    error_from_value, Frame, FrameType, TcpTransport, Transport, DEFAULT_MAX_FRAME, WIRE_VERSION,
+};
+use parking_lot::Mutex;
+
+use super::super::CancelOutcome;
+use super::{
+    cancel_outcome_from_value, methods, status_entry_from_value, stream_envelope_from_value,
+    task_id_from_str,
+};
+
+/// Client-side knobs. The defaults suit tests and localhost benches; the
+/// SDK derives them from its `TransportSpec`.
+#[derive(Debug, Clone)]
+pub struct WireClientConfig {
+    /// Cadence of client→server heartbeat frames.
+    pub heartbeat_interval: Duration,
+    /// How long one request may wait for its response before a typed
+    /// `Timeout` (the connection stays usable — a late response is
+    /// discarded by correlation id).
+    pub call_timeout: Duration,
+    /// Frame-size ceiling, mirroring the server's.
+    pub max_frame_size: usize,
+}
+
+impl Default for WireClientConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval: Duration::from_millis(1_000),
+            call_timeout: Duration::from_secs(10),
+            max_frame_size: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+struct Shared {
+    transport: Arc<dyn Transport>,
+    cfg: WireClientConfig,
+    corr: AtomicU64,
+    pending: Mutex<HashMap<u64, Sender<GcxResult<Value>>>>,
+    subs: Mutex<HashMap<u64, Sender<Value>>>,
+    /// The connection failed (transport error or server goodbye); every
+    /// in-flight and future call gets a retryable error.
+    dead: AtomicBool,
+    /// We closed deliberately; threads exit quietly.
+    closed: AtomicBool,
+    /// Replica index reported in the server's HelloAck.
+    replica: u32,
+}
+
+impl Shared {
+    fn mark_dead(&self) {
+        if self.dead.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let pending: Vec<Sender<GcxResult<Value>>> =
+            self.pending.lock().drain().map(|(_, tx)| tx).collect();
+        for tx in pending {
+            let _ = tx.send(Err(GcxError::Transient("wire connection lost".into())));
+        }
+        // Dropping the senders disconnects every subscription receiver.
+        self.subs.lock().clear();
+    }
+}
+
+/// A connected wire client. Cloning shares the connection; call
+/// [`WireClient::close`] once when done (threads also exit on their own if
+/// the server closes the connection first).
+#[derive(Clone)]
+pub struct WireClient {
+    shared: Arc<Shared>,
+    threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for WireClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireClient")
+            .field("peer", &self.shared.transport.peer())
+            .field("replica", &self.shared.replica)
+            .field("dead", &self.shared.dead.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl WireClient {
+    /// Dial a TCP wire server and run the hello handshake.
+    pub fn connect_tcp(addr: &str, token: &str, cfg: WireClientConfig) -> GcxResult<Self> {
+        let transport = Arc::new(TcpTransport::connect(addr, cfg.max_frame_size)?);
+        Self::over(transport, token, cfg)
+    }
+
+    /// Run the handshake over an already-established transport (TCP or the
+    /// in-memory half returned by `WireServer::connect_inmem`).
+    pub fn over(
+        transport: Arc<dyn Transport>,
+        token: &str,
+        cfg: WireClientConfig,
+    ) -> GcxResult<Self> {
+        transport.send(&Frame::hello(token))?;
+        let replica = match transport.recv(cfg.call_timeout)? {
+            Some(ack) if ack.frame_type == FrameType::HelloAck => {
+                let version = ack.payload.get("version").and_then(Value::as_int);
+                if version != Some(WIRE_VERSION) {
+                    transport.close();
+                    return Err(GcxError::InvalidConfig(format!(
+                        "wire version mismatch: server {version:?}, client {WIRE_VERSION}"
+                    )));
+                }
+                ack.payload
+                    .get("replica")
+                    .and_then(Value::as_int)
+                    .unwrap_or(0)
+                    .max(0) as u32
+            }
+            Some(f) if f.frame_type == FrameType::Response => {
+                // The server refused the handshake with a typed error.
+                transport.close();
+                let err = f
+                    .payload
+                    .get("err")
+                    .map(error_from_value)
+                    .unwrap_or_else(|| GcxError::Internal("malformed handshake refusal".into()));
+                return Err(err);
+            }
+            Some(_) => {
+                transport.close();
+                return Err(GcxError::Codec("expected HelloAck".into()));
+            }
+            None => {
+                transport.close();
+                return Err(GcxError::Timeout("no HelloAck".into()));
+            }
+        };
+        let shared = Arc::new(Shared {
+            transport,
+            cfg,
+            corr: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+            subs: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            replica,
+        });
+        let mut threads = Vec::new();
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gcx-wire-demux".into())
+                    .spawn(move || demux_loop(shared))
+                    .expect("spawn wire demux"),
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gcx-wire-heartbeat".into())
+                    .spawn(move || heartbeat_loop(shared))
+                    .expect("spawn wire heartbeat"),
+            );
+        }
+        Ok(Self {
+            shared,
+            threads: Arc::new(Mutex::new(threads)),
+        })
+    }
+
+    /// Replica index from the handshake (0 for a standalone service).
+    pub fn replica(&self) -> u32 {
+        self.shared.replica
+    }
+
+    /// True once the connection has failed; calls will return retryable
+    /// errors until the owner reconnects.
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::SeqCst)
+    }
+
+    /// Send Goodbye, close the transport, and join the client threads.
+    pub fn close(&self) {
+        if self.shared.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if !self.is_dead() {
+            let _ = self
+                .shared
+                .transport
+                .send(&Frame::new(FrameType::Goodbye, 0, Value::None));
+        }
+        self.shared.transport.close();
+        self.shared.mark_dead();
+        let handles: Vec<_> = std::mem::take(&mut *self.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// One request/response cycle, multiplexed by correlation id.
+    pub fn call(&self, method: &str, params: Value) -> GcxResult<Value> {
+        let shared = &self.shared;
+        if shared.dead.load(Ordering::SeqCst) {
+            return Err(GcxError::Transient("wire connection lost".into()));
+        }
+        let corr = shared.corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        shared.pending.lock().insert(corr, tx);
+        if let Err(e) = shared.transport.send(&Frame::request(corr, method, params)) {
+            shared.pending.lock().remove(&corr);
+            shared.mark_dead();
+            return Err(e);
+        }
+        match rx.recv_timeout(shared.cfg.call_timeout) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                shared.pending.lock().remove(&corr);
+                Err(GcxError::Timeout(format!(
+                    "no response to '{method}' within {:?}",
+                    shared.cfg.call_timeout
+                )))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(GcxError::Transient("wire connection lost".into()))
+            }
+        }
+    }
+
+    // ---- typed wrappers over the method table -----------------------------
+
+    pub fn register_function(&self, body: &FunctionBody) -> GcxResult<FunctionId> {
+        let resp = self.call(
+            methods::REGISTER_FUNCTION,
+            Value::map([("body", body.to_value())]),
+        )?;
+        resp.get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| GcxError::Codec("register_function: missing id".into()))?
+            .parse::<gcx_core::ids::Uuid>()
+            .map(FunctionId)
+            .map_err(|e| GcxError::Codec(format!("register_function: bad id: {e}")))
+    }
+
+    pub fn submit_batch(&self, specs: &[TaskSpec]) -> GcxResult<Vec<TaskId>> {
+        let resp = self.call(
+            methods::SUBMIT_BATCH,
+            Value::map([(
+                "specs",
+                Value::List(specs.iter().map(TaskSpec::to_value).collect::<Vec<_>>()),
+            )]),
+        )?;
+        resp.get("ids")
+            .and_then(Value::as_list)
+            .ok_or_else(|| GcxError::Codec("submit_batch: missing ids".into()))?
+            .iter()
+            .map(|v| {
+                task_id_from_str(
+                    v.as_str()
+                        .ok_or_else(|| GcxError::Codec("submit_batch: non-string id".into()))?,
+                )
+            })
+            .collect()
+    }
+
+    pub fn task_status(&self, id: TaskId) -> GcxResult<(TaskState, Option<TaskResult>)> {
+        let resp = self.call(
+            methods::TASK_STATUS,
+            Value::map([("id", Value::str(id.to_string()))]),
+        )?;
+        let (_, state, result) = status_entry_from_value(&resp)?;
+        Ok((state, result))
+    }
+
+    pub fn task_status_batch(
+        &self,
+        ids: &[TaskId],
+    ) -> GcxResult<Vec<(TaskId, TaskState, Option<TaskResult>)>> {
+        let resp = self.call(
+            methods::TASK_STATUS_BATCH,
+            Value::map([(
+                "ids",
+                Value::List(
+                    ids.iter()
+                        .map(|id| Value::str(id.to_string()))
+                        .collect::<Vec<_>>(),
+                ),
+            )]),
+        )?;
+        resp.get("entries")
+            .and_then(Value::as_list)
+            .ok_or_else(|| GcxError::Codec("task_status_batch: missing entries".into()))?
+            .iter()
+            .map(status_entry_from_value)
+            .collect()
+    }
+
+    pub fn cancel_task(&self, id: TaskId) -> GcxResult<CancelOutcome> {
+        let resp = self.call(
+            methods::CANCEL_TASK,
+            Value::map([("id", Value::str(id.to_string()))]),
+        )?;
+        cancel_outcome_from_value(&resp)
+    }
+
+    /// Open a server-push result stream for this identity. Results arrive
+    /// as `Push` frames demuxed into the returned handle; drop it (or let
+    /// the connection die) to end the subscription.
+    pub fn open_stream(&self) -> GcxResult<WireStream> {
+        let shared = &self.shared;
+        if shared.dead.load(Ordering::SeqCst) {
+            return Err(GcxError::Transient("wire connection lost".into()));
+        }
+        let corr = shared.corr.fetch_add(1, Ordering::Relaxed);
+        // Register the push channel BEFORE the request is sent: the first
+        // pushed result may race the open_stream response.
+        let (push_tx, push_rx) = bounded(1024);
+        shared.subs.lock().insert(corr, push_tx);
+        let (tx, rx) = bounded(1);
+        shared.pending.lock().insert(corr, tx);
+        let send = shared.transport.send(&Frame::request(
+            corr,
+            methods::OPEN_STREAM,
+            Value::map([] as [(&str, Value); 0]),
+        ));
+        if let Err(e) = send {
+            shared.pending.lock().remove(&corr);
+            shared.subs.lock().remove(&corr);
+            shared.mark_dead();
+            return Err(e);
+        }
+        let resp = match rx.recv_timeout(shared.cfg.call_timeout) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                shared.pending.lock().remove(&corr);
+                Err(GcxError::Timeout("no response to open_stream".into()))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(GcxError::Transient("wire connection lost".into()))
+            }
+        };
+        if let Err(e) = resp {
+            shared.subs.lock().remove(&corr);
+            return Err(e);
+        }
+        Ok(WireStream {
+            client: self.clone(),
+            corr,
+            rx: push_rx,
+        })
+    }
+}
+
+/// A live server-push subscription: results land here as they complete.
+pub struct WireStream {
+    client: WireClient,
+    corr: u64,
+    rx: Receiver<Value>,
+}
+
+impl WireStream {
+    /// Next pushed `(task_id, result)`, waiting up to `timeout`.
+    /// `Ok(None)` = nothing yet (connection healthy); `Err` = the stream is
+    /// gone (connection lost) and the caller must reconnect + resubscribe.
+    pub fn next(&self, timeout: Duration) -> GcxResult<Option<(TaskId, TaskResult)>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(v) => stream_envelope_from_value(&v).map(Some),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.client.is_dead() {
+                    Err(GcxError::Transient("wire connection lost".into()))
+                } else {
+                    Ok(None)
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(GcxError::Transient("wire stream closed".into()))
+            }
+        }
+    }
+}
+
+impl Drop for WireStream {
+    fn drop(&mut self) {
+        self.client.shared.subs.lock().remove(&self.corr);
+        if !self.client.is_dead() && !self.client.shared.closed.load(Ordering::SeqCst) {
+            let _ = self.client.call(
+                methods::CLOSE_STREAM,
+                Value::map([("stream", Value::Int(self.corr as i64))]),
+            );
+        }
+    }
+}
+
+fn demux_loop(shared: Arc<Shared>) {
+    loop {
+        if shared.closed.load(Ordering::SeqCst) || shared.dead.load(Ordering::SeqCst) {
+            return;
+        }
+        match shared.transport.recv(Duration::from_millis(50)) {
+            Ok(Some(frame)) => match frame.frame_type {
+                FrameType::Response => {
+                    if let Some(tx) = shared.pending.lock().remove(&frame.corr_id) {
+                        let result = if let Some(ok) = frame.payload.get("ok") {
+                            Ok(ok.clone())
+                        } else if let Some(err) = frame.payload.get("err") {
+                            Err(error_from_value(err))
+                        } else {
+                            Err(GcxError::Codec("response with neither ok nor err".into()))
+                        };
+                        let _ = tx.send(result);
+                    }
+                }
+                FrameType::Push => {
+                    // A full channel applies backpressure by dropping the
+                    // oldest pending push: the executor's catch-up path
+                    // re-polls status on reconnect, so a lost push is a
+                    // latency cost, not a lost result.
+                    let subs = shared.subs.lock();
+                    if let Some(tx) = subs.get(&frame.corr_id) {
+                        let _ = tx.try_send(frame.payload);
+                    }
+                }
+                FrameType::HeartbeatAck => {}
+                FrameType::Heartbeat => {
+                    let _ = shared.transport.send(&Frame::new(
+                        FrameType::HeartbeatAck,
+                        frame.corr_id,
+                        Value::None,
+                    ));
+                }
+                FrameType::Goodbye => {
+                    shared.mark_dead();
+                    return;
+                }
+                _ => {
+                    shared.mark_dead();
+                    return;
+                }
+            },
+            Ok(None) => {}
+            Err(_) => {
+                if !shared.closed.load(Ordering::SeqCst) {
+                    shared.mark_dead();
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn heartbeat_loop(shared: Arc<Shared>) {
+    let slice = Duration::from_millis(25);
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < shared.cfg.heartbeat_interval {
+            if shared.closed.load(Ordering::SeqCst) || shared.dead.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(slice);
+            waited += slice;
+        }
+        let corr = shared.corr.fetch_add(1, Ordering::Relaxed);
+        if shared
+            .transport
+            .send(&Frame::new(FrameType::Heartbeat, corr, Value::None))
+            .is_err()
+        {
+            if !shared.closed.load(Ordering::SeqCst) {
+                shared.mark_dead();
+            }
+            return;
+        }
+    }
+}

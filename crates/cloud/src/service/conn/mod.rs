@@ -1,0 +1,438 @@
+//! The service's wire edge: a real protocol boundary in front of
+//! [`WebService`](super::WebService).
+//!
+//! Until this module existed every "client" held an `Arc` to the cloud and
+//! called methods in-process. Here the seam becomes a connection:
+//!
+//! - [`WireServer`] accepts [`gcx_core::wire::Transport`] connections
+//!   (localhost TCP or in-memory pipes), authenticates each with a
+//!   versioned `Hello` handshake, multiplexes concurrent requests by
+//!   correlation id, answers heartbeats, and reaps idle connections;
+//! - [`WireClient`] is the matching dialer: a demux reader thread routes
+//!   responses to pending calls and server-push frames to subscriptions,
+//!   while a heartbeat thread keeps the connection alive;
+//! - result delivery is **server push**: a client opens a stream once and
+//!   the server forwards each `(task_id, result)` envelope as a `Push`
+//!   frame the moment it lands — the wire replacement for handing the
+//!   executor a broker consumer.
+//!
+//! Transport metrics (`wire.conns_open`, `wire.frames_in`, `wire.frames_out`,
+//! `wire.handshake_failures`, `wire.heartbeat_timeouts`) live on the
+//! service's metrics registry and surface through the existing Prometheus
+//! and JSON expositions.
+
+mod client;
+mod server;
+
+pub use client::{WireClient, WireClientConfig, WireStream};
+pub use server::WireServer;
+
+use std::sync::Arc;
+
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::ids::TaskId;
+use gcx_core::metrics::{Counter, Gauge, MetricsRegistry};
+use gcx_core::task::{TaskResult, TaskState};
+use gcx_core::value::Value;
+use gcx_core::wire::{Frame, Transport};
+
+use super::CancelOutcome;
+
+/// Wire method names (the `method` field of a `Request` frame).
+pub(crate) mod methods {
+    pub const REGISTER_FUNCTION: &str = "register_function";
+    pub const SUBMIT_BATCH: &str = "submit_batch";
+    pub const TASK_STATUS: &str = "task_status";
+    pub const TASK_STATUS_BATCH: &str = "task_status_batch";
+    pub const CANCEL_TASK: &str = "cancel_task";
+    pub const OPEN_STREAM: &str = "open_stream";
+    pub const CLOSE_STREAM: &str = "close_stream";
+}
+
+/// Pre-resolved handles for the wire metrics, one registry lookup each at
+/// server/connection setup instead of per frame.
+pub(crate) struct WireMetrics {
+    pub(crate) conns_open: Arc<Gauge>,
+    pub(crate) frames_in: Arc<Counter>,
+    pub(crate) frames_out: Arc<Counter>,
+    pub(crate) handshake_failures: Arc<Counter>,
+    pub(crate) heartbeat_timeouts: Arc<Counter>,
+}
+
+impl WireMetrics {
+    pub(crate) fn resolve(registry: &MetricsRegistry) -> Self {
+        Self {
+            conns_open: registry.gauge("wire.conns_open"),
+            frames_in: registry.counter("wire.frames_in"),
+            frames_out: registry.counter("wire.frames_out"),
+            handshake_failures: registry.counter("wire.handshake_failures"),
+            heartbeat_timeouts: registry.counter("wire.heartbeat_timeouts"),
+        }
+    }
+
+    /// Send on `transport`, counting the frame on success.
+    pub(crate) fn send_counted(&self, transport: &dyn Transport, frame: &Frame) -> GcxResult<()> {
+        transport.send(frame)?;
+        self.frames_out.inc();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload packing shared by both ends of the wire
+// ---------------------------------------------------------------------------
+
+pub(crate) fn task_id_from_str(s: &str) -> GcxResult<TaskId> {
+    s.parse::<gcx_core::ids::Uuid>()
+        .map(TaskId)
+        .map_err(|e| GcxError::Codec(format!("bad task id '{s}': {e}")))
+}
+
+/// `(id, state, result)` → `{id, state, result?}`.
+pub(crate) fn status_entry_to_value(
+    id: TaskId,
+    state: TaskState,
+    result: &Option<TaskResult>,
+) -> Value {
+    let mut fields = vec![
+        ("id", Value::str(id.to_string())),
+        ("state", Value::str(state.label())),
+    ];
+    if let Some(result) = result {
+        fields.push(("result", result.to_value()));
+    }
+    Value::map(fields)
+}
+
+pub(crate) fn status_entry_from_value(
+    v: &Value,
+) -> GcxResult<(TaskId, TaskState, Option<TaskResult>)> {
+    let id = task_id_from_str(
+        v.get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| GcxError::Codec("status entry missing 'id'".into()))?,
+    )?;
+    let state = TaskState::from_label(
+        v.get("state")
+            .and_then(Value::as_str)
+            .ok_or_else(|| GcxError::Codec("status entry missing 'state'".into()))?,
+    )?;
+    let result = match v.get("result") {
+        Some(rv) => Some(TaskResult::from_value(rv)?),
+        None => None,
+    };
+    Ok((id, state, result))
+}
+
+pub(crate) fn cancel_outcome_to_value(outcome: &CancelOutcome) -> Value {
+    match outcome {
+        CancelOutcome::Cancelled => Value::map([("outcome", Value::str("cancelled"))]),
+        CancelOutcome::AlreadyTerminal(state) => Value::map([
+            ("outcome", Value::str("already_terminal")),
+            ("state", Value::str(state.label())),
+        ]),
+    }
+}
+
+pub(crate) fn cancel_outcome_from_value(v: &Value) -> GcxResult<CancelOutcome> {
+    match v.get("outcome").and_then(Value::as_str) {
+        Some("cancelled") => Ok(CancelOutcome::Cancelled),
+        Some("already_terminal") => Ok(CancelOutcome::AlreadyTerminal(TaskState::from_label(
+            v.get("state")
+                .and_then(Value::as_str)
+                .ok_or_else(|| GcxError::Codec("already_terminal missing 'state'".into()))?,
+        )?)),
+        _ => Err(GcxError::Codec(format!("bad cancel outcome: {v:?}"))),
+    }
+}
+
+/// Decode a result-stream envelope (`{task_id, result}`) from raw queue
+/// bytes or a `Push` frame payload.
+pub(crate) fn stream_envelope_from_value(v: &Value) -> GcxResult<(TaskId, TaskResult)> {
+    let id = task_id_from_str(
+        v.get("task_id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| GcxError::Codec("stream envelope missing 'task_id'".into()))?,
+    )?;
+    let result = TaskResult::from_value(
+        v.get("result")
+            .ok_or_else(|| GcxError::Codec("stream envelope missing 'result'".into()))?,
+    )?;
+    Ok((id, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testkit::{login, service, T};
+    use super::*;
+    use gcx_auth::AuthPolicy;
+    use gcx_config::TransportSpec;
+    use gcx_core::function::FunctionBody;
+    use gcx_core::task::{TaskResult, TaskSpec, TaskState};
+    use gcx_core::wire::{FrameType, WIRE_VERSION};
+    use std::collections::HashSet;
+    use std::time::Duration;
+
+    fn fast_spec() -> TransportSpec {
+        TransportSpec {
+            heartbeat_interval_ms: 100,
+            idle_timeout_ms: 1_000,
+            ..TransportSpec::default()
+        }
+    }
+
+    fn client_cfg() -> WireClientConfig {
+        WireClientConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            call_timeout: Duration::from_secs(5),
+            ..WireClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn inmem_wire_round_trip_with_server_push() {
+        let svc = service();
+        let token = login(&svc, "wire@x.y");
+        let server = WireServer::inmem(&svc, fast_spec());
+        let client = WireClient::over(server.connect_inmem(), &token.0, client_cfg()).unwrap();
+
+        let fid = client
+            .register_function(&FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+
+        let stream = client.open_stream().unwrap();
+        let ids = client
+            .submit_batch(&[
+                TaskSpec::new(fid, reg.endpoint_id),
+                TaskSpec::new(fid, reg.endpoint_id),
+            ])
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+
+        for _ in 0..2 {
+            let (spec, tag) = session.next_task(T).unwrap().unwrap();
+            session
+                .publish_result(spec.task_id, &TaskResult::Ok(Value::str("pushed")))
+                .unwrap();
+            session.ack_task(tag).unwrap();
+        }
+
+        let mut got = HashSet::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < 2 && std::time::Instant::now() < deadline {
+            if let Some((tid, result)) = stream.next(Duration::from_millis(100)).unwrap() {
+                assert!(matches!(result, TaskResult::Ok(_)));
+                got.insert(tid);
+            }
+        }
+        assert_eq!(got, ids.iter().copied().collect::<HashSet<_>>());
+
+        let (state, result) = client.task_status(ids[0]).unwrap();
+        assert_eq!(state, TaskState::Success);
+        assert!(result.is_some());
+
+        let statuses = client.task_status_batch(&ids).unwrap();
+        assert_eq!(statuses.len(), 2);
+
+        let extra = client
+            .submit_batch(&[TaskSpec::new(fid, reg.endpoint_id)])
+            .unwrap()[0];
+        let outcome = client.cancel_task(extra).unwrap();
+        assert!(matches!(
+            outcome,
+            CancelOutcome::Cancelled | CancelOutcome::AlreadyTerminal(_)
+        ));
+
+        drop(stream);
+        client.close();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.conn_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(server.conn_count(), 0);
+        server.shutdown();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn tcp_wire_round_trip() {
+        let svc = service();
+        let token = login(&svc, "tcp@x.y");
+        let server = WireServer::listen(&svc, fast_spec()).unwrap();
+        let client = WireClient::connect_tcp(server.addr(), &token.0, client_cfg()).unwrap();
+
+        let fid = client
+            .register_function(&FunctionBody::pyfn("def f():\n    return 1\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+
+        let id = client
+            .submit_batch(&[TaskSpec::new(fid, reg.endpoint_id)])
+            .unwrap()[0];
+        let (_, tag) = session.next_task(T).unwrap().unwrap();
+        session
+            .publish_result(id, &TaskResult::Ok(Value::Int(7)))
+            .unwrap();
+        session.ack_task(tag).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let (state, result) = client.task_status(id).unwrap();
+            if state == TaskState::Success {
+                assert!(matches!(result, Some(TaskResult::Ok(Value::Int(7)))));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "task never completed");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        client.close();
+        server.shutdown();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn handshake_rejects_bad_token() {
+        let svc = service();
+        let server = WireServer::inmem(&svc, fast_spec());
+        let err = WireClient::over(server.connect_inmem(), "not-a-token", client_cfg())
+            .expect_err("bogus token must be refused");
+        assert!(matches!(err, GcxError::Unauthenticated(_)), "{err:?}");
+        assert_eq!(svc.metrics().counter("wire.handshake_failures").get(), 1);
+        server.shutdown();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn handshake_rejects_version_mismatch() {
+        let svc = service();
+        let token = login(&svc, "old@x.y");
+        let server = WireServer::inmem(&svc, fast_spec());
+        let transport = server.connect_inmem();
+        transport
+            .send(&Frame::new(
+                FrameType::Hello,
+                0,
+                Value::map([
+                    ("version", Value::Int(WIRE_VERSION + 1)),
+                    ("token", Value::str(token.0.clone())),
+                ]),
+            ))
+            .unwrap();
+        let refusal = transport
+            .recv(Duration::from_secs(2))
+            .unwrap()
+            .expect("refusal frame");
+        assert_eq!(refusal.frame_type, FrameType::Response);
+        let err = gcx_core::wire::error_from_value(refusal.payload.get("err").unwrap());
+        assert!(matches!(err, GcxError::InvalidConfig(_)), "{err:?}");
+        server.shutdown();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_refuses_with_overloaded() {
+        let svc = service();
+        let token = login(&svc, "cap@x.y");
+        let spec = TransportSpec {
+            max_connections: 1,
+            ..fast_spec()
+        };
+        let server = WireServer::inmem(&svc, spec);
+        let first = WireClient::over(server.connect_inmem(), &token.0, client_cfg()).unwrap();
+        let err = WireClient::over(server.connect_inmem(), &token.0, client_cfg())
+            .expect_err("second connection must be refused");
+        assert!(matches!(err, GcxError::Overloaded { .. }), "{err:?}");
+        first.close();
+        server.shutdown();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn idle_connection_is_reaped() {
+        let svc = service();
+        let token = login(&svc, "idle@x.y");
+        let spec = TransportSpec {
+            heartbeat_interval_ms: 50,
+            idle_timeout_ms: 200,
+            ..TransportSpec::default()
+        };
+        let server = WireServer::inmem(&svc, spec);
+        // Handshake by hand so no heartbeat thread keeps the link alive.
+        let transport = server.connect_inmem();
+        transport.send(&Frame::hello(token.0.clone())).unwrap();
+        let ack = transport
+            .recv(Duration::from_secs(2))
+            .unwrap()
+            .expect("hello ack");
+        assert_eq!(ack.frame_type, FrameType::HelloAck);
+        assert_eq!(server.conn_count(), 1);
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while server.conn_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        assert_eq!(server.conn_count(), 0, "idle connection never reaped");
+        assert!(svc.metrics().counter("wire.heartbeat_timeouts").get() >= 1);
+        server.shutdown();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn heartbeats_keep_idle_connection_alive() {
+        let svc = service();
+        let token = login(&svc, "alive@x.y");
+        let spec = TransportSpec {
+            heartbeat_interval_ms: 50,
+            idle_timeout_ms: 300,
+            ..TransportSpec::default()
+        };
+        let server = WireServer::inmem(&svc, spec);
+        let client = WireClient::over(
+            server.connect_inmem(),
+            &token.0,
+            WireClientConfig {
+                heartbeat_interval: Duration::from_millis(50),
+                ..client_cfg()
+            },
+        )
+        .unwrap();
+        // Several idle windows pass; heartbeats alone must hold the link.
+        std::thread::sleep(Duration::from_millis(900));
+        assert_eq!(server.conn_count(), 1);
+        assert!(!client.is_dead());
+        client.close();
+        server.shutdown();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn server_shutdown_fails_client_calls_with_retryable_error() {
+        let svc = service();
+        let token = login(&svc, "down@x.y");
+        let server = WireServer::inmem(&svc, fast_spec());
+        let client = WireClient::over(server.connect_inmem(), &token.0, client_cfg()).unwrap();
+        server.shutdown();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !client.is_dead() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let err = client
+            .task_status(gcx_core::ids::TaskId(gcx_core::ids::Uuid(1)))
+            .expect_err("dead connection must error");
+        assert!(matches!(err, GcxError::Transient(_)), "{err:?}");
+        client.close();
+        svc.shutdown();
+    }
+}

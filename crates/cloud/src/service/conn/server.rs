@@ -1,0 +1,501 @@
+//! The cloud side of the wire: accept loop, per-connection handshake and
+//! demux, request dispatch, and server-push result streaming.
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gcx_auth::Token;
+use gcx_config::TransportSpec;
+use gcx_core::codec;
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::function::FunctionBody;
+use gcx_core::task::TaskSpec;
+use gcx_core::value::Value;
+use gcx_core::wire::{Frame, FrameType, InMemTransport, TcpTransport, Transport, WIRE_VERSION};
+use parking_lot::Mutex;
+
+use super::super::WebService;
+use super::{
+    cancel_outcome_to_value, methods, status_entry_to_value, task_id_from_str, WireMetrics,
+};
+
+/// How often a connection thread wakes to check idle/shutdown when no
+/// frames are arriving.
+const RECV_SLICE: Duration = Duration::from_millis(50);
+
+/// A subscription's push thread: forwards stream-queue deliveries to the
+/// connection as `Push` frames until stopped or the queue dies.
+struct Subscription {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Subscription {
+    fn shut(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct Conn {
+    id: u64,
+    transport: Arc<dyn Transport>,
+    /// Wall-clock stamp of the last inbound frame; the idle reaper runs on
+    /// real time because the wire is real I/O even under a virtual
+    /// task-clock.
+    last_seen: Mutex<Instant>,
+    subs: Mutex<HashMap<u64, Subscription>>,
+}
+
+struct ServerInner {
+    svc: WebService,
+    spec: TransportSpec,
+    addr: String,
+    shutdown: AtomicBool,
+    conn_seq: AtomicU64,
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    m: WireMetrics,
+}
+
+/// A listening wire endpoint for one [`WebService`].
+///
+/// `listen` binds real localhost TCP; [`WireServer::connect_inmem`] attaches
+/// an in-memory duplex connection to the same dispatch machinery (identical
+/// frames, identical handshake — only the byte pipe differs). Dropping the
+/// handle does NOT stop the server; call [`WireServer::shutdown`].
+#[derive(Clone)]
+pub struct WireServer {
+    inner: Arc<ServerInner>,
+}
+
+impl WireServer {
+    /// Bind `spec.listen_addr` and start accepting connections.
+    pub fn listen(svc: &WebService, spec: TransportSpec) -> GcxResult<Self> {
+        let listener = TcpListener::bind(&spec.listen_addr)
+            .map_err(|e| GcxError::Transient(format!("bind {}: {e}", spec.listen_addr)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| GcxError::Transient(format!("set_nonblocking: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| GcxError::Transient(format!("local_addr: {e}")))?
+            .to_string();
+        let server = Self::new(svc, spec, addr);
+        let inner = server.inner.clone();
+        let handle = std::thread::Builder::new()
+            .name("gcx-wire-accept".into())
+            .spawn(move || accept_loop(inner, listener))
+            .expect("spawn wire accept loop");
+        server.inner.threads.lock().push(handle);
+        Ok(server)
+    }
+
+    /// A wire endpoint with no TCP listener: connections attach only via
+    /// [`WireServer::connect_inmem`]. Keeps single-process tests and the
+    /// benchmark's `--transport inmem` mode off the network while running
+    /// the full framed protocol.
+    pub fn inmem(svc: &WebService, spec: TransportSpec) -> Self {
+        Self::new(svc, spec, "inmem".to_string())
+    }
+
+    fn new(svc: &WebService, spec: TransportSpec, addr: String) -> Self {
+        let m = WireMetrics::resolve(svc.metrics());
+        Self {
+            inner: Arc::new(ServerInner {
+                svc: svc.clone(),
+                spec,
+                addr,
+                shutdown: AtomicBool::new(false),
+                conn_seq: AtomicU64::new(1),
+                conns: Mutex::new(HashMap::new()),
+                threads: Mutex::new(Vec::new()),
+                m,
+            }),
+        }
+    }
+
+    /// The bound address (`127.0.0.1:<port>`), with the OS-assigned port
+    /// resolved when `listen_addr` asked for port 0.
+    pub fn addr(&self) -> &str {
+        &self.inner.addr
+    }
+
+    /// The transport spec this server enforces.
+    pub fn spec(&self) -> &TransportSpec {
+        &self.inner.spec
+    }
+
+    /// Open an in-memory connection to this server: the returned client
+    /// half speaks the same framed protocol (handshake included) as a TCP
+    /// peer would.
+    pub fn connect_inmem(&self) -> Arc<InMemTransport> {
+        let (client_half, server_half) =
+            InMemTransport::pair(self.inner.spec.max_frame_size as usize);
+        let inner = self.inner.clone();
+        let transport: Arc<dyn Transport> = Arc::new(server_half);
+        let handle = std::thread::Builder::new()
+            .name("gcx-wire-conn-inmem".into())
+            .spawn(move || serve_conn(inner, transport))
+            .expect("spawn wire conn");
+        self.inner.threads.lock().push(handle);
+        Arc::new(client_half)
+    }
+
+    /// Open connections (for tests and gauges).
+    pub fn conn_count(&self) -> usize {
+        self.inner.conns.lock().len()
+    }
+
+    /// Stop accepting, close every connection, and join all threads.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let conns: Vec<Arc<Conn>> = self.inner.conns.lock().values().cloned().collect();
+        for conn in conns {
+            conn.transport.close();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.inner.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(inner: Arc<ServerInner>, listener: TcpListener) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let transport = match TcpTransport::new(stream, inner.spec.max_frame_size as usize)
+                {
+                    Ok(t) => Arc::new(t) as Arc<dyn Transport>,
+                    Err(_) => continue,
+                };
+                let inner2 = inner.clone();
+                // Connection threads are detached from the accept loop's
+                // join list lock to avoid growth without bound; they exit on
+                // close/idle/shutdown and shutdown() closes every transport.
+                let handle = std::thread::Builder::new()
+                    .name("gcx-wire-conn".into())
+                    .spawn(move || serve_conn(inner2, transport));
+                if let Ok(h) = handle {
+                    inner.threads.lock().push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Run one connection to completion: handshake, demux loop, cleanup.
+fn serve_conn(inner: Arc<ServerInner>, transport: Arc<dyn Transport>) {
+    let Some((conn, token)) = handshake(&inner, &transport) else {
+        transport.close();
+        return;
+    };
+    inner.m.conns_open.add(1);
+    inner.conns.lock().insert(conn.id, conn.clone());
+
+    let idle_timeout = Duration::from_millis(inner.spec.idle_timeout_ms);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match transport.recv(RECV_SLICE) {
+            Ok(Some(frame)) => {
+                inner.m.frames_in.inc();
+                *conn.last_seen.lock() = Instant::now();
+                match frame.frame_type {
+                    FrameType::Heartbeat => {
+                        let _ = inner.m.send_counted(
+                            transport.as_ref(),
+                            &Frame::new(FrameType::HeartbeatAck, frame.corr_id, Value::None),
+                        );
+                    }
+                    FrameType::Request => {
+                        handle_request(&inner, &conn, &token, frame.corr_id, &frame.payload);
+                    }
+                    FrameType::Goodbye => break,
+                    // A client must not send server-side frame types;
+                    // treat it as a protocol violation and drop the
+                    // connection (the framing boundary is still intact, but
+                    // the peer is confused).
+                    _ => break,
+                }
+            }
+            Ok(None) => {
+                if conn.last_seen.lock().elapsed() >= idle_timeout {
+                    inner.m.heartbeat_timeouts.inc();
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+
+    // Cleanup: push threads first (they hold the ResultStreams whose Drop
+    // deletes the stream queues), then the registry entry and the socket.
+    let mut subs = std::mem::take(&mut *conn.subs.lock());
+    for sub in subs.values_mut() {
+        sub.shut();
+    }
+    inner.conns.lock().remove(&conn.id);
+    inner.m.conns_open.sub(1);
+    transport.close();
+}
+
+/// Run the versioned hello handshake. Returns the registered connection
+/// and its bearer token, or `None` after sending a typed refusal.
+fn handshake(
+    inner: &Arc<ServerInner>,
+    transport: &Arc<dyn Transport>,
+) -> Option<(Arc<Conn>, Token)> {
+    let refuse = |err: GcxError| {
+        inner.m.handshake_failures.inc();
+        let _ = inner
+            .m
+            .send_counted(transport.as_ref(), &Frame::response_err(0, &err));
+        None
+    };
+    let hello = match transport.recv(Duration::from_millis(inner.spec.idle_timeout_ms)) {
+        Ok(Some(f)) if f.frame_type == FrameType::Hello => {
+            inner.m.frames_in.inc();
+            f
+        }
+        Ok(Some(_)) => return refuse(GcxError::Codec("expected Hello frame".into())),
+        Ok(None) => return refuse(GcxError::Timeout("no Hello before idle timeout".into())),
+        Err(e) => return refuse(e),
+    };
+    let version = hello.payload.get("version").and_then(Value::as_int);
+    if version != Some(WIRE_VERSION) {
+        return refuse(GcxError::InvalidConfig(format!(
+            "wire version mismatch: client {version:?}, server {WIRE_VERSION}"
+        )));
+    }
+    let token = Token(
+        hello
+            .payload
+            .get("token")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string(),
+    );
+    if let Err(e) = inner.svc.authenticate(&token) {
+        return refuse(e);
+    }
+    let max = inner.spec.max_connections as usize;
+    if max > 0 && inner.conns.lock().len() >= max {
+        return refuse(GcxError::Overloaded {
+            retry_after_ms: 100,
+        });
+    }
+    let id = inner.conn_seq.fetch_add(1, Ordering::Relaxed);
+    let replica = inner.svc.fed().map(|f| f.replica.0).unwrap_or(0);
+    let ack = Frame::new(
+        FrameType::HelloAck,
+        hello.corr_id,
+        Value::map([
+            ("version", Value::Int(WIRE_VERSION)),
+            ("replica", Value::Int(replica as i64)),
+            ("session", Value::Int(id as i64)),
+        ]),
+    );
+    if inner.m.send_counted(transport.as_ref(), &ack).is_err() {
+        return None;
+    }
+    Some((
+        Arc::new(Conn {
+            id,
+            transport: transport.clone(),
+            last_seen: Mutex::new(Instant::now()),
+            subs: Mutex::new(HashMap::new()),
+        }),
+        token,
+    ))
+}
+
+/// Dispatch one `Request` frame to the service and answer on the same
+/// correlation id. Errors cross back typed (see
+/// [`gcx_core::wire::error_to_value`]) so `NotOwner` redirects and
+/// `Overloaded` pushback keep steering remote clients exactly as they
+/// steer in-process ones.
+fn handle_request(
+    inner: &Arc<ServerInner>,
+    conn: &Arc<Conn>,
+    token: &Token,
+    corr: u64,
+    payload: &Value,
+) {
+    let method = payload.get("method").and_then(Value::as_str).unwrap_or("");
+    let params = payload.get("params").cloned().unwrap_or(Value::None);
+    let outcome = dispatch_method(inner, conn, token, corr, method, &params);
+    let frame = match outcome {
+        Ok(v) => Frame::response_ok(corr, v),
+        Err(e) => Frame::response_err(corr, &e),
+    };
+    let _ = inner.m.send_counted(conn.transport.as_ref(), &frame);
+}
+
+fn dispatch_method(
+    inner: &Arc<ServerInner>,
+    conn: &Arc<Conn>,
+    token: &Token,
+    corr: u64,
+    method: &str,
+    params: &Value,
+) -> GcxResult<Value> {
+    let svc = &inner.svc;
+    match method {
+        methods::REGISTER_FUNCTION => {
+            let body = params
+                .get("body")
+                .and_then(FunctionBody::from_value)
+                .ok_or_else(|| GcxError::Codec("register_function: bad body".into()))?;
+            let id = svc.register_function(token, body)?;
+            Ok(Value::map([("id", Value::str(id.to_string()))]))
+        }
+        methods::SUBMIT_BATCH => {
+            let specs = params
+                .get("specs")
+                .and_then(Value::as_list)
+                .ok_or_else(|| GcxError::Codec("submit_batch: missing specs".into()))?
+                .iter()
+                .map(TaskSpec::from_value)
+                .collect::<GcxResult<Vec<_>>>()?;
+            let ids = svc.submit_batch(token, specs)?;
+            Ok(Value::map([(
+                "ids",
+                Value::List(
+                    ids.iter()
+                        .map(|id| Value::str(id.to_string()))
+                        .collect::<Vec<_>>(),
+                ),
+            )]))
+        }
+        methods::TASK_STATUS => {
+            let id = task_id_from_str(
+                params
+                    .get("id")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| GcxError::Codec("task_status: missing id".into()))?,
+            )?;
+            let (state, result) = svc.task_status(token, id)?;
+            Ok(status_entry_to_value(id, state, &result))
+        }
+        methods::TASK_STATUS_BATCH => {
+            let ids = params
+                .get("ids")
+                .and_then(Value::as_list)
+                .ok_or_else(|| GcxError::Codec("task_status_batch: missing ids".into()))?
+                .iter()
+                .map(|v| {
+                    task_id_from_str(v.as_str().ok_or_else(|| {
+                        GcxError::Codec("task_status_batch: non-string id".into())
+                    })?)
+                })
+                .collect::<GcxResult<Vec<_>>>()?;
+            let entries = svc.task_status_batch(token, &ids)?;
+            Ok(Value::map([(
+                "entries",
+                Value::List(
+                    entries
+                        .iter()
+                        .map(|(id, state, result)| status_entry_to_value(*id, *state, result))
+                        .collect::<Vec<_>>(),
+                ),
+            )]))
+        }
+        methods::CANCEL_TASK => {
+            let id = task_id_from_str(
+                params
+                    .get("id")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| GcxError::Codec("cancel_task: missing id".into()))?,
+            )?;
+            let outcome = svc.cancel_task(token, id)?;
+            Ok(cancel_outcome_to_value(&outcome))
+        }
+        methods::OPEN_STREAM => {
+            let stream = svc.open_result_stream(token)?;
+            let stop = Arc::new(AtomicBool::new(false));
+            let handle = spawn_push_loop(inner.clone(), conn.clone(), corr, stream, stop.clone());
+            conn.subs.lock().insert(
+                corr,
+                Subscription {
+                    stop,
+                    handle: Some(handle),
+                },
+            );
+            Ok(Value::map([("stream", Value::Int(corr as i64))]))
+        }
+        methods::CLOSE_STREAM => {
+            let stream_corr = params
+                .get("stream")
+                .and_then(Value::as_int)
+                .ok_or_else(|| GcxError::Codec("close_stream: missing stream".into()))?
+                as u64;
+            if let Some(mut sub) = conn.subs.lock().remove(&stream_corr) {
+                sub.shut();
+            }
+            Ok(Value::map([] as [(&str, Value); 0]))
+        }
+        other => Err(GcxError::InvalidConfig(format!(
+            "unknown wire method '{other}'"
+        ))),
+    }
+}
+
+/// Forward the subscription's stream queue to the connection as `Push`
+/// frames, acking each delivery only after the frame is on the wire. The
+/// loop ends when the subscription is closed, the connection dies, or the
+/// stream queue disappears (liveness reaping, shutdown).
+fn spawn_push_loop(
+    inner: Arc<ServerInner>,
+    conn: Arc<Conn>,
+    corr: u64,
+    stream: super::super::ResultStream,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("gcx-wire-push".into())
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) && !inner.shutdown.load(Ordering::SeqCst) {
+                match stream.consumer.next(Duration::from_millis(50)) {
+                    Ok(Some(delivery)) => {
+                        let payload = match codec::decode(&delivery.message.body) {
+                            Ok(v) => v,
+                            Err(_) => {
+                                // A corrupt envelope is unforwardable; ack it
+                                // away rather than looping on it forever.
+                                let _ = stream.consumer.ack(delivery.tag);
+                                continue;
+                            }
+                        };
+                        let frame = Frame::new(FrameType::Push, corr, payload);
+                        if inner
+                            .m
+                            .send_counted(conn.transport.as_ref(), &frame)
+                            .is_err()
+                        {
+                            // Connection dead: leave the delivery unacked so
+                            // a reconnecting client's catch-up (or the next
+                            // stream) can still see it, and stop pushing.
+                            return;
+                        }
+                        let _ = stream.consumer.ack(delivery.tag);
+                    }
+                    Ok(None) => {}
+                    // Queue deleted (stream reaped or broker gone).
+                    Err(_) => return,
+                }
+            }
+        })
+        .expect("spawn wire push loop")
+}

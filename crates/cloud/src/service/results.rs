@@ -43,7 +43,7 @@ impl WebService {
         })
     }
 
-    fn close_result_stream(&self, identity: IdentityId, queue_name: &str) {
+    pub(super) fn close_result_stream(&self, identity: IdentityId, queue_name: &str) {
         // An identity's entry may go empty; it stays in the map (a few
         // bytes) and fans out to nothing.
         self.inner.streams.update(&identity, |list| {
@@ -331,6 +331,13 @@ pub struct ResultStream {
     cloud: WebService,
     identity: IdentityId,
     queue_name: String,
+}
+
+impl ResultStream {
+    /// Name of this stream's broker queue (`stream.{identity}.{n}`).
+    pub fn queue_name(&self) -> &str {
+        &self.queue_name
+    }
 }
 
 impl Drop for ResultStream {

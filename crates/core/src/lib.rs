@@ -33,6 +33,9 @@
 //!   and trace summaries.
 //! - [`sharded`] — the N-way sharded concurrent map the cloud service's
 //!   state stores run on.
+//! - [`wire`] — length-prefixed binary framing of the codec and the
+//!   [`wire::Transport`] trait (real localhost TCP and a byte-honest
+//!   in-memory duplex pipe) the service boundary runs over.
 //! - [`error`] — the shared error type.
 
 pub mod clock;
@@ -50,6 +53,7 @@ pub mod shellres;
 pub mod task;
 pub mod trace;
 pub mod value;
+pub mod wire;
 
 pub use clock::{Clock, SharedClock, SystemClock, VirtualClock};
 pub use error::{GcxError, GcxResult};
@@ -62,3 +66,4 @@ pub use shellres::ShellResult;
 pub use task::{TaskRecord, TaskResult, TaskSpec, TaskState};
 pub use trace::{EventLevel, SpanId, TraceConfig, TraceContext, TraceId, Tracer};
 pub use value::Value;
+pub use wire::{Frame, FrameReader, FrameType, InMemTransport, TcpTransport, Transport};

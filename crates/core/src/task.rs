@@ -195,6 +195,19 @@ impl TaskState {
             TaskState::Cancelled => "cancelled",
         }
     }
+
+    /// Inverse of [`TaskState::label`], for states arriving off the wire.
+    pub fn from_label(label: &str) -> GcxResult<Self> {
+        Ok(match label {
+            "received" => TaskState::Received,
+            "waiting-for-nodes" => TaskState::WaitingForNodes,
+            "running" => TaskState::Running,
+            "success" => TaskState::Success,
+            "failed" => TaskState::Failed,
+            "cancelled" => TaskState::Cancelled,
+            other => return Err(GcxError::Codec(format!("unknown task state '{other}'"))),
+        })
+    }
 }
 
 /// Prefix marking a `TaskResult::Err` as infrastructure-caused and safe to

@@ -1,0 +1,893 @@
+//! The wire layer: length-prefixed binary framing of the [`crate::codec`]
+//! envelope plus the [`Transport`] abstraction it travels over.
+//!
+//! Until this module existed the "service boundary" was a struct call: the
+//! SDK held an `Arc` to the cloud and every byte-count was an accounting
+//! fiction. A frame here is a real byte sequence:
+//!
+//! ```text
+//! +----------------+-----------+------------------+------------------+
+//! | u32 BE length  | u8 type   | u64 BE corr id   | payload bytes    |
+//! | (type..payload)| tag       | (multiplex key)  | (codec-encoded)  |
+//! +----------------+-----------+------------------+------------------+
+//! ```
+//!
+//! The length prefix counts everything after itself (tag + correlation id +
+//! payload), so a reader needs exactly `4 + length` bytes to own a frame.
+//! The correlation id lets many in-flight requests share one connection:
+//! responses and server-push frames carry the id of the request (or
+//! subscription) they answer. The payload is a [`Value`] encoded with the
+//! existing codec — the wire layer adds framing, never a second
+//! serialization format.
+//!
+//! Two [`Transport`] implementations exist: [`TcpTransport`] over a real
+//! `std::net::TcpStream` (localhost benchmarking with true OS-process
+//! clients) and [`InMemTransport`], a byte-honest in-memory duplex pipe
+//! (frames are fully serialized into the pipe and re-parsed on the far
+//! side) so single-process tests exercise the identical encode/decode path.
+//!
+//! Decoding is exhaustively defensive: truncated frames, oversized length
+//! prefixes, garbage type tags, and arbitrary payload corruption must all
+//! surface as typed [`GcxError`]s — never a panic, never an unbounded
+//! buffer, never a hang (see `prop_codec.rs`).
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::codec;
+use crate::error::{GcxError, GcxResult};
+use crate::ids::{EndpointId, FunctionId, TaskId};
+use crate::value::Value;
+
+/// Version carried in the `Hello` frame; bumped on incompatible changes.
+pub const WIRE_VERSION: i64 = 1;
+
+/// Default ceiling on a single frame's length field (16 MiB) — comfortably
+/// above the service's 10 MB payload limit, small enough that a corrupt or
+/// hostile length prefix cannot balloon the read buffer.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Bytes of frame header after the length prefix: 1 (type) + 8 (corr id).
+pub const FRAME_HEADER: usize = 9;
+
+/// Frame type tags. The numeric values are wire format — append, never
+/// renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client → server connection opener: `{version, token, proto}`.
+    Hello = 1,
+    /// Server → client handshake acceptance: `{version, replica, session}`.
+    HelloAck = 2,
+    /// Client → server method call: `{method, params}`.
+    Request = 3,
+    /// Server → client answer to the `Request` with the same corr id:
+    /// `{ok: value}` or `{err: {...}}` (see [`error_to_value`]).
+    Response = 4,
+    /// Server → client push on a subscription; corr id names the
+    /// subscription's original `Request`.
+    Push = 5,
+    /// Liveness probe (either direction); payload is the sender's clock.
+    Heartbeat = 6,
+    /// Answer to a `Heartbeat`, echoing its corr id.
+    HeartbeatAck = 7,
+    /// Orderly close: no further frames follow from the sender.
+    Goodbye = 8,
+}
+
+impl FrameType {
+    /// Decode a wire tag; unknown tags are a typed codec error (frames from
+    /// a future protocol version are rejected, not misparsed).
+    pub fn from_tag(tag: u8) -> GcxResult<Self> {
+        Ok(match tag {
+            1 => FrameType::Hello,
+            2 => FrameType::HelloAck,
+            3 => FrameType::Request,
+            4 => FrameType::Response,
+            5 => FrameType::Push,
+            6 => FrameType::Heartbeat,
+            7 => FrameType::HeartbeatAck,
+            8 => FrameType::Goodbye,
+            other => return Err(GcxError::Codec(format!("unknown frame type tag {other}"))),
+        })
+    }
+}
+
+/// One framed message: a type tag, a correlation id, and a codec payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub frame_type: FrameType,
+    pub corr_id: u64,
+    pub payload: Value,
+}
+
+impl Frame {
+    pub fn new(frame_type: FrameType, corr_id: u64, payload: Value) -> Self {
+        Self {
+            frame_type,
+            corr_id,
+            payload,
+        }
+    }
+
+    /// The client's connection opener.
+    pub fn hello(token: impl Into<String>) -> Self {
+        Frame::new(
+            FrameType::Hello,
+            0,
+            Value::map([
+                ("version", Value::Int(WIRE_VERSION)),
+                ("token", Value::str(token)),
+                ("proto", Value::str("gcx-wire")),
+            ]),
+        )
+    }
+
+    /// A method call frame.
+    pub fn request(corr_id: u64, method: &str, params: Value) -> Self {
+        Frame::new(
+            FrameType::Request,
+            corr_id,
+            Value::map([("method", Value::str(method)), ("params", params)]),
+        )
+    }
+
+    /// A successful response to `corr_id`.
+    pub fn response_ok(corr_id: u64, value: Value) -> Self {
+        Frame::new(FrameType::Response, corr_id, Value::map([("ok", value)]))
+    }
+
+    /// A failed response to `corr_id`, carrying the error in typed form so
+    /// redirect variants like [`GcxError::NotOwner`] survive the crossing.
+    pub fn response_err(corr_id: u64, err: &GcxError) -> Self {
+        Frame::new(
+            FrameType::Response,
+            corr_id,
+            Value::map([("err", error_to_value(err))]),
+        )
+    }
+}
+
+/// Serialize a frame to its wire bytes (length prefix included).
+///
+/// Refuses to produce a frame whose length field would exceed `max_frame`
+/// — the peer would reject it anyway, so the error surfaces at the sender
+/// where the payload is still addressable.
+pub fn encode_frame(frame: &Frame, max_frame: usize) -> GcxResult<Vec<u8>> {
+    let payload = codec::encode(&frame.payload);
+    let body_len = FRAME_HEADER + payload.len();
+    if body_len > max_frame {
+        return Err(GcxError::PayloadTooLarge {
+            size: body_len,
+            limit: max_frame,
+        });
+    }
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_be_bytes());
+    out.push(frame.frame_type as u8);
+    out.extend_from_slice(&frame.corr_id.to_be_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Decode one frame body (the bytes *after* the length prefix).
+pub fn decode_frame_body(body: &[u8]) -> GcxResult<Frame> {
+    if body.len() < FRAME_HEADER {
+        return Err(GcxError::Codec(format!(
+            "frame body of {} bytes is shorter than the {FRAME_HEADER}-byte header",
+            body.len()
+        )));
+    }
+    let frame_type = FrameType::from_tag(body[0])?;
+    let mut corr = [0u8; 8];
+    corr.copy_from_slice(&body[1..9]);
+    let payload = codec::decode(&body[FRAME_HEADER..])?;
+    Ok(Frame {
+        frame_type,
+        corr_id: u64::from_be_bytes(corr),
+        payload,
+    })
+}
+
+/// Incremental frame parser over an arbitrary byte stream.
+///
+/// Bytes arrive in whatever chunks the transport hands over — a frame may
+/// be split across many reads or many frames may share one read. `feed`
+/// buffers bytes; `next_frame` yields completed frames in order. A length
+/// prefix above `max_frame` poisons the stream with a typed error (after a
+/// framing error the byte boundary is unknowable, so the reader refuses to
+/// resynchronize and the connection must drop).
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: VecDeque<u8>,
+    max_frame: usize,
+    poisoned: Option<GcxError>,
+}
+
+impl FrameReader {
+    pub fn new(max_frame: usize) -> Self {
+        Self {
+            buf: VecDeque::new(),
+            max_frame,
+            poisoned: None,
+        }
+    }
+
+    /// Append raw bytes read from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend(bytes);
+        }
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete frame, `Ok(None)` if more bytes are needed.
+    pub fn next_frame(&mut self) -> GcxResult<Option<Frame>> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        for (i, b) in self.buf.iter().take(4).enumerate() {
+            len_bytes[i] = *b;
+        }
+        let body_len = u32::from_be_bytes(len_bytes) as usize;
+        if body_len > self.max_frame {
+            let err = GcxError::Codec(format!(
+                "frame length {body_len} exceeds the {} byte limit",
+                self.max_frame
+            ));
+            self.poisoned = Some(err.clone());
+            self.buf.clear();
+            return Err(err);
+        }
+        if body_len < FRAME_HEADER {
+            let err = GcxError::Codec(format!(
+                "frame length {body_len} is shorter than the {FRAME_HEADER}-byte header"
+            ));
+            self.poisoned = Some(err.clone());
+            self.buf.clear();
+            return Err(err);
+        }
+        if self.buf.len() < 4 + body_len {
+            return Ok(None);
+        }
+        self.buf.drain(..4);
+        let body: Vec<u8> = self.buf.drain(..body_len).collect();
+        match decode_frame_body(&body) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(err) => {
+                // The framing itself was sound (we consumed exactly one
+                // frame's bytes) but the contents are garbage; poison anyway
+                // — a peer producing undecodable frames is not trustworthy.
+                self.poisoned = Some(err.clone());
+                self.buf.clear();
+                Err(err)
+            }
+        }
+    }
+}
+
+/// Serialize a [`GcxError`] into a codec map for a `Response` `err` field.
+///
+/// Every variant crosses the wire with its discriminating fields so the
+/// far side reconstructs the *same* typed error — `NotOwner { owner }`
+/// keeps steering redirects, `Overloaded { retry_after_ms }` keeps pacing
+/// backoff — instead of collapsing into a string.
+pub fn error_to_value(err: &GcxError) -> Value {
+    let kv = |code: &str, fields: Vec<(&str, Value)>| {
+        let mut m = vec![("code", Value::str(code))];
+        m.extend(fields);
+        Value::map(m)
+    };
+    match err {
+        GcxError::Unauthenticated(m) => kv("unauthenticated", vec![("msg", Value::str(m))]),
+        GcxError::Forbidden(m) => kv("forbidden", vec![("msg", Value::str(m))]),
+        GcxError::TaskNotFound(id) => {
+            kv("task_not_found", vec![("id", Value::str(id.to_string()))])
+        }
+        GcxError::FunctionNotFound(id) => kv(
+            "function_not_found",
+            vec![("id", Value::str(id.to_string()))],
+        ),
+        GcxError::EndpointNotFound(id) => kv(
+            "endpoint_not_found",
+            vec![("id", Value::str(id.to_string()))],
+        ),
+        GcxError::PayloadTooLarge { size, limit } => kv(
+            "payload_too_large",
+            vec![
+                ("size", Value::Int(*size as i64)),
+                ("limit", Value::Int(*limit as i64)),
+            ],
+        ),
+        GcxError::InvalidConfig(m) => kv("invalid_config", vec![("msg", Value::str(m))]),
+        GcxError::Execution(m) => kv("execution", vec![("msg", Value::str(m))]),
+        GcxError::WalltimeExceeded { limit_ms } => kv(
+            "walltime_exceeded",
+            vec![("limit_ms", Value::Int(*limit_ms as i64))],
+        ),
+        GcxError::Scheduler(m) => kv("scheduler", vec![("msg", Value::str(m))]),
+        GcxError::Queue(m) => kv("queue", vec![("msg", Value::str(m))]),
+        GcxError::Codec(m) => kv("codec", vec![("msg", Value::str(m))]),
+        GcxError::Parse(m) => kv("parse", vec![("msg", Value::str(m))]),
+        GcxError::Cancelled(id) => kv("cancelled", vec![("id", Value::str(id.to_string()))]),
+        GcxError::Timeout(m) => kv("timeout", vec![("msg", Value::str(m))]),
+        GcxError::ShuttingDown => kv("shutting_down", vec![]),
+        GcxError::Transient(m) => kv("transient", vec![("msg", Value::str(m))]),
+        GcxError::EndpointOffline(id) => {
+            kv("endpoint_offline", vec![("id", Value::str(id.to_string()))])
+        }
+        GcxError::RetriesExhausted { attempts, last } => kv(
+            "retries_exhausted",
+            vec![
+                ("attempts", Value::Int(*attempts as i64)),
+                ("last", Value::str(last)),
+            ],
+        ),
+        GcxError::NotOwner { owner } => kv("not_owner", vec![("owner", Value::Int(*owner as i64))]),
+        GcxError::ReplicaUnavailable(r) => kv(
+            "replica_unavailable",
+            vec![("replica", Value::Int(*r as i64))],
+        ),
+        GcxError::RedirectsExhausted { redirects, last } => kv(
+            "redirects_exhausted",
+            vec![
+                ("redirects", Value::Int(*redirects as i64)),
+                ("last", Value::str(last)),
+            ],
+        ),
+        GcxError::Overloaded { retry_after_ms } => kv(
+            "overloaded",
+            vec![("retry_after_ms", Value::Int(*retry_after_ms as i64))],
+        ),
+        GcxError::QueueFull { queue } => kv("queue_full", vec![("queue", Value::str(queue))]),
+        GcxError::DeadlineExceeded(id) => kv(
+            "deadline_exceeded",
+            vec![("id", Value::str(id.to_string()))],
+        ),
+        GcxError::Internal(m) => kv("internal", vec![("msg", Value::str(m))]),
+    }
+}
+
+/// Reconstruct a [`GcxError`] from its wire map. Unknown codes and missing
+/// fields degrade to [`GcxError::Internal`] — a malformed error report is
+/// still an error, just a less specific one; it must never panic.
+pub fn error_from_value(v: &Value) -> GcxError {
+    let Some(code) = v.get("code").and_then(Value::as_str) else {
+        return GcxError::Internal(format!("malformed wire error: {v:?}"));
+    };
+    let msg = || {
+        v.get("msg")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    let int = |k: &str| v.get(k).and_then(Value::as_int).unwrap_or(0);
+    let id_str = || v.get("id").and_then(Value::as_str).unwrap_or("");
+    let parse_uuid = || id_str().parse::<crate::ids::Uuid>();
+    match code {
+        "unauthenticated" => GcxError::Unauthenticated(msg()),
+        "forbidden" => GcxError::Forbidden(msg()),
+        "task_not_found" => match parse_uuid() {
+            Ok(u) => GcxError::TaskNotFound(TaskId(u)),
+            Err(_) => GcxError::Internal(format!("task_not_found with bad id '{}'", id_str())),
+        },
+        "function_not_found" => match parse_uuid() {
+            Ok(u) => GcxError::FunctionNotFound(FunctionId(u)),
+            Err(_) => GcxError::Internal(format!("function_not_found with bad id '{}'", id_str())),
+        },
+        "endpoint_not_found" => match parse_uuid() {
+            Ok(u) => GcxError::EndpointNotFound(EndpointId(u)),
+            Err(_) => GcxError::Internal(format!("endpoint_not_found with bad id '{}'", id_str())),
+        },
+        "payload_too_large" => GcxError::PayloadTooLarge {
+            size: int("size").max(0) as usize,
+            limit: int("limit").max(0) as usize,
+        },
+        "invalid_config" => GcxError::InvalidConfig(msg()),
+        "execution" => GcxError::Execution(msg()),
+        "walltime_exceeded" => GcxError::WalltimeExceeded {
+            limit_ms: int("limit_ms").max(0) as u64,
+        },
+        "scheduler" => GcxError::Scheduler(msg()),
+        "queue" => GcxError::Queue(msg()),
+        "codec" => GcxError::Codec(msg()),
+        "parse" => GcxError::Parse(msg()),
+        "cancelled" => match parse_uuid() {
+            Ok(u) => GcxError::Cancelled(TaskId(u)),
+            Err(_) => GcxError::Internal(format!("cancelled with bad id '{}'", id_str())),
+        },
+        "timeout" => GcxError::Timeout(msg()),
+        "shutting_down" => GcxError::ShuttingDown,
+        "transient" => GcxError::Transient(msg()),
+        "endpoint_offline" => match parse_uuid() {
+            Ok(u) => GcxError::EndpointOffline(EndpointId(u)),
+            Err(_) => GcxError::Internal(format!("endpoint_offline with bad id '{}'", id_str())),
+        },
+        "retries_exhausted" => GcxError::RetriesExhausted {
+            attempts: int("attempts").max(0) as u32,
+            last: v
+                .get("last")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+        },
+        "not_owner" => GcxError::NotOwner {
+            owner: int("owner").max(0) as u32,
+        },
+        "replica_unavailable" => GcxError::ReplicaUnavailable(int("replica").max(0) as u32),
+        "redirects_exhausted" => GcxError::RedirectsExhausted {
+            redirects: int("redirects").max(0) as u32,
+            last: v
+                .get("last")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+        },
+        "overloaded" => GcxError::Overloaded {
+            retry_after_ms: int("retry_after_ms").max(0) as u64,
+        },
+        "queue_full" => GcxError::QueueFull {
+            queue: v
+                .get("queue")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+        },
+        "deadline_exceeded" => match parse_uuid() {
+            Ok(u) => GcxError::DeadlineExceeded(TaskId(u)),
+            Err(_) => GcxError::Internal(format!("deadline_exceeded with bad id '{}'", id_str())),
+        },
+        "internal" => GcxError::Internal(msg()),
+        other => GcxError::Internal(format!("unknown wire error code '{other}'")),
+    }
+}
+
+/// A bidirectional frame channel. One logical reader (the connection's
+/// demux loop) calls [`Transport::recv`]; any number of threads may
+/// [`Transport::send`] concurrently — implementations serialize writers so
+/// frames never interleave mid-frame.
+pub trait Transport: Send + Sync {
+    /// Serialize and send one frame. Errors are connection-fatal.
+    fn send(&self, frame: &Frame) -> GcxResult<()>;
+
+    /// Wait up to `timeout` for the next frame. `Ok(None)` means the
+    /// timeout elapsed with the connection still healthy; `Err` means the
+    /// connection is dead (closed, reset, or a framing violation).
+    fn recv(&self, timeout: Duration) -> GcxResult<Option<Frame>>;
+
+    /// Close both directions; subsequent sends and recvs fail.
+    fn close(&self);
+
+    /// Human-readable peer address for logs and metrics.
+    fn peer(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------------
+
+/// [`Transport`] over a real `std::net::TcpStream`.
+///
+/// The stream is cloned into a read half and a write half; writers take
+/// the write mutex for the duration of one frame so concurrent callers
+/// never interleave bytes. The read half lives under its own mutex with a
+/// [`FrameReader`] accumulating split reads.
+pub struct TcpTransport {
+    writer: Mutex<TcpStream>,
+    reader: Mutex<(TcpStream, FrameReader)>,
+    closed: AtomicBool,
+    max_frame: usize,
+    peer: String,
+}
+
+impl TcpTransport {
+    pub fn new(stream: TcpStream, max_frame: usize) -> GcxResult<Self> {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        stream
+            .set_nodelay(true)
+            .map_err(|e| GcxError::Transient(format!("set_nodelay: {e}")))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| GcxError::Transient(format!("tcp clone: {e}")))?;
+        Ok(Self {
+            writer: Mutex::new(stream),
+            reader: Mutex::new((read_half, FrameReader::new(max_frame))),
+            closed: AtomicBool::new(false),
+            max_frame,
+            peer,
+        })
+    }
+
+    /// Dial `addr` (e.g. `127.0.0.1:41999`).
+    pub fn connect(addr: &str, max_frame: usize) -> GcxResult<Self> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| GcxError::Transient(format!("connect {addr}: {e}")))?;
+        Self::new(stream, max_frame)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, frame: &Frame) -> GcxResult<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(GcxError::Transient("connection closed".into()));
+        }
+        let bytes = encode_frame(frame, self.max_frame)?;
+        let mut w = self.writer.lock();
+        w.write_all(&bytes).map_err(|e| {
+            self.closed.store(true, Ordering::Release);
+            GcxError::Transient(format!("tcp send: {e}"))
+        })
+    }
+
+    fn recv(&self, timeout: Duration) -> GcxResult<Option<Frame>> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.reader.lock();
+        let (stream, reader) = &mut *guard;
+        loop {
+            if let Some(frame) = reader.next_frame()? {
+                return Ok(Some(frame));
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Err(GcxError::Transient("connection closed".into()));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            // Read timeouts must be nonzero (zero means "block forever").
+            let wait = (deadline - now).max(Duration::from_millis(1));
+            stream
+                .set_read_timeout(Some(wait))
+                .map_err(|e| GcxError::Transient(format!("tcp set_read_timeout: {e}")))?;
+            let mut chunk = [0u8; 64 * 1024];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.closed.store(true, Ordering::Release);
+                    return Err(GcxError::Transient("connection closed by peer".into()));
+                }
+                Ok(n) => reader.feed(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.closed.store(true, Ordering::Release);
+                    return Err(GcxError::Transient(format!("tcp recv: {e}")));
+                }
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let w = self.writer.lock();
+        let _ = w.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory transport
+// ---------------------------------------------------------------------------
+
+/// One direction of the in-memory duplex pipe: a byte buffer plus a
+/// condvar for blocking reads. Frames are *serialized into the buffer as
+/// bytes* — the in-memory path exercises the identical encode → frame →
+/// decode cycle as TCP, so codec bugs cannot hide behind it.
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+struct PipeState {
+    bytes: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(PipeState {
+                bytes: VecDeque::new(),
+                closed: false,
+            }),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn write(&self, bytes: &[u8]) -> GcxResult<()> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(GcxError::Transient("connection closed".into()));
+        }
+        st.bytes.extend(bytes);
+        drop(st);
+        self.readable.notify_all();
+        Ok(())
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// The in-memory [`Transport`]: a pair of byte pipes shared by two halves.
+pub struct InMemTransport {
+    /// Bytes we write travel down this pipe…
+    out: Arc<Pipe>,
+    /// …and bytes the peer writes arrive on this one.
+    inbound: Arc<Pipe>,
+    reader: Mutex<FrameReader>,
+    max_frame: usize,
+    label: String,
+}
+
+impl InMemTransport {
+    /// Create a connected pair; frames sent on one half arrive (as bytes,
+    /// re-parsed) on the other.
+    pub fn pair(max_frame: usize) -> (InMemTransport, InMemTransport) {
+        let a_to_b = Pipe::new();
+        let b_to_a = Pipe::new();
+        (
+            InMemTransport {
+                out: a_to_b.clone(),
+                inbound: b_to_a.clone(),
+                reader: Mutex::new(FrameReader::new(max_frame)),
+                max_frame,
+                label: "inmem:client".into(),
+            },
+            InMemTransport {
+                out: b_to_a,
+                inbound: a_to_b,
+                reader: Mutex::new(FrameReader::new(max_frame)),
+                max_frame,
+                label: "inmem:server".into(),
+            },
+        )
+    }
+}
+
+impl Transport for InMemTransport {
+    fn send(&self, frame: &Frame) -> GcxResult<()> {
+        let bytes = encode_frame(frame, self.max_frame)?;
+        self.out.write(&bytes)
+    }
+
+    fn recv(&self, timeout: Duration) -> GcxResult<Option<Frame>> {
+        let deadline = Instant::now() + timeout;
+        let mut reader = self.reader.lock();
+        loop {
+            if let Some(frame) = reader.next_frame()? {
+                return Ok(Some(frame));
+            }
+            let mut st = self.inbound.state.lock();
+            if st.bytes.is_empty() {
+                if st.closed {
+                    return Err(GcxError::Transient("connection closed by peer".into()));
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Ok(None);
+                }
+                let timed_out = self
+                    .inbound
+                    .readable
+                    .wait_for(&mut st, deadline - now)
+                    .timed_out();
+                if timed_out && st.bytes.is_empty() {
+                    if st.closed {
+                        return Err(GcxError::Transient("connection closed by peer".into()));
+                    }
+                    return Ok(None);
+                }
+            }
+            let drained: Vec<u8> = st.bytes.drain(..).collect();
+            drop(st);
+            reader.feed(&drained);
+        }
+    }
+
+    fn close(&self) {
+        self.out.close();
+        self.inbound.close();
+    }
+
+    fn peer(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let bytes = encode_frame(frame, DEFAULT_MAX_FRAME).unwrap();
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        reader.feed(&bytes);
+        let got = reader.next_frame().unwrap().unwrap();
+        assert!(reader.next_frame().unwrap().is_none());
+        got
+    }
+
+    #[test]
+    fn frame_roundtrips_every_type() {
+        for (ty, corr) in [
+            (FrameType::Hello, 0u64),
+            (FrameType::HelloAck, 1),
+            (FrameType::Request, 42),
+            (FrameType::Response, 42),
+            (FrameType::Push, u64::MAX),
+            (FrameType::Heartbeat, 7),
+            (FrameType::HeartbeatAck, 7),
+            (FrameType::Goodbye, 0),
+        ] {
+            let f = Frame::new(ty, corr, Value::map([("k", Value::Int(9))]));
+            assert_eq!(roundtrip(&f), f);
+        }
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let f = Frame::request(3, "submit", Value::str("x".repeat(300)));
+        let bytes = encode_frame(&f, DEFAULT_MAX_FRAME).unwrap();
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        // Feed one byte at a time; the frame must pop exactly once.
+        let mut seen = 0;
+        for b in &bytes {
+            reader.feed(&[*b]);
+            if let Some(got) = reader.next_frame().unwrap() {
+                assert_eq!(got, f);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_typed_and_poisons() {
+        let mut reader = FrameReader::new(1024);
+        reader.feed(&u32::MAX.to_be_bytes());
+        let err = reader.next_frame().unwrap_err();
+        assert!(matches!(err, GcxError::Codec(_)));
+        // Stream stays poisoned.
+        reader.feed(&[0u8; 64]);
+        assert!(reader.next_frame().is_err());
+    }
+
+    #[test]
+    fn garbage_type_tag_is_typed() {
+        let f = Frame::hello("tok");
+        let mut bytes = encode_frame(&f, DEFAULT_MAX_FRAME).unwrap();
+        bytes[4] = 0xEE; // corrupt the type tag
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        reader.feed(&bytes);
+        assert!(matches!(
+            reader.next_frame().unwrap_err(),
+            GcxError::Codec(_)
+        ));
+    }
+
+    #[test]
+    fn undersized_length_prefix_is_typed() {
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        reader.feed(&3u32.to_be_bytes());
+        reader.feed(&[1, 2, 3]);
+        assert!(matches!(
+            reader.next_frame().unwrap_err(),
+            GcxError::Codec(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_send_is_refused() {
+        let f = Frame::request(1, "m", Value::str("y".repeat(4096)));
+        assert!(matches!(
+            encode_frame(&f, 256),
+            Err(GcxError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_roundtrip_typed() {
+        let samples = vec![
+            GcxError::Unauthenticated("no".into()),
+            GcxError::TaskNotFound(TaskId::random()),
+            GcxError::PayloadTooLarge {
+                size: 11,
+                limit: 10,
+            },
+            GcxError::NotOwner { owner: 3 },
+            GcxError::ReplicaUnavailable(1),
+            GcxError::Overloaded { retry_after_ms: 75 },
+            GcxError::QueueFull { queue: "q1".into() },
+            GcxError::RedirectsExhausted {
+                redirects: 8,
+                last: "x".into(),
+            },
+            GcxError::ShuttingDown,
+            GcxError::DeadlineExceeded(TaskId::random()),
+            GcxError::Internal("bug".into()),
+        ];
+        for err in samples {
+            let v = error_to_value(&err);
+            assert_eq!(error_from_value(&v), err, "roundtrip of {err:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_wire_error_degrades_to_internal() {
+        assert!(matches!(
+            error_from_value(&Value::Int(7)),
+            GcxError::Internal(_)
+        ));
+        assert!(matches!(
+            error_from_value(&Value::map([("code", Value::str("task_not_found"))])),
+            GcxError::Internal(_)
+        ));
+        assert!(matches!(
+            error_from_value(&Value::map([("code", Value::str("from_the_future"))])),
+            GcxError::Internal(_)
+        ));
+    }
+
+    #[test]
+    fn inmem_pair_moves_real_bytes() {
+        let (a, b) = InMemTransport::pair(DEFAULT_MAX_FRAME);
+        let f = Frame::request(9, "ping", Value::Int(1));
+        a.send(&f).unwrap();
+        let got = b.recv(Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(got, f);
+        // Timeout with no traffic.
+        assert!(b.recv(Duration::from_millis(10)).unwrap().is_none());
+        // Close propagates as a typed error.
+        a.close();
+        assert!(b.recv(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn tcp_pair_roundtrips_over_localhost() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let t = TcpTransport::new(stream, DEFAULT_MAX_FRAME).unwrap();
+            let f = t.recv(Duration::from_secs(5)).unwrap().unwrap();
+            t.send(&Frame::response_ok(f.corr_id, Value::str("pong")))
+                .unwrap();
+        });
+        let client = TcpTransport::connect(&addr, DEFAULT_MAX_FRAME).unwrap();
+        client
+            .send(&Frame::request(5, "ping", Value::None))
+            .unwrap();
+        let resp = client.recv(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(resp.frame_type, FrameType::Response);
+        assert_eq!(resp.corr_id, 5);
+        assert_eq!(resp.payload.get("ok").and_then(Value::as_str), Some("pong"));
+        server.join().unwrap();
+    }
+}

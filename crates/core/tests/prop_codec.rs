@@ -1,11 +1,19 @@
 //! Property-based tests dedicated to the wire codec: deep `Value` trees,
-//! the `MAX_DEPTH` rejection boundary, and exact size prediction.
+//! the `MAX_DEPTH` rejection boundary, and exact size prediction — plus
+//! the frame layer on top (`gcx_core::wire`): length-prefixed framing must
+//! survive arbitrary read-boundary splits, and truncation, oversized
+//! length prefixes, garbage type tags, and byte corruption must all land
+//! as typed errors, never a panic or a hang.
 //!
 //! `prop_core.rs` keeps a shallow smoke round-trip; this suite generates
 //! deeper and wider trees and pins the decoder's nesting limit exactly.
 
 use gcx_core::codec::{decode, encode, encoded_size};
+use gcx_core::error::GcxError;
 use gcx_core::value::Value;
+use gcx_core::wire::{
+    encode_frame, error_from_value, error_to_value, Frame, FrameReader, FrameType, FRAME_HEADER,
+};
 use proptest::prelude::*;
 
 /// The decoder's nesting limit (private `MAX_DEPTH` in `codec.rs`); the
@@ -105,5 +113,178 @@ proptest! {
         let i = pos % bytes.len(); // always ≥ 1 byte: the version prefix
         bytes[i] ^= x;
         let _ = decode(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-frame properties: the length-prefixed framing layer over the codec.
+// ---------------------------------------------------------------------------
+
+/// Small enough that an oversized-prefix case is easy to construct, large
+/// enough that no generated tree ever trips it legitimately.
+const TEST_MAX_FRAME: usize = 1 << 20;
+
+fn frame_type_strategy() -> impl Strategy<Value = FrameType> {
+    prop_oneof![
+        Just(FrameType::Hello),
+        Just(FrameType::HelloAck),
+        Just(FrameType::Request),
+        Just(FrameType::Response),
+        Just(FrameType::Push),
+        Just(FrameType::Heartbeat),
+        Just(FrameType::HeartbeatAck),
+        Just(FrameType::Goodbye),
+    ]
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (frame_type_strategy(), any::<u64>(), tree_strategy())
+        .prop_map(|(t, corr, payload)| Frame::new(t, corr, payload))
+}
+
+/// A representative sample of typed errors that must survive the wire —
+/// including the redirect/backoff variants whose *fields* steer clients.
+fn wire_error_strategy() -> impl Strategy<Value = GcxError> {
+    prop_oneof![
+        any::<u32>().prop_map(|owner| GcxError::NotOwner { owner }),
+        any::<u32>().prop_map(GcxError::ReplicaUnavailable),
+        (0u64..=u32::MAX as u64).prop_map(|retry_after_ms| GcxError::Overloaded { retry_after_ms }),
+        "[ -~]{0,40}".prop_map(GcxError::Transient),
+        "[ -~]{0,40}".prop_map(GcxError::Unauthenticated),
+        "[ -~]{0,40}".prop_map(GcxError::Timeout),
+        "[ -~]{0,40}".prop_map(GcxError::Codec),
+        "[ -~]{0,40}".prop_map(GcxError::InvalidConfig),
+        // Sizes ride the codec's i64 ints; real ones are bounded by the
+        // frame ceiling, so generate within u32 range rather than demand
+        // the impossible from usize extremes.
+        (0usize..=u32::MAX as usize, 0usize..=u32::MAX as usize)
+            .prop_map(|(size, limit)| GcxError::PayloadTooLarge { size, limit }),
+        (any::<u32>(), "[ -~]{0,40}")
+            .prop_map(|(redirects, last)| GcxError::RedirectsExhausted { redirects, last }),
+        Just(GcxError::ShuttingDown),
+    ]
+}
+
+proptest! {
+    /// Frames survive any split of the byte stream across reads: a sequence
+    /// of frames fed one `chunk`-byte slice at a time comes out identical
+    /// and in order, with nothing left buffered. `chunk = 1` is the
+    /// pathological byte-at-a-time transport.
+    #[test]
+    fn frames_survive_arbitrary_read_splits(
+        frames in prop::collection::vec(frame_strategy(), 1..5),
+        chunk in 1usize..48,
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f, TEST_MAX_FRAME).unwrap());
+        }
+        let mut reader = FrameReader::new(TEST_MAX_FRAME);
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            reader.feed(piece);
+            while let Some(f) = reader.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(&got, &frames);
+        prop_assert_eq!(reader.buffered(), 0);
+        prop_assert!(reader.next_frame().unwrap().is_none());
+    }
+
+    /// A truncated frame is "not yet", never an error: any strict prefix
+    /// yields `Ok(None)` forever, and feeding the missing tail completes
+    /// the frame intact.
+    #[test]
+    fn truncated_frames_wait_without_erroring(f in frame_strategy(), cut in any::<usize>()) {
+        let bytes = encode_frame(&f, TEST_MAX_FRAME).unwrap();
+        let cut = cut % bytes.len(); // 0..len: always a strict prefix
+        let mut reader = FrameReader::new(TEST_MAX_FRAME);
+        reader.feed(&bytes[..cut]);
+        prop_assert!(reader.next_frame().unwrap().is_none());
+        prop_assert!(reader.next_frame().unwrap().is_none());
+        reader.feed(&bytes[cut..]);
+        prop_assert_eq!(reader.next_frame().unwrap(), Some(f));
+    }
+
+    /// A length prefix beyond the frame ceiling is a typed error that
+    /// permanently poisons the reader — after a framing violation the byte
+    /// boundary is unknowable, so even a subsequently-fed valid frame must
+    /// keep erroring rather than resynchronize on garbage.
+    #[test]
+    fn oversized_length_prefix_poisons_typed(
+        excess in 1u64..=(u32::MAX as u64 - TEST_MAX_FRAME as u64),
+        f in frame_strategy(),
+    ) {
+        let body_len = (TEST_MAX_FRAME as u64 + excess) as u32;
+        let mut reader = FrameReader::new(TEST_MAX_FRAME);
+        reader.feed(&body_len.to_be_bytes());
+        prop_assert!(matches!(reader.next_frame(), Err(GcxError::Codec(_))));
+        reader.feed(&encode_frame(&f, TEST_MAX_FRAME).unwrap());
+        prop_assert!(matches!(reader.next_frame(), Err(GcxError::Codec(_))));
+    }
+
+    /// A length prefix too small to hold even the frame header is equally
+    /// a typed poisoning error, not a hang waiting for negative bytes.
+    #[test]
+    fn undersized_length_prefix_is_rejected(body_len in 0u32..(FRAME_HEADER as u32)) {
+        let mut reader = FrameReader::new(TEST_MAX_FRAME);
+        reader.feed(&body_len.to_be_bytes());
+        reader.feed(&[0u8; FRAME_HEADER]);
+        prop_assert!(matches!(reader.next_frame(), Err(GcxError::Codec(_))));
+    }
+
+    /// Garbage type tags — anything outside the assigned 1..=8 — are a
+    /// typed error even when length and payload are perfectly valid.
+    #[test]
+    fn garbage_type_tags_are_typed_errors(f in frame_strategy(), raw in any::<u8>()) {
+        // Shift assigned tags (1..=8) into the unassigned 9..=16 band; 0 and
+        // everything above 8 pass through untouched.
+        let tag = if (1..=8).contains(&raw) { raw + 8 } else { raw };
+        let mut bytes = encode_frame(&f, TEST_MAX_FRAME).unwrap();
+        bytes[4] = tag; // the type tag sits right after the u32 prefix
+        let mut reader = FrameReader::new(TEST_MAX_FRAME);
+        reader.feed(&bytes);
+        prop_assert!(matches!(reader.next_frame(), Err(GcxError::Codec(_))));
+    }
+
+    /// Flipping any byte of a framed stream never panics or hangs the
+    /// reader: every outcome is a frame, a typed error, or "need more
+    /// bytes" — and the loop provably terminates.
+    #[test]
+    fn corrupted_frame_streams_never_panic(
+        frames in prop::collection::vec(frame_strategy(), 1..4),
+        pos in any::<usize>(),
+        x in 1u8..=255,
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f, TEST_MAX_FRAME).unwrap());
+        }
+        let i = pos % stream.len();
+        stream[i] ^= x;
+        let mut reader = FrameReader::new(TEST_MAX_FRAME);
+        reader.feed(&stream);
+        // Each iteration consumes a frame or terminates; the stream holds
+        // at most `frames.len()` of them, so this is a bounded loop.
+        for _ in 0..=frames.len() {
+            match reader.next_frame() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Typed errors round-trip through their wire form with the
+    /// discriminating fields intact — `NotOwner { owner }` must come back
+    /// pointing at the same replica or redirects break silently.
+    #[test]
+    fn typed_errors_roundtrip_the_wire(err in wire_error_strategy()) {
+        let back = error_from_value(&error_to_value(&err));
+        prop_assert_eq!(format!("{err}"), format!("{back}"));
+        prop_assert_eq!(
+            std::mem::discriminant(&err),
+            std::mem::discriminant(&back)
+        );
     }
 }

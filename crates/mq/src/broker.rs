@@ -93,6 +93,11 @@ pub struct QueueStats {
     pub unacked: usize,
     /// Total messages ever published.
     pub published: u64,
+    /// Broker-clock stamp of the most recent consumer poll (`next` call),
+    /// initialized to the declare time. The cloud's liveness sweep uses
+    /// this to reap result-stream queues whose consumer vanished without
+    /// closing the stream — a queue nobody polls anymore.
+    pub last_poll_ms: u64,
 }
 
 /// What a bounded queue does with a publish that would exceed its capacity.
@@ -201,6 +206,9 @@ struct Queue {
     cond: Condvar,
     next_tag: AtomicU64,
     published: AtomicU64,
+    /// Broker-clock stamp of the latest `Consumer::next` on this queue
+    /// (declare time until first poll); see [`QueueStats::last_poll_ms`].
+    last_poll_ms: AtomicU64,
     policy: Mutex<QueuePolicy>,
     /// `mq.depth.<queue>` — ready messages, kept in lockstep with `ready`.
     depth_gauge: Arc<gcx_core::metrics::Gauge>,
@@ -215,6 +223,7 @@ impl Queue {
             ready: st.ready.len(),
             unacked: st.unacked.len(),
             published: self.published.load(Ordering::Relaxed),
+            last_poll_ms: self.last_poll_ms.load(Ordering::Relaxed),
         }
     }
 
@@ -448,6 +457,7 @@ impl Broker {
                 cond: Condvar::new(),
                 next_tag: AtomicU64::new(1),
                 published: AtomicU64::new(0),
+                last_poll_ms: AtomicU64::new(self.inner.clock.now_ms()),
                 policy: Mutex::new(QueuePolicy::default()),
                 depth_gauge: self.inner.metrics.gauge(&format!("mq.depth.{name}")),
                 bytes_gauge: self.inner.metrics.gauge(&format!("mq.bytes.{name}")),
@@ -826,6 +836,9 @@ impl Consumer {
         // poll with yields instead of condvar timeouts in that mode.
         let virtual_mode = self.broker.clock.is_virtual();
         let deadline = std::time::Instant::now() + timeout;
+        self.queue
+            .last_poll_ms
+            .store(self.broker.clock.now_ms(), Ordering::Relaxed);
         loop {
             let fault = self.broker.fault.read().clone();
             // A hard partition blocks deliveries without consuming fault-plan

@@ -18,6 +18,7 @@ use gcx_core::task::{TaskResult, TaskSpec, TaskState};
 use gcx_core::value::Value;
 
 use crate::functions::Function;
+use crate::link::Link;
 
 /// Redirect/rotation budget per operation for federated clients: how many
 /// `NotOwner` redirects or `ReplicaUnavailable` rotations one call may
@@ -40,9 +41,11 @@ fn default_rotation_backoff() -> RetryPolicy {
 /// A polling client bound to one user token. Against a federated cloud
 /// ([`Client::federated`]) the client follows [`GcxError::NotOwner`]
 /// redirects to the task's owning replica and rotates away from dead or
-/// partitioned replicas under a capped backoff.
+/// partitioned replicas under a capped backoff. Over the wire
+/// ([`Client::over_wire`]) the same recovery rides the framed transport:
+/// redirects arrive as typed error frames and retarget the connection.
 pub struct Client {
-    cloud: WebService,
+    link: Link,
     token: Token,
     directory: Option<ReplicaDirectory>,
     max_redirects: u32,
@@ -53,7 +56,7 @@ impl Client {
     /// Create a client against a standalone service.
     pub fn new(cloud: WebService, token: Token) -> Self {
         Self {
-            cloud,
+            link: Link::Local(cloud),
             token,
             directory: None,
             max_redirects: DEFAULT_MAX_REDIRECTS,
@@ -68,9 +71,25 @@ impl Client {
             .any_live()
             .ok_or_else(|| GcxError::Transient("no live replica in the federation".into()))?;
         Ok(Self {
-            cloud,
+            link: Link::Local(cloud),
             token,
             directory: Some(directory),
+            max_redirects: DEFAULT_MAX_REDIRECTS,
+            rotation_backoff: default_rotation_backoff(),
+        })
+    }
+
+    /// Create a client over the wire: framed transport to one or more
+    /// wire-server addresses (`addrs[i]` = replica `i`'s listener).
+    pub fn over_wire(
+        addrs: Vec<String>,
+        token: &str,
+        cfg: gcx_cloud::WireClientConfig,
+    ) -> GcxResult<Self> {
+        Ok(Self {
+            link: Link::connect(addrs, token, cfg)?,
+            token: Token(token.to_string()),
+            directory: None,
             max_redirects: DEFAULT_MAX_REDIRECTS,
             rotation_backoff: default_rotation_backoff(),
         })
@@ -88,10 +107,9 @@ impl Client {
         self
     }
 
-    /// The underlying web service handle (the bootstrap replica when
-    /// federated).
-    pub fn cloud(&self) -> &WebService {
-        &self.cloud
+    /// The underlying link (local handle or wire connection).
+    pub fn link(&self) -> &Link {
+        &self.link
     }
 
     /// The bearer token.
@@ -99,19 +117,26 @@ impl Client {
         &self.token
     }
 
+    /// Close the link (drops the wire connection; a no-op locally).
+    pub fn close(&self) {
+        self.link.close();
+    }
+
     /// Run `op` against the right replica: start at the bootstrap handle,
     /// follow `NotOwner` redirects to the owner, and rotate (with capped
     /// exponential backoff) away from replicas that answer
     /// `ReplicaUnavailable`. At most [`Self::max_redirects`] hops; the
     /// budget exhausting fails with [`GcxError::RedirectsExhausted`].
-    fn with_replica<T>(&self, op: impl Fn(&WebService) -> GcxResult<T>) -> GcxResult<T> {
-        let Some(dir) = &self.directory else {
-            return op(&self.cloud);
+    /// Wire links run the same loop inside [`crate::link::WireLink::call`],
+    /// so here they get a single direct call.
+    fn with_replica<T>(&self, op: impl Fn(&Link) -> GcxResult<T>) -> GcxResult<T> {
+        let (Link::Local(cloud), Some(dir)) = (&self.link, &self.directory) else {
+            return op(&self.link);
         };
-        let mut svc = self.cloud.clone();
+        let mut svc = cloud.clone();
         let mut redirects = 0u32;
         loop {
-            let err = match op(&svc) {
+            let err = match op(&Link::Local(svc.clone())) {
                 Err(e @ (GcxError::NotOwner { .. } | GcxError::ReplicaUnavailable(_))) => e,
                 other => return other,
             };
@@ -149,12 +174,12 @@ impl Client {
     /// Register a function, returning its immutable id.
     pub fn register_function(&self, function: &dyn Function) -> GcxResult<FunctionId> {
         let body = function.body();
-        self.with_replica(|svc| svc.register_function(&self.token, body.clone()))
+        self.with_replica(|link| link.register_function(&self.token, body.clone()))
     }
 
     /// Register a raw body.
     pub fn register_body(&self, body: FunctionBody) -> GcxResult<FunctionId> {
-        self.with_replica(|svc| svc.register_function(&self.token, body.clone()))
+        self.with_replica(|link| link.register_function(&self.token, body.clone()))
     }
 
     /// Submit one task (one REST request).
@@ -173,12 +198,12 @@ impl Client {
 
     /// Submit a task with full control over the spec.
     pub fn run_spec(&self, spec: TaskSpec) -> GcxResult<TaskId> {
-        self.with_replica(|svc| svc.submit_task(&self.token, spec.clone()))
+        self.with_replica(|link| link.submit_task(&self.token, spec.clone()))
     }
 
     /// One status poll (one REST request), following ownership redirects.
     pub fn task_status(&self, task: TaskId) -> GcxResult<(TaskState, Option<TaskResult>)> {
-        self.with_replica(|svc| svc.task_status(&self.token, task))
+        self.with_replica(|link| link.task_status(&self.token, task))
     }
 
     /// Cancel a task (best effort), following ownership redirects. Returns
@@ -186,7 +211,7 @@ impl Client {
     /// typed no-op ([`CancelOutcome::AlreadyTerminal`]), not an error, and
     /// the landed result is left intact.
     pub fn cancel(&self, task: TaskId) -> GcxResult<CancelOutcome> {
-        self.with_replica(|svc| svc.cancel_task(&self.token, task))
+        self.with_replica(|link| link.cancel_task(&self.token, task))
     }
 
     /// One batch status poll. Federated clouds shard the task store by
@@ -198,7 +223,19 @@ impl Client {
         ids: &[TaskId],
     ) -> GcxResult<Vec<(TaskId, TaskState, Option<TaskResult>)>> {
         let Some(dir) = &self.directory else {
-            return self.cloud.task_status_batch(&self.token, ids);
+            let mut out = self.link.task_status_batch(&self.token, ids)?;
+            // A wire link to a federation only answers for the connected
+            // replica's shard; union per task via redirect-following polls.
+            if matches!(self.link, Link::Wire(_)) && out.len() < ids.len() {
+                let answered: std::collections::HashSet<TaskId> =
+                    out.iter().map(|(id, _, _)| *id).collect();
+                for id in ids.iter().filter(|id| !answered.contains(id)) {
+                    if let Ok((state, result)) = self.link.task_status(&self.token, *id) {
+                        out.push((*id, state, result));
+                    }
+                }
+            }
+            return Ok(out);
         };
         let mut out = Vec::new();
         let mut last_err = None;

@@ -34,7 +34,6 @@ use std::time::{Duration, Instant};
 
 use gcx_auth::Token;
 use gcx_cloud::{CancelOutcome, ReplicaDirectory, WebService};
-use gcx_core::codec;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
 use gcx_core::ids::{EndpointId, FunctionId, TaskId};
@@ -48,6 +47,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::client::DEFAULT_MAX_REDIRECTS;
 use crate::functions::Function;
 use crate::future::TaskFuture;
+use crate::link::{Link, ResultFeed};
 
 /// Executor tunables.
 #[derive(Debug, Clone)]
@@ -94,10 +94,12 @@ struct Inflight {
 }
 
 struct ExecutorShared {
-    /// The replica the executor currently talks to. Standalone executors
-    /// never swap it; federated ones rotate it away from a dead or
-    /// partitioned replica via [`ExecutorShared::rotate_replica`].
-    cloud: RwLock<WebService>,
+    /// The link the executor currently talks through — an in-process
+    /// service handle or a wire connection. Standalone executors never swap
+    /// it; local-federated ones rotate it away from a dead or partitioned
+    /// replica via [`ExecutorShared::rotate_replica`] (wire links rotate
+    /// internally).
+    link: RwLock<Link>,
     /// Replica discovery when the cloud is federated.
     directory: Option<ReplicaDirectory>,
     /// Rotation cap per recovery episode (see [`ExecutorConfig`]).
@@ -127,22 +129,23 @@ struct ExecutorShared {
 }
 
 impl ExecutorShared {
-    /// The current replica handle (cheap: an `Arc` clone).
-    fn cloud(&self) -> WebService {
-        self.cloud.read().clone()
+    /// The current link (cheap: an `Arc` clone either way).
+    fn link(&self) -> Link {
+        self.link.read().clone()
     }
 
     /// Replica `from` stopped answering: swap the handle to the next live
     /// replica after it, ring order. Returns `false` when not federated or
     /// when no replica is live right now (the caller keeps retrying the old
-    /// handle under its remaining budget).
+    /// handle under its remaining budget). Wire links rotate internally and
+    /// never reach here.
     fn rotate_replica(&self, from: u32) -> bool {
         let Some(dir) = &self.directory else {
             return false;
         };
         match dir.next_live_after(from) {
             Some(next) => {
-                *self.cloud.write() = next;
+                *self.link.write() = Link::Local(next);
                 self.replica_rotations.inc();
                 true
             }
@@ -189,7 +192,7 @@ impl Executor {
         let cloud = directory
             .any_live()
             .ok_or_else(|| GcxError::Transient("no live replica in the federation".into()))?;
-        Self::build(cloud, token, endpoint_id, cfg, Some(directory))
+        Self::build(Link::Local(cloud), token, endpoint_id, cfg, Some(directory))
     }
 
     /// Create an executor with explicit batching configuration.
@@ -199,25 +202,43 @@ impl Executor {
         endpoint_id: EndpointId,
         cfg: ExecutorConfig,
     ) -> GcxResult<Self> {
-        Self::build(cloud, token, endpoint_id, cfg, None)
+        Self::build(Link::Local(cloud), token, endpoint_id, cfg, None)
+    }
+
+    /// Create an executor over the wire: real framed transport to one or
+    /// more wire-server addresses (`addrs[i]` = replica `i`'s listener).
+    /// The result stream arrives as server-push frames; connection loss is
+    /// recovered by reconnect + resubscribe under [`ExecutorConfig::retry`],
+    /// and `NotOwner` redirects retarget the connection to the owning
+    /// replica's address.
+    pub fn over_wire(
+        addrs: Vec<String>,
+        token: &str,
+        endpoint_id: EndpointId,
+        cfg: ExecutorConfig,
+        wire_cfg: gcx_cloud::WireClientConfig,
+    ) -> GcxResult<Self> {
+        let link = Link::connect(addrs, token, wire_cfg)?;
+        Self::build(link, Token(token.to_string()), endpoint_id, cfg, None)
     }
 
     fn build(
-        cloud: WebService,
+        link: Link,
         token: Token,
         endpoint_id: EndpointId,
         cfg: ExecutorConfig,
         directory: Option<ReplicaDirectory>,
     ) -> GcxResult<Self> {
-        // Open the AMQPS result stream up front; failures surface now.
-        let stream = cloud.open_result_stream(&token)?;
-        let tasks_resubmitted = cloud.metrics().counter("sdk.tasks_resubmitted");
-        let stream_reconnects = cloud.metrics().counter("sdk.stream_reconnects");
-        let replica_rotations = cloud.metrics().counter("sdk.replica_rotations");
-        let overload_backoffs = cloud.metrics().counter("sdk.overload_backoffs");
-        let tracer = cloud.metrics().tracer();
+        // Open the result feed up front; failures surface now.
+        let stream = link.open_stream(&token)?;
+        let registry = link.metrics();
+        let tasks_resubmitted = registry.counter("sdk.tasks_resubmitted");
+        let stream_reconnects = registry.counter("sdk.stream_reconnects");
+        let replica_rotations = registry.counter("sdk.replica_rotations");
+        let overload_backoffs = registry.counter("sdk.overload_backoffs");
+        let tracer = registry.tracer();
         let shared = Arc::new(ExecutorShared {
-            cloud: RwLock::new(cloud),
+            link: RwLock::new(link),
             directory,
             max_redirects: cfg.max_redirects,
             token,
@@ -333,7 +354,7 @@ impl Executor {
         }
         let id = self
             .shared
-            .cloud()
+            .link()
             .register_function(&self.shared.token, body)?;
         self.shared.registered.lock().insert(hash, id);
         Ok(id)
@@ -342,6 +363,13 @@ impl Executor {
     /// Number of futures still awaiting results.
     pub fn inflight(&self) -> usize {
         self.shared.inflight.lock().len()
+    }
+
+    /// The metrics registry the executor's `sdk.*` counters land in: the
+    /// service's registry for a local link, the link's own for a wire
+    /// client (a separate OS process has no service registry to share).
+    pub fn metrics(&self) -> gcx_core::metrics::MetricsRegistry {
+        self.shared.link().metrics()
     }
 
     /// Cancel a submitted task (best effort, like `Future.cancel()`): the
@@ -353,7 +381,7 @@ impl Executor {
             return Ok(false);
         }
         let task_id = future.task_id();
-        let first = self.shared.cloud().cancel_task(&self.shared.token, task_id);
+        let first = self.shared.link().cancel_task(&self.shared.token, task_id);
         // Federated: the task record lives on its ring owner; follow one
         // NotOwner redirect there.
         let outcome = match (first, self.shared.directory.as_ref()) {
@@ -403,6 +431,8 @@ impl Executor {
         if let Some(h) = self.streamer.take() {
             let _ = h.join();
         }
+        // Wire links say Goodbye and drop the connection; local is a no-op.
+        self.shared.link().close();
     }
 }
 
@@ -449,7 +479,7 @@ fn batcher_loop(shared: &ExecutorShared, cfg: ExecutorConfig) {
         };
         if !flush.is_empty() {
             let specs: Vec<TaskSpec> = flush.iter().map(|p| p.spec.clone()).collect();
-            match shared.cloud().submit_batch(&shared.token, specs) {
+            match shared.link().submit_batch(&shared.token, &specs) {
                 Ok(_) => {
                     if shared.tracer.enabled() {
                         // Submit leg: submit() call → batch accepted by the
@@ -488,34 +518,17 @@ fn batcher_loop(shared: &ExecutorShared, cfg: ExecutorConfig) {
     }
 }
 
-fn stream_loop(
-    shared: &ExecutorShared,
-    retry: &RetryPolicy,
-    mut stream: gcx_cloud::service::ResultStream,
-) {
+fn stream_loop(shared: &ExecutorShared, retry: &RetryPolicy, mut stream: ResultFeed) {
     let mut grace: Option<Instant> = None;
     loop {
-        match stream.consumer.next(Duration::from_millis(25)) {
-            Ok(Some(delivery)) => {
-                if let Ok(envelope) = codec::decode(&delivery.message.body) {
-                    if let Some(task_id) = envelope
-                        .get("task_id")
-                        .and_then(Value::as_str)
-                        .and_then(|s| s.parse::<TaskId>().ok())
-                    {
-                        if let Some(result_v) = envelope.get("result") {
-                            match TaskResult::from_value(result_v) {
-                                Ok(result) => complete_task(shared, retry, task_id, result),
-                                Err(e) => {
-                                    if let Some(inf) = shared.inflight.lock().remove(&task_id) {
-                                        inf.future.resolve(Err(e));
-                                    }
-                                }
-                            }
-                        }
-                    }
+        match stream.next(Duration::from_millis(25)) {
+            Ok(Some((task_id, Ok(result)))) => complete_task(shared, retry, task_id, result),
+            Ok(Some((task_id, Err(e)))) => {
+                // An envelope arrived for the task but its result would not
+                // parse: the future fails rather than hanging forever.
+                if let Some(inf) = shared.inflight.lock().remove(&task_id) {
+                    inf.future.resolve(Err(e));
                 }
-                let _ = stream.consumer.ack(delivery.tag);
             }
             Ok(None) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -543,18 +556,17 @@ fn stream_loop(
     }
 }
 
-/// The result stream broke (broker restart, queue deleted, replica death).
-/// Reopen it under the retry policy's backoff, then catch up on any results
-/// that were published while we were disconnected with one batched status
-/// call. Against a federation, a `ReplicaUnavailable` answer rotates the
-/// executor to the next live replica; rotations are capped at
-/// `max_redirects` per episode, after which every inflight future fails with
-/// [`GcxError::RedirectsExhausted`]. Returns `None` once a budget is
-/// exhausted (all inflight futures are failed first) or at shutdown.
-fn reconnect_stream(
-    shared: &ExecutorShared,
-    retry: &RetryPolicy,
-) -> Option<gcx_cloud::service::ResultStream> {
+/// The result feed broke (broker restart, queue deleted, replica death, or
+/// a severed wire connection). Reopen it under the retry policy's backoff,
+/// then catch up on any results that were published while we were
+/// disconnected with one batched status call. Against a local federation, a
+/// `ReplicaUnavailable` answer rotates the executor to the next live
+/// replica; wire links reconnect and rotate internally. Rotations are
+/// capped at `max_redirects` per episode, after which every inflight future
+/// fails with [`GcxError::RedirectsExhausted`]. Returns `None` once a
+/// budget is exhausted (all inflight futures are failed first) or at
+/// shutdown.
+fn reconnect_stream(shared: &ExecutorShared, retry: &RetryPolicy) -> Option<ResultFeed> {
     let mut attempt = 0u32;
     let mut rotations = 0u32;
     loop {
@@ -574,7 +586,7 @@ fn reconnect_stream(
         if shared.shutdown.load(Ordering::SeqCst) && shared.inflight.lock().is_empty() {
             return None;
         }
-        match shared.cloud().open_result_stream(&shared.token) {
+        match shared.link().open_stream(&shared.token) {
             Ok(stream) => {
                 shared.stream_reconnects.inc();
                 catch_up(shared, retry);
@@ -616,8 +628,21 @@ fn catch_up(shared: &ExecutorShared, retry: &RetryPolicy) {
     let mut statuses = Vec::new();
     match &shared.directory {
         None => {
-            if let Ok(part) = shared.cloud().task_status_batch(&shared.token, &ids) {
+            let link = shared.link();
+            if let Ok(part) = link.task_status_batch(&shared.token, &ids) {
                 statuses = part;
+            }
+            // A wire link to a federation only answers for the connected
+            // replica's shard; fill the gaps per task — single status calls
+            // follow `NotOwner` redirects to the owner.
+            if matches!(link, Link::Wire(_)) && statuses.len() < ids.len() {
+                let answered: std::collections::HashSet<TaskId> =
+                    statuses.iter().map(|(id, _, _)| *id).collect();
+                for id in ids.iter().filter(|id| !answered.contains(id)) {
+                    if let Ok((state, result)) = link.task_status(&shared.token, *id) {
+                        statuses.push((*id, state, result));
+                    }
+                }
             }
         }
         Some(dir) => {

@@ -30,9 +30,11 @@ pub mod client;
 pub mod executor;
 pub mod functions;
 pub mod future;
+pub mod link;
 
 pub use client::Client;
 pub use executor::{Executor, ExecutorConfig};
 pub use functions::{Function, MpiFunction, PyFunction, ShellFunction};
 pub use future::TaskFuture;
-pub use gcx_cloud::CancelOutcome;
+pub use gcx_cloud::{CancelOutcome, WireClientConfig};
+pub use link::{Link, ResultFeed, WireLink};

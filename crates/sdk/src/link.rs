@@ -1,0 +1,574 @@
+//! `Link` — the SDK's view of the service boundary.
+//!
+//! Historically every SDK object held an `Arc` straight into the
+//! [`WebService`]; "talking to the cloud" was a method call. The wire layer
+//! makes the boundary real, and `Link` is the seam that lets both worlds
+//! coexist:
+//!
+//! - [`Link::Local`] wraps the in-process service handle. Single-process
+//!   tests, benches, and the federated recovery machinery (which rotates
+//!   between replica *handles*) run exactly as before.
+//! - [`Link::Wire`] speaks the framed protocol over a
+//!   [`Transport`](gcx_core::wire::Transport) — localhost TCP for real
+//!   OS-process clients, in-memory pipes for tests. Connection loss
+//!   surfaces as retryable errors; [`WireLink`] reconnects under a backoff
+//!   policy, follows typed [`GcxError::NotOwner`] redirects to the owning
+//!   replica's address, and rotates to the next address when a replica
+//!   stops answering.
+//!
+//! Result delivery is unified by [`ResultFeed`]: a broker consumer on the
+//! local path, a server-push [`WireStream`] on the wire path, one `next()`
+//! loop in the executor either way.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gcx_auth::Token;
+use gcx_cloud::{
+    CancelOutcome, ResultStream, WebService, WireClient, WireClientConfig, WireStream,
+};
+use gcx_core::codec;
+use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::function::FunctionBody;
+use gcx_core::ids::{FunctionId, TaskId};
+use gcx_core::metrics::MetricsRegistry;
+use gcx_core::retry::RetryPolicy;
+use gcx_core::task::{TaskResult, TaskSpec, TaskState};
+use gcx_core::value::Value;
+use parking_lot::{Mutex, RwLock};
+
+/// Redirect/rotation budget per wire operation, mirroring the local
+/// federated client's budget.
+pub const DEFAULT_WIRE_REDIRECTS: u32 = 8;
+
+fn default_wire_backoff() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: DEFAULT_WIRE_REDIRECTS + 1,
+        base_ms: 2,
+        max_ms: 100,
+        jitter: 0.0,
+        seed: 0,
+    }
+}
+
+/// How the SDK reaches the service: an in-process handle or a wire
+/// connection. Cheap to clone (both arms are `Arc`s underneath).
+#[derive(Clone)]
+pub enum Link {
+    /// Direct in-process calls into the service.
+    Local(WebService),
+    /// Framed transport to a wire server (TCP or in-memory).
+    Wire(Arc<WireLink>),
+}
+
+impl Link {
+    /// Dial a wire server (or the first reachable of several federated
+    /// replica addresses, index = replica id).
+    pub fn connect(addrs: Vec<String>, token: &str, cfg: WireClientConfig) -> GcxResult<Self> {
+        Ok(Link::Wire(WireLink::connect(addrs, token, cfg)?))
+    }
+
+    /// The metrics registry SDK-side counters should live on: the service's
+    /// own registry in-process, a client-local registry over the wire.
+    pub fn metrics(&self) -> MetricsRegistry {
+        match self {
+            Link::Local(svc) => svc.metrics().clone(),
+            Link::Wire(w) => w.metrics.clone(),
+        }
+    }
+
+    pub fn register_function(&self, token: &Token, body: FunctionBody) -> GcxResult<FunctionId> {
+        match self {
+            Link::Local(svc) => svc.register_function(token, body),
+            Link::Wire(w) => w.call(|c| c.register_function(&body)),
+        }
+    }
+
+    /// Submit one task. Over the wire this is a batch of one — the wire
+    /// protocol only has the batch verb.
+    pub fn submit_task(&self, token: &Token, spec: TaskSpec) -> GcxResult<TaskId> {
+        match self {
+            Link::Local(svc) => svc.submit_task(token, spec),
+            Link::Wire(w) => {
+                let specs = [spec];
+                w.call(|c| c.submit_batch(&specs))?
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| GcxError::Internal("submit_batch returned no ids".into()))
+            }
+        }
+    }
+
+    pub fn submit_batch(&self, token: &Token, specs: &[TaskSpec]) -> GcxResult<Vec<TaskId>> {
+        match self {
+            Link::Local(svc) => svc.submit_batch(token, specs.to_vec()),
+            Link::Wire(w) => w.call(|c| c.submit_batch(specs)),
+        }
+    }
+
+    pub fn task_status(
+        &self,
+        token: &Token,
+        id: TaskId,
+    ) -> GcxResult<(TaskState, Option<TaskResult>)> {
+        match self {
+            Link::Local(svc) => svc.task_status(token, id),
+            Link::Wire(w) => w.call(|c| c.task_status(id)),
+        }
+    }
+
+    /// One batch status poll. Over the wire against a federation this only
+    /// answers for tasks the connected replica owns (same sharding rule as
+    /// asking one replica directly); callers union per-task via
+    /// [`Link::task_status`], which follows redirects.
+    pub fn task_status_batch(
+        &self,
+        token: &Token,
+        ids: &[TaskId],
+    ) -> GcxResult<Vec<(TaskId, TaskState, Option<TaskResult>)>> {
+        match self {
+            Link::Local(svc) => svc.task_status_batch(token, ids),
+            Link::Wire(w) => w.call(|c| c.task_status_batch(ids)),
+        }
+    }
+
+    pub fn cancel_task(&self, token: &Token, id: TaskId) -> GcxResult<CancelOutcome> {
+        match self {
+            Link::Local(svc) => svc.cancel_task(token, id),
+            Link::Wire(w) => w.call(|c| c.cancel_task(id)),
+        }
+    }
+
+    /// Open the result feed: a broker consumer locally, a server-push
+    /// subscription over the wire.
+    pub fn open_stream(&self, token: &Token) -> GcxResult<ResultFeed> {
+        match self {
+            Link::Local(svc) => Ok(ResultFeed::Local(svc.open_result_stream(token)?)),
+            Link::Wire(w) => Ok(ResultFeed::Wire(w.call(|c| c.open_stream())?)),
+        }
+    }
+
+    /// Tear down the link (closes the wire connection; a no-op locally).
+    pub fn close(&self) {
+        if let Link::Wire(w) = self {
+            w.client.read().close();
+        }
+    }
+}
+
+/// A wire connection plus the recovery state around it: the address list
+/// (replica index → address), the current connection, and the redirect /
+/// rotation loop every operation runs under.
+pub struct WireLink {
+    addrs: Vec<String>,
+    token: String,
+    cfg: WireClientConfig,
+    max_redirects: u32,
+    backoff: RetryPolicy,
+    client: RwLock<WireClient>,
+    /// Index into `addrs` of the replica currently connected.
+    cur: Mutex<usize>,
+    /// Client-process-local registry (`sdk.*` counters land here when there
+    /// is no in-process service).
+    metrics: MetricsRegistry,
+}
+
+impl WireLink {
+    /// Dial the first reachable address. `addrs[i]` must be replica `i`'s
+    /// listener for `NotOwner` retargeting to route correctly.
+    pub fn connect(addrs: Vec<String>, token: &str, cfg: WireClientConfig) -> GcxResult<Arc<Self>> {
+        if addrs.is_empty() {
+            return Err(GcxError::InvalidConfig("wire link needs an address".into()));
+        }
+        let mut last = None;
+        for (i, addr) in addrs.iter().enumerate() {
+            match WireClient::connect_tcp(addr, token, cfg.clone()) {
+                Ok(client) => {
+                    return Ok(Arc::new(Self {
+                        addrs,
+                        token: token.to_string(),
+                        cfg,
+                        max_redirects: DEFAULT_WIRE_REDIRECTS,
+                        backoff: default_wire_backoff(),
+                        client: RwLock::new(client),
+                        cur: Mutex::new(i),
+                        metrics: MetricsRegistry::new(),
+                    }));
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| GcxError::Transient("no reachable wire address".into())))
+    }
+
+    /// Wrap an already-connected client (used by tests over in-memory
+    /// transports, where there is no address to dial).
+    pub fn over(client: WireClient, cfg: WireClientConfig) -> Arc<Self> {
+        Arc::new(Self {
+            addrs: Vec::new(),
+            token: String::new(),
+            cfg,
+            max_redirects: DEFAULT_WIRE_REDIRECTS,
+            backoff: default_wire_backoff(),
+            client: RwLock::new(client),
+            cur: Mutex::new(0),
+            metrics: MetricsRegistry::new(),
+        })
+    }
+
+    /// The current connection (an `Arc` clone).
+    pub fn client(&self) -> WireClient {
+        self.client.read().clone()
+    }
+
+    /// Replica index reported by the connected server's handshake.
+    pub fn replica(&self) -> u32 {
+        self.client.read().replica()
+    }
+
+    /// Swap in a fresh connection to `addrs[idx]`.
+    fn redial(&self, idx: usize) -> GcxResult<()> {
+        let addr = self
+            .addrs
+            .get(idx)
+            .ok_or(GcxError::ReplicaUnavailable(idx as u32))?;
+        let fresh = WireClient::connect_tcp(addr, &self.token, self.cfg.clone())?;
+        let old = {
+            let mut cur = self.cur.lock();
+            *cur = idx;
+            std::mem::replace(&mut *self.client.write(), fresh)
+        };
+        old.close();
+        self.metrics.counter("sdk.wire_reconnects").inc();
+        Ok(())
+    }
+
+    /// Reconnect to the replica we were talking to.
+    pub fn reconnect(&self) -> GcxResult<()> {
+        let idx = *self.cur.lock();
+        self.redial(idx)
+    }
+
+    /// Run `op` against the right replica: follow typed `NotOwner` redirect
+    /// frames to the owner's address, reconnect after connection loss, and
+    /// rotate to the next address when a replica stays unreachable — at
+    /// most `max_redirects` hops under capped exponential backoff, then
+    /// [`GcxError::RedirectsExhausted`].
+    pub fn call<T>(&self, op: impl Fn(&WireClient) -> GcxResult<T>) -> GcxResult<T> {
+        let mut hops = 0u32;
+        loop {
+            let client = self.client();
+            let err = match op(&client) {
+                Err(
+                    e @ (GcxError::NotOwner { .. }
+                    | GcxError::ReplicaUnavailable(_)
+                    | GcxError::Transient(_)),
+                ) => e,
+                other => return other,
+            };
+            hops += 1;
+            if hops > self.max_redirects || self.addrs.is_empty() {
+                if self.addrs.is_empty() {
+                    // Nothing to redial (in-memory link): surface as-is.
+                    return Err(err);
+                }
+                return Err(GcxError::RedirectsExhausted {
+                    redirects: hops - 1,
+                    last: err.to_string(),
+                });
+            }
+            match err {
+                GcxError::NotOwner { owner } => {
+                    // The federation redirect, carried as a typed wire
+                    // frame: reconnect to the owner's listener.
+                    if self.redial(owner as usize).is_err() {
+                        std::thread::sleep(self.backoff.backoff(hops));
+                        self.rotate();
+                    }
+                }
+                _ => {
+                    // Connection lost or replica down: try the same replica
+                    // again, then rotate through the rest of the ring.
+                    std::thread::sleep(self.backoff.backoff(hops));
+                    if self.reconnect().is_err() {
+                        self.rotate();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Best-effort move to the next address in ring order.
+    fn rotate(&self) {
+        let n = self.addrs.len();
+        if n == 0 {
+            return;
+        }
+        let start = *self.cur.lock();
+        for step in 1..=n {
+            if self.redial((start + step) % n).is_ok() {
+                self.metrics.counter("sdk.replica_rotations").inc();
+                return;
+            }
+        }
+    }
+}
+
+/// A live result subscription, local or wire. `next` yields
+/// `(task_id, parsed result)` pairs; an `Err` from `next` means the feed
+/// itself broke and must be reopened.
+pub enum ResultFeed {
+    Local(ResultStream),
+    Wire(WireStream),
+}
+
+impl ResultFeed {
+    /// Wait up to `timeout` for the next result envelope.
+    ///
+    /// - `Ok(Some((id, Ok(result))))` — a result arrived;
+    /// - `Ok(Some((id, Err(e))))` — an envelope arrived for `id` but its
+    ///   result payload would not parse (the task's future should fail);
+    /// - `Ok(None)` — nothing yet, feed healthy;
+    /// - `Err(_)` — the feed is broken: reconnect and resubscribe.
+    pub fn next(
+        &mut self,
+        timeout: Duration,
+    ) -> GcxResult<Option<(TaskId, GcxResult<TaskResult>)>> {
+        match self {
+            ResultFeed::Local(stream) => {
+                let Some(delivery) = stream.consumer.next(timeout)? else {
+                    return Ok(None);
+                };
+                let parsed = codec::decode(&delivery.message.body).ok().and_then(|env| {
+                    let id = env
+                        .get("task_id")
+                        .and_then(Value::as_str)
+                        .and_then(|s| s.parse::<TaskId>().ok())?;
+                    let result = env
+                        .get("result")
+                        .map(TaskResult::from_value)
+                        .unwrap_or_else(|| Err(GcxError::Codec("envelope missing result".into())));
+                    Some((id, result))
+                });
+                let _ = stream.consumer.ack(delivery.tag);
+                Ok(parsed)
+            }
+            ResultFeed::Wire(stream) => match stream.next(timeout) {
+                Ok(Some((id, result))) => Ok(Some((id, Ok(result)))),
+                Ok(None) => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Executor, ExecutorConfig};
+    use crate::functions::PyFunction;
+    use crate::Client;
+    use gcx_auth::AuthPolicy;
+    use gcx_cloud::{Federation, WireServer};
+    use gcx_config::TransportSpec;
+    use gcx_core::clock::SystemClock;
+    use gcx_core::ids::EndpointId;
+    use gcx_endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
+
+    fn wire_cfg() -> WireClientConfig {
+        WireClientConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            call_timeout: Duration::from_secs(5),
+            ..WireClientConfig::default()
+        }
+    }
+
+    fn spec() -> TransportSpec {
+        TransportSpec {
+            heartbeat_interval_ms: 100,
+            idle_timeout_ms: 1_000,
+            ..TransportSpec::default()
+        }
+    }
+
+    struct WireStack {
+        svc: WebService,
+        server: WireServer,
+        token: String,
+        ep: EndpointId,
+        agent: Option<EndpointAgent>,
+    }
+
+    impl WireStack {
+        fn new() -> Self {
+            let svc = WebService::with_defaults(SystemClock::shared());
+            let (_, token) = svc.auth().login("wire@site.org").unwrap();
+            let reg = svc
+                .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+                .unwrap();
+            let config = EndpointConfig::from_yaml(
+                "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 4\n",
+            )
+            .unwrap();
+            let agent = EndpointAgent::start(
+                &svc,
+                reg.endpoint_id,
+                &reg.queue_credential,
+                &config,
+                AgentEnv::local(SystemClock::shared()),
+            )
+            .unwrap();
+            let server = WireServer::listen(&svc, spec()).unwrap();
+            Self {
+                svc,
+                server,
+                token: token.0,
+                ep: reg.endpoint_id,
+                agent: Some(agent),
+            }
+        }
+    }
+
+    impl Drop for WireStack {
+        fn drop(&mut self) {
+            if let Some(agent) = self.agent.take() {
+                agent.stop();
+            }
+            self.server.shutdown();
+            self.svc.shutdown();
+        }
+    }
+
+    #[test]
+    fn executor_over_tcp_wire_end_to_end() {
+        let stack = WireStack::new();
+        let ex = Executor::over_wire(
+            vec![stack.server.addr().to_string()],
+            &stack.token,
+            stack.ep,
+            ExecutorConfig::default(),
+            wire_cfg(),
+        )
+        .unwrap();
+        let sq = PyFunction::new("def sq(x):\n    return x * x\n");
+        let futures: Vec<_> = (0..20)
+            .map(|i| ex.submit(&sq, vec![Value::Int(i)], Value::None).unwrap())
+            .collect();
+        for (i, f) in futures.iter().enumerate() {
+            assert_eq!(
+                f.result_timeout(Duration::from_secs(15)).unwrap(),
+                Value::Int((i * i) as i64),
+                "task {i} over the wire"
+            );
+        }
+        assert_eq!(ex.inflight(), 0);
+        // Results arrived by server push, not polling.
+        assert_eq!(stack.svc.metrics().counter("cloud.status_polls").get(), 0);
+        assert!(stack.svc.metrics().counter("wire.frames_in").get() > 0);
+        assert!(stack.svc.metrics().counter("wire.frames_out").get() > 0);
+        ex.close();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while stack.server.conn_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(
+            stack.server.conn_count(),
+            0,
+            "executor closed its connection"
+        );
+    }
+
+    #[test]
+    fn polling_client_over_tcp_wire() {
+        let stack = WireStack::new();
+        let client = Client::over_wire(
+            vec![stack.server.addr().to_string()],
+            &stack.token,
+            wire_cfg(),
+        )
+        .unwrap();
+        let fid = client
+            .register_function(&PyFunction::new("def f(x):\n    return x + 5\n"))
+            .unwrap();
+        let ids: Vec<TaskId> = (0..8)
+            .map(|i| {
+                client
+                    .run(fid, stack.ep, vec![Value::Int(i)], Value::None)
+                    .unwrap()
+            })
+            .collect();
+        let results = client
+            .get_batch_results(&ids, Duration::from_millis(5), Duration::from_secs(15))
+            .unwrap();
+        for (i, r) in results.into_iter().enumerate() {
+            assert_eq!(r.unwrap(), Value::Int(i as i64 + 5));
+        }
+        client.close();
+    }
+
+    #[test]
+    fn wire_client_follows_notowner_redirects_across_replica_listeners() {
+        let fed = Federation::new(2, SystemClock::shared());
+        let dir = fed.directory();
+        let r0 = dir.get(0).unwrap();
+        let r1 = dir.get(1).unwrap();
+        let server0 = WireServer::listen(&r0, spec()).unwrap();
+        let server1 = WireServer::listen(&r1, spec()).unwrap();
+        let (_, token) = fed.auth().login("wirefed@site.org").unwrap();
+        let reg = r0
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let config = EndpointConfig::from_yaml(
+            "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 4\n",
+        )
+        .unwrap();
+        let agent = EndpointAgent::start(
+            &r0,
+            reg.endpoint_id,
+            &reg.queue_credential,
+            &config,
+            AgentEnv::local(SystemClock::shared()),
+        )
+        .unwrap();
+
+        // addrs[i] = replica i's listener; the client bootstraps on 0.
+        let client = Client::over_wire(
+            vec![server0.addr().to_string(), server1.addr().to_string()],
+            &token.0,
+            wire_cfg(),
+        )
+        .unwrap();
+        let fid = client
+            .register_function(&PyFunction::new("def f(x):\n    return x * 2\n"))
+            .unwrap();
+        // Random task ids spread ownership across both replicas, so some
+        // submissions and polls MUST cross a NotOwner redirect frame.
+        let ids: Vec<TaskId> = (0..16)
+            .map(|i| {
+                client
+                    .run(fid, reg.endpoint_id, vec![Value::Int(i)], Value::None)
+                    .unwrap()
+            })
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let v = client
+                .get_result(*id, Duration::from_millis(5), Duration::from_secs(15))
+                .unwrap();
+            assert_eq!(v, Value::Int(i as i64 * 2));
+        }
+        let owners: std::collections::HashSet<u32> = ids
+            .iter()
+            .map(|t| fed.owner_of(t.uuid()).unwrap())
+            .collect();
+        assert_eq!(owners.len(), 2, "tasks spread across both replicas");
+        assert!(
+            client.link().metrics().counter("sdk.wire_reconnects").get() >= 1,
+            "a NotOwner redirect must have retargeted the connection"
+        );
+        client.close();
+        agent.stop();
+        server0.shutdown();
+        server1.shutdown();
+        fed.shutdown();
+    }
+}

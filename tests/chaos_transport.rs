@@ -1,0 +1,422 @@
+//! Connection-chaos tests: faults injected into the *wire* between the SDK
+//! and the service — abrupt client death, a partitioned-then-restarted
+//! server, a client process restart — while a real workload is in flight.
+//!
+//! The acceptance bar mirrors the other chaos suites: every submitted task
+//! reaches a terminal state with the correct result, the SDK observes each
+//! result exactly once, and each task's trace carries exactly one `result`
+//! span with nothing dangling. Unlike the virtual-clock suites, the wire
+//! layer runs on real sockets and real time; determinism comes from
+//! scripting *where* the fault lands, not when the clock ticks.
+//!
+//! `GCX_CHAOS_TRANSPORT` (decimal or `0x`-hex; falls back to
+//! `GCX_CHAOS_SEED`, then a fixed default) seeds the workload shape — task
+//! counts and fault points — so CI sweeps a matrix of cut points.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gcx::auth::{AuthPolicy, AuthService};
+use gcx::cloud::{CloudConfig, WebService, WireServer};
+use gcx::config::TransportSpec;
+use gcx::core::clock::SystemClock;
+use gcx::core::ids::TaskId;
+use gcx::core::metrics::MetricsRegistry;
+use gcx::core::retry::RetryPolicy;
+use gcx::core::task::{TaskResult, TaskSpec};
+use gcx::core::value::Value;
+use gcx::core::wire::{Frame, FrameType, TcpTransport, Transport, DEFAULT_MAX_FRAME};
+use gcx::mq::{Broker, LinkProfile};
+use gcx::sdk::{Executor, ExecutorConfig, Link, PyFunction, TaskFuture, WireClientConfig};
+
+fn chaos_seed() -> u64 {
+    let parse = |s: String| {
+        let s = s.trim().to_string();
+        match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => s.parse().ok(),
+        }
+    };
+    std::env::var("GCX_CHAOS_TRANSPORT")
+        .ok()
+        .and_then(parse)
+        .or_else(|| std::env::var("GCX_CHAOS_SEED").ok().and_then(parse))
+        .unwrap_or(0x71A5_0011)
+}
+
+/// Tiny deterministic generator (splitmix64) for seed-derived workload
+/// shape; avoids dragging a PRNG dependency into the test.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn wire_service() -> WebService {
+    let clock = SystemClock::shared();
+    let broker = Broker::with_profile(
+        MetricsRegistry::new(),
+        clock.clone(),
+        LinkProfile::instant(),
+    );
+    WebService::new(
+        CloudConfig {
+            // The wire layer runs on real time; keep the endpoint liveness
+            // sweep far away so only connection faults are in play.
+            heartbeat_timeout_ms: 600_000,
+            ..CloudConfig::default()
+        },
+        AuthService::new(clock.clone()),
+        broker,
+        clock,
+    )
+}
+
+fn fast_spec() -> TransportSpec {
+    TransportSpec {
+        heartbeat_interval_ms: 100,
+        idle_timeout_ms: 1_000,
+        ..TransportSpec::default()
+    }
+}
+
+fn wire_cfg() -> WireClientConfig {
+    WireClientConfig {
+        heartbeat_interval: Duration::from_millis(100),
+        call_timeout: Duration::from_secs(5),
+        ..WireClientConfig::default()
+    }
+}
+
+/// Count every resolution the SDK observes; a duplicate delivery that
+/// re-resolved a future would show as `resolutions > futures`.
+fn observe(futures: &[TaskFuture]) -> Arc<AtomicUsize> {
+    let resolutions = Arc::new(AtomicUsize::new(0));
+    for f in futures {
+        let r = Arc::clone(&resolutions);
+        f.on_done(move |_| {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    resolutions
+}
+
+fn assert_observed_exactly(resolutions: &AtomicUsize, expect: usize) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while resolutions.load(Ordering::SeqCst) < expect && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        resolutions.load(Ordering::SeqCst),
+        expect,
+        "the SDK must observe each result exactly once"
+    );
+}
+
+/// Every task trace must link submit → result with exactly one `result`
+/// span and no dangling spans — the trace-level exactly-once check.
+fn assert_traces_linked(svc: &WebService, tasks: usize) {
+    let traces: Vec<_> = svc
+        .metrics()
+        .tracer()
+        .traces()
+        .into_iter()
+        .filter(|t| t.spans_named("submit").count() >= 1)
+        .collect();
+    assert_eq!(traces.len(), tasks, "one trace per submitted task");
+    for t in &traces {
+        assert_eq!(
+            t.spans_named("result").count(),
+            1,
+            "exactly one result span per task trace"
+        );
+        assert!(
+            t.orphan_spans().is_empty(),
+            "every span must link into its task's trace"
+        );
+    }
+}
+
+fn drain_queue(svc: &WebService, reg: &gcx::cloud::EndpointRegistration, n: usize) {
+    let session = svc
+        .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut served = 0;
+    while served < n {
+        assert!(Instant::now() < deadline, "served only {served} of {n}");
+        if let Some((spec, tag)) = session.next_task(Duration::from_millis(10)).unwrap() {
+            session
+                .publish_result(
+                    spec.task_id,
+                    &TaskResult::Ok(Value::Int(spec.args[0].as_int().unwrap() * 2)),
+                )
+                .unwrap();
+            session.ack_task(tag).unwrap();
+            served += 1;
+        }
+    }
+}
+
+/// Scenario 1 — a TCP client is killed mid-batch: it handshakes, submits a
+/// seeded batch over the raw wire, and dies without a `Goodbye` (socket
+/// severed, frames half-expected). The server must tear the connection
+/// down, the accepted batch must still run to completion, and the results
+/// must land exactly once.
+#[test]
+fn tcp_client_killed_mid_batch_tasks_complete_exactly_once() {
+    let mut seed = chaos_seed();
+    let tasks = 6 + (mix(&mut seed) % 8) as usize; // 6..=13
+    let svc = wire_service();
+    let server = WireServer::listen(&svc, fast_spec()).unwrap();
+    let (_, token) = svc.auth().login("transport-kill@test.org").unwrap();
+    let reg = svc
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    let fid = svc
+        .register_function(
+            &token,
+            gcx::core::function::FunctionBody::pyfn("def f(x):\n    return x * 2\n"),
+        )
+        .unwrap();
+
+    // A raw wire client: handshake, submit, die. No SDK conveniences — the
+    // point is what the *server* does when the socket vanishes mid-flight.
+    let transport = TcpTransport::connect(server.addr(), DEFAULT_MAX_FRAME).unwrap();
+    transport.send(&Frame::hello(token.0.clone())).unwrap();
+    let ack = transport
+        .recv(Duration::from_secs(5))
+        .unwrap()
+        .expect("hello ack");
+    assert_eq!(ack.frame_type, FrameType::HelloAck);
+
+    let specs: Vec<Value> = (0..tasks)
+        .map(|i| {
+            let mut spec = TaskSpec::new(fid, reg.endpoint_id);
+            spec.args = vec![Value::Int(i as i64)];
+            spec.to_value()
+        })
+        .collect();
+    transport
+        .send(&Frame::request(
+            1,
+            "submit_batch",
+            Value::map([("specs", Value::List(specs))]),
+        ))
+        .unwrap();
+    let resp = transport
+        .recv(Duration::from_secs(5))
+        .unwrap()
+        .expect("submit response");
+    let ids: Vec<TaskId> = resp
+        .payload
+        .get("ok")
+        .and_then(|ok| ok.get("ids"))
+        .and_then(Value::as_list)
+        .expect("ids in response")
+        .iter()
+        .map(|v| v.as_str().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(ids.len(), tasks);
+
+    // Kill: sever the socket with the batch in flight. No Goodbye, no
+    // stream close, nothing — as SIGKILL would leave it.
+    transport.close();
+
+    // The server notices and reaps the connection.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while server.conn_count() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        server.conn_count(),
+        0,
+        "severed connection must be torn down"
+    );
+
+    // The accepted batch is not tied to the connection's fate.
+    drain_queue(&svc, &reg, tasks);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let statuses = svc.task_status_batch(&token, &ids).unwrap();
+        if statuses.len() == tasks && statuses.iter().all(|(_, s, _)| s.is_terminal()) {
+            for (id, _, result) in statuses {
+                let idx = ids.iter().position(|t| *t == id).unwrap() as i64;
+                match result.expect("terminal task carries its result") {
+                    TaskResult::Ok(v) => assert_eq!(v, Value::Int(idx * 2)),
+                    other => panic!("task {id}: unexpected {other:?}"),
+                }
+            }
+            break;
+        }
+        assert!(Instant::now() < deadline, "tasks did not finish");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let m = svc.metrics();
+    assert_eq!(m.counter("cloud.results_processed").get(), tasks as u64);
+    assert_eq!(m.counter("cloud.duplicate_results_dropped").get(), 0);
+    assert_traces_linked(&svc, tasks);
+    server.shutdown();
+    svc.shutdown();
+}
+
+/// Scenario 2 — the server partitions away mid-result-stream and later
+/// restarts on the same address: an executor is mid-workload over TCP when
+/// every socket dies; results keep landing service-side during the outage;
+/// the executor reconnects, resubscribes, catches up, and every future
+/// resolves exactly once.
+#[test]
+fn server_partition_mid_stream_executor_reconnects_exactly_once() {
+    let mut seed = chaos_seed();
+    let tasks = 10 + (mix(&mut seed) % 8) as usize; // 10..=17
+    let before_cut = 2 + (mix(&mut seed) % 3) as usize; // served before the cut
+    let during_cut = 2 + (mix(&mut seed) % 3) as usize; // served while partitioned
+
+    // Reserve a port so the restarted server can come back on the address
+    // the client keeps dialing.
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+    let spec = TransportSpec {
+        listen_addr: addr.clone(),
+        ..fast_spec()
+    };
+    let svc = wire_service();
+    let server = WireServer::listen(&svc, spec.clone()).unwrap();
+    let (_, token) = svc.auth().login("transport-part@test.org").unwrap();
+    let reg = svc
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+
+    let ex = Executor::over_wire(
+        vec![addr],
+        &token.0,
+        reg.endpoint_id,
+        ExecutorConfig {
+            retry: RetryPolicy::fixed(40, 50),
+            ..ExecutorConfig::default()
+        },
+        wire_cfg(),
+    )
+    .unwrap();
+    let double = PyFunction::new("def f(x):\n    return x * 2\n");
+    let futures: Vec<TaskFuture> = (0..tasks)
+        .map(|i| {
+            ex.submit(&double, vec![Value::Int(i as i64)], Value::None)
+                .unwrap()
+        })
+        .collect();
+    let resolutions = observe(&futures);
+
+    // Wait until the whole workload is submitted server-side, then serve a
+    // seeded prefix and confirm those results arrive over the push stream.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while svc.metrics().counter("cloud.tasks_submitted").get() < tasks as u64 {
+        assert!(Instant::now() < deadline, "submissions did not land");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drain_queue(&svc, &reg, before_cut);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while resolutions.load(Ordering::SeqCst) < before_cut {
+        assert!(Instant::now() < deadline, "pre-cut results did not stream");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Partition: every wire socket dies mid-stream. The service itself
+    // stays up — results served during the outage land in the task store.
+    server.shutdown();
+    drain_queue(&svc, &reg, during_cut);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Heal: same address, fresh listener. The executor's link redials,
+    // reopens the stream, and catch-up recovers the outage-window results.
+    let server = WireServer::listen(&svc, spec).unwrap();
+    drain_queue(&svc, &reg, tasks - before_cut - during_cut);
+
+    for (i, f) in futures.iter().enumerate() {
+        assert_eq!(
+            f.result_timeout(Duration::from_secs(20)).unwrap(),
+            Value::Int(i as i64 * 2),
+            "task {i} must survive the partition"
+        );
+    }
+    assert_observed_exactly(&resolutions, tasks);
+    assert!(
+        ex.metrics().counter("sdk.stream_reconnects").get() >= 1
+            || ex.metrics().counter("sdk.wire_reconnects").get() >= 1,
+        "the partition must be visible as a reconnect"
+    );
+    assert_traces_linked(&svc, tasks);
+    ex.close();
+    server.shutdown();
+    svc.shutdown();
+}
+
+/// Scenario 3 — client restart: a wire client submits a workload and dies;
+/// a *new* client (fresh connection, no shared state) picks the task ids up
+/// and polls them to completion. The task store, not the connection, is the
+/// source of truth.
+#[test]
+fn restarted_client_resumes_by_polling_exactly_once() {
+    let mut seed = chaos_seed();
+    let tasks = 6 + (mix(&mut seed) % 6) as usize; // 6..=11
+    let svc = wire_service();
+    let server = WireServer::listen(&svc, fast_spec()).unwrap();
+    let (_, token) = svc.auth().login("transport-restart@test.org").unwrap();
+    let reg = svc
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+
+    // First life: connect, submit, die abruptly.
+    let link = Link::connect(vec![server.addr().to_string()], &token.0, wire_cfg()).unwrap();
+    let auth_token = gcx::auth::Token(token.0.clone());
+    let fid = link
+        .register_function(
+            &auth_token,
+            gcx::core::function::FunctionBody::pyfn("def f(x):\n    return x * 2\n"),
+        )
+        .unwrap();
+    let specs: Vec<TaskSpec> = (0..tasks)
+        .map(|i| {
+            let mut spec = TaskSpec::new(fid, reg.endpoint_id);
+            spec.args = vec![Value::Int(i as i64)];
+            spec
+        })
+        .collect();
+    let ids = link.submit_batch(&auth_token, &specs).unwrap();
+    drop(link); // restart: the old process is gone, ids survive on disk/in the caller
+
+    drain_queue(&svc, &reg, tasks);
+
+    // Second life: a fresh connection resumes by id.
+    let link = Link::connect(vec![server.addr().to_string()], &token.0, wire_cfg()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let statuses = link.task_status_batch(&auth_token, &ids).unwrap();
+        if statuses.len() == tasks && statuses.iter().all(|(_, s, _)| s.is_terminal()) {
+            for (id, _, result) in statuses {
+                let idx = ids.iter().position(|t| *t == id).unwrap() as i64;
+                match result.expect("terminal task carries its result") {
+                    TaskResult::Ok(v) => assert_eq!(v, Value::Int(idx * 2)),
+                    other => panic!("task {id}: unexpected {other:?}"),
+                }
+            }
+            break;
+        }
+        assert!(Instant::now() < deadline, "tasks did not finish");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    link.close();
+
+    let m = svc.metrics();
+    assert_eq!(m.counter("cloud.results_processed").get(), tasks as u64);
+    assert_eq!(m.counter("cloud.duplicate_results_dropped").get(), 0);
+    assert_traces_linked(&svc, tasks);
+    server.shutdown();
+    svc.shutdown();
+}
