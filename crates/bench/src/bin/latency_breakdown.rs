@@ -23,34 +23,52 @@
 //! any lifecycle leg collected zero spans in the clean phase (a tracing
 //! regression: some layer stopped stamping its leg).
 //!
-//! Flags: `--tasks N`, `--workers W`, `--smoke` (tiny parameters for CI).
+//! `--transport tcp` runs the same decomposition with the SDK in a real
+//! wire-client role: the executor submits over framed TCP, the trace
+//! context rides the frames, and the breakdown gains the wire legs —
+//! `wire.send`/`wire.await` on the client's own collector, and
+//! `wire.decode`/`wire.queue` on the server's. The two collectors share
+//! trace ids over the wire, which is the cross-process story the in-memory
+//! run cannot show. The report is then
+//! `bench_results/BENCH_latency_breakdown_tcp.json`.
+//!
+//! Flags: `--tasks N`, `--workers W`, `--transport inmem|tcp`, `--smoke`
+//! (tiny parameters for CI).
 
 use std::time::Duration;
 
 use gcx_auth::{AuthPolicy, AuthService};
 use gcx_bench::{JsonReport, Table};
-use gcx_cloud::{CloudConfig, WebService};
+use gcx_cloud::{CloudConfig, WebService, WireServer};
+use gcx_config::TransportSpec;
 use gcx_core::clock::SystemClock;
 use gcx_core::metrics::MetricsRegistry;
 use gcx_core::retry::RetryPolicy;
-use gcx_core::trace::LegStats;
+use gcx_core::trace::{LegStats, Tracer};
 use gcx_core::value::Value;
 use gcx_endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
 use gcx_mq::{Broker, FaultDirection, FaultPlan, FaultRule, LinkProfile};
-use gcx_sdk::{Executor, ExecutorConfig, PyFunction};
+use gcx_sdk::{Executor, ExecutorConfig, PyFunction, WireClientConfig};
 
 /// The lifecycle legs every clean run must populate (order = report order).
 const LIFECYCLE_LEGS: &[&str] = &["submit", "queue", "dispatch", "execute", "worker", "result"];
 
+/// The wire legs a clean TCP run must additionally populate, split by
+/// which collector stamps them.
+const WIRE_SERVER_LEGS: &[&str] = &["wire.decode", "wire.queue"];
+const WIRE_CLIENT_LEGS: &[&str] = &["wire.send", "wire.await"];
+
 struct Params {
     tasks: usize,
     workers: u32,
+    tcp: bool,
 }
 
 fn parse_args() -> Params {
     let mut p = Params {
         tasks: 200,
         workers: 4,
+        tcp: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -68,11 +86,17 @@ fn parse_args() -> Params {
                 p.workers = need(i).parse().expect("--workers");
                 i += 2;
             }
-            "--smoke" => {
-                p = Params {
-                    tasks: 24,
-                    workers: 2,
+            "--transport" => {
+                p.tcp = match need(i).as_str() {
+                    "tcp" => true,
+                    "inmem" => false,
+                    other => panic!("unknown transport {other:?}"),
                 };
+                i += 2;
+            }
+            "--smoke" => {
+                p.tasks = 24;
+                p.workers = 2;
                 i += 1;
             }
             other => panic!("unknown flag {other:?}"),
@@ -87,6 +111,9 @@ struct RunOutcome {
     agent: EndpointAgent,
     completed: u64,
     failed: u64,
+    /// The SDK-process collector, kept alive past executor close so its
+    /// wire legs can be decomposed. Only present on `--transport tcp`.
+    client_tracer: Option<Tracer>,
 }
 
 /// Bring up a full stack (cloud + agent sharing one registry, so engine
@@ -129,16 +156,34 @@ fn run_stack(p: &Params, faulted: bool) -> RunOutcome {
     let agent =
         EndpointAgent::start(&svc, reg.endpoint_id, &reg.queue_credential, &config, env).unwrap();
 
-    let ex = Executor::with_config(
-        svc.clone(),
-        token,
-        reg.endpoint_id,
-        ExecutorConfig {
-            retry: RetryPolicy::fixed(10, 5),
-            ..ExecutorConfig::default()
-        },
-    )
-    .unwrap();
+    let ex_cfg = ExecutorConfig {
+        retry: RetryPolicy::fixed(10, 5),
+        ..ExecutorConfig::default()
+    };
+    let (ex, server) = if p.tcp {
+        let server = WireServer::listen(
+            &svc,
+            TransportSpec {
+                heartbeat_interval_ms: 500,
+                ..TransportSpec::default()
+            },
+        )
+        .unwrap();
+        let ex = Executor::over_wire(
+            vec![server.addr().to_string()],
+            &token.0,
+            reg.endpoint_id,
+            ex_cfg,
+            WireClientConfig::default(),
+        )
+        .unwrap();
+        (ex, Some(server))
+    } else {
+        (
+            Executor::with_config(svc.clone(), token, reg.endpoint_id, ex_cfg).unwrap(),
+            None,
+        )
+    };
     let f = PyFunction::new("def f(x):\n    return x + 1\n");
     let futures: Vec<_> = (0..p.tasks)
         .map(|i| {
@@ -156,12 +201,19 @@ fn run_stack(p: &Params, faulted: bool) -> RunOutcome {
             Err(_) => failed += 1,
         }
     }
+    // Grab the client collector before the connection goes away: the
+    // tracer clone shares the span store, so the legs survive close().
+    let client_tracer = p.tcp.then(|| ex.metrics().tracer());
     ex.close();
+    if let Some(server) = server {
+        server.shutdown();
+    }
     RunOutcome {
         svc,
         agent,
         completed,
         failed,
+        client_tracer,
     }
 }
 
@@ -179,13 +231,20 @@ fn leg_row(table: &mut Table, leg: &str, s: &LegStats) {
 fn main() {
     let p = parse_args();
     println!(
-        "task-lifecycle latency breakdown: {} tasks, {} workers",
-        p.tasks, p.workers
+        "task-lifecycle latency breakdown: {} tasks, {} workers, transport={}",
+        p.tasks,
+        p.workers,
+        if p.tcp { "tcp" } else { "inmem" }
     );
-    let mut report = JsonReport::new("BENCH_latency_breakdown");
+    let mut report = JsonReport::new(if p.tcp {
+        "BENCH_latency_breakdown_tcp"
+    } else {
+        "BENCH_latency_breakdown"
+    });
     report
         .num("tasks", p.tasks as u64)
-        .num("workers", p.workers as u64);
+        .num("workers", p.workers as u64)
+        .text("transport", if p.tcp { "tcp" } else { "inmem" });
 
     // ---- phase 1: clean ---------------------------------------------------
     let clean = run_stack(&p, false);
@@ -209,6 +268,41 @@ fn main() {
             _ => missing.push(*leg),
         }
     }
+    if p.tcp {
+        // The wire adds four legs to the decomposition: the server's
+        // decode/queue slices here, the client's send/await below — all
+        // inside the same per-task trace ids, linked across the socket.
+        for leg in WIRE_SERVER_LEGS {
+            match summary.get(*leg) {
+                Some(s) if s.count > 0 => {
+                    leg_row(&mut table, leg, s);
+                    report
+                        .num(&format!("clean_{leg}_spans"), s.count)
+                        .float(&format!("clean_{leg}_mean_ms"), s.mean_ms)
+                        .num(&format!("clean_{leg}_p95_ms"), s.p95_ms);
+                }
+                _ => missing.push(*leg),
+            }
+        }
+        let client = clean
+            .client_tracer
+            .as_ref()
+            .expect("tcp run has a client tracer");
+        let client_summary = client.leg_summary();
+        for leg in WIRE_CLIENT_LEGS {
+            match client_summary.get(*leg) {
+                Some(s) if s.count > 0 => {
+                    leg_row(&mut table, leg, s);
+                    report
+                        .num(&format!("clean_{leg}_spans"), s.count)
+                        .float(&format!("clean_{leg}_mean_ms"), s.mean_ms)
+                        .num(&format!("clean_{leg}_p95_ms"), s.p95_ms);
+                }
+                _ => missing.push(*leg),
+            }
+        }
+        report.num("clean_client_traces", client.trace_count() as u64);
+    }
     table.print();
     report.num("clean_completed", clean.completed);
     clean.agent.stop();
@@ -218,21 +312,30 @@ fn main() {
     let faulted = run_stack(&p, true);
     let tracer = faulted.svc.tracer().clone();
     let summary = tracer.leg_summary();
-    let retry_spans = summary.get("retry").map_or(0, |s| s.count);
     // Retries must appear as child spans of the original submission's
-    // trace, not as fresh traces: a retried trace carries one "submit"
-    // span per attempt, so more than one submit span proves the
-    // resubmission re-linked into the original trace. Also verify no
-    // retried trace leaked orphaned spans.
+    // trace, not as fresh traces. In-process, a retried trace carries one
+    // "submit" span per attempt. Over TCP the retry evidence lives on the
+    // *client's* collector — the retry span plus a second `wire.send` leg
+    // in the same trace — because the server stamps `submit` only when it
+    // first adopts a trace. Either way, no retried trace may leak
+    // orphaned spans.
+    let (retry_tracer, relink_leg) = match &faulted.client_tracer {
+        Some(client) => (client, "wire.send"),
+        None => (&tracer, "submit"),
+    };
+    let retry_spans = retry_tracer
+        .leg_summary()
+        .get("retry")
+        .map_or(0, |s| s.count);
     let mut retried_traces = 0usize;
     let mut relinked = 0usize;
     let mut orphans = 0usize;
-    for trace in tracer.traces() {
+    for trace in retry_tracer.traces() {
         if trace.spans_named("retry").count() == 0 {
             continue;
         }
         retried_traces += 1;
-        if trace.spans_named("submit").count() > 1 {
+        if trace.spans_named(relink_leg).count() > 1 {
             relinked += 1;
         }
         orphans += trace.orphan_spans().len();
@@ -261,7 +364,7 @@ fn main() {
     );
     assert_eq!(
         relinked, retried_traces,
-        "every retried trace must carry the resubmission's submit span"
+        "every retried trace must carry the resubmission's {relink_leg} span"
     );
     assert_eq!(orphans, 0, "retried traces must not leak orphaned spans");
     faulted.agent.stop();

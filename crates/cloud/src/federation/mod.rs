@@ -828,6 +828,22 @@ fn handover(
             ("rerouted", pending.len().to_string()),
         ]
     });
+    // Black-box entry plus — on a handover *storm* (several dead replicas
+    // in one process) — a one-shot dump for the postmortem.
+    let flight = broker.metrics().flight();
+    flight.record(
+        now,
+        "fed",
+        "handover",
+        format!(
+            "replica={dead} log_entries={} adopted={adopted} rerouted={}",
+            entries.len(),
+            pending.len()
+        ),
+    );
+    if replicas_dead.get() >= 2 {
+        flight.trigger(now, "handover_storm");
+    }
     true
 }
 

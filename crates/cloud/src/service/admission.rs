@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use gcx_core::error::{GcxError, GcxResult};
+use gcx_core::health::TenantHealth;
 use gcx_core::ids::{IdentityId, TaskId};
 use gcx_core::task::{TaskResult, TaskSpec, TaskState};
 use parking_lot::Mutex;
@@ -93,6 +94,10 @@ pub(crate) struct AdmissionState {
     /// deployment that never uses TTLs (and has admission off) pays zero
     /// scan cost on the hot path.
     deadline_tasks_seen: AtomicU64,
+    /// Per-tenant admission ledger: `identity → (admitted, rejected)`
+    /// task counts, feeding the health document's tenant table. One lock
+    /// take per *batch*, so it stays off the per-task hot path.
+    ledger: Mutex<HashMap<IdentityId, (u64, u64)>>,
 }
 
 impl AdmissionState {
@@ -103,7 +108,29 @@ impl AdmissionState {
             inflight: Mutex::new(HashMap::new()),
             brownout: AtomicBool::new(false),
             deadline_tasks_seen: AtomicU64::new(0),
+            ledger: Mutex::new(HashMap::new()),
         }
+    }
+
+    fn ledger_note(&self, who: IdentityId, admitted: u64, rejected: u64) {
+        let mut ledger = self.ledger.lock();
+        let entry = ledger.entry(who).or_insert((0, 0));
+        entry.0 += admitted;
+        entry.1 += rejected;
+    }
+
+    /// The per-tenant table for the health document, sorted by tenant id.
+    pub(super) fn tenant_health(&self) -> Vec<TenantHealth> {
+        let mut rows: Vec<TenantHealth> = self
+            .ledger
+            .lock()
+            .iter()
+            .map(|(who, (admitted, rejected))| {
+                TenantHealth::new(who.to_string(), *admitted, *rejected)
+            })
+            .collect();
+        rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        rows
     }
 
     pub(super) fn note_deadline_task(&self) {
@@ -153,10 +180,14 @@ impl WebService {
     /// validation, and per task as each reaches a terminal state.
     pub(super) fn admit_batch(&self, who: IdentityId, specs: &[TaskSpec]) -> GcxResult<()> {
         let adm = &self.inner.admission;
-        if !adm.cfg.enabled || specs.is_empty() {
+        if specs.is_empty() {
             return Ok(());
         }
         let n = specs.len() as u64;
+        if !adm.cfg.enabled {
+            adm.ledger_note(who, n, 0);
+            return Ok(());
+        }
         let now = self.inner.clock.now_ms();
 
         // Brownout sheds first: the batch's lowest-priority task decides.
@@ -168,6 +199,13 @@ impl WebService {
         {
             self.inner.m.tasks_shed_brownout.add(n);
             self.inner.m.submits_rejected_overload.inc();
+            adm.ledger_note(who, 0, n);
+            self.inner.metrics.flight().record(
+                now,
+                "cloud.admission",
+                "brownout_shed",
+                format!("tenant={who} tasks={n}"),
+            );
             let retry_after_ms = adm
                 .cfg
                 .brownout_threshold_ms
@@ -180,6 +218,13 @@ impl WebService {
         // charge). Both locks are tenant-keyed maps with O(1) work inside.
         if let Err(wait_ms) = adm.take_tokens(who, n, now) {
             self.inner.m.submits_rejected_overload.inc();
+            adm.ledger_note(who, 0, n);
+            self.inner.metrics.flight().record(
+                now,
+                "cloud.admission",
+                "rate_reject",
+                format!("tenant={who} tasks={n} wait_ms={wait_ms}"),
+            );
             return Err(GcxError::Overloaded {
                 retry_after_ms: wait_ms.min(adm.cfg.retry_after_cap_ms).max(1),
             });
@@ -188,8 +233,16 @@ impl WebService {
             let mut inflight = adm.inflight.lock();
             let cur = inflight.entry(who).or_insert(0);
             if *cur + n > adm.cfg.max_inflight {
+                let held = *cur;
                 drop(inflight);
                 self.inner.m.submits_rejected_overload.inc();
+                adm.ledger_note(who, 0, n);
+                self.inner.metrics.flight().record(
+                    now,
+                    "cloud.admission",
+                    "quota_reject",
+                    format!("tenant={who} tasks={n} inflight={held}"),
+                );
                 // No time-based estimate exists for quota pressure; suggest
                 // a fraction of the cap so clients spread their retries.
                 return Err(GcxError::Overloaded {
@@ -198,6 +251,7 @@ impl WebService {
             }
             *cur += n;
         }
+        adm.ledger_note(who, n, 0);
         self.inner.metrics.gauge("cloud.admission_inflight").add(n);
         Ok(())
     }
@@ -274,6 +328,18 @@ impl WebService {
                 "cloud.task_expired",
                 || vec![("task", id.to_string())],
             );
+            self.inner.metrics.flight().record(
+                now,
+                "cloud.expiry",
+                "deadline_exceeded",
+                format!("task={id} tenant={owner}"),
+            );
+        }
+        if count > 0 {
+            self.inner
+                .metrics
+                .flight()
+                .trigger(now, "deadline_exceeded");
         }
         self.update_brownout(oldest_wait_ms);
         count

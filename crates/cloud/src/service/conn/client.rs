@@ -10,18 +10,22 @@ use std::time::Duration;
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
+use gcx_core::health::HealthDoc;
 use gcx_core::ids::{FunctionId, TaskId};
+use gcx_core::metrics::MetricsRegistry;
 use gcx_core::task::{TaskResult, TaskSpec, TaskState};
+use gcx_core::trace::{TraceContext, Tracer};
 use gcx_core::value::Value;
 use gcx_core::wire::{
-    error_from_value, Frame, FrameType, TcpTransport, Transport, DEFAULT_MAX_FRAME, WIRE_VERSION,
+    error_from_value, peer_caps, Frame, FrameType, TcpTransport, Transport, DEFAULT_MAX_FRAME,
+    WIRE_VERSION,
 };
 use parking_lot::Mutex;
 
 use super::super::CancelOutcome;
 use super::{
     cancel_outcome_from_value, methods, status_entry_from_value, stream_envelope_from_value,
-    task_id_from_str,
+    task_id_from_str, WireMetrics,
 };
 
 /// Client-side knobs. The defaults suit tests and localhost benches; the
@@ -61,6 +65,17 @@ struct Shared {
     closed: AtomicBool,
     /// Replica index reported in the server's HelloAck.
     replica: u32,
+    /// Wire counters resolved on the caller's registry (frames in/out from
+    /// this connection's point of view).
+    metrics: WireMetrics,
+    /// Tracer from the caller's registry; stamps `wire.send`/`wire.await`
+    /// client legs on traced submissions. No-ops when tracing is off.
+    tracer: Tracer,
+    /// Capabilities the server advertised in its HelloAck. Old servers
+    /// advertise nothing: we never send them trace-flagged frames or
+    /// Health probes.
+    peer_trace: bool,
+    peer_health: bool,
 }
 
 impl Shared {
@@ -100,8 +115,19 @@ impl std::fmt::Debug for WireClient {
 impl WireClient {
     /// Dial a TCP wire server and run the hello handshake.
     pub fn connect_tcp(addr: &str, token: &str, cfg: WireClientConfig) -> GcxResult<Self> {
+        Self::connect_tcp_with_registry(addr, token, cfg, &MetricsRegistry::new())
+    }
+
+    /// Like [`WireClient::connect_tcp`], but counting frames and recording
+    /// client-side wire spans on the caller's registry.
+    pub fn connect_tcp_with_registry(
+        addr: &str,
+        token: &str,
+        cfg: WireClientConfig,
+        registry: &MetricsRegistry,
+    ) -> GcxResult<Self> {
         let transport = Arc::new(TcpTransport::connect(addr, cfg.max_frame_size)?);
-        Self::over(transport, token, cfg)
+        Self::over_with_registry(transport, token, cfg, registry)
     }
 
     /// Run the handshake over an already-established transport (TCP or the
@@ -111,9 +137,23 @@ impl WireClient {
         token: &str,
         cfg: WireClientConfig,
     ) -> GcxResult<Self> {
-        transport.send(&Frame::hello(token))?;
-        let replica = match transport.recv(cfg.call_timeout)? {
+        Self::over_with_registry(transport, token, cfg, &MetricsRegistry::new())
+    }
+
+    /// Like [`WireClient::over`], but counting frames and recording
+    /// client-side wire spans on the caller's registry.
+    pub fn over_with_registry(
+        transport: Arc<dyn Transport>,
+        token: &str,
+        cfg: WireClientConfig,
+        registry: &MetricsRegistry,
+    ) -> GcxResult<Self> {
+        let metrics = WireMetrics::resolve(registry);
+        let tracer = registry.tracer();
+        metrics.send_counted(&*transport, &Frame::hello(token))?;
+        let (replica, peer_trace, peer_health) = match transport.recv(cfg.call_timeout)? {
             Some(ack) if ack.frame_type == FrameType::HelloAck => {
+                metrics.frames_in.inc();
                 let version = ack.payload.get("version").and_then(Value::as_int);
                 if version != Some(WIRE_VERSION) {
                     transport.close();
@@ -121,14 +161,18 @@ impl WireClient {
                         "wire version mismatch: server {version:?}, client {WIRE_VERSION}"
                     )));
                 }
-                ack.payload
+                let replica = ack
+                    .payload
                     .get("replica")
                     .and_then(Value::as_int)
                     .unwrap_or(0)
-                    .max(0) as u32
+                    .max(0) as u32;
+                let (peer_trace, peer_health) = peer_caps(&ack.payload);
+                (replica, peer_trace, peer_health)
             }
             Some(f) if f.frame_type == FrameType::Response => {
                 // The server refused the handshake with a typed error.
+                metrics.handshake_failures.inc();
                 transport.close();
                 let err = f
                     .payload
@@ -138,10 +182,12 @@ impl WireClient {
                 return Err(err);
             }
             Some(_) => {
+                metrics.handshake_failures.inc();
                 transport.close();
                 return Err(GcxError::Codec("expected HelloAck".into()));
             }
             None => {
+                metrics.handshake_failures.inc();
                 transport.close();
                 return Err(GcxError::Timeout("no HelloAck".into()));
             }
@@ -155,6 +201,10 @@ impl WireClient {
             dead: AtomicBool::new(false),
             closed: AtomicBool::new(false),
             replica,
+            metrics,
+            tracer,
+            peer_trace,
+            peer_health,
         });
         let mut threads = Vec::new();
         {
@@ -186,6 +236,18 @@ impl WireClient {
         self.shared.replica
     }
 
+    /// True when the server advertised the trace capability: our frames may
+    /// carry a trace-context segment.
+    pub fn peer_traces(&self) -> bool {
+        self.shared.peer_trace
+    }
+
+    /// True when the server advertised the health capability and will answer
+    /// [`WireClient::health`] probes.
+    pub fn peer_health(&self) -> bool {
+        self.shared.peer_health
+    }
+
     /// True once the connection has failed; calls will return retryable
     /// errors until the owner reconnects.
     pub fn is_dead(&self) -> bool {
@@ -198,10 +260,10 @@ impl WireClient {
             return;
         }
         if !self.is_dead() {
-            let _ = self
-                .shared
-                .transport
-                .send(&Frame::new(FrameType::Goodbye, 0, Value::None));
+            let _ = self.shared.metrics.send_counted(
+                &*self.shared.transport,
+                &Frame::new(FrameType::Goodbye, 0, Value::None),
+            );
         }
         self.shared.transport.close();
         self.shared.mark_dead();
@@ -213,6 +275,17 @@ impl WireClient {
 
     /// One request/response cycle, multiplexed by correlation id.
     pub fn call(&self, method: &str, params: Value) -> GcxResult<Value> {
+        self.call_traced(method, params, &[])
+    }
+
+    /// Like [`WireClient::call`], but stamping the client's wire legs —
+    /// `wire.send` (serialize + hand to the transport) and `wire.await`
+    /// (in flight until the response is demuxed) — onto each trace context
+    /// in `ctxs`. The request frame carries the first context so the server
+    /// can link its own legs even before decoding the payload. With an
+    /// empty `ctxs` (or tracing disabled) this costs nothing beyond the
+    /// plain call.
+    fn call_traced(&self, method: &str, params: Value, ctxs: &[TraceContext]) -> GcxResult<Value> {
         let shared = &self.shared;
         if shared.dead.load(Ordering::SeqCst) {
             return Err(GcxError::Transient("wire connection lost".into()));
@@ -220,19 +293,68 @@ impl WireClient {
         let corr = shared.corr.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
         shared.pending.lock().insert(corr, tx);
-        if let Err(e) = shared.transport.send(&Frame::request(corr, method, params)) {
+        let traced = !ctxs.is_empty() && shared.tracer.enabled();
+        let t0 = if traced { shared.tracer.now_ms() } else { 0 };
+        let mut frame = Frame::request(corr, method, params);
+        if shared.peer_trace {
+            frame = frame.with_trace(ctxs.first().copied());
+        }
+        if let Err(e) = shared.metrics.send_counted(&*shared.transport, &frame) {
             shared.pending.lock().remove(&corr);
             shared.mark_dead();
             return Err(e);
         }
+        let t1 = if traced { shared.tracer.now_ms() } else { 0 };
         match rx.recv_timeout(shared.cfg.call_timeout) {
-            Ok(result) => result,
+            Ok(result) => {
+                if traced {
+                    let t2 = shared.tracer.now_ms();
+                    for ctx in ctxs {
+                        shared.tracer.record_span(Some(ctx), "wire.send", t0, t1);
+                        shared.tracer.record_span(Some(ctx), "wire.await", t1, t2);
+                    }
+                }
+                result
+            }
             Err(RecvTimeoutError::Timeout) => {
                 shared.pending.lock().remove(&corr);
                 Err(GcxError::Timeout(format!(
                     "no response to '{method}' within {:?}",
                     shared.cfg.call_timeout
                 )))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(GcxError::Transient("wire connection lost".into()))
+            }
+        }
+    }
+
+    /// Probe the server's SLO health plane with a `Health` frame.
+    /// `Ok(None)` when the peer predates the health capability (old wire
+    /// version): the caller treats such replicas as opaque, not unhealthy.
+    pub fn health(&self) -> GcxResult<Option<HealthDoc>> {
+        let shared = &self.shared;
+        if !shared.peer_health {
+            return Ok(None);
+        }
+        if shared.dead.load(Ordering::SeqCst) {
+            return Err(GcxError::Transient("wire connection lost".into()));
+        }
+        let corr = shared.corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        shared.pending.lock().insert(corr, tx);
+        let frame = Frame::new(FrameType::Health, corr, Value::None);
+        if let Err(e) = shared.metrics.send_counted(&*shared.transport, &frame) {
+            shared.pending.lock().remove(&corr);
+            shared.mark_dead();
+            return Err(e);
+        }
+        match rx.recv_timeout(shared.cfg.call_timeout) {
+            Ok(Ok(doc)) => Ok(HealthDoc::from_value(&doc)),
+            Ok(Err(e)) => Err(e),
+            Err(RecvTimeoutError::Timeout) => {
+                shared.pending.lock().remove(&corr);
+                Err(GcxError::Timeout("no response to health probe".into()))
             }
             Err(RecvTimeoutError::Disconnected) => {
                 Err(GcxError::Transient("wire connection lost".into()))
@@ -256,12 +378,14 @@ impl WireClient {
     }
 
     pub fn submit_batch(&self, specs: &[TaskSpec]) -> GcxResult<Vec<TaskId>> {
-        let resp = self.call(
+        let ctxs: Vec<TraceContext> = specs.iter().filter_map(|s| s.trace).collect();
+        let resp = self.call_traced(
             methods::SUBMIT_BATCH,
             Value::map([(
                 "specs",
                 Value::List(specs.iter().map(TaskSpec::to_value).collect::<Vec<_>>()),
             )]),
+            &ctxs,
         )?;
         resp.get("ids")
             .and_then(Value::as_list)
@@ -331,11 +455,14 @@ impl WireClient {
         shared.subs.lock().insert(corr, push_tx);
         let (tx, rx) = bounded(1);
         shared.pending.lock().insert(corr, tx);
-        let send = shared.transport.send(&Frame::request(
-            corr,
-            methods::OPEN_STREAM,
-            Value::map([] as [(&str, Value); 0]),
-        ));
+        let send = shared.metrics.send_counted(
+            &*shared.transport,
+            &Frame::request(
+                corr,
+                methods::OPEN_STREAM,
+                Value::map([] as [(&str, Value); 0]),
+            ),
+        );
         if let Err(e) = send {
             shared.pending.lock().remove(&corr);
             shared.subs.lock().remove(&corr);
@@ -412,6 +539,7 @@ fn demux_loop(shared: Arc<Shared>) {
         match shared.transport.recv(Duration::from_millis(50)) {
             Ok(Some(frame)) => match frame.frame_type {
                 FrameType::Response => {
+                    shared.metrics.frames_in.inc();
                     if let Some(tx) = shared.pending.lock().remove(&frame.corr_id) {
                         let result = if let Some(ok) = frame.payload.get("ok") {
                             Ok(ok.clone())
@@ -423,23 +551,41 @@ fn demux_loop(shared: Arc<Shared>) {
                         let _ = tx.send(result);
                     }
                 }
+                FrameType::Health => {
+                    // Health responses echo the probe's correlation id with
+                    // the document as the raw payload (no ok/err envelope).
+                    shared.metrics.frames_in.inc();
+                    if let Some(tx) = shared.pending.lock().remove(&frame.corr_id) {
+                        let _ = tx.send(Ok(frame.payload));
+                    }
+                }
                 FrameType::Push => {
                     // A full channel applies backpressure by dropping the
                     // oldest pending push: the executor's catch-up path
                     // re-polls status on reconnect, so a lost push is a
                     // latency cost, not a lost result.
+                    shared.metrics.frames_in.inc();
+                    if let Some(ctx) = frame.trace {
+                        // The server stamped the result's trace context on
+                        // the push frame: link the delivery leg back into
+                        // the originating trace on the client's collector.
+                        let now = shared.tracer.now_ms();
+                        shared.tracer.record_span(Some(&ctx), "wire.push", now, now);
+                    }
                     let subs = shared.subs.lock();
                     if let Some(tx) = subs.get(&frame.corr_id) {
                         let _ = tx.try_send(frame.payload);
                     }
                 }
-                FrameType::HeartbeatAck => {}
+                FrameType::HeartbeatAck => {
+                    shared.metrics.frames_in.inc();
+                }
                 FrameType::Heartbeat => {
-                    let _ = shared.transport.send(&Frame::new(
-                        FrameType::HeartbeatAck,
-                        frame.corr_id,
-                        Value::None,
-                    ));
+                    shared.metrics.frames_in.inc();
+                    let _ = shared.metrics.send_counted(
+                        &*shared.transport,
+                        &Frame::new(FrameType::HeartbeatAck, frame.corr_id, Value::None),
+                    );
                 }
                 FrameType::Goodbye => {
                     shared.mark_dead();
@@ -474,8 +620,11 @@ fn heartbeat_loop(shared: Arc<Shared>) {
         }
         let corr = shared.corr.fetch_add(1, Ordering::Relaxed);
         if shared
-            .transport
-            .send(&Frame::new(FrameType::Heartbeat, corr, Value::None))
+            .metrics
+            .send_counted(
+                &*shared.transport,
+                &Frame::new(FrameType::Heartbeat, corr, Value::None),
+            )
             .is_err()
         {
             if !shared.closed.load(Ordering::SeqCst) {

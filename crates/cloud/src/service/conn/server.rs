@@ -14,7 +14,9 @@ use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
 use gcx_core::task::TaskSpec;
 use gcx_core::value::Value;
-use gcx_core::wire::{Frame, FrameType, InMemTransport, TcpTransport, Transport, WIRE_VERSION};
+use gcx_core::wire::{
+    caps_value, peer_caps, Frame, FrameType, InMemTransport, TcpTransport, Transport, WIRE_VERSION,
+};
 use parking_lot::Mutex;
 
 use super::super::WebService;
@@ -50,6 +52,10 @@ struct Conn {
     /// task-clock.
     last_seen: Mutex<Instant>,
     subs: Mutex<HashMap<u64, Subscription>>,
+    /// Whether the peer advertised the `trace` capability in its Hello —
+    /// only then may server-push frames carry the trace-context segment
+    /// (an old peer would choke on the flagged tag).
+    peer_trace: bool,
 }
 
 struct ServerInner {
@@ -222,6 +228,15 @@ fn serve_conn(inner: Arc<ServerInner>, transport: Arc<dyn Transport>) {
                     FrameType::Request => {
                         handle_request(&inner, &conn, &token, frame.corr_id, &frame.payload);
                     }
+                    FrameType::Health => {
+                        // The SLO health plane over the wire: answer with
+                        // this replica's machine-readable health document.
+                        let doc = inner.svc.health_doc();
+                        let _ = inner.m.send_counted(
+                            transport.as_ref(),
+                            &Frame::new(FrameType::Health, frame.corr_id, doc.to_value()),
+                        );
+                    }
                     FrameType::Goodbye => break,
                     // A client must not send server-side frame types;
                     // treat it as a protocol violation and drop the
@@ -233,6 +248,12 @@ fn serve_conn(inner: Arc<ServerInner>, transport: Arc<dyn Transport>) {
             Ok(None) => {
                 if conn.last_seen.lock().elapsed() >= idle_timeout {
                     inner.m.heartbeat_timeouts.inc();
+                    inner.svc.metrics().flight().record(
+                        now_ms(&inner),
+                        "wire.server",
+                        "idle_reap",
+                        format!("conn={} peer={}", conn.id, transport.peer()),
+                    );
                     break;
                 }
             }
@@ -251,6 +272,10 @@ fn serve_conn(inner: Arc<ServerInner>, transport: Arc<dyn Transport>) {
     transport.close();
 }
 
+fn now_ms(inner: &Arc<ServerInner>) -> u64 {
+    inner.svc.inner.clock.now_ms()
+}
+
 /// Run the versioned hello handshake. Returns the registered connection
 /// and its bearer token, or `None` after sending a typed refusal.
 fn handshake(
@@ -259,6 +284,12 @@ fn handshake(
 ) -> Option<(Arc<Conn>, Token)> {
     let refuse = |err: GcxError| {
         inner.m.handshake_failures.inc();
+        inner.svc.metrics().flight().record(
+            now_ms(inner),
+            "wire.server",
+            "handshake_refused",
+            format!("peer={} err={err}", transport.peer()),
+        );
         let _ = inner
             .m
             .send_counted(transport.as_ref(), &Frame::response_err(0, &err));
@@ -298,6 +329,9 @@ fn handshake(
     }
     let id = inner.conn_seq.fetch_add(1, Ordering::Relaxed);
     let replica = inner.svc.fed().map(|f| f.replica.0).unwrap_or(0);
+    // Old clients never send a `caps` key: they see no flagged frames and
+    // no Health pushes, and simply ignore the server's own advertisement.
+    let (peer_trace, _peer_health) = peer_caps(&hello.payload);
     let ack = Frame::new(
         FrameType::HelloAck,
         hello.corr_id,
@@ -305,6 +339,7 @@ fn handshake(
             ("version", Value::Int(WIRE_VERSION)),
             ("replica", Value::Int(replica as i64)),
             ("session", Value::Int(id as i64)),
+            ("caps", caps_value()),
         ]),
     );
     if inner.m.send_counted(transport.as_ref(), &ack).is_err() {
@@ -316,6 +351,7 @@ fn handshake(
             transport: transport.clone(),
             last_seen: Mutex::new(Instant::now()),
             subs: Mutex::new(HashMap::new()),
+            peer_trace,
         }),
         token,
     ))
@@ -362,6 +398,7 @@ fn dispatch_method(
             Ok(Value::map([("id", Value::str(id.to_string()))]))
         }
         methods::SUBMIT_BATCH => {
+            let t0 = now_ms(inner);
             let specs = params
                 .get("specs")
                 .and_then(Value::as_list)
@@ -369,7 +406,22 @@ fn dispatch_method(
                 .iter()
                 .map(TaskSpec::from_value)
                 .collect::<GcxResult<Vec<_>>>()?;
+            let t1 = now_ms(inner);
+            // The specs' contexts link into the service tracer once
+            // `submit_batch` adopts them; stamp the server-side wire legs
+            // afterwards so every wire task's timeline shows decode and
+            // enqueue time. Untraced specs carry no context and cost
+            // nothing here.
+            let ctxs: Vec<_> = specs.iter().filter_map(|s| s.trace).collect();
             let ids = svc.submit_batch(token, specs)?;
+            let t2 = now_ms(inner);
+            if !ctxs.is_empty() {
+                let tracer = svc.tracer();
+                for ctx in &ctxs {
+                    tracer.record_span(Some(ctx), "wire.decode", t0, t1);
+                    tracer.record_span(Some(ctx), "wire.queue", t1, t2);
+                }
+            }
             Ok(Value::map([(
                 "ids",
                 Value::List(
@@ -478,7 +530,20 @@ fn spawn_push_loop(
                                 continue;
                             }
                         };
-                        let frame = Frame::new(FrameType::Push, corr, payload);
+                        // Link the pushed result back to its originating
+                        // trace: the result envelope carries the context in
+                        // a queue header, and a trace-capable peer gets it
+                        // in the frame's context segment.
+                        let trace = if conn.peer_trace {
+                            delivery
+                                .message
+                                .headers
+                                .get(gcx_mq::TRACE_HEADER)
+                                .and_then(|s| gcx_core::trace::TraceContext::decode(s))
+                        } else {
+                            None
+                        };
+                        let frame = Frame::new(FrameType::Push, corr, payload).with_trace(trace);
                         if inner
                             .m
                             .send_counted(conn.transport.as_ref(), &frame)

@@ -83,6 +83,19 @@ impl WebService {
             if cloud_traced {
                 spec.trace = self.inner.tracer.start_trace("task");
             }
+            // A context minted by a *remote* SDK (one that reached us over
+            // the wire) lives in a separate client-side collector; adopt it
+            // so the server-side legs link into one trace here too.
+            // Adoption is idempotent — the in-process path (shared
+            // collector) and resubmissions of an already-seen trace return
+            // `false`, so exactly one server-side submit span exists per
+            // trace.
+            let adopted = !cloud_traced
+                && spec
+                    .trace
+                    .as_ref()
+                    .is_some_and(|ctx| self.inner.tracer.adopt_trace(ctx, "task"));
+            let stamp_submit = cloud_traced || adopted;
             let encoded = codec::encode(&spec.to_value());
             if encoded.len() > self.inner.cfg.payload_limit {
                 return Err(GcxError::PayloadTooLarge {
@@ -119,7 +132,7 @@ impl WebService {
             } else {
                 Some(encoded)
             };
-            prepared.push((spec, deliver_to, body, cloud_traced));
+            prepared.push((spec, deliver_to, body, stamp_submit));
         }
 
         self.meter_api(bytes_in, prepared.len() * 36);
@@ -131,11 +144,11 @@ impl WebService {
         let shipped_str = shipped.to_string();
         let mut ids = Vec::with_capacity(prepared.len());
         let mut by_endpoint: HashMap<EndpointId, Vec<Message>> = HashMap::new();
-        for (spec, deliver_to, body, cloud_traced) in prepared {
+        for (spec, deliver_to, body, stamp_submit) in prepared {
             let task_id = spec.task_id;
             let trace = spec.trace;
             self.inner.usage.record_task(now);
-            if cloud_traced {
+            if stamp_submit {
                 self.inner
                     .tracer
                     .record_span(trace.as_ref(), "submit", now, shipped);
@@ -225,6 +238,7 @@ impl WebService {
             // that did ship before the failure produce results that land
             // on these terminal records and are dropped as duplicates.
             let failed = TaskResult::retryable_err(e.to_string());
+            let flight = self.inner.metrics.flight();
             for id in &ids {
                 self.inner.tasks.update(id, |rec| {
                     if let Some(rec) = rec {
@@ -233,9 +247,22 @@ impl WebService {
                         }
                     }
                 });
+                flight.record(
+                    shipped,
+                    "cloud.dispatch",
+                    "batch_rollback",
+                    format!("task={id} err={e}"),
+                );
+            }
+            if matches!(e, GcxError::QueueFull { .. }) {
+                flight.trigger(shipped, "queue_full");
             }
             return Err(e);
         }
+        self.inner
+            .m
+            .submit_ms
+            .record(self.inner.clock.now_ms().saturating_sub(now));
         Ok(ids)
     }
 

@@ -41,6 +41,7 @@ use std::sync::Arc;
 use gcx_auth::{AuthService, Token};
 use gcx_core::clock::SharedClock;
 use gcx_core::function::FunctionRecord;
+use gcx_core::health::{HealthDoc, SloPolicy, TenantHealth};
 use gcx_core::ids::{EndpointId, FunctionId, IdentityId, TaskId};
 use gcx_core::metrics::{Counter, Histogram, MetricsRegistry};
 use gcx_core::task::TaskRecord;
@@ -129,6 +130,10 @@ pub struct CloudConfig {
     pub task_queue_depth: usize,
     /// Bound on each endpoint task queue's ready bytes; `0` = unbounded.
     pub task_queue_bytes: usize,
+    /// Service-level objectives folded into the replica's health document
+    /// (see [`WebService::health_doc`]): submit p99 target, tolerated
+    /// overload-rejection ratio, heartbeat staleness threshold.
+    pub slo: SloPolicy,
 }
 
 impl Default for CloudConfig {
@@ -146,6 +151,7 @@ impl Default for CloudConfig {
             admission: AdmissionConfig::default(),
             task_queue_depth: 0,
             task_queue_bytes: 0,
+            slo: SloPolicy::default(),
         }
     }
 }
@@ -177,6 +183,7 @@ pub(super) struct CloudMetrics {
     pub(super) tasks_shed_brownout: Arc<Counter>,
     pub(super) roundtrip_ms: Arc<Histogram>,
     pub(super) result_transit_ms: Arc<Histogram>,
+    pub(super) submit_ms: Arc<Histogram>,
 }
 
 impl CloudMetrics {
@@ -204,6 +211,7 @@ impl CloudMetrics {
             tasks_shed_brownout: registry.counter("cloud.tasks_shed_brownout"),
             roundtrip_ms: registry.histogram("cloud.task_roundtrip_ms"),
             result_transit_ms: registry.histogram("cloud.result_transit_ms"),
+            submit_ms: registry.histogram("cloud.submit_ms"),
         }
     }
 }
@@ -465,6 +473,44 @@ impl WebService {
         &self.inner.tracer
     }
 
+    /// The replica's machine-readable health document: submit p99 versus
+    /// target, overload-rejection ratio, brownout state, handover count,
+    /// and heartbeat staleness, with the [`SloPolicy`]-derived three-state
+    /// verdict. Served through both expositions and the `Health` wire
+    /// frame so clients route on data instead of timeouts.
+    pub fn health_doc(&self) -> HealthDoc {
+        let now = self.inner.clock.now_ms();
+        let slo = &self.inner.cfg.slo;
+        let submit = self.inner.m.submit_ms.snapshot();
+        let submit_p99_ms = if submit.count == 0 { 0 } else { submit.p99 };
+        let tenants: Vec<TenantHealth> = self.inner.admission.tenant_health();
+        let (admitted, rejected) = tenants
+            .iter()
+            .fold((0u64, 0u64), |(a, r), t| (a + t.admitted, r + t.rejected));
+        let mut endpoints = 0u64;
+        let mut stale_endpoints = 0u64;
+        self.inner.endpoints.for_each(|_, rec| {
+            endpoints += 1;
+            if rec.connected && now.saturating_sub(rec.last_heartbeat_ms) > slo.heartbeat_stale_ms {
+                stale_endpoints += 1;
+            }
+        });
+        HealthDoc {
+            replica: self.inner.fed.as_ref().map_or(0, |f| f.replica.0),
+            status: gcx_core::health::HealthStatus::Ok,
+            submit_p99_ms,
+            submit_p99_target_ms: 0,
+            reject_ratio_permille: gcx_core::health::ratio_permille(rejected, admitted + rejected),
+            reject_ratio_max_permille: 0,
+            brownout: self.brownout_active(),
+            handovers: self.inner.metrics.counter("fed.replicas_dead").get(),
+            stale_endpoints,
+            endpoints,
+            tenants,
+        }
+        .assess(slo)
+    }
+
     /// Everything a scraper wants, in Prometheus text exposition format:
     /// all counters and histogram buckets, trace leg summaries, and
     /// per-endpoint health gauges.
@@ -492,6 +538,25 @@ impl WebService {
                 rec.last_heartbeat_ms,
             );
         });
+        let health = self.health_doc();
+        let replica = health.replica.to_string();
+        let labels = [
+            ("replica", replica.as_str()),
+            ("status", health.status.as_str()),
+        ];
+        page.gauge(
+            "health.up",
+            &labels,
+            u64::from(health.status != gcx_core::health::HealthStatus::Unhealthy),
+        );
+        page.gauge("health.submit_p99_ms", &labels, health.submit_p99_ms);
+        page.gauge(
+            "health.reject_ratio_permille",
+            &labels,
+            health.reject_ratio_permille,
+        );
+        page.gauge("health.stale_endpoints", &labels, health.stale_endpoints);
+        page.gauge("health.handovers", &labels, health.handovers);
         page.render()
     }
 
@@ -530,15 +595,26 @@ impl WebService {
         }
         events.push(']');
         body.raw("events", &events);
+        body.raw("health", &self.health_doc().json());
         body.render()
     }
 
-    /// Stop result processors and release threads.
+    /// Stop result processors and release threads. When the
+    /// `GCX_FLIGHT_DUMP` environment variable is set (to anything
+    /// non-empty), the flight recorder dumps on the way out — the env knob
+    /// for grabbing a black-box dump from a run that didn't otherwise
+    /// trip a trigger.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         let handles: Vec<_> = std::mem::take(&mut *self.inner.processors.lock());
         for h in handles {
             let _ = h.join();
+        }
+        if std::env::var("GCX_FLIGHT_DUMP").is_ok_and(|v| !v.is_empty()) {
+            self.inner
+                .metrics
+                .flight()
+                .trigger(self.inner.clock.now_ms(), "env");
         }
     }
 

@@ -193,7 +193,9 @@ impl WebService {
             tracer.end_trace(Some(ctx));
         }
 
-        // Push to all of the owner's open streams.
+        // Push to all of the owner's open streams. The trace context rides
+        // a queue header so the wire layer can stamp server-push Result
+        // frames with the originating trace without decoding the body.
         let targets: Vec<(String, String)> =
             self.inner.streams.get_cloned(&owner).unwrap_or_default();
         if !targets.is_empty() {
@@ -202,11 +204,17 @@ impl WebService {
                 ("result", result.to_value()),
             ]);
             let body = codec::encode(&push);
+            let headers = trace.as_ref().map(|ctx| {
+                let mut h = std::collections::BTreeMap::new();
+                h.insert(gcx_mq::TRACE_HEADER.to_string(), ctx.encode());
+                h
+            });
             for (qname, cred) in targets {
-                let _ = self
-                    .inner
-                    .broker
-                    .publish(&qname, Message::new(body.clone()), Some(&cred));
+                let message = match &headers {
+                    Some(h) => Message::with_headers(body.clone(), h.clone()),
+                    None => Message::new(body.clone()),
+                };
+                let _ = self.inner.broker.publish(&qname, message, Some(&cred));
             }
         }
         Ok(())

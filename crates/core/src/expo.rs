@@ -163,8 +163,9 @@ impl JsonBody {
         let _ = write!(self.out, "{value}");
     }
 
-    /// Add every counter (`counters`), histogram (`histograms`), and — if
-    /// the tracer is enabled — trace leg summary (`trace_legs`).
+    /// Add every counter (`counters`), histogram (`histograms`), gauge
+    /// (`gauges`), and — if the tracer is enabled — trace leg summary
+    /// (`trace_legs`).
     pub fn registry(&mut self, registry: &MetricsRegistry, tracer: &Tracer) {
         let mut counters = String::from("{");
         for (i, (name, value)) in registry.counter_snapshot().iter().enumerate() {
@@ -195,6 +196,16 @@ impl JsonBody {
         }
         hists.push('}');
         self.raw("histograms", &hists);
+
+        let mut gauges = String::from("{");
+        for (i, (name, value)) in registry.gauge_snapshot().iter().enumerate() {
+            if i > 0 {
+                gauges.push(',');
+            }
+            let _ = write!(gauges, "\"{}\":{value}", json_escape(name));
+        }
+        gauges.push('}');
+        self.raw("gauges", &gauges);
 
         if tracer.enabled() {
             let mut legs = String::from("{");

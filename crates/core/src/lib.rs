@@ -31,6 +31,11 @@
 //!   leveled rate-limited JSON-lines event sink.
 //! - [`expo`] — Prometheus-text and JSON exposition of metrics registries
 //!   and trace summaries.
+//! - [`flight`] — the black-box flight recorder: a bounded lock-sharded
+//!   ring of recent lifecycle/fault events, dumped on failure.
+//! - [`health`] — the SLO health plane: per-replica [`health::HealthDoc`]
+//!   with a three-state verdict, served via expositions and the `Health`
+//!   wire frame.
 //! - [`sharded`] — the N-way sharded concurrent map the cloud service's
 //!   state stores run on.
 //! - [`wire`] — length-prefixed binary framing of the codec and the
@@ -42,7 +47,9 @@ pub mod clock;
 pub mod codec;
 pub mod error;
 pub mod expo;
+pub mod flight;
 pub mod function;
+pub mod health;
 pub mod ids;
 pub mod metrics;
 pub mod relite;
@@ -57,7 +64,9 @@ pub mod wire;
 
 pub use clock::{Clock, SharedClock, SystemClock, VirtualClock};
 pub use error::{GcxError, GcxResult};
+pub use flight::{FlightEvent, FlightRecorder};
 pub use function::{FunctionBody, FunctionRecord};
+pub use health::{HealthDoc, HealthStatus, SloPolicy, TenantHealth};
 pub use ids::{BlockId, EndpointId, FunctionId, IdentityId, JobId, TaskId, Uuid};
 pub use respec::ResourceSpec;
 pub use retry::RetryPolicy;

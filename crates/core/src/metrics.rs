@@ -12,6 +12,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
+use crate::flight::FlightRecorder;
 use crate::trace::Tracer;
 
 /// A monotonically increasing counter.
@@ -245,6 +246,10 @@ struct RegistryInner {
     // holds a registry handle (broker, cloud, engines, agent) reaches the
     // same trace collector without new plumbing. Disabled by default.
     tracer: RwLock<Tracer>,
+    // The black-box flight recorder rides along for the same reason; unlike
+    // the tracer it is always on (recording is cheap and only cold paths
+    // record).
+    flight: FlightRecorder,
 }
 
 impl MetricsRegistry {
@@ -320,6 +325,13 @@ impl MetricsRegistry {
     /// paths should resolve it once and keep the clone.
     pub fn tracer(&self) -> Tracer {
         self.inner.tracer.read().clone()
+    }
+
+    /// The registry's flight recorder (see [`crate::flight`]). Cloning the
+    /// returned handle shares the ring with every other holder of this
+    /// registry.
+    pub fn flight(&self) -> FlightRecorder {
+        self.inner.flight.clone()
     }
 
     /// Reset every counter to zero (between benchmark phases).

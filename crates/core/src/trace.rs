@@ -404,6 +404,50 @@ impl Tracer {
         })
     }
 
+    /// Adopt a trace minted by a *remote* peer: idempotently create a
+    /// collector entry whose root span is `ctx.parent`, so spans recorded
+    /// under the context on this side of a wire land somewhere instead of
+    /// being silently dropped (the collector only stores spans for traces
+    /// it knows about). Returns `true` only when the entry was newly
+    /// created — callers use this to stamp once-per-trace legs (the
+    /// server-side `submit` span) without duplicating them when client and
+    /// server share one collector (the in-process path) or when a
+    /// resubmission re-sends an already-adopted context.
+    pub fn adopt_trace(&self, ctx: &TraceContext, label: &str) -> bool {
+        let Some(inner) = self.0.as_ref() else {
+            return false;
+        };
+        let now = inner.clock.now_ms();
+        let mut shard = Self::shard(inner, ctx.trace_id).lock();
+        if shard.traces.contains_key(&ctx.trace_id) {
+            return false;
+        }
+        if shard.order.len() >= inner.per_shard {
+            if let Some(old) = shard.order.pop_front() {
+                shard.traces.remove(&old);
+                inner.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.order.push_back(ctx.trace_id);
+        shard.traces.insert(
+            ctx.trace_id,
+            TraceData {
+                trace_id: ctx.trace_id,
+                label: label.to_string(),
+                root: ctx.parent,
+                spans: vec![SpanRecord {
+                    id: ctx.parent,
+                    parent: None,
+                    name: label.to_string(),
+                    start_ms: now,
+                    end_ms: now,
+                    annotations: Vec::new(),
+                }],
+            },
+        );
+        true
+    }
+
     fn push_span(&self, ctx: &TraceContext, span: SpanRecord) {
         let Some(inner) = self.0.as_ref() else {
             return;
@@ -852,6 +896,39 @@ mod tests {
         vclock.advance(150);
         t.event(EventLevel::Warn, "later", Vec::new);
         assert_eq!(t.events().len(), 3);
+    }
+
+    #[test]
+    fn adopt_trace_is_idempotent_and_links_remote_spans() {
+        let (vclock, t) = tracer();
+        // A context minted on the far side of a wire: the local collector
+        // has never seen it.
+        let ctx = TraceContext {
+            trace_id: TraceId::random(),
+            parent: SpanId::random(),
+        };
+        t.record_span(Some(&ctx), "early", 0, 1);
+        assert!(t.trace(ctx.trace_id).is_none(), "unknown traces drop spans");
+
+        assert!(t.adopt_trace(&ctx, "task"), "first adoption creates entry");
+        assert!(!t.adopt_trace(&ctx, "task"), "re-adoption is a no-op");
+        vclock.advance(3);
+        t.record_span(Some(&ctx), "submit", 0, 3);
+        t.end_trace(Some(&ctx));
+
+        let td = t.trace(ctx.trace_id).unwrap();
+        assert_eq!(td.root, ctx.parent);
+        assert!(td.orphan_spans().is_empty());
+        assert_eq!(td.spans_named("submit").count(), 1);
+        assert_eq!(td.root_span().unwrap().end_ms, 3);
+
+        // A locally-started trace must not be re-adopted (shared-collector
+        // in-process path): the entry already exists.
+        let local = t.start_trace("task").unwrap();
+        assert!(!t.adopt_trace(&local, "task"));
+
+        // Disabled tracers never adopt.
+        assert!(!Tracer::disabled().adopt_trace(&ctx, "task"));
     }
 
     #[test]

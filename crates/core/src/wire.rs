@@ -6,10 +6,10 @@
 //! fiction. A frame here is a real byte sequence:
 //!
 //! ```text
-//! +----------------+-----------+------------------+------------------+
-//! | u32 BE length  | u8 type   | u64 BE corr id   | payload bytes    |
-//! | (type..payload)| tag       | (multiplex key)  | (codec-encoded)  |
-//! +----------------+-----------+------------------+------------------+
+//! +----------------+-----------+------------------+-----------------+------------------+
+//! | u32 BE length  | u8 type   | u64 BE corr id   | trace context   | payload bytes    |
+//! | (type..payload)| tag+flags | (multiplex key)  | (25 B, optional)| (codec-encoded)  |
+//! +----------------+-----------+------------------+-----------------+------------------+
 //! ```
 //!
 //! The length prefix counts everything after itself (tag + correlation id +
@@ -19,6 +19,16 @@
 //! subscription) they answer. The payload is a [`Value`] encoded with the
 //! existing codec — the wire layer adds framing, never a second
 //! serialization format.
+//!
+//! The high bit of the type byte ([`TRACE_FLAG`]) marks an optional
+//! fixed-size trace-context segment between the correlation id and the
+//! payload: 16 bytes of trace id, 8 bytes of span id, and one flags byte
+//! whose low bit is the sampling decision. Senders only set the flag after
+//! the peer advertised the `trace` capability in its `Hello`/`HelloAck`
+//! (old peers never see flagged frames), and a malformed segment inside a
+//! well-framed body degrades to a typed error *without* poisoning the
+//! stream — the length prefix was honored, so the frame boundary is still
+//! trustworthy.
 //!
 //! Two [`Transport`] implementations exist: [`TcpTransport`] over a real
 //! `std::net::TcpStream` (localhost benchmarking with true OS-process
@@ -42,7 +52,8 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::codec;
 use crate::error::{GcxError, GcxResult};
-use crate::ids::{EndpointId, FunctionId, TaskId};
+use crate::ids::{EndpointId, FunctionId, TaskId, Uuid};
+use crate::trace::{SpanId, TraceContext, TraceId};
 use crate::value::Value;
 
 /// Version carried in the `Hello` frame; bumped on incompatible changes.
@@ -55,6 +66,21 @@ pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
 
 /// Bytes of frame header after the length prefix: 1 (type) + 8 (corr id).
 pub const FRAME_HEADER: usize = 9;
+
+/// High bit of the type byte: set when a fixed-size trace-context segment
+/// follows the correlation id. The low 7 bits remain the frame-type tag, so
+/// flagged frames from a trace-capable peer still carry an ordinary tag.
+pub const TRACE_FLAG: u8 = 0x80;
+
+/// Size of the optional trace-context segment: 16 (trace uuid, u128 BE) +
+/// 8 (span id, u64 BE) + 1 (flags; bit 0 = sampled).
+pub const TRACE_CTX_LEN: usize = 25;
+
+/// Capability strings a peer may advertise in `Hello`/`HelloAck` under the
+/// `caps` key. Senders must not emit trace-flagged frames or `Health`
+/// requests to a peer that did not advertise the matching capability.
+pub const CAP_TRACE: &str = "trace";
+pub const CAP_HEALTH: &str = "health";
 
 /// Frame type tags. The numeric values are wire format — append, never
 /// renumber.
@@ -79,6 +105,10 @@ pub enum FrameType {
     HeartbeatAck = 7,
     /// Orderly close: no further frames follow from the sender.
     Goodbye = 8,
+    /// Health-document exchange: a client sends an empty `Health` request,
+    /// the server answers with a `Health` frame carrying the SLO document
+    /// (see `gcx_core::health`). Gated on the [`CAP_HEALTH`] capability.
+    Health = 9,
 }
 
 impl FrameType {
@@ -94,17 +124,23 @@ impl FrameType {
             6 => FrameType::Heartbeat,
             7 => FrameType::HeartbeatAck,
             8 => FrameType::Goodbye,
+            9 => FrameType::Health,
             other => return Err(GcxError::Codec(format!("unknown frame type tag {other}"))),
         })
     }
 }
 
-/// One framed message: a type tag, a correlation id, and a codec payload.
+/// One framed message: a type tag, a correlation id, an optional trace
+/// context, and a codec payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     pub frame_type: FrameType,
     pub corr_id: u64,
     pub payload: Value,
+    /// Trace context carried in the optional 25-byte wire segment. `None`
+    /// for unflagged frames and for flagged frames whose sampled bit was
+    /// clear. Only stamped toward peers that advertised [`CAP_TRACE`].
+    pub trace: Option<TraceContext>,
 }
 
 impl Frame {
@@ -113,10 +149,19 @@ impl Frame {
             frame_type,
             corr_id,
             payload,
+            trace: None,
         }
     }
 
-    /// The client's connection opener.
+    /// Attach a trace context; the frame will be encoded with the
+    /// [`TRACE_FLAG`] bit set and the 25-byte context segment.
+    pub fn with_trace(mut self, ctx: Option<TraceContext>) -> Self {
+        self.trace = ctx;
+        self
+    }
+
+    /// The client's connection opener. Advertises this build's capability
+    /// set; peers that predate the `caps` key simply ignore it.
     pub fn hello(token: impl Into<String>) -> Self {
         Frame::new(
             FrameType::Hello,
@@ -125,6 +170,7 @@ impl Frame {
                 ("version", Value::Int(WIRE_VERSION)),
                 ("token", Value::str(token)),
                 ("proto", Value::str("gcx-wire")),
+                ("caps", caps_value()),
             ]),
         )
     }
@@ -154,6 +200,67 @@ impl Frame {
     }
 }
 
+/// This build's capability advertisement for `Hello`/`HelloAck` payloads.
+pub fn caps_value() -> Value {
+    Value::List(vec![Value::str(CAP_TRACE), Value::str(CAP_HEALTH)])
+}
+
+/// Read the peer's advertised capabilities from a `Hello`/`HelloAck`
+/// payload. A missing or malformed `caps` key means an older peer: no
+/// capabilities, so no flagged frames and no `Health` requests toward it.
+pub fn peer_caps(payload: &Value) -> (bool, bool) {
+    let mut trace = false;
+    let mut health = false;
+    if let Some(Value::List(items)) = payload.get("caps") {
+        for item in items {
+            match item.as_str() {
+                Some(c) if c == CAP_TRACE => trace = true,
+                Some(c) if c == CAP_HEALTH => health = true,
+                _ => {}
+            }
+        }
+    }
+    (trace, health)
+}
+
+/// Append the 25-byte trace-context segment to `out`. Writes within the
+/// buffer's existing capacity when the caller pre-reserved it — the
+/// sampled-out and tracing-disabled send paths stay zero-alloc (pinned by
+/// `trace_overhead.rs`).
+pub fn encode_trace_ctx(ctx: &TraceContext, out: &mut Vec<u8>) {
+    out.extend_from_slice(&ctx.trace_id.0 .0.to_be_bytes());
+    out.extend_from_slice(&ctx.parent.0.to_be_bytes());
+    out.push(1); // bit 0: sampled
+}
+
+/// Parse a 25-byte trace-context segment.
+///
+/// A cleared sampled bit or a zero span id decodes to `Ok(None)` — the
+/// sender flagged the frame but deliberately (or emptily) carried no
+/// sampled context; that is a context-absent frame, not an error. Only a
+/// segment that cannot be read at all is a typed error.
+pub fn decode_trace_ctx(seg: &[u8]) -> GcxResult<Option<TraceContext>> {
+    if seg.len() < TRACE_CTX_LEN {
+        return Err(GcxError::Codec(format!(
+            "trace context segment of {} bytes is shorter than {TRACE_CTX_LEN}",
+            seg.len()
+        )));
+    }
+    let mut tid = [0u8; 16];
+    tid.copy_from_slice(&seg[..16]);
+    let mut sid = [0u8; 8];
+    sid.copy_from_slice(&seg[16..24]);
+    let flags = seg[24];
+    let span = u64::from_be_bytes(sid);
+    if flags & 1 == 0 || span == 0 {
+        return Ok(None);
+    }
+    Ok(Some(TraceContext {
+        trace_id: TraceId(Uuid(u128::from_be_bytes(tid))),
+        parent: SpanId(span),
+    }))
+}
+
 /// Serialize a frame to its wire bytes (length prefix included).
 ///
 /// Refuses to produce a frame whose length field would exceed `max_frame`
@@ -161,7 +268,12 @@ impl Frame {
 /// where the payload is still addressable.
 pub fn encode_frame(frame: &Frame, max_frame: usize) -> GcxResult<Vec<u8>> {
     let payload = codec::encode(&frame.payload);
-    let body_len = FRAME_HEADER + payload.len();
+    let trace_len = if frame.trace.is_some() {
+        TRACE_CTX_LEN
+    } else {
+        0
+    };
+    let body_len = FRAME_HEADER + trace_len + payload.len();
     if body_len > max_frame {
         return Err(GcxError::PayloadTooLarge {
             size: body_len,
@@ -170,8 +282,15 @@ pub fn encode_frame(frame: &Frame, max_frame: usize) -> GcxResult<Vec<u8>> {
     }
     let mut out = Vec::with_capacity(4 + body_len);
     out.extend_from_slice(&(body_len as u32).to_be_bytes());
-    out.push(frame.frame_type as u8);
+    let mut tag = frame.frame_type as u8;
+    if frame.trace.is_some() {
+        tag |= TRACE_FLAG;
+    }
+    out.push(tag);
     out.extend_from_slice(&frame.corr_id.to_be_bytes());
+    if let Some(ctx) = &frame.trace {
+        encode_trace_ctx(ctx, &mut out);
+    }
     out.extend_from_slice(&payload);
     Ok(out)
 }
@@ -184,14 +303,34 @@ pub fn decode_frame_body(body: &[u8]) -> GcxResult<Frame> {
             body.len()
         )));
     }
-    let frame_type = FrameType::from_tag(body[0])?;
+    let flagged = body[0] & TRACE_FLAG != 0;
+    let frame_type = FrameType::from_tag(body[0] & !TRACE_FLAG)?;
     let mut corr = [0u8; 8];
     corr.copy_from_slice(&body[1..9]);
-    let payload = codec::decode(&body[FRAME_HEADER..])?;
+    let (trace, payload_at) = if flagged {
+        if body.len() < FRAME_HEADER + TRACE_CTX_LEN {
+            // The payload offset is unknowable without a full segment, so
+            // this frame is unusable — but see `FrameReader::next_frame`:
+            // the framing was honored, so the stream is not poisoned.
+            return Err(GcxError::Codec(format!(
+                "trace-flagged frame body of {} bytes cannot hold the \
+                 {TRACE_CTX_LEN}-byte context segment",
+                body.len()
+            )));
+        }
+        (
+            decode_trace_ctx(&body[FRAME_HEADER..FRAME_HEADER + TRACE_CTX_LEN])?,
+            FRAME_HEADER + TRACE_CTX_LEN,
+        )
+    } else {
+        (None, FRAME_HEADER)
+    };
+    let payload = codec::decode(&body[payload_at..])?;
     Ok(Frame {
         frame_type,
         corr_id: u64::from_be_bytes(corr),
         payload,
+        trace,
     })
 }
 
@@ -269,11 +408,23 @@ impl FrameReader {
         match decode_frame_body(&body) {
             Ok(frame) => Ok(Some(frame)),
             Err(err) => {
-                // The framing itself was sound (we consumed exactly one
-                // frame's bytes) but the contents are garbage; poison anyway
-                // — a peer producing undecodable frames is not trustworthy.
-                self.poisoned = Some(err.clone());
-                self.buf.clear();
+                // A trace-flagged frame with a recognized tag but a body too
+                // short for the context segment is a per-frame defect, not a
+                // framing violation: the length prefix was honored and we
+                // consumed exactly one frame, so later frames remain
+                // parseable. Surface the typed error without poisoning.
+                let recoverable = !body.is_empty()
+                    && body[0] & TRACE_FLAG != 0
+                    && FrameType::from_tag(body[0] & !TRACE_FLAG).is_ok()
+                    && body.len() < FRAME_HEADER + TRACE_CTX_LEN;
+                if !recoverable {
+                    // The framing itself was sound (we consumed exactly one
+                    // frame's bytes) but the contents are garbage; poison
+                    // — a peer producing undecodable frames is not
+                    // trustworthy.
+                    self.poisoned = Some(err.clone());
+                    self.buf.clear();
+                }
                 Err(err)
             }
         }
@@ -745,10 +896,105 @@ mod tests {
             (FrameType::Heartbeat, 7),
             (FrameType::HeartbeatAck, 7),
             (FrameType::Goodbye, 0),
+            (FrameType::Health, 11),
         ] {
             let f = Frame::new(ty, corr, Value::map([("k", Value::Int(9))]));
             assert_eq!(roundtrip(&f), f);
         }
+    }
+
+    fn some_ctx() -> TraceContext {
+        TraceContext {
+            trace_id: TraceId(Uuid(0x1234_5678_9abc_def0_0fed_cba9_8765_4321)),
+            parent: SpanId(0xdead_beef_cafe_f00d),
+        }
+    }
+
+    #[test]
+    fn trace_context_roundtrips_on_every_type() {
+        let ctx = some_ctx();
+        for ty in [
+            FrameType::Request,
+            FrameType::Response,
+            FrameType::Push,
+            FrameType::Health,
+        ] {
+            let f = Frame::new(ty, 42, Value::map([("k", Value::Int(9))])).with_trace(Some(ctx));
+            let got = roundtrip(&f);
+            assert_eq!(got, f);
+            assert_eq!(got.trace, Some(ctx));
+        }
+    }
+
+    #[test]
+    fn trace_segment_costs_exactly_its_wire_size() {
+        let bare = Frame::request(1, "m", Value::Int(1));
+        let traced = bare.clone().with_trace(Some(some_ctx()));
+        let bare_bytes = encode_frame(&bare, DEFAULT_MAX_FRAME).unwrap();
+        let traced_bytes = encode_frame(&traced, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(traced_bytes.len(), bare_bytes.len() + TRACE_CTX_LEN);
+    }
+
+    #[test]
+    fn unsampled_trace_segment_decodes_context_absent() {
+        let ctx = some_ctx();
+        let mut seg = Vec::new();
+        encode_trace_ctx(&ctx, &mut seg);
+        assert_eq!(seg.len(), TRACE_CTX_LEN);
+        assert_eq!(decode_trace_ctx(&seg).unwrap(), Some(ctx));
+        // Clear the sampled bit: still a valid segment, just no context.
+        seg[24] = 0;
+        assert_eq!(decode_trace_ctx(&seg).unwrap(), None);
+        // Zero span id: ditto (SpanId is never zero by construction).
+        seg[24] = 1;
+        for b in &mut seg[16..24] {
+            *b = 0;
+        }
+        assert_eq!(decode_trace_ctx(&seg).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_trace_segment_errors_without_poisoning() {
+        let traced = Frame::request(7, "m", Value::Int(1)).with_trace(Some(some_ctx()));
+        let bytes = encode_frame(&traced, DEFAULT_MAX_FRAME).unwrap();
+        // Rebuild the frame with the body chopped to header size: flagged
+        // tag, valid masked type, but no room for the context segment.
+        let short_body = &bytes[4..4 + FRAME_HEADER];
+        let mut cut = Vec::new();
+        cut.extend_from_slice(&(short_body.len() as u32).to_be_bytes());
+        cut.extend_from_slice(short_body);
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        reader.feed(&cut);
+        assert!(matches!(
+            reader.next_frame().unwrap_err(),
+            GcxError::Codec(_)
+        ));
+        // The stream is NOT poisoned: a well-formed frame still parses.
+        let ok = Frame::request(8, "m", Value::Int(2));
+        reader.feed(&encode_frame(&ok, DEFAULT_MAX_FRAME).unwrap());
+        assert_eq!(reader.next_frame().unwrap().unwrap(), ok);
+    }
+
+    #[test]
+    fn flagged_garbage_tag_still_poisons() {
+        let f = Frame::hello("tok");
+        let mut bytes = encode_frame(&f, DEFAULT_MAX_FRAME).unwrap();
+        bytes[4] = 0xEE; // flag bit set, masked tag 0x6E: still unknown
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        reader.feed(&bytes);
+        assert!(reader.next_frame().is_err());
+        reader.feed(&encode_frame(&f, DEFAULT_MAX_FRAME).unwrap());
+        assert!(reader.next_frame().is_err(), "stream must stay poisoned");
+    }
+
+    #[test]
+    fn hello_advertises_caps_and_old_payloads_have_none() {
+        let hello = Frame::hello("tok");
+        assert_eq!(peer_caps(&hello.payload), (true, true));
+        let old = Value::map([("version", Value::Int(WIRE_VERSION))]);
+        assert_eq!(peer_caps(&old), (false, false));
+        let partial = Value::map([("caps", Value::List(vec![Value::str("trace")]))]);
+        assert_eq!(peer_caps(&partial), (true, false));
     }
 
     #[test]

@@ -98,6 +98,32 @@ fn sampled_out_path_is_allocation_free_and_builds_no_entry() {
 }
 
 #[test]
+fn wire_context_codec_is_allocation_free() {
+    // The trace-context segment rides every traced frame; encoding it into
+    // a frame buffer and decoding it back must be pure byte work. An
+    // untraced frame (`None` context) writes no segment at all, so the
+    // sampled-out and tracing-disabled wire paths stay zero-alloc too.
+    let ctx = TraceContext {
+        trace_id: TraceId::random(),
+        parent: SpanId::random(),
+    };
+    // Pre-sized the way `encode_frame` sizes its body buffer up front.
+    let mut buf: Vec<u8> = Vec::with_capacity(64);
+    let allocs = allocations_in(|| {
+        for _ in 0..1000 {
+            buf.clear();
+            gcx_core::wire::encode_trace_ctx(&ctx, &mut buf);
+            let back = gcx_core::wire::decode_trace_ctx(&buf).unwrap();
+            assert_eq!(back, Some(ctx));
+            // The context-absent decode (unsampled flag byte) is free too.
+            buf[gcx_core::wire::TRACE_CTX_LEN - 1] = 0;
+            assert_eq!(gcx_core::wire::decode_trace_ctx(&buf).unwrap(), None);
+        }
+    });
+    assert_eq!(allocs, 0, "wire trace-context codec must never allocate");
+}
+
+#[test]
 fn enabled_path_does_record() {
     // Sanity check that the guard above is measuring a real difference.
     let clock: SharedClock = VirtualClock::new();

@@ -372,6 +372,13 @@ impl Executor {
         self.shared.link().metrics()
     }
 
+    /// The connected service's SLO health document — assembled in-process
+    /// for a local link, fetched with a `Health` wire frame otherwise.
+    /// `Ok(None)` means the wire peer predates the health capability.
+    pub fn health(&self) -> GcxResult<Option<gcx_core::health::HealthDoc>> {
+        self.shared.link().health()
+    }
+
     /// Cancel a submitted task (best effort, like `Future.cancel()`): the
     /// cloud marks it cancelled, the endpoint skips it if it has not
     /// started, and the future resolves with [`GcxError::Cancelled`].

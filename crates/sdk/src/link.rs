@@ -27,19 +27,33 @@ use gcx_auth::Token;
 use gcx_cloud::{
     CancelOutcome, ResultStream, WebService, WireClient, WireClientConfig, WireStream,
 };
+use gcx_core::clock::SystemClock;
 use gcx_core::codec;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
+use gcx_core::health::{HealthDoc, HealthStatus};
 use gcx_core::ids::{FunctionId, TaskId};
 use gcx_core::metrics::MetricsRegistry;
 use gcx_core::retry::RetryPolicy;
 use gcx_core::task::{TaskResult, TaskSpec, TaskState};
+use gcx_core::trace::{TraceConfig, Tracer};
 use gcx_core::value::Value;
 use parking_lot::{Mutex, RwLock};
 
 /// Redirect/rotation budget per wire operation, mirroring the local
 /// federated client's budget.
 pub const DEFAULT_WIRE_REDIRECTS: u32 = 8;
+
+/// The client-process-local registry a wire link runs on. A separate OS
+/// process has no service registry to share, so the link brings its own —
+/// with tracing enabled, so the executor's submit spans and the
+/// connection's `wire.send`/`wire.await` legs land in one collector that
+/// shares trace ids with the server over the wire.
+fn wire_registry() -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    registry.set_tracer(Tracer::new(SystemClock::shared(), TraceConfig::default()));
+    registry
+}
 
 fn default_wire_backoff() -> RetryPolicy {
     RetryPolicy {
@@ -74,6 +88,16 @@ impl Link {
         match self {
             Link::Local(svc) => svc.metrics().clone(),
             Link::Wire(w) => w.metrics.clone(),
+        }
+    }
+
+    /// The service's SLO health document: assembled in-process locally,
+    /// fetched with a `Health` frame over the wire (`Ok(None)` when the
+    /// server predates the health capability).
+    pub fn health(&self) -> GcxResult<Option<HealthDoc>> {
+        match self {
+            Link::Local(svc) => Ok(Some(svc.health_doc())),
+            Link::Wire(w) => w.health(),
         }
     }
 
@@ -180,9 +204,10 @@ impl WireLink {
         if addrs.is_empty() {
             return Err(GcxError::InvalidConfig("wire link needs an address".into()));
         }
+        let metrics = wire_registry();
         let mut last = None;
         for (i, addr) in addrs.iter().enumerate() {
-            match WireClient::connect_tcp(addr, token, cfg.clone()) {
+            match WireClient::connect_tcp_with_registry(addr, token, cfg.clone(), &metrics) {
                 Ok(client) => {
                     return Ok(Arc::new(Self {
                         addrs,
@@ -192,7 +217,7 @@ impl WireLink {
                         backoff: default_wire_backoff(),
                         client: RwLock::new(client),
                         cur: Mutex::new(i),
-                        metrics: MetricsRegistry::new(),
+                        metrics,
                     }));
                 }
                 Err(e) => last = Some(e),
@@ -212,7 +237,7 @@ impl WireLink {
             backoff: default_wire_backoff(),
             client: RwLock::new(client),
             cur: Mutex::new(0),
-            metrics: MetricsRegistry::new(),
+            metrics: wire_registry(),
         })
     }
 
@@ -226,13 +251,24 @@ impl WireLink {
         self.client.read().replica()
     }
 
+    /// SLO health document of the connected replica. `Ok(None)` when the
+    /// server predates the health capability.
+    pub fn health(&self) -> GcxResult<Option<HealthDoc>> {
+        self.client.read().health()
+    }
+
     /// Swap in a fresh connection to `addrs[idx]`.
     fn redial(&self, idx: usize) -> GcxResult<()> {
         let addr = self
             .addrs
             .get(idx)
             .ok_or(GcxError::ReplicaUnavailable(idx as u32))?;
-        let fresh = WireClient::connect_tcp(addr, &self.token, self.cfg.clone())?;
+        let fresh = WireClient::connect_tcp_with_registry(
+            addr,
+            &self.token,
+            self.cfg.clone(),
+            &self.metrics,
+        )?;
         let old = {
             let mut cur = self.cur.lock();
             *cur = idx;
@@ -240,6 +276,12 @@ impl WireLink {
         };
         old.close();
         self.metrics.counter("sdk.wire_reconnects").inc();
+        self.metrics.flight().record(
+            SystemClock::shared().now_ms(),
+            "sdk.link",
+            "reconnect",
+            format!("replica={idx} addr={addr}"),
+        );
         Ok(())
     }
 
@@ -298,17 +340,38 @@ impl WireLink {
         }
     }
 
-    /// Best-effort move to the next address in ring order.
+    /// Best-effort move to the next address in ring order, steering away
+    /// from replicas whose health plane self-reports `Unhealthy`. If every
+    /// reachable replica is unhealthy, the first reachable one wins anyway
+    /// (a degraded service beats no service).
     fn rotate(&self) {
         let n = self.addrs.len();
         if n == 0 {
             return;
         }
         let start = *self.cur.lock();
+        let mut unhealthy_fallback: Option<usize> = None;
         for step in 1..=n {
-            if self.redial((start + step) % n).is_ok() {
+            let idx = (start + step) % n;
+            if self.redial(idx).is_err() {
+                continue;
+            }
+            let unhealthy = matches!(
+                self.client.read().health(),
+                Ok(Some(doc)) if doc.status == HealthStatus::Unhealthy
+            );
+            if unhealthy {
+                // Route away: remember it as a last resort and keep looking.
+                self.metrics.counter("sdk.health_routed").inc();
+                unhealthy_fallback.get_or_insert(idx);
+                continue;
+            }
+            self.metrics.counter("sdk.replica_rotations").inc();
+            return;
+        }
+        if let Some(idx) = unhealthy_fallback {
+            if self.redial(idx).is_ok() {
                 self.metrics.counter("sdk.replica_rotations").inc();
-                return;
             }
         }
     }
@@ -410,14 +473,13 @@ mod tests {
                 "engine:\n  type: GlobusComputeEngine\n  workers_per_node: 4\n",
             )
             .unwrap();
-            let agent = EndpointAgent::start(
-                &svc,
-                reg.endpoint_id,
-                &reg.queue_credential,
-                &config,
-                AgentEnv::local(SystemClock::shared()),
-            )
-            .unwrap();
+            // The agent shares the service registry, the deployment shape
+            // where its JSON exposition also carries the `wire.*` counters.
+            let mut env = AgentEnv::local(SystemClock::shared());
+            env.metrics = svc.metrics().clone();
+            let agent =
+                EndpointAgent::start(&svc, reg.endpoint_id, &reg.queue_credential, &config, env)
+                    .unwrap();
             let server = WireServer::listen(&svc, spec()).unwrap();
             Self {
                 svc,
@@ -466,6 +528,11 @@ mod tests {
         assert_eq!(stack.svc.metrics().counter("cloud.status_polls").get(), 0);
         assert!(stack.svc.metrics().counter("wire.frames_in").get() > 0);
         assert!(stack.svc.metrics().counter("wire.frames_out").get() > 0);
+        // The agent's JSON exposition (sharing the service registry)
+        // surfaces the wire counters and the conns_open gauge.
+        let expo = stack.agent.as_ref().unwrap().exposition_json();
+        assert!(expo.contains("\"wire.frames_in\""), "expo: {expo}");
+        assert!(expo.contains("\"wire.conns_open\""), "expo: {expo}");
         ex.close();
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
         while stack.server.conn_count() > 0 && std::time::Instant::now() < deadline {
@@ -476,6 +543,43 @@ mod tests {
             0,
             "executor closed its connection"
         );
+    }
+
+    #[test]
+    fn wire_executor_surfaces_client_side_wire_metrics_and_health() {
+        let stack = WireStack::new();
+        let ex = Executor::over_wire(
+            vec![stack.server.addr().to_string()],
+            &stack.token,
+            stack.ep,
+            ExecutorConfig::default(),
+            wire_cfg(),
+        )
+        .unwrap();
+        let sq = PyFunction::new("def sq(x):\n    return x * x\n");
+        let f = ex.submit(&sq, vec![Value::Int(3)], Value::None).unwrap();
+        assert_eq!(
+            f.result_timeout(Duration::from_secs(15)).unwrap(),
+            Value::Int(9)
+        );
+        // The client process's own registry counts its side of the wire...
+        let m = ex.metrics();
+        assert!(m.counter("wire.frames_out").get() > 0, "client frames out");
+        assert!(m.counter("wire.frames_in").get() > 0, "client frames in");
+        // ...and its tracer carries the linked trace with client wire legs
+        // stamped next to the submit span.
+        let traces = m.tracer().traces();
+        assert!(!traces.is_empty(), "wire submissions are traced");
+        let spans: Vec<String> = traces
+            .iter()
+            .flat_map(|t| t.spans.iter().map(|s| s.name.clone()))
+            .collect();
+        assert!(spans.iter().any(|s| s == "wire.send"), "spans: {spans:?}");
+        assert!(spans.iter().any(|s| s == "wire.await"), "spans: {spans:?}");
+        // The health plane answers over the wire with an assessed document.
+        let health = ex.health().unwrap().expect("peer speaks health");
+        assert!(health.status != gcx_core::health::HealthStatus::Unhealthy);
+        ex.close();
     }
 
     #[test]

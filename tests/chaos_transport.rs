@@ -352,7 +352,117 @@ fn server_partition_mid_stream_executor_reconnects_exactly_once() {
         "the partition must be visible as a reconnect"
     );
     assert_traces_linked(&svc, tasks);
+    // Client-side: the kill-and-reconnect must leave exactly one linked
+    // trace per task on the SDK's own collector, with the wire legs
+    // stamped and nothing dangling — the wire kill must not orphan or
+    // duplicate a trace.
+    let client_traces = ex.metrics().tracer().traces();
+    assert_eq!(
+        client_traces.len(),
+        tasks,
+        "one client-side trace per submitted task"
+    );
+    for t in &client_traces {
+        assert!(
+            t.spans_named("wire.send").count() >= 1,
+            "client trace missing its wire.send leg"
+        );
+        assert!(
+            t.spans_named("wire.await").count() >= 1,
+            "client trace missing its wire.await leg"
+        );
+        assert!(
+            t.orphan_spans().is_empty(),
+            "client wire legs must link into their task's trace"
+        );
+    }
     ex.close();
+    server.shutdown();
+    svc.shutdown();
+}
+
+/// Scenario 4 — overload black box: a submit flood over the wire against a
+/// tiny bounded task queue trips the typed `QueueFull` rollback; the
+/// flight recorder must hold the rejected tasks' last events (one
+/// `batch_rollback` per task, by id) and fire its `queue_full` dump
+/// trigger exactly once.
+#[test]
+fn queue_full_flood_dumps_flight_recorder_evidence() {
+    let mut seed = chaos_seed();
+    let depth = 2 + (mix(&mut seed) % 3) as usize; // 2..=4
+    let clock = SystemClock::shared();
+    let broker = Broker::with_profile(
+        MetricsRegistry::new(),
+        clock.clone(),
+        LinkProfile::instant(),
+    );
+    let svc = WebService::new(
+        CloudConfig {
+            heartbeat_timeout_ms: 600_000,
+            task_queue_depth: depth,
+            ..CloudConfig::default()
+        },
+        AuthService::new(clock.clone()),
+        broker,
+        clock,
+    );
+    let server = WireServer::listen(&svc, fast_spec()).unwrap();
+    let (_, token) = svc.auth().login("transport-flood@test.org").unwrap();
+    let reg = svc
+        .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+        .unwrap();
+    let link = Link::connect(vec![server.addr().to_string()], &token.0, wire_cfg()).unwrap();
+    let auth_token = gcx::auth::Token(token.0.clone());
+    let fid = link
+        .register_function(
+            &auth_token,
+            gcx::core::function::FunctionBody::pyfn("def f(x):\n    return x\n"),
+        )
+        .unwrap();
+
+    // One batch larger than the queue bound: the whole batch rolls back
+    // with a typed QueueFull that survives the wire.
+    let flood: Vec<TaskSpec> = (0..depth * 3)
+        .map(|i| {
+            let mut spec = TaskSpec::new(fid, reg.endpoint_id);
+            spec.args = vec![Value::Int(i as i64)];
+            spec
+        })
+        .collect();
+    let err = link.submit_batch(&auth_token, &flood).unwrap_err();
+    assert!(
+        matches!(err, gcx::core::error::GcxError::QueueFull { .. }),
+        "flood must be refused with a typed QueueFull, got {err:?}"
+    );
+
+    // The black box holds the rejected tasks' final events...
+    let flight = svc.metrics().flight();
+    let rollbacks: Vec<_> = flight
+        .events()
+        .into_iter()
+        .filter(|e| e.component == "cloud.dispatch" && e.event == "batch_rollback")
+        .collect();
+    assert_eq!(
+        rollbacks.len(),
+        flood.len(),
+        "one rollback event per rejected task"
+    );
+    // ...attributable by task id, and the dump carries them verbatim.
+    let dump = flight.dump();
+    for spec in &flood {
+        let needle = format!("task={}", spec.task_id);
+        assert!(
+            rollbacks.iter().any(|e| e.detail.contains(&needle)),
+            "no flight event for rejected {needle}"
+        );
+        assert!(dump.contains(&needle), "dump missing {needle}");
+    }
+    // The QueueFull storm fired the at-most-once dump trigger.
+    assert!(
+        flight.triggered_reasons().iter().any(|r| r == "queue_full"),
+        "queue_full must trigger a flight dump"
+    );
+    link.close();
     server.shutdown();
     svc.shutdown();
 }
