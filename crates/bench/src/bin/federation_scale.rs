@@ -116,7 +116,10 @@ fn submit_round_robin(
         let specs: Vec<TaskSpec> = (0..take)
             .map(|k| {
                 let mut spec = TaskSpec::new(fid, ep);
-                spec.args = vec![Value::Int((offset + submitted + k) as i64)];
+                spec.set_args(
+                    vec![Value::Int((offset + submitted + k) as i64)],
+                    Value::None,
+                );
                 spec
             })
             .collect();
@@ -213,7 +216,7 @@ fn run_leg(replicas: usize, chaos: bool, p: &Params) -> LegOutcome {
                 match session.next_task(Duration::from_millis(10)) {
                     Ok(Some((spec, tag))) => {
                         let _ =
-                            session.publish_result(spec.task_id, &TaskResult::Ok(Value::Int(1)));
+                            session.publish_result(spec.task_id, &TaskResult::ok(Value::Int(1)));
                         let _ = session.ack_task(tag);
                     }
                     Ok(None) => {}

@@ -198,7 +198,7 @@ fn run_leg(admission_on: bool, p: &Params) -> LegOutcome {
             // a 1 ms TTL against a queued multi-ms sleep can never be met.
             let mut spec = TaskSpec::new(busy_fid, reg.endpoint_id);
             spec.deadline_ms = Some(1);
-            spec.args = vec![Value::Float(hold_ms as f64 / 1000.0)];
+            spec.set_args(vec![Value::Float(hold_ms as f64 / 1000.0)], Value::None);
             if hot_client.run_spec(spec).is_ok() {
                 doomed += 1;
             }

@@ -28,15 +28,25 @@
 //! with the inmem numbers and is reported separately as
 //! `bench_results/BENCH_throughput_tcp.json`).
 //!
+//! `--sweep` runs the payload plane's size sweep instead: the sharded
+//! layout on an instant link at 64 B / 4 KiB / 256 KiB argument payloads,
+//! each with a unique-bytes-per-task series and a 90%-duplicate series.
+//! Alongside tasks/s it reads the service's `payload.bytes_moved` and
+//! `blob.cas_hits/misses` counters, reporting the dedup win (bytes moved,
+//! unique vs duplicate) per size — the content-addressed cache should cut
+//! bytes-moved by ~10x at 90% duplication for inline-sized payloads.
+//! Emits `bench_results/BENCH_payload_sweep.json`.
+//!
 //! Flags: `--threads N`, `--tasks M` (per thread), `--batch B`,
 //! `--layout both|baseline|sharded` (baseline forces the pre-refactor
 //! single-lock layout: `state_shards = 1`, per-message publish),
 //! `--transport inmem|tcp` (tcp runs the sharded layout only, over real
-//! sockets), `--smoke` (tiny parameters for CI), `--baseline <path>`
-//! compare this run's tasks/s against a committed baseline JSON and exit
-//! nonzero if any shared series drops below `--min-ratio` (default 0.25)
-//! of it — a loose perf-regression tripwire, not a precision gate, since
-//! CI machines vary wildly.
+//! sockets), `--sweep` (payload-size sweep, see above), `--smoke` (tiny
+//! parameters for CI), `--baseline <path>` compare this run's tasks/s
+//! against a committed baseline JSON and exit nonzero if any shared
+//! series drops below `--min-ratio` (default 0.25) of it — a loose
+//! perf-regression tripwire, not a precision gate, since CI machines
+//! vary wildly.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -81,7 +91,7 @@ struct Gate {
     min_ratio: f64,
 }
 
-fn parse_args() -> (Params, Layout, Transport, Gate) {
+fn parse_args() -> (Params, Layout, Transport, Gate, bool) {
     let mut p = Params {
         threads: 8,
         tasks_per_thread: 256,
@@ -90,6 +100,7 @@ fn parse_args() -> (Params, Layout, Transport, Gate) {
     };
     let mut layout = Layout::Both;
     let mut transport = Transport::Inmem;
+    let mut sweep = false;
     let mut gate = Gate {
         baseline: None,
         min_ratio: 0.25,
@@ -131,6 +142,10 @@ fn parse_args() -> (Params, Layout, Transport, Gate) {
                 };
                 i += 2;
             }
+            "--sweep" => {
+                sweep = true;
+                i += 1;
+            }
             "--smoke" => {
                 p = Params {
                     threads: 2,
@@ -153,7 +168,7 @@ fn parse_args() -> (Params, Layout, Transport, Gate) {
     }
     assert!(p.batch > 0 && p.threads > 0 && p.tasks_per_thread > 0);
     assert!(gate.min_ratio > 0.0 && gate.min_ratio <= 1.0);
-    (p, layout, transport, gate)
+    (p, layout, transport, gate, sweep)
 }
 
 /// Pull `"key": <number>` out of a flat `JsonReport`-style file. Keeps
@@ -168,8 +183,23 @@ fn baseline_field(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// One full run: returns (elapsed, completed tasks).
-fn run_layout(baseline: bool, p: Params, link: LinkProfile) -> (Duration, u64) {
+/// Builds a task's argument list from (client thread, task index within
+/// that thread). The sweep uses this to control payload size and
+/// duplication; the layout comparison keeps the original tiny-int args.
+type ArgsFn = dyn Fn(usize, usize) -> Vec<Value> + Send + Sync;
+
+struct RunStats {
+    elapsed: Duration,
+    completed: u64,
+    /// Payload bytes that traveled a task queue inline (CAS references
+    /// move ~0), from the service's `payload.bytes_moved` counter.
+    payload_bytes_moved: u64,
+    cas_hits: u64,
+    cas_misses: u64,
+}
+
+/// One full run.
+fn run_layout(baseline: bool, p: Params, link: LinkProfile, make_args: Arc<ArgsFn>) -> RunStats {
     let clock = SystemClock::shared();
     let broker = Broker::with_profile(MetricsRegistry::new(), clock.clone(), link);
     let cfg = CloudConfig {
@@ -209,7 +239,7 @@ fn run_layout(baseline: bool, p: Params, link: LinkProfile) -> (Duration, u64) {
                     match session.next_task(Duration::from_millis(10)) {
                         Ok(Some((spec, tag))) => {
                             let _ = session
-                                .publish_result(spec.task_id, &TaskResult::Ok(Value::Int(1)));
+                                .publish_result(spec.task_id, &TaskResult::ok(Value::Int(1)));
                             let _ = session.ack_task(tag);
                         }
                         Ok(None) => {}
@@ -227,6 +257,7 @@ fn run_layout(baseline: bool, p: Params, link: LinkProfile) -> (Duration, u64) {
             let token: Token = token.clone();
             let ep = endpoints[t];
             let barrier = Arc::clone(&barrier);
+            let make_args = Arc::clone(&make_args);
             std::thread::spawn(move || {
                 barrier.wait();
                 let mut ids: Vec<TaskId> = Vec::with_capacity(p.tasks_per_thread);
@@ -236,7 +267,7 @@ fn run_layout(baseline: bool, p: Params, link: LinkProfile) -> (Duration, u64) {
                     let specs: Vec<TaskSpec> = (0..n)
                         .map(|k| {
                             let mut spec = TaskSpec::new(fid, ep);
-                            spec.args = vec![Value::Int((submitted + k) as i64)];
+                            spec.set_args(make_args(t, submitted + k), Value::None);
                             spec
                         })
                         .collect();
@@ -276,8 +307,87 @@ fn run_layout(baseline: bool, p: Params, link: LinkProfile) -> (Duration, u64) {
     for d in drains {
         let _ = d.join();
     }
+    let stats = RunStats {
+        elapsed,
+        completed,
+        payload_bytes_moved: svc.metrics().counter("payload.bytes_moved").get(),
+        cas_hits: svc.metrics().counter("blob.cas_hits").get(),
+        cas_misses: svc.metrics().counter("blob.cas_misses").get(),
+    };
     svc.shutdown();
-    (elapsed, completed)
+    stats
+}
+
+/// Default argument factory: the original tiny-int payloads used by the
+/// layout comparison.
+fn int_args() -> Arc<ArgsFn> {
+    Arc::new(|_, k| vec![Value::Int(k as i64)])
+}
+
+/// The payload-plane sweep: sharded layout, instant link, payload sizes
+/// 64 B / 4 KiB / 256 KiB, each as a unique-bytes series and a
+/// 90%-duplicate series. Reports tasks/s plus the dedup effect on
+/// `payload.bytes_moved`.
+fn run_sweep(p: Params, report: &mut JsonReport) {
+    const SIZES: [(usize, &str); 3] = [(64, "64B"), (4096, "4KiB"), (256 * 1024, "256KiB")];
+    let total = (p.threads * p.tasks_per_thread) as u64;
+    let mut table = Table::new(&["payload", "series", "tasks/s", "moved_bytes", "cas_hit%"]);
+    for (size, label) in SIZES {
+        let mut moved = [0u64; 2];
+        for (dup, series) in [(false, "unique"), (true, "dup90")] {
+            // Unique bytes per task: stamp (thread, index) into the body so
+            // no two payloads collide in the CAS. The duplicate series
+            // reuses one shared body for 9 of every 10 tasks.
+            let make_args: Arc<ArgsFn> = Arc::new(move |t, k| {
+                let mut body = vec![0x5au8; size];
+                if !dup || k % 10 == 0 {
+                    body[..8].copy_from_slice(&((t as u64) << 32 | k as u64).to_le_bytes());
+                }
+                vec![Value::Bytes(body)]
+            });
+            let stats = run_layout(false, p, LinkProfile::instant(), make_args);
+            assert_eq!(stats.completed, total, "sweep {label}/{series}: lost tasks");
+            if dup {
+                // 9 of 10 payloads repeat; each repeat must hit the CAS
+                // rather than re-ship its bytes.
+                assert!(
+                    stats.cas_hits >= total * 8 / 10,
+                    "sweep {label}/dup90: expected ~90% CAS hits, saw {} of {total}",
+                    stats.cas_hits
+                );
+            }
+            let tps = total as f64 / stats.elapsed.as_secs_f64();
+            let interns = stats.cas_hits + stats.cas_misses;
+            let hit_pct = if interns > 0 {
+                100.0 * stats.cas_hits as f64 / interns as f64
+            } else {
+                0.0
+            };
+            table.row(&[
+                label.to_string(),
+                series.to_string(),
+                format!("{tps:.0}"),
+                stats.payload_bytes_moved.to_string(),
+                format!("{hit_pct:.0}"),
+            ]);
+            report.float(&format!("sweep_{label}_{series}_tasks_per_sec"), tps);
+            report.num(
+                &format!("sweep_{label}_{series}_bytes_moved"),
+                stats.payload_bytes_moved,
+            );
+            report.num(&format!("sweep_{label}_{series}_cas_hits"), stats.cas_hits);
+            moved[usize::from(dup)] = stats.payload_bytes_moved;
+        }
+        // The dedup win only shows in `bytes_moved` for inline-sized
+        // payloads: above the inline threshold even unique payloads ship
+        // as CAS references, so both series move ~0 bytes.
+        if moved[1] > 0 {
+            let reduction = moved[0] as f64 / moved[1] as f64;
+            report.float(&format!("sweep_{label}_dedup_reduction"), reduction);
+            println!("  {label}: 90%-dup moves {reduction:.1}x fewer payload bytes than unique");
+        }
+    }
+    table.print();
 }
 
 /// The hidden child mode behind `--transport tcp`: dial the wire server,
@@ -321,7 +431,7 @@ fn wire_client_main(args: &[String]) -> ! {
         let specs: Vec<TaskSpec> = (0..n)
             .map(|k| {
                 let mut spec = TaskSpec::new(fid, ep);
-                spec.args = vec![Value::Int((submitted + k) as i64)];
+                spec.set_args(vec![Value::Int((submitted + k) as i64)], Value::None);
                 spec
             })
             .collect();
@@ -408,7 +518,7 @@ fn run_tcp(p: Params) -> (Duration, u64) {
                     match session.next_task(Duration::from_millis(10)) {
                         Ok(Some((spec, tag))) => {
                             let _ = session
-                                .publish_result(spec.task_id, &TaskResult::Ok(Value::Int(1)));
+                                .publish_result(spec.task_id, &TaskResult::ok(Value::Int(1)));
                             let _ = session.ack_task(tag);
                         }
                         Ok(None) => {}
@@ -474,7 +584,7 @@ fn main() {
     if argv.first().map(String::as_str) == Some("--wire-client") {
         wire_client_main(&argv[1..]);
     }
-    let (p, layout, transport, gate) = parse_args();
+    let (p, layout, transport, gate, sweep) = parse_args();
     // Snapshot the baseline up front: the report below overwrites
     // `bench_results/BENCH_throughput.json`, which is the usual gate input.
     let baseline_text = gate.baseline.as_ref().map(|path| {
@@ -482,6 +592,29 @@ fn main() {
             .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()))
     });
     let total = (p.threads * p.tasks_per_thread) as u64;
+
+    if sweep {
+        assert!(
+            transport == Transport::Inmem,
+            "--sweep measures the in-process payload plane; drop --transport tcp"
+        );
+        println!(
+            "payload-size sweep: {} threads x {} tasks, batch {}, instant link",
+            p.threads, p.tasks_per_thread, p.batch
+        );
+        let mut report = JsonReport::new("BENCH_payload_sweep");
+        report
+            .num("threads", p.threads as u64)
+            .num("tasks_per_thread", p.tasks_per_thread as u64)
+            .num("batch_size", p.batch as u64)
+            .num("total_tasks", total);
+        run_sweep(p, &mut report);
+        let path = report
+            .write_to(std::path::Path::new("bench_results"))
+            .expect("write BENCH_payload_sweep.json");
+        println!("  written to {}", path.display());
+        return;
+    }
 
     if transport == Transport::Tcp {
         println!(
@@ -553,8 +686,9 @@ fn main() {
 
     let mut series: Vec<(String, f64)> = Vec::new();
     let mut measure = |name: &str, baseline: bool, link: LinkProfile, link_name: &str| -> f64 {
-        let (elapsed, completed) = run_layout(baseline, p, link);
-        assert_eq!(completed, total, "{name}/{link_name}: lost tasks");
+        let stats = run_layout(baseline, p, link, int_args());
+        assert_eq!(stats.completed, total, "{name}/{link_name}: lost tasks");
+        let elapsed = stats.elapsed;
         let tps = total as f64 / elapsed.as_secs_f64();
         table.row(&[
             name.to_string(),

@@ -197,7 +197,7 @@ mod tests {
             },
             TaskLogEntry::Done {
                 task_id: s.task_id,
-                result: TaskResult::Ok(Value::Int(7)),
+                result: TaskResult::ok(Value::Int(7)),
             },
             TaskLogEntry::Moved { task_id: s.task_id },
             TaskLogEntry::Expired { task_id: s.task_id },
@@ -237,12 +237,12 @@ mod tests {
             },
             TaskLogEntry::Done {
                 task_id: s.task_id,
-                result: TaskResult::Ok(Value::Int(9)),
+                result: TaskResult::ok(Value::Int(9)),
             },
             TaskLogEntry::Expired { task_id: s.task_id },
         ];
         let records = replay(&entries, 10);
-        assert_eq!(records[0].result, Some(TaskResult::Ok(Value::Int(9))));
+        assert_eq!(records[0].result, Some(TaskResult::ok(Value::Int(9))));
     }
 
     #[test]
@@ -267,7 +267,7 @@ mod tests {
             },
             TaskLogEntry::Done {
                 task_id: b.task_id,
-                result: TaskResult::Ok(Value::Int(1)),
+                result: TaskResult::ok(Value::Int(1)),
             },
             TaskLogEntry::Moved { task_id: c.task_id },
         ];
@@ -278,6 +278,6 @@ mod tests {
         assert!(!records[0].state.is_terminal(), "orphan stays open");
         assert_eq!(records[1].spec.task_id, b.task_id);
         assert!(records[1].state.is_terminal(), "done entry installs result");
-        assert_eq!(records[1].result, Some(TaskResult::Ok(Value::Int(1))));
+        assert_eq!(records[1].result, Some(TaskResult::ok(Value::Int(1))));
     }
 }

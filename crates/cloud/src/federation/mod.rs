@@ -943,7 +943,7 @@ mod tests {
             session
                 .publish_result(
                     spec.task_id,
-                    &TaskResult::Ok(gcx_core::value::Value::Int(7)),
+                    &TaskResult::ok(gcx_core::value::Value::Int(7)),
                 )
                 .unwrap();
             session.ack_task(tag).unwrap();

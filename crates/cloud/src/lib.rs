@@ -31,7 +31,7 @@ pub mod records;
 pub mod service;
 pub mod usage;
 
-pub use blob::{BlobId, BlobStore};
+pub use blob::{BlobId, BlobStore, CasStore, Intern};
 pub use federation::{Federation, FederationConfig, HashRing, ReplicaDirectory, ReplicaId};
 pub use records::{EndpointHealth, EndpointRecord, EndpointRegistration, MepStartRequest};
 pub use service::{

@@ -538,7 +538,7 @@ mod tests {
         let id = svc.submit_task(&token, spec).unwrap();
         vclock.advance(200);
         // The result lands just before the sweep runs.
-        svc.finish_task_local(id, TaskResult::Ok(gcx_core::value::Value::Int(7)), None)
+        svc.finish_task_local(id, TaskResult::ok(gcx_core::value::Value::Int(7)), None)
             .unwrap();
         assert_eq!(svc.check_expiry(), 0, "terminal record is left untouched");
         let rec = svc.task_record(id).unwrap();

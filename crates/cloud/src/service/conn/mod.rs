@@ -17,9 +17,9 @@
 //!   executor a broker consumer.
 //!
 //! Transport metrics (`wire.conns_open`, `wire.frames_in`, `wire.frames_out`,
-//! `wire.handshake_failures`, `wire.heartbeat_timeouts`) live on the
-//! service's metrics registry and surface through the existing Prometheus
-//! and JSON expositions.
+//! `wire.handshake_failures`, `wire.heartbeat_timeouts`, and the receive
+//! buffer's `wire.bytes_reused`) live on the service's metrics registry and
+//! surface through the existing Prometheus and JSON expositions.
 
 mod client;
 mod server;
@@ -57,6 +57,9 @@ pub(crate) struct WireMetrics {
     pub(crate) frames_out: Arc<Counter>,
     pub(crate) handshake_failures: Arc<Counter>,
     pub(crate) heartbeat_timeouts: Arc<Counter>,
+    /// Bytes the connection's frame reader fed into retained buffer
+    /// capacity instead of a fresh allocation (accumulated at teardown).
+    pub(crate) bytes_reused: Arc<Counter>,
 }
 
 impl WireMetrics {
@@ -67,6 +70,7 @@ impl WireMetrics {
             frames_out: registry.counter("wire.frames_out"),
             handshake_failures: registry.counter("wire.handshake_failures"),
             heartbeat_timeouts: registry.counter("wire.heartbeat_timeouts"),
+            bytes_reused: registry.counter("wire.bytes_reused"),
         }
     }
 
@@ -146,18 +150,16 @@ pub(crate) fn cancel_outcome_from_value(v: &Value) -> GcxResult<CancelOutcome> {
     }
 }
 
-/// Decode a result-stream envelope (`{task_id, result}`) from raw queue
-/// bytes or a `Push` frame payload.
+/// Decode a result-stream push: the `Push` frame payload wraps the raw
+/// binary result envelope as `Value::Bytes` (the server memcpys queue
+/// bytes into the frame without re-walking them through the codec).
 pub(crate) fn stream_envelope_from_value(v: &Value) -> GcxResult<(TaskId, TaskResult)> {
-    let id = task_id_from_str(
-        v.get("task_id")
-            .and_then(Value::as_str)
-            .ok_or_else(|| GcxError::Codec("stream envelope missing 'task_id'".into()))?,
-    )?;
-    let result = TaskResult::from_value(
-        v.get("result")
-            .ok_or_else(|| GcxError::Codec("stream envelope missing 'result'".into()))?,
-    )?;
+    let Value::Bytes(raw) = v else {
+        return Err(GcxError::Codec(format!(
+            "stream push must be raw envelope bytes, got {v:?}"
+        )));
+    };
+    let (id, result, _sent_ms) = TaskResult::from_envelope(&bytes::Bytes::from(raw.clone()))?;
     Ok((id, result))
 }
 
@@ -218,7 +220,7 @@ mod tests {
         for _ in 0..2 {
             let (spec, tag) = session.next_task(T).unwrap().unwrap();
             session
-                .publish_result(spec.task_id, &TaskResult::Ok(Value::str("pushed")))
+                .publish_result(spec.task_id, &TaskResult::ok(Value::str("pushed")))
                 .unwrap();
             session.ack_task(tag).unwrap();
         }
@@ -256,6 +258,13 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         }
         assert_eq!(server.conn_count(), 0);
+        // Connection teardown folds the frame reader's buffer-reuse tally
+        // into the registry: a multi-frame conversation must have fed
+        // bytes into retained capacity.
+        assert!(
+            svc.metrics().counter("wire.bytes_reused").get() > 0,
+            "frame reader must reuse its receive buffer across frames"
+        );
         server.shutdown();
         svc.shutdown();
     }
@@ -282,7 +291,7 @@ mod tests {
             .unwrap()[0];
         let (_, tag) = session.next_task(T).unwrap().unwrap();
         session
-            .publish_result(id, &TaskResult::Ok(Value::Int(7)))
+            .publish_result(id, &TaskResult::ok(Value::Int(7)))
             .unwrap();
         session.ack_task(tag).unwrap();
 
@@ -290,7 +299,7 @@ mod tests {
         loop {
             let (state, result) = client.task_status(id).unwrap();
             if state == TaskState::Success {
-                assert!(matches!(result, Some(TaskResult::Ok(Value::Int(7)))));
+                assert_eq!(result.and_then(|r| r.ok_value()), Some(Value::Int(7)));
                 break;
             }
             assert!(std::time::Instant::now() < deadline, "task never completed");

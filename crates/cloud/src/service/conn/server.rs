@@ -9,7 +9,6 @@ use std::time::{Duration, Instant};
 
 use gcx_auth::Token;
 use gcx_config::TransportSpec;
-use gcx_core::codec;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
 use gcx_core::task::TaskSpec;
@@ -269,6 +268,7 @@ fn serve_conn(inner: Arc<ServerInner>, transport: Arc<dyn Transport>) {
     }
     inner.conns.lock().remove(&conn.id);
     inner.m.conns_open.sub(1);
+    inner.m.bytes_reused.add(transport.bytes_reused());
     transport.close();
 }
 
@@ -521,15 +521,10 @@ fn spawn_push_loop(
             while !stop.load(Ordering::SeqCst) && !inner.shutdown.load(Ordering::SeqCst) {
                 match stream.consumer.next(Duration::from_millis(50)) {
                     Ok(Some(delivery)) => {
-                        let payload = match codec::decode(&delivery.message.body) {
-                            Ok(v) => v,
-                            Err(_) => {
-                                // A corrupt envelope is unforwardable; ack it
-                                // away rather than looping on it forever.
-                                let _ = stream.consumer.ack(delivery.tag);
-                                continue;
-                            }
-                        };
+                        // The stream queue carries the binary result envelope;
+                        // wrap the raw bytes in the Push frame (one memcpy, no
+                        // codec re-walk). The client validates on decode.
+                        let payload = Value::Bytes(delivery.message.body.to_vec());
                         // Link the pushed result back to its originating
                         // trace: the result envelope carries the context in
                         // a queue header, and a trace-capable peer gets it

@@ -1,5 +1,6 @@
 //! Task dispatch: submission (single and batched), MEP→UEP resolution,
-//! blob offload, and the status-polling path.
+//! payload interning (content-addressed dedup), and the status-polling
+//! path.
 
 use std::collections::HashMap;
 
@@ -7,13 +8,31 @@ use gcx_auth::{AuthPolicy, Token};
 use gcx_core::codec;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::ids::{EndpointId, TaskId};
+use gcx_core::payload::{ContentHash, Payload};
 use gcx_core::task::{TaskRecord, TaskResult, TaskSpec, TaskState};
 use gcx_core::value::Value;
 use gcx_mq::Message;
 
-use super::{mep_queue_name, task_queue_name, WebService, BLOB_MARKER};
-use crate::blob::BlobId;
+use super::{mep_queue_name, task_queue_name, WebService};
+use crate::blob::Intern;
 use crate::records::{config_hash, EndpointRecord, MepStartRequest};
+
+/// Rough wire overhead of a binary task message beyond its payload bytes
+/// (ids, flags, hash, varints) — used for API byte metering so the
+/// accounting does not require encoding the spec twice.
+const SPEC_WIRE_OVERHEAD: usize = 80;
+
+/// Metered response size of one status entry beyond its result payload.
+const STATUS_WIRE_OVERHEAD: usize = 24;
+
+/// Bytes a `TaskResult` occupies in a status response, without walking or
+/// re-encoding anything: the payload length is already known.
+fn result_wire_size(result: &TaskResult) -> usize {
+    match result {
+        TaskResult::Ok(p) => 18 + p.len(),
+        TaskResult::Err(e) => 2 + e.len(),
+    }
+}
 
 /// What a [`WebService::cancel_task`] call actually did.
 ///
@@ -68,17 +87,14 @@ impl WebService {
         let now = self.inner.clock.now_ms();
 
         // Validate everything before enqueueing anything (atomic batch).
-        // The validation encoding doubles as the wire body whenever the
-        // spec is neither rerouted to a UEP nor blob-offloaded (the common
-        // case), sparing a second encode per task.
-        let mut prepared: Vec<(TaskSpec, EndpointId, Option<bytes::Bytes>, bool)> =
-            Vec::with_capacity(specs.len());
+        // The args payload was encoded once at the submit edge; here it is
+        // only measured, hashed (already done), and interned — never
+        // re-walked by the codec.
+        let mut prepared: Vec<(TaskSpec, EndpointId, bool, bool)> = Vec::with_capacity(specs.len());
         for mut spec in specs {
             // SDK submissions arrive with a trace context already minted;
             // direct REST submissions get theirs here (subject to sampling)
-            // so the per-leg timeline exists either way. Setting it before
-            // the validation encode lets that encoding double as the wire
-            // body, trace included.
+            // so the per-leg timeline exists either way.
             let cloud_traced = spec.trace.is_none() && self.inner.tracer.enabled();
             if cloud_traced {
                 spec.trace = self.inner.tracer.start_trace("task");
@@ -96,14 +112,14 @@ impl WebService {
                     .as_ref()
                     .is_some_and(|ctx| self.inner.tracer.adopt_trace(ctx, "task"));
             let stamp_submit = cloud_traced || adopted;
-            let encoded = codec::encode(&spec.to_value());
-            if encoded.len() > self.inner.cfg.payload_limit {
+            let payload_len = spec.payload.len();
+            if payload_len > self.inner.cfg.payload_limit {
                 return Err(GcxError::PayloadTooLarge {
-                    size: encoded.len(),
+                    size: payload_len,
                     limit: self.inner.cfg.payload_limit,
                 });
             }
-            bytes_in += encoded.len();
+            bytes_in += payload_len + SPEC_WIRE_OVERHEAD;
 
             let target = self.endpoint_record(spec.endpoint_id)?;
             target.policy.evaluate(&who.identity, who.auth_time, now)?;
@@ -122,17 +138,22 @@ impl WebService {
             } else {
                 spec.endpoint_id
             };
-            // Offload large argument payloads to the blob store.
-            let offloaded = encoded.len() > self.inner.cfg.inline_threshold;
-            if offloaded {
-                spec = self.offload_args(spec)?;
-            }
-            let body = if offloaded || deliver_to != spec.endpoint_id {
-                None // spec changed; re-encode at ship time
+            // Content-addressed dedup: intern the payload and ship a
+            // 16-byte reference when the bytes are already cached (a
+            // repeat submission) or too large to ride the queue inline.
+            // Federated replicas don't share the cache, so their tasks
+            // always inline (the owning replica may be a different
+            // process).
+            let inline = if self.fed().is_some() {
+                true
             } else {
-                Some(encoded)
+                match self.inner.cas.intern(&spec.payload) {
+                    Intern::Hit => false,
+                    Intern::Stored => payload_len <= self.inner.cfg.inline_threshold,
+                    Intern::Uncacheable => true,
+                }
             };
-            prepared.push((spec, deliver_to, body, stamp_submit));
+            prepared.push((spec, deliver_to, inline, stamp_submit));
         }
 
         self.meter_api(bytes_in, prepared.len() * 36);
@@ -144,7 +165,7 @@ impl WebService {
         let shipped_str = shipped.to_string();
         let mut ids = Vec::with_capacity(prepared.len());
         let mut by_endpoint: HashMap<EndpointId, Vec<Message>> = HashMap::new();
-        for (spec, deliver_to, body, stamp_submit) in prepared {
+        for (spec, deliver_to, inline, stamp_submit) in prepared {
             let task_id = spec.task_id;
             let trace = spec.trace;
             self.inner.usage.record_task(now);
@@ -182,15 +203,19 @@ impl WebService {
                 wire_spec.endpoint_id = deliver_to;
                 self.fed_log_open(&wire_spec, who.identity.id, now);
             }
-            let body = match body {
-                Some(b) => b,
-                None => {
-                    // Ship to the (possibly rewritten) endpoint's queue.
-                    let mut wire_spec = spec;
-                    wire_spec.endpoint_id = deliver_to;
-                    codec::encode(&wire_spec.to_value())
-                }
-            };
+            // Build the compact binary body for the (possibly rewritten)
+            // endpoint's queue: one buffer fill, no `Value` tree. An
+            // inlined payload is memcpy'd into the frame; a CAS reference
+            // ships only the content hash.
+            let mut wire_spec = spec;
+            wire_spec.endpoint_id = deliver_to;
+            if inline {
+                self.inner
+                    .m
+                    .payload_bytes_moved
+                    .add(wire_spec.payload.len() as u64);
+            }
+            let body = wire_spec.to_message(inline);
             let message = match &trace {
                 Some(ctx) => {
                     // Headers let the broker annotate the trace on fault
@@ -266,33 +291,23 @@ impl WebService {
         Ok(ids)
     }
 
-    /// Large payloads ride S3: replace args/kwargs with a blob reference.
-    fn offload_args(&self, mut spec: TaskSpec) -> GcxResult<TaskSpec> {
-        let container = Value::map([
-            ("args", Value::List(std::mem::take(&mut spec.args))),
-            ("kwargs", std::mem::replace(&mut spec.kwargs, Value::None)),
-        ]);
-        let blob = self.inner.blobs.put(codec::encode(&container))?;
-        spec.kwargs = Value::map([(BLOB_MARKER, Value::str(blob.to_string()))]);
-        Ok(spec)
-    }
-
-    /// Inverse of [`Self::offload_args`]; used by endpoint sessions.
-    pub(super) fn restore_args(&self, spec: &mut TaskSpec) -> GcxResult<()> {
-        let Some(marker) = spec.kwargs.get(BLOB_MARKER).and_then(Value::as_str) else {
-            return Ok(());
-        };
-        let blob_id: BlobId = marker
-            .parse()
-            .map_err(|e| GcxError::Codec(format!("bad blob reference: {e}")))?;
-        let container = codec::decode(&self.inner.blobs.get(blob_id)?)?;
-        spec.args = container
-            .get("args")
-            .and_then(Value::as_list)
-            .map(<[Value]>::to_vec)
-            .unwrap_or_default();
-        spec.kwargs = container.get("kwargs").cloned().unwrap_or(Value::None);
-        Ok(())
+    /// Resolve a CAS payload reference for an endpoint session: the dedup
+    /// cache first, then the task record (which always retains the full
+    /// payload) when the cache entry was evicted between ship and receipt.
+    /// Both misses is a retryable fault — the spec can be redelivered.
+    pub(super) fn resolve_payload(&self, task_id: TaskId, hash: ContentHash) -> GcxResult<Payload> {
+        if let Some(p) = self.inner.cas.get(hash) {
+            return Ok(p);
+        }
+        self.inner
+            .tasks
+            .with(&task_id, |rec| rec.map(|r| r.spec.payload.clone()))
+            .ok_or_else(|| {
+                GcxError::Transient(format!(
+                    "payload {hash} for task {task_id} not resolvable: evicted from the \
+                     dedup cache and no local task record"
+                ))
+            })
     }
 
     /// Resolve the user endpoint for (MEP, identity, config-hash), creating
@@ -431,11 +446,7 @@ impl WebService {
         if owner != who.identity.id {
             return Err(GcxError::Forbidden("not your task".into()));
         }
-        let out_bytes = 24
-            + result
-                .as_ref()
-                .map(|r| codec::encoded_size(&r.to_value()))
-                .unwrap_or(0);
+        let out_bytes = STATUS_WIRE_OVERHEAD + result.as_ref().map(result_wire_size).unwrap_or(0);
         self.meter_api(36, out_bytes);
         self.inner.m.status_polls.inc();
         Ok((state, result))
@@ -458,11 +469,8 @@ impl WebService {
                     .map(|rec| (*id, rec.state, rec.result.clone()))
             });
             if let Some((id, state, result)) = entry {
-                bytes_out += 24
-                    + result
-                        .as_ref()
-                        .map(|r| codec::encoded_size(&r.to_value()))
-                        .unwrap_or(0);
+                bytes_out +=
+                    STATUS_WIRE_OVERHEAD + result.as_ref().map(result_wire_size).unwrap_or(0);
                 out.push((id, state, result));
             }
         }
@@ -543,14 +551,17 @@ mod tests {
             .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
             .unwrap();
         let mut spec = TaskSpec::new(fid, reg.endpoint_id);
-        spec.args = vec![Value::Bytes(vec![0u8; 11 * 1024 * 1024])];
+        spec.set_args(
+            vec![Value::Bytes(vec![0u8; 11 * 1024 * 1024])],
+            Value::map([] as [(&str, Value); 0]),
+        );
         let e = svc.submit_task(&token, spec).unwrap_err();
         assert!(matches!(e, GcxError::PayloadTooLarge { .. }));
         svc.shutdown();
     }
 
     #[test]
-    fn large_args_offload_to_s3_and_restore() {
+    fn large_args_ship_as_cas_reference_and_resolve() {
         let svc = service();
         let token = login(&svc, "u@x.y");
         let fid = svc
@@ -564,22 +575,71 @@ mod tests {
             .unwrap();
         let payload = vec![7u8; 1024 * 1024]; // 1 MB: above inline, below limit
         let mut spec = TaskSpec::new(fid, reg.endpoint_id);
-        spec.args = vec![Value::Bytes(payload.clone())];
-        svc.submit_task(&token, spec).unwrap();
-        assert_eq!(svc.blobs().len(), 1, "args staged in S3");
-        let (got, tag) = session.next_task(T).unwrap().unwrap();
-        assert_eq!(
-            got.args,
-            vec![Value::Bytes(payload)],
-            "restored transparently"
+        spec.set_args(
+            vec![Value::Bytes(payload.clone())],
+            Value::map([] as [(&str, Value); 0]),
         );
+        svc.submit_task(&token, spec).unwrap();
+        assert_eq!(svc.cas().len(), 1, "args interned in the dedup cache");
+        let (got, tag) = session.next_task(T).unwrap().unwrap();
+        let (args, _) = got.decode_args().unwrap();
+        assert_eq!(args, vec![Value::Bytes(payload)], "resolved transparently");
         session.ack_task(tag).unwrap();
-        // The queue message itself stayed small.
+        // The queue message itself stayed small: only the content hash rode
+        // the queue, and `payload.bytes_moved` saw none of the megabyte.
         let mq_bytes = svc.metrics().counter("mq.bytes_published").get();
         assert!(
             mq_bytes < 128 * 1024,
             "queue payload should be a reference: {mq_bytes}"
         );
+        assert!(
+            svc.metrics().counter("payload.bytes_moved").get() < 1024,
+            "reference shipping must not count payload bytes as moved"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn duplicate_args_dedup_through_the_cas_cache() {
+        let svc = service();
+        let token = login(&svc, "u@x.y");
+        let fid = svc
+            .register_function(&token, FunctionBody::pyfn("def f(b):\n    return len(b)\n"))
+            .unwrap();
+        let reg = svc
+            .register_endpoint(&token, "ep", false, AuthPolicy::open(), None)
+            .unwrap();
+        let session = svc
+            .connect_endpoint(reg.endpoint_id, &reg.queue_credential)
+            .unwrap();
+        let args = vec![Value::Bytes(vec![3u8; 4096])];
+        let kwargs = Value::map([] as [(&str, Value); 0]);
+        // First submission travels inline (and primes the cache); the next
+        // four are hash-only references to the same interned bytes.
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            let mut spec = TaskSpec::new(fid, reg.endpoint_id);
+            spec.set_args(args.clone(), kwargs.clone());
+            ids.push(svc.submit_task(&token, spec).unwrap());
+        }
+        assert_eq!(svc.metrics().counter("blob.cas_misses").get(), 1);
+        assert_eq!(svc.metrics().counter("blob.cas_hits").get(), 4);
+        let moved = svc.metrics().counter("payload.bytes_moved").get();
+        let payload_len = {
+            let mut s = TaskSpec::new(fid, reg.endpoint_id);
+            s.set_args(args.clone(), kwargs.clone());
+            s.payload.len() as u64
+        };
+        assert_eq!(moved, payload_len, "only the first copy moves");
+        // Every delivery resolves to identical args regardless of how it
+        // traveled.
+        for id in &ids {
+            let (got, tag) = session.next_task(T).unwrap().unwrap();
+            assert_eq!(got.task_id, *id);
+            let (a, _) = got.decode_args().unwrap();
+            assert_eq!(a, args);
+            session.ack_task(tag).unwrap();
+        }
         svc.shutdown();
     }
 

@@ -397,7 +397,9 @@ impl WebService {
                 None,
             );
         };
-        let body = codec::encode(&spec.to_value());
+        // Binary task-queue wire shape, always inline: the owning replica's
+        // CAS is not reachable from the endpoint's connected replica.
+        let body = spec.to_message(true);
         let message = match &spec.trace {
             Some(ctx) => {
                 let mut headers = std::collections::BTreeMap::new();

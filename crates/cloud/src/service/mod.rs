@@ -5,7 +5,8 @@
 //! - `api` — the authenticated REST surface: function registration,
 //!   endpoint registration/listing/status, agent connect.
 //! - `dispatch` — task submission (single and batched), MEP→UEP
-//!   resolution, blob offload, and the status-polling path.
+//!   resolution, payload interning (CAS dedup), and the status-polling
+//!   path.
 //! - `results` — result streams, the result/dead-task processor loops,
 //!   and endpoint-side state reports.
 //! - `liveness` — heartbeats, degradation reports, and the stale-endpoint
@@ -51,16 +52,13 @@ use gcx_core::ShardedMap;
 use gcx_mq::Broker;
 use parking_lot::{Mutex, RwLock};
 
-use crate::blob::{BlobStore, DEFAULT_PAYLOAD_LIMIT};
+use crate::blob::{BlobStore, CasStore, DEFAULT_PAYLOAD_LIMIT};
 use crate::federation::FedMembership;
 use crate::records::EndpointRecord;
 use crate::usage::UsageMeter;
 
 /// The scope required for Globus Compute API calls.
 pub const COMPUTE_SCOPE: &str = gcx_auth::service::COMPUTE_SCOPE;
-
-/// Marker key identifying a blob-offloaded payload container.
-pub(super) const BLOB_MARKER: &str = "__gcx_blob__";
 
 /// The shared result queue every endpoint publishes into.
 pub const RESULT_QUEUE: &str = "results.all";
@@ -87,9 +85,15 @@ pub(super) fn stream_queue_name(identity: IdentityId, n: u64) -> String {
 pub struct CloudConfig {
     /// Hard payload limit per task submission / result (10 MB, §V).
     pub payload_limit: usize,
-    /// Payloads above this are offloaded to the blob store instead of
-    /// riding the queues inline ("large task inputs are stored in S3", §II).
+    /// Payloads above this never ride the queues inline ("large task
+    /// inputs are stored in S3", §II): they are interned in the
+    /// content-addressed dedup cache and ship as a 16-byte reference.
     pub inline_threshold: usize,
+    /// Byte cap of the content-addressed payload cache ([`CasStore`]).
+    /// Interned payloads above the cap — or whose hash slot collides —
+    /// always travel inline. LRU eviction keeps the cache under this
+    /// bound; an evicted reference falls back to the task record.
+    pub cas_cache_bytes: usize,
     /// Result-processor threads.
     pub result_processors: usize,
     /// Cost model of the client↔service REST link; charged (on the service
@@ -141,6 +145,7 @@ impl Default for CloudConfig {
         Self {
             payload_limit: DEFAULT_PAYLOAD_LIMIT,
             inline_threshold: 64 * 1024,
+            cas_cache_bytes: 64 * 1024 * 1024,
             result_processors: 2,
             rest_link: gcx_mq::LinkProfile::instant(),
             heartbeat_timeout_ms: 30_000,
@@ -181,6 +186,10 @@ pub(super) struct CloudMetrics {
     pub(super) tasks_expired: Arc<Counter>,
     pub(super) submits_rejected_overload: Arc<Counter>,
     pub(super) tasks_shed_brownout: Arc<Counter>,
+    /// Payload bytes that actually traveled a queue inline. A CAS-hit
+    /// reference moves ~0 payload bytes, so `payload.bytes_moved` versus
+    /// `cloud.tasks_submitted × payload size` is the dedup win.
+    pub(super) payload_bytes_moved: Arc<Counter>,
     pub(super) roundtrip_ms: Arc<Histogram>,
     pub(super) result_transit_ms: Arc<Histogram>,
     pub(super) submit_ms: Arc<Histogram>,
@@ -209,6 +218,7 @@ impl CloudMetrics {
             tasks_expired: registry.counter("cloud.tasks_expired"),
             submits_rejected_overload: registry.counter("cloud.submits_rejected_overload"),
             tasks_shed_brownout: registry.counter("cloud.tasks_shed_brownout"),
+            payload_bytes_moved: registry.counter("payload.bytes_moved"),
             roundtrip_ms: registry.histogram("cloud.task_roundtrip_ms"),
             result_transit_ms: registry.histogram("cloud.result_transit_ms"),
             submit_ms: registry.histogram("cloud.submit_ms"),
@@ -259,6 +269,11 @@ pub(super) struct CloudInner {
     pub(super) auth: AuthService,
     pub(super) broker: Broker,
     pub(super) blobs: BlobStore,
+    /// Content-addressed payload dedup cache. Per-replica: CAS references
+    /// are only shipped by a standalone service (`fed.is_none()`) — a
+    /// federation's replicas don't share this cache, so its tasks always
+    /// travel with the payload inline.
+    pub(super) cas: CasStore,
     pub(super) usage: UsageMeter,
     pub(super) clock: SharedClock,
     pub(super) metrics: MetricsRegistry,
@@ -361,11 +376,13 @@ impl WebService {
             t
         });
         let admission = AdmissionState::new(cfg.admission.clone());
+        let cas = CasStore::new(cfg.cas_cache_bytes, metrics.clone());
         let inner = Arc::new(CloudInner {
             cfg,
             auth,
             broker,
             blobs: shared.blobs.clone(),
+            cas,
             usage: shared.usage.clone(),
             clock,
             metrics,
@@ -465,6 +482,12 @@ impl WebService {
     /// The blob store.
     pub fn blobs(&self) -> &BlobStore {
         &self.inner.blobs
+    }
+
+    /// The content-addressed payload dedup cache (tests/benches inspect
+    /// hit/miss/eviction behavior).
+    pub fn cas(&self) -> &CasStore {
+        &self.inner.cas
     }
 
     /// The task-lifecycle tracer (disabled when `cfg.trace.sample_every`

@@ -6,11 +6,9 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use gcx_auth::Token;
-use gcx_core::codec;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::ids::{EndpointId, IdentityId, TaskId};
 use gcx_core::task::{TaskResult, TaskSpec, TaskState};
-use gcx_core::value::Value;
 use gcx_mq::{Consumer, Message};
 
 use super::{stream_queue_name, WebService, DEAD_TASKS_QUEUE, RESULT_QUEUE};
@@ -78,22 +76,9 @@ impl WebService {
     }
 
     fn process_result(&self, message: &Message) -> GcxResult<()> {
-        let envelope = codec::decode(&message.body)?;
-        let task_id: TaskId = envelope
-            .get("task_id")
-            .and_then(Value::as_str)
-            .ok_or_else(|| GcxError::Codec("result missing task_id".into()))?
-            .parse()
-            .map_err(|e| GcxError::Codec(format!("bad task_id: {e}")))?;
-        let result = TaskResult::from_value(
-            envelope
-                .get("result")
-                .ok_or_else(|| GcxError::Codec("result missing body".into()))?,
-        )?;
-        let sent_ms = envelope
-            .get("sent_ms")
-            .and_then(Value::as_int)
-            .map(|n| n.max(0) as u64);
+        // Binary result envelope: the payload bytes inside are sliced out
+        // of the message body, never re-decoded through the codec.
+        let (task_id, result, sent_ms) = TaskResult::from_envelope(&message.body)?;
         self.finish_task_traced(task_id, result, sent_ms)
     }
 
@@ -199,11 +184,9 @@ impl WebService {
         let targets: Vec<(String, String)> =
             self.inner.streams.get_cloned(&owner).unwrap_or_default();
         if !targets.is_empty() {
-            let push = Value::map([
-                ("task_id", Value::str(task_id.to_string())),
-                ("result", result.to_value()),
-            ]);
-            let body = codec::encode(&push);
+            // Binary envelope shared across all streams: cloning a Message
+            // clones the refcounted Bytes, not the payload.
+            let body = result.to_envelope(task_id, None);
             let headers = trace.as_ref().map(|ctx| {
                 let mut h = std::collections::BTreeMap::new();
                 h.insert(gcx_mq::TRACE_HEADER.to_string(), ctx.encode());
@@ -246,7 +229,7 @@ impl WebService {
     }
 
     fn fail_dead_task(&self, message: &Message) -> GcxResult<()> {
-        let spec = TaskSpec::from_value(&codec::decode(&message.body)?)?;
+        let (spec, _) = TaskSpec::from_message(&message.body)?;
         let source = message
             .headers
             .get(gcx_mq::DEATH_QUEUE_HEADER)
@@ -362,6 +345,7 @@ mod tests {
     use gcx_auth::AuthPolicy;
     use gcx_core::function::FunctionBody;
     use gcx_core::task::TaskSpec;
+    use gcx_core::value::Value;
 
     #[test]
     fn submit_flows_to_endpoint_and_result_flows_back() {
@@ -385,7 +369,7 @@ mod tests {
         assert_eq!(got.task_id, task_id);
         session.report_state(task_id, TaskState::Running).unwrap();
         session
-            .publish_result(task_id, &TaskResult::Ok(Value::Int(42)))
+            .publish_result(task_id, &TaskResult::ok(Value::Int(42)))
             .unwrap();
         session.ack_task(tag).unwrap();
 
@@ -394,7 +378,7 @@ mod tests {
         loop {
             let (state, result) = svc.task_status(&token, task_id).unwrap();
             if state == TaskState::Success {
-                assert_eq!(result, Some(TaskResult::Ok(Value::Int(42))));
+                assert_eq!(result, Some(TaskResult::ok(Value::Int(42))));
                 break;
             }
             assert!(
@@ -426,7 +410,7 @@ mod tests {
             .unwrap();
         let (_, tag) = session.next_task(T).unwrap().unwrap();
         session
-            .publish_result(id, &TaskResult::Ok(Value::str("pushed")))
+            .publish_result(id, &TaskResult::ok(Value::str("pushed")))
             .unwrap();
         session.ack_task(tag).unwrap();
 
@@ -435,8 +419,9 @@ mod tests {
             .next(Duration::from_secs(2))
             .unwrap()
             .expect("streamed result");
-        let v = codec::decode(&delivery.message.body).unwrap();
-        assert_eq!(v.get("task_id").unwrap().as_str().unwrap(), id.to_string());
+        let (got_id, result, _) = TaskResult::from_envelope(&delivery.message.body).unwrap();
+        assert_eq!(got_id, id);
+        assert_eq!(result.ok_value(), Some(Value::str("pushed")));
         stream.consumer.ack(delivery.tag).unwrap();
         svc.shutdown();
     }
@@ -513,10 +498,10 @@ mod tests {
         let (_, tag) = session.next_task(T).unwrap().unwrap();
         // An endpoint retry can publish the same result twice.
         session
-            .publish_result(id, &TaskResult::Ok(Value::Int(1)))
+            .publish_result(id, &TaskResult::ok(Value::Int(1)))
             .unwrap();
         session
-            .publish_result(id, &TaskResult::Ok(Value::Int(1)))
+            .publish_result(id, &TaskResult::ok(Value::Int(1)))
             .unwrap();
         session.ack_task(tag).unwrap();
 
@@ -559,7 +544,7 @@ mod tests {
             .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
             .unwrap();
         let (_, tag) = session.next_task(T).unwrap().unwrap();
-        let huge = TaskResult::Ok(Value::Bytes(vec![0u8; 11 * 1024 * 1024]));
+        let huge = TaskResult::ok(Value::Bytes(vec![0u8; 11 * 1024 * 1024]));
         session.publish_result(id, &huge).unwrap();
         session.ack_task(tag).unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(2);

@@ -4,12 +4,10 @@
 use std::time::Duration;
 
 use bytes::Bytes;
-use gcx_core::codec;
 use gcx_core::error::GcxResult;
 use gcx_core::function::FunctionRecord;
 use gcx_core::ids::{EndpointId, FunctionId, TaskId};
 use gcx_core::task::{TaskResult, TaskSpec, TaskState};
-use gcx_core::value::Value;
 use gcx_mq::{Consumer, Message};
 
 use super::{WebService, RESULT_QUEUE};
@@ -45,13 +43,17 @@ impl EndpointSession {
     }
 
     /// Pull the next task (blocking up to `timeout`). Returns the decoded
-    /// spec (blob-offloaded arguments restored) plus the delivery tag.
+    /// spec (CAS payload references resolved) plus the delivery tag.
     pub fn next_task(&self, timeout: Duration) -> GcxResult<Option<(TaskSpec, u64)>> {
         match self.tasks.next(timeout)? {
             None => Ok(None),
             Some(delivery) => {
-                let mut spec = TaskSpec::from_value(&codec::decode(&delivery.message.body)?)?;
-                self.cloud.restore_args(&mut spec)?;
+                let (mut spec, payload_is_ref) = TaskSpec::from_message(&delivery.message.body)?;
+                if payload_is_ref {
+                    spec.payload = self
+                        .cloud
+                        .resolve_payload(spec.task_id, spec.payload.hash())?;
+                }
                 if let Some(ctx) = &spec.trace {
                     // Queue-transit leg: publish stamp (header) → now. A
                     // redelivery records a second queue span, so recovery
@@ -122,18 +124,25 @@ impl EndpointSession {
         self.cloud.task_cancelled(task_id)
     }
 
-    /// Publish a task result to the shared result queue.
+    /// Publish a task result to the shared result queue as a compact
+    /// binary envelope — the already-encoded result payload is memcpy'd
+    /// into the frame, never re-walked by the codec.
     pub fn publish_result(&self, task_id: TaskId, result: &TaskResult) -> GcxResult<()> {
-        let mut encoded_result = result.to_value();
-        let size = codec::encoded_size(&encoded_result);
-        if size > self.cloud.inner.cfg.payload_limit {
+        let size = match result {
+            TaskResult::Ok(p) => p.len(),
+            TaskResult::Err(e) => e.len(),
+        };
+        let oversized;
+        let result = if size > self.cloud.inner.cfg.payload_limit {
             // Oversized results become failures, like the production 10 MB rule.
-            encoded_result = TaskResult::Err(format!(
+            oversized = TaskResult::Err(format!(
                 "result of {size} bytes exceeds the {} byte payload limit",
                 self.cloud.inner.cfg.payload_limit
-            ))
-            .to_value();
-        }
+            ));
+            &oversized
+        } else {
+            result
+        };
         let tracer = &self.cloud.inner.tracer;
         let now = self.cloud.inner.clock.now_ms();
         if tracer.enabled() {
@@ -148,14 +157,9 @@ impl EndpointSession {
                 tracer.record_span(Some(&ctx), "execute", started_at.unwrap_or(now), now);
             }
         }
-        let envelope = Value::map([
-            ("task_id", Value::str(task_id.to_string())),
-            ("result", encoded_result),
-            ("sent_ms", Value::Int(now as i64)),
-        ]);
         self.cloud.inner.broker.publish(
             RESULT_QUEUE,
-            Message::new(codec::encode(&envelope)),
+            Message::new(result.to_envelope(task_id, Some(now))),
             Some("cloud-results"),
         )
     }
@@ -192,6 +196,7 @@ mod tests {
     use super::*;
     use gcx_auth::AuthPolicy;
     use gcx_core::function::FunctionBody;
+    use gcx_core::value::Value;
 
     #[test]
     fn tasks_buffer_while_endpoint_offline() {
@@ -250,7 +255,7 @@ mod tests {
         assert_eq!(again.task_id, id);
         second.report_state(id, TaskState::Running).unwrap();
         second
-            .publish_result(id, &TaskResult::Ok(Value::Int(7)))
+            .publish_result(id, &TaskResult::ok(Value::Int(7)))
             .unwrap();
         second.ack_task(tag2).unwrap();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);

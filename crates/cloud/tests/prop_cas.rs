@@ -1,0 +1,159 @@
+//! Property tests for the content-addressed payload cache (`CasStore`) and
+//! the payload wire framing: the invariants the zero-copy plane leans on.
+//!
+//! 1. **Identity-preserving interning.** Resolving a hash returns exactly
+//!    the bytes that were interned under it — the dispatcher may replace a
+//!    payload with a 16-byte reference only because the resolution is
+//!    byte-faithful.
+//! 2. **Collision safety.** A hash slot is never overwritten with different
+//!    bytes; the colliding payload is reported `Uncacheable` so publishers
+//!    inline it rather than risk aliasing.
+//! 3. **Eviction never serves stale bytes.** Under a tiny byte cap and an
+//!    arbitrary intern sequence, every `get` hit is byte-identical to the
+//!    payload originally interned for that hash, and the cap holds.
+//! 4. **Wire framing is byte-faithful.** Arbitrary payload bytes — including
+//!    slices into a larger buffer — survive the binary task-message framing
+//!    byte-identical, in both inline and by-reference forms.
+
+use gcx_cloud::{CasStore, Intern};
+use gcx_core::ids::{EndpointId, FunctionId};
+use gcx_core::metrics::MetricsRegistry;
+use gcx_core::payload::Payload;
+use gcx_core::task::TaskSpec;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn cas(max_bytes: usize) -> CasStore {
+    CasStore::new(max_bytes, MetricsRegistry::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Interning any set of payloads and resolving their hashes returns
+    /// byte-identical payloads (no cap pressure here: the cap is generous).
+    #[test]
+    fn intern_then_get_is_byte_identical(
+        bodies in vec(vec(any::<u8>(), 0..256), 1..16),
+    ) {
+        let cas = cas(1 << 20);
+        let payloads: Vec<Payload> =
+            bodies.into_iter().map(Payload::from_vec).collect();
+        for p in &payloads {
+            let outcome = cas.intern(p);
+            prop_assert!(
+                outcome == Intern::Stored || outcome == Intern::Hit,
+                "generous cap never rejects: {outcome:?}"
+            );
+        }
+        for p in &payloads {
+            let got = cas.get(p.hash()).expect("interned payload resolves");
+            prop_assert_eq!(got.as_slice(), p.as_slice());
+            prop_assert_eq!(got.hash(), p.hash());
+        }
+    }
+
+    /// A forged payload claiming an occupied hash with different bytes is
+    /// `Uncacheable`, and the slot keeps the original bytes.
+    #[test]
+    fn collisions_never_overwrite(
+        body in vec(any::<u8>(), 1..256),
+        mut forged_body in vec(any::<u8>(), 1..256),
+    ) {
+        let cas = cas(1 << 20);
+        let real = Payload::from_vec(body);
+        if forged_body == real.as_slice() {
+            forged_body.push(0xFF);
+        }
+        prop_assert_eq!(cas.intern(&real), Intern::Stored);
+        let forged = Payload::from_parts_unchecked(
+            bytes::Bytes::from(forged_body),
+            real.hash(),
+        );
+        prop_assert_eq!(cas.intern(&forged), Intern::Uncacheable);
+        let got = cas.get(real.hash()).expect("original still interned");
+        prop_assert_eq!(got.as_slice(), real.as_slice());
+    }
+
+    /// Under a tiny cap and an arbitrary intern sequence (with repeats so
+    /// LRU touches reorder the queue), the store never serves bytes other
+    /// than what was interned for that hash, never exceeds its byte cap,
+    /// and reports `Stored`/`Hit`/`Uncacheable` consistently with its
+    /// contract.
+    #[test]
+    fn tiny_lru_never_serves_stale_bytes(
+        cap in 16usize..128,
+        picks in vec(0usize..12, 1..64),
+        seed in any::<u8>(),
+    ) {
+        let cas = cas(cap);
+        // Twelve distinct bodies of varied sizes; some exceed small caps.
+        let bodies: Vec<Payload> = (0..12u8)
+            .map(|i| Payload::from_vec(vec![i ^ seed; 1 + (i as usize * 13) % 160]))
+            .collect();
+        for &ix in &picks {
+            let p = &bodies[ix];
+            match cas.intern(p) {
+                Intern::Uncacheable => {
+                    prop_assert!(
+                        p.len() > cap,
+                        "distinct bodies only collide when oversize"
+                    );
+                }
+                Intern::Stored | Intern::Hit => {}
+            }
+            prop_assert!(
+                cas.total_bytes() <= cap,
+                "cap {} exceeded: {} bytes interned",
+                cap,
+                cas.total_bytes()
+            );
+            // Every resolvable hash must resolve to its own bytes — eviction
+            // may drop entries (None) but must never alias or corrupt them.
+            for q in &bodies {
+                if let Some(got) = cas.get(q.hash()) {
+                    prop_assert_eq!(got.as_slice(), q.as_slice());
+                }
+            }
+        }
+        // The most recently interned cacheable payload is still resident:
+        // LRU evicts from the cold end only.
+        let last = &bodies[*picks.last().unwrap()];
+        if last.len() <= cap {
+            prop_assert!(cas.get(last.hash()).is_some(), "hot entry evicted");
+        }
+    }
+
+    /// Payload bytes — including a slice into a larger buffer — round-trip
+    /// through the binary task-message framing byte-identical. The inline
+    /// form carries the bytes; the reference form carries the hash and an
+    /// empty body.
+    #[test]
+    fn payload_slice_roundtrips_through_wire_framing(
+        buf in vec(any::<u8>(), 0..2048),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let start = (buf.len() as f64 * start_frac) as usize;
+        let len = ((buf.len() - start) as f64 * len_frac) as usize;
+        let whole = bytes::Bytes::from(buf);
+        let slice = whole.slice(start..start + len);
+        let payload = Payload::from_bytes(slice.clone());
+        prop_assert_eq!(payload.as_slice(), &slice[..]);
+
+        let mut spec = TaskSpec::new(FunctionId::random(), EndpointId::random());
+        spec.payload = payload.clone();
+
+        let inline = spec.to_message(true);
+        let (back, is_ref) = TaskSpec::from_message(&inline).unwrap();
+        prop_assert!(!is_ref);
+        prop_assert_eq!(back.payload.as_slice(), payload.as_slice());
+        prop_assert_eq!(back.payload.hash(), payload.hash());
+
+        let by_ref = spec.to_message(false);
+        let (back, is_ref) = TaskSpec::from_message(&by_ref).unwrap();
+        prop_assert!(is_ref);
+        prop_assert_eq!(back.payload.hash(), payload.hash());
+        prop_assert!(back.payload.is_empty());
+    }
+}

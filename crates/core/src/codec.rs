@@ -209,6 +209,38 @@ fn take_bytes(cur: &mut &[u8]) -> GcxResult<Vec<u8>> {
     Ok(out)
 }
 
+/// Append a LEB128 varint to a plain byte vector. Public for the binary
+/// task/result message formats in [`crate::task`], which share the codec's
+/// integer encoding without going through a `Value` tree.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint, advancing `cur` past it. Counterpart of
+/// [`write_varint`].
+pub fn read_varint(cur: &mut &[u8]) -> GcxResult<u64> {
+    get_varint(cur)
+}
+
+/// Zigzag-map a signed integer for varint encoding (public counterpart of
+/// the codec-internal mapping, shared by the binary task message format).
+pub fn zigzag_encode(i: i64) -> u64 {
+    zigzag(i)
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(u: u64) -> i64 {
+    unzigzag(u)
+}
+
 fn zigzag(i: i64) -> u64 {
     ((i << 1) ^ (i >> 63)) as u64
 }

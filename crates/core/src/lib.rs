@@ -16,6 +16,8 @@
 //!   objects).
 //! - [`codec`] — the compact self-describing binary envelope used to "ship"
 //!   values over the simulated wire, with byte accounting.
+//! - [`payload`] — the encode-once payload plane: refcounted, content-
+//!   hashed bytes views that cross every layer without re-serialization.
 //! - [`task`] — the task model: specs, states, results, and the legal state
 //!   machine transitions.
 //! - [`function`] — registered function records and bodies (mini-Python,
@@ -52,6 +54,7 @@ pub mod function;
 pub mod health;
 pub mod ids;
 pub mod metrics;
+pub mod payload;
 pub mod relite;
 pub mod respec;
 pub mod retry;
@@ -68,6 +71,7 @@ pub use flight::{FlightEvent, FlightRecorder};
 pub use function::{FunctionBody, FunctionRecord};
 pub use health::{HealthDoc, HealthStatus, SloPolicy, TenantHealth};
 pub use ids::{BlockId, EndpointId, FunctionId, IdentityId, JobId, TaskId, Uuid};
+pub use payload::{ContentHash, Payload};
 pub use respec::ResourceSpec;
 pub use retry::RetryPolicy;
 pub use sharded::ShardedMap;

@@ -7,14 +7,29 @@
 //! every transition is checked so illegal updates (e.g. a result arriving
 //! for a cancelled task) surface as errors rather than silent corruption.
 
+use std::sync::OnceLock;
+
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::clock::TimeMs;
+use crate::codec;
 use crate::error::{GcxError, GcxResult};
-use crate::ids::{EndpointId, FunctionId, IdentityId, TaskId};
+use crate::ids::{EndpointId, FunctionId, IdentityId, TaskId, Uuid};
+use crate::payload::{ContentHash, Payload};
 use crate::respec::ResourceSpec;
 use crate::trace::TraceContext;
 use crate::value::Value;
+use crate::wire;
+
+/// The cached payload for "no arguments at all" — `TaskSpec::new` hands out
+/// refcounted clones so constructing bare specs never touches the codec.
+fn empty_args_payload() -> Payload {
+    static EMPTY: OnceLock<Payload> = OnceLock::new();
+    EMPTY
+        .get_or_init(|| Payload::encode_args(&[], &Value::map([] as [(&str, Value); 0])))
+        .clone()
+}
 
 /// A task submission: which function to run, where, with what arguments.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,10 +41,11 @@ pub struct TaskSpec {
     pub function_id: FunctionId,
     /// The target endpoint (a single-user endpoint or a multi-user endpoint).
     pub endpoint_id: EndpointId,
-    /// Positional arguments.
-    pub args: Vec<Value>,
-    /// Keyword arguments.
-    pub kwargs: Value,
+    /// The arguments, encoded **once** at the submit edge as the canonical
+    /// `[args, kwargs]` pair (see [`Payload::encode_args`]). Every layer
+    /// between the SDK and the worker moves this by reference; only the
+    /// worker decodes it back into structured values.
+    pub payload: Payload,
     /// MPI resource requirements (empty for non-MPI tasks).
     pub resource_spec: ResourceSpec,
     /// User endpoint configuration for multi-user endpoints (hash of this
@@ -59,8 +75,7 @@ impl TaskSpec {
             task_id: TaskId::random(),
             function_id,
             endpoint_id,
-            args: Vec::new(),
-            kwargs: Value::map([] as [(&str, Value); 0]),
+            payload: empty_args_payload(),
             resource_spec: ResourceSpec::default(),
             user_endpoint_config: Value::None,
             trace: None,
@@ -69,14 +84,28 @@ impl TaskSpec {
         }
     }
 
-    /// Pack to the wire form used on task queues.
+    /// Encode `(args, kwargs)` into the spec's payload. This is the ONE
+    /// encode on the submit path — everything downstream moves the bytes.
+    pub fn set_args(&mut self, args: Vec<Value>, kwargs: Value) {
+        self.payload = Payload::encode_args(&args, &kwargs);
+    }
+
+    /// Decode the payload back into `(args, kwargs)`. Only the consuming
+    /// edge (the worker about to execute) should call this.
+    pub fn decode_args(&self) -> GcxResult<(Vec<Value>, Value)> {
+        self.payload.decode_args()
+    }
+
+    /// Pack to the structured wire form used by federation envelopes and the
+    /// conn-layer submit RPC (the mq fast path uses [`TaskSpec::to_message`]
+    /// instead). The payload crosses as opaque bytes — no re-encode of the
+    /// argument tree, but the bytes are copied into the `Value`.
     pub fn to_value(&self) -> Value {
         let mut fields = vec![
             ("task_id", Value::str(self.task_id.to_string())),
             ("function_id", Value::str(self.function_id.to_string())),
             ("endpoint_id", Value::str(self.endpoint_id.to_string())),
-            ("args", Value::List(self.args.clone())),
-            ("kwargs", self.kwargs.clone()),
+            ("payload", Value::Bytes(self.payload.as_slice().to_vec())),
             ("resource_spec", self.resource_spec.to_value()),
             ("user_endpoint_config", self.user_endpoint_config.clone()),
         ];
@@ -108,12 +137,16 @@ impl TaskSpec {
             task_id: TaskId(id_field("task_id")?),
             function_id: FunctionId(id_field("function_id")?),
             endpoint_id: EndpointId(id_field("endpoint_id")?),
-            args: m
-                .get("args")
-                .and_then(Value::as_list)
-                .map(<[Value]>::to_vec)
-                .unwrap_or_default(),
-            kwargs: m.get("kwargs").cloned().unwrap_or(Value::None),
+            payload: match m.get("payload") {
+                Some(Value::Bytes(b)) => Payload::from_vec(b.clone()),
+                Some(other) => {
+                    return Err(GcxError::Codec(format!(
+                        "task spec payload must be bytes, got {}",
+                        other.type_name()
+                    )))
+                }
+                None => empty_args_payload(),
+            },
             resource_spec: match m.get("resource_spec") {
                 Some(v) if v.as_map().is_some_and(|m| !m.is_empty()) => {
                     ResourceSpec::from_value(v).map_err(|e| GcxError::Codec(e.to_string()))?
@@ -141,7 +174,203 @@ impl TaskSpec {
     pub fn expires_at(&self, submitted_at: TimeMs) -> Option<TimeMs> {
         self.deadline_ms.map(|d| submitted_at.saturating_add(d))
     }
+
+    /// Serialize to the compact binary message body used on mq task queues.
+    ///
+    /// Unlike [`TaskSpec::to_value`] this never builds a `Value` tree: raw
+    /// UUID bytes, varint scalars, the shared 25-byte trace segment, and the
+    /// payload bytes appended verbatim. With `inline_payload = false` only
+    /// the content hash and length travel (a CAS reference — the consumer
+    /// resolves the bytes from the dedup store, see `gcx-cloud`).
+    pub fn to_message(&self, inline_payload: bool) -> Bytes {
+        let payload_len = if inline_payload {
+            self.payload.len()
+        } else {
+            0
+        };
+        let mut out = Vec::with_capacity(SPEC_MSG_FIXED + 64 + payload_len);
+        out.push(SPEC_MSG_VERSION);
+        out.extend_from_slice(&self.task_id.uuid().as_bytes());
+        out.extend_from_slice(&self.function_id.uuid().as_bytes());
+        out.extend_from_slice(&self.endpoint_id.uuid().as_bytes());
+        let mut flags = 0u8;
+        if self.trace.is_some() {
+            flags |= SPEC_HAS_TRACE;
+        }
+        if self.deadline_ms.is_some() {
+            flags |= SPEC_HAS_DEADLINE;
+        }
+        if self.priority != 0 {
+            flags |= SPEC_HAS_PRIORITY;
+        }
+        let has_respec = self.resource_spec != ResourceSpec::default();
+        if has_respec {
+            flags |= SPEC_HAS_RESPEC;
+        }
+        let has_uec = self.user_endpoint_config != Value::None;
+        if has_uec {
+            flags |= SPEC_HAS_UEC;
+        }
+        if !inline_payload {
+            flags |= SPEC_PAYLOAD_REF;
+        }
+        out.push(flags);
+        if let Some(d) = self.deadline_ms {
+            codec::write_varint(&mut out, d);
+        }
+        if self.priority != 0 {
+            codec::write_varint(&mut out, codec::zigzag_encode(self.priority));
+        }
+        if let Some(ctx) = &self.trace {
+            wire::encode_trace_ctx(ctx, &mut out);
+        }
+        if has_respec {
+            let enc = codec::encode(&self.resource_spec.to_value());
+            codec::write_varint(&mut out, enc.len() as u64);
+            out.extend_from_slice(&enc);
+        }
+        if has_uec {
+            let enc = codec::encode(&self.user_endpoint_config);
+            codec::write_varint(&mut out, enc.len() as u64);
+            out.extend_from_slice(&enc);
+        }
+        out.extend_from_slice(&self.payload.hash().to_bytes());
+        codec::write_varint(&mut out, self.payload.len() as u64);
+        if inline_payload {
+            out.extend_from_slice(self.payload.as_slice());
+        }
+        Bytes::from(out)
+    }
+
+    /// Decode a [`TaskSpec::to_message`] body. Returns the spec plus
+    /// `payload_is_ref`: when `true` the payload bytes were not inlined and
+    /// `spec.payload` holds only the content hash (empty bytes) — the caller
+    /// must resolve the bytes from the content-addressed store and replace
+    /// the payload before handing the spec to a worker.
+    ///
+    /// An inlined payload is *sliced* out of `body` (refcount bump on the
+    /// receive buffer), never copied.
+    pub fn from_message(body: &Bytes) -> GcxResult<(Self, bool)> {
+        fn need(cur: &[u8], n: usize) -> GcxResult<()> {
+            if cur.len() < n {
+                return Err(GcxError::Codec("task message truncated".into()));
+            }
+            Ok(())
+        }
+        let mut cur: &[u8] = body;
+        need(cur, 1)?;
+        let version = cur[0];
+        cur = &cur[1..];
+        if version != SPEC_MSG_VERSION {
+            return Err(GcxError::Codec(format!(
+                "unknown task message version {version}"
+            )));
+        }
+        fn uuid(cur: &mut &[u8]) -> GcxResult<Uuid> {
+            need(cur, 16)?;
+            let mut b = [0u8; 16];
+            b.copy_from_slice(&cur[..16]);
+            *cur = &cur[16..];
+            Ok(Uuid::from_bytes(b))
+        }
+        let task_id = TaskId(uuid(&mut cur)?);
+        let function_id = FunctionId(uuid(&mut cur)?);
+        let endpoint_id = EndpointId(uuid(&mut cur)?);
+        need(cur, 1)?;
+        let flags = cur[0];
+        cur = &cur[1..];
+        let deadline_ms = if flags & SPEC_HAS_DEADLINE != 0 {
+            Some(codec::read_varint(&mut cur)?)
+        } else {
+            None
+        };
+        let priority = if flags & SPEC_HAS_PRIORITY != 0 {
+            codec::zigzag_decode(codec::read_varint(&mut cur)?)
+        } else {
+            0
+        };
+        let trace = if flags & SPEC_HAS_TRACE != 0 {
+            need(cur, wire::TRACE_CTX_LEN)?;
+            let ctx = wire::decode_trace_ctx(&cur[..wire::TRACE_CTX_LEN])?;
+            cur = &cur[wire::TRACE_CTX_LEN..];
+            ctx
+        } else {
+            None
+        };
+        fn codec_section(cur: &mut &[u8]) -> GcxResult<Value> {
+            let len = codec::read_varint(cur)? as usize;
+            need(cur, len)?;
+            let v = codec::decode(&cur[..len])?;
+            *cur = &cur[len..];
+            Ok(v)
+        }
+        let resource_spec = if flags & SPEC_HAS_RESPEC != 0 {
+            ResourceSpec::from_value(&codec_section(&mut cur)?)
+                .map_err(|e| GcxError::Codec(e.to_string()))?
+        } else {
+            ResourceSpec::default()
+        };
+        let user_endpoint_config = if flags & SPEC_HAS_UEC != 0 {
+            codec_section(&mut cur)?
+        } else {
+            Value::None
+        };
+        need(cur, 16)?;
+        let mut h = [0u8; 16];
+        h.copy_from_slice(&cur[..16]);
+        let hash = ContentHash::from_bytes(h);
+        cur = &cur[16..];
+        let payload_len = codec::read_varint(&mut cur)? as usize;
+        let payload_is_ref = flags & SPEC_PAYLOAD_REF != 0;
+        let payload = if payload_is_ref {
+            Payload::from_parts_unchecked(Bytes::new(), hash)
+        } else {
+            if cur.len() != payload_len {
+                return Err(GcxError::Codec(format!(
+                    "task message payload length {} does not match remaining {} bytes",
+                    payload_len,
+                    cur.len()
+                )));
+            }
+            let off = body.len() - payload_len;
+            Payload::from_parts_unchecked(body.slice(off..), hash)
+        };
+        Ok((
+            Self {
+                task_id,
+                function_id,
+                endpoint_id,
+                payload,
+                resource_spec,
+                user_endpoint_config,
+                trace,
+                deadline_ms,
+                priority,
+            },
+            payload_is_ref,
+        ))
+    }
 }
+
+/// Binary task-message version byte.
+const SPEC_MSG_VERSION: u8 = 1;
+/// Fixed part of the binary task message: version + 3 UUIDs + flags.
+const SPEC_MSG_FIXED: usize = 1 + 48 + 1;
+const SPEC_HAS_TRACE: u8 = 0x01;
+const SPEC_HAS_DEADLINE: u8 = 0x02;
+const SPEC_HAS_RESPEC: u8 = 0x04;
+const SPEC_HAS_UEC: u8 = 0x08;
+/// Payload bytes omitted; the 16-byte content hash references the CAS store.
+const SPEC_PAYLOAD_REF: u8 = 0x10;
+const SPEC_HAS_PRIORITY: u8 = 0x20;
+
+/// Binary result-envelope version byte.
+const RESULT_MSG_VERSION: u8 = 1;
+/// Fixed part of the binary result envelope: version + task id + flags.
+const RESULT_MSG_FIXED: usize = 1 + 16 + 1;
+const RESULT_OK: u8 = 0x01;
+const RESULT_ERR: u8 = 0x02;
+const RESULT_HAS_SENT: u8 = 0x04;
 
 /// Task lifecycle states as reported by the web service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -220,16 +449,35 @@ pub const RETRYABLE_MARKER: &str = "[retryable] ";
 /// typed [`GcxError::DeadlineExceeded`] on the far side of the wire.
 pub const DEADLINE_MARKER: &str = "[deadline] ";
 
-/// The outcome of a task: a value or an error description.
+/// The outcome of a task: an encoded value or an error description.
+///
+/// The success payload is the function's return value encoded **once** by the
+/// worker that produced it ([`TaskResult::ok`]); it travels by reference back
+/// through the endpoint, mq, cloud, and SDK, and is only decoded when the
+/// user's future resolves ([`TaskResult::into_result`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TaskResult {
-    /// Successful completion with the function's return value.
-    Ok(Value),
+    /// Successful completion with the function's encoded return value.
+    Ok(Payload),
     /// Failure with the (stringified) exception.
     Err(String),
 }
 
 impl TaskResult {
+    /// Encode a success value into a result. This is the ONE encode on the
+    /// result path, performed where the structured value is produced.
+    pub fn ok(v: Value) -> Self {
+        TaskResult::Ok(Payload::encode(&v))
+    }
+
+    /// Decode the success value, if this is a decodable success.
+    pub fn ok_value(&self) -> Option<Value> {
+        match self {
+            TaskResult::Ok(p) => p.decode().ok(),
+            TaskResult::Err(_) => None,
+        }
+    }
+
     /// A failure caused by infrastructure rather than the function itself;
     /// decoded by [`TaskResult::into_result`] as a retryable
     /// [`GcxError::Transient`].
@@ -252,10 +500,11 @@ impl TaskResult {
     pub fn is_deadline_err(&self) -> bool {
         matches!(self, TaskResult::Err(e) if e.starts_with(DEADLINE_MARKER))
     }
-    /// Pack to the wire form used on result queues.
+    /// Pack to the structured wire form used by federation envelopes and the
+    /// conn-layer status RPC. The payload crosses as opaque bytes.
     pub fn to_value(&self) -> Value {
         match self {
-            TaskResult::Ok(v) => Value::map([("ok", v.clone())]),
+            TaskResult::Ok(p) => Value::map([("ok", Value::Bytes(p.as_slice().to_vec()))]),
             TaskResult::Err(e) => Value::map([("err", Value::str(e))]),
         }
     }
@@ -266,7 +515,13 @@ impl TaskResult {
             .as_map()
             .ok_or_else(|| GcxError::Codec("task result must be a map".into()))?;
         if let Some(ok) = m.get("ok") {
-            Ok(TaskResult::Ok(ok.clone()))
+            match ok {
+                Value::Bytes(b) => Ok(TaskResult::Ok(Payload::from_vec(b.clone()))),
+                other => Err(GcxError::Codec(format!(
+                    "task result payload must be bytes, got {}",
+                    other.type_name()
+                ))),
+            }
         } else if let Some(err) = m.get("err") {
             Ok(TaskResult::Err(
                 err.as_str()
@@ -278,12 +533,109 @@ impl TaskResult {
         }
     }
 
+    /// Serialize to the compact binary envelope used on result and stream
+    /// queues: the task id, optional send timestamp, and either the payload
+    /// bytes (appended verbatim) or the error string. Never builds a `Value`
+    /// tree.
+    pub fn to_envelope(&self, task_id: TaskId, sent_ms: Option<u64>) -> Bytes {
+        let body_len = match self {
+            TaskResult::Ok(p) => 16 + 10 + p.len(),
+            TaskResult::Err(e) => 10 + e.len(),
+        };
+        let mut out = Vec::with_capacity(RESULT_MSG_FIXED + body_len);
+        out.push(RESULT_MSG_VERSION);
+        out.extend_from_slice(&task_id.uuid().as_bytes());
+        let mut flags = match self {
+            TaskResult::Ok(_) => RESULT_OK,
+            TaskResult::Err(_) => RESULT_ERR,
+        };
+        if sent_ms.is_some() {
+            flags |= RESULT_HAS_SENT;
+        }
+        out.push(flags);
+        if let Some(ms) = sent_ms {
+            codec::write_varint(&mut out, ms);
+        }
+        match self {
+            TaskResult::Ok(p) => {
+                out.extend_from_slice(&p.hash().to_bytes());
+                codec::write_varint(&mut out, p.len() as u64);
+                out.extend_from_slice(p.as_slice());
+            }
+            TaskResult::Err(e) => {
+                codec::write_varint(&mut out, e.len() as u64);
+                out.extend_from_slice(e.as_bytes());
+            }
+        }
+        Bytes::from(out)
+    }
+
+    /// Decode a [`TaskResult::to_envelope`] body. A success payload is
+    /// *sliced* out of `body` (refcount bump), never copied.
+    pub fn from_envelope(body: &Bytes) -> GcxResult<(TaskId, Self, Option<u64>)> {
+        fn need(cur: &[u8], n: usize) -> GcxResult<()> {
+            if cur.len() < n {
+                return Err(GcxError::Codec("result envelope truncated".into()));
+            }
+            Ok(())
+        }
+        let mut cur: &[u8] = body;
+        need(cur, 18)?;
+        let version = cur[0];
+        if version != RESULT_MSG_VERSION {
+            return Err(GcxError::Codec(format!(
+                "unknown result envelope version {version}"
+            )));
+        }
+        let mut id = [0u8; 16];
+        id.copy_from_slice(&cur[1..17]);
+        let task_id = TaskId(Uuid::from_bytes(id));
+        let flags = cur[17];
+        cur = &cur[18..];
+        let sent_ms = if flags & RESULT_HAS_SENT != 0 {
+            Some(codec::read_varint(&mut cur)?)
+        } else {
+            None
+        };
+        let result = if flags & RESULT_OK != 0 {
+            need(cur, 16)?;
+            let mut h = [0u8; 16];
+            h.copy_from_slice(&cur[..16]);
+            cur = &cur[16..];
+            let len = codec::read_varint(&mut cur)? as usize;
+            if cur.len() != len {
+                return Err(GcxError::Codec(format!(
+                    "result envelope payload length {} does not match remaining {} bytes",
+                    len,
+                    cur.len()
+                )));
+            }
+            let off = body.len() - len;
+            TaskResult::Ok(Payload::from_parts_unchecked(
+                body.slice(off..),
+                ContentHash::from_bytes(h),
+            ))
+        } else if flags & RESULT_ERR != 0 {
+            let len = codec::read_varint(&mut cur)? as usize;
+            need(cur, len)?;
+            let msg = std::str::from_utf8(&cur[..len])
+                .map_err(|e| GcxError::Codec(format!("result envelope error not utf-8: {e}")))?;
+            TaskResult::Err(msg.to_string())
+        } else {
+            return Err(GcxError::Codec(
+                "result envelope missing ok/err flag".into(),
+            ));
+        };
+        Ok((task_id, result, sent_ms))
+    }
+
     /// Convert to a `GcxResult<Value>` as the SDK's future resolves it.
     /// Marked errors become retryable [`GcxError::Transient`], everything
-    /// else a fatal [`GcxError::Execution`].
+    /// else a fatal [`GcxError::Execution`]. This is where the success
+    /// payload is finally decoded back into a structured value.
     pub fn into_result(self) -> GcxResult<Value> {
         match self {
-            TaskResult::Ok(v) => Ok(v),
+            TaskResult::Ok(p) => p.decode(),
             TaskResult::Err(e) => {
                 if let Some(msg) = e.strip_prefix(RETRYABLE_MARKER) {
                     return Err(GcxError::Transient(msg.to_string()));
@@ -386,8 +738,10 @@ mod tests {
 
     fn spec() -> TaskSpec {
         let mut s = TaskSpec::new(FunctionId::random(), EndpointId::random());
-        s.args = vec![Value::Int(1), Value::str("x")];
-        s.kwargs = Value::map([("k", Value::Bool(true))]);
+        s.set_args(
+            vec![Value::Int(1), Value::str("x")],
+            Value::map([("k", Value::Bool(true))]),
+        );
         s.resource_spec = ResourceSpec::nodes_ranks(2, 2);
         s
     }
@@ -459,11 +813,11 @@ mod tests {
         let mut r = TaskRecord::new(spec(), IdentityId::random(), 100);
         assert_eq!(r.state, TaskState::Received);
         r.transition(TaskState::Running, 110).unwrap();
-        r.complete(TaskResult::Ok(Value::Int(42)), 120).unwrap();
+        r.complete(TaskResult::ok(Value::Int(42)), 120).unwrap();
         assert_eq!(r.state, TaskState::Success);
         assert_eq!(r.completed_at, Some(120));
         // Completing twice is illegal.
-        assert!(r.complete(TaskResult::Ok(Value::Int(1)), 130).is_err());
+        assert!(r.complete(TaskResult::ok(Value::Int(1)), 130).is_err());
     }
 
     #[test]
@@ -478,7 +832,7 @@ mod tests {
         assert_eq!(r.received_at, Some(110));
         r.transition(TaskState::Running, 120).unwrap();
         assert_eq!(r.started_at, Some(120));
-        r.complete(TaskResult::Ok(Value::Int(1)), 130).unwrap();
+        r.complete(TaskResult::ok(Value::Int(1)), 130).unwrap();
         assert_eq!(
             (r.submitted_at, r.dispatched_at, r.received_at, r.started_at),
             (100, Some(105), Some(110), Some(120))
@@ -548,7 +902,7 @@ mod tests {
 
     #[test]
     fn result_value_roundtrip() {
-        for r in [TaskResult::Ok(Value::Int(5)), TaskResult::Err("e".into())] {
+        for r in [TaskResult::ok(Value::Int(5)), TaskResult::Err("e".into())] {
             assert_eq!(TaskResult::from_value(&r.to_value()).unwrap(), r);
         }
         assert!(TaskResult::from_value(&Value::map([("neither", Value::None)])).is_err());
@@ -558,5 +912,99 @@ mod tests {
     fn labels() {
         assert_eq!(TaskState::WaitingForNodes.label(), "waiting-for-nodes");
         assert_eq!(TaskState::Success.label(), "success");
+    }
+
+    #[test]
+    fn args_roundtrip_through_spec() {
+        let s = spec();
+        let (args, kwargs) = s.decode_args().unwrap();
+        assert_eq!(args, vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(kwargs, Value::map([("k", Value::Bool(true))]));
+        // A bare spec decodes to empty args without ever encoding.
+        let bare = TaskSpec::new(FunctionId::random(), EndpointId::random());
+        let (args, kwargs) = bare.decode_args().unwrap();
+        assert!(args.is_empty());
+        assert_eq!(kwargs, Value::map([] as [(&str, Value); 0]));
+    }
+
+    #[test]
+    fn spec_binary_message_roundtrip() {
+        let mut s = spec();
+        s.trace = Some(TraceContext {
+            trace_id: crate::trace::TraceId::random(),
+            parent: crate::trace::SpanId::random(),
+        });
+        s.deadline_ms = Some(12_345);
+        s.priority = -3;
+        s.user_endpoint_config = Value::map([("worker_init", Value::str("x"))]);
+        let body = s.to_message(true);
+        let (back, is_ref) = TaskSpec::from_message(&body).unwrap();
+        assert!(!is_ref);
+        assert_eq!(back, s);
+        // The inlined payload is a zero-copy slice of the message body.
+        let base = body.as_ptr() as usize;
+        let p = back.payload.as_slice().as_ptr() as usize;
+        assert!(p >= base && p < base + body.len());
+    }
+
+    #[test]
+    fn spec_binary_message_ref_payload() {
+        let s = spec();
+        let body = s.to_message(false);
+        assert!(body.len() < s.to_message(true).len());
+        let (back, is_ref) = TaskSpec::from_message(&body).unwrap();
+        assert!(is_ref);
+        assert_eq!(back.payload.hash(), s.payload.hash());
+        assert!(back.payload.is_empty());
+        assert_eq!(back.task_id, s.task_id);
+        assert_eq!(back.function_id, s.function_id);
+        assert_eq!(back.endpoint_id, s.endpoint_id);
+    }
+
+    #[test]
+    fn spec_binary_message_rejects_garbage() {
+        assert!(TaskSpec::from_message(&Bytes::from(vec![9u8; 4])).is_err());
+        let mut bytes = spec().to_message(true).to_vec();
+        bytes.truncate(bytes.len() - 1);
+        assert!(TaskSpec::from_message(&Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn result_envelope_roundtrip() {
+        let id = TaskId::random();
+        let val = Value::List(vec![Value::Int(1), Value::str("x")]);
+        let r = TaskResult::ok(val.clone());
+        let env = r.to_envelope(id, Some(777));
+        let (tid, back, sent) = TaskResult::from_envelope(&env).unwrap();
+        assert_eq!(tid, id);
+        assert_eq!(back, r);
+        assert_eq!(sent, Some(777));
+        assert_eq!(back.ok_value(), Some(val));
+
+        let e = TaskResult::Err("boom".into());
+        let env = e.to_envelope(id, None);
+        let (tid, back, sent) = TaskResult::from_envelope(&env).unwrap();
+        assert_eq!((tid, back, sent), (id, e, None));
+    }
+
+    #[test]
+    fn result_envelope_payload_is_sliced_not_copied() {
+        let env = TaskResult::ok(Value::Bytes(vec![7u8; 512])).to_envelope(TaskId::random(), None);
+        let (_, back, _) = TaskResult::from_envelope(&env).unwrap();
+        let TaskResult::Ok(p) = back else {
+            panic!("expected ok")
+        };
+        let base = env.as_ptr() as usize;
+        let ptr = p.as_slice().as_ptr() as usize;
+        assert!(ptr >= base && ptr < base + env.len());
+    }
+
+    #[test]
+    fn result_envelope_rejects_garbage() {
+        assert!(TaskResult::from_envelope(&Bytes::from(vec![1u8; 3])).is_err());
+        let env = TaskResult::ok(Value::Int(1)).to_envelope(TaskId::random(), None);
+        let mut v = env.to_vec();
+        v[17] = 0; // clear the ok/err flag bits
+        assert!(TaskResult::from_envelope(&Bytes::from(v)).is_err());
     }
 }

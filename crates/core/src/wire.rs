@@ -344,30 +344,63 @@ pub fn decode_frame_body(body: &[u8]) -> GcxResult<Frame> {
 /// resynchronize and the connection must drop).
 #[derive(Debug)]
 pub struct FrameReader {
-    buf: VecDeque<u8>,
+    /// Contiguous read buffer. Frames are parsed *in place* out of
+    /// `buf[pos..]` — no per-frame allocation — and the allocation is
+    /// retained across frames: after warm-up, incoming reads land in
+    /// already-owned capacity.
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (bytes of already-yielded frames awaiting
+    /// compaction).
+    pos: usize,
     max_frame: usize,
     poisoned: Option<GcxError>,
+    bytes_reused: u64,
 }
 
 impl FrameReader {
     pub fn new(max_frame: usize) -> Self {
         Self {
-            buf: VecDeque::new(),
+            buf: Vec::new(),
+            pos: 0,
             max_frame,
             poisoned: None,
+            bytes_reused: 0,
         }
     }
 
     /// Append raw bytes read from the transport.
     pub fn feed(&mut self, bytes: &[u8]) {
-        if self.poisoned.is_none() {
-            self.buf.extend(bytes);
+        if self.poisoned.is_some() {
+            return;
         }
+        // Compact first: slide the unconsumed tail (typically a partial
+        // frame, often nothing) to the front so the buffer's length tracks
+        // outstanding bytes, not history.
+        if self.pos > 0 {
+            let len = self.buf.len();
+            self.buf.copy_within(self.pos..len, 0);
+            self.buf.truncate(len - self.pos);
+            self.pos = 0;
+        }
+        // Bytes landing in retained capacity were served without a fresh
+        // allocation — the cross-frame reuse this reader exists to provide.
+        if self.buf.capacity() - self.buf.len() >= bytes.len() {
+            self.bytes_reused += bytes.len() as u64;
+        }
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Bytes buffered but not yet consumed as frames.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
+    }
+
+    /// Total bytes fed into retained buffer capacity rather than freshly
+    /// grown allocations. After the first few reads warm the buffer up,
+    /// every subsequent byte should land here; the `wire.bytes_reused`
+    /// counter surfaces this per connection.
+    pub fn bytes_reused(&self) -> u64 {
+        self.bytes_reused
     }
 
     /// Pop the next complete frame, `Ok(None)` if more bytes are needed.
@@ -375,13 +408,13 @@ impl FrameReader {
         if let Some(err) = &self.poisoned {
             return Err(err.clone());
         }
-        if self.buf.len() < 4 {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
             return Ok(None);
         }
-        let mut len_bytes = [0u8; 4];
-        for (i, b) in self.buf.iter().take(4).enumerate() {
-            len_bytes[i] = *b;
-        }
+        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4 bytes available");
         let body_len = u32::from_be_bytes(len_bytes) as usize;
         if body_len > self.max_frame {
             let err = GcxError::Codec(format!(
@@ -390,6 +423,7 @@ impl FrameReader {
             ));
             self.poisoned = Some(err.clone());
             self.buf.clear();
+            self.pos = 0;
             return Err(err);
         }
         if body_len < FRAME_HEADER {
@@ -398,35 +432,52 @@ impl FrameReader {
             ));
             self.poisoned = Some(err.clone());
             self.buf.clear();
+            self.pos = 0;
             return Err(err);
         }
-        if self.buf.len() < 4 + body_len {
+        if avail < 4 + body_len {
             return Ok(None);
         }
-        self.buf.drain(..4);
-        let body: Vec<u8> = self.buf.drain(..body_len).collect();
-        match decode_frame_body(&body) {
-            Ok(frame) => Ok(Some(frame)),
+        let start = self.pos + 4;
+        let res = decode_frame_body(&self.buf[start..start + body_len]);
+        match res {
+            Ok(frame) => {
+                self.consume(start + body_len);
+                Ok(Some(frame))
+            }
             Err(err) => {
                 // A trace-flagged frame with a recognized tag but a body too
                 // short for the context segment is a per-frame defect, not a
                 // framing violation: the length prefix was honored and we
                 // consumed exactly one frame, so later frames remain
                 // parseable. Surface the typed error without poisoning.
-                let recoverable = !body.is_empty()
-                    && body[0] & TRACE_FLAG != 0
-                    && FrameType::from_tag(body[0] & !TRACE_FLAG).is_ok()
-                    && body.len() < FRAME_HEADER + TRACE_CTX_LEN;
-                if !recoverable {
+                let tag = self.buf[start];
+                let recoverable = tag & TRACE_FLAG != 0
+                    && FrameType::from_tag(tag & !TRACE_FLAG).is_ok()
+                    && body_len < FRAME_HEADER + TRACE_CTX_LEN;
+                if recoverable {
+                    self.consume(start + body_len);
+                } else {
                     // The framing itself was sound (we consumed exactly one
                     // frame's bytes) but the contents are garbage; poison
                     // — a peer producing undecodable frames is not
                     // trustworthy.
                     self.poisoned = Some(err.clone());
                     self.buf.clear();
+                    self.pos = 0;
                 }
                 Err(err)
             }
+        }
+    }
+
+    /// Advance past a fully-parsed frame; when the buffer is fully drained,
+    /// reset it (keeping its capacity for the next read).
+    fn consume(&mut self, new_pos: usize) {
+        self.pos = new_pos;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
         }
     }
 }
@@ -625,6 +676,14 @@ pub trait Transport: Send + Sync {
 
     /// Human-readable peer address for logs and metrics.
     fn peer(&self) -> String;
+
+    /// Bytes this transport's frame reader landed in retained buffer
+    /// capacity instead of fresh allocations (see
+    /// [`FrameReader::bytes_reused`]). Defaults to 0 for transports without
+    /// a frame reader.
+    fn bytes_reused(&self) -> u64 {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -737,6 +796,10 @@ impl Transport for TcpTransport {
 
     fn peer(&self) -> String {
         self.peer.clone()
+    }
+
+    fn bytes_reused(&self) -> u64 {
+        self.reader.lock().1.bytes_reused()
     }
 }
 
@@ -870,11 +933,53 @@ impl Transport for InMemTransport {
     fn peer(&self) -> String {
         self.label.clone()
     }
+
+    fn bytes_reused(&self) -> u64 {
+        self.reader.lock().bytes_reused()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_reader_reuses_its_buffer_across_frames() {
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        let frame = Frame::new(FrameType::Request, 7, Value::Bytes(vec![3u8; 256]));
+        let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME).unwrap();
+        // First feed warms the buffer (fresh allocation, nothing reused yet
+        // unless capacity growth overshoots).
+        reader.feed(&bytes);
+        assert_eq!(reader.next_frame().unwrap().unwrap(), frame);
+        let after_first = reader.bytes_reused();
+        // Every subsequent same-sized frame must land in retained capacity.
+        for i in 0..10u64 {
+            reader.feed(&bytes);
+            assert_eq!(reader.next_frame().unwrap().unwrap(), frame);
+            assert_eq!(
+                reader.bytes_reused(),
+                after_first + (i + 1) * bytes.len() as u64
+            );
+        }
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_reader_reuse_survives_split_reads() {
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        let frame = Frame::new(FrameType::Push, 1, Value::str("split"));
+        let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME).unwrap();
+        reader.feed(&bytes);
+        assert_eq!(reader.next_frame().unwrap().unwrap(), frame);
+        // A frame arriving one byte at a time still reuses the buffer and
+        // still parses: compaction keeps the partial prefix at the front.
+        for b in bytes.iter() {
+            reader.feed(std::slice::from_ref(b));
+        }
+        assert_eq!(reader.next_frame().unwrap().unwrap(), frame);
+        assert!(reader.bytes_reused() >= bytes.len() as u64);
+    }
 
     fn roundtrip(frame: &Frame) -> Frame {
         let bytes = encode_frame(frame, DEFAULT_MAX_FRAME).unwrap();

@@ -505,11 +505,11 @@ mod tests {
                 .unwrap();
 
         let mut spec = TaskSpec::new(fid, reg.endpoint_id);
-        spec.args = vec![Value::Int(21)];
+        spec.set_args(vec![Value::Int(21)], Value::None);
         let id = svc.submit_task(&token, spec).unwrap();
         assert_eq!(
             wait_success(&svc, &token, id),
-            TaskResult::Ok(Value::Int(42))
+            TaskResult::ok(Value::Int(42))
         );
 
         agent.stop();
@@ -537,9 +537,9 @@ mod tests {
         .unwrap();
 
         let mut spec = TaskSpec::new(fid, reg.endpoint_id);
-        spec.kwargs = Value::map([("message", Value::str("bonjour"))]);
+        spec.set_args(vec![], Value::map([("message", Value::str("bonjour"))]));
         let id = svc.submit_task(&token, spec).unwrap();
-        let TaskResult::Ok(v) = wait_success(&svc, &token, id) else {
+        let Some(v) = wait_success(&svc, &token, id).ok_value() else {
             panic!()
         };
         let sr = ShellResult::from_value(&v).unwrap();
@@ -567,11 +567,11 @@ mod tests {
                 .unwrap();
 
         let mut spec = TaskSpec::new(fid, reg.endpoint_id);
-        spec.args = vec![Value::Int(21)];
+        spec.set_args(vec![Value::Int(21)], Value::None);
         let id = svc.submit_task(&token, spec).unwrap();
         assert_eq!(
             wait_success(&svc, &token, id),
-            TaskResult::Ok(Value::Int(42))
+            TaskResult::ok(Value::Int(42))
         );
         let st = agent.engine_status();
         assert_eq!(st.kind, crate::engine::EngineKind::Thread);
@@ -607,7 +607,7 @@ mod tests {
         let mut spec = TaskSpec::new(fid, reg.endpoint_id);
         spec.resource_spec = ResourceSpec::nodes_ranks(2, 2);
         let id = svc.submit_task(&token, spec).unwrap();
-        let TaskResult::Ok(v) = wait_success(&svc, &token, id) else {
+        let Some(v) = wait_success(&svc, &token, id).ok_value() else {
             panic!()
         };
         let sr = ShellResult::from_value(&v).unwrap();
@@ -678,7 +678,7 @@ mod tests {
         let id = svc
             .submit_task(&token, TaskSpec::new(fid, reg.endpoint_id))
             .unwrap();
-        let TaskResult::Ok(Value::Str(host)) = wait_success(&svc, &token, id) else {
+        let Some(Value::Str(host)) = wait_success(&svc, &token, id).ok_value() else {
             panic!()
         };
         assert!(host.starts_with("node-"), "ran on a scheduler node: {host}");
@@ -786,7 +786,7 @@ mod tests {
             if state.is_terminal() {
                 assert_eq!(
                     result,
-                    Some(TaskResult::Ok(Value::Int(1))),
+                    Some(TaskResult::ok(Value::Int(1))),
                     "drained result intact"
                 );
             }

@@ -634,7 +634,7 @@ impl<P: SchedPolicy> ExecCore<P> {
                 self.emit(EngineEvent::Done {
                     task_id: task.task.spec.task_id,
                     tag: task.task.tag,
-                    result: TaskResult::Ok(sr.to_value()),
+                    result: TaskResult::ok(sr.to_value()),
                 });
                 return;
             }

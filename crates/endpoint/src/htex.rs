@@ -319,7 +319,7 @@ mod tests {
 
     fn exec_task(body: FunctionBody, args: Vec<Value>, tag: u64) -> ExecutableTask {
         let mut spec = TaskSpec::new(FunctionId::random(), EndpointId::random());
-        spec.args = args;
+        spec.set_args(args, Value::None);
         ExecutableTask {
             spec,
             function: FunctionRecord {
@@ -369,7 +369,7 @@ mod tests {
         ))
         .unwrap();
         let done = wait_done(&rx, 1);
-        assert_eq!(done[0], (7, TaskResult::Ok(Value::Int(42))));
+        assert_eq!(done[0], (7, TaskResult::ok(Value::Int(42))));
         e.shutdown();
     }
 
@@ -419,7 +419,7 @@ mod tests {
         done.sort_by_key(|(tag, _)| *tag);
         for (i, (tag, result)) in done.iter().enumerate() {
             assert_eq!(*tag, i as u64);
-            assert_eq!(*result, TaskResult::Ok(Value::Int((i * i) as i64)));
+            assert_eq!(*result, TaskResult::ok(Value::Int((i * i) as i64)));
         }
         let st = e.status();
         assert_eq!(st.queued, 0);
@@ -616,7 +616,7 @@ mod tests {
         ))
         .unwrap();
         let done = wait_done(&rx, 1);
-        assert_eq!(done[0], (2, TaskResult::Ok(Value::Int(5))));
+        assert_eq!(done[0], (2, TaskResult::ok(Value::Int(5))));
         e.shutdown();
     }
 

@@ -308,12 +308,16 @@ fn run_mpi_task(
             walltime_ms,
             snippet_lines,
         } => {
+            let kwargs = match task.spec.decode_args() {
+                Ok((_, k)) => k,
+                Err(e) => return TaskResult::Err(format!("ValueError: bad task payload: {e}")),
+            };
             let kwargs = match &transform {
-                Some(t) => match t(task.spec.kwargs.clone()) {
+                Some(t) => match t(kwargs) {
                     Ok(v) => v,
                     Err(e) => return TaskResult::Err(format!("ProxyError: {e}")),
                 },
-                None => task.spec.kwargs.clone(),
+                None => kwargs,
             };
             let app_cmd = match format_command(cmd, &kwargs) {
                 Ok(c) => c,
@@ -337,7 +341,7 @@ fn run_mpi_task(
                         // command prefixed with the resolved launcher prefix.
                         cmd: format!("{} {app_cmd}", plan.prefix()),
                     };
-                    TaskResult::Ok(result.to_value())
+                    TaskResult::ok(result.to_value())
                 }
                 Err(e) => TaskResult::Err(format!("OSError: {e}")),
             }
@@ -421,10 +425,10 @@ mod tests {
     }
 
     fn shell_result(r: &TaskResult) -> ShellResult {
-        let TaskResult::Ok(v) = r else {
+        let Some(v) = r.ok_value() else {
             panic!("expected ok, got {r:?}")
         };
-        ShellResult::from_value(v).unwrap()
+        ShellResult::from_value(&v).unwrap()
     }
 
     #[test]
@@ -531,7 +535,7 @@ mod tests {
         task.function.body = FunctionBody::pyfn("def f():\n    return hostname()\n");
         e.submit(task).unwrap();
         let done = wait_results(&rx, 1);
-        let TaskResult::Ok(Value::Str(host)) = &done[0].1 else {
+        let Some(Value::Str(host)) = done[0].1.ok_value() else {
             panic!()
         };
         assert!(host.starts_with("exp-"));

@@ -55,24 +55,32 @@ impl WorkerContext {
         ctx
     }
 
-    /// Execute one task to completion.
+    /// Execute one task to completion. The payload is decoded exactly once
+    /// here — the single decode on the endpoint side of the zero-copy plane.
     pub fn execute(&self, spec: &TaskSpec, body: &FunctionBody) -> TaskResult {
-        let resolved;
-        let spec = match self.resolve_payload(spec) {
-            Ok(Some(s)) => {
-                resolved = s;
-                &resolved
-            }
-            Ok(None) => spec,
-            Err(e) => return TaskResult::Err(format!("ProxyError: {e}")),
+        let (mut args, mut kwargs) = match spec.decode_args() {
+            Ok(parts) => parts,
+            Err(e) => return TaskResult::Err(format!("ValueError: bad task payload: {e}")),
         };
+        // Proxy resolution (§V-B) runs on the decoded values.
+        if let Some(resolver) = &self.resolver {
+            let resolved: gcx_core::error::GcxResult<Vec<_>> =
+                args.into_iter().map(|v| resolver(v)).collect();
+            match (resolved, resolver(kwargs)) {
+                (Ok(a), Ok(k)) => {
+                    args = a;
+                    kwargs = k;
+                }
+                (Err(e), _) | (_, Err(e)) => return TaskResult::Err(format!("ProxyError: {e}")),
+            }
+        }
         match body {
-            FunctionBody::PyFn { source } => self.run_pyfn(spec, source),
+            FunctionBody::PyFn { source } => self.run_pyfn(spec, source, args, &kwargs),
             FunctionBody::Shell {
                 cmd,
                 walltime_ms,
                 snippet_lines,
-            } => self.run_shell(spec, cmd, *walltime_ms, *snippet_lines),
+            } => self.run_shell(spec, cmd, *walltime_ms, *snippet_lines, &kwargs),
             FunctionBody::Mpi { .. } => TaskResult::Err(
                 "TypeError: MPIFunction requires an endpoint running the GlobusMPIEngine"
                     .to_string(),
@@ -80,23 +88,13 @@ impl WorkerContext {
         }
     }
 
-    /// Apply the resolver to args and kwargs; `None` when no resolver is
-    /// configured (avoids cloning the spec on the common path).
-    fn resolve_payload(&self, spec: &TaskSpec) -> gcx_core::error::GcxResult<Option<TaskSpec>> {
-        let Some(resolver) = &self.resolver else {
-            return Ok(None);
-        };
-        let mut out = spec.clone();
-        out.args = out
-            .args
-            .into_iter()
-            .map(|v| resolver(v))
-            .collect::<gcx_core::error::GcxResult<Vec<_>>>()?;
-        out.kwargs = resolver(out.kwargs)?;
-        Ok(Some(out))
-    }
-
-    fn run_pyfn(&self, spec: &TaskSpec, source: &str) -> TaskResult {
+    fn run_pyfn(
+        &self,
+        spec: &TaskSpec,
+        source: &str,
+        args: Vec<gcx_core::value::Value>,
+        kwargs: &gcx_core::value::Value,
+    ) -> TaskResult {
         let program = match Program::compile(source) {
             Ok(p) => p,
             Err(e) => return TaskResult::Err(format!("SyntaxError: {e}")),
@@ -105,8 +103,8 @@ impl WorkerContext {
         // distinct tasks see different random streams.
         let seed = spec.task_id.uuid().0 as u64;
         let mut host = SystemHost::new(self.clock.clone(), seed, self.hostname.clone());
-        match program.call_entry(spec.args.clone(), &spec.kwargs, &mut host, self.limits) {
-            Ok(v) => TaskResult::Ok(v),
+        match program.call_entry(args, kwargs, &mut host, self.limits) {
+            Ok(v) => TaskResult::ok(v),
             Err(e) => TaskResult::Err(e.to_string()),
         }
     }
@@ -117,8 +115,9 @@ impl WorkerContext {
         cmd_template: &str,
         walltime_ms: Option<u64>,
         snippet_lines: usize,
+        kwargs: &gcx_core::value::Value,
     ) -> TaskResult {
-        let cmd = match format_command(cmd_template, &spec.kwargs) {
+        let cmd = match format_command(cmd_template, kwargs) {
             Ok(c) => c,
             Err(e) => return TaskResult::Err(format!("ValueError: {e}")),
         };
@@ -146,7 +145,7 @@ impl WorkerContext {
                     stderr: ShellResult::snippet(&out.stderr, snippet_lines),
                     cmd,
                 };
-                TaskResult::Ok(result.to_value())
+                TaskResult::ok(result.to_value())
             }
             Err(e) => TaskResult::Err(format!("OSError: {e}")),
         }
@@ -166,8 +165,7 @@ mod tests {
 
     fn spec_with(args: Vec<Value>, kwargs: Value) -> TaskSpec {
         let mut s = TaskSpec::new(FunctionId::random(), EndpointId::random());
-        s.args = args;
-        s.kwargs = kwargs;
+        s.set_args(args, kwargs);
         s
     }
 
@@ -179,7 +177,7 @@ mod tests {
             &spec_with(vec![Value::Int(6), Value::Int(7)], Value::None),
             &body,
         );
-        assert_eq!(r, TaskResult::Ok(Value::Int(42)));
+        assert_eq!(r, TaskResult::ok(Value::Int(42)));
     }
 
     #[test]
@@ -207,7 +205,7 @@ mod tests {
         let c = ctx();
         let body = FunctionBody::pyfn("def f():\n    return hostname()\n");
         let r = c.execute(&spec_with(vec![], Value::None), &body);
-        assert_eq!(r, TaskResult::Ok(Value::str("node-7")));
+        assert_eq!(r, TaskResult::ok(Value::str("node-7")));
     }
 
     #[test]
@@ -233,7 +231,7 @@ mod tests {
         for msg in ["hello", "hola", "bonjour"] {
             let kwargs = Value::map([("message", Value::str(msg))]);
             let r = c.execute(&spec_with(vec![], kwargs), &body);
-            let TaskResult::Ok(v) = r else { panic!() };
+            let Some(v) = r.ok_value() else { panic!() };
             let sr = ShellResult::from_value(&v).unwrap();
             assert_eq!(sr.returncode, 0);
             assert_eq!(sr.stdout, format!("{msg}\n"));
@@ -259,7 +257,7 @@ mod tests {
             walltime_ms: None,
             snippet_lines: 5,
         };
-        let TaskResult::Ok(v) = c.execute(&spec_with(vec![], Value::None), &body) else {
+        let Some(v) = c.execute(&spec_with(vec![], Value::None), &body).ok_value() else {
             panic!()
         };
         let sr = ShellResult::from_value(&v).unwrap();
@@ -314,7 +312,7 @@ mod tests {
         let c = ctx();
         let body = FunctionBody::shell("echo $GC_TASK_UUID");
         let s = spec_with(vec![], Value::None);
-        let TaskResult::Ok(v) = c.execute(&s, &body) else {
+        let Some(v) = c.execute(&s, &body).ok_value() else {
             panic!()
         };
         let sr = ShellResult::from_value(&v).unwrap();

@@ -124,10 +124,10 @@ fn walltime_killed_shell_work_resolves_identically_across_engines() {
     let mpi = run_under_walltime_kill("mpi", FunctionBody::mpi("sleep 100"));
 
     let unwrap_shell = |r: &TaskResult| -> ShellResult {
-        let TaskResult::Ok(v) = r else {
+        let Some(v) = r.ok_value() else {
             panic!("walltime kill must resolve as a result, got {r:?}")
         };
-        ShellResult::from_value(v).unwrap()
+        ShellResult::from_value(&v).unwrap()
     };
     let h = unwrap_shell(&htex);
     let m = unwrap_shell(&mpi);
@@ -256,7 +256,7 @@ fn redispatch_budget_recovers_the_task_on_either_engine() {
         let result = wait_done(&rx);
         assert_eq!(
             result,
-            TaskResult::Ok(Value::Int(7)),
+            TaskResult::ok(Value::Int(7)),
             "engine {kind}: redispatched task must complete"
         );
         let st = e.status();

@@ -191,8 +191,7 @@ impl Client {
         kwargs: Value,
     ) -> GcxResult<TaskId> {
         let mut spec = TaskSpec::new(function_id, endpoint_id);
-        spec.args = args;
-        spec.kwargs = kwargs;
+        spec.set_args(args, kwargs);
         self.run_spec(spec)
     }
 

@@ -311,8 +311,9 @@ impl Executor {
         }
         let function_id = self.ensure_registered(function.body())?;
         let mut spec = TaskSpec::new(function_id, self.endpoint_id);
-        spec.args = args;
-        spec.kwargs = kwargs;
+        // The single encode of the task's arguments: every layer below
+        // moves these bytes by reference.
+        spec.set_args(args, kwargs);
         spec.resource_spec = *self.resource_specification.lock();
         spec.user_endpoint_config = self.user_endpoint_config.lock().clone();
         // The SDK is the trace root for executor submissions: the context
@@ -833,6 +834,17 @@ mod tests {
             );
         }
         assert_eq!(ex.inflight(), 0);
+        // The payload plane's counters are readable straight off the
+        // executor: for a local link this is the service's own registry.
+        let m = ex.metrics();
+        assert!(
+            m.counter("blob.cas_misses").get() + m.counter("blob.cas_hits").get() >= 50,
+            "every submission interns its payload"
+        );
+        assert!(
+            m.counter("payload.bytes_moved").get() > 0,
+            "inline-sized payloads count their queue bytes"
+        );
         ex.close();
     }
 

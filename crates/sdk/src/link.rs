@@ -28,7 +28,6 @@ use gcx_cloud::{
     CancelOutcome, ResultStream, WebService, WireClient, WireClientConfig, WireStream,
 };
 use gcx_core::clock::SystemClock;
-use gcx_core::codec;
 use gcx_core::error::{GcxError, GcxResult};
 use gcx_core::function::FunctionBody;
 use gcx_core::health::{HealthDoc, HealthStatus};
@@ -37,7 +36,6 @@ use gcx_core::metrics::MetricsRegistry;
 use gcx_core::retry::RetryPolicy;
 use gcx_core::task::{TaskResult, TaskSpec, TaskState};
 use gcx_core::trace::{TraceConfig, Tracer};
-use gcx_core::value::Value;
 use parking_lot::{Mutex, RwLock};
 
 /// Redirect/rotation budget per wire operation, mirroring the local
@@ -402,17 +400,11 @@ impl ResultFeed {
                 let Some(delivery) = stream.consumer.next(timeout)? else {
                     return Ok(None);
                 };
-                let parsed = codec::decode(&delivery.message.body).ok().and_then(|env| {
-                    let id = env
-                        .get("task_id")
-                        .and_then(Value::as_str)
-                        .and_then(|s| s.parse::<TaskId>().ok())?;
-                    let result = env
-                        .get("result")
-                        .map(TaskResult::from_value)
-                        .unwrap_or_else(|| Err(GcxError::Codec("envelope missing result".into())));
-                    Some((id, result))
-                });
+                // Binary envelope; the result payload is a zero-copy slice
+                // of the delivered message body.
+                let parsed = TaskResult::from_envelope(&delivery.message.body)
+                    .ok()
+                    .map(|(id, result, _sent_ms)| (id, Ok(result)));
                 let _ = stream.consumer.ack(delivery.tag);
                 Ok(parsed)
             }
@@ -436,6 +428,7 @@ mod tests {
     use gcx_config::TransportSpec;
     use gcx_core::clock::SystemClock;
     use gcx_core::ids::EndpointId;
+    use gcx_core::value::Value;
     use gcx_endpoint::{AgentEnv, EndpointAgent, EndpointConfig};
 
     fn wire_cfg() -> WireClientConfig {

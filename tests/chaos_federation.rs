@@ -100,7 +100,8 @@ fn assert_observed_exactly(resolutions: &AtomicUsize, expect: usize) {
 }
 
 fn answer(spec: &TaskSpec) -> TaskResult {
-    TaskResult::Ok(Value::Int(spec.args[0].as_int().unwrap() * 2))
+    let (args, _) = spec.decode_args().unwrap();
+    TaskResult::ok(Value::Int(args[0].as_int().unwrap() * 2))
 }
 
 /// The headline scenario (the tentpole's acceptance test): a 2-replica
@@ -555,7 +556,7 @@ fn non_owners_redirect_consistently_across_epochs() {
         if let Some((spec, tag)) = session.next_task(Duration::from_millis(20)).unwrap() {
             let v = expected[&spec.task_id];
             session
-                .publish_result(spec.task_id, &TaskResult::Ok(Value::Int(v)))
+                .publish_result(spec.task_id, &TaskResult::ok(Value::Int(v)))
                 .unwrap();
             session.ack_task(tag).unwrap();
             served += 1;

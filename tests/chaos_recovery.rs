@@ -137,7 +137,8 @@ fn killed_agent_mid_workload_tasks_reroute_and_complete() {
         }
     }
     let answer = |spec: &gcx::core::task::TaskSpec| {
-        TaskResult::Ok(Value::Int(spec.args[0].as_int().unwrap() * 2))
+        let (args, _) = spec.decode_args().unwrap();
+        TaskResult::ok(Value::Int(args[0].as_int().unwrap() * 2))
     };
     for (spec, tag) in &pulled[..2] {
         session_a

@@ -152,7 +152,9 @@ fn drain_queue(svc: &WebService, reg: &gcx::cloud::EndpointRegistration, n: usiz
             session
                 .publish_result(
                     spec.task_id,
-                    &TaskResult::Ok(Value::Int(spec.args[0].as_int().unwrap() * 2)),
+                    &TaskResult::ok(Value::Int(
+                        spec.decode_args().unwrap().0[0].as_int().unwrap() * 2,
+                    )),
                 )
                 .unwrap();
             session.ack_task(tag).unwrap();
@@ -196,7 +198,7 @@ fn tcp_client_killed_mid_batch_tasks_complete_exactly_once() {
     let specs: Vec<Value> = (0..tasks)
         .map(|i| {
             let mut spec = TaskSpec::new(fid, reg.endpoint_id);
-            spec.args = vec![Value::Int(i as i64)];
+            spec.set_args(vec![Value::Int(i as i64)], Value::None);
             spec.to_value()
         })
         .collect();
@@ -245,9 +247,10 @@ fn tcp_client_killed_mid_batch_tasks_complete_exactly_once() {
         if statuses.len() == tasks && statuses.iter().all(|(_, s, _)| s.is_terminal()) {
             for (id, _, result) in statuses {
                 let idx = ids.iter().position(|t| *t == id).unwrap() as i64;
-                match result.expect("terminal task carries its result") {
-                    TaskResult::Ok(v) => assert_eq!(v, Value::Int(idx * 2)),
-                    other => panic!("task {id}: unexpected {other:?}"),
+                let result = result.expect("terminal task carries its result");
+                match result.ok_value() {
+                    Some(v) => assert_eq!(v, Value::Int(idx * 2)),
+                    None => panic!("task {id}: unexpected {result:?}"),
                 }
             }
             break;
@@ -425,7 +428,7 @@ fn queue_full_flood_dumps_flight_recorder_evidence() {
     let flood: Vec<TaskSpec> = (0..depth * 3)
         .map(|i| {
             let mut spec = TaskSpec::new(fid, reg.endpoint_id);
-            spec.args = vec![Value::Int(i as i64)];
+            spec.set_args(vec![Value::Int(i as i64)], Value::None);
             spec
         })
         .collect();
@@ -494,7 +497,7 @@ fn restarted_client_resumes_by_polling_exactly_once() {
     let specs: Vec<TaskSpec> = (0..tasks)
         .map(|i| {
             let mut spec = TaskSpec::new(fid, reg.endpoint_id);
-            spec.args = vec![Value::Int(i as i64)];
+            spec.set_args(vec![Value::Int(i as i64)], Value::None);
             spec
         })
         .collect();
@@ -511,9 +514,10 @@ fn restarted_client_resumes_by_polling_exactly_once() {
         if statuses.len() == tasks && statuses.iter().all(|(_, s, _)| s.is_terminal()) {
             for (id, _, result) in statuses {
                 let idx = ids.iter().position(|t| *t == id).unwrap() as i64;
-                match result.expect("terminal task carries its result") {
-                    TaskResult::Ok(v) => assert_eq!(v, Value::Int(idx * 2)),
-                    other => panic!("task {id}: unexpected {other:?}"),
+                let result = result.expect("terminal task carries its result");
+                match result.ok_value() {
+                    Some(v) => assert_eq!(v, Value::Int(idx * 2)),
+                    None => panic!("task {id}: unexpected {result:?}"),
                 }
             }
             break;

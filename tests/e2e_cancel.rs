@@ -105,7 +105,7 @@ fn cancel_completed_task_is_typed_noop() {
         TaskState::Success,
         "cancel must not overwrite a result"
     );
-    assert_eq!(result, Some(TaskResult::Ok(landed)));
+    assert_eq!(result.and_then(|r| r.ok_value()), Some(landed));
     agent.stop();
     cloud.shutdown();
 }

@@ -189,19 +189,26 @@ fn inline_vs_offload_vs_proxy_byte_accounting() {
     let inline_queue_bytes = metrics.counter("mq.bytes_published").get();
     assert!(inline_queue_bytes >= 1024, "inline payload rides the queue");
 
-    // 1 MB payload: offloaded to S3, queue carries a reference.
+    // 1 MB payload: interned in the CAS dedup cache, queue carries a
+    // content-hash reference instead of the body.
     metrics.reset_counters();
     let fut = ex
         .submit(&f, vec![Value::Bytes(vec![0u8; 1024 * 1024])], Value::None)
         .unwrap();
     fut.result_timeout(Duration::from_secs(10)).unwrap();
     let offload_queue_bytes = metrics.counter("mq.bytes_published").get();
-    let s3_bytes = metrics.counter("s3.bytes_put").get();
     assert!(
         offload_queue_bytes < 64 * 1024,
         "queue carries a reference: {offload_queue_bytes}"
     );
-    assert!(s3_bytes >= 1024 * 1024, "S3 carried the body: {s3_bytes}");
+    assert!(
+        metrics.counter("blob.cas_misses").get() >= 1,
+        "the large payload must be interned in the CAS cache"
+    );
+    assert!(
+        metrics.counter("payload.bytes_moved").get() < 64 * 1024,
+        "the body must not move through the queue"
+    );
     ex.close();
 
     // Proxied payload: neither the queue nor S3 sees the body.

@@ -11,10 +11,14 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer. Cloning is O(1).
+/// An immutable, reference-counted byte buffer. Cloning is O(1), and so is
+/// [`Bytes::slice`]: a slice is a view (`offset`/`len`) into the same shared
+/// allocation, exactly like the real crate — no bytes are copied.
 #[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -22,39 +26,47 @@ impl Bytes {
     pub fn new() -> Self {
         Self {
             data: Arc::from(&[][..]),
+            off: 0,
+            len: 0,
         }
+    }
+
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Self { data, off: 0, len }
     }
 
     /// Buffer backed by a static slice (copied; cheap relative to use).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self {
-            data: Arc::from(bytes),
-        }
+        Self::from_arc(Arc::from(bytes))
     }
 
     /// Copy `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self {
-            data: Arc::from(data),
-        }
+        Self::from_arc(Arc::from(data))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True if the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Copy out to a `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 
-    /// A new buffer holding `self[range]`.
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// A zero-copy view of `self[range]`: shares the same allocation,
+    /// adjusting only the window. O(1), allocation-free.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -65,10 +77,13 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.data.len(),
+            Bound::Unbounded => self.len,
         };
+        assert!(start <= end && end <= self.len, "slice out of bounds");
         Self {
-            data: Arc::from(&self.data[start..end]),
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
         }
     }
 }
@@ -82,25 +97,25 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: Arc::from(v) }
+        Self::from_arc(Arc::from(v))
     }
 }
 
@@ -130,7 +145,7 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -138,52 +153,52 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.data[..] == **other
+        self.as_slice() == *other
     }
 }
 
 impl<const N: usize> PartialEq<[u8; N]> for Bytes {
     fn eq(&self, other: &[u8; N]) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
 impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
     fn eq(&self, other: &&[u8; N]) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter().take(64) {
+        for &b in self.as_slice().iter().take(64) {
             if (0x20..0x7F).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
                 write!(f, "\\x{b:02x}")?;
             }
         }
-        if self.data.len() > 64 {
-            write!(f, "…({} bytes)", self.data.len())?;
+        if self.len > 64 {
+            write!(f, "…({} bytes)", self.len)?;
         }
         write!(f, "\"")
     }
@@ -330,7 +345,9 @@ impl Buf for Bytes {
     }
 
     fn advance(&mut self, cnt: usize) {
-        *self = self.slice(cnt..);
+        assert!(cnt <= self.len, "buffer underflow");
+        self.off += cnt;
+        self.len -= cnt;
     }
 }
 
